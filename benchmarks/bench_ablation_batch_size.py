@@ -1,0 +1,44 @@
+"""Ablation: minibatch size vs modeled step cost.
+
+The paper separates programs on update-step (minibatch) boundaries; this
+ablation shows how the modeled cost per step and per example move with
+batch size — total work grows ~linearly while fixed per-op dispatch
+amortizes, so per-example cost falls. Useful context for interpreting
+the absolute numbers in the figure benchmarks.
+"""
+
+import pytest
+
+from repro import workloads
+from repro.framework.device_model import cpu
+
+BATCH_SIZES = (2, 4, 8)
+
+
+def _per_step_seconds(batch_size: int) -> float:
+    model = workloads.AlexNet(
+        config={**workloads.AlexNet.configs["default"],
+                "batch_size": batch_size},
+        seed=0)
+    profile = model.profile(mode="training", steps=1, device=cpu(1),
+                            warmup=1)
+    return profile.seconds_per_step()
+
+
+def test_batch_scaling(benchmark):
+    def sweep():
+        return {b: _per_step_seconds(b) for b in BATCH_SIZES}
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nalexnet modeled training step cost by batch size:")
+    for batch, seconds in times.items():
+        print(f"  batch {batch}: {seconds * 1e3:7.2f} ms/step, "
+              f"{seconds / batch * 1e3:6.2f} ms/example")
+
+    # Step cost grows with batch...
+    assert times[8] > times[4] > times[2]
+    # ...sublinearly (per-op dispatch and small ops amortize), so cost
+    # per example falls.
+    assert times[8] / 8 < times[2] / 2
+    # And the growth is within 8x of linear scaling sanity bounds.
+    assert times[8] < 8 * times[2]

@@ -1,0 +1,146 @@
+"""Ablations on the analytic device model (the DESIGN.md substitution).
+
+The reproduction's Figs. 3-6 rest on three modeled mechanisms:
+
+1. per-op dispatch overhead makes fine-grained graphs (seq2seq, memnet)
+   elementwise/data-movement-bound;
+2. the Eigen-style grain limits how many threads a small op can use;
+3. GPU utilization rises with trip count, so dense ops gain most.
+
+These benchmarks vary each parameter and assert the result moves the way
+the mechanism predicts — evidence that the headline figures are driven by
+the modeled physics, not by accidental constant choices.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.suite import get_model
+from repro.framework.device_model import CPUDeviceModel, GPUDeviceModel
+from repro.profiling.profile import OperationProfile
+from repro.profiling.tracer import Tracer
+
+
+@pytest.fixture(scope="module")
+def seq2seq_trace():
+    model = get_model("seq2seq", "default")
+    model.run_training(1)
+    tracer = Tracer()
+    model.run_training(2, tracer=tracer)
+    return tracer
+
+
+@pytest.fixture(scope="module")
+def vgg_trace():
+    model = get_model("vgg", "default")
+    model.run_training(1)
+    tracer = Tracer()
+    model.run_training(2, tracer=tracer)
+    return tracer
+
+
+def _small_op_share(tracer, dispatch_overhead: float) -> float:
+    device = dataclasses.replace(CPUDeviceModel(),
+                                 dispatch_overhead=dispatch_overhead)
+    profile = OperationProfile.from_trace(tracer, "seq2seq", device=device)
+    breakdown = profile.class_breakdown()
+    return breakdown["C"] + breakdown["G"]  # elementwise + data movement
+
+
+def test_dispatch_overhead_drives_fine_grained_profiles(benchmark,
+                                                        seq2seq_trace):
+    def sweep():
+        return [_small_op_share(seq2seq_trace, ovh)
+                for ovh in (1e-6, 5e-6, 10e-6, 30e-6)]
+
+    shares = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nseq2seq elementwise+movement share vs dispatch overhead: "
+          + ", ".join(f"{s:.0%}" for s in shares))
+    # Mechanism: more per-op overhead -> tiny unrolled ops matter more.
+    assert all(a <= b + 1e-9 for a, b in zip(shares, shares[1:]))
+    assert shares[-1] > shares[0] + 0.1
+
+
+def test_grain_limits_thread_scaling(benchmark, seq2seq_trace, vgg_trace):
+    def speedup(tracer, grain):
+        t1 = OperationProfile.from_trace(
+            tracer, device=dataclasses.replace(
+                CPUDeviceModel(threads=1), grain=grain)).total_seconds
+        t8 = OperationProfile.from_trace(
+            tracer, device=dataclasses.replace(
+                CPUDeviceModel(threads=8), grain=grain)).total_seconds
+        return t1 / t8
+
+    def sweep():
+        return {(name, grain): speedup(tracer, grain)
+                for name, tracer in (("seq2seq", seq2seq_trace),
+                                     ("vgg", vgg_trace))
+                for grain in (256.0, 2048.0, 16384.0)}
+
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n8-thread speedup by grain:")
+    for (name, grain), value in speedups.items():
+        print(f"  {name:8s} grain={grain:7.0f}  {value:.2f}x")
+    # Coarser grain -> fewer ops can split across threads -> less speedup.
+    for name in ("seq2seq", "vgg"):
+        ordered = [speedups[(name, g)] for g in (256.0, 2048.0, 16384.0)]
+        assert all(a >= b - 1e-9 for a, b in zip(ordered, ordered[1:])), name
+    # vgg's huge convolutions retain strong scaling even at the coarsest
+    # grain, while seq2seq's tiny ops never scale at even the finest —
+    # the qualitative Fig. 6 contrast is robust across the whole range.
+    assert speedups[("vgg", 16384.0)] > 2.0
+    assert speedups[("seq2seq", 256.0)] < 1.5
+
+
+def test_gpu_saturation_controls_dense_advantage(benchmark, vgg_trace,
+                                                 seq2seq_trace):
+    def advantage(tracer, saturation):
+        gpu = dataclasses.replace(GPUDeviceModel(),
+                                  saturation_trips=saturation)
+        cpu_time = OperationProfile.from_trace(
+            tracer, device=CPUDeviceModel(threads=1)).total_seconds
+        gpu_time = OperationProfile.from_trace(tracer,
+                                               device=gpu).total_seconds
+        return cpu_time / gpu_time
+
+    def sweep():
+        return [advantage(vgg_trace, s) for s in (4096.0, 16384.0, 65536.0)]
+
+    advantages = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nvgg GPU speedup vs saturation threshold: "
+          + ", ".join(f"{a:.1f}x" for a in advantages))
+    # Harder saturation -> lower utilization -> smaller GPU advantage,
+    # but the dense workload stays GPU-favoured throughout.
+    assert all(a >= b - 1e-9 for a, b in zip(advantages, advantages[1:]))
+    assert advantages[-1] > 1.0
+
+
+def test_fig4_clusters_robust_to_device_choice(benchmark):
+    """The Fig. 4 cluster structure must not depend on which device model
+    priced the trace: conv nets cluster under CPU and GPU pricing alike."""
+    from repro.analysis.similarity import cluster_profiles
+    from repro.analysis.suite import profile_suite
+
+    def clusters():
+        out = {}
+        for device in (CPUDeviceModel(threads=1), GPUDeviceModel()):
+            profiles = profile_suite(config="default", steps=2,
+                                     device=device)
+            dendrogram = cluster_profiles(profiles)
+            index = {name: i for i, name in enumerate(dendrogram.labels)}
+            conv = max(
+                dendrogram.cophenetic_distance(index["alexnet"],
+                                               index["vgg"]),
+                dendrogram.cophenetic_distance(index["vgg"],
+                                               index["residual"]))
+            cross = dendrogram.cophenetic_distance(index["vgg"],
+                                                   index["memnet"])
+            out[device.name] = (conv, cross)
+        return out
+
+    result = benchmark.pedantic(clusters, rounds=1, iterations=1)
+    print("\nconv-trio vs conv-to-memnet cophenetic distances by device:")
+    for device_name, (conv, cross) in result.items():
+        print(f"  {device_name}: trio {conv:.3f}, to memnet {cross:.3f}")
+        assert conv < cross, device_name

@@ -1,0 +1,56 @@
+"""Section V-E's closing lesson, made quantitative.
+
+"While convolution and matrix multiplication are attractive targets for
+hardware support, there are limits to the benefits that can be
+extracted from them. This is especially true for deep learning models
+with non-convolutional layers, sophisticated loss functions or
+optimization algorithms, or sparse storage."
+
+This benchmark applies hypothetical 10x/100x accelerators for
+convolution, GEMM, and both combined to every workload's traced profile
+and reports the end-to-end Amdahl speedups and their ceilings.
+"""
+
+from repro.analysis.accelerator import PRESETS, render_what_if, what_if
+from repro.analysis.suite import get_model
+from repro.workloads import WORKLOAD_NAMES
+
+
+def test_accelerator_what_if(benchmark):
+    def build():
+        return {preset: [what_if(get_model(name, "default"), classes)
+                         for name in WORKLOAD_NAMES]
+                for preset, classes in PRESETS.items()}
+
+    by_preset = benchmark.pedantic(build, rounds=1, iterations=1)
+    for preset, results in by_preset.items():
+        print("\n" + render_what_if(results, preset))
+
+    conv = {r.workload: r for r in by_preset["conv-engine"]}
+    gemm = {r.workload: r for r in by_preset["gemm-engine"]}
+    both = {r.workload: r for r in by_preset["conv+gemm"]}
+
+    # A conv engine helps only the conv nets — and even there, far below
+    # its nominal factor.
+    assert conv["vgg"].speedups[100.0] > 5.0
+    assert conv["vgg"].speedups[100.0] < 50.0    # Amdahl bites
+    for name in ("seq2seq", "memnet", "speech", "autoenc"):
+        assert conv[name].speedups[100.0] < 1.05, name
+
+    # A GEMM engine is the mirror image.
+    assert gemm["speech"].speedups[10.0] > 1.8
+    assert gemm["vgg"].speedups[100.0] < 1.1
+
+    # Even accelerating BOTH heavy classes 100x leaves every workload far
+    # from 100x — the "limits to the benefits" claim.
+    for name, result in both.items():
+        assert result.speedups[100.0] < 25.0, (name,
+                                               result.speedups[100.0])
+    # memnet, the skinny-tensor model, barely moves no matter what.
+    assert both["memnet"].ceiling() < 1.5
+
+    # Diminishing returns: the 100x engine buys less than 10x more than
+    # the 10x engine everywhere.
+    for name in WORKLOAD_NAMES:
+        assert both[name].speedups[100.0] < \
+            10 * both[name].speedups[10.0]

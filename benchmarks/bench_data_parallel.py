@@ -1,0 +1,39 @@
+"""Extension study: data-parallel scaling limits per workload.
+
+Prices Krizhevsky-era data parallelism for the suite: per-replica
+modeled compute vs ring-all-reduce gradient exchange on 10 GbE. The
+expected shape: efficiency falls with worker count everywhere; the
+compute-heavy/parameter-light convolutional trunks sustain it longest,
+and the parameter-heavy dense/embedding models hit the communication
+wall almost immediately.
+"""
+
+from repro.analysis.scaling import render_scaling, scaling_curve
+from repro.analysis.suite import get_model
+from repro.workloads import WORKLOAD_NAMES
+
+
+def test_data_parallel_scaling(benchmark):
+    def build():
+        return [scaling_curve(get_model(name, "default"))
+                for name in WORKLOAD_NAMES]
+
+    curves = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("\n" + render_scaling(curves))
+    by_name = {c.workload: c for c in curves}
+
+    for curve in curves:
+        # Efficiency is monotonically non-increasing in workers.
+        efficiencies = [curve.efficiency(k) for k in curve.worker_counts]
+        assert all(a >= b - 1e-9 for a, b in
+                   zip(efficiencies, efficiencies[1:])), curve.workload
+        assert efficiencies[0] == 1.0
+
+    # The conv trunks out-scale the dense/embedding-heavy models: vgg's
+    # compute/communication ratio beats autoenc's (three dense layers,
+    # big parameter tensors, comparatively little compute).
+    assert by_name["vgg"].compute_comm_ratio > \
+        3 * by_name["autoenc"].compute_comm_ratio
+    # residual (conv-only, few params) scales better at 8 workers than
+    # autoenc.
+    assert by_name["residual"].efficiency(8) > by_name["autoenc"].efficiency(8)

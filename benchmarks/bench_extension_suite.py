@@ -1,0 +1,68 @@
+"""The living-suite mechanism at work: characterize the extensions.
+
+Profiles the extension workloads with exactly the same toolchain as the
+core eight and verifies they genuinely broaden the suite's coverage:
+skipgram lands far from every core workload's profile (a new point in
+the Fig. 4 space), while lstm_lm lands near seq2seq (both are unrolled
+recurrent stacks) — extensions add diversity where they should and
+cluster where they should.
+"""
+
+from repro.analysis.similarity import cluster_profiles, profile_distance
+from repro.analysis.suite import get_model, profile_suite
+from repro.framework.device_model import cpu
+from repro.workloads import extensions
+
+
+def _extension_profiles():
+    profiles = {}
+    for name in extensions.EXTENSION_WORKLOADS:
+        model = extensions.create(name, config="default", seed=0)
+        profiles[name] = model.profile(mode="training", steps=2,
+                                       device=cpu(1))
+    return profiles
+
+
+def test_extensions_extend_the_suite(benchmark, suite_profiles):
+    ext_profiles = benchmark.pedantic(_extension_profiles, rounds=1,
+                                      iterations=1)
+    core_by_name = {p.workload: p for p in suite_profiles}
+
+    print("\nExtension profiles vs core suite (cosine distance):")
+    for name, profile in ext_profiles.items():
+        distances = {core: profile_distance(profile, core_profile)
+                     for core, core_profile in core_by_name.items()}
+        nearest = min(distances, key=distances.get)
+        print(f"  {name:10s} nearest core workload: {nearest} "
+              f"(d={distances[nearest]:.3f}); farthest: "
+              f"{max(distances, key=distances.get)} "
+              f"(d={max(distances.values()):.3f})")
+
+    # lstm_lm is an unrolled recurrent stack: its nearest neighbour is a
+    # recurrent core workload (speech in practice — both are dominated by
+    # per-step matmuls at default scale), never a convolutional one.
+    lm_distances = {core: profile_distance(ext_profiles['lstm_lm'],
+                                           core_profile)
+                    for core, core_profile in core_by_name.items()}
+    assert min(lm_distances, key=lm_distances.get) in ("seq2seq", "memnet",
+                                                       "speech")
+
+    # skipgram is not a near-duplicate of any core profile: it genuinely
+    # widens coverage.
+    sg_distances = [profile_distance(ext_profiles['skipgram'], p)
+                    for p in suite_profiles]
+    assert min(sg_distances) > 0.05
+
+    # neuraltalk is the CNN+LSTM hybrid: it must land nearest a
+    # convolutional workload (its encoder dominates the default profile).
+    nt_distances = {core: profile_distance(ext_profiles['neuraltalk'],
+                                           core_profile)
+                    for core, core_profile in core_by_name.items()}
+    assert min(nt_distances, key=nt_distances.get) in (
+        "alexnet", "vgg", "residual", "deepq")
+
+    # The clustering machinery accepts the extended suite unchanged.
+    extended = suite_profiles + list(ext_profiles.values())
+    dendrogram = cluster_profiles(extended)
+    assert len(dendrogram.labels) == len(extended)
+    assert len(dendrogram.merges) == len(extended) - 1

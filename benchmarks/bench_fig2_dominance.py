@@ -1,0 +1,28 @@
+"""Fig. 2: total execution time is dominated by a handful of op types.
+
+Regenerates the cumulative dominance curves for all eight workloads and
+asserts the paper's quantitative claim: 5-15 "heavy" operation types
+cover >= 90% of execution time, and the heavy types differ across models.
+"""
+
+from repro.analysis.dominance import dominance_curves, render_dominance_table
+
+
+def test_fig2_dominance_curves(benchmark, suite_profiles):
+    curves = benchmark(dominance_curves, suite_profiles)
+    print("\n" + render_dominance_table(curves))
+
+    for curve in curves:
+        k90 = curve.types_for_coverage(0.9)
+        # "a handful of heavy operation types (usually 5 to 15) are
+        # collectively responsible for upwards of 90%"
+        assert k90 <= 15, f"{curve.workload}: {k90} types for 90%"
+        # The skew is real: far fewer types than the total vocabulary.
+        assert k90 < curve.num_types, curve.workload
+        # Curves are valid CDFs.
+        assert curve.curve[-1] > 0.999
+
+    # "these types are not the same for every model": the heaviest op
+    # type differs across the suite.
+    heaviest = {curve.op_types[0] for curve in curves}
+    assert len(heaviest) >= 3, heaviest

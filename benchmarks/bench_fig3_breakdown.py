@@ -1,0 +1,43 @@
+"""Fig. 3: breakdown of execution time by operation type.
+
+Regenerates the workload x op-class heatmap and asserts the per-workload
+shapes the paper describes in Section V-B, including the longitudinal
+alexnet -> vgg -> residual fully-connected trend.
+"""
+
+from repro.analysis.breakdown import breakdown_matrix
+
+
+def test_fig3_breakdown(benchmark, suite_profiles):
+    matrix = benchmark(breakdown_matrix, suite_profiles)
+    print("\n" + matrix.render())
+
+    rows = {name: matrix.row(name) for name in matrix.workloads}
+
+    # "convolutional neural networks are indeed dominated by convolution"
+    for name in ("alexnet", "vgg", "residual", "deepq"):
+        assert rows[name]["B"] > 0.4, (name, rows[name])
+        assert matrix.dominant_group(name) == "B", name
+
+    # "fully-connected networks depend heavily on matrix multiplication"
+    assert matrix.dominant_group("autoenc") == "A"
+    # "speech is comprised almost exclusively of matrix-matrix
+    # multiplication operations"
+    assert matrix.dominant_group("speech") == "A"
+    assert rows["speech"]["A"] > 0.5
+    assert rows["speech"]["B"] == 0.0
+
+    # seq2seq: elementwise (LSTM gates) + data movement (attention).
+    assert rows["seq2seq"]["C"] > rows["seq2seq"]["A"]
+    assert rows["seq2seq"]["G"] > 0.1
+
+    # memnet: skinny-tensor arithmetic, reductions, and data movement.
+    assert rows["memnet"]["B"] == 0.0
+    assert rows["memnet"]["C"] + rows["memnet"]["G"] + rows["memnet"]["D"] \
+        > 0.6
+
+    # Longitudinal trend (Section V-B): the fully-connected share of the
+    # ImageNet networks shrinks with each generation -- alexnet's dense
+    # layers ~11%, vgg's ~7%, residual's single classifier <1%.
+    assert rows["alexnet"]["A"] > rows["vgg"]["A"] >= rows["residual"]["A"]
+    assert rows["residual"]["A"] < 0.01

@@ -1,0 +1,65 @@
+"""Fig. 4: hierarchical similarity of the Fathom workloads.
+
+Regenerates the cosine-distance / centroid-linkage dendrogram and asserts
+the cluster structure the paper reports: the convolutional networks form
+a tight lower cluster; speech and autoenc pair up; and despite both being
+recurrent, speech and seq2seq are far apart while seq2seq sits nearest
+memnet.
+"""
+
+from repro.analysis.similarity import cluster_profiles, profile_distance
+
+
+def _render(dendrogram):
+    lines = ["Fig. 4: agglomerative clustering (cosine distance, centroid "
+             "linkage)"]
+    count = len(dendrogram.labels)
+
+    def name(index):
+        if index < count:
+            return dendrogram.labels[index]
+        return "(" + " ".join(dendrogram.labels[i] for i in
+                              dendrogram.cluster_members(index)) + ")"
+
+    for merge in dendrogram.merges:
+        lines.append(f"  d={merge.distance:5.3f}  {name(merge.left)}"
+                     f"  +  {name(merge.right)}")
+    order = " | ".join(dendrogram.labels[i] for i in dendrogram.leaf_order())
+    lines.append(f"  leaf order: {order}")
+    return "\n".join(lines)
+
+
+def test_fig4_similarity_dendrogram(benchmark, suite_profiles,
+                                    profile_by_name):
+    dendrogram = benchmark(cluster_profiles, suite_profiles)
+    print("\n" + _render(dendrogram))
+
+    labels = dendrogram.labels
+    index = {name: i for i, name in enumerate(labels)}
+
+    def joined_at(a, b):
+        return dendrogram.cophenetic_distance(index[a], index[b])
+
+    # The ImageNet trio clusters tightly (paper: "the three ImageNet
+    # challenge networks are grouped closely").
+    conv_trio = max(joined_at("alexnet", "vgg"),
+                    joined_at("vgg", "residual"),
+                    joined_at("alexnet", "residual"))
+    assert conv_trio < 0.3
+
+    # deepq joins the convolutional cluster before any non-conv workload.
+    assert joined_at("deepq", "alexnet") < joined_at("deepq", "speech")
+    assert joined_at("deepq", "alexnet") < joined_at("deepq", "memnet")
+
+    # "speech and autoenc have more similar performance profiles to each
+    # other than seq2seq and memnet [do to them]".
+    assert joined_at("speech", "autoenc") < joined_at("speech", "seq2seq")
+
+    # The headline: the two recurrent models are NOT similar ("somewhat
+    # less intuitive is the large distance between the two recurrent
+    # networks, speech and seq2seq").
+    direct = profile_distance(profile_by_name["speech"],
+                              profile_by_name["seq2seq"])
+    assert direct > 0.3, direct
+    # seq2seq pairs with memnet at the top of the dendrogram.
+    assert joined_at("seq2seq", "memnet") < joined_at("seq2seq", "speech")

@@ -1,0 +1,58 @@
+"""Fig. 5: training vs. inference on CPU and GPU.
+
+Regenerates the normalized four-bar comparison for all eight workloads
+and asserts the shapes from Section V-D: training always costs more than
+inference; the premium varies and is higher for convolutional networks
+(two backward reductions per conv); the GPU is faster, especially on
+skewed profiles; and CPU and GPU train/infer gaps correlate.
+"""
+
+import numpy as np
+
+from repro.analysis.suite import suite_train_vs_infer
+from repro.analysis.train_vs_infer import render_figure5
+
+CONV_NETS = ("residual", "vgg", "alexnet", "deepq")
+NON_CONV = ("seq2seq", "memnet", "speech", "autoenc")
+
+
+def test_fig5_training_vs_inference(benchmark):
+    points = benchmark.pedantic(suite_train_vs_infer,
+                                kwargs={"config": "default", "steps": 2},
+                                rounds=1, iterations=1)
+    print("\n" + render_figure5(points))
+    by_name = {p.workload: p for p in points}
+
+    # Training is slower than inference for every workload, on both
+    # devices — and variably so.
+    ratios = []
+    for point in points:
+        assert point.training_cpu > point.inference_cpu, point.workload
+        assert point.training_gpu > point.inference_gpu, point.workload
+        ratios.append(point.cpu_train_infer_ratio)
+    assert max(ratios) / min(ratios) > 1.2  # "it is variably faster"
+
+    # Convolutional networks pay a higher training premium on average
+    # (backward conv needs two reduction kernels vs one forward).
+    conv_premium = np.mean([by_name[n].cpu_train_infer_ratio
+                            for n in CONV_NETS])
+    other_premium = np.mean([by_name[n].cpu_train_infer_ratio
+                             for n in NON_CONV])
+    assert conv_premium > other_premium
+
+    # "GPU performance is substantially higher" for every workload...
+    for point in points:
+        assert point.gpu_speedup_training > 1.0, point.workload
+    # "...especially on workloads with higher skew in their operation
+    # profile": the dense conv nets gain more than the skinny-op models.
+    assert by_name["vgg"].gpu_speedup_training > \
+        5 * by_name["memnet"].gpu_speedup_training
+
+    # Train/infer gaps on GPU correlate with gaps on CPU. The paper calls
+    # the correlation "strong"; under our analytic device models it is
+    # positive but weaker (~0.3 Pearson over 8 points) — recorded as a
+    # deviation in EXPERIMENTS.md.
+    cpu_gaps = [p.cpu_train_infer_ratio for p in points]
+    gpu_gaps = [p.gpu_train_infer_ratio for p in points]
+    correlation = np.corrcoef(cpu_gaps, gpu_gaps)[0, 1]
+    assert correlation > 0.0, correlation

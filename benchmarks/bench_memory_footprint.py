@@ -1,0 +1,49 @@
+"""Extension study: intermediate-tensor memory footprint per workload.
+
+The executor reference-counts intermediates and records the peak live
+bytes per step (measured, not modeled — these are the actual numpy
+buffers). The expected shape: training holds more live state than
+inference (activations kept for the backward pass flow through the
+graph), and the deep convolutional models carry the largest activation
+footprints.
+"""
+
+from repro.analysis.suite import get_model
+from repro.profiling.tracer import Tracer
+from repro.workloads import WORKLOAD_NAMES
+
+
+def _measure():
+    rows = {}
+    for name in WORKLOAD_NAMES:
+        model = get_model(name, "default")
+        train_tracer = Tracer()
+        model.run_training(1, tracer=train_tracer)
+        infer_tracer = Tracer()
+        model.run_inference(1, tracer=infer_tracer)
+        rows[name] = (train_tracer.peak_live_bytes(),
+                      infer_tracer.peak_live_bytes(),
+                      model.num_parameters() * 4)
+    return rows
+
+
+def test_memory_footprint(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    print("\nPeak live intermediate bytes per step (measured):")
+    print(f"{'workload':>10s}  {'training':>10s}  {'inference':>10s}  "
+          f"{'params':>10s}")
+    for name, (train_peak, infer_peak, param_bytes) in rows.items():
+        print(f"{name:>10s}  {train_peak / 1e6:8.2f}MB  "
+              f"{infer_peak / 1e6:8.2f}MB  {param_bytes / 1e6:8.2f}MB")
+
+    for name, (train_peak, infer_peak, _) in rows.items():
+        assert train_peak > 0 and infer_peak > 0, name
+        # Training must hold at least as much live state as inference.
+        assert train_peak >= 0.8 * infer_peak, name
+
+    # The big-image conv nets have the largest training footprints
+    # among the suite.
+    conv_peak = max(rows[n][0] for n in ("vgg", "residual", "alexnet"))
+    other_peak = max(rows[n][0] for n in ("memnet", "autoenc", "seq2seq"))
+    assert conv_peak > other_peak

@@ -1,0 +1,62 @@
+"""Primitive-operation microbenchmarks (measured wall time).
+
+The workload benchmarks time whole training steps; these time the
+individual kernels the device model prices, at representative sizes —
+the data you would use to re-calibrate
+:mod:`repro.framework.device_model` for new hardware (see
+``framework.calibrate`` for the automated version).
+"""
+
+import numpy as np
+import pytest
+
+from repro.framework import graph as graph_module
+from repro.framework import ops
+from repro.framework.session import Session
+
+
+def _run_kernel(build):
+    graph = graph_module.reset_default_graph()
+    fetch = build()
+    session = Session(graph, seed=0)
+    session.run(fetch)  # warm: plan cache, first-run validation
+    return session, fetch
+
+
+RNG = np.random.default_rng(0)
+
+
+def _array(*shape):
+    return RNG.standard_normal(shape).astype(np.float32)
+
+
+KERNELS = {
+    "matmul_128": lambda: ops.matmul(ops.constant(_array(128, 128)),
+                                     ops.constant(_array(128, 128))),
+    "matmul_512": lambda: ops.matmul(ops.constant(_array(512, 512)),
+                                     ops.constant(_array(512, 512))),
+    "conv2d_32x32x64": lambda: ops.conv2d(
+        ops.constant(_array(4, 32, 32, 32)),
+        ops.constant(_array(3, 3, 32, 64))),
+    "elementwise_1m": lambda: ops.multiply(
+        ops.constant(_array(1024, 1024)), ops.constant(_array(1024, 1024))),
+    "reduce_1m_to_scalar": lambda: ops.reduce_sum(
+        ops.constant(_array(1024, 1024))),
+    "softmax_4096x128": lambda: ops.softmax(ops.constant(_array(4096, 128))),
+    "gather_64k": lambda: ops.gather(
+        ops.constant(_array(65536, 64)),
+        ops.constant(RNG.integers(0, 65536, 4096).astype(np.int32))),
+    "transpose_1m": lambda: ops.transpose(ops.constant(_array(1024, 1024))),
+    "lstm_block_64x256": lambda: __import__(
+        "repro.framework.ops.rnn_ops", fromlist=["lstm_block_cell"]
+    ).lstm_block_cell(
+        ops.constant(_array(64, 256)), ops.constant(_array(64, 256)),
+        ops.constant(_array(64, 256)), ops.constant(_array(512, 1024)),
+        ops.constant(np.zeros(1024, dtype=np.float32)))[1],
+}
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_kernel(benchmark, name):
+    session, fetch = _run_kernel(KERNELS[name])
+    benchmark.pedantic(session.run, args=(fetch,), rounds=5, iterations=1)

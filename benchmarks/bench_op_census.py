@@ -1,0 +1,44 @@
+"""Static operation census over the suite (Section III-C's structure claim).
+
+Not a numbered figure — this regenerates the structural facts the paper
+reasons from: training graphs are a few times larger than inference
+graphs (backward ops + optimizer), the convolutional networks carry the
+FLOPs, and arithmetic intensity separates the compute-bound conv nets
+from the memory-bound embedding/recurrent models.
+"""
+
+from repro.analysis.census import census, render_census
+from repro.analysis.suite import get_model
+from repro.workloads import WORKLOAD_NAMES
+
+
+def test_operation_census(benchmark):
+    def build():
+        return [census(get_model(name, "default"))
+                for name in WORKLOAD_NAMES]
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("\n" + render_census(rows))
+    by_name = {r.workload: r for r in rows}
+
+    for row in rows:
+        # Training graphs strictly extend inference graphs.
+        assert row.training_ops > row.inference_ops, row.workload
+        assert row.backward_ops > 0, row.workload
+        assert row.parameters > 0
+
+    # The deepest model (residual, 34 layers) has the longest critical
+    # path among the convolutional networks.
+    conv = ["residual", "vgg", "alexnet", "deepq"]
+    assert by_name["residual"].critical_path == max(
+        by_name[n].critical_path for n in conv)
+
+    # Conv nets are the FLOP-heavy, high-arithmetic-intensity members;
+    # memnet is the memory-bound extreme.
+    assert by_name["vgg"].flops_per_step > by_name["memnet"].flops_per_step
+    assert by_name["vgg"].arithmetic_intensity > \
+        5 * by_name["memnet"].arithmetic_intensity
+
+    # The statically-unrolled recurrent models have the biggest graphs.
+    assert by_name["seq2seq"].training_ops > by_name["alexnet"].training_ops
+    assert by_name["speech"].training_ops > by_name["alexnet"].training_ops

@@ -1,0 +1,46 @@
+"""Section V-D: forward/backward symmetry and the loss-function skew.
+
+The paper's claims, asserted over the suite:
+
+* the backward phase mirrors the forward phase ("most functions
+  evaluated in the forward phase have an analogue in the backwards
+  phase") — backward time lands within a small multiple of forward time;
+* convolutional networks pay *more* than 1x backward ("the convolutional
+  partial gradient involves two reduction operations in the backwards
+  phase ... and only one in the forward phase");
+* the loss function is evaluated only during training, and for simple
+  classifiers it is cheap.
+"""
+
+from repro.analysis.phases import render_phase_table, split_phases
+from repro.analysis.suite import get_model
+from repro.workloads import WORKLOAD_NAMES
+
+
+def test_phase_symmetry(benchmark):
+    def build():
+        return [split_phases(get_model(name, "default"))
+                for name in WORKLOAD_NAMES]
+
+    splits = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("\n" + render_phase_table(splits))
+    by_name = {s.workload: s for s in splits}
+
+    for split in splits:
+        # Rough symmetry: backward within [0.5x, 4x] of forward.
+        assert 0.5 < split.backward_forward_ratio < 4.0, split.workload
+        # Every phase is present in training.
+        assert split.seconds["forward"] > 0
+        assert split.seconds["backward"] > 0
+        assert split.seconds["optimizer"] > 0
+
+    # Convolution's double backward: the conv nets' backward/forward
+    # ratio exceeds the dense autoencoder's.
+    conv_ratio = min(by_name[n].backward_forward_ratio
+                     for n in ("vgg", "alexnet", "residual"))
+    assert conv_ratio > by_name["autoenc"].backward_forward_ratio * 0.9
+
+    # Simple classifiers have cheap loss functions; CTC does not come
+    # for free — speech's loss share beats vgg's.
+    assert by_name["speech"].fraction("loss") > \
+        by_name["vgg"].fraction("loss")

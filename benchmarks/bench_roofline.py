@@ -1,0 +1,56 @@
+"""Roofline study: compute- vs memory- vs overhead-bound time.
+
+Extension analysis built on the paper's cost model: splits each
+workload's modeled training step by the resource that bounds each
+operation. The expected shape backs the paper's hardware narrative —
+convolutional workloads are compute-bound (the accelerator-friendly
+regime), while the fine-grained recurrent/memory models burn their time
+on per-op overhead and memory traffic, which no FLOP engine fixes.
+"""
+
+from repro.analysis.roofline import render_roofline, roofline
+from repro.analysis.suite import get_model
+from repro.framework.device_model import cpu, gpu
+from repro.workloads import WORKLOAD_NAMES
+
+
+def test_roofline_cpu(benchmark):
+    def build():
+        return [roofline(get_model(name, "default"), device=cpu(1))
+                for name in WORKLOAD_NAMES]
+
+    points = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("\n" + render_roofline(points))
+    by_name = {p.workload: p for p in points}
+
+    # Conv nets: dominated by compute-bound time.
+    for name in ("vgg", "residual", "alexnet", "deepq"):
+        assert by_name[name].fraction("compute") > 0.5, name
+    # vgg is the extreme compute-bound member.
+    assert by_name["vgg"].fraction("compute") > 0.85
+
+    # seq2seq's tiny unrolled ops: mostly overhead-bound.
+    assert by_name["seq2seq"].fraction("overhead") > 0.4
+    # memnet: overhead + memory dwarf compute.
+    memnet = by_name["memnet"]
+    assert memnet.fraction("overhead") + memnet.fraction("memory") > \
+        memnet.fraction("compute")
+
+
+def test_roofline_gpu_shifts_toward_overhead(benchmark):
+    """On the GPU the dense work collapses, so launch overhead claims a
+    larger share everywhere — the accelerator version of Amdahl's law."""
+    def build():
+        out = {}
+        for name in ("vgg", "seq2seq"):
+            model = get_model(name, "default")
+            out[name] = (roofline(model, device=cpu(1)),
+                         roofline(model, device=gpu()))
+        return out
+
+    pairs = benchmark.pedantic(build, rounds=1, iterations=1)
+    for name, (cpu_point, gpu_point) in pairs.items():
+        print(f"\n{name}: overhead share {cpu_point.fraction('overhead'):.1%}"
+              f" (cpu) -> {gpu_point.fraction('overhead'):.1%} (gpu)")
+        assert gpu_point.fraction("overhead") >= \
+            cpu_point.fraction("overhead") - 0.05, name

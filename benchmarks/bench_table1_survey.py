@@ -1,0 +1,23 @@
+"""Table I: survey of deep learning in architecture research.
+
+Regenerates the survey table and asserts the prose claims the paper
+builds its motivation on.
+"""
+
+from repro.analysis.survey import (SURVEY, coverage_gaps, feature_counts,
+                                   krizhevsky_share, render_table1)
+
+
+def test_table1_regeneration(benchmark):
+    text = benchmark(render_table1)
+    print("\n" + text)
+
+    counts = feature_counts()
+    # Paper, Section II: the survey motivates Fathom with these gaps.
+    assert len(SURVEY) == 16
+    assert counts["Inference"] == 17          # every column marks inference
+    assert counts["Recurrent"] == 3           # [24], [44], Fathom
+    assert coverage_gaps() == ["Unsupervised", "Reinforcement"]
+    assert 0.35 <= krizhevsky_share() <= 0.55  # "nearly half"
+    # Fathom's column has the deepest model (residual, 34 layers).
+    assert max(e.max_depth for e in SURVEY) < 34

@@ -1,0 +1,30 @@
+"""Table II: the Fathom workloads.
+
+Regenerates the workload table from live registry metadata and asserts
+it matches the paper's rows.
+"""
+
+from repro.analysis.workload_table import render_table2, table2_rows
+
+
+def test_table2_regeneration(benchmark):
+    text = benchmark(render_table2)
+    print("\n" + text)
+
+    rows = {r.name: r for r in table2_rows()}
+    assert set(rows) == {"seq2seq", "memnet", "speech", "autoenc",
+                         "residual", "vgg", "alexnet", "deepq"}
+    assert rows["seq2seq"].layers == 7
+    assert rows["memnet"].layers == 3
+    assert rows["speech"].layers == 5
+    assert rows["autoenc"].layers == 3
+    assert rows["residual"].layers == 34
+    assert rows["vgg"].layers == 19
+    assert rows["alexnet"].layers == 5
+    assert rows["deepq"].layers == 5
+    assert rows["autoenc"].learning_task == "Unsupervised"
+    assert rows["deepq"].learning_task == "Reinforcement"
+    # Three distinct ImageNet-vintage classifiers for the longitudinal
+    # comparison, sharing a dataset.
+    assert {rows[n].dataset for n in ("alexnet", "vgg", "residual")} == \
+        {"ImageNet"}

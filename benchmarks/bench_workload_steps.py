@@ -1,0 +1,28 @@
+"""Wall-clock step benchmarks for every Fathom workload.
+
+Not a figure from the paper — this is the conventional pytest-benchmark
+use: measured seconds per training step and per inference step for each
+workload at the default configuration, so regressions in the framework
+or the models show up as timing changes.
+"""
+
+import pytest
+
+from repro.analysis.suite import get_model
+from repro.workloads import WORKLOAD_NAMES
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_training_step(benchmark, name):
+    model = get_model(name, "default")
+    model.run_training(1)  # warmup / variable init
+    benchmark.pedantic(model.run_training, kwargs={"steps": 1},
+                       rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_inference_step(benchmark, name):
+    model = get_model(name, "default")
+    model.run_inference(1)
+    benchmark.pedantic(model.run_inference, kwargs={"steps": 1},
+                       rounds=3, iterations=1)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+Profiles are computed once per session and shared across benchmark
+modules; every figure benchmark both regenerates its artifact (printed to
+stdout, captured in bench_output.txt when run with ``--benchmark-only``)
+and asserts the paper's qualitative claims about its shape.
+"""
+
+import pytest
+
+from repro.analysis import suite
+from repro.framework.device_model import cpu
+
+CONFIG = "default"
+STEPS = 2
+
+
+@pytest.fixture(scope="session")
+def suite_profiles():
+    """Training profiles for all eight workloads on the 1-thread CPU model."""
+    return suite.profile_suite(config=CONFIG, mode="training", steps=STEPS,
+                               device=cpu(1))
+
+
+@pytest.fixture(scope="session")
+def profile_by_name(suite_profiles):
+    return {p.workload: p for p in suite_profiles}

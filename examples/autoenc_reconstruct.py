@@ -1,0 +1,58 @@
+"""Train the variational autoencoder and visualize reconstructions.
+
+Shows the paper's "stochastic sampling as part of inference" property:
+the same input reconstructs slightly differently on every run because
+the embedding is sampled. Renders input/reconstruction pairs as ASCII::
+
+    python examples/autoenc_reconstruct.py [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import workloads
+
+
+def ascii_image(flat: np.ndarray, size: int) -> list[str]:
+    shades = " .:-=+*#%@"
+    image = flat.reshape(size, size)
+    rows = []
+    for row in image:
+        rows.append("".join(
+            shades[min(int(v * (len(shades) - 1) + 0.5), len(shades) - 1)]
+            for v in row))
+    return rows
+
+
+def main() -> None:
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    model = workloads.create("autoenc", config="tiny", seed=0)
+    size = model.config["image_size"]
+
+    before = model.evaluate(batches=4)
+    print(f"Before training: -ELBO {before['negative_elbo']:.1f}, "
+          f"pixel L1 {before['pixel_l1_error']:.3f}")
+    print(f"Training for {steps} steps...")
+    model.run_training(steps=steps)
+    after = model.evaluate(batches=4)
+    print(f"After training:  -ELBO {after['negative_elbo']:.1f}, "
+          f"pixel L1 {after['pixel_l1_error']:.3f}")
+
+    feed = model.sample_feed(training=False)
+    reconstruction = model.session.run(model.reconstruction, feed_dict=feed)
+    resampled = model.session.run(model.reconstruction, feed_dict=feed)
+
+    print("\ninput / reconstruction / resampled reconstruction:")
+    original_rows = ascii_image(feed[model.images][0], size)
+    recon_rows = ascii_image(reconstruction[0], size)
+    again_rows = ascii_image(resampled[0], size)
+    for left, middle, right in zip(original_rows, recon_rows, again_rows):
+        print(f"  {left}   {middle}   {right}")
+    noise = float(np.abs(reconstruction - resampled).mean())
+    print(f"\nmean |difference| between the two reconstructions: "
+          f"{noise:.4f} (nonzero: inference samples the embedding)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Regenerate the paper's workload characterization (Section V).
+
+Profiles all eight Fathom workloads at the default configuration and
+prints the Fig. 2 dominance summary, the Fig. 3 operation-class
+breakdown, and the Fig. 4 similarity dendrogram. Takes ~1 minute::
+
+    python examples/characterize_suite.py
+"""
+
+from repro.analysis import suite
+from repro.analysis.breakdown import breakdown_matrix
+from repro.analysis.dominance import dominance_curves, render_dominance_table
+from repro.analysis.similarity import cluster_profiles
+from repro.framework.device_model import cpu
+
+
+def render_dendrogram(dendrogram) -> str:
+    count = len(dendrogram.labels)
+
+    def name(index):
+        if index < count:
+            return dendrogram.labels[index]
+        members = dendrogram.cluster_members(index)
+        return "(" + " ".join(dendrogram.labels[i] for i in members) + ")"
+
+    lines = []
+    for merge in dendrogram.merges:
+        lines.append(f"  d={merge.distance:5.3f}  {name(merge.left)} + "
+                     f"{name(merge.right)}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("Profiling all eight workloads (default config, training, "
+          "modeled 1-thread CPU)...")
+    profiles = suite.profile_suite(config="default", mode="training",
+                                   steps=2, device=cpu(1))
+
+    print("\n=== Fig. 2: dominance of heavy operation types ===")
+    print(render_dominance_table(dominance_curves(profiles)))
+
+    print("\n=== Fig. 3: execution-time breakdown by operation class ===")
+    print(breakdown_matrix(profiles).render())
+
+    print("\n=== Fig. 4: hierarchical similarity (cosine distance, "
+          "centroid linkage) ===")
+    dendrogram = cluster_profiles(profiles)
+    print(render_dendrogram(dendrogram))
+    order = [dendrogram.labels[i] for i in dendrogram.leaf_order()]
+    print(f"  leaf order: {' | '.join(order)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Capture a trace once, re-price it under every device configuration.
+
+Demonstrates the offline-analysis workflow: trace a workload's training
+step, save it (`repro.profiling.serialize`), then build modeled profiles
+for 1/2/4/8-thread CPUs and the GPU from the *same* saved trace, and
+diff the CPU-vs-GPU profiles::
+
+    python examples/compare_devices.py [workload]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import workloads
+from repro.framework.device_model import cpu, gpu
+from repro.profiling.comparison import compare_profiles
+from repro.profiling.profile import OperationProfile
+from repro.profiling.serialize import load_trace, save_trace
+from repro.profiling.tracer import Tracer
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "deepq"
+    model = workloads.create(name, config="default", seed=0)
+    print(f"Tracing one {name} training step...")
+    model.run_training(1)
+    tracer = Tracer()
+    model.run_training(2, tracer=tracer)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"{name}.trace.jsonl"
+        count = save_trace(tracer, path, metadata={"workload": name})
+        print(f"saved {count} op records to {path.name}")
+        trace = load_trace(path)
+
+    print("\nModeled step time by device (one trace, many devices):")
+    devices = [cpu(1), cpu(2), cpu(4), cpu(8), gpu()]
+    profiles = {}
+    for device in devices:
+        profile = OperationProfile.from_trace(trace, f"{name}@{device.name}",
+                                              device=device)
+        profiles[device.name] = profile
+        print(f"  {device.name:>5s}: {profile.seconds_per_step() * 1e3:8.2f}"
+              " ms/step")
+
+    print("\nWhat changes between cpu1 and gpu:")
+    comparison = compare_profiles(profiles["cpu1"], profiles["gpu"])
+    print(comparison.render(top_n=6))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Regenerate the paper's device and parallelism studies (Figs. 5-6, V-A).
+
+Prints the training-vs-inference CPU/GPU comparison for all eight
+workloads, the per-op-type thread sweeps for deepq, seq2seq, and memnet,
+and the Section V-A CPU-fallback placement simulation::
+
+    python examples/parallelism_study.py
+"""
+
+from repro.analysis.placement_study import (render_placement_table,
+                                            study_workload)
+from repro.analysis.suite import (get_model, suite_parallelism,
+                                  suite_train_vs_infer)
+from repro.analysis.train_vs_infer import render_figure5
+from repro.workloads import WORKLOAD_NAMES
+
+
+def main() -> None:
+    print("=== Fig. 5: training vs inference, CPU vs GPU (modeled) ===")
+    points = suite_train_vs_infer(config="default", steps=2)
+    print(render_figure5(points))
+
+    print("\n=== Fig. 6: operation-type scaling with intra-op threads ===")
+    sweeps = suite_parallelism(config="default", steps=2)
+    for sweep in sweeps.values():
+        print()
+        print(sweep.render())
+        rising = [op for op in sweep.op_types[:10]
+                  if sweep.fraction(op, 8) > 1.3 * sweep.fraction(op, 1)]
+        print(f"  overall speedup at 8 threads: {sweep.speedup(8):.2f}x; "
+              f"rising profile share: {', '.join(rising) or '(none)'}")
+
+    print("\n=== Section V-A: GPU execution with CPU fall-back ops ===")
+    placement_points = [study_workload(get_model(name, "default"))
+                        for name in WORKLOAD_NAMES]
+    print(render_placement_table(placement_points))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: build a Fathom workload, train it, inspect its profile.
+
+Runs in a few seconds::
+
+    python examples/quickstart.py [workload]
+
+Shows the three things the suite's standard interface gives you for any
+of the eight models: training, inference, and an operation-level
+performance profile.
+"""
+
+import sys
+
+from repro import workloads
+from repro.framework.device_model import cpu
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "alexnet"
+    print(f"Building {name} (tiny config)...")
+    model = workloads.create(name, config="tiny", seed=0)
+    print(f"  {model!r}")
+    print(f"  dataflow graph: {len(model.graph)} operations, "
+          f"{model.num_parameters():,} learnable parameters")
+    print("\nModel summary:")
+    for line in model.summary().splitlines():
+        print(f"  {line}")
+
+    print("\nTraining for 10 steps:")
+    losses = model.run_training(steps=10)
+    for step, loss in enumerate(losses, start=1):
+        print(f"  step {step:2d}  loss {loss:9.4f}")
+
+    output = model.run_inference(steps=1)
+    print(f"\nInference output: shape {output.shape}, "
+          f"dtype {output.dtype}")
+
+    print("\nOperation profile (modeled, single-thread CPU):")
+    profile = model.profile(mode="training", steps=2, device=cpu(1))
+    for op_type, fraction in profile.top_types(8):
+        print(f"  {op_type:>28s}  {fraction:6.1%}")
+    print(f"  ({profile.types_for_coverage(0.9)} op types cover 90% of "
+          "runtime)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Print the paper's two tables: the motivation survey and the suite.
+
+    python examples/survey_report.py
+"""
+
+from repro.analysis.survey import (coverage_gaps, krizhevsky_share,
+                                   render_table1)
+from repro.analysis.workload_table import render_table2
+
+
+def main() -> None:
+    print(render_table1())
+    print()
+    print(f"Share of surveyed papers evaluating the Krizhevsky CNN: "
+          f"{krizhevsky_share():.0%}")
+    print(f"Learning tasks untouched by the surveyed papers: "
+          f"{', '.join(coverage_gaps())}")
+    print()
+    print(render_table2())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Train the deepq workload to play Catch, end to end.
+
+The full Mnih et al. (2013) loop on the ALE-substitute arcade game:
+pixels in, epsilon-greedy play, experience replay, target-network sync.
+Prints a rolling average episode reward: random play averages ~-0.8, and
+the agent reaches ~+0.9 (near-perfect catching) by 400 episodes::
+
+    python examples/train_deepq_catch.py [episodes]
+
+The default 400 episodes takes several minutes; 150 episodes already
+shows clear improvement.
+"""
+
+import sys
+
+import numpy as np
+
+from repro import workloads
+from repro.rl.agent import DQNAgent, EpsilonSchedule
+
+
+def main() -> None:
+    episodes = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    model = workloads.create(
+        "deepq",
+        config={"batch_size": 32, "replay_capacity": 4096,
+                "learning_rate": 5e-3, "screen_size": 16,
+                "channel_scale": 0.5, "dense_units": 128, "gamma": 0.95},
+        seed=0)
+    agent = DQNAgent(
+        model, model.env, model.replay,
+        frame_depth=model.config["frame_depth"],
+        batch_size=model.batch_size, target_sync_interval=30,
+        min_replay=256,
+        epsilon=EpsilonSchedule(start=1.0, end=0.02, decay_steps=800),
+        seed=0)
+
+    print(f"Seeding replay buffer and training for {episodes} episodes...")
+    agent.fill_replay(512)
+    model.sync_target()
+    window = []
+    for episode in range(1, episodes + 1):
+        reward, losses = agent.run_episode(max_steps=50)
+        window.append(reward)
+        if episode % 10 == 0:
+            recent = np.mean(window[-30:])
+            loss = np.mean(losses) if losses else float("nan")
+            print(f"  episode {episode:4d}  reward(avg30) {recent:+.2f}  "
+                  f"loss {loss:.4f}  eps "
+                  f"{agent.epsilon.value(agent.total_steps):.2f}")
+
+    early = np.mean(agent.episode_rewards[:20])
+    late = np.mean(agent.episode_rewards[-20:])
+    print(f"\nAverage reward: first 20 episodes {early:+.2f} -> "
+          f"last 20 episodes {late:+.2f}")
+
+    print("\nOne greedy game, frame by frame:")
+    agent.epsilon = EpsilonSchedule(0.0, 0.0, 1)
+    state = agent.frames.reset(model.env.reset())
+    done = False
+    while not done:
+        action = agent.select_action(state)
+        frame, reward, done = model.env.step(action)
+        state = agent.frames.push(frame)
+    print(model.env.render_ascii())
+    print(f"final reward: {reward:+.0f}")
+
+
+if __name__ == "__main__":
+    main()

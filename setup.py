@@ -1,0 +1,25 @@
+"""Setup script.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 517 builds fail; install with::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+Metadata here mirrors pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Fathom: reference workloads for modern deep learning "
+                 "methods (IISWC 2016) - full reproduction"),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+    entry_points={
+        "console_scripts": ["fathom-repro=repro.cli:main"],
+    },
+)

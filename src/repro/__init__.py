@@ -1,0 +1,23 @@
+"""Fathom: reference workloads for modern deep learning methods.
+
+A from-scratch reproduction of Adolf et al., IISWC 2016. The package
+provides:
+
+* :mod:`repro.framework` — a TensorFlow-style dataflow framework with
+  operation-level tracing, symbolic autodiff, and analytic device models;
+* :mod:`repro.workloads` — the eight Fathom reference models behind the
+  paper's standard model interface;
+* :mod:`repro.data` — seeded synthetic stand-ins for each dataset;
+* :mod:`repro.rl` — the Atari-substitute arcade environment, replay
+  buffer, and DQN agent used by ``deepq``;
+* :mod:`repro.profiling` — op-level tracing and the Fig. 3 taxonomy;
+* :mod:`repro.analysis` — everything needed to regenerate the paper's
+  tables and figures (dominance curves, similarity clustering,
+  training-vs-inference, parallelism sweeps, the architecture survey).
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, data, framework, profiling, rl, workloads
+
+__all__ = ["framework", "workloads", "data", "rl", "profiling", "analysis"]

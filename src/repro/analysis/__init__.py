@@ -1,0 +1,59 @@
+"""Analyses that regenerate the paper's tables and figures.
+
+=========== ==================================================
+Artifact    Module
+=========== ==================================================
+Table I     :mod:`repro.analysis.survey`
+Table II    :mod:`repro.analysis.workload_table`
+Fig. 1      :mod:`repro.profiling.stability`
+Fig. 2      :mod:`repro.analysis.dominance`
+Fig. 3      :mod:`repro.analysis.breakdown`
+Fig. 4      :mod:`repro.analysis.similarity`
+Fig. 5      :mod:`repro.analysis.train_vs_infer`
+Fig. 6      :mod:`repro.analysis.parallelism`
+Suite-wide  :mod:`repro.analysis.suite`
+=========== ==================================================
+"""
+
+from .accelerator import (PRESETS, AcceleratorResult, accelerated_fraction,
+                          render_what_if, what_if)
+from .breakdown import BreakdownMatrix, breakdown_matrix
+from .census import WorkloadCensus, census, render_census
+from .dominance import (DominanceCurve, dominance_curves,
+                        render_dominance_table)
+from .phases import PhaseSplit, render_phase_table, split_phases
+from .placement_study import (PlacementPoint, latency_sweep,
+                              render_placement_table, study_workload)
+from .roofline import RooflinePoint, classify_op, render_roofline, roofline
+from .scaling import (ClusterModel, ScalingCurve, render_scaling,
+                      scaling_curve)
+from .parallelism import ParallelismSweep, sweep_threads
+from .similarity import (Dendrogram, Merge, agglomerate, cluster_profiles,
+                         cosine_distance, distance_matrix, profile_distance)
+from .survey import (FATHOM_ENTRY, SURVEY, SurveyEntry, coverage_gaps,
+                     feature_counts, krizhevsky_share, render_table1)
+from .train_vs_infer import (TrainInferencePoint, measure_workload,
+                             render_figure5)
+from .workload_table import render_table2, table2_rows
+from . import suite
+
+__all__ = [
+    "PRESETS", "AcceleratorResult", "accelerated_fraction",
+    "render_what_if", "what_if",
+    "BreakdownMatrix", "breakdown_matrix",
+    "WorkloadCensus", "census", "render_census",
+    "DominanceCurve", "dominance_curves", "render_dominance_table",
+    "PhaseSplit", "render_phase_table", "split_phases",
+    "PlacementPoint", "latency_sweep", "render_placement_table",
+    "study_workload",
+    "RooflinePoint", "classify_op", "render_roofline", "roofline",
+    "ClusterModel", "ScalingCurve", "render_scaling", "scaling_curve",
+    "ParallelismSweep", "sweep_threads",
+    "Dendrogram", "Merge", "agglomerate", "cluster_profiles",
+    "cosine_distance", "distance_matrix", "profile_distance",
+    "FATHOM_ENTRY", "SURVEY", "SurveyEntry", "coverage_gaps",
+    "feature_counts", "krizhevsky_share", "render_table1",
+    "TrainInferencePoint", "measure_workload", "render_figure5",
+    "render_table2", "table2_rows",
+    "suite",
+]

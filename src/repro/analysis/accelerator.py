@@ -1,0 +1,103 @@
+"""What-if accelerator analysis: the paper's closing Amdahl lesson.
+
+Section V-E ends with the suite's central message for architects:
+"While convolution and matrix multiplication are attractive targets for
+hardware support, there are limits to the benefits that can be
+extracted from them." This analysis makes the limit quantitative: given
+a hypothetical accelerator that speeds up a chosen set of operation
+classes by a factor S (a DianNao/Eyeriss-class conv engine, a TPU-class
+GEMM engine, ...), what end-to-end step speedup does each workload
+actually see?
+
+The answer is application-level Amdahl's law over the traced profile:
+
+    speedup(S) = 1 / ((1 - p) + p / S)
+
+with p the accelerated classes' time fraction — computed here per
+workload from real traces and the CPU device model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.framework.device_model import DeviceModel, cpu
+from repro.framework.graph import OpClass
+from repro.profiling.profile import OperationProfile
+from repro.profiling.tracer import Tracer
+from repro.workloads.base import FathomModel
+
+#: accelerator presets: name -> accelerated op classes
+PRESETS: dict[str, frozenset[OpClass]] = {
+    "conv-engine": frozenset({OpClass.CONVOLUTION}),
+    "gemm-engine": frozenset({OpClass.MATRIX}),
+    "conv+gemm": frozenset({OpClass.CONVOLUTION, OpClass.MATRIX}),
+}
+
+
+@dataclass(frozen=True)
+class AcceleratorResult:
+    """End-to-end effect of an op-class accelerator on one workload."""
+
+    workload: str
+    accelerated_fraction: float  # p: time share of the accelerated classes
+    speedups: dict[float, float]  # accelerator factor -> end-to-end speedup
+
+    def ceiling(self) -> float:
+        """The S -> infinity limit: 1 / (1 - p)."""
+        if self.accelerated_fraction >= 1.0:
+            return float("inf")
+        return 1.0 / (1.0 - self.accelerated_fraction)
+
+
+def accelerated_fraction(model: FathomModel,
+                         classes: frozenset[OpClass],
+                         steps: int = 2,
+                         device: DeviceModel | None = None) -> float:
+    """Time fraction of ``classes`` in the modeled training profile."""
+    device = device or cpu(1)
+    model.run_training(1)
+    tracer = Tracer()
+    model.run_training(steps, tracer=tracer)
+    total = covered = 0.0
+    for record in tracer.compute_records():
+        elapsed = device.op_time(record.op.work())
+        total += elapsed
+        if record.op_class in classes:
+            covered += elapsed
+    if total == 0.0:
+        return 0.0
+    return covered / total
+
+
+def what_if(model: FathomModel, classes: frozenset[OpClass],
+            factors=(10.0, 100.0), steps: int = 2,
+            device: DeviceModel | None = None) -> AcceleratorResult:
+    """Amdahl speedups for an accelerator covering ``classes``."""
+    fraction = accelerated_fraction(model, classes, steps=steps,
+                                    device=device)
+    speedups = {factor: 1.0 / ((1.0 - fraction) + fraction / factor)
+                for factor in factors}
+    return AcceleratorResult(workload=model.name,
+                             accelerated_fraction=fraction,
+                             speedups=speedups)
+
+
+def render_what_if(results: list[AcceleratorResult],
+                   preset_name: str) -> str:
+    width = max(len(r.workload) for r in results)
+    factors = sorted(next(iter(results)).speedups)
+    header = (f"{'workload':>{width}s}  {'covered':>8s}  "
+              + "  ".join(f"{f:4.0f}x eng" for f in factors)
+              + "  ceiling")
+    lines = [f"What-if accelerator '{preset_name}': end-to-end training "
+             "speedup (Amdahl over traced profile)", header]
+    for result in results:
+        cells = "  ".join(f"{result.speedups[f]:7.2f}x" for f in factors)
+        ceiling = result.ceiling()
+        ceiling_text = ("     inf" if ceiling == float("inf")
+                        else f"{ceiling:7.2f}x")
+        lines.append(f"{result.workload:>{width}s}  "
+                     f"{result.accelerated_fraction:8.1%}  {cells}  "
+                     f"{ceiling_text}")
+    return "\n".join(lines)

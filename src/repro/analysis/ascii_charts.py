@@ -1,0 +1,77 @@
+"""Terminal chart rendering for the analysis reports.
+
+The paper's figures are plots; this reproduction's outputs live in
+terminals and markdown. These renderers draw the two chart shapes the
+report needs — horizontal bar charts (Fig. 5's normalized runtimes) and
+multi-series step curves (Fig. 2's cumulative dominance) — in plain
+monospaced text.
+"""
+
+from __future__ import annotations
+
+
+def bar_chart(rows: list[tuple[str, float]], width: int = 40,
+              max_value: float | None = None, unit: str = "") -> str:
+    """Horizontal bars, one per (label, value) row."""
+    if not rows:
+        return "(empty chart)"
+    peak = max_value if max_value is not None else max(v for _, v in rows)
+    peak = max(peak, 1e-12)
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        filled = int(round(width * min(value, peak) / peak))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{label:>{label_width}s} |{bar}| "
+                     f"{value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: dict[str, dict[str, float]],
+                      width: int = 30) -> str:
+    """Bars grouped by outer key: one block per group, one bar per series.
+
+    Matches Fig. 5's presentation: a group per workload, a bar per
+    execution configuration, shared scale inside each group.
+    """
+    lines = []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        block = bar_chart(list(series.items()), width=width,
+                          max_value=max(series.values()))
+        lines.extend("  " + line for line in block.splitlines())
+    return "\n".join(lines)
+
+
+def step_curves(curves: dict[str, list[float]], height: int = 12,
+                width: int = 50, y_max: float = 1.0) -> str:
+    """Multi-series monotone curves on one character grid.
+
+    Each series is drawn with its own symbol; x is the (resampled) index
+    within the series, y is the value. Built for Fig. 2's cumulative
+    dominance curves.
+    """
+    if not curves:
+        return "(empty chart)"
+    symbols = "abcdefghijklmnopqrstuvwxyz"
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for series_index, (name, values) in enumerate(curves.items()):
+        symbol = symbols[series_index % len(symbols)]
+        legend.append(f"{symbol}={name}")
+        if not values:
+            continue
+        for column in range(width):
+            # Resample the series across the full chart width.
+            position = column * (len(values) - 1) / max(width - 1, 1)
+            value = values[min(int(round(position)), len(values) - 1)]
+            row = int((1.0 - min(value, y_max) / y_max) * (height - 1))
+            if grid[row][column] == " ":
+                grid[row][column] = symbol
+    lines = [f"{y_max:4.1f} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("     |" + "".join(row))
+    lines.append(" 0.0 +" + "".join(grid[-1]))
+    lines.append("      " + "-" * width)
+    lines.append("      " + "  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Fig. 3: execution-time breakdown by operation class.
+
+One row per workload, one column per Fig. 3 group (A Matrix Operations,
+B Convolution, C Elementwise Arithmetic, D Reduction and Expansion,
+E Random Sampling, F Optimization, G Data Movement). Following the
+paper's presentation, op types below a 1% time share can be dropped, so
+rows sum to between ~0.9 and 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.profiling.profile import OperationProfile
+from repro.profiling.taxonomy import GROUP_NAMES, GROUP_ORDER
+
+
+@dataclass(frozen=True)
+class BreakdownMatrix:
+    """Workload x op-class time-fraction matrix."""
+
+    workloads: list[str]
+    groups: list[str]
+    values: np.ndarray  # (workloads, groups)
+
+    def row(self, workload: str) -> dict[str, float]:
+        index = self.workloads.index(workload)
+        return dict(zip(self.groups, self.values[index]))
+
+    def dominant_group(self, workload: str) -> str:
+        row = self.row(workload)
+        return max(row, key=row.get)
+
+    def render(self) -> str:
+        """ASCII heatmap in the style of the paper's Fig. 3."""
+        shades = " .:-=+*#%@"
+        width = max(len(name) for name in self.workloads)
+        lines = ["Breakdown of execution time by operation type "
+                 "(rows may sum to <1; <1% op types dropped)",
+                 " " * (width + 2) + "  ".join(f"{g:>5s}"
+                                               for g in self.groups)]
+        for name, row in zip(self.workloads, self.values):
+            cells = []
+            for value in row:
+                shade = shades[min(int(value * (len(shades) - 1) + 0.5),
+                                   len(shades) - 1)]
+                cells.append(f"{value:4.0%}{shade}")
+            lines.append(f"{name:>{width}s}  " + "  ".join(cells))
+        legend = "  ".join(f"{letter}={GROUP_NAMES[letter]}"
+                           for letter in self.groups)
+        lines.append(legend)
+        return "\n".join(lines)
+
+
+def breakdown_matrix(profiles: list[OperationProfile],
+                     min_type_fraction: float = 0.01) -> BreakdownMatrix:
+    """Assemble the Fig. 3 matrix from per-workload profiles."""
+    rows = [profile.class_breakdown(min_type_fraction=min_type_fraction)
+            for profile in profiles]
+    values = np.array([[row[group] for group in GROUP_ORDER]
+                       for row in rows])
+    return BreakdownMatrix(workloads=[p.workload for p in profiles],
+                           groups=list(GROUP_ORDER), values=values)

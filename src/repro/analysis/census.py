@@ -1,0 +1,75 @@
+"""Static operation census across the suite.
+
+Section III-C argues that a model's performance is determined by "the
+number, type, and organization" of its primitive operations. This module
+produces the static side of that claim for every workload: op counts
+split into forward and backward subgraphs, parameters, modeled FLOPs per
+training step, arithmetic intensity (FLOPs per byte moved), and the
+dataflow-graph structure numbers from
+:mod:`repro.framework.graph_export`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.framework.graph_export import graph_stats
+from repro.workloads.base import FathomModel
+
+
+@dataclass(frozen=True)
+class WorkloadCensus:
+    """Static structure of one workload's graphs."""
+
+    workload: str
+    parameters: int
+    inference_ops: int
+    training_ops: int
+    flops_per_step: float
+    bytes_per_step: float
+    critical_path: int
+    dag_parallelism: float
+
+    @property
+    def backward_ops(self) -> int:
+        """Ops added by autodiff + optimizer (training minus inference)."""
+        return self.training_ops - self.inference_ops
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte moved — the roofline-model x-axis."""
+        if self.bytes_per_step == 0.0:
+            return 0.0
+        return self.flops_per_step / self.bytes_per_step
+
+
+def census(model: FathomModel) -> WorkloadCensus:
+    training_fetches = [model.loss, model.train_step]
+    training_stats = graph_stats(model.graph, fetches=training_fetches)
+    inference_ops = len(model.graph.subgraph([model.inference_output]))
+    return WorkloadCensus(
+        workload=model.name,
+        parameters=model.num_parameters(),
+        inference_ops=inference_ops,
+        training_ops=training_stats.num_ops,
+        flops_per_step=training_stats.total_work.flops,
+        bytes_per_step=training_stats.total_work.bytes_moved,
+        critical_path=training_stats.critical_path_length,
+        dag_parallelism=training_stats.average_parallelism)
+
+
+def render_census(rows: list[WorkloadCensus]) -> str:
+    width = max(len(r.workload) for r in rows)
+    lines = ["Static operation census (training-step subgraph, default "
+             "config)",
+             (f"{'workload':>{width}s}  {'params':>10s}  {'fwd ops':>7s}  "
+              f"{'train ops':>9s}  {'GFLOPs':>7s}  {'AI(F/B)':>7s}  "
+              f"{'depth':>5s}  {'par':>5s}")]
+    for row in rows:
+        lines.append(
+            f"{row.workload:>{width}s}  {row.parameters:10,d}  "
+            f"{row.inference_ops:7d}  {row.training_ops:9d}  "
+            f"{row.flops_per_step / 1e9:7.3f}  "
+            f"{row.arithmetic_intensity:7.2f}  {row.critical_path:5d}  "
+            f"{row.dag_parallelism:5.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Fig. 2: cumulative operation-type dominance curves.
+
+Each point on a workload's curve is the cumulative execution-time
+fraction contributed by its k heaviest operation types. The paper's
+finding: the distribution is strongly skewed — "a handful of heavy
+operation types (usually 5 to 15) are collectively responsible for
+upwards of 90% of the programs' duration" — but the heavy types differ
+across models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiling.profile import OperationProfile
+
+
+@dataclass(frozen=True)
+class DominanceCurve:
+    workload: str
+    curve: list[float]  # cumulative fractions, one per op type
+    op_types: list[str]  # op types sorted by descending weight
+
+    def types_for_coverage(self, coverage: float = 0.9) -> int:
+        for index, value in enumerate(self.curve):
+            if value >= coverage:
+                return index + 1
+        return len(self.curve)
+
+    @property
+    def num_types(self) -> int:
+        return len(self.curve)
+
+
+def dominance_curves(profiles: list[OperationProfile]) -> list[DominanceCurve]:
+    curves = []
+    for profile in profiles:
+        fractions = profile.fractions()
+        curves.append(DominanceCurve(
+            workload=profile.workload,
+            curve=profile.dominance_curve(),
+            op_types=list(fractions)))
+    return curves
+
+
+def render_dominance_table(curves: list[DominanceCurve],
+                           coverage: float = 0.9) -> str:
+    """Tabular summary of Fig. 2: op types needed for 90% coverage."""
+    width = max(len(c.workload) for c in curves)
+    lines = [f"{'workload':>{width}s}  total types  types for "
+             f"{coverage:.0%}  heaviest op"]
+    for curve in curves:
+        lines.append(
+            f"{curve.workload:>{width}s}  {curve.num_types:11d}  "
+            f"{curve.types_for_coverage(coverage):14d}  "
+            f"{curve.op_types[0]}")
+    return "\n".join(lines)

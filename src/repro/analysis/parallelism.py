@@ -1,0 +1,90 @@
+"""Fig. 6: the effect of intra-op parallelism on operation balance.
+
+The paper sweeps the TensorFlow/Eigen thread pool from 1 to 8 threads
+and plots the *absolute* time spent in each operation type for deepq
+(6a), seq2seq (6b), and memnet (6c). The application-level Amdahl's-law
+story: the heavy dense operations (convolution, matmul) scale strongly
+and shrink, so the small data-dependent operations — the optimizer, the
+loss function, memnet's skinny-tensor arithmetic — grow in relative
+importance and the profile flattens out.
+
+This reproduction sweeps the thread count of the analytic CPU device
+model over a single training trace (modeled time is a pure function of
+the per-op work estimates, so one trace serves every thread count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.framework.device_model import cpu
+from repro.profiling.profile import OperationProfile
+from repro.profiling.tracer import Tracer
+from repro.workloads.base import FathomModel
+
+DEFAULT_THREAD_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class ParallelismSweep:
+    """Per-op-type absolute seconds across thread counts for one workload."""
+
+    workload: str
+    thread_counts: list[int]
+    op_types: list[str]  # ordered by single-thread weight, descending
+    seconds: np.ndarray  # (op_types, thread_counts)
+
+    def series(self, op_type: str) -> list[float]:
+        return list(self.seconds[self.op_types.index(op_type)])
+
+    def total(self, threads: int) -> float:
+        column = self.thread_counts.index(threads)
+        return float(self.seconds[:, column].sum())
+
+    def speedup(self, threads: int) -> float:
+        return self.total(self.thread_counts[0]) / self.total(threads)
+
+    def fraction(self, op_type: str, threads: int) -> float:
+        column = self.thread_counts.index(threads)
+        return float(self.seconds[self.op_types.index(op_type), column]
+                     / self.seconds[:, column].sum())
+
+    def render(self, top_n: int = 8) -> str:
+        header = (f"{'op type':>28s}  "
+                  + "  ".join(f"{t:>2d} thr" for t in self.thread_counts))
+        lines = [f"Fig. 6 sweep for {self.workload} "
+                 "(seconds per step, modeled)", header]
+        for index, op_type in enumerate(self.op_types[:top_n]):
+            cells = "  ".join(f"{v * 1e3:5.1f}ms"
+                              for v in self.seconds[index])
+            lines.append(f"{op_type:>28s}  {cells}")
+        totals = "  ".join(f"{self.total(t) * 1e3:5.1f}ms"
+                           for t in self.thread_counts)
+        lines.append(f"{'TOTAL':>28s}  {totals}")
+        return "\n".join(lines)
+
+
+def sweep_threads(model: FathomModel, steps: int = 2,
+                  thread_counts=DEFAULT_THREAD_COUNTS,
+                  mode: str = "training") -> ParallelismSweep:
+    """Trace once, model every thread count."""
+    runner = (model.run_training if mode == "training"
+              else model.run_inference)
+    runner(1)  # warmup
+    tracer = Tracer()
+    runner(steps, tracer=tracer)
+    profiles = [OperationProfile.from_trace(tracer, model.name,
+                                            device=cpu(threads=t))
+                for t in thread_counts]
+    # Order op types by their single-thread time.
+    base = profiles[0]
+    op_types = sorted(base.seconds_by_type,
+                      key=lambda name: -base.seconds_by_type[name])
+    seconds = np.array(
+        [[p.seconds_by_type.get(name, 0.0) / p.num_steps for p in profiles]
+         for name in op_types])
+    return ParallelismSweep(workload=model.name,
+                            thread_counts=list(thread_counts),
+                            op_types=op_types, seconds=seconds)

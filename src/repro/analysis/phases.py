@@ -1,0 +1,96 @@
+"""Forward / backward / optimizer phase decomposition (Section V-D).
+
+The paper: "a rough symmetry exists between these two phases: most
+functions evaluated in the forward phase have an analogue in the
+backwards phase with similar performance characteristics", with the loss
+function the training-only exception, and convolution paying a *double*
+backward cost (filter + input gradients). This module splits a training
+trace into phases and quantifies the symmetry:
+
+* **forward** — ops that also appear in the inference subgraph;
+* **loss** — forward-pass ops beyond inference (the loss function and
+  its inputs, evaluated only when training);
+* **backward** — autodiff-generated gradient ops;
+* **optimizer** — the Apply* parameter updates and their slot plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.framework.device_model import DeviceModel, cpu
+from repro.framework.graph import OpClass
+from repro.profiling.tracer import Tracer
+from repro.workloads.base import FathomModel
+
+PHASES = ("forward", "loss", "backward", "optimizer")
+
+
+@dataclass(frozen=True)
+class PhaseSplit:
+    """Seconds per training step attributed to each phase."""
+
+    workload: str
+    seconds: dict[str, float]  # keyed by PHASES
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fraction(self, phase: str) -> float:
+        if self.total == 0.0:
+            return 0.0
+        return self.seconds[phase] / self.total
+
+    @property
+    def backward_forward_ratio(self) -> float:
+        forward = self.seconds["forward"]
+        if forward == 0.0:
+            return float("inf")
+        return self.seconds["backward"] / forward
+
+
+def split_phases(model: FathomModel, steps: int = 2,
+                 device: DeviceModel | None = None) -> PhaseSplit:
+    """Trace a training step and attribute op time to phases."""
+    device = device or cpu(1)
+    inference_ops = {id(op) for op in
+                     model.graph.subgraph([model.inference_output])}
+    # Ops needed for the loss value but not for inference: the loss
+    # function itself (labels plumbing, xent, reductions).
+    loss_ops = {id(op) for op in model.graph.subgraph([model.loss])
+                if id(op) not in inference_ops}
+
+    model.run_training(1)
+    tracer = Tracer()
+    model.run_training(steps, tracer=tracer)
+
+    seconds = {phase: 0.0 for phase in PHASES}
+    for record in tracer.compute_records():
+        elapsed = device.op_time(record.op.work()) / steps
+        if id(record.op) in inference_ops:
+            phase = "forward"
+        elif id(record.op) in loss_ops:
+            phase = "loss"
+        elif record.op_class is OpClass.OPTIMIZATION:
+            phase = "optimizer"
+        else:
+            phase = "backward"
+        seconds[phase] += elapsed
+    return PhaseSplit(workload=model.name, seconds=seconds)
+
+
+def render_phase_table(splits: list[PhaseSplit]) -> str:
+    width = max(len(s.workload) for s in splits)
+    lines = ["Training-step phase decomposition (modeled, seconds/step)",
+             (f"{'workload':>{width}s}  {'forward':>9s}  {'loss':>9s}  "
+              f"{'backward':>9s}  {'optimizer':>9s}  {'bwd/fwd':>7s}")]
+    for split in splits:
+        lines.append(
+            f"{split.workload:>{width}s}"
+            f"  {split.seconds['forward'] * 1e3:7.2f}ms"
+            f"  {split.seconds['loss'] * 1e3:7.2f}ms"
+            f"  {split.seconds['backward'] * 1e3:7.2f}ms"
+            f"  {split.seconds['optimizer'] * 1e3:7.2f}ms"
+            f"  {split.backward_forward_ratio:6.2f}x")
+    return "\n".join(lines)

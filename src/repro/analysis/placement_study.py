@@ -1,0 +1,99 @@
+"""The Section V-A placement experiment: CPU fall-back across the PCI bus.
+
+For each workload, simulate three executions of one training step:
+
+* ``cpu``  — everything on the (single-thread) CPU;
+* ``gpu``  — everything on the GPU (the counterfactual TF v0.8 couldn't
+  deliver for ops without GPU kernels);
+* ``fallback`` — TF v0.8's actual behaviour: GPU except the op types
+  without GPU kernels, with every cross-device tensor paying a PCIe
+  transfer.
+
+The paper's claim is that the fall-back mode "causes crippling
+performance problems"; the study quantifies the slowdown and the
+transfer volume responsible for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.framework.placement import (DEFAULT_CPU_ONLY_TYPES,
+                                       TransferModel, default_devices,
+                                       gpu_with_cpu_fallback, place_all,
+                                       simulate_schedule)
+from repro.workloads.base import FathomModel
+
+
+@dataclass(frozen=True)
+class PlacementPoint:
+    """Makespans (seconds/step) for one workload's three placements."""
+
+    workload: str
+    cpu_seconds: float
+    gpu_seconds: float
+    fallback_seconds: float
+    fallback_cpu_ops: int
+    transfer_mb: float
+
+    @property
+    def fallback_penalty(self) -> float:
+        """Fallback time relative to pure GPU (>= 1; 1 if no CPU ops)."""
+        return self.fallback_seconds / self.gpu_seconds
+
+    @property
+    def fallback_vs_cpu(self) -> float:
+        """Fallback time relative to pure CPU (< 1 still beats the CPU)."""
+        return self.fallback_seconds / self.cpu_seconds
+
+
+def study_workload(model: FathomModel,
+                   transfer: TransferModel | None = None) -> PlacementPoint:
+    """Simulate the three placements over one training-step subgraph."""
+    ops = model.graph.subgraph([model.loss, model.train_step])
+    devices = default_devices()
+    cpu_result = simulate_schedule(ops, place_all("cpu"), devices, transfer)
+    gpu_result = simulate_schedule(ops, place_all("gpu"), devices, transfer)
+    fallback = simulate_schedule(ops, gpu_with_cpu_fallback(), devices,
+                                 transfer)
+    return PlacementPoint(
+        workload=model.name,
+        cpu_seconds=cpu_result.makespan,
+        gpu_seconds=gpu_result.makespan,
+        fallback_seconds=fallback.makespan,
+        fallback_cpu_ops=fallback.ops_per_device.get("cpu", 0),
+        transfer_mb=fallback.transfer_bytes / 1e6)
+
+
+def latency_sweep(model: FathomModel,
+                  latencies=(10e-6, 100e-6, 1e-3)) -> dict[float, PlacementPoint]:
+    """The fall-back penalty as a function of boundary-crossing cost.
+
+    The paper's testbed paid substantial synchronization cost per
+    CPU<->GPU handoff; sweeping the modeled latency shows which workloads
+    are immune (no fall-back ops on the critical path) and which are
+    crippled — the point where fall-back execution drops below pure-CPU
+    speed is where "we opt for running most experiments on a CPU" becomes
+    the right call.
+    """
+    return {latency: study_workload(model,
+                                    TransferModel(latency=latency))
+            for latency in latencies}
+
+
+def render_placement_table(points: list[PlacementPoint]) -> str:
+    width = max(len(p.workload) for p in points)
+    lines = ["Section V-A: GPU execution with CPU fall-back ops "
+             "(simulated, one training step)",
+             (f"{'workload':>{width}s}  {'cpu':>9s}  {'gpu':>9s}  "
+              f"{'fallback':>9s}  {'penalty':>8s}  {'cpu ops':>7s}  "
+              f"{'PCIe MB':>8s}")]
+    for point in points:
+        lines.append(
+            f"{point.workload:>{width}s}  {point.cpu_seconds * 1e3:7.1f}ms"
+            f"  {point.gpu_seconds * 1e3:7.1f}ms"
+            f"  {point.fallback_seconds * 1e3:7.1f}ms"
+            f"  {point.fallback_penalty:7.1f}x"
+            f"  {point.fallback_cpu_ops:7d}"
+            f"  {point.transfer_mb:8.2f}")
+    return "\n".join(lines)

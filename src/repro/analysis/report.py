@@ -1,0 +1,135 @@
+"""One-call characterization report.
+
+Bundles every analysis in Section V — plus the two tables — into a single
+markdown document, the way the paper's Section V reads. Used by
+``examples/full_report.py`` and handy for regression-diffing the whole
+reproduction after framework changes.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.framework.device_model import cpu
+
+from . import suite
+from .accelerator import PRESETS, render_what_if, what_if
+from .ascii_charts import grouped_bar_chart, step_curves
+from .scaling import render_scaling, scaling_curve
+from .breakdown import breakdown_matrix
+from .census import census, render_census
+from .dominance import dominance_curves, render_dominance_table
+from .phases import render_phase_table, split_phases
+from .placement_study import render_placement_table, study_workload
+from .roofline import render_roofline, roofline
+from .similarity import cluster_profiles
+from .survey import coverage_gaps, krizhevsky_share, render_table1
+from .train_vs_infer import render_figure5
+from .workload_table import render_table2
+
+
+def render_dendrogram_text(dendrogram) -> str:
+    count = len(dendrogram.labels)
+
+    def name(index: int) -> str:
+        if index < count:
+            return dendrogram.labels[index]
+        members = dendrogram.cluster_members(index)
+        return "(" + " ".join(dendrogram.labels[i] for i in members) + ")"
+
+    lines = [f"d={merge.distance:5.3f}  {name(merge.left)} + "
+             f"{name(merge.right)}" for merge in dendrogram.merges]
+    order = " | ".join(dendrogram.labels[i]
+                       for i in dendrogram.leaf_order())
+    lines.append(f"leaf order: {order}")
+    return "\n".join(lines)
+
+
+def full_report(config: str = "default", steps: int = 2,
+                include_parallelism: bool = True) -> str:
+    """Generate the complete characterization as markdown text."""
+    out = io.StringIO()
+    device = cpu(1)
+
+    out.write("# Fathom characterization report\n\n")
+    out.write(f"Configuration: `{config}`, {steps} traced training steps, "
+              "modeled single-thread CPU.\n\n")
+
+    out.write("## Table I: architecture-research survey\n\n```\n")
+    out.write(render_table1())
+    out.write("\n```\n")
+    out.write(f"\nKrizhevsky-CNN share: {krizhevsky_share():.0%}; "
+              f"uncovered tasks: {', '.join(coverage_gaps())}.\n\n")
+
+    out.write("## Table II: the Fathom workloads\n\n```\n")
+    out.write(render_table2())
+    out.write("\n```\n\n")
+
+    profiles = suite.profile_suite(config=config, steps=steps, device=device)
+
+    out.write("## Fig. 2: operation-type dominance\n\n```\n")
+    curves = dominance_curves(profiles)
+    out.write(render_dominance_table(curves))
+    out.write("\n\n")
+    out.write(step_curves({c.workload: c.curve for c in curves},
+                          height=12, width=56))
+    out.write("\n```\n\n")
+
+    out.write("## Fig. 3: breakdown by operation class\n\n```\n")
+    out.write(breakdown_matrix(profiles).render())
+    out.write("\n```\n\n")
+
+    out.write("## Fig. 4: performance similarity\n\n```\n")
+    out.write(render_dendrogram_text(cluster_profiles(profiles)))
+    out.write("\n```\n\n")
+
+    out.write("## Fig. 5: training vs inference, CPU vs GPU\n\n```\n")
+    points = suite.suite_train_vs_infer(config=config, steps=steps)
+    out.write(render_figure5(points))
+    out.write("\n\n")
+    out.write(grouped_bar_chart(
+        {p.workload: p.normalized() for p in points}, width=32))
+    out.write("\n```\n\n")
+
+    if include_parallelism:
+        out.write("## Fig. 6: intra-op parallelism sweeps\n\n")
+        for sweep in suite.suite_parallelism(config=config,
+                                             steps=steps).values():
+            out.write("```\n")
+            out.write(sweep.render())
+            out.write(f"\noverall speedup at 8 threads: "
+                      f"{sweep.speedup(8):.2f}x\n```\n\n")
+
+    models = [suite.get_model(name, config)
+              for name in suite.WORKLOAD_NAMES]
+
+    out.write("## Section V-A: GPU execution with CPU fall-back\n\n```\n")
+    out.write(render_placement_table([study_workload(m) for m in models]))
+    out.write("\n```\n\n")
+
+    out.write("## Training-phase decomposition\n\n```\n")
+    out.write(render_phase_table([split_phases(m, steps=steps)
+                                  for m in models]))
+    out.write("\n```\n\n")
+
+    out.write("## Roofline classification\n\n```\n")
+    out.write(render_roofline([roofline(m, steps=steps) for m in models]))
+    out.write("\n```\n\n")
+
+    out.write("## Static operation census\n\n```\n")
+    out.write(render_census([census(m) for m in models]))
+    out.write("\n```\n\n")
+
+    out.write("## What-if accelerators (the Section V-E lesson)\n\n")
+    for preset, classes in PRESETS.items():
+        out.write("```\n")
+        out.write(render_what_if([what_if(m, classes, steps=steps)
+                                  for m in models], preset))
+        out.write("\n```\n\n")
+
+    out.write("## Data-parallel scaling\n\n```\n")
+    out.write(render_scaling([scaling_curve(m, steps=steps)
+                              for m in models]))
+    out.write("\n```\n")
+
+    return out.getvalue()

@@ -1,0 +1,118 @@
+"""Data-parallel training scaling: compute vs gradient communication.
+
+TensorFlow is "the dataflow-based second generation of Google's
+DistBelief system" — a *distributed* training system — and the era's
+defining scaling question (Krizhevsky's "one weird trick", Dean et al.'s
+parameter servers) was how a model's compute-to-parameter ratio limits
+data-parallel speedup: every step, each of K replicas computes on its
+shard, then the gradients (one float per parameter) cross the network in
+an all-reduce.
+
+This analysis prices both sides per workload: modeled single-replica
+step compute (from a trace) and ring-all-reduce communication
+``2 * (K-1)/K * parameter_bytes / bandwidth``, yielding speedup and
+efficiency curves. The shape to expect: convolutional trunks (huge
+FLOPs, few parameters) scale; embedding/dense-heavy models (few FLOPs
+per parameter) are communication-bound almost immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.framework.device_model import DeviceModel, cpu
+from repro.profiling.profile import OperationProfile
+from repro.profiling.tracer import Tracer
+from repro.workloads.base import FathomModel
+
+DEFAULT_WORKER_COUNTS = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class ClusterModel:
+    """A homogeneous cluster: per-worker device + interconnect."""
+
+    bandwidth: float = 1.25e9   # 10 GbE in bytes/s, the 2016 commodity link
+    latency: float = 50e-6      # per all-reduce round
+
+    def allreduce_seconds(self, parameter_bytes: float,
+                          workers: int) -> float:
+        """Ring all-reduce cost for one gradient exchange."""
+        if workers <= 1:
+            return 0.0
+        volume = 2.0 * (workers - 1) / workers * parameter_bytes
+        return self.latency * 2 * (workers - 1) + volume / self.bandwidth
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """Data-parallel behaviour of one workload."""
+
+    workload: str
+    compute_seconds: float       # one replica's step compute
+    parameter_bytes: float
+    worker_counts: list[int]
+    step_seconds: list[float]    # per global step, per worker count
+
+    def speedup(self, workers: int) -> float:
+        index = self.worker_counts.index(workers)
+        return self.step_seconds[0] / self.step_seconds[index] * \
+            (workers / self.worker_counts[0])
+
+    def efficiency(self, workers: int) -> float:
+        return self.speedup(workers) / workers
+
+    @property
+    def compute_comm_ratio(self) -> float:
+        """Compute seconds per second of 8-worker communication."""
+        comm = ClusterModel().allreduce_seconds(self.parameter_bytes, 8)
+        if comm == 0.0:
+            return float("inf")
+        return self.compute_seconds / comm
+
+
+def scaling_curve(model: FathomModel, steps: int = 2,
+                  device: DeviceModel | None = None,
+                  cluster: ClusterModel | None = None,
+                  worker_counts=DEFAULT_WORKER_COUNTS) -> ScalingCurve:
+    """Weak-scaling curve: fixed per-replica batch, K replicas.
+
+    Per-step wall time = per-replica compute (unchanged: each replica
+    keeps the single-replica batch) + all-reduce of the gradients.
+    Speedup is in examples/second.
+    """
+    device = device or cpu(1)
+    cluster = cluster or ClusterModel()
+    model.run_training(1)
+    tracer = Tracer()
+    model.run_training(steps, tracer=tracer)
+    compute = OperationProfile.from_trace(tracer, model.name,
+                                          device=device).seconds_per_step()
+    parameter_bytes = model.num_parameters() * 4.0
+    times = []
+    for workers in worker_counts:
+        times.append(compute
+                     + cluster.allreduce_seconds(parameter_bytes, workers))
+    return ScalingCurve(workload=model.name, compute_seconds=compute,
+                        parameter_bytes=parameter_bytes,
+                        worker_counts=list(worker_counts),
+                        step_seconds=times)
+
+
+def render_scaling(curves: list[ScalingCurve]) -> str:
+    width = max(len(c.workload) for c in curves)
+    counts = curves[0].worker_counts
+    header = (f"{'workload':>{width}s}  {'params':>8s}  {'compute':>8s}  "
+              + "  ".join(f"eff@{k:<2d}" for k in counts[1:])
+              + "  comp/comm")
+    lines = ["Data-parallel weak scaling (modeled; 10 GbE ring all-reduce)",
+             header]
+    for curve in curves:
+        efficiencies = "  ".join(f"{curve.efficiency(k):5.0%}"
+                                 for k in curve.worker_counts[1:])
+        lines.append(
+            f"{curve.workload:>{width}s}  "
+            f"{curve.parameter_bytes / 4e6:6.2f}M  "
+            f"{curve.compute_seconds * 1e3:6.1f}ms  {efficiencies}  "
+            f"{curve.compute_comm_ratio:8.2f}")
+    return "\n".join(lines)

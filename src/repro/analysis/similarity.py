@@ -1,0 +1,136 @@
+"""Performance similarity between workloads (the paper's Fig. 4).
+
+The method is exactly Section V-C's: each workload's operation-type
+profile is a vector in high-dimensional space; pairwise similarity is
+cosine similarity, inverted into the distance ``1 - cos(A, B)``; and
+agglomerative clustering with *centroidal linkage* — greedily merge the
+two closest vectors, replace them with their centroid, repeat — yields a
+hierarchical dendrogram.
+
+The clustering is implemented from first principles (it is the paper's
+method, not an import); the test suite cross-checks it against
+``scipy.cluster.hierarchy``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.profiling.profile import OperationProfile, shared_basis
+
+
+def cosine_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """``1 - (A.B)/(|A||B|)``, the paper's distance metric."""
+    norm = np.linalg.norm(a) * np.linalg.norm(b)
+    if norm == 0.0:
+        return 1.0
+    return float(1.0 - np.dot(a, b) / norm)
+
+
+def distance_matrix(vectors: np.ndarray) -> np.ndarray:
+    """Symmetric pairwise cosine-distance matrix."""
+    count = vectors.shape[0]
+    distances = np.zeros((count, count))
+    for i in range(count):
+        for j in range(i + 1, count):
+            distances[i, j] = distances[j, i] = cosine_distance(
+                vectors[i], vectors[j])
+    return distances
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration step.
+
+    ``left``/``right`` index either original items (< n) or previously
+    created clusters (>= n, in creation order), scipy-linkage style.
+    """
+
+    left: int
+    right: int
+    distance: float
+    size: int
+
+
+@dataclass(frozen=True)
+class Dendrogram:
+    """A full agglomerative clustering of named profile vectors."""
+
+    labels: list[str]
+    merges: list[Merge]
+
+    def merge_heights(self) -> list[float]:
+        return [m.distance for m in self.merges]
+
+    def cluster_members(self, cluster_index: int) -> list[int]:
+        """Original item indices inside cluster ``cluster_index``.
+
+        Indices < n refer to single items; >= n to merges.
+        """
+        count = len(self.labels)
+        if cluster_index < count:
+            return [cluster_index]
+        merge = self.merges[cluster_index - count]
+        return (self.cluster_members(merge.left)
+                + self.cluster_members(merge.right))
+
+    def leaf_order(self) -> list[int]:
+        """Display order of the leaves (left-to-right dendrogram walk)."""
+        if not self.merges:
+            return list(range(len(self.labels)))
+        return self.cluster_members(len(self.labels) + len(self.merges) - 1)
+
+    def cophenetic_distance(self, i: int, j: int) -> float:
+        """Height of the first merge joining items ``i`` and ``j``."""
+        count = len(self.labels)
+        for merge_index, merge in enumerate(self.merges):
+            members = set(self.cluster_members(count + merge_index))
+            if i in members and j in members:
+                return merge.distance
+        raise ValueError(f"items {i} and {j} are never merged")
+
+
+def agglomerate(vectors: np.ndarray, labels: list[str]) -> Dendrogram:
+    """Centroid-linkage agglomerative clustering of row vectors."""
+    count = vectors.shape[0]
+    if count != len(labels):
+        raise ValueError("one label per vector required")
+    # Active clusters: id -> (centroid, member count). Ids < count are
+    # leaves; merged clusters get ids count, count+1, ...
+    active: dict[int, tuple[np.ndarray, int]] = {
+        i: (vectors[i].astype(np.float64), 1) for i in range(count)}
+    merges: list[Merge] = []
+    next_id = count
+    while len(active) > 1:
+        ids = sorted(active)
+        best: tuple[float, int, int] | None = None
+        for pos, left in enumerate(ids):
+            for right in ids[pos + 1:]:
+                dist = cosine_distance(active[left][0], active[right][0])
+                if best is None or dist < best[0]:
+                    best = (dist, left, right)
+        dist, left, right = best
+        centroid_left, size_left = active.pop(left)
+        centroid_right, size_right = active.pop(right)
+        size = size_left + size_right
+        centroid = (centroid_left * size_left
+                    + centroid_right * size_right) / size
+        merges.append(Merge(left=left, right=right, distance=dist, size=size))
+        active[next_id] = (centroid, size)
+        next_id += 1
+    return Dendrogram(labels=labels, merges=merges)
+
+
+def cluster_profiles(profiles: list[OperationProfile]) -> Dendrogram:
+    """Fig. 4: hierarchical similarity of workload operation profiles."""
+    basis = shared_basis(profiles)
+    vectors = np.stack([p.vector(basis) for p in profiles])
+    return agglomerate(vectors, [p.workload for p in profiles])
+
+
+def profile_distance(a: OperationProfile, b: OperationProfile) -> float:
+    """Pairwise cosine distance between two profiles."""
+    basis = shared_basis([a, b])
+    return cosine_distance(a.vector(basis), b.vector(basis))

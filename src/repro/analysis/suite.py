@@ -1,0 +1,73 @@
+"""Run analyses across the whole Fathom suite.
+
+Convenience entry points used by the benchmarks and examples: build all
+eight workloads at one configuration, trace them, and hand back profiles
+or figure-ready structures. Workload instances are cached per
+``(name, config, seed)`` within a process because graph construction is
+pure and sessions are cheap to keep around.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.framework.device_model import DeviceModel
+from repro.profiling.profile import OperationProfile
+from repro.workloads import WORKLOAD_NAMES, create
+from repro.workloads.base import FathomModel
+
+from .breakdown import BreakdownMatrix, breakdown_matrix
+from .dominance import DominanceCurve, dominance_curves
+from .parallelism import ParallelismSweep, sweep_threads
+from .similarity import Dendrogram, cluster_profiles
+from .train_vs_infer import TrainInferencePoint, measure_workload
+
+
+@lru_cache(maxsize=None)
+def get_model(name: str, config: str = "default", seed: int = 0) -> FathomModel:
+    """Cached workload instance (construction is deterministic)."""
+    return create(name, config=config, seed=seed)
+
+
+def profile_suite(config: str = "default", mode: str = "training",
+                  steps: int = 2, device: DeviceModel | None = None,
+                  names: list[str] | None = None,
+                  seed: int = 0) -> list[OperationProfile]:
+    """Operation profiles for every workload (Fig. 2/3/4 input)."""
+    names = names or WORKLOAD_NAMES
+    return [get_model(name, config, seed).profile(mode=mode, steps=steps,
+                                                  device=device)
+            for name in names]
+
+
+def suite_dominance(config: str = "default", steps: int = 2,
+                    device: DeviceModel | None = None) -> list[DominanceCurve]:
+    """Fig. 2 for the whole suite."""
+    return dominance_curves(profile_suite(config, steps=steps, device=device))
+
+
+def suite_breakdown(config: str = "default", steps: int = 2,
+                    device: DeviceModel | None = None) -> BreakdownMatrix:
+    """Fig. 3 for the whole suite."""
+    return breakdown_matrix(profile_suite(config, steps=steps, device=device))
+
+
+def suite_similarity(config: str = "default", steps: int = 2,
+                     device: DeviceModel | None = None) -> Dendrogram:
+    """Fig. 4 for the whole suite."""
+    return cluster_profiles(profile_suite(config, steps=steps, device=device))
+
+
+def suite_train_vs_infer(config: str = "default",
+                         steps: int = 2) -> list[TrainInferencePoint]:
+    """Fig. 5 for the whole suite."""
+    return [measure_workload(get_model(name, config), steps=steps)
+            for name in WORKLOAD_NAMES]
+
+
+def suite_parallelism(names=("deepq", "seq2seq", "memnet"),
+                      config: str = "default",
+                      steps: int = 2) -> dict[str, ParallelismSweep]:
+    """Fig. 6a/b/c sweeps (deepq, seq2seq, memnet by default)."""
+    return {name: sweep_threads(get_model(name, config), steps=steps)
+            for name in names}

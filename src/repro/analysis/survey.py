@@ -1,0 +1,144 @@
+"""Table I: the survey of deep learning in recent architecture research.
+
+The paper motivates Fathom by surveying 16 papers from top-tier
+architecture venues (ISCA, MICRO, ASPLOS, ISSCC, IISWC, FPGA, 2010-2016)
+and showing how narrow their workload coverage is: nearly half evaluate
+the same Krizhevsky CNN, recurrent networks appear only twice, and no
+paper touches unsupervised or reinforcement learning.
+
+The per-paper feature rows below are reconstructed from the cited papers
+themselves; the layer-depth row and all aggregate claims (the numbers the
+paper's prose actually uses) match Table I exactly, and the regeneration
+benchmark asserts them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SurveyEntry:
+    """One column of Table I."""
+
+    ref: str
+    name: str
+    fully_connected: bool = False
+    convolutional: bool = False
+    recurrent: bool = False
+    max_depth: int = 0
+    inference: bool = False
+    supervised: bool = False
+    unsupervised: bool = False
+    reinforcement: bool = False
+    vision: bool = False
+    speech: bool = False
+    language_modeling: bool = False
+    function_approximation: bool = False
+    uses_krizhevsky_cnn: bool = False
+
+
+SURVEY: list[SurveyEntry] = [
+    SurveyEntry("[8]", "Chakradhar et al. (ISCA'10)", convolutional=True,
+                max_depth=4, inference=True, vision=True),
+    SurveyEntry("[9]", "BenchNN (IISWC'12)", fully_connected=True,
+                max_depth=4, inference=True, supervised=True,
+                function_approximation=True),
+    SurveyEntry("[10]", "DianNao (ASPLOS'14)", fully_connected=True,
+                convolutional=True, max_depth=3, inference=True,
+                vision=True, uses_krizhevsky_cnn=True),
+    SurveyEntry("[11]", "DaDianNao (MICRO'14)", fully_connected=True,
+                convolutional=True, max_depth=3, inference=True,
+                supervised=True, vision=True, uses_krizhevsky_cnn=True),
+    SurveyEntry("[12]", "Eyeriss (ISSCC'16)", convolutional=True,
+                max_depth=5, inference=True, vision=True,
+                uses_krizhevsky_cnn=True),
+    SurveyEntry("[14]", "PRIME (ISCA'16)", fully_connected=True,
+                convolutional=True, max_depth=16, inference=True,
+                vision=True, uses_krizhevsky_cnn=True),
+    SurveyEntry("[21]", "ShiDianNao (ISCA'15)", convolutional=True,
+                max_depth=7, inference=True, vision=True),
+    SurveyEntry("[24]", "EIE (ISCA'16)", fully_connected=True,
+                recurrent=True, max_depth=3, inference=True, vision=True,
+                language_modeling=True, uses_krizhevsky_cnn=True),
+    SurveyEntry("[26]", "DjiNN and Tonic (ISCA'15)", fully_connected=True,
+                convolutional=True, max_depth=13, inference=True,
+                supervised=True, vision=True, speech=True,
+                language_modeling=True),
+    SurveyEntry("[35]", "PuDianNao (ASPLOS'15)", fully_connected=True,
+                max_depth=6, inference=True, supervised=True,
+                language_modeling=True, function_approximation=True),
+    SurveyEntry("[38]", "Ovtcharov et al. (MSR'15)", fully_connected=True,
+                convolutional=True, max_depth=9, inference=True,
+                vision=True),
+    SurveyEntry("[39]", "Minerva (ISCA'16)", fully_connected=True,
+                max_depth=4, inference=True, supervised=True, vision=True),
+    SurveyEntry("[40]", "ISAAC (ISCA'16)", fully_connected=True,
+                convolutional=True, max_depth=26, inference=True,
+                vision=True, uses_krizhevsky_cnn=True),
+    SurveyEntry("[44]", "CortexSuite (IISWC'14)", fully_connected=True,
+                recurrent=True, max_depth=2, inference=True,
+                supervised=True, vision=True, speech=True,
+                language_modeling=True),
+    SurveyEntry("[47]", "Yazdanbakhsh et al. (MICRO'15)",
+                fully_connected=True, max_depth=5, inference=True,
+                supervised=True, function_approximation=True),
+    SurveyEntry("[49]", "Zhang et al. (FPGA'15)", convolutional=True,
+                max_depth=5, inference=True, vision=True,
+                uses_krizhevsky_cnn=True),
+]
+
+FATHOM_ENTRY = SurveyEntry(
+    "Fathom", "Fathom (this work)", fully_connected=True,
+    convolutional=True, recurrent=True, max_depth=34, inference=True,
+    supervised=True, unsupervised=True, reinforcement=True, vision=True,
+    speech=True, language_modeling=True)
+
+_FEATURE_ROWS = [
+    ("Fully-connected", "fully_connected"),
+    ("Convolutional", "convolutional"),
+    ("Recurrent", "recurrent"),
+    ("Inference", "inference"),
+    ("Supervised", "supervised"),
+    ("Unsupervised", "unsupervised"),
+    ("Reinforcement", "reinforcement"),
+    ("Vision", "vision"),
+    ("Speech", "speech"),
+    ("Language Modeling", "language_modeling"),
+    ("Function Approximation", "function_approximation"),
+]
+
+
+def feature_counts(include_fathom: bool = True) -> dict[str, int]:
+    """How many survey columns mark each feature."""
+    entries = SURVEY + ([FATHOM_ENTRY] if include_fathom else [])
+    return {label: sum(getattr(e, attr) for e in entries)
+            for label, attr in _FEATURE_ROWS}
+
+
+def coverage_gaps() -> list[str]:
+    """Features no surveyed paper (excluding Fathom) covers."""
+    counts = feature_counts(include_fathom=False)
+    return [label for label, count in counts.items() if count == 0]
+
+
+def krizhevsky_share() -> float:
+    """Fraction of surveyed papers evaluating the Krizhevsky CNN."""
+    return sum(e.uses_krizhevsky_cnn for e in SURVEY) / len(SURVEY)
+
+
+def render_table1() -> str:
+    """ASCII rendering of Table I."""
+    entries = SURVEY + [FATHOM_ENTRY]
+    label_width = max(len(label) for label, _ in _FEATURE_ROWS) + 2
+    header = (" " * label_width
+              + " ".join(f"{e.ref:>6s}" for e in entries))
+    lines = ["Table I: Recent Architecture Research in Deep Learning",
+             header]
+    for label, attr in _FEATURE_ROWS:
+        marks = " ".join(f"{'x' if getattr(e, attr) else '':>6s}"
+                         for e in entries)
+        lines.append(f"{label:<{label_width}s}{marks}")
+    depths = " ".join(f"{e.max_depth:>6d}" for e in entries)
+    lines.append(f"{'Layer Depth (Maximum)':<{label_width}s}{depths}")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Fig. 5: training vs. inference performance on CPU and GPU.
+
+For each workload the paper reports four bars — training and inference
+on a CPU and on a GPU — normalized to the workload's *training time on
+the CPU* (the slowest configuration). The expected shape: training is
+always slower than inference, variably so (convolutional networks pay a
+higher training premium because the convolutional partial gradient needs
+two backward reductions); the GPU is substantially faster across the
+board; and the train/infer gap on GPU correlates with the gap on CPU.
+
+Device times come from the analytic device models applied to traced
+operation work estimates (see DESIGN.md for the hardware substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.framework.device_model import (CPUDeviceModel, GPUDeviceModel,
+                                          cpu, gpu)
+from repro.profiling.profile import OperationProfile
+from repro.profiling.tracer import Tracer
+from repro.workloads.base import FathomModel
+
+
+@dataclass(frozen=True)
+class TrainInferencePoint:
+    """Fig. 5's four bars for one workload, in seconds per step."""
+
+    workload: str
+    training_cpu: float
+    inference_cpu: float
+    training_gpu: float
+    inference_gpu: float
+
+    def normalized(self) -> dict[str, float]:
+        """Each configuration relative to CPU training (the 1.0 bar)."""
+        base = self.training_cpu
+        return {"training_cpu": 1.0,
+                "inference_cpu": self.inference_cpu / base,
+                "training_gpu": self.training_gpu / base,
+                "inference_gpu": self.inference_gpu / base}
+
+    @property
+    def cpu_train_infer_ratio(self) -> float:
+        return self.training_cpu / self.inference_cpu
+
+    @property
+    def gpu_train_infer_ratio(self) -> float:
+        return self.training_gpu / self.inference_gpu
+
+    @property
+    def gpu_speedup_training(self) -> float:
+        return self.training_cpu / self.training_gpu
+
+
+def _modeled_seconds_per_step(model: FathomModel, mode: str, steps: int,
+                              device) -> float:
+    profile = model.profile(mode=mode, steps=steps, device=device)
+    return profile.seconds_per_step()
+
+
+def measure_workload(model: FathomModel, steps: int = 2,
+                     cpu_model: CPUDeviceModel | None = None,
+                     gpu_model: GPUDeviceModel | None = None) -> TrainInferencePoint:
+    """Trace one workload in both modes and model both devices.
+
+    A single trace per mode is reused for both devices (device models are
+    pure functions of the op work estimates).
+    """
+    cpu_model = cpu_model or cpu(threads=1)
+    gpu_model = gpu_model or gpu()
+    times = {}
+    for mode in ("training", "inference"):
+        runner = (model.run_training if mode == "training"
+                  else model.run_inference)
+        runner(1)  # warmup (variable init, allocator effects)
+        tracer = Tracer()
+        runner(steps, tracer=tracer)
+        for device in (cpu_model, gpu_model):
+            profile = OperationProfile.from_trace(tracer, model.name,
+                                                  device=device)
+            times[(mode, device.name)] = profile.seconds_per_step()
+    return TrainInferencePoint(
+        workload=model.name,
+        training_cpu=times[("training", cpu_model.name)],
+        inference_cpu=times[("inference", cpu_model.name)],
+        training_gpu=times[("training", gpu_model.name)],
+        inference_gpu=times[("inference", gpu_model.name)])
+
+
+def render_figure5(points: list[TrainInferencePoint]) -> str:
+    """Textual Fig. 5: normalized execution times per workload."""
+    width = max(len(p.workload) for p in points)
+    header = (f"{'workload':>{width}s}  {'train cpu':>10s}  "
+              f"{'infer cpu':>10s}  {'train gpu':>10s}  {'infer gpu':>10s}  "
+              f"{'gpu speedup':>11s}")
+    lines = ["Normalized execution time (1.0 = training on CPU)", header]
+    for point in points:
+        norm = point.normalized()
+        lines.append(
+            f"{point.workload:>{width}s}  {norm['training_cpu']:10.3f}  "
+            f"{norm['inference_cpu']:10.3f}  {norm['training_gpu']:10.4f}  "
+            f"{norm['inference_gpu']:10.4f}  "
+            f"{point.gpu_speedup_training:10.1f}x")
+    return "\n".join(lines)

@@ -1,0 +1,419 @@
+"""Command-line interface to the Fathom reproduction.
+
+Every capability of the standard model interface is reachable from the
+shell::
+
+    python -m repro list
+    python -m repro run alexnet --config tiny --steps 5
+    python -m repro profile speech --device cpu1 --classes
+    python -m repro sweep deepq --threads 1 2 4 8
+    python -m repro tables
+    python -m repro figures
+    python -m repro graph memnet --stats
+    python -m repro timeline autoenc --output trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _parse_device(text: str):
+    from repro.framework.device_model import cpu, gpu
+    if text == "measured":
+        return None
+    if text == "gpu":
+        return gpu()
+    if text.startswith("cpu"):
+        return cpu(int(text[3:] or "1"))
+    raise argparse.ArgumentTypeError(
+        f"device must be 'measured', 'gpu', or 'cpuN', got {text!r}")
+
+
+def cmd_list(args) -> int:
+    from repro.workloads import WORKLOADS
+    print(f"{'name':<10s} {'year':<5s} {'style':<22s} {'layers':<7s} "
+          f"{'task':<14s} dataset")
+    for name, cls in WORKLOADS.items():
+        meta = cls.metadata
+        print(f"{name:<10s} {meta.year:<5d} {meta.neuronal_style:<22s} "
+              f"{meta.layers:<7d} {meta.learning_task:<14s} {meta.dataset}")
+    return 0
+
+
+def _build(args):
+    from repro.workloads import create
+    model = create(args.workload, config=args.config, seed=args.seed)
+    print(f"{model!r}", file=sys.stderr)
+    return model
+
+
+def cmd_run(args) -> int:
+    model = _build(args)
+    if args.mode == "train":
+        losses = model.run_training(steps=args.steps)
+        for step, loss in enumerate(losses, start=1):
+            print(f"step {step:3d}  loss {loss:.6f}")
+    else:
+        output = model.run_inference(steps=args.steps)
+        print(f"inference output shape {output.shape}, "
+              f"mean {float(np.mean(output)):.6f}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    model = _build(args)
+    profile = model.profile(mode=args.mode.replace("train", "training")
+                            .replace("infer", "inference"),
+                            steps=args.steps, device=args.device)
+    print(f"seconds per step: {profile.seconds_per_step():.6f} "
+          f"({'modeled' if args.device else 'measured'})")
+    if args.classes:
+        for letter, fraction in profile.class_breakdown().items():
+            from repro.profiling.taxonomy import GROUP_NAMES
+            print(f"  {letter} {GROUP_NAMES[letter]:<24s} {fraction:7.2%}")
+    else:
+        for op_type, fraction in profile.top_types(args.top):
+            print(f"  {op_type:<28s} {fraction:7.2%}")
+    print(f"{profile.types_for_coverage(0.9)} op types cover 90% of time")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.analysis.parallelism import sweep_threads
+    model = _build(args)
+    sweep = sweep_threads(model, steps=args.steps,
+                          thread_counts=tuple(args.threads))
+    print(sweep.render(top_n=args.top))
+    print(f"overall speedup at {args.threads[-1]} threads: "
+          f"{sweep.speedup(args.threads[-1]):.2f}x")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    model = _build(args)
+    if args.train_steps:
+        print(f"training for {args.train_steps} steps...", file=sys.stderr)
+        model.run_training(steps=args.train_steps)
+    metrics = model.evaluate(batches=args.batches)
+    for name, value in metrics.items():
+        print(f"{name:<24s} {value:.4f}")
+    return 0
+
+
+def cmd_placement(args) -> int:
+    from repro.analysis.placement_study import (latency_sweep,
+                                                render_placement_table,
+                                                study_workload)
+    model = _build(args)
+    print(render_placement_table([study_workload(model)]))
+    sweep = latency_sweep(model)
+    print("\nfall-back penalty vs boundary-sync cost:")
+    for latency, point in sweep.items():
+        print(f"  {latency * 1e6:5.0f}us  {point.fallback_penalty:5.2f}x "
+              f"vs gpu, {point.fallback_vs_cpu:5.2f}x vs cpu")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.profiling.comparison import compare_profiles
+    base = _build(args)
+    base_profile = base.profile(mode="training", steps=args.steps,
+                                device=args.device)
+    from repro.workloads import create
+    other = create(args.other, config=args.config, seed=args.seed)
+    other_profile = other.profile(mode="training", steps=args.steps,
+                                  device=args.device)
+    print(compare_profiles(base_profile, other_profile).render())
+    return 0
+
+
+def cmd_whatif(args) -> int:
+    from repro.analysis.accelerator import PRESETS, render_what_if, what_if
+    model = _build(args)
+    classes = PRESETS[args.preset]
+    result = what_if(model, classes, factors=tuple(args.factors),
+                     steps=args.steps)
+    print(render_what_if([result], args.preset))
+    return 0
+
+
+def cmd_memory(args) -> int:
+    from repro.framework.graph_export import static_peak_bytes
+    model = _build(args)
+    train_peak = static_peak_bytes(model.graph,
+                                   fetches=[model.loss, model.train_step])
+    infer_peak = static_peak_bytes(model.graph,
+                                   fetches=[model.inference_output])
+    params = model.num_parameters() * 4
+    print(f"parameters:          {params / 1e6:8.2f} MB")
+    print(f"training step peak:  {train_peak / 1e6:8.2f} MB "
+          "(live intermediates)")
+    print(f"inference step peak: {infer_peak / 1e6:8.2f} MB")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.profiling.serialize import save_trace
+    from repro.profiling.tracer import Tracer
+    model = _build(args)
+    tracer = Tracer()
+    if args.mode == "train":
+        model.run_training(steps=args.steps, tracer=tracer)
+    else:
+        model.run_inference(steps=args.steps, tracer=tracer)
+    count = save_trace(tracer, args.output,
+                       metadata={"workload": args.workload,
+                                 "config": args.config,
+                                 "mode": args.mode, "seed": args.seed})
+    print(f"wrote {args.output}: {count} op records over "
+          f"{tracer.num_steps} steps")
+    return 0
+
+
+def cmd_census(args) -> int:
+    from repro.analysis.census import census, render_census
+    model = _build(args)
+    print(render_census([census(model)]))
+    return 0
+
+
+def cmd_roofline(args) -> int:
+    from repro.analysis.roofline import render_roofline, roofline
+    model = _build(args)
+    device = args.device if args.device is not None else None
+    if device is None:
+        from repro.framework.device_model import cpu
+        device = cpu(1)
+    print(render_roofline([roofline(model, steps=args.steps,
+                                    device=device)]))
+    return 0
+
+
+def cmd_phases(args) -> int:
+    from repro.analysis.phases import render_phase_table, split_phases
+    model = _build(args)
+    print(render_phase_table([split_phases(model, steps=args.steps)]))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import full_report
+    text = full_report(config=args.config, steps=args.steps)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from repro.analysis.survey import render_table1
+    from repro.analysis.workload_table import render_table2
+    print(render_table1())
+    print()
+    print(render_table2())
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.analysis import suite
+    from repro.analysis.dominance import (dominance_curves,
+                                          render_dominance_table)
+    from repro.framework.device_model import cpu
+    profiles = suite.profile_suite(config=args.config, steps=args.steps,
+                                   device=cpu(1))
+    print(render_dominance_table(dominance_curves(profiles)))
+    print()
+    print(suite.suite_breakdown(config=args.config, steps=args.steps,
+                                device=cpu(1)).render())
+    return 0
+
+
+def cmd_graph(args) -> int:
+    from repro.framework.graph_export import graph_stats, to_dot
+    model = _build(args)
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(to_dot(model.graph, max_ops=args.max_ops))
+        print(f"wrote {args.dot}")
+    stats = graph_stats(model.graph)
+    print(f"operations:          {stats.num_ops}")
+    print(f"edges:               {stats.num_edges}")
+    print(f"critical path:       {stats.critical_path_length}")
+    print(f"max width:           {stats.max_width}")
+    print(f"avg parallelism:     {stats.average_parallelism:.2f}")
+    print(f"total FLOPs/step:    {stats.total_work.flops:.3g}")
+    top = sorted(stats.op_type_histogram.items(), key=lambda kv: -kv[1])
+    for op_type, count in top[:args.top]:
+        print(f"  {op_type:<28s} x{count}")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from repro.profiling.timeline import to_chrome_trace
+    from repro.profiling.tracer import Tracer
+    model = _build(args)
+    tracer = Tracer()
+    if args.mode == "train":
+        model.run_training(steps=args.steps, tracer=tracer)
+    else:
+        model.run_inference(steps=args.steps, tracer=tracer)
+    with open(args.output, "w") as handle:
+        handle.write(to_chrome_trace(tracer, process_name=args.workload))
+    print(f"wrote {args.output} ({len(tracer.records)} events, "
+          f"{tracer.num_steps} steps); open in chrome://tracing")
+    return 0
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", help="workload name (see 'list')")
+    parser.add_argument("--config", default="default",
+                        choices=["tiny", "default", "paper"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--steps", type=int, default=2)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Fathom reference workloads (reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the eight workloads") \
+        .set_defaults(handler=cmd_list)
+
+    run_parser = commands.add_parser("run", help="train or infer")
+    _add_model_args(run_parser)
+    run_parser.add_argument("--mode", default="train",
+                            choices=["train", "infer"])
+    run_parser.set_defaults(handler=cmd_run)
+
+    profile_parser = commands.add_parser("profile",
+                                         help="operation-type profile")
+    _add_model_args(profile_parser)
+    profile_parser.add_argument("--mode", default="train",
+                                choices=["train", "infer"])
+    profile_parser.add_argument("--device", type=_parse_device,
+                                default="cpu1",
+                                help="measured | gpu | cpuN (default cpu1)")
+    profile_parser.add_argument("--classes", action="store_true",
+                                help="aggregate to Fig. 3 classes")
+    profile_parser.add_argument("--top", type=int, default=10)
+    profile_parser.set_defaults(handler=cmd_profile)
+
+    sweep_parser = commands.add_parser("sweep",
+                                       help="Fig. 6 thread sweep")
+    _add_model_args(sweep_parser)
+    sweep_parser.add_argument("--threads", type=int, nargs="+",
+                              default=[1, 2, 4, 8])
+    sweep_parser.add_argument("--top", type=int, default=8)
+    sweep_parser.set_defaults(handler=cmd_sweep)
+
+    evaluate_parser = commands.add_parser(
+        "evaluate", help="task-quality metrics (accuracy, PER, ...)")
+    _add_model_args(evaluate_parser)
+    evaluate_parser.add_argument("--train-steps", type=int, default=0,
+                                 help="train before evaluating")
+    evaluate_parser.add_argument("--batches", type=int, default=4)
+    evaluate_parser.set_defaults(handler=cmd_evaluate)
+
+    placement_parser = commands.add_parser(
+        "placement", help="Section V-A CPU-fallback simulation")
+    _add_model_args(placement_parser)
+    placement_parser.set_defaults(handler=cmd_placement)
+
+    compare_parser = commands.add_parser(
+        "compare", help="diff two workloads' operation profiles")
+    _add_model_args(compare_parser)
+    compare_parser.add_argument("other", help="second workload name")
+    compare_parser.add_argument("--device", type=_parse_device,
+                                default="cpu1")
+    compare_parser.set_defaults(handler=cmd_compare)
+
+    whatif_parser = commands.add_parser(
+        "whatif", help="end-to-end speedup from a hypothetical accelerator")
+    _add_model_args(whatif_parser)
+    whatif_parser.add_argument("--preset", default="conv+gemm",
+                               choices=["conv-engine", "gemm-engine",
+                                        "conv+gemm"])
+    whatif_parser.add_argument("--factors", type=float, nargs="+",
+                               default=[10.0, 100.0])
+    whatif_parser.set_defaults(handler=cmd_whatif)
+
+    memory_parser = commands.add_parser(
+        "memory", help="static memory plan (no execution)")
+    _add_model_args(memory_parser)
+    memory_parser.set_defaults(handler=cmd_memory)
+
+    trace_parser = commands.add_parser(
+        "trace", help="save an op-level trace as JSONL for offline use")
+    _add_model_args(trace_parser)
+    trace_parser.add_argument("--mode", default="train",
+                              choices=["train", "infer"])
+    trace_parser.add_argument("--output", "-o", default="trace.jsonl")
+    trace_parser.set_defaults(handler=cmd_trace)
+
+    census_parser = commands.add_parser(
+        "census", help="static graph structure (ops, FLOPs, depth)")
+    _add_model_args(census_parser)
+    census_parser.set_defaults(handler=cmd_census)
+
+    roofline_parser = commands.add_parser(
+        "roofline", help="compute/memory/overhead-bound time split")
+    _add_model_args(roofline_parser)
+    roofline_parser.add_argument("--device", type=_parse_device,
+                                 default=None, help="gpu | cpuN")
+    roofline_parser.set_defaults(handler=cmd_roofline)
+
+    phases_parser = commands.add_parser(
+        "phases", help="forward/loss/backward/optimizer time split")
+    _add_model_args(phases_parser)
+    phases_parser.set_defaults(handler=cmd_phases)
+
+    report_parser = commands.add_parser(
+        "report", help="full characterization report (markdown)")
+    report_parser.add_argument("--config", default="default")
+    report_parser.add_argument("--steps", type=int, default=2)
+    report_parser.add_argument("--output", "-o")
+    report_parser.set_defaults(handler=cmd_report)
+
+    commands.add_parser("tables", help="print Tables I and II") \
+        .set_defaults(handler=cmd_tables)
+
+    figures_parser = commands.add_parser(
+        "figures", help="print the Fig. 2/3 characterization")
+    figures_parser.add_argument("--config", default="default")
+    figures_parser.add_argument("--steps", type=int, default=2)
+    figures_parser.set_defaults(handler=cmd_figures)
+
+    graph_parser = commands.add_parser("graph",
+                                       help="dataflow graph statistics")
+    _add_model_args(graph_parser)
+    graph_parser.add_argument("--dot", help="write Graphviz DOT here")
+    graph_parser.add_argument("--max-ops", type=int, default=500)
+    graph_parser.add_argument("--top", type=int, default=10)
+    graph_parser.set_defaults(handler=cmd_graph)
+
+    timeline_parser = commands.add_parser(
+        "timeline", help="write a Chrome-trace execution timeline")
+    _add_model_args(timeline_parser)
+    timeline_parser.add_argument("--mode", default="train",
+                                 choices=["train", "infer"])
+    timeline_parser.add_argument("--output", "-o", default="timeline.json")
+    timeline_parser.set_defaults(handler=cmd_timeline)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

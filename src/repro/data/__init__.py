@@ -1,0 +1,36 @@
+"""Seeded synthetic substitutes for the Fathom datasets.
+
+======== ===================== =============================
+Workload Paper's dataset       Substitute
+======== ===================== =============================
+seq2seq  WMT-15                :class:`~repro.data.wmt.SyntheticWMT`
+memnet   bAbI                  :class:`~repro.data.babi.SyntheticBabi`
+speech   TIMIT                 :class:`~repro.data.timit.SyntheticTIMIT`
+autoenc  MNIST                 :class:`~repro.data.mnist.SyntheticMNIST`
+residual ImageNet              :class:`~repro.data.imagenet.SyntheticImageNet`
+vgg      ImageNet              :class:`~repro.data.imagenet.SyntheticImageNet`
+alexnet  ImageNet              :class:`~repro.data.imagenet.SyntheticImageNet`
+deepq    Atari ALE             :mod:`repro.rl.ale`
+======== ===================== =============================
+
+See DESIGN.md for why each substitution preserves the behaviour the
+paper measures.
+"""
+
+from .babi import SyntheticBabi
+from .imagenet import SyntheticImageNet
+from .loaders import FileMNIST, load_idx, mnist_dataset, write_idx
+from .mnist import SyntheticMNIST
+from .ptb import SyntheticPTB
+from .synthetic import SyntheticDataset, class_templates
+from .timit import TIMIT_FOLDED_PHONES, SyntheticTIMIT
+from .wmt import EOS_ID, FIRST_WORD_ID, GO_ID, PAD_ID, SyntheticWMT
+
+__all__ = [
+    "SyntheticBabi", "SyntheticImageNet", "SyntheticMNIST",
+    "SyntheticDataset", "class_templates",
+    "FileMNIST", "load_idx", "mnist_dataset", "write_idx",
+    "SyntheticPTB",
+    "TIMIT_FOLDED_PHONES", "SyntheticTIMIT",
+    "EOS_ID", "FIRST_WORD_ID", "GO_ID", "PAD_ID", "SyntheticWMT",
+]

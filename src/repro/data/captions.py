@@ -1,0 +1,95 @@
+"""Synthetic image-captioning corpus for the NeuralTalk extension.
+
+Images come from the class-template generator used by the ImageNet
+substitute; captions are template sentences whose content words are
+determined by the image's class (``"a photo of <adjective> <noun>"``),
+so a captioner must genuinely extract the class from pixels to predict
+the content words. Vocabulary and grammar are seeded and procedural.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synthetic import SyntheticDataset, class_templates
+
+PAD_ID = 0
+START_ID = 1
+END_ID = 2
+
+_STATIC_WORDS = ["<pad>", "<start>", "<end>", "a", "photo", "of"]
+_ADJECTIVES = ["red", "small", "striped", "shiny", "old", "round",
+               "bright", "dark"]
+_NOUNS = ["cat", "truck", "flower", "house", "bird", "boat", "clock",
+          "tree"]
+
+
+class SyntheticCaptions(SyntheticDataset):
+    """(image, caption) pairs with class-determined content words."""
+
+    CAPTION_LENGTH = 6  # <start> a photo of <adj> <noun> (then <end>)
+
+    def __init__(self, image_size: int = 32, num_classes: int = 8,
+                 noise: float = 0.4, seed: int = 0):
+        super().__init__(seed)
+        if not 1 <= num_classes <= len(_NOUNS):
+            raise ValueError(
+                f"num_classes must be in [1, {len(_NOUNS)}]")
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self.noise = noise
+        template_rng = np.random.default_rng(seed + 41)
+        self._templates = class_templates(
+            template_rng, num_classes, (image_size, image_size, 3))
+        # Each class gets a fixed adjective+noun pairing.
+        adjectives = template_rng.permutation(len(_ADJECTIVES))
+        self.vocab = (_STATIC_WORDS + _ADJECTIVES + _NOUNS)
+        self.word_to_id = {w: i for i, w in enumerate(self.vocab)}
+        self.vocab_size = len(self.vocab)
+        self._class_words = []
+        for cls in range(num_classes):
+            adjective = _ADJECTIVES[int(adjectives[cls])]
+            noun = _NOUNS[cls]
+            self._class_words.append(
+                (self.word_to_id[adjective], self.word_to_id[noun]))
+
+    def caption_ids(self, cls: int) -> np.ndarray:
+        """The ground-truth caption token ids for a class (no <start>)."""
+        adjective, noun = self._class_words[cls]
+        return np.array([self.word_to_id["a"], self.word_to_id["photo"],
+                         self.word_to_id["of"], adjective, noun, END_ID],
+                        dtype=np.int32)
+
+    def decode(self, token_ids) -> str:
+        words = []
+        for token in token_ids:
+            if token in (PAD_ID, START_ID):
+                continue
+            if token == END_ID:
+                break
+            words.append(self.vocab[int(token)])
+        return " ".join(words)
+
+    def sample_batch(self, batch_size: int) -> dict[str, np.ndarray]:
+        """Images plus teacher-forcing caption inputs/targets.
+
+        ``caption_in`` is ``<start> + caption[:-1]``; ``caption_out`` is
+        the caption ending with ``<end>``.
+        """
+        length = self.CAPTION_LENGTH
+        images = np.empty((batch_size, self.image_size, self.image_size, 3),
+                          dtype=np.float32)
+        caption_in = np.empty((batch_size, length), dtype=np.int32)
+        caption_out = np.empty((batch_size, length), dtype=np.int32)
+        classes = self.rng.integers(0, self.num_classes, size=batch_size)
+        for row, cls in enumerate(classes):
+            images[row] = self._templates[cls]
+            caption = self.caption_ids(int(cls))
+            caption_in[row, 0] = START_ID
+            caption_in[row, 1:] = caption[:-1]
+            caption_out[row] = caption
+        images += self.noise * self.rng.standard_normal(
+            images.shape).astype(np.float32)
+        return {"images": images, "caption_in": caption_in,
+                "caption_out": caption_out,
+                "classes": classes.astype(np.int32)}

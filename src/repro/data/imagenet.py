@@ -1,0 +1,36 @@
+"""Synthetic ImageNet substitute for alexnet, vgg, and residual.
+
+The paper trains its three ILSVRC networks on ImageNet (Deng et al.,
+2009). We substitute seeded synthetic images: each class has a smooth
+template pattern, and samples are noisy draws around their class
+template. This preserves the input/label tensor shapes and gives the
+classifiers a learnable signal for the correctness tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synthetic import SyntheticDataset, class_templates
+
+
+class SyntheticImageNet(SyntheticDataset):
+    """Class-conditional synthetic images with ImageNet-style shapes."""
+
+    def __init__(self, image_size: int = 224, channels: int = 3,
+                 num_classes: int = 1000, noise: float = 0.5, seed: int = 0):
+        super().__init__(seed)
+        self.image_size = image_size
+        self.channels = channels
+        self.num_classes = num_classes
+        self.noise = noise
+        template_rng = np.random.default_rng(seed + 1)
+        self._templates = class_templates(
+            template_rng, num_classes, (image_size, image_size, channels))
+
+    def sample_batch(self, batch_size: int) -> dict[str, np.ndarray]:
+        labels = self.rng.integers(0, self.num_classes, size=batch_size)
+        images = self._templates[labels].copy()
+        images += self.noise * self.rng.standard_normal(
+            images.shape).astype(np.float32)
+        return {"images": images, "labels": labels.astype(np.int32)}

@@ -1,0 +1,38 @@
+"""Synthetic MNIST substitute for the variational autoencoder.
+
+The VAE (Kingma & Welling, 2014) trains on 28x28 grayscale digits scaled
+to [0, 1]. We generate digit-like images from ten fixed stroke templates
+plus pixel noise — enough low-dimensional structure that a small VAE's
+evidence lower bound measurably improves during the correctness tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synthetic import SyntheticDataset, class_templates
+
+
+class SyntheticMNIST(SyntheticDataset):
+    """Digit-like images in [0, 1], flattened to 784-vectors."""
+
+    def __init__(self, image_size: int = 28, num_classes: int = 10,
+                 noise: float = 0.15, seed: int = 0):
+        super().__init__(seed)
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self.noise = noise
+        template_rng = np.random.default_rng(seed + 7)
+        raw = class_templates(template_rng, num_classes,
+                              (image_size, image_size), smoothness=5)
+        # Threshold the smooth fields into stroke-like binary masks.
+        self._templates = (raw > 0.3).astype(np.float32)
+
+    def sample_batch(self, batch_size: int) -> dict[str, np.ndarray]:
+        labels = self.rng.integers(0, self.num_classes, size=batch_size)
+        images = self._templates[labels].copy()
+        images += self.noise * self.rng.standard_normal(
+            images.shape).astype(np.float32)
+        images = np.clip(images, 0.0, 1.0)
+        flat = images.reshape(batch_size, self.image_size * self.image_size)
+        return {"images": flat, "labels": labels.astype(np.int32)}

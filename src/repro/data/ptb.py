@@ -1,0 +1,98 @@
+"""Synthetic Penn-Treebank-style corpus for the extension workloads.
+
+The paper's conclusion hopes Fathom becomes "a living workload suite,
+incorporating advances as they are discovered"; the extension workloads
+(:mod:`repro.workloads.extensions`) model the language-modeling domain
+the survey found underserved. Their data is a seeded synthetic corpus
+with first-order Markov structure — each word has a small set of likely
+successors — so a language model has real statistical signal to learn
+(perplexity drops well below the uniform bound) without shipping any
+licensed text.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synthetic import SyntheticDataset
+
+
+class SyntheticPTB(SyntheticDataset):
+    """A Markov-chain word stream with PTB-like batch layout."""
+
+    def __init__(self, vocab_size: int = 1000, branching: int = 20,
+                 concentration: float = 0.7, seed: int = 0):
+        """Args:
+            vocab_size: number of word types.
+            branching: likely successors per word.
+            concentration: probability mass on the likely successors
+                (the rest spreads uniformly, so all transitions are
+                possible and perplexity stays finite).
+        """
+        super().__init__(seed)
+        if not 0.0 < concentration < 1.0:
+            raise ValueError("concentration must be in (0, 1)")
+        if branching >= vocab_size:
+            raise ValueError("branching must be below vocab_size")
+        self.vocab_size = vocab_size
+        self.branching = branching
+        self.concentration = concentration
+        chain_rng = np.random.default_rng(seed + 31)
+        self._successors = np.empty((vocab_size, branching), dtype=np.int64)
+        for word in range(vocab_size):
+            self._successors[word] = chain_rng.choice(
+                vocab_size, size=branching, replace=False)
+        self._state = int(chain_rng.integers(vocab_size))
+
+    def _next_word(self) -> int:
+        if self.rng.random() < self.concentration:
+            choices = self._successors[self._state]
+            word = int(choices[self.rng.integers(self.branching)])
+        else:
+            word = int(self.rng.integers(self.vocab_size))
+        self._state = word
+        return word
+
+    def sample_stream(self, length: int) -> np.ndarray:
+        """A contiguous stream of token ids."""
+        return np.array([self._next_word() for _ in range(length)],
+                        dtype=np.int32)
+
+    def sample_batch(self, batch_size: int,
+                     sequence_length: int = 20) -> dict[str, np.ndarray]:
+        """Language-model batches: inputs and one-step-shifted targets."""
+        inputs = np.empty((batch_size, sequence_length), dtype=np.int32)
+        targets = np.empty((batch_size, sequence_length), dtype=np.int32)
+        for row in range(batch_size):
+            stream = self.sample_stream(sequence_length + 1)
+            inputs[row] = stream[:-1]
+            targets[row] = stream[1:]
+        return {"inputs": inputs, "targets": targets}
+
+    def skipgram_batch(self, batch_size: int, window: int = 2,
+                       negatives: int = 5) -> dict[str, np.ndarray]:
+        """Word2vec-style training pairs with negative samples.
+
+        Returns center words ``(batch,)``, true context words
+        ``(batch,)``, and uniform negative samples ``(batch, negatives)``.
+        """
+        span = 2 * window + 1
+        centers = np.empty(batch_size, dtype=np.int32)
+        contexts = np.empty(batch_size, dtype=np.int32)
+        for row in range(batch_size):
+            stream = self.sample_stream(span)
+            centers[row] = stream[window]
+            offset = int(self.rng.integers(span - 1))
+            contexts[row] = stream[offset if offset < window
+                                   else offset + 1]
+        negatives_array = self.rng.integers(
+            0, self.vocab_size, size=(batch_size, negatives)).astype(np.int32)
+        return {"centers": centers, "contexts": contexts,
+                "negatives": negatives_array}
+
+    def transition_logprob(self, current: int, following: int) -> float:
+        """Ground-truth log transition probability (for oracle tests)."""
+        base = (1.0 - self.concentration) / self.vocab_size
+        if following in self._successors[current]:
+            return float(np.log(base + self.concentration / self.branching))
+        return float(np.log(base))

@@ -1,0 +1,60 @@
+"""Shared infrastructure for seeded synthetic datasets.
+
+Each Fathom workload trains on a dataset we cannot redistribute
+(ImageNet, WMT, TIMIT, ...) or that is impractical here. Performance
+characterization depends on the *shapes and statistics* of the data
+flowing through the operations, not on the semantic content, so every
+dataset module in this package generates seeded synthetic data with the
+original's dimensions — and, where cheap, with enough learnable structure
+that training losses genuinely decrease (used by the correctness tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SyntheticDataset:
+    """Base class: a seeded generator of minibatches.
+
+    Subclasses implement :meth:`sample_batch` returning a dict of numpy
+    arrays keyed by the names their workload's placeholders expect.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    def sample_batch(self, batch_size: int) -> dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    def batches(self, batch_size: int, count: int):
+        """Yield ``count`` minibatches."""
+        for _ in range(count):
+            yield self.sample_batch(batch_size)
+
+
+def class_templates(rng: np.random.Generator, num_classes: int,
+                    shape: tuple[int, ...], smoothness: int = 4) -> np.ndarray:
+    """Smooth per-class template patterns.
+
+    Generates low-frequency noise by upsampling a coarse grid, giving each
+    class a distinctive spatial signature that a small model can learn to
+    separate — a stand-in for natural-image class structure.
+    """
+    if len(shape) < 2:
+        raise ValueError(f"templates need a 2-D spatial shape, got {shape}")
+    coarse_shape = tuple(max(1, d // smoothness) for d in shape[:2]) + shape[2:]
+    templates = np.empty((num_classes,) + shape, dtype=np.float32)
+    for cls in range(num_classes):
+        coarse = rng.standard_normal(coarse_shape).astype(np.float32)
+        templates[cls] = _upsample2d(coarse, shape[:2])
+    return templates
+
+
+def _upsample2d(coarse: np.ndarray, target_hw: tuple[int, int]) -> np.ndarray:
+    """Nearest-neighbour upsample of the two leading spatial dims."""
+    height, width = target_hw
+    rows = np.linspace(0, coarse.shape[0] - 1, height).round().astype(int)
+    cols = np.linspace(0, coarse.shape[1] - 1, width).round().astype(int)
+    return coarse[np.ix_(rows, cols)]

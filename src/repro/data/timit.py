@@ -1,0 +1,83 @@
+"""Synthetic TIMIT substitute for Deep Speech.
+
+The paper already substitutes TIMIT (Garofolo et al., 1993) for Baidu's
+private utterance corpus; TIMIT itself is LDC-licensed, so we substitute
+once more: synthetic utterances whose spectrogram frames are noisy draws
+from per-phoneme spectral templates, with CTC-compatible *unsegmented*
+phoneme label sequences. TIMIT's standard folded phone set has 39 classes,
+which is our default; the CTC blank is an extra class appended by the
+workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synthetic import SyntheticDataset
+
+TIMIT_FOLDED_PHONES = 39
+
+
+class SyntheticTIMIT(SyntheticDataset):
+    """Utterances of spectrogram frames with aligned-free phoneme labels."""
+
+    def __init__(self, num_frames: int = 150, num_features: int = 26,
+                 num_phonemes: int = TIMIT_FOLDED_PHONES,
+                 min_phoneme_frames: int = 3, max_phoneme_frames: int = 8,
+                 noise: float = 0.3, seed: int = 0):
+        super().__init__(seed)
+        if min_phoneme_frames < 1 or max_phoneme_frames < min_phoneme_frames:
+            raise ValueError("invalid phoneme duration range")
+        self.num_frames = num_frames
+        self.num_features = num_features
+        self.num_phonemes = num_phonemes
+        self.min_phoneme_frames = min_phoneme_frames
+        self.max_phoneme_frames = max_phoneme_frames
+        self.noise = noise
+        template_rng = np.random.default_rng(seed + 13)
+        self._spectra = template_rng.standard_normal(
+            (num_phonemes, num_features)).astype(np.float32)
+        # Upper bound on labels per utterance, used for the dense
+        # (batch, max_labels) label layout CTC consumes. The final
+        # phoneme may be truncated below min_phoneme_frames, so the
+        # worst case is full-length segments plus one short tail.
+        self.max_labels = (num_frames - 1) // min_phoneme_frames + 1
+
+    def sample_utterance(self) -> tuple[np.ndarray, list[int]]:
+        """One utterance: ``(frames, phoneme_sequence)``.
+
+        Frames always fill ``num_frames``; the phoneme sequence length
+        varies with the sampled durations (always <= num_frames, as CTC
+        requires).
+        """
+        frames = np.empty((self.num_frames, self.num_features),
+                          dtype=np.float32)
+        labels: list[int] = []
+        t = 0
+        while t < self.num_frames:
+            phoneme = int(self.rng.integers(0, self.num_phonemes))
+            duration = int(self.rng.integers(self.min_phoneme_frames,
+                                             self.max_phoneme_frames + 1))
+            duration = min(duration, self.num_frames - t)
+            frames[t:t + duration] = self._spectra[phoneme]
+            labels.append(phoneme)
+            t += duration
+        frames += self.noise * self.rng.standard_normal(
+            frames.shape).astype(np.float32)
+        return frames, labels
+
+    def sample_batch(self, batch_size: int) -> dict[str, np.ndarray]:
+        frames = np.empty((batch_size, self.num_frames, self.num_features),
+                          dtype=np.float32)
+        labels = np.zeros((batch_size, self.max_labels), dtype=np.int32)
+        label_lengths = np.empty(batch_size, dtype=np.int32)
+        input_lengths = np.full(batch_size, self.num_frames, dtype=np.int32)
+        for b in range(batch_size):
+            frames[b], sequence = self.sample_utterance()
+            # CTC needs len(collapsed labels) + repeats <= frames; our
+            # generator guarantees len(sequence) <= num_frames by design.
+            labels[b, :len(sequence)] = sequence
+            label_lengths[b] = len(sequence)
+        return {"frames": frames, "labels": labels,
+                "label_lengths": label_lengths,
+                "input_lengths": input_lengths}

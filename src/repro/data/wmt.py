@@ -1,0 +1,72 @@
+"""Synthetic WMT-15 substitute for sequence-to-sequence translation.
+
+seq2seq (Sutskever et al., 2014) trains on the WMT English-French corpus.
+We substitute a seeded toy translation task over synthetic vocabularies:
+the "translation" of a source sentence is its token-wise mapping through
+a fixed random bijection, emitted in reversed order (Sutskever et al.
+famously reversed source sentences; reversing the target instead gives
+the attention mechanism a non-trivial alignment to learn). Sequence
+lengths vary within a bucket, padded with a PAD token and weighted out of
+the loss, mirroring the bucketing of the original implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synthetic import SyntheticDataset
+
+PAD_ID = 0
+GO_ID = 1
+EOS_ID = 2
+FIRST_WORD_ID = 3  # ids below this are reserved control tokens
+
+
+class SyntheticWMT(SyntheticDataset):
+    """Parallel sentence pairs under a deterministic toy translation."""
+
+    def __init__(self, vocab_size: int = 1000, max_length: int = 20,
+                 min_length: int | None = None, seed: int = 0):
+        super().__init__(seed)
+        if vocab_size <= FIRST_WORD_ID:
+            raise ValueError(f"vocab_size must exceed {FIRST_WORD_ID}")
+        self.vocab_size = vocab_size
+        self.max_length = max_length
+        self.min_length = min_length or max(2, max_length // 2)
+        mapping_rng = np.random.default_rng(seed + 23)
+        words = np.arange(FIRST_WORD_ID, vocab_size)
+        shuffled = mapping_rng.permutation(words)
+        self._lexicon = np.concatenate(
+            [np.arange(FIRST_WORD_ID), shuffled]).astype(np.int32)
+
+    def translate(self, source: np.ndarray) -> np.ndarray:
+        """Reference translation: lexicon mapping, reversed order."""
+        return self._lexicon[source][::-1].copy()
+
+    def sample_batch(self, batch_size: int) -> dict[str, np.ndarray]:
+        """Bucketed batch: fixed-width arrays with PAD and target weights.
+
+        Returns source ``(batch, max_length)``, decoder inputs
+        ``(batch, max_length + 1)`` beginning with GO, targets
+        ``(batch, max_length + 1)`` ending with EOS, and float weights
+        zeroing the padded positions.
+        """
+        width = self.max_length
+        source = np.full((batch_size, width), PAD_ID, dtype=np.int32)
+        decoder_input = np.full((batch_size, width + 1), PAD_ID,
+                                dtype=np.int32)
+        target = np.full((batch_size, width + 1), PAD_ID, dtype=np.int32)
+        weights = np.zeros((batch_size, width + 1), dtype=np.float32)
+        for b in range(batch_size):
+            length = int(self.rng.integers(self.min_length, width + 1))
+            words = self.rng.integers(FIRST_WORD_ID, self.vocab_size,
+                                      size=length).astype(np.int32)
+            translated = self.translate(words)
+            source[b, :length] = words
+            decoder_input[b, 0] = GO_ID
+            decoder_input[b, 1:length + 1] = translated
+            target[b, :length] = translated
+            target[b, length] = EOS_ID
+            weights[b, :length + 1] = 1.0
+        return {"source": source, "decoder_input": decoder_input,
+                "target": target, "weights": weights}

@@ -1,0 +1,98 @@
+"""Calibrate the CPU device model against the host machine.
+
+The default :class:`~repro.framework.device_model.CPUDeviceModel`
+constants approximate the paper's Skylake testbed. For analyses that
+should reflect *this* machine instead, this module measures the three
+constants empirically — dense FLOP rate (a blocked matmul), memory
+bandwidth (large-array copies), and executor dispatch overhead (a chain
+of trivial ops) — and returns a calibrated model.
+
+Calibration is measurement, so results vary run to run; analyses that
+must be deterministic (the figure benchmarks) keep the fixed defaults.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device_model import CPUDeviceModel
+from .graph import Graph
+from .ops import state_ops
+from .ops.math_ops import multiply
+from .session import Session
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Measured machine constants with the derived device model."""
+
+    flops_per_second: float
+    bytes_per_second: float
+    dispatch_overhead: float
+    model: CPUDeviceModel
+
+    def render(self) -> str:
+        return (f"calibrated CPU: {self.flops_per_second / 1e9:.1f} GFLOP/s, "
+                f"{self.bytes_per_second / 1e9:.1f} GB/s, "
+                f"{self.dispatch_overhead * 1e6:.1f} us/op dispatch")
+
+
+def measure_flops_rate(size: int = 384, repeats: int = 5) -> float:
+    """Dense-matmul FLOP/s of the BLAS this process actually uses."""
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((size, size)).astype(np.float32)
+    b = rng.standard_normal((size, size)).astype(np.float32)
+    a @ b  # warm the BLAS threads/caches
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        a @ b
+        best = min(best, time.perf_counter() - start)
+    return 2.0 * size ** 3 / best
+
+
+def measure_bandwidth(megabytes: int = 32, repeats: int = 5) -> float:
+    """Effective large-copy bandwidth in bytes/second."""
+    source = np.ones(megabytes * (1 << 20) // 4, dtype=np.float32)
+    destination = np.empty_like(source)
+    np.copyto(destination, source)  # warm
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        np.copyto(destination, source)
+        best = min(best, time.perf_counter() - start)
+    return 2.0 * source.nbytes / best  # read + write
+
+
+def measure_dispatch_overhead(chain_length: int = 300,
+                              repeats: int = 5) -> float:
+    """Seconds of executor overhead per op, from a chain of tiny ops."""
+    graph = Graph()
+    with graph.as_default():
+        out = state_ops.constant(np.ones(2, dtype=np.float32))
+        for _ in range(chain_length):
+            out = multiply(out, np.float32(1.0))
+    session = Session(graph, seed=0)
+    session.run(out)  # warm plan cache and validation
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        session.run(out)
+        best = min(best, time.perf_counter() - start)
+    return best / chain_length
+
+
+def calibrate_cpu(threads: int = 1) -> CalibrationResult:
+    """Measure this machine and build a matching CPU device model."""
+    flops = measure_flops_rate()
+    bandwidth = measure_bandwidth()
+    dispatch = measure_dispatch_overhead()
+    model = CPUDeviceModel(threads=threads, per_core_flops=flops,
+                           memory_bandwidth=bandwidth,
+                           dispatch_overhead=dispatch)
+    return CalibrationResult(flops_per_second=flops,
+                             bytes_per_second=bandwidth,
+                             dispatch_overhead=dispatch, model=model)

@@ -1,0 +1,74 @@
+"""Variable checkpointing: save and restore session state.
+
+The Fathom workloads are long-running training jobs; checkpointing lets
+an experiment pause/resume and lets the examples ship trained weights.
+Checkpoints are plain ``.npz`` archives keyed by variable operation name,
+so they are portable across sessions over the same graph (and across
+graphs that define identically-named, identically-shaped variables).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .errors import FrameworkError
+from .graph import Graph
+from .ops.state_ops import VariableOp
+from .session import Session
+
+
+class CheckpointError(FrameworkError):
+    """Raised when a checkpoint cannot be applied to a graph/session."""
+
+
+def _graph_variables(graph: Graph) -> dict[str, VariableOp]:
+    return {op.name: op for op in graph.operations
+            if isinstance(op, VariableOp)}
+
+
+def save(session: Session, path: str | os.PathLike) -> list[str]:
+    """Write every variable's current value to ``path`` (.npz).
+
+    Variables that were never touched are saved at their initial values.
+    Returns the saved variable names.
+    """
+    variables = _graph_variables(session.graph)
+    arrays = {name: session.variable_value(op.output)
+              for name, op in variables.items()}
+    np.savez(path, **arrays)
+    return sorted(arrays)
+
+
+def restore(session: Session, path: str | os.PathLike,
+            strict: bool = True) -> list[str]:
+    """Load variable values from ``path`` into ``session``.
+
+    Args:
+        strict: if True (default), every graph variable must be present
+            in the checkpoint and vice versa; if False, restore the
+            intersection.
+
+    Returns the restored variable names.
+    """
+    variables = _graph_variables(session.graph)
+    with np.load(path) as archive:
+        stored = {name: archive[name] for name in archive.files}
+    missing = sorted(set(variables) - set(stored))
+    unexpected = sorted(set(stored) - set(variables))
+    if strict and (missing or unexpected):
+        raise CheckpointError(
+            f"checkpoint mismatch: missing={missing[:5]} "
+            f"unexpected={unexpected[:5]}")
+    restored = []
+    for name in sorted(set(variables) & set(stored)):
+        op = variables[name]
+        value = stored[name]
+        if value.shape != op.output.shape:
+            raise CheckpointError(
+                f"variable {name!r}: checkpoint shape {value.shape} != "
+                f"graph shape {op.output.shape}")
+        session.set_variable(op.output, value)
+        restored.append(name)
+    return restored

@@ -1,0 +1,119 @@
+"""Analytic work estimates for dataflow operations.
+
+Each operation in the framework can describe the work it performs as a
+:class:`WorkEstimate`: floating-point operations, bytes moved through the
+memory system, and the *trip count* — the number of independent iterations
+available for intra-op parallelism. The device models in
+:mod:`repro.framework.device_model` convert these estimates into modeled
+execution times for CPUs with varying thread counts and for a GPU.
+
+This is the substitution for the paper's measured Eigen/cuDNN backends: the
+paper's parallelism results (Fig. 6) hinge on the observation that large
+dense operations scale with threads while small, skinny-tensor operations
+do not. Trip counts capture exactly that property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class WorkEstimate:
+    """Work performed by a single execution of one operation.
+
+    Attributes:
+        flops: Floating-point operations (multiply-adds count as two).
+        bytes_moved: Bytes read from plus written to memory.
+        trip_count: Independent parallel iterations available. A matrix
+            multiply of an ``(m, k) @ (k, n)`` pair has ``m * n`` independent
+            output elements; an elementwise op has one per element; a
+            data-dependent scalar update has 1.
+    """
+
+    flops: float
+    bytes_moved: float
+    trip_count: float
+
+    def __add__(self, other: "WorkEstimate") -> "WorkEstimate":
+        return WorkEstimate(
+            flops=self.flops + other.flops,
+            bytes_moved=self.bytes_moved + other.bytes_moved,
+            trip_count=max(self.trip_count, other.trip_count),
+        )
+
+    @staticmethod
+    def zero() -> "WorkEstimate":
+        return WorkEstimate(flops=0.0, bytes_moved=0.0, trip_count=1.0)
+
+
+ELEMENT_BYTES = 4  # the framework computes in float32, as the paper's models did
+
+
+def num_elements(shape: Iterable[int]) -> int:
+    """Number of elements in a tensor of the given shape (1 for scalars)."""
+    return int(prod(shape, start=1))
+
+
+def elementwise_work(shape: Iterable[int], n_inputs: int = 2,
+                     flops_per_element: float = 1.0) -> WorkEstimate:
+    """Work for an elementwise op over ``shape`` with ``n_inputs`` operands."""
+    n = num_elements(shape)
+    return WorkEstimate(
+        flops=flops_per_element * n,
+        bytes_moved=ELEMENT_BYTES * n * (n_inputs + 1),
+        trip_count=float(n),
+    )
+
+
+def matmul_work(m: int, k: int, n: int) -> WorkEstimate:
+    """Work for an ``(m, k) @ (k, n)`` dense matrix multiplication."""
+    return WorkEstimate(
+        flops=2.0 * m * k * n,
+        bytes_moved=ELEMENT_BYTES * (m * k + k * n + m * n),
+        trip_count=float(m * n),
+    )
+
+
+def conv2d_work(batch: int, out_h: int, out_w: int, out_c: int,
+                filter_h: int, filter_w: int, in_c: int) -> WorkEstimate:
+    """Work for a 2-D convolution producing ``batch x out_h x out_w x out_c``."""
+    outputs = batch * out_h * out_w * out_c
+    flops_per_output = 2.0 * filter_h * filter_w * in_c
+    in_bytes = ELEMENT_BYTES * batch * out_h * out_w * filter_h * filter_w * in_c
+    filter_bytes = ELEMENT_BYTES * filter_h * filter_w * in_c * out_c
+    out_bytes = ELEMENT_BYTES * outputs
+    return WorkEstimate(
+        flops=flops_per_output * outputs,
+        bytes_moved=float(in_bytes + filter_bytes + out_bytes),
+        trip_count=float(outputs),
+    )
+
+
+def reduction_work(in_shape: Iterable[int], out_shape: Iterable[int]) -> WorkEstimate:
+    """Work for a reduction from ``in_shape`` down to ``out_shape``.
+
+    The trip count is the number of independent *outputs*: reducing a wide
+    tensor to a scalar has trip count 1 regardless of input size, which is
+    what makes loss-style reductions poor parallelism targets.
+    """
+    n_in = num_elements(in_shape)
+    n_out = num_elements(out_shape)
+    return WorkEstimate(
+        flops=float(n_in),
+        bytes_moved=ELEMENT_BYTES * float(n_in + n_out),
+        trip_count=float(max(n_out, 1)),
+    )
+
+
+def data_movement_work(in_elements: int, out_elements: int | None = None) -> WorkEstimate:
+    """Work for a copy/layout-change op: no FLOPs, pure memory traffic."""
+    if out_elements is None:
+        out_elements = in_elements
+    return WorkEstimate(
+        flops=0.0,
+        bytes_moved=ELEMENT_BYTES * float(in_elements + out_elements),
+        trip_count=float(max(out_elements, 1)),
+    )

@@ -1,0 +1,103 @@
+"""Analytic device models: modeled op execution time on CPUs and GPUs.
+
+The paper measures on a 4 GHz Skylake i7-6700k (with an Eigen thread pool
+it can resize, Section V-E) and an NVidia GTX 960 (Fig. 5). Neither
+backend is controllable from pure Python, so this module substitutes a
+calibrated analytic model that converts each operation's
+:class:`~repro.framework.cost_model.WorkEstimate` into time:
+
+``time = dispatch_overhead + max(compute_time, memory_time)``
+
+with compute and memory rates scaled by how much of the device's
+parallelism the op can actually use. The key mechanism — the one the
+paper's Figs. 5 and 6 turn on — is that an op can use at most
+``trip_count / grain`` threads (Eigen refuses to split work finer than a
+grain) and a GPU only approaches peak throughput when the trip count
+covers its many thousands of lanes. Large convolutions and matmuls
+therefore scale; skinny-tensor ops, reductions-to-scalar, and sequential
+dynamic programming (CTC) do not.
+
+Default constants approximate the paper's hardware (per-core ~26 GFLOP/s
+at 4 GHz with AVX2 FMA; ~2.3 TFLOP/s and 112 GB/s for the GTX 960).
+Absolute numbers are not the point; relative behaviour is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cost_model import WorkEstimate
+
+
+@dataclass(frozen=True)
+class CPUDeviceModel:
+    """A multicore CPU with an Eigen-style intra-op thread pool."""
+
+    threads: int = 1
+    per_core_flops: float = 26e9
+    memory_bandwidth: float = 25e9
+    # Per-op scheduling/dispatch cost of the framework's executor. The
+    # paper's TensorFlow v0.8 spent on the order of 10us per op on small
+    # kernels, which is why unrolled recurrent models (seq2seq) and
+    # skinny-tensor models (memnet) show heavy elementwise/data-movement
+    # time in its measured profiles.
+    dispatch_overhead: float = 10e-6
+    grain: float = 2048.0  # minimum parallel iterations worth one thread
+
+    @property
+    def name(self) -> str:
+        return f"cpu{self.threads}"
+
+    def effective_threads(self, work: WorkEstimate) -> float:
+        usable = max(1.0, work.trip_count / self.grain)
+        return min(float(self.threads), usable)
+
+    def op_time(self, work: WorkEstimate) -> float:
+        eff = self.effective_threads(work)
+        compute = work.flops / (self.per_core_flops * eff)
+        # Memory bandwidth is shared across cores; extra threads help
+        # memory-bound ops sublinearly.
+        memory = work.bytes_moved / (self.memory_bandwidth * eff ** 0.5)
+        return self.dispatch_overhead + max(compute, memory)
+
+
+@dataclass(frozen=True)
+class GPUDeviceModel:
+    """A discrete GPU with per-kernel launch cost and wide parallelism."""
+
+    peak_flops: float = 2.3e12
+    memory_bandwidth: float = 112e9
+    launch_overhead: float = 5e-6
+    saturation_trips: float = 16384.0  # trip count for ~50% utilization
+
+    @property
+    def name(self) -> str:
+        return "gpu"
+
+    def utilization(self, work: WorkEstimate) -> float:
+        return work.trip_count / (work.trip_count + self.saturation_trips)
+
+    def op_time(self, work: WorkEstimate) -> float:
+        util = max(self.utilization(work), 1.0 / self.saturation_trips)
+        compute = work.flops / (self.peak_flops * util)
+        memory = work.bytes_moved / (self.memory_bandwidth * max(util, 0.05))
+        return self.launch_overhead + max(compute, memory)
+
+
+DeviceModel = CPUDeviceModel | GPUDeviceModel
+
+# The configurations the paper reports against.
+PAPER_CPU = CPUDeviceModel(threads=1)
+PAPER_CPU_PARALLEL = CPUDeviceModel(threads=8)
+PAPER_GPU = GPUDeviceModel()
+
+
+def cpu(threads: int = 1) -> CPUDeviceModel:
+    """A CPU model with ``threads`` intra-op worker threads."""
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    return CPUDeviceModel(threads=threads)
+
+
+def gpu() -> GPUDeviceModel:
+    return GPUDeviceModel()

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro dataflow framework.
+
+Every error raised by the framework derives from :class:`FrameworkError`,
+so callers can catch framework problems without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class FrameworkError(Exception):
+    """Base class for all errors raised by ``repro.framework``."""
+
+
+class ShapeError(FrameworkError):
+    """Raised when operation input shapes are incompatible.
+
+    Shape inference happens at graph-construction time, mirroring the
+    static-shape checking of the original TensorFlow v0.8 runtime the
+    paper used.
+    """
+
+
+class GraphError(FrameworkError):
+    """Raised for structural graph problems (cycles, cross-graph edges)."""
+
+
+class ExecutionError(FrameworkError):
+    """Raised when an operation fails while executing.
+
+    Wraps the underlying exception and records which operation failed so
+    profiling sessions can attribute failures to model features.
+    """
+
+    def __init__(self, op_name: str, message: str):
+        super().__init__(f"operation '{op_name}': {message}")
+        self.op_name = op_name
+
+
+class FeedError(FrameworkError):
+    """Raised when a required placeholder is not fed or a feed is invalid."""
+
+
+class DifferentiationError(FrameworkError):
+    """Raised when a gradient is requested through a non-differentiable op."""

@@ -1,0 +1,344 @@
+"""The dataflow graph: tensors, operations, and graphs.
+
+This module is the structural core of the framework. Following the design
+of the TensorFlow runtime the paper builds on, a model is a coarse-grained
+dataflow graph whose nodes are *operations* — the smallest schedulable
+unit — and whose edges are *tensors*. Every analysis in the paper
+(Sections V-A through V-E) treats operations as the primary abstraction,
+so this reproduction does too: each operation carries a type name
+(``MatMul``, ``Conv2D``, ``Tile``, ...), an operation class for the
+Fig. 3 taxonomy, a shape-inferred set of output tensors, a ``compute``
+kernel, a symbolic ``gradient`` rule, and an analytic work estimate used
+by the device models.
+
+Graphs are append-only DAGs: an operation's inputs must already exist when
+the operation is constructed, so the construction order is always a valid
+topological order. The executor exploits this for deterministic scheduling.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from enum import Enum
+from math import prod
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+import numpy as np
+
+from .cost_model import WorkEstimate
+from .errors import GraphError, ShapeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .session import RunContext
+
+
+class OpClass(Enum):
+    """Operation classes used by the paper's Fig. 3 breakdown.
+
+    The first seven members correspond to the figure's groups A-G. The
+    remaining members cover structural operations (constants, placeholders,
+    variable reads) whose runtime contribution the paper reports as
+    negligible (<1-2% framework overhead, Section V-A).
+    """
+
+    MATRIX = "Matrix Operations"
+    CONVOLUTION = "Convolution"
+    ELEMENTWISE = "Elementwise Arithmetic"
+    REDUCTION_EXPANSION = "Reduction and Expansion"
+    RANDOM_SAMPLING = "Random Sampling"
+    OPTIMIZATION = "Optimization"
+    DATA_MOVEMENT = "Data Movement"
+    STATE = "State"
+    CONTROL = "Control"
+
+
+Shape = tuple[int, ...]
+
+
+def check_shape(shape: Iterable[int]) -> Shape:
+    """Validate and normalize a static shape to a tuple of ints."""
+    out = tuple(int(d) for d in shape)
+    if any(d < 0 for d in out):
+        raise ShapeError(f"shape {out} has a negative dimension")
+    return out
+
+
+class Tensor:
+    """A symbolic value produced by an operation.
+
+    Tensors are edges in the dataflow graph. They carry a fully static
+    shape and dtype, inferred at graph-construction time. Arithmetic
+    operators build new operations in the tensor's graph, so model code
+    reads like numpy.
+    """
+
+    __slots__ = ("op", "index", "shape", "dtype")
+
+    def __init__(self, op: "Operation", index: int, shape: Iterable[int],
+                 dtype: np.dtype):
+        self.op = op
+        self.index = index
+        self.shape = check_shape(shape)
+        self.dtype = np.dtype(dtype)
+
+    @property
+    def name(self) -> str:
+        return f"{self.op.name}:{self.index}"
+
+    @property
+    def graph(self) -> "Graph":
+        return self.op.graph
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return int(prod(self.shape, start=1))
+
+    def __repr__(self) -> str:
+        return (f"<Tensor {self.name!r} shape={self.shape} "
+                f"dtype={self.dtype.name} op={self.op.type_name}>")
+
+    # Arithmetic sugar. Imports are deferred to avoid a cycle with the ops
+    # package, which itself imports Tensor.
+    def _math(self):
+        from .ops import math_ops
+        return math_ops
+
+    def __add__(self, other):
+        return self._math().add(self, other)
+
+    def __radd__(self, other):
+        return self._math().add(other, self)
+
+    def __sub__(self, other):
+        return self._math().subtract(self, other)
+
+    def __rsub__(self, other):
+        return self._math().subtract(other, self)
+
+    def __mul__(self, other):
+        return self._math().multiply(self, other)
+
+    def __rmul__(self, other):
+        return self._math().multiply(other, self)
+
+    def __truediv__(self, other):
+        return self._math().divide(self, other)
+
+    def __rtruediv__(self, other):
+        return self._math().divide(other, self)
+
+    def __pow__(self, other):
+        return self._math().power(self, other)
+
+    def __neg__(self):
+        return self._math().negative(self)
+
+    def __matmul__(self, other):
+        return self._math().matmul(self, other)
+
+
+# Registry of operation types, used by the profiling taxonomy and tests to
+# enumerate the primitive vocabulary of the framework.
+OP_TYPE_REGISTRY: dict[str, type] = {}
+
+
+class Operation:
+    """A node in the dataflow graph: the smallest schedulable unit.
+
+    Subclasses define:
+
+    * ``type_name`` — the operation type shown in profiles (``MatMul``...).
+    * ``op_class`` — the Fig. 3 taxonomy class.
+    * ``_output_specs`` — static shape/dtype inference, run at construction.
+    * ``compute`` — the numpy kernel.
+    * ``gradient`` — symbolic gradient construction (optional).
+    * ``work`` — analytic :class:`WorkEstimate` for the device models.
+    """
+
+    type_name: str = "Operation"
+    op_class: OpClass = OpClass.CONTROL
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if "type_name" in cls.__dict__:
+            OP_TYPE_REGISTRY[cls.type_name] = cls
+
+    def __init__(self, inputs: Sequence[Tensor] = (), attrs: dict | None = None,
+                 name: str | None = None, graph: "Graph | None" = None):
+        self.graph = graph if graph is not None else get_default_graph()
+        self.inputs: tuple[Tensor, ...] = tuple(inputs)
+        for tensor in self.inputs:
+            if not isinstance(tensor, Tensor):
+                raise GraphError(
+                    f"op inputs must be Tensors, got {type(tensor).__name__}; "
+                    "wrap raw values with ops.constant()")
+            if tensor.graph is not self.graph:
+                raise GraphError(
+                    f"input {tensor.name!r} belongs to a different graph")
+        self.attrs: dict[str, Any] = dict(attrs or {})
+        self.name = self.graph.unique_name(name or self.type_name)
+        specs = self._output_specs()
+        self.outputs: tuple[Tensor, ...] = tuple(
+            Tensor(self, i, shape, dtype) for i, (shape, dtype) in enumerate(specs))
+        self.graph._add(self)
+        self._work_cache: WorkEstimate | None = None
+
+    # -- interface for subclasses ------------------------------------------
+
+    def _output_specs(self) -> list[tuple[Shape, np.dtype]]:
+        raise NotImplementedError
+
+    def compute(self, inputs: tuple[np.ndarray, ...],
+                ctx: "RunContext") -> tuple[np.ndarray, ...]:
+        raise NotImplementedError
+
+    def gradient(self, grad_outputs: list["Tensor | None"]) -> list["Tensor | None"]:
+        from .errors import DifferentiationError
+        raise DifferentiationError(
+            f"operation type {self.type_name!r} is not differentiable")
+
+    def work(self) -> WorkEstimate:
+        """Analytic work for one execution; memoized since shapes are static."""
+        if self._work_cache is None:
+            self._work_cache = self._estimate_work()
+        return self._work_cache
+
+    def _estimate_work(self) -> WorkEstimate:
+        return WorkEstimate.zero()
+
+    # -- conveniences -------------------------------------------------------
+
+    @property
+    def output(self) -> Tensor:
+        """The sole output tensor; raises if the op has several."""
+        if len(self.outputs) != 1:
+            raise GraphError(
+                f"op {self.name!r} has {len(self.outputs)} outputs; "
+                "use .outputs[i]")
+        return self.outputs[0]
+
+    def __repr__(self) -> str:
+        return f"<Operation {self.name!r} type={self.type_name}>"
+
+
+class Graph:
+    """An append-only dataflow DAG with scoped, unique operation names."""
+
+    def __init__(self):
+        self._ops: list[Operation] = []
+        self._ops_by_name: dict[str, Operation] = {}
+        self._name_counts: dict[str, int] = {}
+        self._scope_stack: list[str] = []
+        self._consumers: dict[str, list[Operation]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def _add(self, op: Operation) -> None:
+        self._ops.append(op)
+        self._ops_by_name[op.name] = op
+        for tensor in op.inputs:
+            self._consumers.setdefault(tensor.name, []).append(op)
+
+    def unique_name(self, base: str) -> str:
+        scope = "/".join(self._scope_stack)
+        full = f"{scope}/{base}" if scope else base
+        count = self._name_counts.get(full, 0)
+        self._name_counts[full] = count + 1
+        return full if count == 0 else f"{full}_{count}"
+
+    @contextlib.contextmanager
+    def name_scope(self, name: str):
+        """Prefix operation names, e.g. ``with g.name_scope('conv1'): ...``."""
+        self._scope_stack.append(name)
+        try:
+            yield
+        finally:
+            self._scope_stack.pop()
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def operations(self) -> list[Operation]:
+        return list(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def get_operation(self, name: str) -> Operation:
+        try:
+            return self._ops_by_name[name]
+        except KeyError:
+            raise GraphError(f"no operation named {name!r}") from None
+
+    def consumers(self, tensor: Tensor) -> list[Operation]:
+        """Operations that consume ``tensor`` as an input."""
+        return list(self._consumers.get(tensor.name, []))
+
+    def subgraph(self, fetches: Sequence[Tensor]) -> list[Operation]:
+        """Operations needed to compute ``fetches``, in topological order.
+
+        Because the graph is append-only and inputs exist before their
+        consumers, filtering the construction order by reachability yields
+        a deterministic topological order.
+        """
+        needed: set[int] = set()
+        stack = [t.op for t in fetches]
+        while stack:
+            op = stack.pop()
+            if id(op) in needed:
+                continue
+            needed.add(id(op))
+            stack.extend(t.op for t in op.inputs)
+        return [op for op in self._ops if id(op) in needed]
+
+    def as_default(self):
+        """Context manager installing this graph as the construction target."""
+        return _default_graph_stack.scoped(self)
+
+
+class _DefaultGraphStack(threading.local):
+    """Thread-local stack of default graphs (mirrors TF's design)."""
+
+    def __init__(self):
+        self.stack: list[Graph] = [Graph()]
+
+    @property
+    def current(self) -> Graph:
+        return self.stack[-1]
+
+    @contextlib.contextmanager
+    def scoped(self, graph: Graph):
+        self.stack.append(graph)
+        try:
+            yield graph
+        finally:
+            self.stack.pop()
+
+    def reset(self):
+        self.stack = [Graph()]
+
+
+_default_graph_stack = _DefaultGraphStack()
+
+
+def get_default_graph() -> Graph:
+    """The graph new operations are added to."""
+    return _default_graph_stack.current
+
+
+def reset_default_graph() -> Graph:
+    """Replace the default graph with a fresh one and return it."""
+    _default_graph_stack.reset()
+    return _default_graph_stack.current
+
+
+@contextlib.contextmanager
+def name_scope(name: str):
+    """Name-scope on the current default graph."""
+    with get_default_graph().name_scope(name):
+        yield

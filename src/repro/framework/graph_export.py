@@ -1,0 +1,175 @@
+"""Dataflow-graph inspection: networkx export, statistics, DOT rendering.
+
+The paper emphasizes that a standard interface makes "simply inspecting
+the model's dataflow graph" straightforward. This module provides the
+inspection tools: convert a graph (or the pruned subgraph behind a fetch)
+to a ``networkx.DiGraph``, compute structural statistics architects care
+about (critical-path length, width, op-type histograms, arithmetic
+intensity), and emit Graphviz DOT for visualization.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import networkx as nx
+
+from .cost_model import WorkEstimate
+from .graph import Graph, Operation, Tensor
+
+
+def to_networkx(graph: Graph,
+                fetches: list[Tensor] | None = None) -> nx.DiGraph:
+    """Convert a graph (optionally pruned to ``fetches``) to networkx.
+
+    Node keys are operation names; node attributes carry ``op_type``,
+    ``op_class``, and output shapes; edge attributes carry the tensor
+    name and element count.
+    """
+    ops = graph.subgraph(fetches) if fetches is not None else graph.operations
+    included = {op.name for op in ops}
+    result = nx.DiGraph()
+    for op in ops:
+        result.add_node(op.name, op_type=op.type_name,
+                        op_class=op.op_class.name,
+                        output_shapes=[t.shape for t in op.outputs])
+    for op in ops:
+        for tensor in op.inputs:
+            if tensor.op.name in included:
+                result.add_edge(tensor.op.name, op.name,
+                                tensor=tensor.name, elements=tensor.size)
+    return result
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Structural statistics of a dataflow graph."""
+
+    num_ops: int
+    num_edges: int
+    critical_path_length: int
+    max_width: int
+    op_type_histogram: dict[str, int]
+    total_work: WorkEstimate
+
+    @property
+    def average_parallelism(self) -> float:
+        """Ops divided by critical path: the DAG's inherent parallelism."""
+        if self.critical_path_length == 0:
+            return 0.0
+        return self.num_ops / self.critical_path_length
+
+
+def graph_stats(graph: Graph,
+                fetches: list[Tensor] | None = None) -> GraphStats:
+    """Compute structural statistics for a graph or fetch subgraph."""
+    ops = graph.subgraph(fetches) if fetches is not None else graph.operations
+    included = {op.name for op in ops}
+    # Longest path via DP over the construction (topological) order.
+    depth: dict[str, int] = {}
+    num_edges = 0
+    for op in ops:
+        parents = [t.op.name for t in op.inputs if t.op.name in included]
+        num_edges += len(parents)
+        depth[op.name] = 1 + max((depth[p] for p in parents), default=0)
+    critical = max(depth.values(), default=0)
+    width = Counter(depth.values())
+    total = WorkEstimate.zero()
+    for op in ops:
+        total = total + op.work()
+    return GraphStats(
+        num_ops=len(ops),
+        num_edges=num_edges,
+        critical_path_length=critical,
+        max_width=max(width.values(), default=0),
+        op_type_histogram=dict(Counter(op.type_name for op in ops)),
+        total_work=total)
+
+
+def static_peak_bytes(graph: Graph,
+                      fetches: list[Tensor] | None = None) -> int:
+    """Peak live intermediate bytes, computed statically.
+
+    Replays the executor's exact policy — tensors materialize when their
+    op runs and die after their last consumer (fetched tensors live to
+    the end) — over the static shapes, without executing anything. By
+    construction this matches ``Session.last_peak_live_bytes`` for the
+    same fetch set, which the test suite asserts; use it to size memory
+    before committing to a configuration.
+    """
+    from .ops.state_ops import Placeholder
+
+    ops = graph.subgraph(fetches) if fetches is not None else graph.operations
+    fetch_names = {t.name for t in fetches} if fetches else set()
+    remaining: dict[str, int] = {}
+    for op in ops:
+        for tensor in op.inputs:
+            remaining[tensor.name] = remaining.get(tensor.name, 0) + 1
+    for name in fetch_names:
+        remaining[name] = remaining.get(name, 0) + 1
+
+    element_size = 4
+    live = 0
+    peak = 0
+    sizes: dict[str, int] = {}
+    for op in ops:
+        if isinstance(op, Placeholder):
+            # Mirrors the executor: feeds add to the live set but the
+            # peak is only sampled after a compute op's outputs land.
+            tensor = op.outputs[0]
+            sizes[tensor.name] = tensor.size * element_size
+            live += sizes[tensor.name]
+            continue
+        for tensor in op.outputs:
+            sizes[tensor.name] = tensor.size * element_size
+            live += sizes[tensor.name]
+        if live > peak:
+            peak = live
+        for tensor in op.inputs:
+            remaining[tensor.name] -= 1
+            if remaining[tensor.name] == 0:
+                live -= sizes.get(tensor.name, 0)
+    return peak
+
+
+_CLASS_COLORS = {
+    "MATRIX": "lightblue",
+    "CONVOLUTION": "lightsalmon",
+    "ELEMENTWISE": "lightyellow",
+    "REDUCTION_EXPANSION": "lightgreen",
+    "RANDOM_SAMPLING": "plum",
+    "OPTIMIZATION": "lightpink",
+    "DATA_MOVEMENT": "lightgray",
+    "STATE": "white",
+    "CONTROL": "white",
+}
+
+
+def to_dot(graph: Graph, fetches: list[Tensor] | None = None,
+           max_ops: int = 500) -> str:
+    """Render (a prefix of) the graph as Graphviz DOT.
+
+    Large graphs are truncated at ``max_ops`` nodes to stay renderable;
+    a comment records the truncation.
+    """
+    ops = graph.subgraph(fetches) if fetches is not None else graph.operations
+    truncated = len(ops) > max_ops
+    ops = ops[:max_ops]
+    included = {op.name for op in ops}
+    lines = ["digraph dataflow {", "  rankdir=TB;",
+             "  node [style=filled, shape=box, fontsize=10];"]
+    if truncated:
+        lines.append(f"  // truncated to first {max_ops} operations")
+    for op in ops:
+        color = _CLASS_COLORS.get(op.op_class.name, "white")
+        label = f"{op.name}\\n{op.type_name}"
+        lines.append(f'  "{op.name}" [label="{label}", fillcolor={color}];')
+    for op in ops:
+        for tensor in op.inputs:
+            if tensor.op.name in included:
+                lines.append(f'  "{tensor.op.name}" -> "{op.name}" '
+                             f'[label="{"x".join(map(str, tensor.shape))}"'
+                             ", fontsize=8];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Weight initializers.
+
+Plain functions from ``(rng, shape)`` to numpy arrays. Workloads own a
+seeded ``numpy.random.Generator`` for construction-time initialization,
+so the full (graph, parameters) pair is reproducible from a single seed —
+the paper's "standard, verified, reference workloads" requirement.
+"""
+
+from __future__ import annotations
+
+from math import prod, sqrt
+
+import numpy as np
+
+
+def zeros(rng: np.random.Generator, shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(rng: np.random.Generator, shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+def constant_fill(value: float):
+    def init(rng: np.random.Generator, shape) -> np.ndarray:
+        return np.full(shape, value, dtype=np.float32)
+    return init
+
+
+def _fans(shape) -> tuple[int, int]:
+    """(fan_in, fan_out) following the Keras convention for conv filters."""
+    if len(shape) < 1:
+        return 1, 1
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = prod(shape[:-2], start=1)
+    return shape[-2] * receptive, shape[-1] * receptive
+
+
+def glorot_uniform(rng: np.random.Generator, shape) -> np.ndarray:
+    """Glorot & Bengio (2010) uniform initializer."""
+    fan_in, fan_out = _fans(shape)
+    limit = sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(rng: np.random.Generator, shape) -> np.ndarray:
+    """He et al. (2015) initializer, as used by residual networks."""
+    fan_in, _ = _fans(shape)
+    raw = rng.standard_normal(shape, dtype=np.float32)
+    return raw * np.float32(sqrt(2.0 / fan_in))
+
+
+def truncated_normal(stddev: float = 0.01):
+    """AlexNet/VGG-style small-stddev normal, truncated at two sigma."""
+    def init(rng: np.random.Generator, shape) -> np.ndarray:
+        raw = rng.standard_normal(shape, dtype=np.float32)
+        while True:
+            bad = np.abs(raw) > 2.0
+            if not bad.any():
+                break
+            raw[bad] = rng.standard_normal(int(bad.sum()),
+                                           dtype=np.float32)
+        return raw * np.float32(stddev)
+    return init
+
+
+def uniform(limit: float):
+    def init(rng: np.random.Generator, shape) -> np.ndarray:
+        return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+    return init

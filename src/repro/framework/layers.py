@@ -1,0 +1,94 @@
+"""Layer-level builders composed from primitive operations.
+
+These helpers keep the workload definitions readable without hiding the
+operation-level structure: a ``dense`` layer is still a ``MatMul`` plus a
+``BiasAdd`` plus an activation in the graph, which is what the profiling
+stack sees.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from . import initializers
+from .graph import Tensor, name_scope
+from .ops import math_ops, nn_ops, state_ops
+
+Activation = Callable[[Tensor], Tensor] | None
+
+
+def dense(x: Tensor, units: int, rng: np.random.Generator,
+          activation: Activation = None,
+          kernel_init=initializers.glorot_uniform,
+          name: str = "dense") -> Tensor:
+    """Fully-connected layer: ``activation(x @ W + b)``."""
+    with name_scope(name):
+        weights = state_ops.variable(
+            kernel_init(rng, (x.shape[-1], units)), name="weights")
+        bias = state_ops.variable(np.zeros(units, dtype=np.float32),
+                                  name="bias")
+        out = nn_ops.bias_add(math_ops.matmul(x, weights), bias)
+        if activation is not None:
+            out = activation(out)
+        return out
+
+
+def conv2d_layer(x: Tensor, filters: int, kernel_size: int,
+                 rng: np.random.Generator, strides: int = 1,
+                 padding: str = "SAME", activation: Activation = None,
+                 kernel_init=initializers.he_normal, use_bias: bool = True,
+                 name: str = "conv") -> Tensor:
+    """Convolutional layer: ``activation(conv2d(x, W) + b)``."""
+    with name_scope(name):
+        in_channels = x.shape[-1]
+        filt = state_ops.variable(
+            kernel_init(rng, (kernel_size, kernel_size, in_channels, filters)),
+            name="filter")
+        out = nn_ops.conv2d(x, filt, strides=(strides, strides),
+                            padding=padding)
+        if use_bias:
+            bias = state_ops.variable(np.zeros(filters, dtype=np.float32),
+                                      name="bias")
+            out = nn_ops.bias_add(out, bias)
+        if activation is not None:
+            out = activation(out)
+        return out
+
+
+def batch_norm(x: Tensor, epsilon: float = 1e-5,
+               name: str = "batch_norm") -> Tensor:
+    """Batch normalization over all but the trailing (channel) axis.
+
+    Composed from reduction and elementwise primitives (Mean, Sub, Mul,
+    Sqrt, ...), the way TensorFlow v0.8 models expressed it — there was
+    no fused kernel, so normalization shows up in profiles as reduction
+    and elementwise time.
+    """
+    from .ops import math_ops, reduction_ops
+    with name_scope(name):
+        channels = x.shape[-1]
+        gamma = state_ops.variable(np.ones(channels, dtype=np.float32),
+                                   name="gamma")
+        beta = state_ops.variable(np.zeros(channels, dtype=np.float32),
+                                  name="beta")
+        axes = list(range(x.ndim - 1))
+        mean = reduction_ops.reduce_mean(x, axis=axes, keepdims=True)
+        centered = math_ops.subtract(x, mean)
+        variance = reduction_ops.reduce_mean(math_ops.square(centered),
+                                             axis=axes, keepdims=True)
+        normalized = math_ops.divide(
+            centered, math_ops.sqrt(math_ops.add(variance, epsilon)))
+        return math_ops.add(math_ops.multiply(normalized, gamma), beta)
+
+
+def embedding(ids: Tensor, vocab_size: int, embed_dim: int,
+              rng: np.random.Generator, name: str = "embedding") -> Tensor:
+    """Look up embedding vectors for integer token ids."""
+    from .ops import array_ops
+    with name_scope(name):
+        table = state_ops.variable(
+            initializers.uniform(0.1)(rng, (vocab_size, embed_dim)),
+            name="table")
+        return array_ops.gather(table, ids)

@@ -1,0 +1,58 @@
+"""The primitive operation library.
+
+Submodules group operations the way the paper's Fig. 3 taxonomy does:
+math (matrix + elementwise), array (data movement), reductions, neural-
+network kernels (convolution, pooling, softmax), random sampling, state,
+and the CTC loss. The flat re-exports below form the framework's public
+op vocabulary.
+"""
+
+from . import (array_ops, loss_ops, math_ops, nn_ops, random_ops,
+               reduction_ops, state_ops)
+from .array_ops import (concat, expand_dims, flatten, gather, one_hot, pad,
+                        reshape, shape_of, slice_, split, squeeze, stack,
+                        tile, transpose, unstack)
+from .loss_ops import ctc_greedy_decode, ctc_loss
+from .math_ops import (abs_, add, add_n, batch_matmul, cast, ceil,
+                       clip_by_value, divide, elu, equal, exp, floor,
+                       greater, greater_equal, leaky_relu, less, less_equal,
+                       log, matmul, maximum, minimum, multiply, negative,
+                       power, relu, round_, select, sigmoid, sign, sqrt,
+                       square, subtract, tanh)
+from .nn_ops import (avg_pool, bias_add, conv2d, dropout, log_softmax, lrn,
+                     max_pool, softmax, softmax_cross_entropy_with_logits)
+from .random_ops import multinomial, random_normal, random_uniform
+from .reduction_ops import (argmax, reduce_max, reduce_mean, reduce_min,
+                            reduce_sum, top_k)
+from .state_ops import (as_tensor, assign, constant, group, identity,
+                        placeholder, stop_gradient, trainable_variables,
+                        variable)
+
+__all__ = [
+    "array_ops", "loss_ops", "math_ops", "nn_ops", "random_ops",
+    "reduction_ops", "state_ops",
+    # array
+    "concat", "expand_dims", "flatten", "gather", "one_hot", "pad",
+    "reshape", "shape_of", "slice_", "split", "squeeze", "stack", "tile",
+    "transpose", "unstack",
+    # loss
+    "ctc_greedy_decode", "ctc_loss",
+    # math
+    "abs_", "add", "add_n", "batch_matmul", "cast", "ceil",
+    "clip_by_value", "divide", "elu", "equal", "exp", "floor", "greater",
+    "greater_equal", "leaky_relu", "less", "less_equal", "log", "matmul",
+    "maximum", "minimum", "multiply", "negative", "power", "relu",
+    "round_", "select", "sigmoid", "sign", "sqrt", "square", "subtract",
+    "tanh",
+    # nn
+    "avg_pool", "bias_add", "conv2d", "dropout", "log_softmax", "lrn",
+    "max_pool", "softmax", "softmax_cross_entropy_with_logits",
+    # random
+    "multinomial", "random_normal", "random_uniform",
+    # reduction
+    "argmax", "reduce_max", "reduce_mean", "reduce_min", "reduce_sum",
+    "top_k",
+    # state
+    "as_tensor", "assign", "constant", "group", "identity", "placeholder",
+    "stop_gradient", "trainable_variables", "variable",
+]

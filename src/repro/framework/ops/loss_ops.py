@@ -1,0 +1,205 @@
+"""Connectionist temporal classification (CTC) loss.
+
+Deep Speech's defining computational feature (after its stack of dense
+layers) is the CTC loss of Graves et al. (2006), which learns from
+*unsegmented* label sequences by marginalizing over all monotonic
+alignments between the input frames and the label string. The paper's
+Fig. 3 shows CTC-related reductions as the only non-MatMul time in the
+speech workload.
+
+This module implements the full log-space forward-backward algorithm as a
+single fused operation, mirroring TensorFlow's ``CTCLoss`` kernel: the op
+emits both the per-example loss and the gradient with respect to the
+logits, so the backward pass is a cheap elementwise product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cost_model import WorkEstimate
+from ..errors import ShapeError
+from ..graph import Operation, OpClass, Tensor
+from .state_ops import as_tensor
+
+NEG_INF = -1e30  # effective log(0) that survives float32 arithmetic
+
+
+def _extend_labels(labels: np.ndarray, blank: int) -> np.ndarray:
+    """Interleave blanks: ``[a, b]`` becomes ``[-, a, -, b, -]``."""
+    extended = np.full(2 * len(labels) + 1, blank, dtype=np.int64)
+    extended[1::2] = labels
+    return extended
+
+
+def ctc_forward_backward(log_probs: np.ndarray, labels: np.ndarray,
+                         blank: int) -> tuple[float, np.ndarray]:
+    """Loss and logit-gradient for one example.
+
+    Args:
+        log_probs: ``(time, classes)`` log-softmax outputs.
+        labels: 1-D int array of target class indices (no blanks).
+        blank: index of the blank class.
+
+    Returns:
+        ``(loss, grad)`` where ``grad`` has the shape of ``log_probs`` and
+        is the derivative of the loss with respect to the *logits*.
+    """
+    time_steps, num_classes = log_probs.shape
+    extended = _extend_labels(labels, blank)
+    num_states = len(extended)
+    if time_steps < len(labels):
+        raise ShapeError(
+            f"CTC needs at least as many frames ({time_steps}) as labels "
+            f"({len(labels)})")
+
+    # Which states allow the diagonal skip transition s-2 -> s.
+    can_skip = np.zeros(num_states, dtype=bool)
+    if num_states > 2:
+        can_skip[2:] = (extended[2:] != blank) & (extended[2:] != extended[:-2])
+
+    alpha = np.full((time_steps, num_states), NEG_INF)
+    alpha[0, 0] = log_probs[0, extended[0]]
+    if num_states > 1:
+        alpha[0, 1] = log_probs[0, extended[1]]
+    for t in range(1, time_steps):
+        stay = alpha[t - 1]
+        step = np.full(num_states, NEG_INF)
+        step[1:] = alpha[t - 1, :-1]
+        merged = np.logaddexp(stay, step)
+        skip = np.full(num_states, NEG_INF)
+        skip[2:] = np.where(can_skip[2:], alpha[t - 1, :-2], NEG_INF)
+        merged = np.logaddexp(merged, skip)
+        alpha[t] = merged + log_probs[t, extended]
+
+    if num_states > 1:
+        log_total = np.logaddexp(alpha[-1, -1], alpha[-1, -2])
+    else:
+        log_total = alpha[-1, -1]
+
+    beta = np.full((time_steps, num_states), NEG_INF)
+    beta[-1, -1] = 0.0
+    if num_states > 1:
+        beta[-1, -2] = 0.0
+    for t in range(time_steps - 2, -1, -1):
+        emitted = beta[t + 1] + log_probs[t + 1, extended]
+        stay = emitted
+        step = np.full(num_states, NEG_INF)
+        step[:-1] = emitted[1:]
+        merged = np.logaddexp(stay, step)
+        skip = np.full(num_states, NEG_INF)
+        skip[:-2] = np.where(can_skip[2:], emitted[2:], NEG_INF)
+        merged = np.logaddexp(merged, skip)
+        beta[t] = merged
+
+    # Posterior over states, folded back onto classes.
+    gamma = alpha + beta - log_total
+    label_posterior = np.zeros((time_steps, num_classes))
+    for state, cls in enumerate(extended):
+        label_posterior[:, cls] += np.exp(
+            np.clip(gamma[:, state], NEG_INF, 0.0))
+    grad = np.exp(log_probs) - label_posterior
+    return float(-log_total), grad.astype(np.float32)
+
+
+class CTCLoss(Operation):
+    """Batched CTC loss over ``(time, batch, classes)`` logits.
+
+    Inputs: logits, dense int labels ``(batch, max_label_len)``, label
+    lengths ``(batch,)``, and input lengths ``(batch,)``. Outputs: per-
+    example loss ``(batch,)`` and the gradient tensor used by autodiff
+    (index 1), following TensorFlow's fused-kernel design.
+    """
+
+    type_name = "CTCLoss"
+    op_class = OpClass.REDUCTION_EXPANSION
+
+    def _output_specs(self):
+        logits, labels, label_lengths, input_lengths = self.inputs
+        if logits.ndim != 3:
+            raise ShapeError(f"CTC logits must be (time, batch, classes), "
+                             f"got {logits.shape}")
+        if labels.ndim != 2 or labels.shape[0] != logits.shape[1]:
+            raise ShapeError(
+                f"CTC labels {labels.shape} must be (batch, max_len) with "
+                f"batch {logits.shape[1]}")
+        for lengths in (label_lengths, input_lengths):
+            if lengths.shape != (logits.shape[1],):
+                raise ShapeError("CTC length vectors must be shape (batch,)")
+        return [((logits.shape[1],), np.dtype(np.float32)),
+                (logits.shape, np.dtype(np.float32))]
+
+    def compute(self, inputs, ctx):
+        logits, labels, label_lengths, input_lengths = inputs
+        time_steps, batch, num_classes = logits.shape
+        blank = self.attrs["blank"]
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        log_probs = shifted - np.log(
+            np.exp(shifted).sum(axis=-1, keepdims=True))
+        losses = np.zeros(batch, dtype=np.float32)
+        grads = np.zeros_like(logits, dtype=np.float32)
+        for b in range(batch):
+            t_len = int(input_lengths[b])
+            l_len = int(label_lengths[b])
+            seq = labels[b, :l_len].astype(np.int64)
+            loss, grad = ctc_forward_backward(log_probs[:t_len, b], seq, blank)
+            losses[b] = loss
+            grads[:t_len, b] = grad
+        return (losses, grads)
+
+    def gradient(self, grads):
+        from . import array_ops, math_ops
+        # Loss gradient per example, broadcast over (time, classes), times
+        # the precomputed logit gradient.
+        g = grads[0]
+        if g is None:
+            return [None, None, None, None]
+        g = array_ops.reshape(g, (1, self.inputs[0].shape[1], 1))
+        return [math_ops.multiply(g, self.outputs[1]), None, None, None]
+
+    def _estimate_work(self):
+        time_steps, batch, num_classes = self.inputs[0].shape
+        max_label = self.inputs[1].shape[1]
+        states = 2 * max_label + 1
+        # Two dynamic-programming sweeps over (time, states) per example;
+        # sequential in time, so parallelism is only across the batch.
+        # Each cell merges up to three predecessors in log space
+        # (logaddexp ~ exp + log1p + compares, ~20 flops per merge).
+        flops = 2.0 * time_steps * states * 60.0 * batch
+        flops += 8.0 * time_steps * batch * num_classes  # softmax + fold
+        return WorkEstimate(flops=flops,
+                            bytes_moved=16.0 * self.inputs[0].size,
+                            trip_count=float(batch))
+
+
+def ctc_loss(logits, labels, label_lengths, input_lengths,
+             blank: int | None = None, name=None) -> Tensor:
+    """CTC loss: see :class:`CTCLoss`. ``blank`` defaults to the last class."""
+    logits = as_tensor(logits)
+    if blank is None:
+        blank = logits.shape[-1] - 1
+    op = CTCLoss([logits,
+                  as_tensor(labels, dtype=np.int32),
+                  as_tensor(label_lengths, dtype=np.int32),
+                  as_tensor(input_lengths, dtype=np.int32)],
+                 attrs={"blank": blank}, name=name)
+    return op.outputs[0]
+
+
+def ctc_greedy_decode(log_probs: np.ndarray, blank: int) -> list[list[int]]:
+    """Best-path decoding: argmax per frame, collapse repeats, drop blanks.
+
+    Args:
+        log_probs: ``(time, batch, classes)`` frame scores.
+        blank: blank class index.
+    """
+    best = log_probs.argmax(axis=-1)
+    decoded = []
+    for b in range(best.shape[1]):
+        sequence, previous = [], -1
+        for cls in best[:, b]:
+            if cls != previous and cls != blank:
+                sequence.append(int(cls))
+            previous = cls
+        decoded.append(sequence)
+    return decoded

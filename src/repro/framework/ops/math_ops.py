@@ -1,0 +1,752 @@
+"""Elementwise arithmetic and dense matrix operations.
+
+These are the workhorse operation types of the Fathom profiles: ``MatMul``
+dominates the fully-connected and recurrent workloads (speech, seq2seq),
+elementwise ``Mul``/``Add``/``Tanh``/``Sigmoid`` implement LSTM gate
+arithmetic, and the comparison ops build accuracy metrics.
+
+All binary elementwise operations support numpy-style broadcasting; their
+gradients reduce-sum over broadcast dimensions so that, e.g., a bias vector
+added to a batch of activations receives a correctly-shaped gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cost_model import (WorkEstimate, elementwise_work, matmul_work,
+                          num_elements)
+from ..errors import ShapeError
+from ..graph import Operation, OpClass, Tensor
+from .state_ops import as_tensor
+
+
+def _broadcast_shape(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
+    try:
+        return tuple(int(d) for d in np.broadcast_shapes(a, b))
+    except ValueError as exc:
+        raise ShapeError(f"cannot broadcast {a} with {b}") from exc
+
+
+def unbroadcast(grad: Tensor, shape: tuple[int, ...]) -> Tensor:
+    """Reduce a broadcast gradient back down to ``shape``.
+
+    Sums over dimensions that were expanded by broadcasting, then reshapes
+    to restore size-1 dimensions.
+    """
+    from . import array_ops, reduction_ops
+    if grad.shape == shape:
+        return grad
+    n_extra = len(grad.shape) - len(shape)
+    axes = list(range(n_extra))
+    for i, dim in enumerate(shape):
+        if dim == 1 and grad.shape[n_extra + i] != 1:
+            axes.append(n_extra + i)
+    if axes:
+        grad = reduction_ops.reduce_sum(grad, axis=axes, keepdims=False)
+    if grad.shape != shape:
+        grad = array_ops.reshape(grad, shape)
+    return grad
+
+
+class _BinaryElementwise(Operation):
+    """Shared machinery for broadcasting binary elementwise ops."""
+
+    op_class = OpClass.ELEMENTWISE
+    _flops_per_element = 1.0
+
+    def _output_specs(self):
+        a, b = self.inputs
+        shape = _broadcast_shape(a.shape, b.shape)
+        dtype = np.result_type(a.dtype, b.dtype)
+        return [(shape, dtype)]
+
+    def _estimate_work(self):
+        return elementwise_work(self.output.shape, n_inputs=2,
+                                flops_per_element=self._flops_per_element)
+
+
+class Add(_BinaryElementwise):
+    type_name = "Add"
+
+    def compute(self, inputs, ctx):
+        return (inputs[0] + inputs[1],)
+
+    def gradient(self, grads):
+        g = grads[0]
+        return [unbroadcast(g, self.inputs[0].shape),
+                unbroadcast(g, self.inputs[1].shape)]
+
+
+class Sub(_BinaryElementwise):
+    type_name = "Sub"
+
+    def compute(self, inputs, ctx):
+        return (inputs[0] - inputs[1],)
+
+    def gradient(self, grads):
+        g = grads[0]
+        return [unbroadcast(g, self.inputs[0].shape),
+                unbroadcast(negative(g), self.inputs[1].shape)]
+
+
+class Mul(_BinaryElementwise):
+    type_name = "Mul"
+
+    def compute(self, inputs, ctx):
+        return (inputs[0] * inputs[1],)
+
+    def gradient(self, grads):
+        g = grads[0]
+        a, b = self.inputs
+        return [unbroadcast(multiply(g, b), a.shape),
+                unbroadcast(multiply(g, a), b.shape)]
+
+
+class Div(_BinaryElementwise):
+    type_name = "Div"
+
+    def compute(self, inputs, ctx):
+        return (inputs[0] / inputs[1],)
+
+    def gradient(self, grads):
+        g = grads[0]
+        a, b = self.inputs
+        ga = divide(g, b)
+        gb = negative(divide(multiply(g, self.output), b))
+        return [unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)]
+
+
+class Pow(_BinaryElementwise):
+    type_name = "Pow"
+    _flops_per_element = 4.0
+
+    def compute(self, inputs, ctx):
+        return (np.power(inputs[0], inputs[1]),)
+
+    def gradient(self, grads):
+        from .state_ops import Const
+        g = grads[0]
+        a, b = self.inputs
+        ga = multiply(g, multiply(b, power(a, subtract(b, 1.0))))
+        if isinstance(b.op, Const):
+            # Exponent is a compile-time constant (the common x**2 case);
+            # no gradient flows into it.
+            gb = None
+        else:
+            gb = unbroadcast(multiply(g, multiply(self.output, log(a))), b.shape)
+        return [unbroadcast(ga, a.shape), gb]
+
+
+class Maximum(_BinaryElementwise):
+    type_name = "Maximum"
+
+    def compute(self, inputs, ctx):
+        return (np.maximum(inputs[0], inputs[1]),)
+
+    def gradient(self, grads):
+        g = grads[0]
+        a, b = self.inputs
+        mask = greater_equal(a, b)
+        return [unbroadcast(multiply(g, mask), a.shape),
+                unbroadcast(multiply(g, subtract(1.0, mask)), b.shape)]
+
+
+class Minimum(_BinaryElementwise):
+    type_name = "Minimum"
+
+    def compute(self, inputs, ctx):
+        return (np.minimum(inputs[0], inputs[1]),)
+
+    def gradient(self, grads):
+        g = grads[0]
+        a, b = self.inputs
+        mask = less_equal(a, b)
+        return [unbroadcast(multiply(g, mask), a.shape),
+                unbroadcast(multiply(g, subtract(1.0, mask)), b.shape)]
+
+
+class _Comparison(_BinaryElementwise):
+    """Comparisons emit float32 masks (convenient for metric arithmetic)."""
+
+    def _output_specs(self):
+        a, b = self.inputs
+        return [(_broadcast_shape(a.shape, b.shape), np.dtype(np.float32))]
+
+    def gradient(self, grads):
+        return [None, None]
+
+
+class Equal(_Comparison):
+    type_name = "Equal"
+
+    def compute(self, inputs, ctx):
+        return ((inputs[0] == inputs[1]).astype(np.float32),)
+
+
+class Greater(_Comparison):
+    type_name = "Greater"
+
+    def compute(self, inputs, ctx):
+        return ((inputs[0] > inputs[1]).astype(np.float32),)
+
+
+class GreaterEqual(_Comparison):
+    type_name = "GreaterEqual"
+
+    def compute(self, inputs, ctx):
+        return ((inputs[0] >= inputs[1]).astype(np.float32),)
+
+
+class Less(_Comparison):
+    type_name = "Less"
+
+    def compute(self, inputs, ctx):
+        return ((inputs[0] < inputs[1]).astype(np.float32),)
+
+
+class LessEqual(_Comparison):
+    type_name = "LessEqual"
+
+    def compute(self, inputs, ctx):
+        return ((inputs[0] <= inputs[1]).astype(np.float32),)
+
+
+class _UnaryElementwise(Operation):
+    op_class = OpClass.ELEMENTWISE
+    _flops_per_element = 1.0
+
+    def _output_specs(self):
+        x = self.inputs[0]
+        return [(x.shape, x.dtype)]
+
+    def _estimate_work(self):
+        return elementwise_work(self.output.shape, n_inputs=1,
+                                flops_per_element=self._flops_per_element)
+
+
+class Neg(_UnaryElementwise):
+    type_name = "Neg"
+
+    def compute(self, inputs, ctx):
+        return (-inputs[0],)
+
+    def gradient(self, grads):
+        return [negative(grads[0])]
+
+
+class Exp(_UnaryElementwise):
+    type_name = "Exp"
+    _flops_per_element = 4.0
+
+    def compute(self, inputs, ctx):
+        return (np.exp(inputs[0]),)
+
+    def gradient(self, grads):
+        return [multiply(grads[0], self.output)]
+
+
+class Log(_UnaryElementwise):
+    type_name = "Log"
+    _flops_per_element = 4.0
+
+    def compute(self, inputs, ctx):
+        return (np.log(inputs[0]),)
+
+    def gradient(self, grads):
+        return [divide(grads[0], self.inputs[0])]
+
+
+class Sqrt(_UnaryElementwise):
+    type_name = "Sqrt"
+    _flops_per_element = 2.0
+
+    def compute(self, inputs, ctx):
+        return (np.sqrt(inputs[0]),)
+
+    def gradient(self, grads):
+        return [divide(grads[0], multiply(2.0, self.output))]
+
+
+class Square(_UnaryElementwise):
+    type_name = "Square"
+
+    def compute(self, inputs, ctx):
+        return (np.square(inputs[0]),)
+
+    def gradient(self, grads):
+        return [multiply(grads[0], multiply(2.0, self.inputs[0]))]
+
+
+class Abs(_UnaryElementwise):
+    type_name = "Abs"
+
+    def compute(self, inputs, ctx):
+        return (np.abs(inputs[0]),)
+
+    def gradient(self, grads):
+        return [multiply(grads[0], sign(self.inputs[0]))]
+
+
+class Sign(_UnaryElementwise):
+    type_name = "Sign"
+
+    def compute(self, inputs, ctx):
+        return (np.sign(inputs[0]),)
+
+    def gradient(self, grads):
+        return [None]
+
+
+class Tanh(_UnaryElementwise):
+    type_name = "Tanh"
+    _flops_per_element = 6.0
+
+    def compute(self, inputs, ctx):
+        return (np.tanh(inputs[0]),)
+
+    def gradient(self, grads):
+        # d/dx tanh(x) = 1 - tanh(x)^2, expressed over the cached output.
+        return [multiply(grads[0], subtract(1.0, square(self.output)))]
+
+
+class Sigmoid(_UnaryElementwise):
+    type_name = "Sigmoid"
+    _flops_per_element = 5.0
+
+    def compute(self, inputs, ctx):
+        x = inputs[0]
+        # Numerically stable two-sided formulation.
+        out = np.empty_like(x, dtype=np.float32)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        return (out,)
+
+    def gradient(self, grads):
+        return [multiply(grads[0], multiply(self.output,
+                                            subtract(1.0, self.output)))]
+
+
+class Relu(_UnaryElementwise):
+    type_name = "Relu"
+
+    def compute(self, inputs, ctx):
+        return (np.maximum(inputs[0], 0.0),)
+
+    def gradient(self, grads):
+        return [ReluGrad([grads[0], self.output]).output]
+
+
+class ReluGrad(Operation):
+    """Backward kernel for Relu: pass gradient where the activation fired."""
+
+    type_name = "ReluGrad"
+    op_class = OpClass.ELEMENTWISE
+
+    def _output_specs(self):
+        return [(self.inputs[0].shape, self.inputs[0].dtype)]
+
+    def compute(self, inputs, ctx):
+        grad, activated = inputs
+        return (grad * (activated > 0.0),)
+
+    def _estimate_work(self):
+        return elementwise_work(self.output.shape, n_inputs=2)
+
+
+class Floor(_UnaryElementwise):
+    type_name = "Floor"
+
+    def compute(self, inputs, ctx):
+        return (np.floor(inputs[0]),)
+
+    def gradient(self, grads):
+        return [None]
+
+
+class Ceil(_UnaryElementwise):
+    type_name = "Ceil"
+
+    def compute(self, inputs, ctx):
+        return (np.ceil(inputs[0]),)
+
+    def gradient(self, grads):
+        return [None]
+
+
+class Round(_UnaryElementwise):
+    type_name = "Round"
+
+    def compute(self, inputs, ctx):
+        return (np.round(inputs[0]),)
+
+    def gradient(self, grads):
+        return [None]
+
+
+class Elu(_UnaryElementwise):
+    """Exponential linear unit: x if x > 0 else alpha*(exp(x)-1)."""
+
+    type_name = "Elu"
+    _flops_per_element = 4.0
+
+    def compute(self, inputs, ctx):
+        x = inputs[0]
+        alpha = self.attrs["alpha"]
+        return (np.where(x > 0.0, x,
+                         alpha * (np.exp(np.minimum(x, 0.0)) - 1.0))
+                .astype(x.dtype),)
+
+    def gradient(self, grads):
+        # d/dx = 1 for x>0, alpha*exp(x) = y + alpha otherwise.
+        alpha = self.attrs["alpha"]
+        positive = greater(self.inputs[0], 0.0)
+        slope = add(multiply(positive, 1.0),
+                    multiply(subtract(1.0, positive),
+                             add(self.output, alpha)))
+        return [multiply(grads[0], slope)]
+
+
+class Select(Operation):
+    """Elementwise conditional: ``where(condition, x, y)``.
+
+    ``condition`` is a float mask (1.0 selects x); gradients flow to x
+    and y through the mask, never to the condition.
+    """
+
+    type_name = "Select"
+    op_class = OpClass.ELEMENTWISE
+
+    def _output_specs(self):
+        cond, x, y = self.inputs
+        shape = _broadcast_shape(_broadcast_shape(cond.shape, x.shape),
+                                 y.shape)
+        return [(shape, np.result_type(x.dtype, y.dtype))]
+
+    def compute(self, inputs, ctx):
+        cond, x, y = inputs
+        return (np.where(cond != 0.0, x, y),)
+
+    def gradient(self, grads):
+        g = grads[0]
+        cond, x, y = self.inputs
+        gx = unbroadcast(multiply(g, cond), x.shape)
+        gy = unbroadcast(multiply(g, subtract(1.0, cond)), y.shape)
+        return [None, gx, gy]
+
+    def _estimate_work(self):
+        return elementwise_work(self.output.shape, n_inputs=3)
+
+
+class Cast(_UnaryElementwise):
+    type_name = "Cast"
+
+    def _output_specs(self):
+        return [(self.inputs[0].shape, self.attrs["dtype"])]
+
+    def compute(self, inputs, ctx):
+        return (inputs[0].astype(self.attrs["dtype"]),)
+
+    def gradient(self, grads):
+        if grads[0] is None:
+            return [None]
+        return [cast(grads[0], self.inputs[0].dtype)]
+
+
+class AddN(Operation):
+    """N-ary elementwise sum; autodiff's gradient accumulator.
+
+    Appears in the seq2seq profile (Fig. 6b): every parameter reused across
+    unrolled timesteps accumulates its per-step gradients through AddN.
+    """
+
+    type_name = "AddN"
+    op_class = OpClass.ELEMENTWISE
+
+    def _output_specs(self):
+        first = self.inputs[0]
+        for tensor in self.inputs[1:]:
+            if tensor.shape != first.shape:
+                raise ShapeError(
+                    f"AddN inputs must share a shape, got {first.shape} "
+                    f"and {tensor.shape}")
+        return [(first.shape, first.dtype)]
+
+    def compute(self, inputs, ctx):
+        total = inputs[0].copy()
+        for value in inputs[1:]:
+            total += value
+        return (total,)
+
+    def gradient(self, grads):
+        return [grads[0]] * len(self.inputs)
+
+    def _estimate_work(self):
+        return elementwise_work(self.output.shape, n_inputs=len(self.inputs),
+                                flops_per_element=float(len(self.inputs) - 1))
+
+
+class MatMul(Operation):
+    """Dense 2-D matrix multiplication, optionally transposing inputs."""
+
+    type_name = "MatMul"
+    op_class = OpClass.MATRIX
+
+    def _output_specs(self):
+        a, b = self.inputs
+        if a.ndim != 2 or b.ndim != 2:
+            raise ShapeError(
+                f"MatMul requires rank-2 inputs, got {a.shape} and {b.shape}")
+        m, ka = a.shape[::-1] if self.attrs["transpose_a"] else a.shape
+        kb, n = b.shape[::-1] if self.attrs["transpose_b"] else b.shape
+        if ka != kb:
+            raise ShapeError(
+                f"MatMul inner dimensions differ: {a.shape} x {b.shape} "
+                f"(transpose_a={self.attrs['transpose_a']}, "
+                f"transpose_b={self.attrs['transpose_b']})")
+        return [((m, n), np.result_type(a.dtype, b.dtype))]
+
+    def compute(self, inputs, ctx):
+        a, b = inputs
+        if self.attrs["transpose_a"]:
+            a = a.T
+        if self.attrs["transpose_b"]:
+            b = b.T
+        return (a @ b,)
+
+    def gradient(self, grads):
+        g = grads[0]
+        a, b = self.inputs
+        ta, tb = self.attrs["transpose_a"], self.attrs["transpose_b"]
+        if not ta and not tb:
+            ga = matmul(g, b, transpose_b=True)
+            gb = matmul(a, g, transpose_a=True)
+        elif not ta and tb:
+            ga = matmul(g, b)
+            gb = matmul(g, a, transpose_a=True)
+        elif ta and not tb:
+            ga = matmul(b, g, transpose_b=True)
+            gb = matmul(a, g)
+        else:
+            ga = matmul(b, g, transpose_a=True, transpose_b=True)
+            gb = matmul(g, a, transpose_a=True, transpose_b=True)
+        return [ga, gb]
+
+    def _estimate_work(self):
+        m, n = self.output.shape
+        a = self.inputs[0]
+        k = a.shape[0] if self.attrs["transpose_a"] else a.shape[1]
+        return matmul_work(m, k, n)
+
+
+class BatchMatMul(Operation):
+    """Batched 3-D matrix multiplication: ``(b, m, k) @ (b, k, n)``."""
+
+    type_name = "BatchMatMul"
+    op_class = OpClass.MATRIX
+
+    def _output_specs(self):
+        a, b = self.inputs
+        if a.ndim != 3 or b.ndim != 3:
+            raise ShapeError(
+                f"BatchMatMul requires rank-3 inputs, got {a.shape}, {b.shape}")
+        if a.shape[0] != b.shape[0]:
+            raise ShapeError(
+                f"BatchMatMul batch dims differ: {a.shape[0]} vs {b.shape[0]}")
+        ta, tb = self.attrs["adj_a"], self.attrs["adj_b"]
+        m, ka = (a.shape[2], a.shape[1]) if ta else (a.shape[1], a.shape[2])
+        kb, n = (b.shape[2], b.shape[1]) if tb else (b.shape[1], b.shape[2])
+        if ka != kb:
+            raise ShapeError(
+                f"BatchMatMul inner dimensions differ: {a.shape} x {b.shape}")
+        return [((a.shape[0], m, n), np.result_type(a.dtype, b.dtype))]
+
+    def compute(self, inputs, ctx):
+        a, b = inputs
+        if self.attrs["adj_a"]:
+            a = np.swapaxes(a, 1, 2)
+        if self.attrs["adj_b"]:
+            b = np.swapaxes(b, 1, 2)
+        return (a @ b,)
+
+    def gradient(self, grads):
+        g = grads[0]
+        a, b = self.inputs
+        ta, tb = self.attrs["adj_a"], self.attrs["adj_b"]
+        if not ta and not tb:
+            ga = batch_matmul(g, b, adj_b=True)
+            gb = batch_matmul(a, g, adj_a=True)
+        elif not ta and tb:
+            ga = batch_matmul(g, b)
+            gb = batch_matmul(g, a, adj_a=True)
+        elif ta and not tb:
+            ga = batch_matmul(b, g, adj_b=True)
+            gb = batch_matmul(a, g)
+        else:
+            ga = batch_matmul(b, g, adj_a=True, adj_b=True)
+            gb = batch_matmul(g, a, adj_a=True, adj_b=True)
+        return [ga, gb]
+
+    def _estimate_work(self):
+        batch, m, n = self.output.shape
+        a = self.inputs[0]
+        k = a.shape[1] if self.attrs["adj_a"] else a.shape[2]
+        return matmul_work(batch * m, k, n)
+
+
+# -- public constructors ------------------------------------------------------
+
+
+def _binary(op_cls, a, b, name):
+    a, b = as_tensor(a), as_tensor(b)
+    return op_cls([a, b], name=name).output
+
+
+def add(a, b, name=None) -> Tensor:
+    return _binary(Add, a, b, name)
+
+
+def subtract(a, b, name=None) -> Tensor:
+    return _binary(Sub, a, b, name)
+
+
+def multiply(a, b, name=None) -> Tensor:
+    return _binary(Mul, a, b, name)
+
+
+def divide(a, b, name=None) -> Tensor:
+    return _binary(Div, a, b, name)
+
+
+def power(a, b, name=None) -> Tensor:
+    return _binary(Pow, a, b, name)
+
+
+def maximum(a, b, name=None) -> Tensor:
+    return _binary(Maximum, a, b, name)
+
+
+def minimum(a, b, name=None) -> Tensor:
+    return _binary(Minimum, a, b, name)
+
+
+def equal(a, b, name=None) -> Tensor:
+    return _binary(Equal, a, b, name)
+
+
+def greater(a, b, name=None) -> Tensor:
+    return _binary(Greater, a, b, name)
+
+
+def greater_equal(a, b, name=None) -> Tensor:
+    return _binary(GreaterEqual, a, b, name)
+
+
+def less(a, b, name=None) -> Tensor:
+    return _binary(Less, a, b, name)
+
+
+def less_equal(a, b, name=None) -> Tensor:
+    return _binary(LessEqual, a, b, name)
+
+
+def add_n(values, name=None) -> Tensor:
+    tensors = [as_tensor(v) for v in values]
+    if len(tensors) == 1:
+        return tensors[0]
+    return AddN(tensors, name=name).output
+
+
+def negative(x, name=None) -> Tensor:
+    return Neg([as_tensor(x)], name=name).output
+
+
+def exp(x, name=None) -> Tensor:
+    return Exp([as_tensor(x)], name=name).output
+
+
+def log(x, name=None) -> Tensor:
+    return Log([as_tensor(x)], name=name).output
+
+
+def sqrt(x, name=None) -> Tensor:
+    return Sqrt([as_tensor(x)], name=name).output
+
+
+def square(x, name=None) -> Tensor:
+    return Square([as_tensor(x)], name=name).output
+
+
+def abs_(x, name=None) -> Tensor:
+    return Abs([as_tensor(x)], name=name).output
+
+
+def sign(x, name=None) -> Tensor:
+    return Sign([as_tensor(x)], name=name).output
+
+
+def tanh(x, name=None) -> Tensor:
+    return Tanh([as_tensor(x)], name=name).output
+
+
+def sigmoid(x, name=None) -> Tensor:
+    return Sigmoid([as_tensor(x)], name=name).output
+
+
+def relu(x, name=None) -> Tensor:
+    return Relu([as_tensor(x)], name=name).output
+
+
+def floor(x, name=None) -> Tensor:
+    return Floor([as_tensor(x)], name=name).output
+
+
+def ceil(x, name=None) -> Tensor:
+    return Ceil([as_tensor(x)], name=name).output
+
+
+def round_(x, name=None) -> Tensor:
+    return Round([as_tensor(x)], name=name).output
+
+
+def elu(x, alpha: float = 1.0, name=None) -> Tensor:
+    return Elu([as_tensor(x)], attrs={"alpha": float(alpha)},
+               name=name).output
+
+
+def select(condition, x, y, name=None) -> Tensor:
+    return Select([as_tensor(condition), as_tensor(x), as_tensor(y)],
+                  name=name).output
+
+
+def leaky_relu(x, alpha: float = 0.2, name=None) -> Tensor:
+    """max(x, alpha*x), composed from primitives."""
+    x = as_tensor(x)
+    return maximum(x, multiply(x, alpha), name=name)
+
+
+def clip_by_value(x, low, high, name=None) -> Tensor:
+    """Clamp x into [low, high], composed from Minimum/Maximum."""
+    return minimum(maximum(as_tensor(x), low), high, name=name)
+
+
+def cast(x, dtype, name=None) -> Tensor:
+    return Cast([as_tensor(x)], attrs={"dtype": np.dtype(dtype)},
+                name=name).output
+
+
+def matmul(a, b, transpose_a: bool = False, transpose_b: bool = False,
+           name=None) -> Tensor:
+    return MatMul([as_tensor(a), as_tensor(b)],
+                  attrs={"transpose_a": transpose_a,
+                         "transpose_b": transpose_b},
+                  name=name).output
+
+
+def batch_matmul(a, b, adj_a: bool = False, adj_b: bool = False,
+                 name=None) -> Tensor:
+    return BatchMatMul([as_tensor(a), as_tensor(b)],
+                       attrs={"adj_a": adj_a, "adj_b": adj_b},
+                       name=name).output

@@ -1,0 +1,107 @@
+"""Random sampling operations.
+
+Group E of the Fig. 3 taxonomy. The variational autoencoder is the suite's
+showcase for these: it samples from a standard normal *during inference*
+(the reparameterization trick), which the paper calls out as unusual among
+deep learning models.
+
+All randomness flows through the session's seeded generator, so runs are
+reproducible given (graph, seed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cost_model import WorkEstimate, num_elements
+from ..errors import ShapeError
+from ..graph import Operation, OpClass, Tensor, check_shape
+from .state_ops import as_tensor
+
+
+class _RandomOp(Operation):
+    op_class = OpClass.RANDOM_SAMPLING
+
+    def _output_specs(self):
+        return [(self.attrs["shape"], np.dtype(np.float32))]
+
+    def gradient(self, grads):
+        return []
+
+    def _estimate_work(self):
+        n = num_elements(self.attrs["shape"])
+        # Generating a random float costs a handful of integer ops.
+        return WorkEstimate(flops=10.0 * n, bytes_moved=4.0 * n,
+                            trip_count=float(n))
+
+
+class StandardRandomNormal(_RandomOp):
+    """Sample i.i.d. values from N(0, 1)."""
+
+    type_name = "StandardRandomNormal"
+
+    def compute(self, inputs, ctx):
+        return (ctx.rng.standard_normal(self.attrs["shape"],
+                                        dtype=np.float32),)
+
+
+class RandomUniform(_RandomOp):
+    """Sample i.i.d. values from U[0, 1)."""
+
+    type_name = "RandomUniform"
+
+    def compute(self, inputs, ctx):
+        return (ctx.rng.random(self.attrs["shape"], dtype=np.float32),)
+
+
+class Multinomial(Operation):
+    """Draw one categorical sample per row of a logits matrix."""
+
+    type_name = "Multinomial"
+    op_class = OpClass.RANDOM_SAMPLING
+
+    def _output_specs(self):
+        logits = self.inputs[0]
+        if logits.ndim != 2:
+            raise ShapeError(f"Multinomial expects rank-2 logits, got "
+                             f"{logits.shape}")
+        return [((logits.shape[0], self.attrs["num_samples"]),
+                 np.dtype(np.int32))]
+
+    def compute(self, inputs, ctx):
+        logits = inputs[0]
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=-1, keepdims=True)
+        num_samples = self.attrs["num_samples"]
+        out = np.empty((logits.shape[0], num_samples), dtype=np.int32)
+        for row in range(logits.shape[0]):
+            out[row] = ctx.rng.choice(logits.shape[1], size=num_samples,
+                                      p=probs[row])
+        return (out,)
+
+    def gradient(self, grads):
+        return [None]
+
+    def _estimate_work(self):
+        n = self.inputs[0].size
+        return WorkEstimate(flops=12.0 * n, bytes_moved=8.0 * n,
+                            trip_count=float(self.inputs[0].shape[0]))
+
+
+# -- public constructors ------------------------------------------------------
+
+
+def random_normal(shape, name=None) -> Tensor:
+    return StandardRandomNormal(
+        attrs={"shape": check_shape(shape)}, name=name).output
+
+
+def random_uniform(shape, name=None) -> Tensor:
+    return RandomUniform(attrs={"shape": check_shape(shape)},
+                         name=name).output
+
+
+def multinomial(logits, num_samples: int = 1, name=None) -> Tensor:
+    return Multinomial([as_tensor(logits)],
+                       attrs={"num_samples": num_samples}, name=name).output

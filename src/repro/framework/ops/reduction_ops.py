@@ -1,0 +1,226 @@
+"""Reduction operations: Sum, Mean, Max, Min, ArgMax.
+
+Group D of the paper's Fig. 3 taxonomy ("Reduction and Expansion").
+Reductions matter to the parallelism story (Section V-E): their trip
+count is the number of *outputs*, so a loss-style reduction to a scalar
+cannot use additional threads no matter how wide its input is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cost_model import reduction_work
+from ..errors import ShapeError
+from ..graph import Operation, OpClass, Tensor
+from .state_ops import as_tensor
+
+
+def _normalize_axes(axis, ndim: int) -> tuple[int, ...]:
+    if axis is None:
+        return tuple(range(ndim))
+    if isinstance(axis, int):
+        axis = [axis]
+    axes = tuple(sorted(a + ndim if a < 0 else a for a in axis))
+    for a in axes:
+        if not 0 <= a < ndim:
+            raise ShapeError(f"reduction axis {a} out of range for rank {ndim}")
+    if len(set(axes)) != len(axes):
+        raise ShapeError(f"duplicate reduction axes {axes}")
+    return axes
+
+
+class _Reduction(Operation):
+    op_class = OpClass.REDUCTION_EXPANSION
+
+    def _output_specs(self):
+        x = self.inputs[0]
+        axes = self.attrs["axes"]
+        if self.attrs["keepdims"]:
+            shape = tuple(1 if i in axes else d for i, d in enumerate(x.shape))
+        else:
+            shape = tuple(d for i, d in enumerate(x.shape) if i not in axes)
+        return [(shape, self._output_dtype(x))]
+
+    def _output_dtype(self, x: Tensor):
+        return x.dtype
+
+    def _estimate_work(self):
+        return reduction_work(self.inputs[0].shape, self.output.shape)
+
+    def _keepdims_shape(self) -> tuple[int, ...]:
+        x = self.inputs[0]
+        axes = self.attrs["axes"]
+        return tuple(1 if i in axes else d for i, d in enumerate(x.shape))
+
+    def _expand_grad(self, grad: Tensor) -> Tensor:
+        """Reshape-and-tile a reduced gradient back to the input shape."""
+        from . import array_ops
+        x = self.inputs[0]
+        keep = self._keepdims_shape()
+        if grad.shape != keep:
+            grad = array_ops.reshape(grad, keep)
+        multiples = tuple(full // kept for full, kept in zip(x.shape, keep))
+        if any(m != 1 for m in multiples):
+            grad = array_ops.tile(grad, multiples)
+        return grad
+
+
+class Sum(_Reduction):
+    type_name = "Sum"
+
+    def compute(self, inputs, ctx):
+        out = np.sum(inputs[0], axis=self.attrs["axes"],
+                     keepdims=self.attrs["keepdims"])
+        return (np.asarray(out, dtype=self.output.dtype),)
+
+    def gradient(self, grads):
+        return [self._expand_grad(grads[0])]
+
+
+class Mean(_Reduction):
+    type_name = "Mean"
+
+    def compute(self, inputs, ctx):
+        out = np.mean(inputs[0], axis=self.attrs["axes"],
+                      keepdims=self.attrs["keepdims"])
+        return (np.asarray(out, dtype=self.output.dtype),)
+
+    def gradient(self, grads):
+        from . import math_ops
+        x = self.inputs[0]
+        count = 1
+        for axis in self.attrs["axes"]:
+            count *= x.shape[axis]
+        scaled = math_ops.divide(grads[0], float(count))
+        return [self._expand_grad(scaled)]
+
+
+class Max(_Reduction):
+    type_name = "Max"
+
+    def compute(self, inputs, ctx):
+        out = np.max(inputs[0], axis=self.attrs["axes"],
+                     keepdims=self.attrs["keepdims"])
+        return (np.asarray(out, dtype=self.output.dtype),)
+
+    def gradient(self, grads):
+        from . import math_ops
+        x = self.inputs[0]
+        max_full = self._expand_grad(
+            reduce_max(x, axis=self.attrs["axes"], keepdims=True)
+            if not self.attrs["keepdims"] else self.output)
+        mask = math_ops.equal(x, max_full)
+        grad_full = self._expand_grad(grads[0])
+        return [math_ops.multiply(grad_full, mask)]
+
+
+class Min(_Reduction):
+    type_name = "Min"
+
+    def compute(self, inputs, ctx):
+        out = np.min(inputs[0], axis=self.attrs["axes"],
+                     keepdims=self.attrs["keepdims"])
+        return (np.asarray(out, dtype=self.output.dtype),)
+
+    def gradient(self, grads):
+        from . import math_ops
+        x = self.inputs[0]
+        min_full = self._expand_grad(
+            reduce_min(x, axis=self.attrs["axes"], keepdims=True)
+            if not self.attrs["keepdims"] else self.output)
+        mask = math_ops.equal(x, min_full)
+        grad_full = self._expand_grad(grads[0])
+        return [math_ops.multiply(grad_full, mask)]
+
+
+class ArgMax(Operation):
+    type_name = "ArgMax"
+    op_class = OpClass.REDUCTION_EXPANSION
+
+    def _output_specs(self):
+        x = self.inputs[0]
+        axis = self.attrs["axis"]
+        shape = tuple(d for i, d in enumerate(x.shape) if i != axis)
+        return [(shape, np.dtype(np.int32))]
+
+    def compute(self, inputs, ctx):
+        return (np.argmax(inputs[0], axis=self.attrs["axis"]).astype(np.int32),)
+
+    def gradient(self, grads):
+        return [None]
+
+    def _estimate_work(self):
+        return reduction_work(self.inputs[0].shape, self.output.shape)
+
+
+class TopK(Operation):
+    """Largest ``k`` values (and their indices) along the trailing axis."""
+
+    type_name = "TopK"
+    op_class = OpClass.REDUCTION_EXPANSION
+
+    def _output_specs(self):
+        x = self.inputs[0]
+        k = self.attrs["k"]
+        if not 1 <= k <= x.shape[-1]:
+            raise ShapeError(
+                f"TopK k={k} out of range for trailing dim {x.shape[-1]}")
+        shape = x.shape[:-1] + (k,)
+        return [(shape, x.dtype), (shape, np.dtype(np.int32))]
+
+    def compute(self, inputs, ctx):
+        x = inputs[0]
+        k = self.attrs["k"]
+        # argsort descending; stable ordering of the top-k slice.
+        order = np.argsort(-x, axis=-1)[..., :k]
+        values = np.take_along_axis(x, order, axis=-1)
+        return (values, order.astype(np.int32))
+
+    def gradient(self, grads):
+        return [None]
+
+    def _estimate_work(self):
+        n = self.inputs[0].size
+        rows = n // self.inputs[0].shape[-1]
+        return reduction_work(self.inputs[0].shape, self.outputs[0].shape) \
+            + reduction_work((n,), (rows,))
+
+
+# -- public constructors ------------------------------------------------------
+
+
+def _reduce(op_cls, x, axis, keepdims, name) -> Tensor:
+    x = as_tensor(x)
+    axes = _normalize_axes(axis, x.ndim)
+    return op_cls([x], attrs={"axes": axes, "keepdims": keepdims},
+                  name=name).output
+
+
+def reduce_sum(x, axis=None, keepdims: bool = False, name=None) -> Tensor:
+    return _reduce(Sum, x, axis, keepdims, name)
+
+
+def reduce_mean(x, axis=None, keepdims: bool = False, name=None) -> Tensor:
+    return _reduce(Mean, x, axis, keepdims, name)
+
+
+def reduce_max(x, axis=None, keepdims: bool = False, name=None) -> Tensor:
+    return _reduce(Max, x, axis, keepdims, name)
+
+
+def reduce_min(x, axis=None, keepdims: bool = False, name=None) -> Tensor:
+    return _reduce(Min, x, axis, keepdims, name)
+
+
+def argmax(x, axis: int = -1, name=None) -> Tensor:
+    x = as_tensor(x)
+    if axis < 0:
+        axis += x.ndim
+    return ArgMax([x], attrs={"axis": axis}, name=name).output
+
+
+def top_k(x, k: int, name=None) -> tuple[Tensor, Tensor]:
+    """(values, indices) of the k largest entries along the last axis."""
+    op = TopK([as_tensor(x)], attrs={"k": k}, name=name)
+    return op.outputs[0], op.outputs[1]

@@ -1,0 +1,171 @@
+"""Fused LSTM block operations.
+
+The paper's closing analysis tells architects that fine-grained
+recurrent graphs are dominated by many small operations (Figs. 3/6b) —
+precisely the situation kernel *fusion* addresses, and TensorFlow later
+shipped as ``LSTMBlockCell``. This module provides that fused kernel for
+our framework: one operation computes an entire LSTM step (gate matmul +
+all gate arithmetic), with a matching fused backward operation, so the
+composed-vs-fused trade-off can be measured
+(``benchmarks/bench_ablation_fusion.py``).
+
+The fused cell is numerically identical to the composed
+:class:`repro.framework.rnn.LSTMCell` (asserted in tests): same gate
+order (i, j, f, o), same forget-gate bias.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cost_model import WorkEstimate, matmul_work
+from ..errors import ShapeError
+from ..graph import Operation, OpClass, Tensor
+from .state_ops import as_tensor, constant
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    expx = np.exp(x[~positive])
+    out[~positive] = expx / (1.0 + expx)
+    return out
+
+
+class LSTMBlockCellOp(Operation):
+    """One fused LSTM step.
+
+    Inputs: ``x (B, I)``, ``c (B, H)``, ``h (B, H)``,
+    ``kernel (I+H, 4H)``, ``bias (4H,)``. Outputs: ``new_c``, ``new_h``,
+    and the activated gates ``(B, 4H)`` cached for the backward kernel.
+    """
+
+    type_name = "LSTMBlockCell"
+    op_class = OpClass.MATRIX
+
+    def _output_specs(self):
+        x, c, h, kernel, bias = self.inputs
+        batch, input_size = x.shape
+        hidden = c.shape[1]
+        if h.shape != (batch, hidden):
+            raise ShapeError(f"h shape {h.shape} != c shape {c.shape}")
+        if kernel.shape != (input_size + hidden, 4 * hidden):
+            raise ShapeError(
+                f"kernel shape {kernel.shape} incompatible with "
+                f"input {input_size} + hidden {hidden}")
+        if bias.shape != (4 * hidden,):
+            raise ShapeError(f"bias shape {bias.shape} != (4H,)")
+        return [((batch, hidden), x.dtype), ((batch, hidden), x.dtype),
+                ((batch, 4 * hidden), x.dtype)]
+
+    def compute(self, inputs, ctx):
+        x, c, h, kernel, bias = inputs
+        hidden = c.shape[1]
+        forget_bias = self.attrs["forget_bias"]
+        z = np.concatenate([x, h], axis=1) @ kernel + bias
+        i_gate = _sigmoid(z[:, :hidden])
+        j_new = np.tanh(z[:, hidden:2 * hidden])
+        f_gate = _sigmoid(z[:, 2 * hidden:3 * hidden] + forget_bias)
+        o_gate = _sigmoid(z[:, 3 * hidden:])
+        new_c = c * f_gate + i_gate * j_new
+        new_h = np.tanh(new_c) * o_gate
+        gates = np.concatenate([i_gate, j_new, f_gate, o_gate], axis=1)
+        return (new_c.astype(x.dtype), new_h.astype(x.dtype),
+                gates.astype(x.dtype))
+
+    def gradient(self, grads):
+        grad_c, grad_h, _ = grads
+        x, c, h, kernel, bias = self.inputs
+        zeros_like_state = constant(
+            np.zeros(c.shape, dtype=np.float32))
+        grad_inputs = [grad_c if grad_c is not None else zeros_like_state,
+                       grad_h if grad_h is not None else zeros_like_state,
+                       x, c, h, kernel, self.outputs[2], self.outputs[0]]
+        grad_op = LSTMBlockGradOp(grad_inputs, attrs=dict(self.attrs))
+        return list(grad_op.outputs)  # dx, dc, dh, dkernel, dbias
+
+    def _estimate_work(self):
+        x, c = self.inputs[0], self.inputs[1]
+        batch, input_size = x.shape
+        hidden = c.shape[1]
+        gate_matmul = matmul_work(batch, input_size + hidden, 4 * hidden)
+        elementwise = WorkEstimate(flops=30.0 * batch * hidden,
+                                   bytes_moved=10.0 * 4 * batch * hidden,
+                                   trip_count=float(batch * hidden))
+        return gate_matmul + elementwise
+
+
+class LSTMBlockGradOp(Operation):
+    """Fused backward for :class:`LSTMBlockCellOp`.
+
+    Inputs: grad_new_c, grad_new_h, x, c, h, kernel, gates, new_c.
+    Outputs: dx, dc, dh, dkernel, dbias.
+    """
+
+    type_name = "LSTMBlockGrad"
+    op_class = OpClass.MATRIX
+
+    def _output_specs(self):
+        _, _, x, c, h, kernel, _, _ = self.inputs
+        return [(x.shape, x.dtype), (c.shape, c.dtype), (h.shape, h.dtype),
+                (kernel.shape, kernel.dtype),
+                ((kernel.shape[1],), kernel.dtype)]
+
+    def compute(self, inputs, ctx):
+        grad_new_c, grad_new_h, x, c, h, kernel, gates, new_c = inputs
+        hidden = c.shape[1]
+        i_gate = gates[:, :hidden]
+        j_new = gates[:, hidden:2 * hidden]
+        f_gate = gates[:, 2 * hidden:3 * hidden]
+        o_gate = gates[:, 3 * hidden:]
+        tanh_new_c = np.tanh(new_c)
+
+        d_o = grad_new_h * tanh_new_c
+        d_new_c = (grad_new_h * o_gate * (1.0 - tanh_new_c ** 2)
+                   + grad_new_c)
+        d_f = d_new_c * c
+        d_c_prev = d_new_c * f_gate
+        d_i = d_new_c * j_new
+        d_j = d_new_c * i_gate
+
+        dz_i = d_i * i_gate * (1.0 - i_gate)
+        dz_j = d_j * (1.0 - j_new ** 2)
+        dz_f = d_f * f_gate * (1.0 - f_gate)
+        dz_o = d_o * o_gate * (1.0 - o_gate)
+        dz = np.concatenate([dz_i, dz_j, dz_f, dz_o], axis=1)
+
+        d_joined = dz @ kernel.T
+        input_size = x.shape[1]
+        dx = d_joined[:, :input_size]
+        dh = d_joined[:, input_size:]
+        joined = np.concatenate([x, h], axis=1)
+        d_kernel = joined.T @ dz
+        d_bias = dz.sum(axis=0)
+        dtype = x.dtype
+        return (np.ascontiguousarray(dx, dtype=dtype),
+                d_c_prev.astype(dtype),
+                np.ascontiguousarray(dh, dtype=dtype),
+                d_kernel.astype(dtype), d_bias.astype(dtype))
+
+    def _estimate_work(self):
+        x, c = self.inputs[2], self.inputs[3]
+        batch, input_size = x.shape
+        hidden = c.shape[1]
+        # Two gate-sized matmuls (d_joined and d_kernel) plus elementwise.
+        backward = matmul_work(batch, 4 * hidden, input_size + hidden)
+        weight_grad = matmul_work(input_size + hidden, batch, 4 * hidden)
+        elementwise = WorkEstimate(flops=50.0 * batch * hidden,
+                                   bytes_moved=14.0 * 4 * batch * hidden,
+                                   trip_count=float(batch * hidden))
+        return backward + weight_grad + elementwise
+
+
+def lstm_block_cell(x, c, h, kernel, bias, forget_bias: float = 1.0,
+                    name=None) -> tuple[Tensor, Tensor]:
+    """Fused LSTM step; returns ``(new_c, new_h)``."""
+    op = LSTMBlockCellOp(
+        [as_tensor(x), as_tensor(c), as_tensor(h), as_tensor(kernel),
+         as_tensor(bias)],
+        attrs={"forget_bias": float(forget_bias)}, name=name)
+    return op.outputs[0], op.outputs[1]

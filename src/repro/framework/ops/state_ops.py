@@ -1,0 +1,232 @@
+"""Structural operations: constants, placeholders, variables, and grouping.
+
+These are the framework's stateful and control primitives. Their runtime
+cost is negligible (the paper measures <1-2% of total time outside real
+compute operations), but they are required to express every Fathom model:
+placeholders carry minibatch inputs, variables hold learnable parameters,
+and ``group`` fuses a set of parameter-update operations into the single
+"training step" node that a session fetches.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..cost_model import WorkEstimate, data_movement_work
+from ..errors import FeedError, ShapeError
+from ..graph import Operation, OpClass, Tensor, check_shape
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..session import RunContext
+
+
+class Const(Operation):
+    """A compile-time constant value embedded in the graph."""
+
+    type_name = "Const"
+    op_class = OpClass.CONTROL
+
+    def _output_specs(self):
+        value = self.attrs["value"]
+        return [(value.shape, value.dtype)]
+
+    def compute(self, inputs, ctx):
+        return (self.attrs["value"],)
+
+    def gradient(self, grad_outputs):
+        return []
+
+
+class Placeholder(Operation):
+    """A graph input fed at run time (one minibatch of data)."""
+
+    type_name = "Placeholder"
+    op_class = OpClass.CONTROL
+
+    def _output_specs(self):
+        return [(self.attrs["shape"], self.attrs["dtype"])]
+
+    def compute(self, inputs, ctx):
+        raise FeedError(
+            f"placeholder {self.name!r} was not fed; pass it in feed_dict")
+
+    def gradient(self, grad_outputs):
+        return []
+
+
+class VariableOp(Operation):
+    """A mutable parameter tensor; reading it yields the current value.
+
+    The value itself lives in the session's variable store, so independent
+    sessions over the same graph train independently.
+    """
+
+    type_name = "Variable"
+    op_class = OpClass.STATE
+
+    def _output_specs(self):
+        value = self.attrs["initial_value"]
+        return [(value.shape, value.dtype)]
+
+    def compute(self, inputs, ctx):
+        return (ctx.read_variable(self),)
+
+    def gradient(self, grad_outputs):
+        return []
+
+    @property
+    def initial_value(self) -> np.ndarray:
+        return self.attrs["initial_value"]
+
+
+class Assign(Operation):
+    """Overwrite a variable with a new value; outputs the new value."""
+
+    type_name = "Assign"
+    op_class = OpClass.STATE
+
+    def _output_specs(self):
+        return [(self.inputs[0].shape, self.inputs[0].dtype)]
+
+    def compute(self, inputs, ctx):
+        ctx.write_variable(self.attrs["variable"], inputs[0])
+        return (inputs[0],)
+
+    def _estimate_work(self):
+        return data_movement_work(self.inputs[0].size)
+
+
+class Identity(Operation):
+    """Pass a tensor through unchanged (useful for naming fetch points)."""
+
+    type_name = "Identity"
+    op_class = OpClass.DATA_MOVEMENT
+
+    def _output_specs(self):
+        return [(self.inputs[0].shape, self.inputs[0].dtype)]
+
+    def compute(self, inputs, ctx):
+        return (inputs[0],)
+
+    def gradient(self, grad_outputs):
+        return [grad_outputs[0]]
+
+    def _estimate_work(self):
+        return data_movement_work(self.inputs[0].size)
+
+
+class StopGradient(Operation):
+    """Identity in the forward pass; blocks gradient flow in the backward.
+
+    deepq uses this to hold its bootstrapped Q-targets fixed, exactly as
+    the original DQN implementation does.
+    """
+
+    type_name = "StopGradient"
+    op_class = OpClass.DATA_MOVEMENT
+
+    def _output_specs(self):
+        return [(self.inputs[0].shape, self.inputs[0].dtype)]
+
+    def compute(self, inputs, ctx):
+        return (inputs[0],)
+
+    def gradient(self, grad_outputs):
+        return [None]
+
+    def _estimate_work(self):
+        return data_movement_work(self.inputs[0].size)
+
+
+class Group(Operation):
+    """Fuse several operations into one fetchable no-op node.
+
+    Fetching the group's output forces all of its inputs (typically the
+    per-variable Apply* update ops) to execute; the output itself is a
+    scalar zero.
+    """
+
+    type_name = "NoOp"
+    op_class = OpClass.CONTROL
+
+    def _output_specs(self):
+        return [((), np.dtype(np.float32))]
+
+    def compute(self, inputs, ctx):
+        return (np.float32(0.0),)
+
+
+# -- public constructors ------------------------------------------------------
+
+
+def constant(value, dtype=None, name: str | None = None) -> Tensor:
+    """Embed a constant array or scalar in the graph."""
+    array = np.asarray(value, dtype=dtype)
+    if array.dtype == np.float64:
+        array = array.astype(np.float32)
+    if array.dtype == np.int64:
+        array = array.astype(np.int32)
+    return Const(attrs={"value": array}, name=name).output
+
+
+def as_tensor(value, dtype=None) -> Tensor:
+    """Coerce a python scalar / numpy array / Tensor into a Tensor."""
+    if isinstance(value, Tensor):
+        return value
+    return constant(value, dtype=dtype)
+
+
+def placeholder(shape: Sequence[int], dtype=np.float32,
+                name: str | None = None) -> Tensor:
+    """Declare a run-time input of the given static shape."""
+    return Placeholder(
+        attrs={"shape": check_shape(shape), "dtype": np.dtype(dtype)},
+        name=name or "Placeholder").output
+
+
+def variable(initial_value, name: str | None = None, dtype=None,
+             trainable: bool = True) -> Tensor:
+    """Create a parameter initialized to ``initial_value``.
+
+    Trainable variables are picked up by ``Optimizer.minimize``; optimizer
+    slot accumulators set ``trainable=False``.
+    """
+    array = np.asarray(initial_value, dtype=dtype)
+    if array.dtype == np.float64:
+        array = array.astype(np.float32)
+    return VariableOp(attrs={"initial_value": array, "trainable": trainable},
+                      name=name or "Variable").output
+
+
+def trainable_variables(graph=None) -> list[Tensor]:
+    """All trainable variable tensors in ``graph`` (default graph if None)."""
+    from ..graph import get_default_graph
+    graph = graph or get_default_graph()
+    return [op.output for op in graph.operations
+            if isinstance(op, VariableOp) and op.attrs.get("trainable", True)]
+
+
+def assign(target: Tensor, value: Tensor, name: str | None = None) -> Tensor:
+    """Assign ``value`` to the variable that produced ``target``."""
+    if not isinstance(target.op, VariableOp):
+        raise ShapeError(
+            f"assign target must be a Variable output, got {target.op.type_name}")
+    if target.shape != value.shape:
+        raise ShapeError(
+            f"assign shape mismatch: variable {target.shape} vs value {value.shape}")
+    return Assign([value], attrs={"variable": target.op}, name=name).output
+
+
+def identity(value: Tensor, name: str | None = None) -> Tensor:
+    return Identity([value], name=name).output
+
+
+def stop_gradient(value: Tensor, name: str | None = None) -> Tensor:
+    return StopGradient([value], name=name).output
+
+
+def group(*dependencies: Tensor, name: str | None = None) -> Tensor:
+    """Bundle tensors so a single fetch forces all of them to run."""
+    return Group(list(dependencies), name=name or "group").output

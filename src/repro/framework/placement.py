@@ -1,0 +1,311 @@
+"""Multi-device placement and schedule simulation.
+
+Section V-A of the paper explains why its experiments run on a CPU:
+TensorFlow "ha[s] incomplete support for all operations, and the
+fall-back behavior is to run unsupported operations on the CPU, splitting
+execution across the PCI bus. This causes crippling performance
+problems." This module builds the machinery to *quantify* that claim:
+
+* a :class:`Placement` assigns every operation to a named device;
+* a :class:`TransferModel` prices cross-device tensor movement (PCIe
+  bandwidth + per-transfer latency);
+* :func:`simulate_schedule` performs event-driven list scheduling of the
+  dataflow DAG over the devices, respecting data dependencies, per-device
+  serialization, and transfer delays, and returns the full schedule.
+
+The companion analysis (:mod:`repro.analysis.placement_study` and
+``benchmarks/bench_placement_pci.py``) reproduces the paper's
+observation: a GPU execution with CPU fall-back operations can be slower
+than either pure device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from .cost_model import ELEMENT_BYTES
+from .device_model import CPUDeviceModel, DeviceModel, GPUDeviceModel
+from .errors import FrameworkError
+from .graph import OpClass, Operation, Tensor
+
+#: operation types without GPU kernels in a TF-v0.8-era runtime; the
+#: fall-back placement pins these to the CPU.
+DEFAULT_CPU_ONLY_TYPES = frozenset({
+    "StandardRandomNormal", "RandomUniform", "Multinomial",  # RNG kernels
+    "CTCLoss",                                               # loss DP
+    "UnsortedSegmentSum",                                    # scatter-add
+})
+
+#: structural op types that execute "for free" wherever their consumer is.
+_ZERO_COST_TYPES = frozenset({"Const", "Placeholder", "Variable", "NoOp"})
+
+
+class PlacementError(FrameworkError):
+    """Raised for inconsistent placements or unknown devices."""
+
+
+Placement = Callable[[Operation], str]
+
+
+def place_all(device_name: str) -> Placement:
+    """Every operation on one device."""
+    def placement(op: Operation) -> str:
+        return device_name
+    return placement
+
+
+def gpu_with_cpu_fallback(
+        cpu_only_types: frozenset[str] = DEFAULT_CPU_ONLY_TYPES) -> Placement:
+    """TF-v0.8-style placement: GPU except unsupported op types."""
+    def placement(op: Operation) -> str:
+        return "cpu" if op.type_name in cpu_only_types else "gpu"
+    return placement
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """PCIe-style link between devices.
+
+    Defaults approximate the paper's testbed: PCIe 3.0 with ~8 GB/s
+    effective bandwidth. ``latency`` bundles the per-transfer setup cost
+    *and* the host/device synchronization stall a 2016-era runtime paid
+    at every placement boundary (cudaMemcpy sync + executor handoff),
+    which is the dominant term for the small tensors the fall-back ops
+    ship. The placement benchmarks sweep this parameter.
+    """
+
+    bandwidth: float = 8e9
+    latency: float = 25e-6
+
+    def transfer_time(self, num_bytes: float) -> float:
+        if num_bytes <= 0:
+            return 0.0
+        return self.latency + num_bytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One operation's placement in the simulated schedule."""
+
+    op: Operation
+    device: str
+    start: float
+    end: float
+    transfer_seconds: float  # input-staging time charged to this op
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ScheduleResult:
+    """The outcome of simulating a graph over a set of devices."""
+
+    makespan: float
+    scheduled: list[ScheduledOp]
+    device_busy: dict[str, float]
+    transfer_bytes: float
+    transfer_seconds: float
+    ops_per_device: dict[str, int] = field(default_factory=dict)
+
+    def utilization(self, device: str) -> float:
+        if self.makespan == 0.0:
+            return 0.0
+        return self.device_busy.get(device, 0.0) / self.makespan
+
+
+def simulate_schedule(ops: Iterable[Operation], placement: Placement,
+                      devices: dict[str, DeviceModel],
+                      transfer: TransferModel | None = None) -> ScheduleResult:
+    """Event-driven list scheduling of a dataflow DAG.
+
+    ``ops`` must be in topological order (e.g. ``graph.operations`` or
+    ``graph.subgraph(fetches)``). Each op runs on its placed device after
+    (a) the device finishes its previous op and (b) every input is
+    resident, paying a transfer delay for inputs produced elsewhere.
+    Transferred tensors are cached at their destination, so a tensor
+    crosses the link at most once per direction.
+    """
+    transfer = transfer or TransferModel()
+    device_free = {name: 0.0 for name in devices}
+    # tensor name -> (producer finish time, producer device)
+    produced: dict[str, tuple[float, str]] = {}
+    # (tensor name, device) -> time the copy is resident there
+    resident: dict[tuple[str, str], float] = {}
+    scheduled: list[ScheduledOp] = []
+    busy = {name: 0.0 for name in devices}
+    ops_per_device: dict[str, int] = {name: 0 for name in devices}
+    total_transfer_bytes = 0.0
+    total_transfer_seconds = 0.0
+
+    for op in ops:
+        device_name = placement(op)
+        if device_name not in devices:
+            raise PlacementError(
+                f"op {op.name!r} placed on unknown device {device_name!r}; "
+                f"have {sorted(devices)}")
+        ready = device_free[device_name]
+        staging = 0.0
+        for tensor in op.inputs:
+            if tensor.name not in produced:
+                continue  # fed placeholder handled below
+            finish, source_device = produced[tensor.name]
+            key = (tensor.name, device_name)
+            if source_device == device_name:
+                available = finish
+            elif key in resident:
+                available = resident[key]
+            else:
+                num_bytes = tensor.size * ELEMENT_BYTES
+                move = transfer.transfer_time(num_bytes)
+                available = finish + move
+                resident[key] = available
+                total_transfer_bytes += num_bytes
+                total_transfer_seconds += move
+                staging += move
+            ready = max(ready, available)
+
+        if op.type_name in _ZERO_COST_TYPES:
+            duration = 0.0
+        else:
+            duration = devices[device_name].op_time(op.work())
+        start = ready
+        end = start + duration
+        device_free[device_name] = end
+        busy[device_name] += duration
+        ops_per_device[device_name] += 1
+        for tensor in op.outputs:
+            produced[tensor.name] = (end, device_name)
+        scheduled.append(ScheduledOp(op=op, device=device_name, start=start,
+                                     end=end, transfer_seconds=staging))
+
+    makespan = max((s.end for s in scheduled), default=0.0)
+    return ScheduleResult(makespan=makespan, scheduled=scheduled,
+                          device_busy=busy,
+                          transfer_bytes=total_transfer_bytes,
+                          transfer_seconds=total_transfer_seconds,
+                          ops_per_device=ops_per_device)
+
+
+def default_devices(threads: int = 1) -> dict[str, DeviceModel]:
+    """The paper's testbed as a device dictionary."""
+    return {"cpu": CPUDeviceModel(threads=threads), "gpu": GPUDeviceModel()}
+
+
+def simulate_greedy_schedule(ops: Iterable[Operation],
+                             devices: dict[str, DeviceModel],
+                             shared_memory: bool = True,
+                             transfer: TransferModel | None = None) -> ScheduleResult:
+    """Greedy list scheduling: each op goes to the worker finishing it
+    soonest.
+
+    This models *inter-op* parallelism — several workers executing
+    independent operations of the DAG concurrently — complementing the
+    paper's Section V-E study of *intra-op* threading. With
+    ``shared_memory=True`` (workers are cores of one host) tensors move
+    for free; otherwise every cross-worker edge pays the transfer model.
+    """
+    transfer = transfer or TransferModel()
+    device_free = {name: 0.0 for name in devices}
+    produced: dict[str, tuple[float, str]] = {}
+    resident: dict[tuple[str, str], float] = {}
+    scheduled: list[ScheduledOp] = []
+    busy = {name: 0.0 for name in devices}
+    ops_per_device = {name: 0 for name in devices}
+    total_bytes = 0.0
+    total_seconds = 0.0
+
+    for op in ops:
+        best: tuple[float, float, str, float] | None = None
+        for name, model in devices.items():
+            ready = device_free[name]
+            staging = 0.0
+            for tensor in op.inputs:
+                if tensor.name not in produced:
+                    continue
+                finish, source = produced[tensor.name]
+                if shared_memory or source == name:
+                    available = finish
+                elif (tensor.name, name) in resident:
+                    available = resident[(tensor.name, name)]
+                else:
+                    move = transfer.transfer_time(
+                        tensor.size * ELEMENT_BYTES)
+                    available = finish + move
+                    staging += move
+                ready = max(ready, available)
+            duration = (0.0 if op.type_name in _ZERO_COST_TYPES
+                        else model.op_time(op.work()))
+            end = ready + duration
+            if best is None or end < best[0]:
+                best = (end, ready, name, staging)
+        end, start, name, staging = best
+        if not shared_memory and staging > 0.0:
+            for tensor in op.inputs:
+                if tensor.name in produced:
+                    finish, source = produced[tensor.name]
+                    if source != name and (tensor.name, name) not in resident:
+                        move = transfer.transfer_time(
+                            tensor.size * ELEMENT_BYTES)
+                        resident[(tensor.name, name)] = finish + move
+                        total_bytes += tensor.size * ELEMENT_BYTES
+                        total_seconds += move
+        device_free[name] = end
+        busy[name] += end - start
+        ops_per_device[name] += 1
+        for tensor in op.outputs:
+            produced[tensor.name] = (end, name)
+        scheduled.append(ScheduledOp(op=op, device=name, start=start,
+                                     end=end, transfer_seconds=staging))
+
+    makespan = max((s.end for s in scheduled), default=0.0)
+    return ScheduleResult(makespan=makespan, scheduled=scheduled,
+                          device_busy=busy, transfer_bytes=total_bytes,
+                          transfer_seconds=total_seconds,
+                          ops_per_device=ops_per_device)
+
+
+def schedule_to_chrome_trace(result: ScheduleResult,
+                             process_name: str = "simulated") -> str:
+    """Render a simulated schedule as Chrome trace-event JSON.
+
+    Devices become thread lanes, so ``chrome://tracing`` shows the
+    overlap, idle gaps, and transfer stalls of a placement visually —
+    the EEG-over-devices view the paper's related work describes.
+    """
+    import json
+
+    device_lane = {name: lane for lane, name in
+                   enumerate(sorted({s.device for s in result.scheduled}))}
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 0,
+        "args": {"name": process_name},
+    }]
+    for device, lane in device_lane.items():
+        events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                       "tid": lane, "args": {"name": device}})
+    for scheduled in result.scheduled:
+        if scheduled.duration == 0.0:
+            continue
+        events.append({
+            "name": scheduled.op.type_name,
+            "cat": scheduled.op.op_class.value,
+            "ph": "X",
+            "pid": 0,
+            "tid": device_lane[scheduled.device],
+            "ts": scheduled.start * 1e6,
+            "dur": scheduled.duration * 1e6,
+            "args": {"op": scheduled.op.name,
+                     "staging_us": scheduled.transfer_seconds * 1e6},
+        })
+    return json.dumps({"traceEvents": events})
+
+
+def worker_pool(count: int, threads: int = 1) -> dict[str, DeviceModel]:
+    """``count`` identical CPU workers (cores of one host)."""
+    if count < 1:
+        raise PlacementError("worker pool needs at least one worker")
+    return {f"worker{i}": CPUDeviceModel(threads=threads)
+            for i in range(count)}

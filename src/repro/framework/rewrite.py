@@ -1,0 +1,177 @@
+"""Compiler-style graph optimization passes.
+
+Section III-C lists the traits the popular frameworks converged on; one
+is that "most use an application-level, compiler-esque optimizer". This
+module is that component for our framework: it transcribes a fetch
+subgraph into a fresh graph while applying classic dataflow passes —
+
+* **identity elimination** — `Identity` nodes are bypassed;
+* **constant folding** — pure ops whose inputs are all constants are
+  evaluated at rewrite time and replaced by `Const` nodes;
+* **common-subexpression elimination** — structurally identical pure
+  ops with identical inputs are merged (including duplicate constants,
+  e.g. the zero-state tensors every unrolled RNN step materializes).
+
+Stateful, random, and placeholder operations are never folded or
+merged. Operation attributes that reference other operations (the
+optimizer's variable/slot handles) are remapped into the new graph, so
+training graphs rewrite correctly too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .graph import Graph, OpClass, Operation, Tensor
+from .ops.state_ops import Const, Identity, Placeholder, VariableOp
+from .session import RunContext
+
+#: op classes whose nodes must survive rewriting untouched
+_IMPURE_CLASSES = frozenset({OpClass.STATE, OpClass.OPTIMIZATION,
+                             OpClass.RANDOM_SAMPLING, OpClass.CONTROL})
+
+#: do not materialize folded constants above this many elements
+_FOLD_SIZE_LIMIT = 1 << 20
+
+
+@dataclass
+class RewriteStats:
+    """What the passes did."""
+
+    ops_in: int = 0
+    ops_out: int = 0
+    identities_removed: int = 0
+    constants_folded: int = 0
+    subexpressions_merged: int = 0
+
+    @property
+    def removed(self) -> int:
+        return self.ops_in - self.ops_out
+
+
+@dataclass
+class RewriteResult:
+    """A rewritten graph plus the machinery to keep using it."""
+
+    graph: Graph
+    stats: RewriteStats
+    _tensor_map: dict[str, Tensor] = field(default_factory=dict)
+
+    def map_tensor(self, tensor: Tensor) -> Tensor:
+        """The rewritten graph's tensor corresponding to ``tensor``."""
+        return self._tensor_map[tensor.name]
+
+    def map_feed(self, feed_dict) -> dict:
+        """Translate a feed dict keyed by original placeholders.
+
+        Placeholders that were pruned out of the rewritten subgraph are
+        silently dropped (they are unused by the fetches anyway).
+        """
+        return {self._tensor_map[t.name]: value
+                for t, value in feed_dict.items()
+                if t.name in self._tensor_map}
+
+
+def _is_pure(op: Operation) -> bool:
+    return (op.op_class not in _IMPURE_CLASSES
+            and not isinstance(op, (Placeholder, VariableOp)))
+
+
+def _attr_key(value) -> object:
+    """Hashable projection of one attribute value for CSE keys."""
+    if isinstance(value, np.ndarray):
+        return (value.shape, str(value.dtype), value.tobytes())
+    if isinstance(value, np.dtype):
+        return str(value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_attr_key(v) for v in value)
+    if isinstance(value, Operation):
+        return ("op", id(value))
+    return value
+
+
+def _cse_key(op: Operation, new_inputs: list[Tensor]):
+    attrs = tuple(sorted((k, _attr_key(v)) for k, v in op.attrs.items()))
+    return (op.type_name, attrs, tuple(t.name for t in new_inputs))
+
+
+def _remap_attrs(attrs: dict, op_map: dict[int, Operation]) -> dict:
+    remapped = {}
+    for key, value in attrs.items():
+        if isinstance(value, Operation):
+            remapped[key] = op_map.get(id(value), value)
+        else:
+            remapped[key] = value
+    return remapped
+
+
+class _FoldContext(RunContext):
+    """RunContext for constant folding: no state, no randomness allowed."""
+
+    def __init__(self):
+        super().__init__(rng=None, variables={}, variable_ops={})
+
+
+def rewrite_graph(graph: Graph, fetches: list[Tensor],
+                  fold_constants: bool = True,
+                  eliminate_identities: bool = True,
+                  merge_subexpressions: bool = True) -> RewriteResult:
+    """Transcribe ``fetches``' subgraph into a new optimized graph."""
+    ops = graph.subgraph(fetches)
+    stats = RewriteStats(ops_in=len(ops))
+    new_graph = Graph()
+    tensor_map: dict[str, Tensor] = {}
+    op_map: dict[int, Operation] = {}
+    cse_index: dict[object, Operation] = {}
+    fold_ctx = _FoldContext()
+
+    with new_graph.as_default():
+        for op in ops:
+            new_inputs = [tensor_map[t.name] for t in op.inputs]
+
+            if eliminate_identities and isinstance(op, Identity):
+                tensor_map[op.outputs[0].name] = new_inputs[0]
+                stats.identities_removed += 1
+                continue
+
+            foldable = (
+                fold_constants and _is_pure(op) and new_inputs
+                and all(isinstance(t.op, Const) for t in new_inputs)
+                and sum(t.size for t in op.outputs) <= _FOLD_SIZE_LIMIT)
+            if foldable:
+                arrays = tuple(t.op.attrs["value"] for t in new_inputs)
+                outputs = op.compute(arrays, fold_ctx)
+                for tensor, value in zip(op.outputs, outputs):
+                    const = Const(attrs={"value": np.asarray(value)},
+                                  name=f"{op.name}/folded")
+                    tensor_map[tensor.name] = const.output
+                stats.constants_folded += 1
+                continue
+
+            if merge_subexpressions and (_is_pure(op)
+                                         or isinstance(op, Const)):
+                key = _cse_key(op, new_inputs)
+                existing = cse_index.get(key)
+                if existing is not None:
+                    for old, reused in zip(op.outputs, existing.outputs):
+                        tensor_map[old.name] = reused
+                    op_map[id(op)] = existing
+                    stats.subexpressions_merged += 1
+                    continue
+            else:
+                key = None
+
+            new_op = type(op)(new_inputs,
+                              attrs=_remap_attrs(op.attrs, op_map),
+                              name=op.name)
+            op_map[id(op)] = new_op
+            for old, created in zip(op.outputs, new_op.outputs):
+                tensor_map[old.name] = created
+            if key is not None:
+                cse_index[key] = new_op
+
+    stats.ops_out = len(new_graph)
+    return RewriteResult(graph=new_graph, stats=stats,
+                         _tensor_map=tensor_map)

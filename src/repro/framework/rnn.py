@@ -1,0 +1,212 @@
+"""Recurrent cells and static sequence unrolling.
+
+Built from primitive operations exactly the way TensorFlow v0.8 models
+were: an LSTM step is a Concat, a MatMul, a BiasAdd, four Slices, and a
+handful of Sigmoid/Tanh/Mul/Add nodes, statically unrolled over the
+sequence. The elementwise multiplies this generates are what the paper
+attributes seq2seq's elementwise-heavy profile to (Section V-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import initializers
+from .graph import Tensor, name_scope
+from .ops import array_ops, math_ops, nn_ops, state_ops
+
+LSTMState = tuple[Tensor, Tensor]
+
+
+class LSTMCell:
+    """A long short-term memory cell (Hochreiter & Schmidhuber)."""
+
+    def __init__(self, num_units: int, input_size: int,
+                 rng: np.random.Generator, forget_bias: float = 1.0,
+                 name: str = "lstm"):
+        self.num_units = num_units
+        self.input_size = input_size
+        self.forget_bias = forget_bias
+        self.name = name
+        with name_scope(name):
+            self.kernel = state_ops.variable(
+                initializers.glorot_uniform(
+                    rng, (input_size + num_units, 4 * num_units)),
+                name="kernel")
+            self.bias = state_ops.variable(
+                np.zeros(4 * num_units, dtype=np.float32), name="bias")
+
+    def zero_state(self, batch_size: int) -> LSTMState:
+        zeros = np.zeros((batch_size, self.num_units), dtype=np.float32)
+        return (state_ops.constant(zeros, name=f"{self.name}/c0"),
+                state_ops.constant(zeros, name=f"{self.name}/h0"))
+
+    def __call__(self, x: Tensor, state: LSTMState) -> tuple[Tensor, LSTMState]:
+        cell, hidden = state
+        with name_scope(self.name):
+            joined = array_ops.concat([x, hidden], axis=1)
+            gates = nn_ops.bias_add(math_ops.matmul(joined, self.kernel),
+                                    self.bias)
+            in_gate, new_input, forget_gate, out_gate = array_ops.split(
+                gates, 4, axis=1)
+            new_cell = math_ops.add(
+                math_ops.multiply(
+                    cell,
+                    math_ops.sigmoid(
+                        math_ops.add(forget_gate, self.forget_bias))),
+                math_ops.multiply(math_ops.sigmoid(in_gate),
+                                  math_ops.tanh(new_input)))
+            new_hidden = math_ops.multiply(math_ops.tanh(new_cell),
+                                           math_ops.sigmoid(out_gate))
+        return new_hidden, (new_cell, new_hidden)
+
+
+class BasicRNNCell:
+    """A vanilla recurrent cell with a clipped-ReLU activation.
+
+    Deep Speech deliberately uses this instead of LSTM ("we do not use
+    LSTM circuits... by using a homogeneous model we have made the
+    computation of the recurrent activations as efficient as possible").
+    The activation is min(max(x, 0), clip), clip=20 in the paper.
+    """
+
+    def __init__(self, num_units: int, input_size: int,
+                 rng: np.random.Generator, clip: float = 20.0,
+                 name: str = "rnn"):
+        self.num_units = num_units
+        self.clip = clip
+        self.name = name
+        with name_scope(name):
+            self.kernel = state_ops.variable(
+                initializers.glorot_uniform(
+                    rng, (input_size + num_units, num_units)),
+                name="kernel")
+            self.bias = state_ops.variable(
+                np.zeros(num_units, dtype=np.float32), name="bias")
+
+    def zero_state(self, batch_size: int) -> Tensor:
+        zeros = np.zeros((batch_size, self.num_units), dtype=np.float32)
+        return state_ops.constant(zeros, name=f"{self.name}/h0")
+
+    def __call__(self, x: Tensor, state: Tensor) -> tuple[Tensor, Tensor]:
+        with name_scope(self.name):
+            joined = array_ops.concat([x, state], axis=1)
+            raw = nn_ops.bias_add(math_ops.matmul(joined, self.kernel),
+                                  self.bias)
+            hidden = math_ops.minimum(math_ops.relu(raw), self.clip)
+        return hidden, hidden
+
+
+class FusedLSTMCell:
+    """An LSTM cell backed by the fused ``LSTMBlockCell`` operation.
+
+    Drop-in interchangeable with :class:`LSTMCell` (same gate order,
+    forget bias, and state layout) but each step is a single fused
+    operation instead of ~15 primitives — the kernel-fusion answer to
+    the overhead-bound recurrent profiles of the paper's Figs. 3/6b.
+    See ``benchmarks/bench_ablation_fusion.py``.
+    """
+
+    def __init__(self, num_units: int, input_size: int,
+                 rng: np.random.Generator, forget_bias: float = 1.0,
+                 name: str = "fused_lstm"):
+        self.num_units = num_units
+        self.input_size = input_size
+        self.forget_bias = forget_bias
+        self.name = name
+        with name_scope(name):
+            self.kernel = state_ops.variable(
+                initializers.glorot_uniform(
+                    rng, (input_size + num_units, 4 * num_units)),
+                name="kernel")
+            self.bias = state_ops.variable(
+                np.zeros(4 * num_units, dtype=np.float32), name="bias")
+
+    def zero_state(self, batch_size: int) -> LSTMState:
+        zeros = np.zeros((batch_size, self.num_units), dtype=np.float32)
+        return (state_ops.constant(zeros, name=f"{self.name}/c0"),
+                state_ops.constant(zeros, name=f"{self.name}/h0"))
+
+    def __call__(self, x: Tensor, state: LSTMState) -> tuple[Tensor, LSTMState]:
+        from .ops.rnn_ops import lstm_block_cell
+        cell, hidden = state
+        with name_scope(self.name):
+            new_c, new_h = lstm_block_cell(x, cell, hidden, self.kernel,
+                                           self.bias,
+                                           forget_bias=self.forget_bias)
+        return new_h, (new_c, new_h)
+
+
+class GRUCell:
+    """A gated recurrent unit (Cho et al., 2014).
+
+    Not used by the eight reference workloads, but part of the framework's
+    recurrent vocabulary so new "living suite" workloads can adopt it.
+    """
+
+    def __init__(self, num_units: int, input_size: int,
+                 rng: np.random.Generator, name: str = "gru"):
+        self.num_units = num_units
+        self.name = name
+        with name_scope(name):
+            self.gate_kernel = state_ops.variable(
+                initializers.glorot_uniform(
+                    rng, (input_size + num_units, 2 * num_units)),
+                name="gate_kernel")
+            self.gate_bias = state_ops.variable(
+                np.ones(2 * num_units, dtype=np.float32), name="gate_bias")
+            self.candidate_kernel = state_ops.variable(
+                initializers.glorot_uniform(
+                    rng, (input_size + num_units, num_units)),
+                name="candidate_kernel")
+            self.candidate_bias = state_ops.variable(
+                np.zeros(num_units, dtype=np.float32),
+                name="candidate_bias")
+
+    def zero_state(self, batch_size: int) -> Tensor:
+        zeros = np.zeros((batch_size, self.num_units), dtype=np.float32)
+        return state_ops.constant(zeros, name=f"{self.name}/h0")
+
+    def __call__(self, x: Tensor, state: Tensor) -> tuple[Tensor, Tensor]:
+        with name_scope(self.name):
+            joined = array_ops.concat([x, state], axis=1)
+            gates = math_ops.sigmoid(nn_ops.bias_add(
+                math_ops.matmul(joined, self.gate_kernel), self.gate_bias))
+            reset, update = array_ops.split(gates, 2, axis=1)
+            candidate_in = array_ops.concat(
+                [x, math_ops.multiply(reset, state)], axis=1)
+            candidate = math_ops.tanh(nn_ops.bias_add(
+                math_ops.matmul(candidate_in, self.candidate_kernel),
+                self.candidate_bias))
+            new_state = math_ops.add(
+                math_ops.multiply(update, state),
+                math_ops.multiply(math_ops.subtract(1.0, update), candidate))
+        return new_state, new_state
+
+
+def static_rnn(cell, inputs: list[Tensor], initial_state=None):
+    """Unroll ``cell`` over a python list of per-timestep inputs.
+
+    Returns (outputs per step, final state). This is static unrolling, as
+    in the paper's TensorFlow version: every timestep contributes its own
+    operations to the graph.
+    """
+    if not inputs:
+        raise ValueError("static_rnn needs at least one timestep")
+    state = initial_state
+    if state is None:
+        state = cell.zero_state(inputs[0].shape[0])
+    outputs = []
+    for x in inputs:
+        out, state = cell(x, state)
+        outputs.append(out)
+    return outputs, state
+
+
+def bidirectional_rnn(forward_cell, backward_cell, inputs: list[Tensor]):
+    """Run two cells over the sequence in opposite directions, concat outputs."""
+    forward_out, _ = static_rnn(forward_cell, inputs)
+    backward_out, _ = static_rnn(backward_cell, list(reversed(inputs)))
+    backward_out = list(reversed(backward_out))
+    return [array_ops.concat([f, b], axis=1)
+            for f, b in zip(forward_out, backward_out)]

@@ -1,0 +1,219 @@
+"""The session: a deterministic topological executor with tracing hooks.
+
+A :class:`Session` owns all runtime state for a graph — variable values
+and the random stream — and executes the pruned subgraph needed by each
+``run`` call in construction (= topological) order. Each operation's
+execution is individually timed, and an optional tracer receives one
+record per op per step; the profiling stack in :mod:`repro.profiling` is
+built entirely on this hook, just as the paper's tools were built on
+TensorFlow's runtime tracing support.
+
+Intermediate tensors are reference-counted and freed as soon as their
+last consumer has run, which keeps peak memory manageable for the deep
+convolutional workloads.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from .errors import ExecutionError, FeedError
+from .graph import Graph, Operation, Tensor, get_default_graph
+from .ops.state_ops import Placeholder, VariableOp
+
+
+class Tracer(Protocol):
+    """Anything with a ``record`` method can observe op executions."""
+
+    def record(self, op: Operation, seconds: float) -> None:  # pragma: no cover
+        ...
+
+    def finish_step(self, total_seconds: float,
+                    peak_live_bytes: int = 0) -> None:  # pragma: no cover
+        ...
+
+
+class RunContext:
+    """Per-session state handed to every op's ``compute``."""
+
+    def __init__(self, rng: np.random.Generator,
+                 variables: dict[int, np.ndarray],
+                 variable_ops: dict[int, VariableOp]):
+        self.rng = rng
+        self._variables = variables
+        self._variable_ops = variable_ops
+
+    def read_variable(self, op: VariableOp) -> np.ndarray:
+        key = id(op)
+        if key not in self._variables:
+            self._variables[key] = op.initial_value.copy()
+            self._variable_ops[key] = op
+        return self._variables[key]
+
+    def write_variable(self, op: VariableOp, value: np.ndarray) -> None:
+        self._variables[id(op)] = np.asarray(value, dtype=op.output.dtype)
+        self._variable_ops[id(op)] = op
+
+
+class Session:
+    """Executes a graph with its own variables and random stream."""
+
+    def __init__(self, graph: Graph | None = None, seed: int = 0):
+        self.graph = graph if graph is not None else get_default_graph()
+        self._variables: dict[int, np.ndarray] = {}
+        self._variable_ops: dict[int, VariableOp] = {}
+        self.rng = np.random.default_rng(seed)
+        self._ctx = RunContext(self.rng, self._variables, self._variable_ops)
+        # Execution plans cached per fetch set; declared-shape validation
+        # runs only on each op's first execution in this session.
+        self._plans: dict[tuple[str, ...], list[Operation]] = {}
+        self._validated: set[int] = set()
+        #: peak bytes of live intermediate tensors in the last run
+        self.last_peak_live_bytes = 0
+
+    # -- variable access ------------------------------------------------------
+
+    def variable_value(self, tensor: Tensor) -> np.ndarray:
+        """Current value of a variable tensor (initializing it if needed)."""
+        if not isinstance(tensor.op, VariableOp):
+            raise FeedError(f"{tensor.name!r} is not a variable")
+        return self._ctx.read_variable(tensor.op)
+
+    def set_variable(self, tensor: Tensor, value: np.ndarray) -> None:
+        if not isinstance(tensor.op, VariableOp):
+            raise FeedError(f"{tensor.name!r} is not a variable")
+        value = np.asarray(value, dtype=tensor.dtype)
+        if value.shape != tensor.shape:
+            raise FeedError(
+                f"variable {tensor.name!r} has shape {tensor.shape}, "
+                f"got {value.shape}")
+        self._ctx.write_variable(tensor.op, value)
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, fetches, feed_dict: Mapping[Tensor, Any] | None = None,
+            tracer: Tracer | None = None, check_numerics: bool = False):
+        """Execute the graph and return the value(s) of ``fetches``.
+
+        Args:
+            fetches: a Tensor or a list/tuple of Tensors.
+            feed_dict: maps Placeholder tensors to numpy values.
+            tracer: optional observer receiving one record per executed op.
+            check_numerics: if True, raise :class:`ExecutionError` naming
+                the first operation that produces a NaN or Inf — the
+                debugging aid for diverging training runs.
+        """
+        single = isinstance(fetches, Tensor)
+        fetch_list: list[Tensor] = [fetches] if single else list(fetches)
+        feeds = self._validate_feeds(feed_dict or {})
+
+        plan_key = tuple(t.name for t in fetch_list)
+        ops = self._plans.get(plan_key)
+        if ops is None:
+            ops = self.graph.subgraph(fetch_list)
+            self._plans[plan_key] = ops
+        self._check_feeds_cover(ops, feeds)
+
+        # Reference counts so intermediates are freed after their last use.
+        refcount: dict[str, int] = {}
+        for op in ops:
+            for tensor in op.inputs:
+                refcount[tensor.name] = refcount.get(tensor.name, 0) + 1
+        for tensor in fetch_list:
+            refcount[tensor.name] = refcount.get(tensor.name, 0) + 1
+
+        now = time.perf_counter  # local binding: called twice per op
+        validated = self._validated
+        ctx = self._ctx
+        values: dict[str, np.ndarray] = {}
+        live_bytes = 0
+        peak_bytes = 0
+        step_start = now()
+        for op in ops:
+            if type(op) is Placeholder:
+                fed = feeds[id(op)]
+                values[op.outputs[0].name] = fed
+                live_bytes += fed.nbytes
+                continue
+            args = tuple(values[t.name] for t in op.inputs)
+            op_start = now()
+            try:
+                outputs = op.compute(args, ctx)
+            except Exception as exc:
+                if isinstance(exc, ExecutionError):
+                    raise
+                raise ExecutionError(op.name, str(exc)) from exc
+            elapsed = now() - op_start
+            if tracer is not None:
+                tracer.record(op, elapsed)
+            if check_numerics:
+                for tensor, value in zip(op.outputs, outputs):
+                    value = np.asarray(value)
+                    if (np.issubdtype(value.dtype, np.floating)
+                            and not np.isfinite(value).all()):
+                        bad = ("NaN" if np.isnan(value).any() else "Inf")
+                        raise ExecutionError(
+                            op.name,
+                            f"produced {bad} in {tensor.name} "
+                            f"(check_numerics)")
+            if id(op) in validated:
+                for tensor, value in zip(op.outputs, outputs):
+                    values[tensor.name] = value
+                    live_bytes += value.nbytes
+            else:
+                # First execution: check declared shapes and normalize any
+                # non-ndarray outputs. Kernels return ndarrays of the
+                # declared shape thereafter, so the steady-state loop
+                # skips the checks.
+                validated.add(id(op))
+                for tensor, value in zip(op.outputs, outputs):
+                    value = np.asarray(value)
+                    if value.shape != tensor.shape:
+                        raise ExecutionError(
+                            op.name,
+                            f"produced shape {value.shape}, declared "
+                            f"{tensor.shape} for {tensor.name}")
+                    values[tensor.name] = value
+                    live_bytes += value.nbytes
+            if live_bytes > peak_bytes:
+                peak_bytes = live_bytes
+            for tensor in op.inputs:
+                name = tensor.name
+                refcount[name] -= 1
+                if refcount[name] == 0:
+                    live_bytes -= values[name].nbytes
+                    del values[name]
+        self.last_peak_live_bytes = peak_bytes
+        if tracer is not None:
+            tracer.finish_step(now() - step_start, peak_bytes)
+
+        results = [values[t.name] for t in fetch_list]
+        return results[0] if single else results
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _validate_feeds(self, feed_dict: Mapping[Tensor, Any]) -> dict[int, np.ndarray]:
+        feeds: dict[int, np.ndarray] = {}
+        for tensor, raw in feed_dict.items():
+            if not isinstance(tensor, Tensor) or not isinstance(
+                    tensor.op, Placeholder):
+                raise FeedError(
+                    f"only placeholders can be fed, got "
+                    f"{getattr(tensor, 'name', tensor)!r}")
+            value = np.asarray(raw, dtype=tensor.dtype)
+            if value.shape != tensor.shape:
+                raise FeedError(
+                    f"feed for {tensor.name!r} has shape {value.shape}, "
+                    f"placeholder expects {tensor.shape}")
+            feeds[id(tensor.op)] = value
+        return feeds
+
+    def _check_feeds_cover(self, ops: Sequence[Operation],
+                           feeds: dict[int, np.ndarray]) -> None:
+        for op in ops:
+            if isinstance(op, Placeholder) and id(op) not in feeds:
+                raise FeedError(
+                    f"placeholder {op.name!r} is required but was not fed")

@@ -1,0 +1,28 @@
+"""Operation-level profiling tools built around the framework's tracing hook.
+
+The measurement stack mirrors the paper's Section V-A methodology:
+``Tracer`` observes every operation execution inside ``Session.run``,
+``OperationProfile`` aggregates traces into per-op-type time fractions,
+``taxonomy`` maps op types onto the Fig. 3 A-G classes, and ``stability``
+provides the Fig. 1 stationarity evidence.
+"""
+
+from .comparison import ProfileComparison, TypeDelta, compare_profiles
+from .profile import OperationProfile, shared_basis
+from .serialize import SavedTrace, load_trace, save_trace
+from .stability import StabilityStats, per_step_type_seconds, stability_report
+from .taxonomy import (FIGURE_GROUPS, GROUP_NAMES, GROUP_ORDER, figure_group,
+                       group_of_class)
+from .timeline import TimelineEvent, timeline_events, to_chrome_trace
+from .tracer import OpRecord, Tracer
+
+__all__ = [
+    "ProfileComparison", "TypeDelta", "compare_profiles",
+    "OperationProfile", "shared_basis",
+    "SavedTrace", "load_trace", "save_trace",
+    "StabilityStats", "per_step_type_seconds", "stability_report",
+    "FIGURE_GROUPS", "GROUP_NAMES", "GROUP_ORDER", "figure_group",
+    "group_of_class",
+    "TimelineEvent", "timeline_events", "to_chrome_trace",
+    "OpRecord", "Tracer",
+]

@@ -1,0 +1,100 @@
+"""Profile comparison: regression-diff two operation profiles.
+
+Fathom's purpose is to evaluate hardware/system changes "on a battery of
+models in a consistent manner"; after a change you want to know *what
+moved*. :func:`compare_profiles` diffs two
+:class:`~repro.profiling.profile.OperationProfile` objects — per-op-type
+time fractions, absolute per-step seconds, and overall similarity — and
+renders a compact report of the biggest shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TypeDelta:
+    """One op type's change between two profiles."""
+
+    op_type: str
+    baseline_fraction: float
+    candidate_fraction: float
+    baseline_seconds: float
+    candidate_seconds: float
+
+    @property
+    def fraction_delta(self) -> float:
+        return self.candidate_fraction - self.baseline_fraction
+
+    @property
+    def seconds_ratio(self) -> float:
+        """Candidate/baseline per-step seconds (inf for new op types)."""
+        if self.baseline_seconds == 0.0:
+            return float("inf") if self.candidate_seconds > 0 else 1.0
+        return self.candidate_seconds / self.baseline_seconds
+
+
+@dataclass(frozen=True)
+class ProfileComparison:
+    baseline_label: str
+    candidate_label: str
+    deltas: list[TypeDelta]  # sorted by |fraction delta|, descending
+    cosine_distance: float
+    baseline_step_seconds: float
+    candidate_step_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Baseline/candidate per-step time (>1 means candidate faster)."""
+        if self.candidate_step_seconds == 0.0:
+            return float("inf")
+        return self.baseline_step_seconds / self.candidate_step_seconds
+
+    def biggest_shifts(self, n: int = 5) -> list[TypeDelta]:
+        return self.deltas[:n]
+
+    def render(self, top_n: int = 8) -> str:
+        lines = [f"Profile comparison: {self.baseline_label} -> "
+                 f"{self.candidate_label}",
+                 f"  per-step time: {self.baseline_step_seconds * 1e3:.2f}ms"
+                 f" -> {self.candidate_step_seconds * 1e3:.2f}ms "
+                 f"({self.speedup:.2f}x)",
+                 f"  profile cosine distance: {self.cosine_distance:.4f}",
+                 f"  {'op type':>28s}  {'base':>7s}  {'cand':>7s}  "
+                 f"{'shift':>7s}"]
+        for delta in self.biggest_shifts(top_n):
+            lines.append(
+                f"  {delta.op_type:>28s}  {delta.baseline_fraction:7.2%}"
+                f"  {delta.candidate_fraction:7.2%}"
+                f"  {delta.fraction_delta:+7.2%}")
+        return "\n".join(lines)
+
+
+def compare_profiles(baseline, candidate) -> ProfileComparison:
+    """Diff two operation profiles (same or different workloads/devices)."""
+    from repro.analysis.similarity import cosine_distance
+    from .profile import shared_basis
+
+    basis = shared_basis([baseline, candidate])
+    base_fractions = baseline.fractions()
+    cand_fractions = candidate.fractions()
+    deltas = []
+    for op_type in basis:
+        deltas.append(TypeDelta(
+            op_type=op_type,
+            baseline_fraction=base_fractions.get(op_type, 0.0),
+            candidate_fraction=cand_fractions.get(op_type, 0.0),
+            baseline_seconds=(baseline.seconds_by_type.get(op_type, 0.0)
+                              / baseline.num_steps),
+            candidate_seconds=(candidate.seconds_by_type.get(op_type, 0.0)
+                               / candidate.num_steps)))
+    deltas.sort(key=lambda d: -abs(d.fraction_delta))
+    return ProfileComparison(
+        baseline_label=baseline.workload or "baseline",
+        candidate_label=candidate.workload or "candidate",
+        deltas=deltas,
+        cosine_distance=cosine_distance(baseline.vector(basis),
+                                        candidate.vector(basis)),
+        baseline_step_seconds=baseline.seconds_per_step(),
+        candidate_step_seconds=candidate.seconds_per_step())

@@ -1,0 +1,147 @@
+"""Aggregated operation-type profiles.
+
+An :class:`OperationProfile` is a single row of the paper's Fig. 3: the
+fraction of a workload's execution time attributable to each operation
+type. Profiles can be computed from *measured* wall-clock times or from
+*modeled* times under any device model — the latter is what makes the
+parallelism (Fig. 6) and GPU (Fig. 5) analyses possible without the
+paper's hardware, and is deterministic for benchmarking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.framework.device_model import DeviceModel
+from repro.framework.graph import OpClass
+
+from .taxonomy import FIGURE_GROUPS, GROUP_ORDER
+from .tracer import Tracer
+
+
+@dataclass(frozen=True)
+class OperationProfile:
+    """Execution time per operation type for one workload configuration."""
+
+    workload: str
+    seconds_by_type: dict[str, float]
+    class_by_type: dict[str, OpClass]
+    num_steps: int
+
+    @classmethod
+    def from_trace(cls, tracer: Tracer, workload: str = "",
+                   device: DeviceModel | None = None) -> "OperationProfile":
+        """Aggregate a trace into a per-op-type profile.
+
+        Args:
+            tracer: a tracer that has observed at least one step.
+            workload: label for reports.
+            device: if given, use modeled times under this device instead
+                of measured wall-clock times.
+        """
+        seconds: dict[str, float] = {}
+        classes: dict[str, OpClass] = {}
+        for record in tracer.compute_records():
+            if device is None:
+                elapsed = record.seconds
+            else:
+                elapsed = device.op_time(record.op.work())
+            seconds[record.op_type] = seconds.get(record.op_type, 0.0) + elapsed
+            classes[record.op_type] = record.op_class
+        return cls(workload=workload, seconds_by_type=seconds,
+                   class_by_type=classes, num_steps=max(tracer.num_steps, 1))
+
+    # -- basic views --------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds_by_type.values())
+
+    def seconds_per_step(self) -> float:
+        return self.total_seconds / self.num_steps
+
+    def fractions(self) -> dict[str, float]:
+        """Fraction of total time per op type, descending."""
+        total = self.total_seconds
+        if total == 0.0:
+            return {}
+        items = sorted(self.seconds_by_type.items(), key=lambda kv: -kv[1])
+        return {name: value / total for name, value in items}
+
+    def top_types(self, n: int = 10) -> list[tuple[str, float]]:
+        return list(self.fractions().items())[:n]
+
+    @staticmethod
+    def top_instances(tracer: Tracer, n: int = 10,
+                      device: DeviceModel | None = None) -> list[tuple[str, str, float]]:
+        """Heaviest individual operations (not types) in a trace.
+
+        Returns ``(op_name, op_type, seconds_per_step)`` tuples — the
+        hotspot view that answers "which *layer* is slow", complementing
+        the type-level profiles.
+        """
+        seconds: dict[str, float] = {}
+        types: dict[str, str] = {}
+        for record in tracer.compute_records():
+            elapsed = (record.seconds if device is None
+                       else device.op_time(record.op.work()))
+            seconds[record.op.name] = seconds.get(record.op.name, 0.0) \
+                + elapsed
+            types[record.op.name] = record.op_type
+        steps = max(tracer.num_steps, 1)
+        ranked = sorted(seconds.items(), key=lambda kv: -kv[1])[:n]
+        return [(name, types[name], value / steps)
+                for name, value in ranked]
+
+    # -- Fig. 2: dominance curve ---------------------------------------------
+
+    def dominance_curve(self) -> list[float]:
+        """Cumulative time fraction when op types are sorted by weight.
+
+        ``curve[k-1]`` is the fraction of runtime covered by the k heaviest
+        operation types; the paper shows 5-15 types reach >= 90%.
+        """
+        return list(np.cumsum(list(self.fractions().values())))
+
+    def types_for_coverage(self, coverage: float = 0.9) -> int:
+        """How many op types are needed to reach ``coverage`` of runtime."""
+        for index, value in enumerate(self.dominance_curve()):
+            if value >= coverage:
+                return index + 1
+        return len(self.seconds_by_type)
+
+    # -- Fig. 3: class breakdown ----------------------------------------------
+
+    def class_breakdown(self, min_type_fraction: float = 0.0) -> dict[str, float]:
+        """Time fraction per Fig. 3 group letter (A-G).
+
+        ``min_type_fraction`` mirrors the paper's presentation choice of
+        dropping op types under 1% (so rows sum to between 0.9 and 1.0).
+        """
+        fractions = self.fractions()
+        breakdown = {letter: 0.0 for letter in GROUP_ORDER}
+        for op_type, fraction in fractions.items():
+            if fraction < min_type_fraction:
+                continue
+            letter = FIGURE_GROUPS.get(self.class_by_type[op_type])
+            if letter is not None:
+                breakdown[letter] += fraction
+        return breakdown
+
+    # -- Fig. 4: similarity vectors ---------------------------------------------
+
+    def vector(self, op_type_order: list[str]) -> np.ndarray:
+        """This profile as a vector over a shared op-type basis."""
+        fractions = self.fractions()
+        return np.array([fractions.get(name, 0.0) for name in op_type_order],
+                        dtype=np.float64)
+
+
+def shared_basis(profiles: list[OperationProfile]) -> list[str]:
+    """Union of op types across profiles, in stable sorted order."""
+    names: set[str] = set()
+    for profile in profiles:
+        names.update(profile.seconds_by_type)
+    return sorted(names)

@@ -1,0 +1,103 @@
+"""Execution-time stationarity statistics (the paper's Fig. 1).
+
+The paper justifies operation-level sampling by showing that operation
+execution times are stationary with low variance across the life of a
+program. This module computes the same evidence from a trace: per-op-type
+sample distributions across steps, their coefficients of variation, and a
+simple drift check comparing the first and second halves of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .tracer import Tracer
+
+
+@dataclass(frozen=True)
+class StabilityStats:
+    """Distribution of one op type's per-step execution time."""
+
+    op_type: str
+    samples: np.ndarray  # seconds per step
+
+    @property
+    def mean(self) -> float:
+        return float(self.samples.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.samples.std())
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        if self.mean == 0.0:
+            return 0.0
+        return self.std / self.mean
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.samples))
+
+    @property
+    def robust_dispersion(self) -> float:
+        """IQR / median: outlier-resistant relative spread.
+
+        Preferred over the coefficient of variation on shared machines,
+        where scheduler preemption injects sporadic large outliers into
+        otherwise stationary op timings.
+        """
+        median = self.median
+        if median == 0.0:
+            return 0.0
+        q75, q25 = np.percentile(self.samples, [75, 25])
+        return float((q75 - q25) / median)
+
+    def drift(self) -> float:
+        """Relative difference between first-half and second-half means.
+
+        Near zero for a stationary distribution.
+        """
+        half = len(self.samples) // 2
+        if half == 0:
+            return 0.0
+        first, second = self.samples[:half].mean(), self.samples[half:].mean()
+        if first == 0.0:
+            return 0.0
+        return float(abs(second - first) / first)
+
+    def histogram(self, bins: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        """Sample-count histogram, the visual content of Fig. 1."""
+        return np.histogram(self.samples, bins=bins)
+
+
+def per_step_type_seconds(tracer: Tracer) -> dict[str, np.ndarray]:
+    """Seconds per op type per step: ``{op_type: array of num_steps}``."""
+    steps = tracer.num_steps
+    totals: dict[str, np.ndarray] = {}
+    for record in tracer.compute_records():
+        if record.op_type not in totals:
+            totals[record.op_type] = np.zeros(steps)
+        totals[record.op_type][record.step] += record.seconds
+    return totals
+
+
+def stability_report(tracer: Tracer, warmup_steps: int = 1,
+                     top_n: int = 10) -> list[StabilityStats]:
+    """Stability stats for the ``top_n`` heaviest op types.
+
+    The first ``warmup_steps`` steps are dropped: they include one-time
+    costs (variable initialization, allocator warmup) that the paper's
+    steady-state sampling also excludes.
+    """
+    per_type = per_step_type_seconds(tracer)
+    stats = []
+    for op_type, samples in per_type.items():
+        trimmed = samples[warmup_steps:]
+        if len(trimmed) == 0 or trimmed.sum() == 0.0:
+            continue
+        stats.append(StabilityStats(op_type=op_type, samples=trimmed))
+    stats.sort(key=lambda s: -s.samples.sum())
+    return stats[:top_n]

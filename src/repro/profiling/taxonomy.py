@@ -1,0 +1,50 @@
+"""The operation-class taxonomy of the paper's Fig. 3.
+
+The figure groups operation types into seven classes labelled A-G:
+
+====== =========================
+Group  Class
+====== =========================
+A      Matrix Operations
+B      Convolution
+C      Elementwise Arithmetic
+D      Reduction and Expansion
+E      Random Sampling
+F      Optimization
+G      Data Movement
+====== =========================
+
+Every operation type in the framework carries an
+:class:`~repro.framework.graph.OpClass`; this module maps those classes
+onto the figure's letters and provides the canonical group ordering used
+by the breakdown heatmap.
+"""
+
+from __future__ import annotations
+
+from repro.framework.graph import OpClass, Operation
+
+FIGURE_GROUPS: dict[OpClass, str] = {
+    OpClass.MATRIX: "A",
+    OpClass.CONVOLUTION: "B",
+    OpClass.ELEMENTWISE: "C",
+    OpClass.REDUCTION_EXPANSION: "D",
+    OpClass.RANDOM_SAMPLING: "E",
+    OpClass.OPTIMIZATION: "F",
+    OpClass.DATA_MOVEMENT: "G",
+}
+
+GROUP_ORDER = ["A", "B", "C", "D", "E", "F", "G"]
+
+GROUP_NAMES: dict[str, str] = {
+    letter: op_class.value for op_class, letter in FIGURE_GROUPS.items()
+}
+
+
+def figure_group(op: Operation) -> str | None:
+    """Fig. 3 group letter for ``op``, or None for structural ops."""
+    return FIGURE_GROUPS.get(op.op_class)
+
+
+def group_of_class(op_class: OpClass) -> str | None:
+    return FIGURE_GROUPS.get(op_class)

@@ -1,0 +1,91 @@
+"""EEG-style execution timelines in Chrome trace format.
+
+The paper's related work highlights EEG, Google's (unreleased) tracing
+tool that "can reconstruct the dynamic execution timeline of TensorFlow
+operations". This module provides that capability for our executor:
+convert a :class:`~repro.profiling.tracer.Tracer` into the Chrome
+``chrome://tracing`` / Perfetto JSON event format, one lane per step,
+with op-class coloring categories. The output is plain JSON and can also
+be inspected programmatically via :func:`timeline_events`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from .taxonomy import FIGURE_GROUPS, GROUP_NAMES
+from .tracer import Tracer
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One operation execution placed on the reconstructed timeline."""
+
+    name: str
+    op_type: str
+    category: str
+    step: int
+    start_us: float
+    duration_us: float
+
+
+def timeline_events(tracer: Tracer) -> list[TimelineEvent]:
+    """Reconstruct per-op start/duration from a trace.
+
+    The executor is sequential, so each step's ops are laid end to end in
+    recorded order; steps are offset by their measured totals.
+    """
+    events: list[TimelineEvent] = []
+    step_offset = 0.0
+    cursor_by_step: dict[int, float] = {}
+    step_starts: dict[int, float] = {}
+    offset = 0.0
+    for step, total in enumerate(tracer.step_totals):
+        step_starts[step] = offset
+        offset += total * 1e6
+    for record in tracer.records:
+        start = cursor_by_step.get(record.step,
+                                   step_starts.get(record.step, 0.0))
+        duration = record.seconds * 1e6
+        letter = FIGURE_GROUPS.get(record.op_class)
+        category = GROUP_NAMES[letter] if letter else record.op_class.value
+        events.append(TimelineEvent(
+            name=record.op.name, op_type=record.op_type, category=category,
+            step=record.step, start_us=start, duration_us=duration))
+        cursor_by_step[record.step] = start + duration
+    return events
+
+
+def to_chrome_trace(tracer: Tracer, process_name: str = "repro") -> str:
+    """Serialize a trace as Chrome trace-event JSON.
+
+    Load the result in ``chrome://tracing`` or Perfetto. Each step is a
+    thread lane; op-class is the event category.
+    """
+    trace_events = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "args": {"name": process_name},
+    }]
+    for step in range(tracer.num_steps):
+        trace_events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": step,
+            "args": {"name": f"step {step}"},
+        })
+    for event in timeline_events(tracer):
+        trace_events.append({
+            "name": event.op_type,
+            "cat": event.category,
+            "ph": "X",
+            "pid": 0,
+            "tid": event.step,
+            "ts": event.start_us,
+            "dur": event.duration_us,
+            "args": {"op": event.name},
+        })
+    return json.dumps({"traceEvents": trace_events}, indent=None)

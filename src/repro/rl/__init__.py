@@ -1,0 +1,17 @@
+"""Reinforcement-learning substrate for the deepq workload.
+
+Replaces the paper's Arcade Learning Environment dependency with small
+pixel arcade games (:mod:`repro.rl.ale`), and provides the experience
+replay buffer and DQN control loop from Mnih et al. (2013).
+"""
+
+from .agent import DQNAgent, EpsilonSchedule, FrameStack, QNetwork
+from .ale import GAMES, Catch, Dodge, make
+from .environment import Environment
+from .replay import ReplayBuffer
+
+__all__ = [
+    "DQNAgent", "EpsilonSchedule", "FrameStack", "QNetwork",
+    "GAMES", "Catch", "Dodge", "make",
+    "Environment", "ReplayBuffer",
+]

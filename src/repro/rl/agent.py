@@ -1,0 +1,134 @@
+"""The deep Q-learning control loop.
+
+Orchestrates an :class:`~repro.rl.environment.Environment`, a
+:class:`~repro.rl.replay.ReplayBuffer`, and any Q-network implementing
+the small :class:`QNetwork` protocol (the ``deepq`` workload implements
+it). Follows Mnih et al. (2013): frame stacking, epsilon-greedy
+exploration with linear annealing, uniform replay sampling, and periodic
+target-network synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from .environment import Environment
+from .replay import ReplayBuffer
+
+
+class QNetwork(Protocol):
+    """What the agent needs from a value network."""
+
+    def q_values(self, states: np.ndarray) -> np.ndarray:
+        """Action values, shape ``(batch, num_actions)``."""
+        ...  # pragma: no cover
+
+    def train_on_batch(self, batch: dict[str, np.ndarray]) -> float:
+        """One gradient step on a replay minibatch; returns the loss."""
+        ...  # pragma: no cover
+
+    def sync_target(self) -> None:
+        """Copy online-network weights into the target network."""
+        ...  # pragma: no cover
+
+
+@dataclass
+class EpsilonSchedule:
+    """Linear annealing from ``start`` to ``end`` over ``decay_steps``."""
+
+    start: float = 1.0
+    end: float = 0.1
+    decay_steps: int = 1000
+
+    def value(self, step: int) -> float:
+        if step >= self.decay_steps:
+            return self.end
+        fraction = step / self.decay_steps
+        return self.start + fraction * (self.end - self.start)
+
+
+class FrameStack:
+    """Maintain the last ``depth`` frames as a (H, W, depth) state."""
+
+    def __init__(self, depth: int = 4):
+        self.depth = depth
+        self._frames: list[np.ndarray] = []
+
+    def reset(self, frame: np.ndarray) -> np.ndarray:
+        self._frames = [frame] * self.depth
+        return self.state()
+
+    def push(self, frame: np.ndarray) -> np.ndarray:
+        self._frames = self._frames[1:] + [frame]
+        return self.state()
+
+    def state(self) -> np.ndarray:
+        return np.stack(self._frames, axis=-1)
+
+
+class DQNAgent:
+    """Epsilon-greedy deep Q-learning with replay and a target network."""
+
+    def __init__(self, network: QNetwork, env: Environment,
+                 replay: ReplayBuffer, frame_depth: int = 4,
+                 batch_size: int = 32, target_sync_interval: int = 100,
+                 train_interval: int = 1, min_replay: int = 64,
+                 epsilon: EpsilonSchedule | None = None, seed: int = 0):
+        self.network = network
+        self.env = env
+        self.replay = replay
+        self.frames = FrameStack(frame_depth)
+        self.batch_size = batch_size
+        self.target_sync_interval = target_sync_interval
+        self.train_interval = train_interval
+        self.min_replay = min_replay
+        self.epsilon = epsilon or EpsilonSchedule()
+        self.rng = np.random.default_rng(seed)
+        self.total_steps = 0
+        self.episode_rewards: list[float] = []
+
+    def select_action(self, state: np.ndarray) -> int:
+        """Epsilon-greedy action for a single stacked state."""
+        if self.rng.random() < self.epsilon.value(self.total_steps):
+            return int(self.rng.integers(self.env.num_actions))
+        values = self.network.q_values(state[np.newaxis])
+        return int(values[0].argmax())
+
+    def fill_replay(self, transitions: int) -> None:
+        """Seed the buffer with random-policy transitions."""
+        state = self.frames.reset(self.env.reset())
+        for _ in range(transitions):
+            action = int(self.rng.integers(self.env.num_actions))
+            frame, reward, done = self.env.step(action)
+            next_state = self.frames.push(frame)
+            self.replay.add(state, action, reward, next_state, done)
+            state = (self.frames.reset(self.env.reset()) if done
+                     else next_state)
+
+    def run_episode(self, max_steps: int = 500,
+                    train: bool = True) -> tuple[float, list[float]]:
+        """Play one episode; returns (total reward, training losses)."""
+        state = self.frames.reset(self.env.reset())
+        total_reward = 0.0
+        losses: list[float] = []
+        for _ in range(max_steps):
+            action = self.select_action(state)
+            frame, reward, done = self.env.step(action)
+            next_state = self.frames.push(frame)
+            self.replay.add(state, action, reward, next_state, done)
+            total_reward += reward
+            state = next_state
+            self.total_steps += 1
+            if (train and len(self.replay) >= self.min_replay
+                    and self.total_steps % self.train_interval == 0):
+                losses.append(self.network.train_on_batch(
+                    self.replay.sample(self.batch_size)))
+            if self.total_steps % self.target_sync_interval == 0:
+                self.network.sync_target()
+            if done:
+                break
+        self.episode_rewards.append(total_reward)
+        return total_reward, losses

@@ -1,0 +1,141 @@
+"""An Arcade-Learning-Environment substitute: small pixel arcade games.
+
+The paper's deepq workload drives the original ALE Atari 2600 emulator.
+The emulator and ROMs are not redistributable here, so this module
+implements small arcade games with the same interaction contract: raw
+pixel frames in, a discrete joystick-like action set, delayed scalar
+rewards, and episodes. Two games with different reward structures are
+provided:
+
+* :class:`Catch` — a paddle must intercept a falling ball (sparse
+  terminal reward, the classic DQN sanity task).
+* :class:`Dodge` — the player weaves between falling obstacles (dense
+  survival reward with terminal failure).
+
+Frames are ``(screen_size, screen_size)`` float32 in {0, 1}; the DQN
+agent stacks four consecutive frames exactly as Mnih et al. (2013) did.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .environment import Environment
+
+
+class Catch(Environment):
+    """Catch the falling ball with a three-pixel paddle.
+
+    Actions: 0 = left, 1 = stay, 2 = right. The episode ends when the
+    ball reaches the bottom row; reward is +1 for a catch, -1 for a miss,
+    0 otherwise.
+    """
+
+    num_actions = 3
+
+    def __init__(self, screen_size: int = 24, seed: int = 0):
+        if screen_size < 6:
+            raise ValueError("Catch needs a screen of at least 6 pixels")
+        self.screen_size = screen_size
+        self.rng = np.random.default_rng(seed)
+        self._ball_row = 0
+        self._ball_col = 0
+        self._paddle_col = 0  # center of a 3-pixel paddle
+        self._done = True
+
+    def reset(self) -> np.ndarray:
+        self._ball_row = 0
+        self._ball_col = int(self.rng.integers(0, self.screen_size))
+        self._paddle_col = self.screen_size // 2
+        self._done = False
+        return self._current_frame()
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool]:
+        if self._done:
+            raise RuntimeError("episode is over; call reset()")
+        if action not in (0, 1, 2):
+            raise ValueError(f"invalid action {action}")
+        shift = action - 1
+        self._paddle_col = int(np.clip(self._paddle_col + shift, 1,
+                                       self.screen_size - 2))
+        self._ball_row += 1
+        reward = 0.0
+        if self._ball_row == self.screen_size - 1:
+            caught = abs(self._ball_col - self._paddle_col) <= 1
+            reward = 1.0 if caught else -1.0
+            self._done = True
+        return self._current_frame(), reward, self._done
+
+    def _current_frame(self) -> np.ndarray:
+        frame = np.zeros((self.screen_size, self.screen_size),
+                         dtype=np.float32)
+        frame[self._ball_row, self._ball_col] = 1.0
+        frame[-1, self._paddle_col - 1:self._paddle_col + 2] = 1.0
+        return frame
+
+
+class Dodge(Environment):
+    """Dodge a stream of falling obstacles.
+
+    Actions: 0 = left, 1 = stay, 2 = right. Each survived step yields
+    +0.1; colliding with an obstacle ends the episode with -1. Episodes
+    are capped at ``max_steps`` to stay bounded.
+    """
+
+    num_actions = 3
+
+    def __init__(self, screen_size: int = 24, spawn_probability: float = 0.3,
+                 max_steps: int = 200, seed: int = 0):
+        self.screen_size = screen_size
+        self.spawn_probability = spawn_probability
+        self.max_steps = max_steps
+        self.rng = np.random.default_rng(seed)
+        self._obstacles = np.zeros((screen_size, screen_size), dtype=bool)
+        self._player_col = 0
+        self._steps = 0
+        self._done = True
+
+    def reset(self) -> np.ndarray:
+        self._obstacles[:] = False
+        self._player_col = self.screen_size // 2
+        self._steps = 0
+        self._done = False
+        return self._current_frame()
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool]:
+        if self._done:
+            raise RuntimeError("episode is over; call reset()")
+        if action not in (0, 1, 2):
+            raise ValueError(f"invalid action {action}")
+        self._player_col = int(np.clip(self._player_col + action - 1, 0,
+                                       self.screen_size - 1))
+        # Scroll obstacles down one row and spawn a new one up top.
+        self._obstacles[1:] = self._obstacles[:-1]
+        self._obstacles[0] = False
+        if self.rng.random() < self.spawn_probability:
+            self._obstacles[0, int(self.rng.integers(self.screen_size))] = True
+        self._steps += 1
+        if self._obstacles[-1, self._player_col]:
+            self._done = True
+            return self._current_frame(), -1.0, True
+        if self._steps >= self.max_steps:
+            self._done = True
+        return self._current_frame(), 0.1, self._done
+
+    def _current_frame(self) -> np.ndarray:
+        frame = self._obstacles.astype(np.float32)
+        frame[-1, self._player_col] = 1.0
+        return frame
+
+
+GAMES = {"catch": Catch, "dodge": Dodge}
+
+
+def make(name: str, screen_size: int = 24, seed: int = 0) -> Environment:
+    """Instantiate a game by name (``'catch'`` or ``'dodge'``)."""
+    try:
+        game_cls = GAMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown game {name!r}; available: {sorted(GAMES)}") from None
+    return game_cls(screen_size=screen_size, seed=seed)

@@ -1,0 +1,38 @@
+"""The environment interface for reinforcement-learning workloads.
+
+Modeled on the Arcade Learning Environment (Bellemare et al., 2013) that
+the paper's deepq workload uses: pixel observations, a small discrete
+action set, scalar rewards, episodic play.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Environment:
+    """Abstract pixel-based episodic environment."""
+
+    #: number of discrete actions
+    num_actions: int
+    #: observation height/width in pixels
+    screen_size: int
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode; returns the initial frame (H, W) float32."""
+        raise NotImplementedError
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool]:
+        """Apply ``action``; returns ``(frame, reward, episode_done)``."""
+        raise NotImplementedError
+
+    def render_ascii(self) -> str:
+        """Human-readable frame dump for examples and debugging."""
+        frame = self._current_frame()
+        rows = []
+        for row in frame:
+            rows.append("".join("#" if v > 0.5 else "." for v in row))
+        return "\n".join(rows)
+
+    def _current_frame(self) -> np.ndarray:
+        raise NotImplementedError

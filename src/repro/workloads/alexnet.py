@@ -1,0 +1,118 @@
+"""alexnet: the Krizhevsky et al. (2012) deep convolutional network.
+
+The watershed ImageNet classifier — five convolutional layers (the first
+two followed by local response normalization and max-pooling), three
+fully-connected layers with dropout, and a softmax classifier. The paper
+includes it for continuity with prior architecture work and as the 2012
+anchor of the alexnet -> vgg -> residual longitudinal comparison: its
+two large fully-connected layers contribute ~11% of runtime, a share
+that shrinks to ~7% in vgg and under 1% in residual (Section V-B).
+
+Configurations scale image resolution, channel counts, and the dense
+widths; ``paper`` uses the original 224x224 geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.imagenet import SyntheticImageNet
+from repro.framework import initializers, layers
+from repro.framework.graph import name_scope
+from repro.framework.ops import (argmax, dropout, flatten, lrn, matmul,
+                                 max_pool, one_hot, placeholder, reduce_mean,
+                                 relu, softmax, softmax_cross_entropy_with_logits)
+from repro.framework.optimizers import MomentumOptimizer
+
+from .base import FathomModel, WorkloadMetadata
+
+
+class AlexNet(FathomModel):
+    name = "alexnet"
+    metadata = WorkloadMetadata(
+        name="alexnet", year=2012, reference="Krizhevsky et al. [33]",
+        neuronal_style="Convolutional, Full", layers=5,
+        learning_task="Supervised", dataset="ImageNet",
+        description=("Image classifier. Watershed for deep learning by "
+                     "beating hand-tuned image systems at ILSVRC 2012."))
+
+    # "init" selects weight initialization: the original's fixed-stddev
+    # gaussian ("gaussian", faithful at paper scale) or He-scaled normals
+    # ("he"), which the scaled-down configs need to keep activations
+    # alive through the deep stack.
+    configs = {
+        "tiny": {"image_size": 32, "num_classes": 10, "batch_size": 4,
+                 "channel_scale": 0.125, "dense_units": 64,
+                 "dropout_rate": 0.5, "learning_rate": 0.01, "init": "he"},
+        "default": {"image_size": 64, "num_classes": 100, "batch_size": 8,
+                    "channel_scale": 0.25, "dense_units": 512,
+                    "dropout_rate": 0.5, "learning_rate": 0.01,
+                    "init": "he"},
+        "paper": {"image_size": 224, "num_classes": 1000, "batch_size": 128,
+                  "channel_scale": 1.0, "dense_units": 4096,
+                  "dropout_rate": 0.5, "learning_rate": 0.01,
+                  "init": "gaussian"},
+    }
+
+    def _kernel_init(self):
+        if self.config["init"] == "gaussian":
+            return initializers.truncated_normal(0.01)
+        return initializers.he_normal
+
+    # (filters at scale 1.0, kernel, stride, use LRN+pool after)
+    _CONV_PLAN = [(96, 11, 4, True), (256, 5, 1, True), (384, 3, 1, False),
+                  (384, 3, 1, False), (256, 3, 1, True)]
+
+    def build(self) -> None:
+        cfg = self.config
+        self.dataset = SyntheticImageNet(
+            image_size=cfg["image_size"], num_classes=cfg["num_classes"],
+            seed=self.seed)
+        batch = cfg["batch_size"]
+        self.images = placeholder(
+            (batch, cfg["image_size"], cfg["image_size"], 3), name="images")
+        self.labels = placeholder((batch,), dtype=np.int32, name="labels")
+
+        scale = cfg["channel_scale"]
+        net = self.images
+        for index, (filters, kernel, stride, normalize) in enumerate(
+                self._CONV_PLAN, start=1):
+            net = layers.conv2d_layer(
+                net, max(8, int(filters * scale)), kernel, self.init_rng,
+                strides=stride, padding="SAME", activation=relu,
+                kernel_init=self._kernel_init(),
+                name=f"conv{index}")
+            if normalize:
+                net = lrn(net, depth_radius=2, name=f"lrn{index}")
+                if net.shape[1] >= 4:
+                    net = max_pool(net, ksize=(3, 3), strides=(2, 2),
+                                   padding="VALID", name=f"pool{index}")
+
+        net = flatten(net)
+        for index in (6, 7):
+            net = layers.dense(net, cfg["dense_units"], self.init_rng,
+                               activation=relu,
+                               kernel_init=self._kernel_init(),
+                               name=f"fc{index}")
+            net = dropout(net, cfg["dropout_rate"], name=f"drop{index}")
+        logits = layers.dense(net, cfg["num_classes"], self.init_rng,
+                              kernel_init=self._kernel_init(),
+                              name="fc8")
+
+        with name_scope("loss"):
+            targets = one_hot(self.labels, cfg["num_classes"])
+            self._loss_fetch = reduce_mean(
+                softmax_cross_entropy_with_logits(logits, targets))
+        self._inference_fetch = softmax(logits, name="predictions")
+        self.predicted_class = argmax(logits, axis=-1)
+        self._train_fetch = MomentumOptimizer(
+            cfg["learning_rate"], momentum=0.9).minimize(self._loss_fetch)
+
+    def sample_feed(self, training: bool = True):
+        batch = self.dataset.sample_batch(self.batch_size)
+        return {self.images: batch["images"], self.labels: batch["labels"]}
+
+    def evaluate(self, batches: int = 4) -> dict[str, float]:
+        """Top-1 classification accuracy vs chance."""
+        from .base import classification_accuracy
+        return classification_accuracy(self, self.labels, batches)

@@ -1,0 +1,118 @@
+"""autoenc: the variational autoencoder of Kingma & Welling (2014).
+
+The suite's unsupervised representative. An encoder maps each input
+image to the mean and log-variance of a diagonal Gaussian over a latent
+embedding; the reparameterization trick samples
+``z = mu + exp(logvar / 2) * eps`` with ``eps ~ N(0, 1)``; a decoder
+reconstructs the input from z. The loss is the negative evidence lower
+bound: Bernoulli reconstruction cross-entropy plus the analytic KL
+divergence to the standard-normal prior.
+
+The paper singles this model out because it *samples during inference*,
+not just training — ``StandardRandomNormal`` shows up in its operation
+profile (Fig. 3, group E) in both modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.mnist import SyntheticMNIST
+from repro.framework import layers
+from repro.framework.graph import name_scope
+from repro.framework.ops import (add, exp, log, multiply, placeholder,
+                                 random_normal, reduce_mean, reduce_sum,
+                                 sigmoid, square, subtract, tanh)
+from repro.framework.optimizers import AdamOptimizer
+
+from .base import FathomModel, WorkloadMetadata
+
+
+class VariationalAutoencoder(FathomModel):
+    name = "autoenc"
+    metadata = WorkloadMetadata(
+        name="autoenc", year=2014, reference="Kingma & Welling [32]",
+        neuronal_style="Full", layers=3, learning_task="Unsupervised",
+        dataset="MNIST",
+        description=("Variational autoencoder. An efficient, generative "
+                     "model for feature learning."))
+
+    configs = {
+        "tiny": {"image_size": 14, "hidden_units": 64, "latent_dim": 8,
+                 "batch_size": 8, "learning_rate": 1e-3},
+        "default": {"image_size": 28, "hidden_units": 512, "latent_dim": 20,
+                    "batch_size": 64, "learning_rate": 1e-3},
+        "paper": {"image_size": 28, "hidden_units": 500, "latent_dim": 20,
+                  "batch_size": 100, "learning_rate": 1e-3},
+    }
+
+    def build(self) -> None:
+        cfg = self.config
+        self.dataset = SyntheticMNIST(image_size=cfg["image_size"],
+                                      seed=self.seed)
+        batch = cfg["batch_size"]
+        input_dim = cfg["image_size"] ** 2
+        latent = cfg["latent_dim"]
+        self.images = placeholder((batch, input_dim), name="images")
+
+        with name_scope("encoder"):
+            hidden = layers.dense(self.images, cfg["hidden_units"],
+                                  self.init_rng, activation=tanh,
+                                  name="hidden")
+            self.z_mean = layers.dense(hidden, latent, self.init_rng,
+                                       name="z_mean")
+            self.z_log_var = layers.dense(hidden, latent, self.init_rng,
+                                          name="z_log_var")
+
+        with name_scope("sampling"):
+            epsilon = random_normal((batch, latent), name="epsilon")
+            std = exp(multiply(self.z_log_var, 0.5))
+            self.z = add(self.z_mean, multiply(std, epsilon), name="z")
+
+        with name_scope("decoder"):
+            hidden = layers.dense(self.z, cfg["hidden_units"], self.init_rng,
+                                  activation=tanh, name="hidden")
+            self.reconstruction = layers.dense(hidden, input_dim,
+                                               self.init_rng,
+                                               activation=sigmoid,
+                                               name="reconstruction")
+
+        with name_scope("loss"):
+            eps = 1e-7
+            per_pixel = add(
+                multiply(self.images, log(add(self.reconstruction, eps))),
+                multiply(subtract(1.0, self.images),
+                         log(add(subtract(1.0, self.reconstruction), eps))))
+            reconstruction_nll = multiply(
+                reduce_sum(per_pixel, axis=1), -1.0)
+            kl = multiply(
+                reduce_sum(
+                    subtract(add(1.0, self.z_log_var),
+                             add(square(self.z_mean), exp(self.z_log_var))),
+                    axis=1),
+                -0.5)
+            self._loss_fetch = reduce_mean(add(reconstruction_nll, kl),
+                                           name="elbo_loss")
+
+        self._inference_fetch = self.reconstruction
+        self._train_fetch = AdamOptimizer(
+            cfg["learning_rate"]).minimize(self._loss_fetch)
+
+    def sample_feed(self, training: bool = True):
+        batch = self.dataset.sample_batch(self.batch_size)
+        return {self.images: batch["images"]}
+
+    def evaluate(self, batches: int = 4) -> dict[str, float]:
+        """Negative ELBO and mean reconstruction error per pixel."""
+        elbo_total = pixel_error_total = 0.0
+        count = 0
+        for _ in range(batches):
+            feed = self.sample_feed(training=False)
+            loss, reconstruction = self.session.run(
+                [self._loss_fetch, self.reconstruction], feed_dict=feed)
+            elbo_total += float(loss)
+            pixel_error_total += float(
+                np.abs(reconstruction - feed[self.images]).mean())
+            count += 1
+        return {"negative_elbo": elbo_total / count,
+                "pixel_l1_error": pixel_error_total / count}

@@ -1,0 +1,214 @@
+"""deepq: deep Q-learning on Atari-style games (Mnih et al., 2013).
+
+The suite's reinforcement-learning representative — the paper notes it
+was, at the time, the *only* reinforcement workload anywhere near the
+architecture literature. The model is the DQN convolutional tower
+(stacked frames -> 2-3 conv layers -> 2 dense layers -> one Q-value per
+action) trained with the Bellman bootstrap: the regression target for
+``Q(s, a)`` is ``r + gamma * max_a' Q_target(s', a')`` computed by a
+periodically-synchronized target network and held fixed through
+``StopGradient``. The optimizer is RMSProp, whose ``ApplyRMSProp`` nodes
+are the rising non-convolutional profile entry in the paper's Fig. 6a.
+
+The original drives the Arcade Learning Environment; this reproduction
+substitutes the pixel arcade games in :mod:`repro.rl.ale` and keeps the
+full loop — frame stacking, epsilon-greedy play, experience replay,
+target-network sync — via :class:`repro.rl.agent.DQNAgent` (the workload
+implements the agent's ``QNetwork`` protocol).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework import initializers, layers
+from repro.framework.graph import Tensor, name_scope
+from repro.framework.ops import (abs_, add, flatten, minimum, multiply,
+                                 one_hot, placeholder, reduce_max,
+                                 reduce_mean, reduce_sum, relu, square,
+                                 stop_gradient, subtract)
+from repro.framework.ops.state_ops import VariableOp, assign, group
+from repro.framework.optimizers import RMSPropOptimizer
+from repro.rl import ale
+from repro.rl.replay import ReplayBuffer
+
+from .base import FathomModel, WorkloadMetadata
+
+
+class DeepQ(FathomModel):
+    name = "deepq"
+    metadata = WorkloadMetadata(
+        name="deepq", year=2013, reference="Mnih et al. [36]",
+        neuronal_style="Convolutional, Full", layers=5,
+        learning_task="Reinforcement", dataset="Atari ALE",
+        description=("Atari-playing neural network from DeepMind. Achieves "
+                     "superhuman performance on majority of Atari2600 "
+                     "games, without any preconceptions."))
+
+    configs = {
+        "tiny": {"game": "catch", "screen_size": 16, "frame_depth": 4,
+                 "batch_size": 4, "channel_scale": 0.25, "dense_units": 64,
+                 "gamma": 0.95, "learning_rate": 1e-3,
+                 "replay_capacity": 512, "replay_seed_transitions": 64},
+        "default": {"game": "catch", "screen_size": 24, "frame_depth": 4,
+                    "batch_size": 32, "channel_scale": 0.5,
+                    "dense_units": 256, "gamma": 0.99,
+                    "learning_rate": 2.5e-4, "replay_capacity": 4096,
+                    "replay_seed_transitions": 256},
+        "paper": {"game": "catch", "screen_size": 84, "frame_depth": 4,
+                  "batch_size": 32, "channel_scale": 1.0,
+                  "dense_units": 512, "gamma": 0.99,
+                  "learning_rate": 2.5e-4, "replay_capacity": 100_000,
+                  "replay_seed_transitions": 1024},
+    }
+
+    # (filters at scale 1.0, kernel, stride) — Mnih et al.'s tower
+    _CONV_PLAN = [(32, 8, 4), (64, 4, 2), (64, 3, 1)]
+
+    def _q_tower(self, states: Tensor, scope: str) -> tuple[Tensor, str]:
+        """Build one Q-network tower; returns (q_values, scope prefix)."""
+        cfg = self.config
+        with name_scope(scope):
+            net = states
+            for index, (filters, kernel, stride) in enumerate(
+                    self._CONV_PLAN, start=1):
+                kernel = min(kernel, net.shape[1])
+                net = layers.conv2d_layer(
+                    net, max(4, int(filters * cfg["channel_scale"])), kernel,
+                    self.init_rng, strides=min(stride, net.shape[1]),
+                    padding="SAME", activation=relu,
+                    kernel_init=initializers.he_normal, name=f"conv{index}")
+            net = flatten(net)
+            net = layers.dense(net, cfg["dense_units"], self.init_rng,
+                               activation=relu, name="fc1")
+            q_values = layers.dense(net, self.env.num_actions, self.init_rng,
+                                    name="q_values")
+        return q_values, scope
+
+    def build(self) -> None:
+        cfg = self.config
+        self.env = ale.make(cfg["game"], screen_size=cfg["screen_size"],
+                            seed=self.seed)
+        state_shape = (cfg["screen_size"], cfg["screen_size"],
+                       cfg["frame_depth"])
+        batch = cfg["batch_size"]
+
+        self.states = placeholder((batch,) + state_shape, name="states")
+        self.actions = placeholder((batch,), dtype=np.int32, name="actions")
+        self.rewards = placeholder((batch,), name="rewards")
+        self.next_states = placeholder((batch,) + state_shape,
+                                       name="next_states")
+        self.dones = placeholder((batch,), name="dones")
+
+        self.q_online, online_scope = self._q_tower(self.states, "online")
+        q_next, target_scope = self._q_tower(self.next_states, "target")
+
+        with name_scope("bellman"):
+            max_next = reduce_max(q_next, axis=1)
+            target = stop_gradient(
+                add(self.rewards,
+                    multiply(cfg["gamma"],
+                             multiply(max_next, subtract(1.0, self.dones)))))
+            chosen = reduce_sum(
+                multiply(self.q_online,
+                         one_hot(self.actions, self.env.num_actions)),
+                axis=1)
+            error = subtract(chosen, target)
+            # Huber loss composed from primitives: quadratic inside the
+            # unit interval, linear outside.
+            abs_error = abs_(error)
+            clipped = minimum(abs_error, 1.0)
+            huber = add(multiply(0.5, square(clipped)),
+                        subtract(abs_error, clipped))
+            self._loss_fetch = reduce_mean(huber, name="huber_loss")
+
+        online_vars = self._scope_variables(online_scope)
+        target_vars = self._scope_variables(target_scope)
+        self._train_fetch = RMSPropOptimizer(
+            cfg["learning_rate"], decay=0.95,
+            epsilon=0.01).minimize(self._loss_fetch, var_list=online_vars)
+        with name_scope("sync"):
+            copies = [assign(dst, src)
+                      for dst, src in zip(target_vars, online_vars)]
+            self._sync_fetch = group(*copies, name="sync_target")
+
+        self._inference_fetch = self.q_online
+        self.replay = ReplayBuffer(cfg["replay_capacity"], state_shape,
+                                   seed=self.seed + 2)
+
+    def _scope_variables(self, scope: str) -> list[Tensor]:
+        prefix = scope + "/"
+        return [op.output for op in self.graph.operations
+                if isinstance(op, VariableOp)
+                and op.attrs.get("trainable", True)
+                and op.name.startswith(prefix)]
+
+    # -- QNetwork protocol (used by repro.rl.agent.DQNAgent) --------------------
+
+    def q_values(self, states: np.ndarray) -> np.ndarray:
+        """Action values for arbitrary-size state batches.
+
+        The graph has a fixed batch dimension, so smaller inputs are
+        padded up and the padding rows discarded.
+        """
+        count = states.shape[0]
+        batch = self.batch_size
+        padded = np.zeros((batch,) + states.shape[1:], dtype=np.float32)
+        padded[:min(count, batch)] = states[:batch]
+        values = self.session.run(self.q_online,
+                                  feed_dict={self.states: padded})
+        return values[:count]
+
+    def train_on_batch(self, batch: dict[str, np.ndarray]) -> float:
+        loss, _ = self.session.run(
+            [self._loss_fetch, self._train_fetch],
+            feed_dict={self.states: batch["states"],
+                       self.actions: batch["actions"],
+                       self.rewards: batch["rewards"],
+                       self.next_states: batch["next_states"],
+                       self.dones: batch["dones"]})
+        return float(loss)
+
+    def sync_target(self) -> None:
+        self.session.run(self._sync_fetch)
+
+    # -- standard interface -------------------------------------------------------
+
+    def _ensure_replay_seeded(self) -> None:
+        if len(self.replay) >= self.config["replay_seed_transitions"]:
+            return
+        from repro.rl.agent import DQNAgent, EpsilonSchedule
+        agent = DQNAgent(self, self.env, self.replay,
+                         frame_depth=self.config["frame_depth"],
+                         batch_size=self.batch_size,
+                         epsilon=EpsilonSchedule(start=1.0, end=1.0),
+                         seed=self.seed + 3)
+        agent.fill_replay(self.config["replay_seed_transitions"])
+
+    def sample_feed(self, training: bool = True):
+        self._ensure_replay_seeded()
+        batch = self.replay.sample(self.batch_size)
+        if not training:
+            return {self.states: batch["states"]}
+        return {self.states: batch["states"],
+                self.actions: batch["actions"],
+                self.rewards: batch["rewards"],
+                self.next_states: batch["next_states"],
+                self.dones: batch["dones"]}
+
+    def evaluate(self, batches: int = 4) -> dict[str, float]:
+        """Average greedy-policy episode reward over ``batches`` games."""
+        from repro.rl.agent import FrameStack
+        frames = FrameStack(self.config["frame_depth"])
+        total = 0.0
+        for _ in range(batches):
+            state = frames.reset(self.env.reset())
+            done = False
+            steps = 0
+            while not done and steps < 200:
+                action = int(self.q_values(state[np.newaxis])[0].argmax())
+                frame, reward, done = self.env.step(action)
+                state = frames.push(frame)
+                total += reward
+                steps += 1
+        return {"mean_episode_reward": total / batches}

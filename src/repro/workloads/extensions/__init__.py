@@ -1,0 +1,45 @@
+"""Living-suite extension workloads.
+
+The paper closes: "As the field continues to evolve, there will
+inevitably be new models which arise, and we hope Fathom will become a
+'living' workload suite, incorporating advances as they are discovered."
+This subpackage is that mechanism: additional workloads behind the same
+standard interface, kept separate from the faithful core eight so the
+paper's tables and figures stay exact.
+
+Current extensions target the language-modeling domain the Table I
+survey found underserved:
+
+* ``lstm_lm`` — a word-level LSTM language model (Zaremba et al., 2014).
+* ``skipgram`` — word2vec skip-gram with negative sampling
+  (Mikolov et al., 2013).
+* ``neuraltalk`` — CNN-encoder/LSTM-decoder image captioning
+  (Karpathy & Fei-Fei, 2015), the model the Table I survey found as the
+  architecture literature's lone recurrent sighting.
+"""
+
+from ..base import FathomModel
+from .lstm_lm import LSTMLanguageModel
+from .neuraltalk import NeuralTalk
+from .skipgram import SkipGram
+
+EXTENSION_WORKLOADS: dict[str, type[FathomModel]] = {
+    "lstm_lm": LSTMLanguageModel,
+    "skipgram": SkipGram,
+    "neuraltalk": NeuralTalk,
+}
+
+
+def create(name: str, config: str = "default", seed: int = 0) -> FathomModel:
+    """Instantiate an extension workload by name."""
+    try:
+        workload_cls = EXTENSION_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown extension workload {name!r}; available: "
+            f"{sorted(EXTENSION_WORKLOADS)}") from None
+    return workload_cls(config=config, seed=seed)
+
+
+__all__ = ["EXTENSION_WORKLOADS", "LSTMLanguageModel", "NeuralTalk",
+           "SkipGram", "create"]

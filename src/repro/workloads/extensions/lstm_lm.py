@@ -1,0 +1,128 @@
+"""lstm_lm: a word-level LSTM language model (Zaremba et al., 2014).
+
+The canonical recurrent language model of the paper's era: embedded
+words flow through a stack of LSTM layers, statically unrolled over the
+sequence, into a softmax over the vocabulary tied across timesteps.
+Trained with truncated-BPTT-style fixed-length sequences on the
+synthetic Markov corpus, whose ground-truth entropy gives the evaluate()
+perplexity a meaningful floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.ptb import SyntheticPTB
+from repro.framework import initializers, rnn
+from repro.framework.graph import name_scope
+from repro.framework.ops import (concat, expand_dims, gather, matmul,
+                                 one_hot, placeholder, reduce_mean,
+                                 softmax, softmax_cross_entropy_with_logits,
+                                 split, squeeze)
+from repro.framework.ops.state_ops import variable
+from repro.framework.optimizers import AdamOptimizer
+
+from ..base import FathomModel, WorkloadMetadata
+
+
+class LSTMLanguageModel(FathomModel):
+    name = "lstm_lm"
+    metadata = WorkloadMetadata(
+        name="lstm_lm", year=2014, reference="Zaremba et al. (extension)",
+        neuronal_style="Recurrent", layers=2, learning_task="Supervised",
+        dataset="PTB (synthetic)",
+        description=("Living-suite extension: word-level LSTM language "
+                     "model, the era's standard recurrent LM."))
+
+    configs = {
+        "tiny": {"vocab_size": 50, "embed_dim": 16, "hidden_units": 32,
+                 "num_layers": 1, "sequence_length": 8, "batch_size": 4,
+                 "branching": 5, "learning_rate": 5e-3},
+        "default": {"vocab_size": 500, "embed_dim": 64,
+                    "hidden_units": 128, "num_layers": 2,
+                    "sequence_length": 20, "batch_size": 16,
+                    "branching": 20, "learning_rate": 5e-3},
+        "paper": {"vocab_size": 10_000, "embed_dim": 650,
+                  "hidden_units": 650, "num_layers": 2,
+                  "sequence_length": 35, "batch_size": 20,
+                  "branching": 50, "learning_rate": 5e-3},
+    }
+
+    def build(self) -> None:
+        cfg = self.config
+        self.dataset = SyntheticPTB(vocab_size=cfg["vocab_size"],
+                                    branching=cfg["branching"],
+                                    seed=self.seed)
+        batch = cfg["batch_size"]
+        steps = cfg["sequence_length"]
+        vocab = cfg["vocab_size"]
+        hidden = cfg["hidden_units"]
+
+        self.inputs = placeholder((batch, steps), dtype=np.int32,
+                                  name="inputs")
+        self.targets = placeholder((batch, steps), dtype=np.int32,
+                                   name="targets")
+
+        table = variable(
+            initializers.uniform(0.1)(self.init_rng,
+                                      (vocab, cfg["embed_dim"])),
+            name="embedding")
+        embedded = gather(table, self.inputs)  # (batch, steps, embed)
+        step_inputs = [squeeze(piece, [1]) for piece in
+                       split(embedded, steps, axis=1, name="step")]
+
+        cells = []
+        size = cfg["embed_dim"]
+        for layer in range(cfg["num_layers"]):
+            cells.append(rnn.LSTMCell(hidden, size, self.init_rng,
+                                      name=f"lstm{layer}"))
+            size = hidden
+        states = [cell.zero_state(batch) for cell in cells]
+
+        with name_scope("softmax"):
+            projection = variable(
+                initializers.glorot_uniform(self.init_rng, (hidden, vocab)),
+                name="projection")
+
+        step_logits = []
+        for step_input in step_inputs:
+            out = step_input
+            new_states = []
+            for cell, state in zip(cells, states):
+                out, new_state = cell(out, state)
+                new_states.append(new_state)
+            states = new_states
+            step_logits.append(matmul(out, projection))
+
+        with name_scope("loss"):
+            target_steps = [squeeze(piece, [1]) for piece in
+                            split(self.targets, steps, axis=1)]
+            step_losses = [
+                reduce_mean(softmax_cross_entropy_with_logits(
+                    logits, one_hot(target, vocab)))
+                for logits, target in zip(step_logits, target_steps)]
+            self._loss_fetch = reduce_mean(
+                concat([expand_dims(l, 0) for l in step_losses], axis=0),
+                name="mean_xent")
+
+        self._inference_fetch = concat(
+            [softmax(logits) for logits in step_logits], axis=0,
+            name="next_word_probs")
+        self._train_fetch = AdamOptimizer(
+            cfg["learning_rate"]).minimize(self._loss_fetch)
+
+    def sample_feed(self, training: bool = True):
+        batch = self.dataset.sample_batch(
+            self.batch_size, sequence_length=self.config["sequence_length"])
+        return {self.inputs: batch["inputs"],
+                self.targets: batch["targets"]}
+
+    def evaluate(self, batches: int = 4) -> dict[str, float]:
+        """Per-word perplexity (uniform bound = vocab_size)."""
+        total = 0.0
+        for _ in range(batches):
+            feed = self.sample_feed(training=False)
+            total += float(self.session.run(self._loss_fetch,
+                                            feed_dict=feed))
+        return {"perplexity": float(np.exp(total / batches)),
+                "uniform_perplexity": float(self.config["vocab_size"])}

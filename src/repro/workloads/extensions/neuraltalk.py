@@ -1,0 +1,176 @@
+"""neuraltalk: CNN-encoder / LSTM-decoder image captioning.
+
+Karpathy & Fei-Fei's NeuralTalk is the model the paper's survey singles
+out: it appeared (heavily modified) in EIE [24] as one of only two
+recurrent networks in the entire architecture literature. As a
+living-suite extension it combines the suite's two dominant styles in
+one workload — convolutional feature extraction feeding a statically
+unrolled LSTM language decoder — which makes its operation profile a
+genuine hybrid of the Fig. 4 clusters.
+
+Structure: a small conv tower encodes the image; its feature vector
+initializes the LSTM state; the decoder is trained with teacher forcing
+to emit the caption. Captions are synthetic template sentences whose
+content words are determined by the image class
+(:mod:`repro.data.captions`), so captioning requires real visual
+recognition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.captions import SyntheticCaptions
+from repro.framework import initializers, layers, rnn
+from repro.framework.graph import name_scope
+from repro.framework.ops import (concat, expand_dims, flatten, gather,
+                                 matmul, max_pool, one_hot, placeholder,
+                                 reduce_mean, relu, softmax,
+                                 softmax_cross_entropy_with_logits, split,
+                                 squeeze, tanh)
+from repro.framework.ops.state_ops import variable
+from repro.framework.optimizers import AdamOptimizer
+
+from ..base import FathomModel, WorkloadMetadata
+
+
+class NeuralTalk(FathomModel):
+    name = "neuraltalk"
+    metadata = WorkloadMetadata(
+        name="neuraltalk", year=2015,
+        reference="Karpathy & Fei-Fei (extension)",
+        neuronal_style="Convolutional, Recurrent", layers=6,
+        learning_task="Supervised", dataset="Captions (synthetic)",
+        description=("Living-suite extension: CNN-encoder LSTM-decoder "
+                     "image captioning, the survey's lone recurrent "
+                     "sighting in architecture papers."))
+
+    configs = {
+        "tiny": {"image_size": 16, "num_classes": 4, "conv_channels": 8,
+                 "embed_dim": 16, "hidden_units": 32, "batch_size": 4,
+                 "learning_rate": 2e-3},
+        "default": {"image_size": 32, "num_classes": 8,
+                    "conv_channels": 16, "embed_dim": 32,
+                    "hidden_units": 128, "batch_size": 16,
+                    "learning_rate": 2e-3},
+        "paper": {"image_size": 224, "num_classes": 8,
+                  "conv_channels": 64, "embed_dim": 300,
+                  "hidden_units": 512, "batch_size": 64,
+                  "learning_rate": 2e-3},
+    }
+
+    def build(self) -> None:
+        cfg = self.config
+        self.dataset = SyntheticCaptions(image_size=cfg["image_size"],
+                                         num_classes=cfg["num_classes"],
+                                         seed=self.seed)
+        batch = cfg["batch_size"]
+        length = self.dataset.CAPTION_LENGTH
+        vocab = self.dataset.vocab_size
+        hidden = cfg["hidden_units"]
+
+        self.images = placeholder(
+            (batch, cfg["image_size"], cfg["image_size"], 3), name="images")
+        self.caption_in = placeholder((batch, length), dtype=np.int32,
+                                      name="caption_in")
+        self.caption_out = placeholder((batch, length), dtype=np.int32,
+                                       name="caption_out")
+
+        # -- CNN encoder ----------------------------------------------------
+        with name_scope("encoder"):
+            net = self.images
+            channels = cfg["conv_channels"]
+            for index in range(3):
+                net = layers.conv2d_layer(
+                    net, channels * (2 ** index), 3, self.init_rng,
+                    activation=relu, kernel_init=initializers.he_normal,
+                    name=f"conv{index + 1}")
+                if net.shape[1] >= 2:
+                    net = max_pool(net, ksize=(2, 2), strides=(2, 2),
+                                   padding="VALID", name=f"pool{index + 1}")
+            features = layers.dense(flatten(net), hidden, self.init_rng,
+                                    activation=tanh, name="features")
+
+        # -- LSTM decoder seeded by the image features ------------------------
+        with name_scope("decoder"):
+            table = variable(
+                initializers.uniform(0.1)(self.init_rng,
+                                          (vocab, cfg["embed_dim"])),
+                name="word_embedding")
+            projection = variable(
+                initializers.glorot_uniform(self.init_rng,
+                                            (hidden, vocab)),
+                name="projection")
+            cell = rnn.LSTMCell(hidden, cfg["embed_dim"], self.init_rng,
+                                name="lstm")
+            state = (features, tanh(features))
+            embedded = gather(table, self.caption_in)
+            step_inputs = [squeeze(piece, [1]) for piece in
+                           split(embedded, length, axis=1, name="word")]
+            step_logits = []
+            for step_input in step_inputs:
+                out, state = cell(step_input, state)
+                step_logits.append(matmul(out, projection))
+
+        with name_scope("loss"):
+            target_steps = [squeeze(piece, [1]) for piece in
+                            split(self.caption_out, length, axis=1)]
+            step_losses = [
+                reduce_mean(softmax_cross_entropy_with_logits(
+                    logits, one_hot(target, vocab)))
+                for logits, target in zip(step_logits, target_steps)]
+            self._loss_fetch = reduce_mean(
+                concat([expand_dims(l, 0) for l in step_losses], axis=0),
+                name="caption_xent")
+
+        self._inference_fetch = concat(
+            [softmax(logits) for logits in step_logits], axis=0,
+            name="word_probs")
+        self._train_fetch = AdamOptimizer(
+            cfg["learning_rate"]).minimize(self._loss_fetch)
+
+    def sample_feed(self, training: bool = True):
+        batch = self.dataset.sample_batch(self.batch_size)
+        return {self.images: batch["images"],
+                self.caption_in: batch["caption_in"],
+                self.caption_out: batch["caption_out"]}
+
+    def evaluate(self, batches: int = 4) -> dict[str, float]:
+        """Teacher-forced caption token accuracy (and content-word
+        accuracy, which requires actually recognizing the image)."""
+        correct = content_correct = total = content_total = 0
+        batch = self.batch_size
+        length = self.dataset.CAPTION_LENGTH
+        for _ in range(batches):
+            feed = self.sample_feed(training=False)
+            probs = self.session.run(self._inference_fetch, feed_dict=feed)
+            predictions = probs.argmax(axis=1).reshape(length, batch).T
+            targets = feed[self.caption_out]
+            correct += int((predictions == targets).sum())
+            total += targets.size
+            # Content words are positions 3 (adjective) and 4 (noun).
+            content = predictions[:, 3:5] == targets[:, 3:5]
+            content_correct += int(content.sum())
+            content_total += content.size
+        return {"token_accuracy": correct / total,
+                "content_word_accuracy": content_correct / content_total,
+                "content_chance": 1.0 / self.dataset.num_classes}
+
+    def caption_image(self, image: np.ndarray) -> str:
+        """Greedy-decode a caption for one image (free-running)."""
+        from repro.data.captions import START_ID
+        batch = self.batch_size
+        length = self.dataset.CAPTION_LENGTH
+        images = np.zeros((batch,) + image.shape, dtype=np.float32)
+        images[0] = image
+        caption = np.zeros((batch, length), dtype=np.int32)
+        caption[:, 0] = START_ID
+        for position in range(length - 1):
+            probs = self.session.run(
+                self._inference_fetch,
+                feed_dict={self.images: images,
+                           self.caption_in: caption,
+                           self.caption_out: caption})
+            step = probs[position * batch:(position + 1) * batch]
+            caption[:, position + 1] = step.argmax(axis=1)
+        return self.dataset.decode(caption[0, 1:])

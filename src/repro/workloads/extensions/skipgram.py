@@ -1,0 +1,131 @@
+"""skipgram: word2vec with negative sampling (Mikolov et al., 2013).
+
+The embedding workload of the era: a center word's input embedding is
+scored against its true context word and against sampled negatives with
+a dot product, trained with the negative-sampling logistic loss
+
+    -log sigmoid(u_ctx . v_c) - sum_k log sigmoid(-u_neg_k . v_c).
+
+Computationally it is the opposite pole from the dense networks: almost
+entirely Gather/BatchMatMul on skinny tensors plus the scatter-add
+backward, making it a useful extension point for studying sparse
+embedding workloads the core suite only touches via seq2seq/memnet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.ptb import SyntheticPTB
+from repro.framework import initializers
+from repro.framework.graph import name_scope
+from repro.framework.ops import (add, batch_matmul, concat, expand_dims,
+                                 gather, log, multiply, negative,
+                                 placeholder, reduce_mean, reduce_sum,
+                                 sigmoid, squeeze, subtract)
+from repro.framework.ops.state_ops import variable
+from repro.framework.optimizers import GradientDescentOptimizer
+
+from ..base import FathomModel, WorkloadMetadata
+
+
+class SkipGram(FathomModel):
+    name = "skipgram"
+    metadata = WorkloadMetadata(
+        name="skipgram", year=2013, reference="Mikolov et al. (extension)",
+        neuronal_style="Embedding", layers=1, learning_task="Unsupervised",
+        dataset="PTB (synthetic)",
+        description=("Living-suite extension: word2vec skip-gram with "
+                     "negative sampling, the era's embedding workhorse."))
+
+    configs = {
+        "tiny": {"vocab_size": 50, "embed_dim": 16, "negatives": 3,
+                 "window": 2, "branching": 5, "batch_size": 16,
+                 "learning_rate": 2.0},
+        "default": {"vocab_size": 1000, "embed_dim": 64, "negatives": 5,
+                    "window": 2, "branching": 20, "batch_size": 128,
+                    "learning_rate": 0.5},
+        "paper": {"vocab_size": 100_000, "embed_dim": 300, "negatives": 15,
+                  "window": 5, "branching": 50, "batch_size": 512,
+                  "learning_rate": 0.5},
+    }
+
+    def build(self) -> None:
+        cfg = self.config
+        self.dataset = SyntheticPTB(vocab_size=cfg["vocab_size"],
+                                    branching=cfg["branching"],
+                                    seed=self.seed)
+        batch = cfg["batch_size"]
+        negatives = cfg["negatives"]
+        embed_dim = cfg["embed_dim"]
+
+        self.centers = placeholder((batch,), dtype=np.int32, name="centers")
+        self.contexts = placeholder((batch,), dtype=np.int32,
+                                    name="contexts")
+        self.negatives = placeholder((batch, negatives), dtype=np.int32,
+                                     name="negatives")
+
+        init = initializers.uniform(0.5 / embed_dim)
+        self.input_table = variable(
+            init(self.init_rng, (cfg["vocab_size"], embed_dim)),
+            name="input_embeddings")
+        self.output_table = variable(
+            np.zeros((cfg["vocab_size"], embed_dim), dtype=np.float32),
+            name="output_embeddings")
+
+        center_vectors = gather(self.input_table, self.centers,
+                                name="center_lookup")  # (batch, embed)
+        positive_vectors = gather(self.output_table, self.contexts,
+                                  name="context_lookup")
+        negative_vectors = gather(self.output_table, self.negatives,
+                                  name="negative_lookup")
+
+        with name_scope("scores"):
+            # (batch, 1+negatives, embed) x (batch, embed, 1)
+            candidates = concat([expand_dims(positive_vectors, 1),
+                                 negative_vectors], axis=1)
+            scores = squeeze(
+                batch_matmul(candidates, expand_dims(center_vectors, 2)),
+                [2], name="dot_scores")  # (batch, 1+negatives)
+
+        with name_scope("loss"):
+            eps = 1e-7
+            probabilities = sigmoid(scores)
+            # Column 0 is the true context; the rest are negatives.
+            from repro.framework.ops import slice_
+            positive_prob = squeeze(
+                slice_(probabilities, (0, 0), (batch, 1)), [1])
+            negative_prob = slice_(probabilities, (0, 1),
+                                   (batch, negatives))
+            positive_loss = negative(log(add(positive_prob, eps)))
+            negative_loss = negative(reduce_sum(
+                log(add(subtract(1.0, negative_prob), eps)), axis=1))
+            self._loss_fetch = reduce_mean(
+                add(positive_loss, negative_loss), name="nce_loss")
+
+        self._inference_fetch = sigmoid(scores, name="pair_probabilities")
+        self._train_fetch = GradientDescentOptimizer(
+            cfg["learning_rate"]).minimize(self._loss_fetch)
+
+    def sample_feed(self, training: bool = True):
+        batch = self.dataset.skipgram_batch(
+            self.batch_size, window=self.config["window"],
+            negatives=self.config["negatives"])
+        return {self.centers: batch["centers"],
+                self.contexts: batch["contexts"],
+                self.negatives: batch["negatives"]}
+
+    def evaluate(self, batches: int = 4) -> dict[str, float]:
+        """Fraction of pairs where the true context outranks every negative."""
+        wins = total = 0
+        for _ in range(batches):
+            feed = self.sample_feed(training=False)
+            probabilities = self.session.run(self._inference_fetch,
+                                             feed_dict=feed)
+            positive = probabilities[:, :1]
+            negatives = probabilities[:, 1:]
+            wins += int((positive > negatives.max(axis=1,
+                                                  keepdims=True)).sum())
+            total += probabilities.shape[0]
+        return {"ranking_accuracy": wins / total,
+                "chance": 1.0 / (1 + self.config["negatives"])}

@@ -1,0 +1,181 @@
+"""memnet: end-to-end memory networks (Sukhbaatar et al., 2015).
+
+One of the paper's two "exotic" topologies: state is decoupled from
+structure by joining an indirectly-addressable memory with a neural
+network. Each story sentence is embedded (bag-of-words with position
+encoding) into a memory slot; the query is embedded the same way; each
+*hop* attends over memory with a softmax, reads a weighted-sum output,
+and updates the query state. Three hops feed a final answer softmax.
+
+The operation mix is dominated by small, skinny-tensor data movement and
+reductions — Mul, Tile-like expansion, Transpose, small BatchMatMul,
+Softmax — which is why memnet resists intra-op parallelism in the
+paper's Fig. 6c.
+
+The bAbI dataset is substituted by a procedural single-supporting-fact
+generator (:mod:`repro.data.babi`), a genuinely answerable reasoning
+task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.babi import SyntheticBabi
+from repro.framework import initializers
+from repro.framework.graph import Tensor, name_scope
+from repro.framework.ops import (add, argmax, batch_matmul, constant,
+                                 expand_dims, gather, matmul, multiply,
+                                 one_hot, placeholder, reduce_mean,
+                                 reduce_sum, softmax,
+                                 softmax_cross_entropy_with_logits, squeeze)
+from repro.framework.ops.state_ops import variable
+from repro.framework.optimizers import AdamOptimizer
+
+from .base import FathomModel, WorkloadMetadata
+
+
+def position_encoding(sentence_length: int, embed_dim: int) -> np.ndarray:
+    """Sukhbaatar et al.'s position-encoding weights ``l_kj``.
+
+    Makes the sentence embedding order-aware instead of a pure bag of
+    words: ``l_kj = (1 - j/J) - (k/d)(1 - 2j/J)``.
+    """
+    encoding = np.empty((sentence_length, embed_dim), dtype=np.float32)
+    for j in range(sentence_length):
+        for k in range(embed_dim):
+            encoding[j, k] = ((1.0 - (j + 1) / sentence_length)
+                              - ((k + 1) / embed_dim)
+                              * (1.0 - 2.0 * (j + 1) / sentence_length))
+    return encoding
+
+
+class MemN2N(FathomModel):
+    name = "memnet"
+    metadata = WorkloadMetadata(
+        name="memnet", year=2015, reference="Sukhbaatar et al. [42]",
+        neuronal_style="Memory Network", layers=3,
+        learning_task="Supervised", dataset="bAbI",
+        description=("Facebook's memory-oriented neural system. One of two "
+                     "novel architectures which explore a topology beyond "
+                     "feed-forward lattices of neurons."))
+
+    # "task" selects the bAbI task: 1 = single supporting fact (the
+    # paper's dataset), 2 = two supporting facts (objects carried by
+    # actors), which exercises the multi-hop attention much harder.
+    configs = {
+        "tiny": {"memory_size": 5, "embed_dim": 8, "hops": 2,
+                 "num_actors": 3, "num_locations": 4, "batch_size": 4,
+                 "learning_rate": 1e-2, "task": 1},
+        "default": {"memory_size": 20, "embed_dim": 32, "hops": 3,
+                    "num_actors": 6, "num_locations": 6, "batch_size": 32,
+                    "learning_rate": 1e-2, "task": 1},
+        "paper": {"memory_size": 50, "embed_dim": 50, "hops": 3,
+                  "num_actors": 8, "num_locations": 8, "batch_size": 32,
+                  "learning_rate": 1e-2, "task": 1},
+    }
+
+    def _bag_embed(self, ids: Tensor, table: Tensor, encoding: Tensor,
+                   name: str) -> Tensor:
+        """Position-encoded bag-of-words embedding, summed over words.
+
+        ``ids`` is ``(..., sentence_len)``; the result drops that axis
+        and appends the embedding dimension.
+        """
+        with name_scope(name):
+            embedded = gather(table, ids)  # (..., sentence, embed)
+            weighted = multiply(embedded, encoding)
+            return reduce_sum(weighted, axis=-2)
+
+    def build(self) -> None:
+        cfg = self.config
+        if cfg.get("task", 1) == 2:
+            from repro.data.babi import SyntheticBabiTwoFacts
+            self.dataset = SyntheticBabiTwoFacts(
+                memory_size=cfg["memory_size"],
+                num_actors=cfg["num_actors"],
+                num_locations=cfg["num_locations"], seed=self.seed)
+        else:
+            self.dataset = SyntheticBabi(memory_size=cfg["memory_size"],
+                                         num_actors=cfg["num_actors"],
+                                         num_locations=cfg["num_locations"],
+                                         seed=self.seed)
+        batch = cfg["batch_size"]
+        memory_size = cfg["memory_size"]
+        sentence_len = self.dataset.SENTENCE_LENGTH
+        embed_dim = cfg["embed_dim"]
+        vocab = self.dataset.vocab_size
+        hops = cfg["hops"]
+
+        self.stories = placeholder((batch, memory_size, sentence_len),
+                                   dtype=np.int32, name="stories")
+        self.queries = placeholder((batch, sentence_len), dtype=np.int32,
+                                   name="queries")
+        self.answers = placeholder((batch,), dtype=np.int32, name="answers")
+
+        encoding = constant(position_encoding(sentence_len, embed_dim),
+                            name="position_encoding")
+        embed_init = initializers.truncated_normal(0.1)
+
+        # Adjacent weight sharing: A^{k+1} = C^k, B = A^1, W^T = C^K.
+        # We materialize hops+1 tables; table[k] is A for hop k and C for
+        # hop k-1. Each table has a matching *temporal encoding* matrix
+        # T (Sukhbaatar et al., Section 4.1), added per memory slot so
+        # the model can tell recent statements from stale ones — without
+        # it, "where is mary?" is unanswerable when mary moved twice.
+        tables = [variable(embed_init(self.init_rng, (vocab, embed_dim)),
+                           name=f"embedding_{k}")
+                  for k in range(hops + 1)]
+        temporal = [variable(embed_init(self.init_rng,
+                                        (memory_size, embed_dim)),
+                             name=f"temporal_{k}")
+                    for k in range(hops + 1)]
+        query_state = self._bag_embed(self.queries, tables[0], encoding,
+                                      name="query_embed")  # (batch, embed)
+
+        for hop in range(hops):
+            with name_scope(f"hop{hop}"):
+                memory = add(
+                    self._bag_embed(self.stories, tables[hop], encoding,
+                                    name="memory_embed"),
+                    temporal[hop], name="memory_temporal")
+                output_memory = add(
+                    self._bag_embed(self.stories, tables[hop + 1], encoding,
+                                    name="output_embed"),
+                    temporal[hop + 1], name="output_temporal")
+                scores = squeeze(
+                    batch_matmul(memory, expand_dims(query_state, 2)), [2],
+                    name="match")
+                attention = softmax(scores, name="attention")
+                read = squeeze(
+                    batch_matmul(expand_dims(attention, 1), output_memory),
+                    [1], name="read")
+                query_state = add(query_state, read, name="next_state")
+
+        with name_scope("answer"):
+            # W^T = C^K: project through the final embedding's answer rows.
+            w_answer = variable(
+                embed_init(self.init_rng,
+                           (embed_dim, self.dataset.num_answers)),
+                name="w_answer")
+            logits = matmul(query_state, w_answer, name="logits")
+
+        with name_scope("loss"):
+            targets = one_hot(self.answers, self.dataset.num_answers)
+            self._loss_fetch = reduce_mean(
+                softmax_cross_entropy_with_logits(logits, targets))
+        self._inference_fetch = softmax(logits, name="predictions")
+        self.predicted_answer = argmax(logits, axis=-1)
+        self._train_fetch = AdamOptimizer(
+            cfg["learning_rate"]).minimize(self._loss_fetch)
+
+    def sample_feed(self, training: bool = True):
+        batch = self.dataset.sample_batch(self.batch_size)
+        return {self.stories: batch["stories"],
+                self.queries: batch["queries"],
+                self.answers: batch["answers"]}
+
+    def evaluate(self, batches: int = 4) -> dict[str, float]:
+        """Question-answering accuracy vs chance."""
+        from .base import classification_accuracy
+        return classification_accuracy(self, self.answers, batches)

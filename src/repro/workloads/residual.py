@@ -1,0 +1,125 @@
+"""residual: the 34-layer residual network of He et al. (2015).
+
+Residual networks solved the degradation problem — deeper plain networks
+trained *worse* — by adding identity shortcut connections across every
+pair of convolutional layers, so each pair learns a residual function.
+This let MSRA train 150+ layer models and sweep the 2015 ILSVRC tracks.
+Fathom uses the 34-layer variant (Table II), the deepest model in the
+suite, and the 2015 anchor of the longitudinal comparison: its single
+fully-connected classification layer is under 1% of runtime.
+
+Structure: a 7x7 stem convolution, four stages of basic blocks with
+[3, 4, 6, 3] blocks and [64, 128, 256, 512] filters (scaled by config),
+1x1 projection shortcuts at stage transitions, batch normalization after
+each convolution, global average pooling, and one dense classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.imagenet import SyntheticImageNet
+from repro.framework import initializers, layers
+from repro.framework.graph import Tensor, name_scope
+from repro.framework.ops import (add, flatten, max_pool, one_hot,
+                                 placeholder, reduce_mean, relu, softmax,
+                                 softmax_cross_entropy_with_logits)
+from repro.framework.optimizers import MomentumOptimizer
+
+from .base import FathomModel, WorkloadMetadata
+
+
+class ResidualNet(FathomModel):
+    name = "residual"
+    metadata = WorkloadMetadata(
+        name="residual", year=2015, reference="He et al. [27]",
+        neuronal_style="Convolutional", layers=34,
+        learning_task="Supervised", dataset="ImageNet",
+        description=("Image classifier from Microsoft Research Asia. "
+                     "Dramatically increased the practical depth of "
+                     "convolutional networks. ILSVRC 2015 winner."))
+
+    configs = {
+        "tiny": {"image_size": 32, "num_classes": 10, "batch_size": 4,
+                 "channel_scale": 0.125, "learning_rate": 0.001},
+        "default": {"image_size": 64, "num_classes": 100, "batch_size": 4,
+                    "channel_scale": 0.25, "learning_rate": 0.01},
+        "paper": {"image_size": 224, "num_classes": 1000, "batch_size": 64,
+                  "channel_scale": 1.0, "learning_rate": 0.1},
+    }
+
+    # ResNet-34: (basic blocks, filters at scale 1.0) per stage
+    _STAGE_PLAN = [(3, 64), (4, 128), (6, 256), (3, 512)]
+
+    def _basic_block(self, net: Tensor, filters: int, stride: int,
+                     name: str) -> Tensor:
+        """Two 3x3 convolutions with an identity (or projection) shortcut."""
+        with name_scope(name):
+            shortcut = net
+            out = layers.conv2d_layer(net, filters, 3, self.init_rng,
+                                      strides=stride, use_bias=False,
+                                      name="conv_a")
+            out = layers.batch_norm(out, name="bn_a")
+            out = relu(out)
+            out = layers.conv2d_layer(out, filters, 3, self.init_rng,
+                                      use_bias=False, name="conv_b")
+            out = layers.batch_norm(out, name="bn_b")
+            if stride != 1 or shortcut.shape[-1] != filters:
+                shortcut = layers.conv2d_layer(
+                    shortcut, filters, 1, self.init_rng, strides=stride,
+                    use_bias=False, name="projection")
+                shortcut = layers.batch_norm(shortcut, name="bn_proj")
+            return relu(add(out, shortcut, name="residual_add"))
+
+    def build(self) -> None:
+        cfg = self.config
+        self.dataset = SyntheticImageNet(
+            image_size=cfg["image_size"], num_classes=cfg["num_classes"],
+            seed=self.seed)
+        batch = cfg["batch_size"]
+        self.images = placeholder(
+            (batch, cfg["image_size"], cfg["image_size"], 3), name="images")
+        self.labels = placeholder((batch,), dtype=np.int32, name="labels")
+
+        scale = cfg["channel_scale"]
+        stem_width = max(8, int(64 * scale))
+        net = layers.conv2d_layer(self.images, stem_width, 7, self.init_rng,
+                                  strides=2, use_bias=False, name="stem")
+        net = layers.batch_norm(net, name="stem_bn")
+        net = relu(net)
+        if net.shape[1] >= 4:
+            net = max_pool(net, ksize=(3, 3), strides=(2, 2), padding="SAME",
+                           name="stem_pool")
+
+        for stage_index, (blocks, filters) in enumerate(self._STAGE_PLAN,
+                                                        start=1):
+            width = max(8, int(filters * scale))
+            for block_index in range(1, blocks + 1):
+                downsample = (stage_index > 1 and block_index == 1
+                              and net.shape[1] >= 2)
+                net = self._basic_block(
+                    net, width, stride=2 if downsample else 1,
+                    name=f"stage{stage_index}/block{block_index}")
+
+        # Global average pooling then the lone dense classifier.
+        net = reduce_mean(net, axis=[1, 2], name="global_avg_pool")
+        logits = layers.dense(flatten(net), cfg["num_classes"],
+                              self.init_rng,
+                              kernel_init=initializers.he_normal, name="fc")
+
+        with name_scope("loss"):
+            targets = one_hot(self.labels, cfg["num_classes"])
+            self._loss_fetch = reduce_mean(
+                softmax_cross_entropy_with_logits(logits, targets))
+        self._inference_fetch = softmax(logits, name="predictions")
+        self._train_fetch = MomentumOptimizer(
+            cfg["learning_rate"], momentum=0.9).minimize(self._loss_fetch)
+
+    def sample_feed(self, training: bool = True):
+        batch = self.dataset.sample_batch(self.batch_size)
+        return {self.images: batch["images"], self.labels: batch["labels"]}
+
+    def evaluate(self, batches: int = 4) -> dict[str, float]:
+        """Top-1 classification accuracy vs chance."""
+        from .base import classification_accuracy
+        return classification_accuracy(self, self.labels, batches)

@@ -1,0 +1,227 @@
+"""seq2seq: sequence-to-sequence translation (Sutskever et al., 2014).
+
+The canonical recurrent encoder-decoder: a stack of LSTM layers encodes
+the source sentence into a high-dimensional embedding, and a decoder
+stack re-emits it in the target language, with Bahdanau-style additive
+attention keeping track of context in the original sentence (the paper
+cites [4] for the attention model). Training uses teacher forcing with a
+per-position cross-entropy weighted to ignore padding.
+
+The operation mix this produces is exactly what the paper reports for
+seq2seq: heavy elementwise multiplication from the LSTM gates, and data
+movement (Tile, Transpose, Concat) plus small matmuls from the attention
+mechanism (Sections V-B, V-C; Fig. 6b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import wmt
+from repro.data.wmt import SyntheticWMT
+from repro.framework import initializers, layers, rnn
+from repro.framework.graph import Tensor, name_scope
+from repro.framework.ops import (add, batch_matmul, concat, divide,
+                                 expand_dims, matmul, multiply, one_hot,
+                                 placeholder, reduce_sum, reshape, softmax,
+                                 softmax_cross_entropy_with_logits, split,
+                                 squeeze, tanh, tile)
+from repro.framework.ops.state_ops import variable
+from repro.framework.optimizers import GradientDescentOptimizer
+
+from .base import FathomModel, WorkloadMetadata
+
+
+class Seq2Seq(FathomModel):
+    name = "seq2seq"
+    metadata = WorkloadMetadata(
+        name="seq2seq", year=2014, reference="Sutskever et al. [43]",
+        neuronal_style="Recurrent", layers=7, learning_task="Supervised",
+        dataset="WMT-15",
+        description=("Direct language-to-language sentence translation. "
+                     "State-of-the-art accuracy with a simple, "
+                     "language-agnostic architecture."))
+
+    # The paper's core network is "three 7-neuron [LSTM] layers" (Section
+    # IV) — Fathom's seq2seq is a deliberately small recurrent stack, and
+    # its tiny per-op tensors are why the measured profile is dominated by
+    # elementwise arithmetic and data movement rather than MatMul
+    # (Sections V-B/V-C, Fig. 6b). The default config keeps that regime.
+    configs = {
+        "tiny": {"vocab_size": 50, "embed_dim": 16, "hidden_units": 16,
+                 "num_layers": 1, "sequence_length": 5, "batch_size": 2,
+                 "learning_rate": 0.5},
+        "default": {"vocab_size": 1000, "embed_dim": 32,
+                    "hidden_units": 32, "num_layers": 2,
+                    "sequence_length": 12, "batch_size": 16,
+                    "learning_rate": 0.5},
+        "paper": {"vocab_size": 40_000, "embed_dim": 64,
+                  "hidden_units": 7, "num_layers": 3,
+                  "sequence_length": 30, "batch_size": 64,
+                  "learning_rate": 0.5},
+    }
+
+    def _embed_steps(self, ids: Tensor, table: Tensor,
+                     name: str) -> list[Tensor]:
+        """Per-timestep embedded inputs for a (batch, steps) id tensor."""
+        from repro.framework.ops import gather
+        embedded = gather(table, ids, name=name)  # (batch, steps, embed)
+        steps = [squeeze(piece, [1]) for piece in
+                 split(embedded, ids.shape[1], axis=1, name=f"{name}_step")]
+        return steps
+
+    def _lstm_stack(self, prefix: str, input_size: int) -> list[rnn.LSTMCell]:
+        cfg = self.config
+        cells = []
+        size = input_size
+        for layer in range(cfg["num_layers"]):
+            cells.append(rnn.LSTMCell(cfg["hidden_units"], size,
+                                      self.init_rng,
+                                      name=f"{prefix}/lstm{layer}"))
+            size = cfg["hidden_units"]
+        return cells
+
+    @staticmethod
+    def _run_stack(cells: list[rnn.LSTMCell], x: Tensor,
+                   states: list[rnn.LSTMState]):
+        new_states = []
+        for cell, state in zip(cells, states):
+            x, new_state = cell(x, state)
+            new_states.append(new_state)
+        return x, new_states
+
+    def build(self) -> None:
+        cfg = self.config
+        self.dataset = SyntheticWMT(vocab_size=cfg["vocab_size"],
+                                    max_length=cfg["sequence_length"],
+                                    seed=self.seed)
+        batch = cfg["batch_size"]
+        source_len = cfg["sequence_length"]
+        target_len = source_len + 1
+        hidden = cfg["hidden_units"]
+        vocab = cfg["vocab_size"]
+
+        self.source = placeholder((batch, source_len), dtype=np.int32,
+                                  name="source")
+        self.decoder_input = placeholder((batch, target_len), dtype=np.int32,
+                                         name="decoder_input")
+        self.target = placeholder((batch, target_len), dtype=np.int32,
+                                  name="target")
+        self.weights = placeholder((batch, target_len), name="weights")
+
+        embed_init = initializers.uniform(0.1)
+        source_table = variable(embed_init(self.init_rng,
+                                           (vocab, cfg["embed_dim"])),
+                                name="source_embedding")
+        target_table = variable(embed_init(self.init_rng,
+                                           (vocab, cfg["embed_dim"])),
+                                name="target_embedding")
+
+        # -- encoder ---------------------------------------------------------
+        with name_scope("encoder"):
+            encoder_cells = self._lstm_stack("encoder", cfg["embed_dim"])
+            states = [cell.zero_state(batch) for cell in encoder_cells]
+            top_outputs = []
+            for step in self._embed_steps(self.source, source_table,
+                                          "source_embed"):
+                out, states = self._run_stack(encoder_cells, step, states)
+                top_outputs.append(out)
+            memory = concat([expand_dims(o, 1) for o in top_outputs],
+                            axis=1, name="memory")  # (batch, src, hidden)
+
+        # -- additive attention (Bahdanau et al.) ------------------------------
+        with name_scope("attention"):
+            w_memory = variable(initializers.glorot_uniform(
+                self.init_rng, (hidden, hidden)), name="w_memory")
+            w_query = variable(initializers.glorot_uniform(
+                self.init_rng, (hidden, hidden)), name="w_query")
+            v_score = variable(initializers.glorot_uniform(
+                self.init_rng, (hidden, 1)), name="v_score")
+            keys = reshape(
+                matmul(reshape(memory, (batch * source_len, hidden)),
+                       w_memory),
+                (batch, source_len, hidden), name="keys")
+
+        def attend(query: Tensor) -> Tensor:
+            """Context vector for one decoder state."""
+            projected = matmul(query, w_query)
+            tiled = tile(expand_dims(projected, 1), (1, source_len, 1),
+                         name="query_tile")
+            energies = tanh(add(keys, tiled))
+            scores = reshape(
+                matmul(reshape(energies, (batch * source_len, hidden)),
+                       v_score),
+                (batch, source_len), name="scores")
+            alignment = softmax(scores, name="alignment")
+            context = squeeze(
+                batch_matmul(expand_dims(alignment, 1), memory), [1],
+                name="context")
+            return context
+
+        # -- decoder with teacher forcing ---------------------------------------
+        with name_scope("decoder"):
+            decoder_cells = self._lstm_stack("decoder", cfg["embed_dim"])
+            w_combine = variable(initializers.glorot_uniform(
+                self.init_rng, (2 * hidden, hidden)), name="w_combine")
+            w_project = variable(initializers.glorot_uniform(
+                self.init_rng, (hidden, vocab)), name="w_project")
+            decoder_states = states  # encoder final states seed the decoder
+            step_logits = []
+            for step in self._embed_steps(self.decoder_input, target_table,
+                                          "target_embed"):
+                out, decoder_states = self._run_stack(decoder_cells, step,
+                                                      decoder_states)
+                context = attend(out)
+                combined = tanh(matmul(concat([out, context], axis=1),
+                                       w_combine))
+                step_logits.append(matmul(combined, w_project))
+
+        # -- weighted sequence loss ------------------------------------------------
+        with name_scope("loss"):
+            weight_steps = [squeeze(piece, [1]) for piece in
+                            split(self.weights, target_len, axis=1)]
+            target_steps = [squeeze(piece, [1]) for piece in
+                            split(self.target, target_len, axis=1)]
+            step_losses = []
+            for logits, target, weight in zip(step_logits, target_steps,
+                                              weight_steps):
+                xent = softmax_cross_entropy_with_logits(
+                    logits, one_hot(target, vocab))
+                step_losses.append(reduce_sum(multiply(xent, weight)))
+            total = reduce_sum(
+                concat([expand_dims(s, 0) for s in step_losses], axis=0))
+            denominator = reduce_sum(self.weights)
+            self._loss_fetch = divide(total, denominator, name="perplexity")
+
+        self._inference_fetch = concat(
+            [softmax(logits) for logits in step_logits], axis=0,
+            name="translations")
+        self._train_fetch = GradientDescentOptimizer(
+            cfg["learning_rate"]).minimize(self._loss_fetch)
+
+    def sample_feed(self, training: bool = True):
+        batch = self.dataset.sample_batch(self.batch_size)
+        return {self.source: batch["source"],
+                self.decoder_input: batch["decoder_input"],
+                self.target: batch["target"],
+                self.weights: batch["weights"]}
+
+    def evaluate(self, batches: int = 4) -> dict[str, float]:
+        """Teacher-forced token accuracy and per-token perplexity."""
+        correct = weight_total = 0.0
+        loss_total = 0.0
+        batch = self.batch_size
+        steps = self.config["sequence_length"] + 1
+        for _ in range(batches):
+            feed = self.sample_feed(training=False)
+            probs, loss = self.session.run(
+                [self._inference_fetch, self._loss_fetch], feed_dict=feed)
+            # inference output is (steps*batch, vocab) in time-major blocks
+            predictions = probs.argmax(axis=1).reshape(steps, batch).T
+            weights = feed[self.weights]
+            correct += float(
+                ((predictions == feed[self.target]) * weights).sum())
+            weight_total += float(weights.sum())
+            loss_total += float(loss)
+        return {"token_accuracy": correct / weight_total,
+                "perplexity": float(np.exp(loss_total / batches))}

@@ -1,0 +1,168 @@
+"""speech: Baidu's Deep Speech recognition engine (Hannun et al., 2014).
+
+A deliberately *structurally simple* speech model: spectrogram frames in,
+phoneme probabilities out, no hand-tuned acoustic model. Three dense
+layers with clipped-ReLU activations operate on context windows of
+frames, a single bidirectional vanilla-recurrent layer (no LSTM — the
+authors explicitly avoided them for efficiency), one more dense layer,
+and a CTC loss that learns from unsegmented label sequences.
+
+The paper's profile (Fig. 3) bears out the design: speech is almost
+exclusively matrix multiplication, with the CTC computation the only
+other significant contributor. Following the paper, we use TIMIT-scale
+windows and embedding sizes rather than Baidu's proprietary corpus
+dimensions (and substitute synthetic TIMIT-shaped data — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.timit import SyntheticTIMIT
+from repro.framework import layers, rnn
+from repro.framework.graph import Tensor, name_scope
+from repro.framework.ops import (concat, ctc_loss, log_softmax, minimum, pad,
+                                 placeholder, reduce_mean, relu, reshape,
+                                 slice_, split, squeeze)
+from repro.framework.optimizers import AdamOptimizer
+
+from .base import FathomModel, WorkloadMetadata
+
+
+class DeepSpeech(FathomModel):
+    name = "speech"
+    metadata = WorkloadMetadata(
+        name="speech", year=2014, reference="Hannun et al. [25]",
+        neuronal_style="Recurrent, Full", layers=5,
+        learning_task="Supervised", dataset="TIMIT",
+        description=("Baidu's speech recognition engine. Proved purely "
+                     "deep-learned networks can beat hand-tuned systems."))
+
+    configs = {
+        "tiny": {"num_frames": 12, "num_features": 8, "context": 1,
+                 "hidden_units": 32, "num_phonemes": 10, "batch_size": 2,
+                 "relu_clip": 20.0, "learning_rate": 1e-3,
+                 "min_phoneme_frames": 3, "max_phoneme_frames": 6},
+        "default": {"num_frames": 50, "num_features": 26, "context": 2,
+                    "hidden_units": 256, "num_phonemes": 39, "batch_size": 4,
+                    "relu_clip": 20.0, "learning_rate": 1e-3,
+                    "min_phoneme_frames": 3, "max_phoneme_frames": 8},
+        "paper": {"num_frames": 150, "num_features": 26, "context": 5,
+                  "hidden_units": 2048, "num_phonemes": 39, "batch_size": 16,
+                  "relu_clip": 20.0, "learning_rate": 1e-3,
+                  "min_phoneme_frames": 3, "max_phoneme_frames": 8},
+    }
+
+    def _clipped_relu(self, x: Tensor) -> Tensor:
+        return minimum(relu(x), self.config["relu_clip"])
+
+    def _context_windows(self, frames: Tensor) -> Tensor:
+        """Stack +/- context frames onto each frame's feature vector."""
+        context = self.config["context"]
+        if context == 0:
+            return frames
+        padded = pad(frames, [(0, 0), (context, context), (0, 0)],
+                     name="context_pad")
+        batch, time_steps, features = frames.shape
+        shifted = [slice_(padded, (0, offset, 0),
+                          (batch, time_steps, features),
+                          name=f"context_{offset}")
+                   for offset in range(2 * context + 1)]
+        return concat(shifted, axis=2, name="context_stack")
+
+    def build(self) -> None:
+        cfg = self.config
+        self.dataset = SyntheticTIMIT(
+            num_frames=cfg["num_frames"], num_features=cfg["num_features"],
+            num_phonemes=cfg["num_phonemes"],
+            min_phoneme_frames=cfg["min_phoneme_frames"],
+            max_phoneme_frames=cfg["max_phoneme_frames"], seed=self.seed)
+        batch = cfg["batch_size"]
+        time_steps = cfg["num_frames"]
+        hidden = cfg["hidden_units"]
+        num_classes = cfg["num_phonemes"] + 1  # plus CTC blank
+
+        self.frames = placeholder((batch, time_steps, cfg["num_features"]),
+                                  name="frames")
+        self.labels = placeholder((batch, self.dataset.max_labels),
+                                  dtype=np.int32, name="labels")
+        self.label_lengths = placeholder((batch,), dtype=np.int32,
+                                         name="label_lengths")
+        self.input_lengths = placeholder((batch,), dtype=np.int32,
+                                         name="input_lengths")
+
+        # Layers 1-3: dense over (batch x time) rows of context windows.
+        net = self._context_windows(self.frames)
+        net = reshape(net, (batch * time_steps, net.shape[-1]),
+                      name="fold_time")
+        for index in range(1, 4):
+            net = layers.dense(net, hidden, self.init_rng,
+                               activation=self._clipped_relu,
+                               name=f"dense{index}")
+
+        # Layer 4: one bidirectional vanilla-recurrent layer.
+        net = reshape(net, (batch, time_steps, hidden), name="unfold_time")
+        step_inputs = [squeeze(piece, [1]) for piece in
+                       split(net, time_steps, axis=1, name="time_slice")]
+        with name_scope("birnn"):
+            forward = rnn.BasicRNNCell(hidden, hidden, self.init_rng,
+                                       clip=cfg["relu_clip"], name="forward")
+            backward = rnn.BasicRNNCell(hidden, hidden, self.init_rng,
+                                        clip=cfg["relu_clip"],
+                                        name="backward")
+            recurrent_out = rnn.bidirectional_rnn(forward, backward,
+                                                  step_inputs)
+
+        # Layer 5 + output layer over the time-major concatenation.
+        net = concat(recurrent_out, axis=0, name="time_major")
+        net = layers.dense(net, hidden, self.init_rng,
+                           activation=self._clipped_relu, name="dense5")
+        logits = layers.dense(net, num_classes, self.init_rng, name="logits")
+        self.logits = reshape(logits, (time_steps, batch, num_classes),
+                              name="ctc_logits")
+
+        with name_scope("loss"):
+            per_example = ctc_loss(self.logits, self.labels,
+                                   self.label_lengths, self.input_lengths)
+            self._loss_fetch = reduce_mean(per_example, name="ctc_mean")
+
+        self._inference_fetch = log_softmax(self.logits, name="frame_scores")
+        self._train_fetch = AdamOptimizer(
+            cfg["learning_rate"]).minimize(self._loss_fetch)
+        self.blank_index = num_classes - 1
+
+    def sample_feed(self, training: bool = True):
+        batch = self.dataset.sample_batch(self.batch_size)
+        return {self.frames: batch["frames"],
+                self.labels: batch["labels"],
+                self.label_lengths: batch["label_lengths"],
+                self.input_lengths: batch["input_lengths"]}
+
+    def evaluate(self, batches: int = 4) -> dict[str, float]:
+        """Phoneme error rate under CTC best-path decoding."""
+        from repro.framework.ops import ctc_greedy_decode
+        errors = total = 0
+        for _ in range(batches):
+            feed = self.sample_feed(training=False)
+            scores = self.session.run(self._inference_fetch, feed_dict=feed)
+            decoded = ctc_greedy_decode(scores, blank=self.blank_index)
+            labels = feed[self.labels]
+            lengths = feed[self.label_lengths]
+            for index, hypothesis in enumerate(decoded):
+                reference = labels[index, :lengths[index]].tolist()
+                errors += _edit_distance(hypothesis, reference)
+                total += len(reference)
+        return {"phoneme_error_rate": errors / total}
+
+
+def _edit_distance(a: list[int], b: list[int]) -> int:
+    """Levenshtein distance between two phoneme sequences."""
+    table = np.zeros((len(a) + 1, len(b) + 1), dtype=np.int64)
+    table[:, 0] = np.arange(len(a) + 1)
+    table[0, :] = np.arange(len(b) + 1)
+    for i in range(1, len(a) + 1):
+        for j in range(1, len(b) + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            table[i, j] = min(table[i - 1, j] + 1, table[i, j - 1] + 1,
+                              table[i - 1, j - 1] + cost)
+    return int(table[-1, -1])

@@ -1,0 +1,112 @@
+"""vgg: the 19-layer network of Simonyan & Zisserman (2014).
+
+VGG-19's insight was that stacks of small 3x3 filters are easier to
+train and more accurate than the large filters of AlexNet. The network
+is sixteen 3x3 convolutional layers in five blocks (each followed by
+2x2 max-pooling) plus three fully-connected layers. In the paper's
+longitudinal comparison the fully-connected layers consume ~7% of
+runtime, down from alexnet's 11% (Section V-B).
+
+Configurations scale image size and channel width; depth is always the
+full 19 weight layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.imagenet import SyntheticImageNet
+from repro.framework import initializers, layers
+from repro.framework.graph import name_scope
+from repro.framework.ops import (dropout, flatten, max_pool, one_hot,
+                                 placeholder, reduce_mean, relu, softmax,
+                                 softmax_cross_entropy_with_logits)
+from repro.framework.optimizers import MomentumOptimizer
+
+from .base import FathomModel, WorkloadMetadata
+
+
+class VGG(FathomModel):
+    name = "vgg"
+    metadata = WorkloadMetadata(
+        name="vgg", year=2014, reference="Simonyan & Zisserman [41]",
+        neuronal_style="Convolutional, Full", layers=19,
+        learning_task="Supervised", dataset="ImageNet",
+        description=("Image classifier demonstrating the power of small "
+                     "convolutional filters. ILSVRC 2014 winner."))
+
+    # "init" selects weight initialization: see AlexNet's note — scaled
+    # configs use He-scaled normals so the 19-layer stack trains.
+    configs = {
+        "tiny": {"image_size": 32, "num_classes": 10, "batch_size": 4,
+                 "channel_scale": 0.125, "dense_units": 64,
+                 "dropout_rate": 0.5, "learning_rate": 0.01, "init": "he"},
+        "default": {"image_size": 64, "num_classes": 100, "batch_size": 4,
+                    "channel_scale": 0.25, "dense_units": 512,
+                    "dropout_rate": 0.5, "learning_rate": 0.001,
+                    "init": "he"},
+        "paper": {"image_size": 224, "num_classes": 1000, "batch_size": 64,
+                  "channel_scale": 1.0, "dense_units": 4096,
+                  "dropout_rate": 0.5, "learning_rate": 0.01,
+                  "init": "gaussian"},
+    }
+
+    def _kernel_init(self):
+        if self.config["init"] == "gaussian":
+            return initializers.truncated_normal(0.01)
+        return initializers.he_normal
+
+    # VGG-19: (conv layers per block, filters at scale 1.0)
+    _BLOCK_PLAN = [(2, 64), (2, 128), (4, 256), (4, 512), (4, 512)]
+
+    def build(self) -> None:
+        cfg = self.config
+        self.dataset = SyntheticImageNet(
+            image_size=cfg["image_size"], num_classes=cfg["num_classes"],
+            seed=self.seed)
+        batch = cfg["batch_size"]
+        self.images = placeholder(
+            (batch, cfg["image_size"], cfg["image_size"], 3), name="images")
+        self.labels = placeholder((batch,), dtype=np.int32, name="labels")
+
+        scale = cfg["channel_scale"]
+        net = self.images
+        for block_index, (depth, filters) in enumerate(self._BLOCK_PLAN,
+                                                       start=1):
+            width = max(8, int(filters * scale))
+            for conv_index in range(1, depth + 1):
+                net = layers.conv2d_layer(
+                    net, width, 3, self.init_rng, activation=relu,
+                    kernel_init=self._kernel_init(),
+                    name=f"conv{block_index}_{conv_index}")
+            if net.shape[1] >= 2:
+                net = max_pool(net, ksize=(2, 2), strides=(2, 2),
+                               padding="VALID", name=f"pool{block_index}")
+
+        net = flatten(net)
+        for index in (6, 7):
+            net = layers.dense(net, cfg["dense_units"], self.init_rng,
+                               activation=relu,
+                               kernel_init=self._kernel_init(),
+                               name=f"fc{index}")
+            net = dropout(net, cfg["dropout_rate"], name=f"drop{index}")
+        logits = layers.dense(net, cfg["num_classes"], self.init_rng,
+                              kernel_init=self._kernel_init(),
+                              name="fc8")
+
+        with name_scope("loss"):
+            targets = one_hot(self.labels, cfg["num_classes"])
+            self._loss_fetch = reduce_mean(
+                softmax_cross_entropy_with_logits(logits, targets))
+        self._inference_fetch = softmax(logits, name="predictions")
+        self._train_fetch = MomentumOptimizer(
+            cfg["learning_rate"], momentum=0.9).minimize(self._loss_fetch)
+
+    def sample_feed(self, training: bool = True):
+        batch = self.dataset.sample_batch(self.batch_size)
+        return {self.images: batch["images"], self.labels: batch["labels"]}
+
+    def evaluate(self, batches: int = 4) -> dict[str, float]:
+        """Top-1 classification accuracy vs chance."""
+        from .base import classification_accuracy
+        return classification_accuracy(self, self.labels, batches)

@@ -1,0 +1,60 @@
+"""Tests for the what-if accelerator analysis."""
+
+import pytest
+
+from repro import workloads
+from repro.analysis.accelerator import (PRESETS, AcceleratorResult,
+                                        accelerated_fraction,
+                                        render_what_if, what_if)
+from repro.framework.graph import OpClass
+
+
+class TestAmdahlMath:
+    def test_zero_coverage_means_no_speedup(self):
+        result = AcceleratorResult("x", 0.0, {10.0: 1.0})
+        assert result.ceiling() == 1.0
+
+    def test_full_coverage_unbounded(self):
+        result = AcceleratorResult("x", 1.0, {})
+        assert result.ceiling() == float("inf")
+
+    def test_half_coverage_ceiling_two(self):
+        result = AcceleratorResult("x", 0.5, {})
+        assert result.ceiling() == pytest.approx(2.0)
+
+
+class TestWhatIf:
+    @pytest.fixture(scope="class")
+    def deepq(self):
+        return workloads.create("deepq", config="tiny", seed=0)
+
+    def test_fraction_in_unit_interval(self, deepq):
+        fraction = accelerated_fraction(
+            deepq, frozenset({OpClass.CONVOLUTION}), steps=1)
+        assert 0.0 < fraction < 1.0
+
+    def test_speedups_bounded_by_ceiling(self, deepq):
+        result = what_if(deepq, frozenset({OpClass.CONVOLUTION}),
+                         factors=(2.0, 10.0, 1000.0), steps=1)
+        ceiling = result.ceiling()
+        values = [result.speedups[f] for f in (2.0, 10.0, 1000.0)]
+        assert values == sorted(values)
+        assert all(v <= ceiling + 1e-9 for v in values)
+
+    def test_wider_coverage_never_slower(self, deepq):
+        conv_only = what_if(deepq, PRESETS["conv-engine"], steps=1)
+        both = what_if(deepq, PRESETS["conv+gemm"], steps=1)
+        assert both.accelerated_fraction >= conv_only.accelerated_fraction
+        assert both.speedups[10.0] >= conv_only.speedups[10.0] - 1e-9
+
+    def test_irrelevant_accelerator_is_a_noop(self):
+        model = workloads.create("autoenc", config="tiny", seed=0)
+        result = what_if(model, frozenset({OpClass.CONVOLUTION}), steps=1)
+        assert result.accelerated_fraction == 0.0
+        assert result.speedups[100.0] == pytest.approx(1.0)
+
+    def test_render(self, deepq):
+        text = render_what_if([what_if(deepq, PRESETS["conv-engine"],
+                                       steps=1)], "conv-engine")
+        assert "deepq" in text
+        assert "ceiling" in text

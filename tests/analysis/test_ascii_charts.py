@@ -1,0 +1,65 @@
+"""Tests for the terminal chart renderers."""
+
+import pytest
+
+from repro.analysis.ascii_charts import (bar_chart, grouped_bar_chart,
+                                         step_curves)
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart([("full", 1.0), ("half", 0.5), ("none", 0.0)],
+                         width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 0
+
+    def test_labels_aligned(self):
+        text = bar_chart([("a", 1.0), ("longer", 0.5)])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_explicit_scale_clamps(self):
+        text = bar_chart([("x", 5.0)], width=10, max_value=1.0)
+        assert text.count("#") == 10
+
+    def test_unit_suffix(self):
+        assert "ms" in bar_chart([("x", 3.0)], unit="ms")
+
+    def test_empty(self):
+        assert "empty" in bar_chart([])
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series(self):
+        text = grouped_bar_chart({
+            "vgg": {"train cpu": 1.0, "infer cpu": 0.3},
+            "memnet": {"train cpu": 1.0, "infer cpu": 0.4},
+        })
+        assert "vgg:" in text
+        assert "memnet:" in text
+        assert text.count("train cpu") == 2
+
+
+class TestStepCurves:
+    def test_monotone_curve_spans_grid(self):
+        curve = [0.5, 0.8, 0.95, 1.0]
+        text = step_curves({"vgg": curve}, height=8, width=20)
+        assert "a=vgg" in text
+        # The symbol appears in the top row (curve reaches 1.0).
+        assert "a" in text.splitlines()[0]
+
+    def test_multiple_series_get_distinct_symbols(self):
+        text = step_curves({"one": [1.0], "two": [0.5]}, height=6,
+                           width=10)
+        assert "a=one" in text and "b=two" in text
+
+    def test_empty(self):
+        assert "empty" in step_curves({})
+
+    def test_axis_labels(self):
+        text = step_curves({"x": [0.3, 1.0]}, height=5, width=10)
+        assert text.splitlines()[0].startswith(" 1.0 +")
+        assert any(line.startswith(" 0.0 +")
+                   for line in text.splitlines())

@@ -1,0 +1,118 @@
+"""Tests for the figure-regeneration analyses on tiny workloads.
+
+These check the machinery; the full paper-shape assertions (which need
+default-scale configs) live in the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro import workloads
+from repro.analysis.breakdown import breakdown_matrix
+from repro.analysis.dominance import dominance_curves, render_dominance_table
+from repro.analysis.parallelism import sweep_threads
+from repro.analysis.train_vs_infer import measure_workload, render_figure5
+from repro.framework.device_model import cpu
+
+
+@pytest.fixture(scope="module")
+def tiny_profiles():
+    # Default configs: the tiny configs are so small that every op is
+    # dispatch-overhead-bound, which hides the workloads' characters.
+    # memnet/autoenc/deepq defaults all run a step in tens of ms.
+    names = ["memnet", "autoenc", "deepq"]
+    models = [workloads.create(name, config="default", seed=0)
+              for name in names]
+    return [m.profile(mode="training", steps=2, device=cpu(1), warmup=1)
+            for m in models]
+
+
+class TestDominance:
+    def test_curves_per_workload(self, tiny_profiles):
+        curves = dominance_curves(tiny_profiles)
+        assert [c.workload for c in curves] == ["memnet", "autoenc",
+                                                "deepq"]
+        for curve in curves:
+            assert curve.curve[-1] == pytest.approx(1.0)
+            assert curve.types_for_coverage(0.9) <= curve.num_types
+
+    def test_render_contains_rows(self, tiny_profiles):
+        text = render_dominance_table(dominance_curves(tiny_profiles))
+        for name in ("memnet", "autoenc", "deepq"):
+            assert name in text
+
+
+class TestBreakdown:
+    def test_matrix_shape(self, tiny_profiles):
+        matrix = breakdown_matrix(tiny_profiles)
+        assert matrix.values.shape == (3, 7)
+        assert matrix.groups == list("ABCDEFG")
+
+    def test_rows_bounded(self, tiny_profiles):
+        matrix = breakdown_matrix(tiny_profiles, min_type_fraction=0.01)
+        sums = matrix.values.sum(axis=1)
+        assert np.all(sums <= 1.0 + 1e-9)
+        assert np.all(sums > 0.7)
+
+    def test_dominant_groups_sensible(self, tiny_profiles):
+        matrix = breakdown_matrix(tiny_profiles)
+        assert matrix.dominant_group("deepq") == "B"       # convolution
+        assert matrix.dominant_group("autoenc") == "A"     # matmul
+
+    def test_render(self, tiny_profiles):
+        text = breakdown_matrix(tiny_profiles).render()
+        assert "Convolution" in text
+        assert "deepq" in text
+
+
+class TestTrainVsInfer:
+    def test_point_invariants(self):
+        model = workloads.create("autoenc", config="tiny", seed=0)
+        point = measure_workload(model, steps=2)
+        # Training strictly slower than inference, on both devices.
+        assert point.training_cpu > point.inference_cpu
+        assert point.training_gpu > point.inference_gpu
+        # GPU faster than CPU for this matmul-heavy workload.
+        assert point.training_gpu < point.training_cpu
+        norm = point.normalized()
+        assert norm["training_cpu"] == 1.0
+        assert all(v <= 1.0 + 1e-9 for v in norm.values())
+
+    def test_render(self):
+        model = workloads.create("autoenc", config="tiny", seed=0)
+        text = render_figure5([measure_workload(model, steps=1)])
+        assert "autoenc" in text
+        assert "1.000" in text
+
+
+class TestParallelismSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        model = workloads.create("deepq", config="default", seed=0)
+        return sweep_threads(model, steps=2, thread_counts=(1, 2, 4, 8))
+
+    def test_totals_never_increase_with_threads(self, sweep):
+        totals = [sweep.total(t) for t in (1, 2, 4, 8)]
+        assert all(a >= b - 1e-12 for a, b in zip(totals, totals[1:]))
+
+    def test_op_types_sorted_by_single_thread_weight(self, sweep):
+        first_column = sweep.seconds[:, 0]
+        assert list(first_column) == sorted(first_column, reverse=True)
+
+    def test_series_lookup(self, sweep):
+        series = sweep.series(sweep.op_types[0])
+        assert len(series) == 4
+
+    def test_optimizer_share_grows_with_threads(self, sweep):
+        """The paper's Fig. 6a headline: ApplyRMSProp grows in relative
+        importance as the convolutions parallelize away."""
+        assert sweep.fraction("ApplyRMSProp", 8) > \
+            sweep.fraction("ApplyRMSProp", 1)
+
+    def test_speedup_above_one(self, sweep):
+        assert sweep.speedup(8) > 1.0
+
+    def test_render(self, sweep):
+        text = sweep.render(top_n=5)
+        assert "deepq" in text
+        assert "TOTAL" in text

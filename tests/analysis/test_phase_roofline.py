@@ -1,0 +1,122 @@
+"""Tests for phase decomposition, roofline classification, instance
+hotspots, and schedule visualization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import workloads
+from repro.analysis.phases import PHASES, render_phase_table, split_phases
+from repro.analysis.roofline import (BOUND_KINDS, classify_op,
+                                     render_roofline, roofline)
+from repro.framework.cost_model import WorkEstimate, matmul_work
+from repro.framework.device_model import cpu, gpu
+from repro.framework.placement import (default_devices, place_all,
+                                       schedule_to_chrome_trace,
+                                       simulate_schedule)
+from repro.profiling.profile import OperationProfile
+from repro.profiling.tracer import Tracer
+
+
+@pytest.fixture(scope="module")
+def memnet():
+    return workloads.create("memnet", config="tiny", seed=0)
+
+
+class TestPhaseSplit:
+    def test_all_phases_present(self, memnet):
+        split = split_phases(memnet, steps=1)
+        assert set(split.seconds) == set(PHASES)
+        assert split.seconds["forward"] > 0
+        assert split.seconds["backward"] > 0
+        assert split.seconds["optimizer"] > 0
+
+    def test_fractions_sum_to_one(self, memnet):
+        split = split_phases(memnet, steps=1)
+        assert sum(split.fraction(p) for p in PHASES) == pytest.approx(1.0)
+
+    def test_inference_trace_has_no_backward(self):
+        """The phase attribution is structural: inference ops form the
+        forward set exactly."""
+        model = workloads.create("autoenc", config="tiny", seed=0)
+        inference_ops = {id(op) for op in
+                         model.graph.subgraph([model.inference_output])}
+        training_ops = {id(op) for op in
+                        model.graph.subgraph([model.loss,
+                                              model.train_step])}
+        assert inference_ops < training_ops
+
+    def test_render(self, memnet):
+        text = render_phase_table([split_phases(memnet, steps=1)])
+        assert "bwd/fwd" in text
+        assert "memnet" in text
+
+
+class TestClassifyOp:
+    def test_dense_matmul_is_compute_bound_on_cpu(self):
+        assert classify_op(matmul_work(512, 512, 512), cpu(1)) == "compute"
+
+    def test_pure_copy_is_memory_bound(self):
+        work = WorkEstimate(flops=0.0, bytes_moved=1e8, trip_count=1e6)
+        assert classify_op(work, cpu(1)) == "memory"
+
+    def test_tiny_op_is_overhead_bound(self):
+        work = WorkEstimate(flops=10.0, bytes_moved=40.0, trip_count=4.0)
+        assert classify_op(work, cpu(1)) == "overhead"
+        assert classify_op(work, gpu()) == "overhead"
+
+    def test_gpu_raises_the_overhead_floor(self):
+        # An op comfortably compute-bound on one CPU core can be
+        # launch-bound on the GPU.
+        work = matmul_work(64, 64, 64)
+        assert classify_op(work, cpu(1)) == "compute"
+        assert classify_op(work, gpu()) == "overhead"
+
+
+class TestRoofline:
+    def test_fractions_sum_to_one(self, memnet):
+        point = roofline(memnet, steps=1)
+        assert sum(point.fraction(k) for k in BOUND_KINDS) \
+            == pytest.approx(1.0)
+
+    def test_render(self, memnet):
+        text = render_roofline([roofline(memnet, steps=1)])
+        assert "compute" in text and "overhead" in text
+
+
+class TestTopInstances:
+    def test_ranks_individual_ops(self, memnet):
+        tracer = Tracer()
+        memnet.run_training(2, tracer=tracer)
+        instances = OperationProfile.top_instances(tracer, n=5,
+                                                   device=cpu(1))
+        assert len(instances) == 5
+        seconds = [s for _, _, s in instances]
+        assert seconds == sorted(seconds, reverse=True)
+        names = [name for name, _, _ in instances]
+        assert len(set(names)) == 5  # distinct instances, not types
+
+    def test_measured_mode(self, memnet):
+        tracer = Tracer()
+        memnet.run_training(1, tracer=tracer)
+        instances = OperationProfile.top_instances(tracer, n=3)
+        assert all(s >= 0.0 for _, _, s in instances)
+
+
+class TestScheduleTrace:
+    def test_valid_chrome_json_with_device_lanes(self, memnet):
+        ops_list = memnet.graph.subgraph([memnet.loss])
+        result = simulate_schedule(ops_list, place_all("cpu"),
+                                   default_devices())
+        blob = json.loads(schedule_to_chrome_trace(result, "memnet"))
+        events = blob["traceEvents"]
+        lanes = [e for e in events if e["ph"] == "M"
+                 and e["name"] == "thread_name"]
+        assert any(e["args"]["name"] == "cpu" for e in lanes)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        # Events sit inside the makespan.
+        for event in complete:
+            assert event["ts"] + event["dur"] <= \
+                result.makespan * 1e6 + 1e-3

@@ -1,0 +1,44 @@
+"""Tests for the full-report generator."""
+
+import pytest
+
+from repro.analysis.report import full_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # Default config, one traced step, skip the Fig. 6 sweeps to keep CI
+    # time bounded; all other sections are exercised.
+    return full_report(config="default", steps=1,
+                       include_parallelism=False)
+
+
+class TestFullReport:
+    SECTIONS = [
+        "Table I", "Table II", "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5",
+        "Section V-A", "phase decomposition", "Roofline",
+        "operation census", "What-if accelerators",
+        "Data-parallel scaling",
+    ]
+
+    @pytest.mark.parametrize("section", SECTIONS)
+    def test_section_present(self, report_text, section):
+        assert section in report_text
+
+    def test_every_workload_mentioned(self, report_text):
+        from repro.workloads import WORKLOAD_NAMES
+        for name in WORKLOAD_NAMES:
+            assert name in report_text
+
+    def test_charts_rendered(self, report_text):
+        # Dominance curves legend and Fig. 5 bars.
+        assert "a=" in report_text
+        assert "|#" in report_text
+
+    def test_markdown_code_fences_balanced(self, report_text):
+        assert report_text.count("```") % 2 == 0
+
+    def test_parallelism_section_toggle(self):
+        with_sweeps = full_report(config="default", steps=1,
+                                  include_parallelism=True)
+        assert "Fig. 6" in with_sweeps

@@ -1,0 +1,61 @@
+"""Tests for the data-parallel scaling analysis."""
+
+import pytest
+
+from repro import workloads
+from repro.analysis.scaling import (ClusterModel, ScalingCurve,
+                                    render_scaling, scaling_curve)
+
+
+class TestClusterModel:
+    def test_single_worker_free(self):
+        assert ClusterModel().allreduce_seconds(1e9, 1) == 0.0
+
+    def test_ring_volume_formula(self):
+        cluster = ClusterModel(bandwidth=1e9, latency=0.0)
+        # 2*(K-1)/K * bytes / bw
+        assert cluster.allreduce_seconds(1e9, 2) == pytest.approx(1.0)
+        assert cluster.allreduce_seconds(1e9, 4) == pytest.approx(1.5)
+
+    def test_volume_saturates_with_workers(self):
+        cluster = ClusterModel(latency=0.0)
+        t8 = cluster.allreduce_seconds(1e8, 8)
+        t16 = cluster.allreduce_seconds(1e8, 16)
+        assert t16 < 1.1 * t8  # approaches 2*bytes/bw asymptote
+
+    def test_latency_term_grows_linearly(self):
+        cluster = ClusterModel(bandwidth=1e12, latency=1e-3)
+        t2 = cluster.allreduce_seconds(1.0, 2)
+        t4 = cluster.allreduce_seconds(1.0, 4)
+        assert t4 > 2 * t2
+
+
+class TestScalingCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        model = workloads.create("memnet", config="tiny", seed=0)
+        return scaling_curve(model, steps=1)
+
+    def test_efficiency_starts_at_one(self, curve):
+        assert curve.efficiency(1) == 1.0
+
+    def test_efficiency_non_increasing(self, curve):
+        values = [curve.efficiency(k) for k in curve.worker_counts]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_parameter_bytes_match_model(self, curve):
+        model = workloads.create("memnet", config="tiny", seed=0)
+        assert curve.parameter_bytes == model.num_parameters() * 4.0
+
+    def test_faster_network_scales_better(self):
+        model = workloads.create("memnet", config="tiny", seed=0)
+        slow = scaling_curve(model, steps=1,
+                             cluster=ClusterModel(bandwidth=1e8))
+        fast = scaling_curve(model, steps=1,
+                             cluster=ClusterModel(bandwidth=1e11))
+        assert fast.efficiency(8) > slow.efficiency(8)
+
+    def test_render(self, curve):
+        text = render_scaling([curve])
+        assert "memnet" in text
+        assert "eff@" in text

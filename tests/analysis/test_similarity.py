@@ -1,0 +1,113 @@
+"""Tests for cosine-distance similarity and centroid-linkage clustering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.similarity import (Dendrogram, agglomerate,
+                                       cosine_distance, distance_matrix)
+
+
+class TestCosineDistance:
+    def test_identical_vectors_distance_zero(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_distance(v, v) == pytest.approx(0.0, abs=1e-12)
+
+    def test_orthogonal_vectors_distance_one(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert cosine_distance(a, b) == pytest.approx(1.0)
+
+    def test_opposite_vectors_distance_two(self):
+        a = np.array([1.0, 0.0])
+        assert cosine_distance(a, -a) == pytest.approx(2.0)
+
+    def test_scale_invariance(self):
+        a = np.array([1.0, 2.0, 0.5])
+        b = np.array([0.3, 1.1, 2.0])
+        assert cosine_distance(a, b) == pytest.approx(
+            cosine_distance(5.0 * a, 0.1 * b))
+
+    def test_zero_vector_maximally_distant(self):
+        assert cosine_distance(np.zeros(3), np.ones(3)) == 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.random(8), rng.random(8)
+        assert cosine_distance(a, b) == pytest.approx(cosine_distance(b, a))
+
+
+class TestDistanceMatrix:
+    def test_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(1)
+        vectors = rng.random((5, 6))
+        matrix = distance_matrix(vectors)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+
+class TestAgglomerate:
+    def test_merge_count(self):
+        rng = np.random.default_rng(2)
+        vectors = rng.random((6, 4))
+        dendrogram = agglomerate(vectors, [f"w{i}" for i in range(6)])
+        assert len(dendrogram.merges) == 5
+
+    def test_closest_pair_merges_first(self):
+        vectors = np.array([
+            [1.0, 0.0, 0.0],
+            [0.99, 0.01, 0.0],   # nearly identical to item 0
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ])
+        dendrogram = agglomerate(vectors, ["a", "b", "c", "d"])
+        first = dendrogram.merges[0]
+        assert {first.left, first.right} == {0, 1}
+
+    def test_two_obvious_clusters(self):
+        vectors = np.array([
+            [1.0, 0.0], [0.9, 0.1],     # cluster 1
+            [0.0, 1.0], [0.1, 0.9],     # cluster 2
+        ])
+        dendrogram = agglomerate(vectors, list("abcd"))
+        # The final merge joins the two clusters at a large distance.
+        final = dendrogram.merges[-1]
+        assert final.distance > dendrogram.merges[0].distance
+        members_left = frozenset(dendrogram.cluster_members(final.left))
+        members_right = frozenset(dendrogram.cluster_members(final.right))
+        assert {members_left, members_right} == {frozenset({0, 1}),
+                                                 frozenset({2, 3})}
+
+    def test_leaf_order_is_permutation(self):
+        rng = np.random.default_rng(3)
+        vectors = rng.random((7, 5))
+        dendrogram = agglomerate(vectors, [f"w{i}" for i in range(7)])
+        assert sorted(dendrogram.leaf_order()) == list(range(7))
+
+    def test_cophenetic_distance(self):
+        vectors = np.array([[1.0, 0.0], [0.95, 0.05], [0.0, 1.0]])
+        dendrogram = agglomerate(vectors, list("abc"))
+        near = dendrogram.cophenetic_distance(0, 1)
+        far = dendrogram.cophenetic_distance(0, 2)
+        assert near < far
+
+    def test_label_count_checked(self):
+        with pytest.raises(ValueError):
+            agglomerate(np.ones((3, 2)), ["only", "two"])
+
+    def test_single_item(self):
+        dendrogram = agglomerate(np.ones((1, 3)), ["solo"])
+        assert dendrogram.merges == []
+        assert dendrogram.leaf_order() == [0]
+
+    def test_centroid_is_weighted(self):
+        """After merging two items, the cluster centroid must weight by
+        member count when merging again (centroidal linkage)."""
+        # Three near-identical vectors and one outlier: the centroid of
+        # the triple should stay near the triple.
+        vectors = np.array([
+            [1.0, 0.0], [0.98, 0.02], [0.96, 0.04], [0.0, 1.0]])
+        dendrogram = agglomerate(vectors, list("abcd"))
+        # Outlier must be in the last merge.
+        last = dendrogram.merges[-1]
+        assert 3 in (dendrogram.cluster_members(last.left)
+                     + dendrogram.cluster_members(last.right))

@@ -1,0 +1,56 @@
+"""Tests for the suite-wide convenience entry points."""
+
+import pytest
+
+from repro.analysis import suite
+from repro.framework.device_model import cpu
+from repro.workloads import WORKLOAD_NAMES
+
+
+class TestGetModel:
+    def test_caches_instances(self):
+        a = suite.get_model("memnet", "tiny", 0)
+        b = suite.get_model("memnet", "tiny", 0)
+        assert a is b
+
+    def test_distinct_keys_distinct_models(self):
+        a = suite.get_model("memnet", "tiny", 0)
+        b = suite.get_model("memnet", "tiny", 1)
+        assert a is not b
+
+
+class TestProfileSuite:
+    def test_respects_names_argument(self):
+        profiles = suite.profile_suite(config="tiny", steps=1,
+                                       device=cpu(1),
+                                       names=["memnet", "autoenc"])
+        assert [p.workload for p in profiles] == ["memnet", "autoenc"]
+
+    def test_defaults_to_all_eight(self):
+        profiles = suite.profile_suite(config="tiny", steps=1,
+                                       device=cpu(1))
+        assert [p.workload for p in profiles] == WORKLOAD_NAMES
+
+    def test_inference_mode(self):
+        profiles = suite.profile_suite(config="tiny", steps=1,
+                                       device=cpu(1), mode="inference",
+                                       names=["autoenc"])
+        # VAE inference includes the sampling op.
+        assert "StandardRandomNormal" in profiles[0].seconds_by_type
+
+
+class TestFigureHelpers:
+    def test_breakdown_rows_match_workloads(self):
+        matrix = suite.suite_breakdown(config="tiny", steps=1,
+                                       device=cpu(1))
+        assert matrix.workloads == WORKLOAD_NAMES
+
+    def test_similarity_covers_all(self):
+        dendrogram = suite.suite_similarity(config="tiny", steps=1,
+                                            device=cpu(1))
+        assert sorted(dendrogram.labels) == sorted(WORKLOAD_NAMES)
+        assert len(dendrogram.merges) == 7
+
+    def test_parallelism_defaults_to_fig6_trio(self):
+        sweeps = suite.suite_parallelism(config="tiny", steps=1)
+        assert set(sweeps) == {"deepq", "seq2seq", "memnet"}

@@ -1,0 +1,92 @@
+"""Tests for Table I (survey) and Table II (workload) regeneration."""
+
+import pytest
+
+from repro.analysis.survey import (FATHOM_ENTRY, SURVEY, coverage_gaps,
+                                   feature_counts, krizhevsky_share,
+                                   render_table1)
+from repro.analysis.workload_table import render_table2, table2_rows
+
+
+class TestTable1:
+    def test_sixteen_surveyed_papers(self):
+        assert len(SURVEY) == 16
+
+    def test_layer_depths_match_paper(self):
+        # Table I row: 4 4 3 3 5 16 7 3 13 6 9 4 26 2 5 5, Fathom 34.
+        assert [e.max_depth for e in SURVEY] == [4, 4, 3, 3, 5, 16, 7, 3,
+                                                 13, 6, 9, 4, 26, 2, 5, 5]
+        assert FATHOM_ENTRY.max_depth == 34
+
+    def test_every_paper_does_inference(self):
+        assert all(e.inference for e in SURVEY)
+
+    def test_recurrent_appears_exactly_twice(self):
+        """'recurrent neural networks appeared just twice: ... Han et al.
+        [24] and ... Thomas et al. [44]' (Section II)."""
+        recurrent = [e.ref for e in SURVEY if e.recurrent]
+        assert recurrent == ["[24]", "[44]"]
+
+    def test_no_unsupervised_or_reinforcement_in_survey(self):
+        """'we were unable to find any recent hardware work in support of
+        unsupervised or reinforcement deep learning problems'."""
+        assert coverage_gaps() == ["Unsupervised", "Reinforcement"]
+
+    def test_fathom_covers_the_gaps(self):
+        assert FATHOM_ENTRY.unsupervised
+        assert FATHOM_ENTRY.reinforcement
+        assert FATHOM_ENTRY.recurrent
+
+    def test_nearly_half_evaluate_krizhevsky_cnn(self):
+        """'Nearly half of these papers evaluate the same neural network
+        (the well-known CNN from Krizhevsky et al.)'."""
+        share = krizhevsky_share()
+        assert 0.35 <= share <= 0.55
+
+    def test_feature_counts_match_table_marks(self):
+        counts = feature_counts(include_fathom=True)
+        assert counts["Inference"] == 17
+        assert counts["Recurrent"] == 3
+        assert counts["Unsupervised"] == 1
+        assert counts["Reinforcement"] == 1
+        assert counts["Fully-connected"] == 13
+        assert counts["Convolutional"] == 11
+        assert counts["Vision"] == 14
+        assert counts["Speech"] == 3
+        assert counts["Language Modeling"] == 5
+        assert counts["Function Approximation"] == 3
+        assert counts["Supervised"] == 8
+
+    def test_render_contains_all_refs(self):
+        text = render_table1()
+        for entry in SURVEY:
+            assert entry.ref in text
+        assert "Fathom" in text
+
+
+class TestTable2:
+    def test_eight_rows_in_order(self):
+        rows = table2_rows()
+        assert [r.name for r in rows] == ["seq2seq", "memnet", "speech",
+                                          "autoenc", "residual", "vgg",
+                                          "alexnet", "deepq"]
+
+    def test_years_match_paper(self):
+        years = {r.name: r.year for r in table2_rows()}
+        assert years == {"seq2seq": 2014, "memnet": 2015, "speech": 2014,
+                         "autoenc": 2014, "residual": 2015, "vgg": 2014,
+                         "alexnet": 2012, "deepq": 2013}
+
+    def test_learning_task_diversity(self):
+        """Table II spans supervised, unsupervised, and reinforcement."""
+        tasks = {r.learning_task for r in table2_rows()}
+        assert tasks == {"Supervised", "Unsupervised", "Reinforcement"}
+
+    def test_max_depth_is_residual_34(self):
+        assert max(r.layers for r in table2_rows()) == 34
+
+    def test_render(self):
+        text = render_table2()
+        assert "Fathom Workloads" in text
+        for row in table2_rows():
+            assert row.name in text

@@ -1,0 +1,38 @@
+"""Shared pytest fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.framework import graph as graph_module
+from repro.framework.graph import Graph
+from repro.framework.session import Session
+
+
+@pytest.fixture(autouse=True)
+def fresh_graph():
+    """Give every test its own default graph."""
+    graph_module.reset_default_graph()
+    yield graph_module.get_default_graph()
+    graph_module.reset_default_graph()
+
+
+@pytest.fixture
+def session(fresh_graph):
+    """A session over the test's default graph, fixed seed."""
+    return Session(fresh_graph, seed=0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def numeric_gradient(session, loss, placeholder, value, index,
+                     epsilon=1e-3):
+    """Central-difference derivative of ``loss`` w.r.t. one input element."""
+    bumped = value.copy()
+    bumped[index] += epsilon
+    plus = session.run(loss, feed_dict={placeholder: bumped})
+    bumped[index] -= 2 * epsilon
+    minus = session.run(loss, feed_dict={placeholder: bumped})
+    return (float(plus) - float(minus)) / (2 * epsilon)

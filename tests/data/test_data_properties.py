@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) on the synthetic data generators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.babi import SyntheticBabi
+from repro.data.ptb import SyntheticPTB
+from repro.data.timit import SyntheticTIMIT
+from repro.data.wmt import FIRST_WORD_ID, PAD_ID, SyntheticWMT
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+class TestWMTProperties:
+    @settings(**SETTINGS)
+    @given(seed=st.integers(0, 1000), vocab=st.integers(10, 200),
+           length=st.integers(2, 16))
+    def test_lexicon_always_bijective(self, seed, vocab, length):
+        data = SyntheticWMT(vocab_size=vocab, max_length=length, seed=seed)
+        assert len(set(data._lexicon.tolist())) == vocab
+        # Control tokens map to themselves.
+        for token in range(FIRST_WORD_ID):
+            assert data._lexicon[token] == token
+
+    @settings(**SETTINGS)
+    @given(seed=st.integers(0, 1000))
+    def test_translation_reversible(self, seed):
+        data = SyntheticWMT(vocab_size=60, max_length=8, seed=seed)
+        inverse = np.argsort(data._lexicon)
+        words = data.rng.integers(FIRST_WORD_ID, 60, size=6).astype(np.int32)
+        translated = data.translate(words)
+        recovered = inverse[translated][::-1]
+        np.testing.assert_array_equal(recovered, words)
+
+    @settings(**SETTINGS)
+    @given(seed=st.integers(0, 500), batch=st.integers(1, 8))
+    def test_weights_exactly_cover_content(self, seed, batch):
+        data = SyntheticWMT(vocab_size=50, max_length=6, seed=seed)
+        sample = data.sample_batch(batch)
+        for row in range(batch):
+            content = int((sample["source"][row] != PAD_ID).sum())
+            # weights cover the translated tokens plus the EOS.
+            assert sample["weights"][row].sum() == content + 1
+
+
+class TestBabiProperties:
+    @settings(**SETTINGS)
+    @given(seed=st.integers(0, 1000), memory=st.integers(3, 12),
+           actors=st.integers(1, 6), locations=st.integers(2, 8))
+    def test_every_story_is_answerable(self, seed, memory, actors,
+                                       locations):
+        data = SyntheticBabi(memory_size=memory, num_actors=actors,
+                             num_locations=locations, seed=seed)
+        story, query, answer = data.sample_story()
+        actor = data.vocab[query[1]]
+        last = None
+        for line in story:
+            if line[0] != 0 and data.vocab[line[0]] == actor:
+                last = data.vocab[line[3]]
+        assert last is not None
+        assert data.locations[answer] == last
+
+    @settings(**SETTINGS)
+    @given(seed=st.integers(0, 1000))
+    def test_tokens_always_within_vocab(self, seed):
+        data = SyntheticBabi(seed=seed)
+        batch = data.sample_batch(8)
+        assert batch["stories"].max() < data.vocab_size
+        assert batch["queries"].max() < data.vocab_size
+
+
+class TestTIMITProperties:
+    @settings(**SETTINGS)
+    @given(seed=st.integers(0, 1000), frames=st.integers(10, 80),
+           min_dur=st.integers(1, 4))
+    def test_labels_never_exceed_frames(self, seed, frames, min_dur):
+        data = SyntheticTIMIT(num_frames=frames,
+                              min_phoneme_frames=min_dur,
+                              max_phoneme_frames=min_dur + 3, seed=seed)
+        batch = data.sample_batch(4)
+        assert np.all(batch["label_lengths"] <= frames)
+        assert np.all(batch["label_lengths"] >= 1)
+
+    @settings(**SETTINGS)
+    @given(seed=st.integers(0, 1000))
+    def test_durations_bound_label_count(self, seed):
+        data = SyntheticTIMIT(num_frames=40, min_phoneme_frames=5,
+                              max_phoneme_frames=8, seed=seed)
+        _, labels = data.sample_utterance()
+        # At most ceil(40/5) phonemes fit.
+        assert len(labels) <= 8
+
+
+class TestPTBProperties:
+    @settings(**SETTINGS)
+    @given(seed=st.integers(0, 1000), vocab=st.integers(10, 100))
+    def test_streams_stay_in_vocab(self, seed, vocab):
+        data = SyntheticPTB(vocab_size=vocab, branching=min(5, vocab - 1),
+                            seed=seed)
+        stream = data.sample_stream(100)
+        assert stream.min() >= 0
+        assert stream.max() < vocab
+
+    @settings(**SETTINGS)
+    @given(seed=st.integers(0, 1000))
+    def test_skipgram_negatives_in_vocab(self, seed):
+        data = SyntheticPTB(vocab_size=30, branching=5, seed=seed)
+        batch = data.skipgram_batch(8, window=2, negatives=4)
+        for key in ("centers", "contexts", "negatives"):
+            assert batch[key].max() < 30
+            assert batch[key].min() >= 0
+
+    @settings(**SETTINGS)
+    @given(seed=st.integers(0, 1000))
+    def test_same_seed_same_corpus(self, seed):
+        a = SyntheticPTB(vocab_size=40, branching=5,
+                         seed=seed).sample_stream(50)
+        b = SyntheticPTB(vocab_size=40, branching=5,
+                         seed=seed).sample_stream(50)
+        np.testing.assert_array_equal(a, b)

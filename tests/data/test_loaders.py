@@ -1,0 +1,107 @@
+"""Tests for the IDX loader and the real-or-synthetic MNIST selector."""
+
+import gzip
+import struct
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import (FileMNIST, IdxFormatError, load_idx,
+                                mnist_dataset, write_idx)
+from repro.data.mnist import SyntheticMNIST
+
+
+class TestIdxRoundtrip:
+    @pytest.mark.parametrize("dtype,shape", [
+        (np.uint8, (5, 4, 4)),
+        (np.uint8, (10,)),
+        (np.float32, (3, 2)),
+        (np.int32, (6,)),
+    ])
+    def test_write_then_read(self, tmp_path, rng, dtype, shape):
+        if np.issubdtype(dtype, np.floating):
+            array = rng.standard_normal(shape).astype(dtype)
+        else:
+            array = rng.integers(0, 100, size=shape).astype(dtype)
+        path = tmp_path / "data.idx"
+        write_idx(path, array)
+        loaded = load_idx(path)
+        np.testing.assert_array_equal(loaded, array)
+        assert loaded.shape == shape
+
+    def test_gzipped_idx(self, tmp_path, rng):
+        array = rng.integers(0, 255, size=(4, 3, 3)).astype(np.uint8)
+        raw_path = tmp_path / "raw.idx"
+        write_idx(raw_path, array)
+        gz_path = tmp_path / "data.idx.gz"
+        gz_path.write_bytes(gzip.compress(raw_path.read_bytes()))
+        np.testing.assert_array_equal(load_idx(gz_path), array)
+
+
+class TestIdxErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.idx"
+        path.write_bytes(b"\x01\x00\x08\x01" + struct.pack(">I", 0))
+        with pytest.raises(IdxFormatError, match="magic"):
+            load_idx(path)
+
+    def test_unknown_dtype_code(self, tmp_path):
+        path = tmp_path / "bad.idx"
+        path.write_bytes(b"\x00\x00\x77\x01" + struct.pack(">I", 0))
+        with pytest.raises(IdxFormatError, match="dtype"):
+            load_idx(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "short.idx"
+        path.write_bytes(b"\x00\x00\x08\x01" + struct.pack(">I", 100)
+                         + b"\x00" * 10)
+        with pytest.raises(IdxFormatError, match="truncated"):
+            load_idx(path)
+
+    def test_unencodable_dtype(self, tmp_path):
+        with pytest.raises(IdxFormatError, match="encode"):
+            write_idx(tmp_path / "x.idx", np.zeros(3, dtype=np.complex64))
+
+
+def _write_fake_mnist(directory, count=20, size=8):
+    rng = np.random.default_rng(0)
+    images = rng.integers(0, 255, size=(count, size, size)).astype(np.uint8)
+    labels = rng.integers(0, 10, size=count).astype(np.uint8)
+    write_idx(directory / "train-images-idx3-ubyte", images)
+    write_idx(directory / "train-labels-idx1-ubyte", labels)
+    return images, labels
+
+
+class TestFileMNIST:
+    def test_batches_from_files(self, tmp_path):
+        images, labels = _write_fake_mnist(tmp_path)
+        data = FileMNIST(tmp_path / "train-images-idx3-ubyte",
+                         tmp_path / "train-labels-idx1-ubyte", seed=0)
+        assert len(data) == 20
+        batch = data.sample_batch(6)
+        assert batch["images"].shape == (6, 64)
+        assert batch["images"].max() <= 1.0
+        assert batch["labels"].dtype == np.int32
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        rng = np.random.default_rng(0)
+        write_idx(tmp_path / "imgs.idx",
+                  rng.integers(0, 255, (5, 4, 4)).astype(np.uint8))
+        write_idx(tmp_path / "labels.idx",
+                  rng.integers(0, 9, 7).astype(np.uint8))
+        with pytest.raises(IdxFormatError, match="labels"):
+            FileMNIST(tmp_path / "imgs.idx", tmp_path / "labels.idx")
+
+
+class TestSelector:
+    def test_prefers_real_files(self, tmp_path):
+        _write_fake_mnist(tmp_path)
+        data = mnist_dataset(tmp_path, seed=0)
+        assert isinstance(data, FileMNIST)
+
+    def test_falls_back_to_synthetic(self, tmp_path):
+        data = mnist_dataset(tmp_path / "nowhere", seed=0)
+        assert isinstance(data, SyntheticMNIST)
+
+    def test_default_is_synthetic(self):
+        assert isinstance(mnist_dataset(), SyntheticMNIST)

@@ -1,0 +1,303 @@
+"""Numeric gradient checks for symbolic autodiff.
+
+Every differentiable op family is checked with central differences
+through the live session, so the whole chain (gradient rule construction,
+shape handling, accumulation) is exercised end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.framework import ops
+from repro.framework.autodiff import gradients
+from repro.framework.errors import DifferentiationError
+from repro.framework.session import Session
+from tests.conftest import numeric_gradient
+
+
+def check_gradient(session, build_loss, shape, indices, rng, rtol=3e-2,
+                   atol=1e-3, positive=False):
+    """Compare analytic vs numeric d(loss)/d(x) at the given indices."""
+    x = ops.placeholder(shape, name="gradcheck_x")
+    loss = build_loss(x)
+    grad = gradients(loss, [x])[0]
+    value = rng.standard_normal(shape).astype(np.float32)
+    if positive:
+        value = np.abs(value) + 0.5
+    analytic = session.run(grad, feed_dict={x: value})
+    assert analytic.shape == shape
+    for index in indices:
+        numeric = numeric_gradient(session, loss, x, value, index)
+        np.testing.assert_allclose(analytic[index], numeric, rtol=rtol,
+                                   atol=atol)
+
+
+SHAPE = (3, 4)
+INDICES = [(0, 0), (1, 2), (2, 3)]
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize("fn,positive", [
+        (lambda x: ops.reduce_sum(ops.square(x)), False),
+        (lambda x: ops.reduce_sum(ops.exp(x)), False),
+        (lambda x: ops.reduce_sum(ops.log(x)), True),
+        (lambda x: ops.reduce_sum(ops.sqrt(x)), True),
+        (lambda x: ops.reduce_sum(ops.tanh(x)), False),
+        (lambda x: ops.reduce_sum(ops.sigmoid(x)), False),
+        (lambda x: ops.reduce_sum(ops.relu(x)), False),
+        (lambda x: ops.reduce_sum(ops.negative(x)), False),
+        (lambda x: ops.reduce_sum(ops.abs_(x)), False),
+        (lambda x: ops.reduce_sum(ops.power(x, 3.0)), True),
+        (lambda x: ops.reduce_sum(ops.multiply(x, x)), False),
+        (lambda x: ops.reduce_sum(ops.divide(1.0, x)), True),
+        (lambda x: ops.reduce_sum(ops.maximum(x, 0.3)), True),
+        (lambda x: ops.reduce_sum(ops.minimum(x, 0.7)), True),
+    ], ids=["square", "exp", "log", "sqrt", "tanh", "sigmoid", "relu",
+            "neg", "abs", "pow", "mul_self", "reciprocal", "maximum",
+            "minimum"])
+    def test_unary_chains(self, session, rng, fn, positive):
+        check_gradient(session, fn, SHAPE, INDICES, rng, positive=positive)
+
+    def test_broadcast_gradient_unbroadcasts(self, session, rng):
+        bias = ops.placeholder((4,), name="bias")
+        base = ops.constant(rng.standard_normal(SHAPE).astype(np.float32))
+        loss = ops.reduce_sum(ops.square(ops.add(base, bias)))
+        grad = gradients(loss, [bias])[0]
+        assert grad.shape == (4,)
+        value = rng.standard_normal(4).astype(np.float32)
+        analytic = session.run(grad, feed_dict={bias: value})
+        for index in [(0,), (3,)]:
+            numeric = numeric_gradient(session, loss, bias, value, index)
+            np.testing.assert_allclose(analytic[index], numeric, rtol=3e-2,
+                                       atol=1e-3)
+
+
+class TestMatrixGradients:
+    def test_matmul_both_sides(self, session, rng):
+        a = ops.placeholder((3, 4), name="a")
+        b_value = rng.standard_normal((4, 2)).astype(np.float32)
+        loss = ops.reduce_sum(ops.square(ops.matmul(a, ops.constant(b_value))))
+        check_done = False
+        grad = gradients(loss, [a])[0]
+        value = rng.standard_normal((3, 4)).astype(np.float32)
+        analytic = session.run(grad, feed_dict={a: value})
+        for index in [(0, 0), (2, 3)]:
+            numeric = numeric_gradient(session, loss, a, value, index)
+            np.testing.assert_allclose(analytic[index], numeric, rtol=3e-2,
+                                       atol=1e-3)
+            check_done = True
+        assert check_done
+
+    def test_batch_matmul(self, session, rng):
+        check_gradient(
+            session,
+            lambda x: ops.reduce_sum(ops.square(ops.batch_matmul(
+                x, ops.constant(
+                    rng.standard_normal((2, 4, 3)).astype(np.float32))))),
+            (2, 3, 4), [(0, 0, 0), (1, 2, 3)], rng)
+
+
+class TestMovementGradients:
+    @pytest.mark.parametrize("fn", [
+        lambda x: ops.reduce_sum(ops.square(ops.reshape(x, (4, 3)))),
+        lambda x: ops.reduce_sum(ops.square(ops.transpose(x))),
+        lambda x: ops.reduce_sum(ops.square(ops.tile(x, (2, 3)))),
+        lambda x: ops.reduce_sum(ops.square(ops.pad(x, [(1, 0), (0, 2)]))),
+        lambda x: ops.reduce_sum(ops.square(ops.slice_(x, (1, 1), (2, 2)))),
+        lambda x: ops.reduce_sum(ops.square(
+            ops.concat([x, ops.multiply(x, 2.0)], axis=1))),
+        lambda x: ops.reduce_sum(ops.square(ops.expand_dims(x, 0))),
+        lambda x: ops.reduce_sum(ops.square(ops.flatten(x))),
+    ], ids=["reshape", "transpose", "tile", "pad", "slice", "concat",
+            "expand_dims", "flatten"])
+    def test_movement_chains(self, session, rng, fn):
+        check_gradient(session, fn, SHAPE, INDICES, rng)
+
+    def test_split_gradients(self, session, rng):
+        def build(x):
+            parts = ops.split(x, 2, axis=1)
+            return ops.reduce_sum(ops.square(parts[0])) + ops.reduce_sum(
+                ops.multiply(parts[1], 3.0))
+        check_gradient(session, build, SHAPE, INDICES, rng)
+
+    def test_gather_gradient_scatters(self, session, rng):
+        table = ops.placeholder((5, 3), name="table")
+        idx = ops.constant(np.array([1, 1, 4], dtype=np.int32))
+        loss = ops.reduce_sum(ops.square(ops.gather(table, idx)))
+        grad = gradients(loss, [table])[0]
+        value = rng.standard_normal((5, 3)).astype(np.float32)
+        analytic = session.run(grad, feed_dict={table: value})
+        # Row 1 gathered twice, row 4 once, others never.
+        np.testing.assert_allclose(analytic[1], 2 * 2 * value[1], rtol=1e-5)
+        np.testing.assert_allclose(analytic[4], 2 * value[4], rtol=1e-5)
+        np.testing.assert_allclose(analytic[0], 0.0)
+
+
+class TestReductionGradients:
+    @pytest.mark.parametrize("fn", [
+        lambda x: ops.reduce_sum(ops.square(ops.reduce_sum(x, axis=1))),
+        lambda x: ops.reduce_sum(ops.square(ops.reduce_mean(x, axis=0))),
+        lambda x: ops.reduce_sum(ops.square(
+            ops.reduce_sum(x, axis=1, keepdims=True))),
+        lambda x: ops.square(ops.reduce_mean(x)),
+    ], ids=["sum_axis", "mean_axis", "sum_keepdims", "mean_all"])
+    def test_reduction_chains(self, session, rng, fn):
+        check_gradient(session, fn, SHAPE, INDICES, rng)
+
+    def test_reduce_max_routes_to_argmax(self, session):
+        x = ops.placeholder((2, 3), name="x")
+        loss = ops.reduce_sum(ops.reduce_max(x, axis=1))
+        grad = gradients(loss, [x])[0]
+        value = np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]],
+                         dtype=np.float32)
+        analytic = session.run(grad, feed_dict={x: value})
+        np.testing.assert_array_equal(analytic,
+                                      [[0, 1, 0], [1, 0, 0]])
+
+
+class TestNNGradients:
+    def test_conv2d_input_gradient(self, session, rng):
+        filt = ops.constant(
+            rng.standard_normal((3, 3, 2, 3)).astype(np.float32))
+        check_gradient(
+            session,
+            lambda x: ops.reduce_sum(ops.square(
+                ops.conv2d(x, filt, strides=(1, 1), padding="SAME"))),
+            (1, 5, 5, 2), [(0, 0, 0, 0), (0, 2, 3, 1), (0, 4, 4, 0)], rng,
+            rtol=5e-2)
+
+    def test_conv2d_strided_valid_gradient(self, session, rng):
+        filt = ops.constant(
+            rng.standard_normal((2, 2, 1, 2)).astype(np.float32))
+        check_gradient(
+            session,
+            lambda x: ops.reduce_sum(ops.square(
+                ops.conv2d(x, filt, strides=(2, 2), padding="VALID"))),
+            (1, 6, 6, 1), [(0, 0, 0, 0), (0, 3, 3, 0), (0, 5, 5, 0)], rng,
+            rtol=5e-2)
+
+    def test_max_pool_gradient(self, session, rng):
+        check_gradient(
+            session,
+            lambda x: ops.reduce_sum(ops.square(
+                ops.max_pool(x, ksize=(2, 2), strides=(2, 2)))),
+            (1, 4, 4, 1), [(0, 0, 0, 0), (0, 2, 3, 0)], rng, rtol=5e-2)
+
+    def test_avg_pool_gradient(self, session, rng):
+        check_gradient(
+            session,
+            lambda x: ops.reduce_sum(ops.square(
+                ops.avg_pool(x, ksize=(2, 2), strides=(2, 2)))),
+            (1, 4, 4, 1), [(0, 0, 0, 0), (0, 3, 3, 0)], rng)
+
+    def test_softmax_gradient(self, session, rng):
+        target = ops.constant(
+            np.abs(rng.standard_normal((3, 4))).astype(np.float32))
+        check_gradient(
+            session,
+            lambda x: ops.reduce_sum(ops.square(
+                ops.subtract(ops.softmax(x), target))),
+            SHAPE, INDICES, rng)
+
+    def test_xent_gradient(self, session, rng):
+        labels = np.eye(4, dtype=np.float32)[[0, 2, 3]]
+        check_gradient(
+            session,
+            lambda x: ops.reduce_sum(ops.softmax_cross_entropy_with_logits(
+                x, ops.constant(labels))),
+            SHAPE, INDICES, rng)
+
+    def test_lrn_gradient(self, session, rng):
+        check_gradient(
+            session,
+            lambda x: ops.reduce_sum(ops.square(
+                ops.lrn(x, depth_radius=1, bias=1.0, alpha=0.1, beta=0.5))),
+            (1, 2, 2, 4), [(0, 0, 0, 0), (0, 1, 1, 3)], rng, rtol=5e-2)
+
+    def test_bias_add_gradient(self, session, rng):
+        bias = ops.placeholder((4,), name="b")
+        base = ops.constant(rng.standard_normal((3, 4)).astype(np.float32))
+        loss = ops.reduce_sum(ops.square(ops.bias_add(base, bias)))
+        grad = gradients(loss, [bias])[0]
+        value = rng.standard_normal(4).astype(np.float32)
+        analytic = session.run(grad, feed_dict={bias: value})
+        numeric = numeric_gradient(session, loss, bias, value, (2,))
+        np.testing.assert_allclose(analytic[2], numeric, rtol=3e-2)
+
+    def test_batch_norm_gradient(self, session, rng):
+        from repro.framework import layers
+        def build(x):
+            normed = layers.batch_norm(x, name="bn")
+            return ops.reduce_sum(ops.square(ops.add(normed, 0.5)))
+        check_gradient(session, build, (6, 3), [(0, 0), (4, 2)], rng,
+                       rtol=5e-2, atol=5e-3)
+
+
+class TestAutodiffMechanics:
+    def test_fan_out_accumulates_via_add_n(self, session):
+        x = ops.placeholder((2,), name="x")
+        y = ops.add(ops.multiply(x, 2.0), ops.multiply(x, 3.0))
+        loss = ops.reduce_sum(y)
+        grad = gradients(loss, [x])[0]
+        np.testing.assert_allclose(
+            session.run(grad, feed_dict={x: np.zeros(2, np.float32)}),
+            [5.0, 5.0])
+
+    def test_independent_variable_returns_none(self):
+        x = ops.placeholder((2,), name="x")
+        unrelated = ops.placeholder((2,), name="unrelated")
+        loss = ops.reduce_sum(x)
+        assert gradients(loss, [unrelated]) == [None]
+
+    def test_stop_gradient_blocks_flow(self):
+        x = ops.placeholder((2,), name="x")
+        loss = ops.reduce_sum(ops.stop_gradient(ops.multiply(x, 2.0)))
+        assert gradients(loss, [x]) == [None]
+
+    def test_stop_gradient_partial_paths(self, session):
+        x = ops.placeholder((2,), name="x")
+        blocked = ops.stop_gradient(x)
+        loss = ops.reduce_sum(ops.multiply(x, blocked))
+        grad = gradients(loss, [x])[0]
+        value = np.array([2.0, 3.0], dtype=np.float32)
+        # d/dx (x * const(x)) = const(x)
+        np.testing.assert_allclose(session.run(grad, feed_dict={x: value}),
+                                   value)
+
+    def test_grad_ys_seeding(self, session):
+        x = ops.placeholder((3,), name="x")
+        y = ops.multiply(x, 2.0)
+        seed = ops.constant(np.array([1.0, 0.0, 2.0], dtype=np.float32))
+        grad = gradients([y], [x], grad_ys=[seed])[0]
+        np.testing.assert_allclose(
+            session.run(grad, feed_dict={x: np.zeros(3, np.float32)}),
+            [2.0, 0.0, 4.0])
+
+    def test_grad_ys_shape_mismatch_rejected(self):
+        x = ops.placeholder((3,), name="x")
+        y = ops.multiply(x, 2.0)
+        bad = ops.constant(np.zeros(2, dtype=np.float32))
+        with pytest.raises(DifferentiationError, match="shape"):
+            gradients([y], [x], grad_ys=[bad])
+
+    def test_second_application_to_same_graph(self, session):
+        # Taking gradients twice (new backward subgraph each time) must
+        # not corrupt the first.
+        x = ops.placeholder((2,), name="x")
+        loss = ops.reduce_sum(ops.square(x))
+        g1 = gradients(loss, [x])[0]
+        g2 = gradients(loss, [x])[0]
+        value = np.array([1.0, 2.0], dtype=np.float32)
+        np.testing.assert_allclose(session.run(g1, feed_dict={x: value}),
+                                   2 * value)
+        np.testing.assert_allclose(session.run(g2, feed_dict={x: value}),
+                                   2 * value)
+
+    def test_non_differentiable_path_raises(self):
+        x = ops.placeholder((2, 3), name="x")
+        loss = ops.reduce_sum(ops.cast(ops.argmax(x, axis=1), np.float32))
+        # ArgMax returns None gradients, so x gets none.
+        assert gradients(loss, [x]) == [None]
+
+    def test_empty_xs(self):
+        assert gradients(ops.constant(1.0), []) == []

@@ -1,0 +1,54 @@
+"""Tests for device-model calibration."""
+
+import pytest
+
+from repro.framework.calibrate import (calibrate_cpu, measure_bandwidth,
+                                       measure_dispatch_overhead,
+                                       measure_flops_rate)
+from repro.framework.cost_model import matmul_work
+
+
+class TestMeasurements:
+    def test_flops_rate_plausible(self):
+        rate = measure_flops_rate(size=192, repeats=2)
+        # Any machine this runs on does between 0.1 GFLOP/s and 10 TFLOP/s.
+        assert 1e8 < rate < 1e13
+
+    def test_bandwidth_plausible(self):
+        bandwidth = measure_bandwidth(megabytes=8, repeats=2)
+        assert 1e8 < bandwidth < 1e12
+
+    def test_dispatch_overhead_plausible(self):
+        overhead = measure_dispatch_overhead(chain_length=100, repeats=2)
+        assert 1e-7 < overhead < 1e-3
+
+
+class TestCalibratedModel:
+    def test_model_prices_ops(self):
+        result = calibrate_cpu()
+        work = matmul_work(256, 256, 256)
+        seconds = result.model.op_time(work)
+        assert 0.0 < seconds < 10.0
+
+    def test_render(self):
+        result = calibrate_cpu()
+        text = result.render()
+        assert "GFLOP/s" in text and "us/op" in text
+
+    def test_calibrated_matmul_estimate_near_reality(self):
+        """The calibrated model's matmul prediction lands within an order
+        of magnitude of an actual timed matmul."""
+        import time
+        import numpy as np
+        result = calibrate_cpu()
+        size = 256
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((size, size)).astype(np.float32)
+        b = rng.standard_normal((size, size)).astype(np.float32)
+        a @ b
+        start = time.perf_counter()
+        a @ b
+        actual = time.perf_counter() - start
+        predicted = result.model.op_time(matmul_work(size, size, size))
+        assert predicted < 20 * actual
+        assert actual < 20 * predicted

@@ -1,0 +1,105 @@
+"""Tests for analytic work estimates."""
+
+import numpy as np
+import pytest
+
+from repro.framework import ops
+from repro.framework.cost_model import (WorkEstimate, conv2d_work,
+                                        data_movement_work, elementwise_work,
+                                        matmul_work, num_elements,
+                                        reduction_work)
+
+
+class TestWorkEstimate:
+    def test_addition_combines(self):
+        a = WorkEstimate(flops=10, bytes_moved=20, trip_count=5)
+        b = WorkEstimate(flops=1, bytes_moved=2, trip_count=50)
+        total = a + b
+        assert total.flops == 11
+        assert total.bytes_moved == 22
+        assert total.trip_count == 50  # max, not sum
+
+    def test_zero(self):
+        zero = WorkEstimate.zero()
+        assert zero.flops == 0.0
+        assert zero.trip_count == 1.0
+
+
+class TestFormulas:
+    def test_num_elements(self):
+        assert num_elements((2, 3, 4)) == 24
+        assert num_elements(()) == 1
+
+    def test_matmul_flops(self):
+        work = matmul_work(8, 16, 32)
+        assert work.flops == 2 * 8 * 16 * 32
+        assert work.trip_count == 8 * 32
+
+    def test_conv_flops(self):
+        work = conv2d_work(batch=2, out_h=4, out_w=4, out_c=8,
+                           filter_h=3, filter_w=3, in_c=3)
+        assert work.flops == 2 * 3 * 3 * 3 * (2 * 4 * 4 * 8)
+        assert work.trip_count == 2 * 4 * 4 * 8
+
+    def test_reduction_trip_count_is_output_size(self):
+        work = reduction_work((128, 128), ())
+        assert work.trip_count == 1.0
+        work = reduction_work((128, 128), (128,))
+        assert work.trip_count == 128.0
+
+    def test_data_movement_has_no_flops(self):
+        work = data_movement_work(1000)
+        assert work.flops == 0.0
+        assert work.bytes_moved == 4 * 2000
+
+    def test_elementwise_counts_operands(self):
+        unary = elementwise_work((10,), n_inputs=1)
+        binary = elementwise_work((10,), n_inputs=2)
+        assert binary.bytes_moved > unary.bytes_moved
+
+
+class TestOpWorkIntegration:
+    def test_matmul_op_reports_matmul_work(self):
+        a = ops.constant(np.zeros((8, 16), dtype=np.float32))
+        b = ops.constant(np.zeros((16, 32), dtype=np.float32))
+        work = ops.matmul(a, b).op.work()
+        assert work.flops == 2 * 8 * 16 * 32
+
+    def test_transposed_matmul_same_flops(self):
+        a = ops.constant(np.zeros((16, 8), dtype=np.float32))
+        b = ops.constant(np.zeros((16, 32), dtype=np.float32))
+        work = ops.matmul(a, b, transpose_a=True).op.work()
+        assert work.flops == 2 * 8 * 16 * 32
+
+    def test_conv_backward_ops_cost_like_forward(self, rng):
+        x = ops.constant(rng.standard_normal((2, 8, 8, 3)).astype(np.float32))
+        filt = ops.constant(
+            rng.standard_normal((3, 3, 3, 4)).astype(np.float32))
+        out = ops.conv2d(x, filt)
+        from repro.framework.autodiff import gradients
+        loss = ops.reduce_sum(out)
+        gradients(loss, [filt])
+        graph = out.graph
+        forward = next(op for op in graph.operations
+                       if op.type_name == "Conv2D")
+        backward = next(op for op in graph.operations
+                        if op.type_name == "Conv2DBackpropFilter")
+        assert backward.work().flops == forward.work().flops
+
+    def test_work_memoized(self):
+        a = ops.constant(np.zeros((4, 4), dtype=np.float32))
+        op = ops.matmul(a, a).op
+        assert op.work() is op.work()
+
+    def test_reduction_to_scalar_serial(self):
+        x = ops.constant(np.zeros((64, 64), dtype=np.float32))
+        work = ops.reduce_sum(x).op.work()
+        assert work.trip_count == 1.0
+
+    def test_ctc_trip_count_is_batch(self):
+        logits = ops.constant(np.zeros((10, 4, 5), dtype=np.float32))
+        labels = ops.constant(np.zeros((4, 3), dtype=np.int32))
+        lengths = ops.constant(np.ones(4, dtype=np.int32))
+        frames = ops.constant(np.full(4, 10, dtype=np.int32))
+        loss = ops.ctc_loss(logits, labels, lengths, frames)
+        assert loss.op.work().trip_count == 4.0

@@ -1,0 +1,158 @@
+"""Tests for the CTC loss: forward-backward vs. brute-force enumeration."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.framework import ops
+from repro.framework.errors import ShapeError
+from repro.framework.ops.loss_ops import (ctc_forward_backward,
+                                          ctc_greedy_decode)
+
+
+def brute_force_ctc(log_probs, labels, blank):
+    """Sum path probabilities over every valid alignment by enumeration.
+
+    A path is valid if collapsing repeats and removing blanks yields the
+    label sequence. Exponential — only for tiny cases.
+    """
+    time_steps, num_classes = log_probs.shape
+    total = 0.0
+    for path in itertools.product(range(num_classes), repeat=time_steps):
+        collapsed, prev = [], None
+        for cls in path:
+            if cls != prev and cls != blank:
+                collapsed.append(cls)
+            prev = cls
+        if collapsed == list(labels):
+            total += np.exp(sum(log_probs[t, c] for t, c in enumerate(path)))
+    return -np.log(total)
+
+
+def random_log_probs(rng, time_steps, num_classes):
+    logits = rng.standard_normal((time_steps, num_classes))
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+class TestForwardBackward:
+    @pytest.mark.parametrize("labels", [[0], [0, 1], [1, 1], [0, 1, 0]])
+    def test_loss_matches_brute_force(self, rng, labels):
+        log_probs = random_log_probs(rng, time_steps=4, num_classes=3)
+        blank = 2
+        loss, _ = ctc_forward_backward(log_probs, np.array(labels), blank)
+        expected = brute_force_ctc(log_probs, labels, blank)
+        np.testing.assert_allclose(loss, expected, rtol=1e-5)
+
+    def test_empty_label_sequence(self, rng):
+        log_probs = random_log_probs(rng, time_steps=3, num_classes=2)
+        blank = 1
+        loss, grad = ctc_forward_backward(log_probs, np.array([], dtype=int),
+                                          blank)
+        # Only the all-blank path matches an empty label sequence.
+        expected = -log_probs[:, blank].sum()
+        np.testing.assert_allclose(loss, expected, rtol=1e-5)
+        assert grad.shape == log_probs.shape
+
+    def test_single_frame_single_label(self, rng):
+        log_probs = random_log_probs(rng, time_steps=1, num_classes=3)
+        loss, _ = ctc_forward_backward(log_probs, np.array([0]), blank=2)
+        np.testing.assert_allclose(loss, -log_probs[0, 0], rtol=1e-5)
+
+    def test_more_labels_than_frames_rejected(self, rng):
+        log_probs = random_log_probs(rng, time_steps=2, num_classes=3)
+        with pytest.raises(ShapeError):
+            ctc_forward_backward(log_probs, np.array([0, 1, 0]), blank=2)
+
+    def test_gradient_sums_to_zero_per_frame(self, rng):
+        # grad = softmax - posterior; both rows sum to 1, so the gradient
+        # rows must sum to 0.
+        log_probs = random_log_probs(rng, time_steps=5, num_classes=4)
+        _, grad = ctc_forward_backward(log_probs, np.array([0, 2]), blank=3)
+        np.testing.assert_allclose(grad.sum(axis=1), np.zeros(5), atol=1e-4)
+
+
+class TestCTCLossOp:
+    def _build(self, rng, time_steps=6, batch=2, num_classes=4,
+               max_labels=3):
+        logits = ops.placeholder((time_steps, batch, num_classes),
+                                 name="logits")
+        labels = np.zeros((batch, max_labels), dtype=np.int32)
+        labels[0, :2] = [0, 1]
+        labels[1, :1] = [2]
+        loss = ops.ctc_loss(
+            logits,
+            ops.constant(labels),
+            ops.constant(np.array([2, 1], dtype=np.int32)),
+            ops.constant(np.full(batch, time_steps, dtype=np.int32)))
+        values = rng.standard_normal(
+            (time_steps, batch, num_classes)).astype(np.float32)
+        return logits, loss, values
+
+    def test_per_example_losses_positive(self, session, rng):
+        logits, loss, values = self._build(rng)
+        out = session.run(loss, feed_dict={logits: values})
+        assert out.shape == (2,)
+        assert np.all(out > 0.0)
+
+    def test_gradient_matches_numeric(self, session, rng):
+        from tests.conftest import numeric_gradient
+        logits, loss, values = self._build(rng)
+        total = ops.reduce_sum(loss)
+        grad = ops.gradients if False else None
+        from repro.framework.autodiff import gradients
+        grad = gradients(total, [logits])[0]
+        analytic = session.run(grad, feed_dict={logits: values})
+        for index in [(0, 0, 1), (3, 1, 2), (5, 0, 3)]:
+            numeric = numeric_gradient(session, total, logits, values, index)
+            np.testing.assert_allclose(analytic[index], numeric, rtol=5e-2,
+                                       atol=1e-3)
+
+    def test_confident_correct_logits_give_small_loss(self, session):
+        # Frames that spell out the labels directly (with blanks) should
+        # be nearly free.
+        time_steps, batch, num_classes = 4, 1, 3
+        logits_ph = ops.placeholder((time_steps, batch, num_classes))
+        labels = np.array([[0, 1]], dtype=np.int32)
+        loss = ops.ctc_loss(
+            logits_ph, ops.constant(labels),
+            ops.constant(np.array([2], dtype=np.int32)),
+            ops.constant(np.array([time_steps], dtype=np.int32)))
+        strong = np.full((time_steps, batch, num_classes), -20.0,
+                         dtype=np.float32)
+        for t, cls in enumerate([0, 0, 1, 1]):
+            strong[t, 0, cls] = 20.0
+        out = session.run(loss, feed_dict={logits_ph: strong})
+        assert out[0] < 1e-2
+
+    def test_bad_rank_rejected(self):
+        logits = ops.constant(np.zeros((4, 3), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            ops.ctc_loss(logits, ops.constant(np.zeros((2, 1), np.int32)),
+                         ops.constant(np.ones(2, np.int32)),
+                         ops.constant(np.ones(2, np.int32)))
+
+
+class TestGreedyDecode:
+    def test_collapses_repeats_and_blanks(self):
+        # classes: 0, 1, blank=2
+        frames = np.full((6, 1, 3), -10.0, dtype=np.float32)
+        sequence = [0, 0, 2, 1, 1, 2]
+        for t, cls in enumerate(sequence):
+            frames[t, 0, cls] = 10.0
+        assert ctc_greedy_decode(frames, blank=2) == [[0, 1]]
+
+    def test_repeated_label_requires_blank_between(self):
+        frames = np.full((5, 1, 3), -10.0, dtype=np.float32)
+        for t, cls in enumerate([0, 2, 0, 2, 0]):
+            frames[t, 0, cls] = 10.0
+        assert ctc_greedy_decode(frames, blank=2) == [[0, 0, 0]]
+
+    def test_batch_decoding(self):
+        frames = np.full((3, 2, 3), -10.0, dtype=np.float32)
+        for t, cls in enumerate([0, 1, 2]):
+            frames[t, 0, cls] = 10.0
+        for t, cls in enumerate([2, 2, 1]):
+            frames[t, 1, cls] = 10.0
+        assert ctc_greedy_decode(frames, blank=2) == [[0, 1], [1]]

@@ -1,0 +1,92 @@
+"""Tests for the analytic CPU/GPU device models.
+
+These encode the mechanisms the paper's Figs. 5 and 6 rely on: threads
+help large-trip-count ops, small ops are overhead-bound, the GPU beats
+the CPU on dense work but pays per-kernel launch costs.
+"""
+
+import pytest
+
+from repro.framework.cost_model import WorkEstimate, matmul_work
+from repro.framework.device_model import (CPUDeviceModel, GPUDeviceModel,
+                                          cpu, gpu)
+
+BIG = matmul_work(512, 512, 512)             # dense, highly parallel
+SMALL = WorkEstimate(flops=500.0, bytes_moved=2000.0, trip_count=50.0)
+SERIAL = WorkEstimate(flops=1e6, bytes_moved=1e4, trip_count=1.0)
+
+
+class TestCPUModel:
+    def test_more_threads_never_slower(self):
+        for work in (BIG, SMALL, SERIAL):
+            times = [cpu(t).op_time(work) for t in (1, 2, 4, 8)]
+            assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))
+
+    def test_big_ops_scale_nearly_linearly(self):
+        t1 = cpu(1).op_time(BIG)
+        t8 = cpu(8).op_time(BIG)
+        assert t1 / t8 > 5.0
+
+    def test_small_ops_do_not_scale(self):
+        t1 = cpu(1).op_time(SMALL)
+        t8 = cpu(8).op_time(SMALL)
+        assert t1 / t8 < 1.2
+
+    def test_serial_work_never_scales(self):
+        assert cpu(1).op_time(SERIAL) == pytest.approx(cpu(8).op_time(SERIAL))
+
+    def test_overhead_floors_tiny_ops(self):
+        model = cpu(1)
+        tiny = WorkEstimate(flops=1.0, bytes_moved=4.0, trip_count=1.0)
+        assert model.op_time(tiny) >= model.dispatch_overhead
+
+    def test_effective_threads_capped_by_trip_count(self):
+        model = cpu(8)
+        assert model.effective_threads(SERIAL) == 1.0
+        assert model.effective_threads(BIG) == 8.0
+
+    def test_invalid_thread_count_rejected(self):
+        with pytest.raises(ValueError):
+            cpu(0)
+
+    def test_name_encodes_threads(self):
+        assert cpu(4).name == "cpu4"
+
+
+class TestGPUModel:
+    def test_beats_cpu_on_dense_work(self):
+        assert gpu().op_time(BIG) < cpu(1).op_time(BIG) / 5.0
+
+    def test_launch_bound_on_tiny_ops(self):
+        model = gpu()
+        tiny = WorkEstimate(flops=10.0, bytes_moved=40.0, trip_count=4.0)
+        assert model.op_time(tiny) >= model.launch_overhead
+
+    def test_utilization_grows_with_trips(self):
+        model = gpu()
+        low = model.utilization(WorkEstimate(1, 1, trip_count=100))
+        high = model.utilization(WorkEstimate(1, 1, trip_count=1_000_000))
+        assert low < 0.1 < 0.9 < high
+
+    def test_name(self):
+        assert gpu().name == "gpu"
+
+
+class TestRelativeBehaviour:
+    def test_gpu_advantage_grows_with_skew(self):
+        """A dense-heavy workload gains more from the GPU than a workload
+        of many small ops — the paper's 'especially on workloads with
+        higher skew' observation."""
+        dense_cpu = cpu(1).op_time(BIG)
+        dense_gpu = gpu().op_time(BIG)
+        skinny_cpu = sum(cpu(1).op_time(SMALL) for _ in range(100))
+        skinny_gpu = sum(gpu().op_time(SMALL) for _ in range(100))
+        assert dense_cpu / dense_gpu > skinny_cpu / skinny_gpu
+
+    def test_paper_constants_are_sane(self):
+        # i7-6700k-class core vs GTX 960-class device
+        cpu_model = CPUDeviceModel()
+        gpu_model = GPUDeviceModel()
+        assert 1e9 < cpu_model.per_core_flops < 1e11
+        assert 1e11 < gpu_model.peak_flops < 1e13
+        assert gpu_model.memory_bandwidth > cpu_model.memory_bandwidth

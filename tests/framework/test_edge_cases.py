@@ -1,0 +1,190 @@
+"""Edge-case battery: geometry extremes, degenerate sizes, odd fetches."""
+
+import numpy as np
+import pytest
+
+from repro.framework import layers, ops
+from repro.framework.autodiff import gradients
+from repro.framework.errors import ShapeError
+from repro.framework.optimizers import GradientDescentOptimizer
+from repro.framework.session import Session
+
+
+class TestConvGeometryExtremes:
+    def test_1x1_convolution_is_channel_mix(self, session, rng):
+        x = rng.standard_normal((1, 4, 4, 3)).astype(np.float32)
+        filt = rng.standard_normal((1, 1, 3, 2)).astype(np.float32)
+        out = session.run(ops.conv2d(ops.constant(x), ops.constant(filt),
+                                     padding="VALID"))
+        expected = np.einsum("bhwc,co->bhwo", x, filt[0, 0])
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_kernel_equal_to_input_collapses_spatial(self, session, rng):
+        x = rng.standard_normal((2, 5, 5, 2)).astype(np.float32)
+        filt = rng.standard_normal((5, 5, 2, 4)).astype(np.float32)
+        tensor = ops.conv2d(ops.constant(x), ops.constant(filt),
+                            padding="VALID")
+        assert tensor.shape == (2, 1, 1, 4)
+
+    def test_stride_larger_than_kernel(self, session, rng):
+        x = rng.standard_normal((1, 9, 9, 1)).astype(np.float32)
+        filt = rng.standard_normal((2, 2, 1, 1)).astype(np.float32)
+        tensor = ops.conv2d(ops.constant(x), ops.constant(filt),
+                            strides=(3, 3), padding="VALID")
+        assert tensor.shape == (1, 3, 3, 1)
+        session.run(tensor)  # executes cleanly
+
+    def test_non_square_strides(self, session, rng):
+        x = rng.standard_normal((1, 8, 12, 2)).astype(np.float32)
+        filt = rng.standard_normal((3, 3, 2, 2)).astype(np.float32)
+        tensor = ops.conv2d(ops.constant(x), ops.constant(filt),
+                            strides=(2, 3), padding="SAME")
+        assert tensor.shape == (1, 4, 4, 2)
+
+    def test_max_pool_same_padding_on_negative_values(self, session):
+        # SAME pooling pads with -inf internally; all-negative inputs
+        # must pool to real values, never to the padding.
+        x = np.full((1, 3, 3, 1), -5.0, dtype=np.float32)
+        out = session.run(ops.max_pool(ops.constant(x), ksize=(2, 2),
+                                       strides=(2, 2), padding="SAME"))
+        assert np.all(out == -5.0)
+        assert np.all(np.isfinite(out))
+
+
+class TestLRNExtremes:
+    def test_radius_exceeding_channels(self, session, rng):
+        x = rng.standard_normal((1, 2, 2, 3)).astype(np.float32)
+        out = session.run(ops.lrn(ops.constant(x), depth_radius=10))
+        # Window covers all channels everywhere; finite output.
+        assert np.all(np.isfinite(out))
+
+    def test_lrn_gradient_with_large_radius(self, session, rng):
+        x = ops.placeholder((1, 2, 2, 3), name="x")
+        loss = ops.reduce_sum(ops.square(ops.lrn(x, depth_radius=10)))
+        grad = gradients(loss, [x])[0]
+        value = rng.standard_normal((1, 2, 2, 3)).astype(np.float32)
+        assert np.all(np.isfinite(session.run(grad,
+                                              feed_dict={x: value})))
+
+
+class TestCTCExtremes:
+    def test_variable_input_lengths_mask_frames(self, session, rng):
+        time_steps, batch, classes = 6, 2, 3
+        logits = ops.placeholder((time_steps, batch, classes))
+        labels = ops.constant(np.array([[0], [1]], dtype=np.int32))
+        label_lengths = ops.constant(np.array([1, 1], dtype=np.int32))
+        input_lengths = ops.constant(np.array([6, 3], dtype=np.int32))
+        loss = ops.ctc_loss(logits, labels, label_lengths, input_lengths)
+        values = rng.standard_normal(
+            (time_steps, batch, classes)).astype(np.float32)
+        base = session.run(loss, feed_dict={logits: values})
+        # Frames beyond example 1's length must not affect its loss.
+        perturbed = values.copy()
+        perturbed[4:, 1, :] += 100.0
+        after = session.run(loss, feed_dict={logits: perturbed})
+        np.testing.assert_allclose(base[1], after[1], rtol=1e-5)
+        np.testing.assert_allclose(base[0], after[0], rtol=1e-5)
+
+    def test_mixed_empty_and_nonempty_labels(self, session, rng):
+        logits = ops.placeholder((4, 2, 3))
+        labels = ops.constant(np.array([[0], [0]], dtype=np.int32))
+        label_lengths = ops.constant(np.array([1, 0], dtype=np.int32))
+        input_lengths = ops.constant(np.full(2, 4, dtype=np.int32))
+        loss = ops.ctc_loss(logits, labels, label_lengths, input_lengths)
+        values = rng.standard_normal((4, 2, 3)).astype(np.float32)
+        out = session.run(loss, feed_dict={logits: values})
+        assert np.all(np.isfinite(out))
+        assert out[1] > 0.0  # empty target still has a cost (all blanks)
+
+
+class TestDegenerateSizes:
+    def test_batch_of_one_through_batch_norm(self, fresh_graph, rng):
+        x = ops.placeholder((1, 4), name="x")
+        out = layers.batch_norm(x, name="bn")
+        session = Session(fresh_graph, seed=0)
+        value = session.run(
+            out, feed_dict={x: rng.standard_normal((1, 4))
+                            .astype(np.float32)})
+        # Single-example batch: centered to exactly beta (zeros).
+        np.testing.assert_allclose(value, 0.0, atol=1e-3)
+
+    def test_single_class_softmax(self, session):
+        x = ops.constant(np.array([[3.0]], dtype=np.float32))
+        np.testing.assert_allclose(session.run(ops.softmax(x)), [[1.0]])
+
+    def test_length_one_sequence_rnn(self, fresh_graph, rng):
+        from repro.framework import rnn
+        cell = rnn.LSTMCell(4, 2, rng)
+        x = ops.placeholder((1, 2), name="x")
+        outputs, _ = rnn.static_rnn(cell, [x])
+        session = Session(fresh_graph, seed=0)
+        out = session.run(outputs[0],
+                          feed_dict={x: np.ones((1, 2), np.float32)})
+        assert out.shape == (1, 4)
+
+    def test_scalar_tensor_training(self, fresh_graph):
+        w = ops.variable(np.float32(3.0), name="w")
+        loss = ops.square(w)
+        train = GradientDescentOptimizer(0.1).minimize(loss)
+        session = Session(fresh_graph, seed=0)
+        for _ in range(40):
+            session.run(train)
+        assert abs(float(session.variable_value(w))) < 0.1
+
+    def test_zero_learning_rate_freezes(self, fresh_graph):
+        w = ops.variable(np.ones(3, dtype=np.float32), name="w")
+        loss = ops.reduce_sum(ops.square(w))
+        train = GradientDescentOptimizer(0.0).minimize(loss)
+        session = Session(fresh_graph, seed=0)
+        session.run(train)
+        np.testing.assert_array_equal(session.variable_value(w),
+                                      [1.0, 1.0, 1.0])
+
+
+class TestFetchSemantics:
+    def test_duplicate_fetches(self, session):
+        x = ops.constant(np.array([1.0, 2.0], dtype=np.float32))
+        total = ops.reduce_sum(x)
+        a, b = session.run([total, total])
+        assert a == b == 3.0
+
+    def test_fetch_placeholder_directly(self, session):
+        x = ops.placeholder((2,), name="x")
+        value = np.array([5.0, 6.0], dtype=np.float32)
+        out = session.run(x, feed_dict={x: value})
+        np.testing.assert_array_equal(out, value)
+
+    def test_extra_feeds_for_unused_placeholders_accepted(self, session):
+        used = ops.placeholder((2,), name="used")
+        unused = ops.placeholder((2,), name="unused")
+        out = session.run(ops.reduce_sum(used),
+                          feed_dict={used: np.ones(2, np.float32),
+                                     unused: np.zeros(2, np.float32)})
+        assert out == 2.0
+
+    def test_fetch_variable_directly(self, session):
+        v = ops.variable(np.array([1.5], dtype=np.float32))
+        np.testing.assert_array_equal(session.run(v), [1.5])
+
+
+class TestBroadcastGradientExtremes:
+    def test_scalar_broadcast_into_matrix(self, session):
+        s = ops.placeholder((), name="s")
+        base = ops.constant(np.ones((3, 4), dtype=np.float32))
+        loss = ops.reduce_sum(ops.multiply(base, s))
+        grad = gradients(loss, [s])[0]
+        assert grad.shape == ()
+        value = session.run(grad, feed_dict={s: np.float32(2.0)})
+        assert float(value) == 12.0
+
+    def test_keepdim_one_both_sides(self, session, rng):
+        a = ops.placeholder((3, 1), name="a")
+        b = ops.constant(rng.standard_normal((1, 4)).astype(np.float32))
+        loss = ops.reduce_sum(ops.multiply(a, b))
+        grad = gradients(loss, [a])[0]
+        assert grad.shape == (3, 1)
+        value = session.run(grad,
+                            feed_dict={a: np.ones((3, 1), np.float32)})
+        np.testing.assert_allclose(value[:, 0],
+                                   np.full(3, session.run(b).sum()),
+                                   rtol=1e-5)

@@ -1,0 +1,162 @@
+"""Tests for the extended op vocabulary: Select, Floor/Ceil/Round, Elu,
+leaky_relu, clip_by_value, stack/unstack, GRU."""
+
+import numpy as np
+import pytest
+
+from repro.framework import ops, rnn
+from repro.framework.autodiff import gradients
+from repro.framework.session import Session
+from tests.conftest import numeric_gradient
+
+
+class TestRounding:
+    def test_floor_ceil_round(self, session):
+        x = ops.constant(np.array([-1.5, -0.4, 0.5, 2.7], dtype=np.float32))
+        np.testing.assert_array_equal(session.run(ops.floor(x)),
+                                      [-2.0, -1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(session.run(ops.ceil(x)),
+                                      [-1.0, -0.0, 1.0, 3.0])
+        np.testing.assert_array_equal(session.run(ops.round_(x)),
+                                      [-2.0, -0.0, 0.0, 3.0])
+
+    def test_rounding_blocks_gradients(self):
+        x = ops.placeholder((3,), name="x")
+        loss = ops.reduce_sum(ops.floor(x))
+        assert gradients(loss, [x]) == [None]
+
+
+class TestSelect:
+    def test_chooses_by_mask(self, session):
+        cond = ops.constant(np.array([1.0, 0.0, 1.0], dtype=np.float32))
+        x = ops.constant(np.array([10.0, 20.0, 30.0], dtype=np.float32))
+        y = ops.constant(np.array([-1.0, -2.0, -3.0], dtype=np.float32))
+        out = session.run(ops.select(cond, x, y))
+        np.testing.assert_array_equal(out, [10.0, -2.0, 30.0])
+
+    def test_gradient_routes_through_mask(self, session):
+        cond = ops.constant(np.array([1.0, 0.0], dtype=np.float32))
+        x = ops.placeholder((2,), name="x")
+        y = ops.placeholder((2,), name="y")
+        loss = ops.reduce_sum(ops.select(cond, x, y))
+        gx, gy = gradients(loss, [x, y])
+        feed = {x: np.zeros(2, np.float32), y: np.zeros(2, np.float32)}
+        np.testing.assert_array_equal(session.run(gx, feed_dict=feed),
+                                      [1.0, 0.0])
+        np.testing.assert_array_equal(session.run(gy, feed_dict=feed),
+                                      [0.0, 1.0])
+
+    def test_condition_from_comparison(self, session):
+        x = ops.constant(np.array([-2.0, 3.0], dtype=np.float32))
+        out = session.run(ops.select(ops.greater(x, 0.0), x,
+                                     ops.negative(x)))
+        np.testing.assert_array_equal(out, [2.0, 3.0])  # abs via select
+
+
+class TestActivations:
+    def test_elu_values(self, session):
+        x = ops.constant(np.array([-2.0, 0.0, 3.0], dtype=np.float32))
+        out = session.run(ops.elu(x, alpha=1.0))
+        np.testing.assert_allclose(out, [np.exp(-2.0) - 1.0, 0.0, 3.0],
+                                   rtol=1e-5)
+
+    def test_elu_gradient_numeric(self, session, rng):
+        x = ops.placeholder((6,), name="x")
+        loss = ops.reduce_sum(ops.square(ops.elu(x)))
+        grad = gradients(loss, [x])[0]
+        value = np.array([-2.0, -0.5, -0.1, 0.1, 0.5, 2.0],
+                         dtype=np.float32)
+        analytic = session.run(grad, feed_dict={x: value})
+        for index in [(0,), (2,), (5,)]:
+            numeric = numeric_gradient(session, loss, x, value, index)
+            np.testing.assert_allclose(analytic[index], numeric, rtol=5e-2,
+                                       atol=1e-3)
+
+    def test_leaky_relu(self, session):
+        x = ops.constant(np.array([-10.0, 5.0], dtype=np.float32))
+        out = session.run(ops.leaky_relu(x, alpha=0.1))
+        np.testing.assert_allclose(out, [-1.0, 5.0], rtol=1e-6)
+
+    def test_clip_by_value(self, session):
+        x = ops.constant(np.array([-5.0, 0.5, 5.0], dtype=np.float32))
+        out = session.run(ops.clip_by_value(x, -1.0, 1.0))
+        np.testing.assert_array_equal(out, [-1.0, 0.5, 1.0])
+
+    def test_clip_gradient_zero_outside(self, session):
+        x = ops.placeholder((3,), name="x")
+        loss = ops.reduce_sum(ops.clip_by_value(x, -1.0, 1.0))
+        grad = gradients(loss, [x])[0]
+        value = np.array([-5.0, 0.0, 5.0], dtype=np.float32)
+        np.testing.assert_array_equal(session.run(grad, feed_dict={x: value}),
+                                      [0.0, 1.0, 0.0])
+
+
+class TestStackUnstack:
+    def test_stack_matches_numpy(self, session, rng):
+        arrays = [rng.standard_normal((2, 3)).astype(np.float32)
+                  for _ in range(4)]
+        out = session.run(ops.stack([ops.constant(a) for a in arrays],
+                                    axis=0))
+        np.testing.assert_array_equal(out, np.stack(arrays, axis=0))
+
+    def test_stack_middle_axis(self, session, rng):
+        arrays = [rng.standard_normal((2, 3)).astype(np.float32)
+                  for _ in range(4)]
+        tensor = ops.stack([ops.constant(a) for a in arrays], axis=1)
+        assert tensor.shape == (2, 4, 3)
+
+    def test_unstack_roundtrips(self, session, rng):
+        x = rng.standard_normal((3, 2, 4)).astype(np.float32)
+        parts = ops.unstack(ops.constant(x), axis=0)
+        assert len(parts) == 3
+        assert parts[0].shape == (2, 4)
+        for i, part in enumerate(parts):
+            np.testing.assert_array_equal(session.run(part), x[i])
+
+    def test_unstack_negative_axis(self, session, rng):
+        x = rng.standard_normal((2, 3)).astype(np.float32)
+        parts = ops.unstack(ops.constant(x), axis=-1)
+        assert len(parts) == 3
+        assert parts[0].shape == (2,)
+
+
+class TestGRUCell:
+    def test_step_shapes_and_state_identity(self, fresh_graph, rng):
+        cell = rnn.GRUCell(num_units=5, input_size=3, rng=rng)
+        x = ops.placeholder((2, 3), name="x")
+        out, state = cell(x, cell.zero_state(2))
+        assert out is state
+        assert out.shape == (2, 5)
+
+    def test_interpolates_between_state_and_candidate(self, fresh_graph,
+                                                      rng):
+        """GRU output is a convex combination, so it stays within the
+        [-1, 1] envelope of tanh candidates and initial zero state."""
+        cell = rnn.GRUCell(num_units=4, input_size=4, rng=rng)
+        x = ops.placeholder((1, 4), name="x")
+        out, _ = cell(x, cell.zero_state(1))
+        session = Session(fresh_graph, seed=0)
+        value = session.run(
+            out, feed_dict={x: 100.0 * np.ones((1, 4), dtype=np.float32)})
+        assert np.all(np.abs(value) <= 1.0 + 1e-5)
+
+    def test_unrolls_with_static_rnn(self, fresh_graph, rng):
+        cell = rnn.GRUCell(num_units=4, input_size=2, rng=rng)
+        inputs = [ops.placeholder((2, 2), name=f"t{t}") for t in range(3)]
+        outputs, final_state = rnn.static_rnn(cell, inputs)
+        assert len(outputs) == 3
+        assert final_state.shape == (2, 4)
+
+    def test_trainable_end_to_end(self, fresh_graph, rng):
+        from repro.framework.optimizers import AdamOptimizer
+        cell = rnn.GRUCell(num_units=8, input_size=4, rng=rng)
+        x = ops.placeholder((4, 4), name="x")
+        out, _ = cell(x, cell.zero_state(4))
+        loss = ops.reduce_mean(ops.square(ops.subtract(out, 0.5)))
+        train = AdamOptimizer(0.05).minimize(loss)
+        session = Session(fresh_graph, seed=0)
+        feed = {x: rng.standard_normal((4, 4)).astype(np.float32)}
+        first = session.run(loss, feed_dict=feed)
+        for _ in range(50):
+            session.run(train, feed_dict=feed)
+        assert session.run(loss, feed_dict=feed) < 0.5 * first

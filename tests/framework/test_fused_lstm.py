@@ -1,0 +1,145 @@
+"""Tests for the fused LSTM block op: equivalence, gradients, training."""
+
+import numpy as np
+import pytest
+
+from repro.framework import ops, rnn
+from repro.framework.autodiff import gradients
+from repro.framework.errors import ShapeError
+from repro.framework.ops.rnn_ops import LSTMBlockCellOp, lstm_block_cell
+from repro.framework.optimizers import AdamOptimizer
+from repro.framework.session import Session
+
+
+def matched_cells(fresh_graph, rng, hidden=5, inputs=3):
+    """A composed LSTMCell and a FusedLSTMCell sharing the same weights."""
+    composed = rnn.LSTMCell(hidden, inputs, rng, name="composed")
+    fused = rnn.FusedLSTMCell(hidden, inputs, rng, name="fused")
+    return composed, fused
+
+
+class TestEquivalence:
+    def test_single_step_matches_composed(self, fresh_graph, rng):
+        composed, fused = matched_cells(fresh_graph, rng)
+        x = ops.placeholder((2, 3), name="x")
+        out_composed, (c1, _) = composed(x, composed.zero_state(2))
+        out_fused, (c2, _) = fused(x, fused.zero_state(2))
+        session = Session(fresh_graph, seed=0)
+        # Share weights.
+        session.set_variable(fused.kernel,
+                             session.variable_value(composed.kernel))
+        session.set_variable(fused.bias,
+                             session.variable_value(composed.bias))
+        feed = {x: rng.standard_normal((2, 3)).astype(np.float32)}
+        a, ca = session.run([out_composed, c1], feed_dict=feed)
+        b, cb = session.run([out_fused, c2], feed_dict=feed)
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(ca, cb, rtol=1e-4, atol=1e-5)
+
+    def test_unrolled_sequence_matches(self, fresh_graph, rng):
+        composed, fused = matched_cells(fresh_graph, rng)
+        inputs = [ops.placeholder((1, 3), name=f"t{t}") for t in range(4)]
+        out_composed, _ = rnn.static_rnn(composed, inputs)
+        out_fused, _ = rnn.static_rnn(fused, inputs)
+        session = Session(fresh_graph, seed=0)
+        session.set_variable(fused.kernel,
+                             session.variable_value(composed.kernel))
+        session.set_variable(fused.bias,
+                             session.variable_value(composed.bias))
+        feed = {p: rng.standard_normal((1, 3)).astype(np.float32)
+                for p in inputs}
+        a = session.run(out_composed[-1], feed_dict=feed)
+        b = session.run(out_fused[-1], feed_dict=feed)
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+
+    def test_fused_uses_one_op_per_step(self, fresh_graph, rng):
+        _, fused = matched_cells(fresh_graph, rng)
+        before = len(fresh_graph)
+        x = ops.placeholder((1, 3), name="x")
+        fused(x, fused.zero_state(1))
+        block_ops = [op for op in fresh_graph.operations
+                     if op.type_name == "LSTMBlockCell"]
+        assert len(block_ops) == 1
+
+
+class TestGradients:
+    def test_gradient_matches_numeric(self, fresh_graph, rng):
+        from tests.conftest import numeric_gradient
+        fused = rnn.FusedLSTMCell(4, 3, rng, name="cell")
+        x = ops.placeholder((2, 3), name="x")
+        out, (new_c, _) = fused(x, fused.zero_state(2))
+        loss = ops.reduce_sum(ops.square(out)) \
+            + ops.reduce_sum(ops.square(new_c))
+        session = Session(fresh_graph, seed=0)
+        value = rng.standard_normal((2, 3)).astype(np.float32)
+        grad_x, grad_k = gradients(loss, [x, fused.kernel])
+        analytic_x = session.run(grad_x, feed_dict={x: value})
+        for index in [(0, 0), (1, 2)]:
+            numeric = numeric_gradient(session, loss, x, value, index)
+            np.testing.assert_allclose(analytic_x[index], numeric,
+                                       rtol=5e-2, atol=1e-3)
+
+    def test_kernel_gradient_via_check_gradients(self, fresh_graph, rng):
+        from repro.framework.gradient_check import check_gradients
+        fused = rnn.FusedLSTMCell(3, 2, rng, name="cell")
+        x = ops.placeholder((2, 2), name="x")
+        out, _ = fused(x, fused.zero_state(2))
+        loss = ops.reduce_sum(ops.square(out))
+        session = Session(fresh_graph, seed=0)
+        feed = {x: rng.standard_normal((2, 2)).astype(np.float32)}
+        report = check_gradients(loss, [fused.kernel, fused.bias],
+                                 session, feed_dict=feed,
+                                 samples_per_tensor=4)
+        assert report.max_relative_error < 5e-2, report.render()
+
+    def test_chained_cell_state_gradient(self, fresh_graph, rng):
+        """Gradients must flow through new_c into the previous step."""
+        fused = rnn.FusedLSTMCell(3, 3, rng, name="cell")
+        x1 = ops.placeholder((1, 3), name="x1")
+        x2 = ops.placeholder((1, 3), name="x2")
+        _, state = fused(x1, fused.zero_state(1))
+        out, _ = fused(x2, state)
+        loss = ops.reduce_sum(ops.square(out))
+        grad = gradients(loss, [x1])[0]
+        assert grad is not None
+        session = Session(fresh_graph, seed=0)
+        value = session.run(grad, feed_dict={
+            x1: np.ones((1, 3), np.float32),
+            x2: np.ones((1, 3), np.float32)})
+        assert np.any(value != 0.0)
+
+
+class TestTraining:
+    def test_fused_stack_trains(self, fresh_graph, rng):
+        fused = rnn.FusedLSTMCell(8, 4, rng, name="cell")
+        inputs = [ops.placeholder((4, 4), name=f"t{t}") for t in range(3)]
+        outputs, _ = rnn.static_rnn(fused, inputs)
+        loss = ops.reduce_mean(ops.square(ops.subtract(outputs[-1], 0.5)))
+        train = AdamOptimizer(0.05).minimize(loss)
+        session = Session(fresh_graph, seed=0)
+        feed = {p: rng.standard_normal((4, 4)).astype(np.float32)
+                for p in inputs}
+        first = session.run(loss, feed_dict=feed)
+        for _ in range(60):
+            session.run(train, feed_dict=feed)
+        assert session.run(loss, feed_dict=feed) < 0.3 * first
+
+
+class TestValidation:
+    def test_kernel_shape_checked(self, fresh_graph, rng):
+        x = ops.constant(np.zeros((2, 3), dtype=np.float32))
+        c = ops.constant(np.zeros((2, 4), dtype=np.float32))
+        h = ops.constant(np.zeros((2, 4), dtype=np.float32))
+        bad_kernel = ops.constant(np.zeros((5, 16), dtype=np.float32))
+        bias = ops.constant(np.zeros(16, dtype=np.float32))
+        with pytest.raises(ShapeError, match="kernel"):
+            lstm_block_cell(x, c, h, bad_kernel, bias)
+
+    def test_state_shape_checked(self, fresh_graph):
+        x = ops.constant(np.zeros((2, 3), dtype=np.float32))
+        c = ops.constant(np.zeros((2, 4), dtype=np.float32))
+        h = ops.constant(np.zeros((2, 5), dtype=np.float32))
+        kernel = ops.constant(np.zeros((7, 16), dtype=np.float32))
+        bias = ops.constant(np.zeros(16, dtype=np.float32))
+        with pytest.raises(ShapeError):
+            lstm_block_cell(x, c, h, kernel, bias)

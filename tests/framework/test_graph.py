@@ -1,0 +1,195 @@
+"""Tests for the dataflow graph core: tensors, operations, naming, pruning."""
+
+import numpy as np
+import pytest
+
+from repro.framework import ops
+from repro.framework.errors import GraphError, ShapeError
+from repro.framework.graph import (Graph, OpClass, Tensor, get_default_graph,
+                                   name_scope, reset_default_graph)
+from repro.framework.session import Session
+
+
+class TestTensor:
+    def test_name_combines_op_and_index(self):
+        tensor = ops.constant(np.zeros((2, 3)), name="zeros")
+        assert tensor.name == "zeros:0"
+
+    def test_shape_and_size(self):
+        tensor = ops.constant(np.zeros((2, 3, 4)))
+        assert tensor.shape == (2, 3, 4)
+        assert tensor.ndim == 3
+        assert tensor.size == 24
+
+    def test_scalar_shape(self):
+        tensor = ops.constant(1.5)
+        assert tensor.shape == ()
+        assert tensor.size == 1
+
+    def test_float64_constants_downcast_to_float32(self):
+        tensor = ops.constant(np.zeros(3, dtype=np.float64))
+        assert tensor.dtype == np.float32
+
+    def test_int64_constants_downcast_to_int32(self):
+        tensor = ops.constant(np.zeros(3, dtype=np.int64))
+        assert tensor.dtype == np.int32
+
+    def test_repr_mentions_op_type(self):
+        tensor = ops.constant(1.0, name="c")
+        assert "Const" in repr(tensor)
+
+    def test_operator_sugar_builds_ops(self, session):
+        a = ops.constant(np.array([1.0, 2.0], dtype=np.float32))
+        b = ops.constant(np.array([3.0, 4.0], dtype=np.float32))
+        np.testing.assert_allclose(session.run(a + b), [4.0, 6.0])
+        np.testing.assert_allclose(session.run(a - b), [-2.0, -2.0])
+        np.testing.assert_allclose(session.run(a * b), [3.0, 8.0])
+        np.testing.assert_allclose(session.run(a / b), [1 / 3, 0.5],
+                                   rtol=1e-6)
+        np.testing.assert_allclose(session.run(-a), [-1.0, -2.0])
+        np.testing.assert_allclose(session.run(a ** 2.0), [1.0, 4.0])
+
+    def test_scalar_broadcast_via_operators(self, session):
+        a = ops.constant(np.array([1.0, 2.0], dtype=np.float32))
+        np.testing.assert_allclose(session.run(2.0 * a), [2.0, 4.0])
+        np.testing.assert_allclose(session.run(1.0 - a), [0.0, -1.0])
+
+    def test_matmul_operator(self, session):
+        a = ops.constant(np.eye(2, dtype=np.float32))
+        b = ops.constant(np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32))
+        np.testing.assert_allclose(session.run(a @ b),
+                                   [[1.0, 2.0], [3.0, 4.0]])
+
+
+class TestNaming:
+    def test_duplicate_names_get_suffixes(self):
+        first = ops.constant(1.0, name="c")
+        second = ops.constant(2.0, name="c")
+        assert first.op.name == "c"
+        assert second.op.name == "c_1"
+
+    def test_name_scope_prefixes(self):
+        with name_scope("outer"):
+            with name_scope("inner"):
+                tensor = ops.constant(1.0, name="c")
+        assert tensor.op.name == "outer/inner/c"
+
+    def test_scope_exits_cleanly_on_error(self):
+        graph = get_default_graph()
+        with pytest.raises(ValueError):
+            with graph.name_scope("broken"):
+                raise ValueError("boom")
+        tensor = ops.constant(1.0, name="after")
+        assert tensor.op.name == "after"
+
+    def test_get_operation_by_name(self):
+        tensor = ops.constant(1.0, name="lookup")
+        graph = get_default_graph()
+        assert graph.get_operation("lookup") is tensor.op
+
+    def test_get_operation_unknown_raises(self):
+        with pytest.raises(GraphError):
+            get_default_graph().get_operation("nope")
+
+
+class TestGraphStructure:
+    def test_construction_order_is_topological(self):
+        a = ops.constant(1.0)
+        b = ops.constant(2.0)
+        c = a + b
+        d = c * a
+        graph = get_default_graph()
+        order = {op.name: i for i, op in enumerate(graph.operations)}
+        for op in graph.operations:
+            for tensor in op.inputs:
+                assert order[tensor.op.name] < order[op.name]
+
+    def test_subgraph_prunes_unreachable(self):
+        a = ops.constant(1.0)
+        b = ops.constant(2.0)
+        used = a + a
+        unused = b * b
+        graph = get_default_graph()
+        sub = graph.subgraph([used])
+        names = {op.name for op in sub}
+        assert used.op.name in names
+        assert a.op.name in names
+        assert unused.op.name not in names
+        assert b.op.name not in names
+
+    def test_consumers_tracks_usage(self):
+        a = ops.constant(1.0)
+        first = a + 1.0
+        second = a * 2.0
+        graph = get_default_graph()
+        consumer_types = {op.type_name for op in graph.consumers(a)}
+        assert consumer_types == {"Add", "Mul"}
+
+    def test_cross_graph_input_rejected(self):
+        a = ops.constant(1.0)
+        other = Graph()
+        with other.as_default():
+            with pytest.raises(GraphError, match="different graph"):
+                ops.identity(a)
+
+    def test_raw_value_input_rejected(self):
+        with pytest.raises(GraphError, match="wrap raw values"):
+            from repro.framework.ops.math_ops import Add
+            Add([np.zeros(3), np.zeros(3)])
+
+    def test_len_counts_operations(self):
+        graph = get_default_graph()
+        before = len(graph)
+        ops.constant(1.0)
+        assert len(graph) == before + 1
+
+
+class TestDefaultGraphStack:
+    def test_as_default_scopes_construction(self):
+        outer = get_default_graph()
+        inner = Graph()
+        with inner.as_default():
+            tensor = ops.constant(1.0)
+            assert tensor.graph is inner
+        after = ops.constant(2.0)
+        assert after.graph is outer
+
+    def test_reset_creates_fresh_graph(self):
+        ops.constant(1.0)
+        fresh = reset_default_graph()
+        assert len(fresh) == 0
+        assert get_default_graph() is fresh
+
+
+class TestShapes:
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ShapeError):
+            Tensor(ops.constant(1.0).op, 0, (-1, 2), np.float32)
+
+    def test_single_output_property(self):
+        tensor = ops.constant(1.0)
+        assert tensor.op.output is tensor
+
+    def test_multi_output_property_raises(self):
+        logits = ops.constant(np.zeros((3, 2, 4), dtype=np.float32))
+        labels = ops.constant(np.zeros((2, 1), dtype=np.int32))
+        lengths = ops.constant(np.ones(2, dtype=np.int32))
+        frames = ops.constant(np.full(2, 3, dtype=np.int32))
+        loss = ops.ctc_loss(logits, labels, lengths, frames)
+        with pytest.raises(GraphError, match="outputs"):
+            _ = loss.op.output
+
+
+class TestOpClassTaxonomy:
+    def test_every_registered_type_has_a_class(self):
+        from repro.framework.graph import OP_TYPE_REGISTRY
+        for name, op_cls in OP_TYPE_REGISTRY.items():
+            assert isinstance(op_cls.op_class, OpClass), name
+
+    def test_registry_covers_core_vocabulary(self):
+        from repro.framework.graph import OP_TYPE_REGISTRY
+        expected = {"MatMul", "Conv2D", "Conv2DBackpropFilter",
+                    "Conv2DBackpropInput", "Mul", "Add", "Tile",
+                    "Transpose", "Softmax", "CTCLoss", "ApplyRMSProp",
+                    "StandardRandomNormal", "Gather", "AddN"}
+        assert expected <= set(OP_TYPE_REGISTRY)

@@ -1,0 +1,94 @@
+"""Tests for graph export and structural statistics."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.framework import ops
+from repro.framework.graph import get_default_graph
+from repro.framework.graph_export import graph_stats, to_dot, to_networkx
+
+
+def diamond_graph():
+    """a -> (b, c) -> d: four compute ops plus the constant."""
+    a = ops.constant(np.ones((2, 2), dtype=np.float32), name="a")
+    b = ops.multiply(a, 2.0, name="b")
+    c = ops.multiply(a, 3.0, name="c")
+    d = ops.add(b, c, name="d")
+    return a, b, c, d
+
+
+class TestToNetworkx:
+    def test_nodes_and_edges(self, fresh_graph):
+        a, b, c, d = diamond_graph()
+        nxg = to_networkx(get_default_graph())
+        assert nxg.has_edge("a", "b")
+        assert nxg.has_edge("a", "c")
+        assert nxg.has_edge("b", "d")
+        assert nxg.has_edge("c", "d")
+        assert nxg.nodes["d"]["op_type"] == "Add"
+        assert nxg.nodes["b"]["op_class"] == "ELEMENTWISE"
+
+    def test_is_dag(self, fresh_graph):
+        from repro import workloads
+        model = workloads.create("memnet", config="tiny", seed=0)
+        nxg = to_networkx(model.graph)
+        assert nx.is_directed_acyclic_graph(nxg)
+        assert nxg.number_of_nodes() == len(model.graph)
+
+    def test_pruned_to_fetches(self, fresh_graph):
+        a, b, c, d = diamond_graph()
+        unrelated = ops.constant(1.0, name="unrelated")
+        nxg = to_networkx(get_default_graph(), fetches=[b])
+        # a, b, and the Const op wrapping the scalar multiplier.
+        assert set(nxg.nodes) == {"a", "b", "Const"}
+        # constant scalars in math_ops wrap values: ensure extras pruned
+        assert "unrelated" not in nxg
+
+    def test_edge_elements(self, fresh_graph):
+        a, b, c, d = diamond_graph()
+        nxg = to_networkx(get_default_graph())
+        assert nxg.edges["a", "b"]["elements"] == 4
+
+
+class TestGraphStats:
+    def test_diamond_structure(self, fresh_graph):
+        diamond_graph()
+        stats = graph_stats(get_default_graph())
+        # a(+scalar consts) then b/c then d: critical path through 3
+        # compute levels.
+        assert stats.critical_path_length == 3
+        assert stats.op_type_histogram["Mul"] == 2
+        assert stats.num_ops >= 4
+        assert stats.average_parallelism > 1.0
+
+    def test_workload_stats_sane(self, fresh_graph):
+        from repro import workloads
+        model = workloads.create("vgg", config="tiny", seed=0)
+        stats = graph_stats(model.graph)
+        assert stats.num_ops == len(model.graph)
+        assert stats.critical_path_length > 19  # deeper than the 19 layers
+        assert stats.total_work.flops > 1e6
+        assert stats.op_type_histogram["Conv2D"] == 16
+
+    def test_empty_graph(self, fresh_graph):
+        stats = graph_stats(get_default_graph())
+        assert stats.num_ops == 0
+        assert stats.critical_path_length == 0
+        assert stats.average_parallelism == 0.0
+
+
+class TestToDot:
+    def test_renders_nodes_and_edges(self, fresh_graph):
+        diamond_graph()
+        dot = to_dot(get_default_graph())
+        assert dot.startswith("digraph")
+        assert '"a" -> "b"' in dot
+        assert "2x2" in dot  # edge shape labels
+
+    def test_truncation(self, fresh_graph):
+        for i in range(30):
+            ops.constant(float(i), name=f"c{i}")
+        dot = to_dot(get_default_graph(), max_ops=10)
+        assert "truncated" in dot
+        assert dot.count("fillcolor") == 10

@@ -1,0 +1,69 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+
+from repro.framework import initializers
+
+
+class TestBasics:
+    def test_zeros_and_ones(self, rng):
+        assert not initializers.zeros(rng, (3, 3)).any()
+        assert initializers.ones(rng, (3, 3)).all()
+
+    def test_constant_fill(self, rng):
+        out = initializers.constant_fill(0.7)(rng, (4,))
+        np.testing.assert_allclose(out, 0.7)
+
+    def test_all_emit_float32(self, rng):
+        for init in (initializers.zeros, initializers.ones,
+                     initializers.glorot_uniform, initializers.he_normal,
+                     initializers.truncated_normal(0.1),
+                     initializers.uniform(0.5)):
+            assert init(rng, (3, 4)).dtype == np.float32
+
+
+class TestGlorot:
+    def test_limit_respected(self, rng):
+        shape = (100, 200)
+        out = initializers.glorot_uniform(rng, shape)
+        limit = np.sqrt(6.0 / (100 + 200))
+        assert np.abs(out).max() <= limit
+
+    def test_conv_fans_use_receptive_field(self, rng):
+        out = initializers.glorot_uniform(rng, (3, 3, 16, 32))
+        limit = np.sqrt(6.0 / (9 * 16 + 9 * 32))
+        assert np.abs(out).max() <= limit
+
+
+class TestHeNormal:
+    def test_variance_scales_with_fan_in(self, rng):
+        out = initializers.he_normal(rng, (1000, 50))
+        expected_std = np.sqrt(2.0 / 1000)
+        assert abs(out.std() - expected_std) < 0.15 * expected_std
+
+
+class TestTruncatedNormal:
+    def test_no_outliers_beyond_two_sigma(self, rng):
+        init = initializers.truncated_normal(0.5)
+        out = init(rng, (200, 200))
+        assert np.abs(out).max() <= 2.0 * 0.5 + 1e-6
+
+    def test_stddev_scaling(self, rng):
+        small = initializers.truncated_normal(0.01)(rng, (100, 100))
+        large = initializers.truncated_normal(1.0)(rng, (100, 100))
+        assert large.std() > 10 * small.std()
+
+
+class TestUniform:
+    def test_symmetric_range(self, rng):
+        out = initializers.uniform(0.3)(rng, (100, 100))
+        assert out.min() >= -0.3
+        assert out.max() <= 0.3
+        assert abs(out.mean()) < 0.01
+
+
+class TestDeterminism:
+    def test_same_seed_same_weights(self):
+        a = initializers.glorot_uniform(np.random.default_rng(5), (10, 10))
+        b = initializers.glorot_uniform(np.random.default_rng(5), (10, 10))
+        np.testing.assert_array_equal(a, b)

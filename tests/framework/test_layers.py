@@ -1,0 +1,86 @@
+"""Tests for layer builders (dense, conv, batch norm, embedding)."""
+
+import numpy as np
+
+from repro.framework import layers, ops
+from repro.framework.session import Session
+
+
+class TestDense:
+    def test_output_shape_and_value(self, fresh_graph, rng):
+        x = ops.placeholder((3, 5), name="x")
+        out = layers.dense(x, units=7, rng=rng, name="fc")
+        assert out.shape == (3, 7)
+        session = Session(fresh_graph, seed=0)
+        x_val = rng.standard_normal((3, 5)).astype(np.float32)
+        value = session.run(out, feed_dict={x: x_val})
+        graph = fresh_graph
+        weights = session.variable_value(
+            graph.get_operation("fc/weights").output)
+        bias = session.variable_value(graph.get_operation("fc/bias").output)
+        np.testing.assert_allclose(value, x_val @ weights + bias, rtol=1e-4)
+
+    def test_activation_applied(self, fresh_graph, rng):
+        x = ops.placeholder((2, 4), name="x")
+        out = layers.dense(x, units=3, rng=rng, activation=ops.relu)
+        session = Session(fresh_graph, seed=0)
+        value = session.run(
+            out, feed_dict={x: rng.standard_normal((2, 4)).astype(np.float32)})
+        assert np.all(value >= 0.0)
+
+
+class TestConvLayer:
+    def test_shapes_with_stride(self, fresh_graph, rng):
+        x = ops.placeholder((2, 16, 16, 3), name="x")
+        out = layers.conv2d_layer(x, filters=8, kernel_size=3, rng=rng,
+                                  strides=2)
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_no_bias_option(self, fresh_graph, rng):
+        x = ops.placeholder((1, 8, 8, 1), name="x")
+        layers.conv2d_layer(x, filters=4, kernel_size=3, rng=rng,
+                            use_bias=False, name="nobias")
+        names = [op.name for op in fresh_graph.operations]
+        assert not any("nobias/bias" in name for name in names)
+
+
+class TestBatchNorm:
+    def test_normalizes_to_zero_mean_unit_variance(self, fresh_graph, rng):
+        x = ops.placeholder((64, 8), name="x")
+        out = layers.batch_norm(x, name="bn")
+        session = Session(fresh_graph, seed=0)
+        skewed = (rng.standard_normal((64, 8)) * 5.0 + 3.0).astype(np.float32)
+        value = session.run(out, feed_dict={x: skewed})
+        np.testing.assert_allclose(value.mean(axis=0), np.zeros(8),
+                                   atol=1e-3)
+        np.testing.assert_allclose(value.std(axis=0), np.ones(8), atol=1e-2)
+
+    def test_gamma_beta_rescale(self, fresh_graph, rng):
+        x = ops.placeholder((32, 4), name="x")
+        out = layers.batch_norm(x, name="bn")
+        session = Session(fresh_graph, seed=0)
+        gamma = fresh_graph.get_operation("bn/gamma").output
+        beta = fresh_graph.get_operation("bn/beta").output
+        session.set_variable(gamma, np.full(4, 2.0, dtype=np.float32))
+        session.set_variable(beta, np.full(4, 10.0, dtype=np.float32))
+        value = session.run(
+            out,
+            feed_dict={x: rng.standard_normal((32, 4)).astype(np.float32)})
+        np.testing.assert_allclose(value.mean(axis=0), np.full(4, 10.0),
+                                   atol=1e-2)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, fresh_graph, rng):
+        ids = ops.placeholder((4, 6), dtype=np.int32, name="ids")
+        out = layers.embedding(ids, vocab_size=100, embed_dim=16, rng=rng)
+        assert out.shape == (4, 6, 16)
+
+    def test_same_id_same_vector(self, fresh_graph, rng):
+        ids = ops.placeholder((1, 3), dtype=np.int32, name="ids")
+        out = layers.embedding(ids, vocab_size=10, embed_dim=4, rng=rng)
+        session = Session(fresh_graph, seed=0)
+        value = session.run(
+            out, feed_dict={ids: np.array([[7, 7, 2]], dtype=np.int32)})
+        np.testing.assert_array_equal(value[0, 0], value[0, 1])
+        assert not np.array_equal(value[0, 0], value[0, 2])

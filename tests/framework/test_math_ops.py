@@ -1,0 +1,187 @@
+"""Correctness tests for elementwise and matrix operations."""
+
+import numpy as np
+import pytest
+
+from repro.framework import ops
+from repro.framework.errors import ShapeError
+
+
+def run(session, tensor):
+    return session.run(tensor)
+
+
+class TestBinaryElementwise:
+    CASES = [
+        (ops.add, np.add),
+        (ops.subtract, np.subtract),
+        (ops.multiply, np.multiply),
+        (ops.divide, np.divide),
+        (ops.maximum, np.maximum),
+        (ops.minimum, np.minimum),
+    ]
+
+    @pytest.mark.parametrize("op_fn,np_fn", CASES,
+                             ids=[c[0].__name__ for c in CASES])
+    def test_matches_numpy(self, session, rng, op_fn, np_fn):
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal((3, 4)).astype(np.float32) + 2.0
+        out = run(session, op_fn(ops.constant(a), ops.constant(b)))
+        np.testing.assert_allclose(out, np_fn(a, b), rtol=1e-6)
+
+    def test_power(self, session):
+        a = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        out = run(session, ops.power(ops.constant(a), 3.0))
+        np.testing.assert_allclose(out, a ** 3, rtol=1e-6)
+
+    @pytest.mark.parametrize("shape_a,shape_b", [
+        ((3, 4), (4,)),
+        ((3, 1), (1, 4)),
+        ((2, 3, 4), (3, 4)),
+        ((5,), ()),
+    ])
+    def test_broadcasting_shapes(self, session, rng, shape_a, shape_b):
+        a = rng.standard_normal(shape_a).astype(np.float32)
+        b = rng.standard_normal(shape_b).astype(np.float32)
+        tensor = ops.add(ops.constant(a), ops.constant(b))
+        assert tensor.shape == np.broadcast_shapes(shape_a, shape_b)
+        np.testing.assert_allclose(run(session, tensor), a + b, rtol=1e-6)
+
+    def test_incompatible_broadcast_rejected(self):
+        a = ops.constant(np.zeros((3, 4), dtype=np.float32))
+        b = ops.constant(np.zeros((2, 4), dtype=np.float32))
+        with pytest.raises(ShapeError, match="broadcast"):
+            ops.add(a, b)
+
+
+class TestComparisons:
+    def test_equal_emits_float_mask(self, session):
+        a = ops.constant(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        b = ops.constant(np.array([1.0, 0.0, 3.0], dtype=np.float32))
+        out = run(session, ops.equal(a, b))
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(out, [1.0, 0.0, 1.0])
+
+    @pytest.mark.parametrize("op_fn,np_fn", [
+        (ops.greater, np.greater),
+        (ops.greater_equal, np.greater_equal),
+        (ops.less, np.less),
+        (ops.less_equal, np.less_equal),
+    ])
+    def test_orderings(self, session, rng, op_fn, np_fn):
+        a = rng.standard_normal(10).astype(np.float32)
+        b = rng.standard_normal(10).astype(np.float32)
+        out = run(session, op_fn(ops.constant(a), ops.constant(b)))
+        np.testing.assert_array_equal(out, np_fn(a, b).astype(np.float32))
+
+
+class TestUnary:
+    CASES = [
+        (ops.negative, lambda x: -x),
+        (ops.exp, np.exp),
+        (ops.sqrt, np.sqrt),
+        (ops.square, np.square),
+        (ops.abs_, np.abs),
+        (ops.sign, np.sign),
+        (ops.tanh, np.tanh),
+    ]
+
+    @pytest.mark.parametrize("op_fn,np_fn", CASES,
+                             ids=[c[0].__name__ for c in CASES])
+    def test_matches_numpy(self, session, rng, op_fn, np_fn):
+        x = np.abs(rng.standard_normal((4, 5))).astype(np.float32) + 0.1
+        out = run(session, op_fn(ops.constant(x)))
+        np.testing.assert_allclose(out, np_fn(x), rtol=1e-5)
+
+    def test_log(self, session):
+        x = np.array([0.5, 1.0, np.e], dtype=np.float32)
+        out = run(session, ops.log(ops.constant(x)))
+        np.testing.assert_allclose(out, np.log(x), rtol=1e-6)
+
+    def test_sigmoid_is_stable_for_large_inputs(self, session):
+        x = np.array([-500.0, -10.0, 0.0, 10.0, 500.0], dtype=np.float32)
+        out = run(session, ops.sigmoid(ops.constant(x)))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out[[0, 4]], [0.0, 1.0], atol=1e-4)
+        np.testing.assert_allclose(out[2], 0.5)
+
+    def test_relu(self, session):
+        x = np.array([-2.0, 0.0, 3.0], dtype=np.float32)
+        out = run(session, ops.relu(ops.constant(x)))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 3.0])
+
+    def test_cast(self, session):
+        x = ops.constant(np.array([1.7, -2.3], dtype=np.float32))
+        out = run(session, ops.cast(x, np.int32))
+        assert out.dtype == np.int32
+        np.testing.assert_array_equal(out, [1, -2])
+
+
+class TestAddN:
+    def test_sums_many_inputs(self, session, rng):
+        arrays = [rng.standard_normal((2, 3)).astype(np.float32)
+                  for _ in range(5)]
+        out = run(session, ops.add_n([ops.constant(a) for a in arrays]))
+        np.testing.assert_allclose(out, sum(arrays), rtol=1e-6)
+
+    def test_single_input_passthrough(self):
+        tensor = ops.constant(np.zeros(3, dtype=np.float32))
+        assert ops.add_n([tensor]) is tensor
+
+    def test_mismatched_shapes_rejected(self):
+        a = ops.constant(np.zeros(3, dtype=np.float32))
+        b = ops.constant(np.zeros(4, dtype=np.float32))
+        with pytest.raises(ShapeError, match="share a shape"):
+            ops.add_n([a, b])
+
+    def test_does_not_mutate_inputs(self, session):
+        base = np.ones(3, dtype=np.float32)
+        a = ops.constant(base)
+        total = ops.add_n([a, a, a])
+        np.testing.assert_allclose(run(session, total), [3.0, 3.0, 3.0])
+        # The Const op's stored array must be untouched by accumulation.
+        np.testing.assert_allclose(run(session, a), [1.0, 1.0, 1.0])
+
+
+class TestMatMul:
+    @pytest.mark.parametrize("ta,tb", [(False, False), (True, False),
+                                       (False, True), (True, True)])
+    def test_transpose_combinations(self, session, rng, ta, tb):
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 5)).astype(np.float32)
+        a_in = a.T.copy() if ta else a
+        b_in = b.T.copy() if tb else b
+        out = run(session, ops.matmul(ops.constant(a_in), ops.constant(b_in),
+                                      transpose_a=ta, transpose_b=tb))
+        np.testing.assert_allclose(out, a @ b, rtol=1e-5)
+
+    def test_inner_dimension_mismatch_rejected(self):
+        a = ops.constant(np.zeros((3, 4), dtype=np.float32))
+        b = ops.constant(np.zeros((5, 6), dtype=np.float32))
+        with pytest.raises(ShapeError, match="inner dimensions"):
+            ops.matmul(a, b)
+
+    def test_rank_mismatch_rejected(self):
+        a = ops.constant(np.zeros((3, 4, 5), dtype=np.float32))
+        b = ops.constant(np.zeros((5, 6), dtype=np.float32))
+        with pytest.raises(ShapeError, match="rank-2"):
+            ops.matmul(a, b)
+
+
+class TestBatchMatMul:
+    @pytest.mark.parametrize("adj_a,adj_b", [(False, False), (True, False),
+                                             (False, True), (True, True)])
+    def test_adjoint_combinations(self, session, rng, adj_a, adj_b):
+        a = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        b = rng.standard_normal((2, 4, 5)).astype(np.float32)
+        a_in = np.swapaxes(a, 1, 2).copy() if adj_a else a
+        b_in = np.swapaxes(b, 1, 2).copy() if adj_b else b
+        out = run(session, ops.batch_matmul(
+            ops.constant(a_in), ops.constant(b_in), adj_a=adj_a, adj_b=adj_b))
+        np.testing.assert_allclose(out, a @ b, rtol=1e-5)
+
+    def test_batch_dim_mismatch_rejected(self):
+        a = ops.constant(np.zeros((2, 3, 4), dtype=np.float32))
+        b = ops.constant(np.zeros((3, 4, 5), dtype=np.float32))
+        with pytest.raises(ShapeError, match="batch dims"):
+            ops.batch_matmul(a, b)

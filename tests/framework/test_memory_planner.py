@@ -1,0 +1,71 @@
+"""Tests for the static memory planner vs the executor's measurement."""
+
+import numpy as np
+import pytest
+
+from repro import workloads
+from repro.framework import ops
+from repro.framework.graph import get_default_graph
+from repro.framework.graph_export import static_peak_bytes
+from repro.framework.session import Session
+from repro.profiling.tracer import Tracer
+
+
+class TestStaticPlanMatchesExecutor:
+    # Exact agreement is a strong invariant: it fails if any kernel
+    # silently returns float64 (8-byte) arrays, which is how a float64
+    # leak in ApplyAdam was originally caught.
+    @pytest.mark.parametrize("name", ["memnet", "autoenc", "deepq",
+                                      "seq2seq", "speech", "alexnet"])
+    def test_training_peak_exact(self, name):
+        model = workloads.create(name, config="tiny", seed=0)
+        fetches = [model.loss, model.train_step]
+        planned = static_peak_bytes(model.graph, fetches=fetches)
+        tracer = Tracer()
+        model.session.run(fetches, feed_dict=model.sample_feed(),
+                          tracer=tracer)
+        measured = tracer.step_peak_bytes[0]
+        assert planned == measured, (planned, measured)
+
+    def test_inference_peak_exact(self):
+        model = workloads.create("autoenc", config="tiny", seed=0)
+        fetches = [model.inference_output]
+        planned = static_peak_bytes(model.graph, fetches=fetches)
+        tracer = Tracer()
+        model.session.run(fetches,
+                          feed_dict=model.sample_feed(training=False),
+                          tracer=tracer)
+        assert planned == tracer.step_peak_bytes[0]
+
+    def test_plan_without_running(self, fresh_graph):
+        """The planner needs no session, no data, no execution."""
+        x = ops.placeholder((64, 64), name="x")
+        y = ops.matmul(x, x)
+        z = ops.reduce_sum(y)
+        planned = static_peak_bytes(get_default_graph(), fetches=[z])
+        # x (16KB) + y (16KB) + scalar, with x freed only after y's
+        # consumer... peak = x + y + z at least.
+        assert planned >= 2 * 64 * 64 * 4
+
+    def test_freeing_reduces_peak_versus_sum(self, fresh_graph):
+        """A long chain reuses memory: peak ~ two live tensors, not the
+        sum of all intermediates."""
+        x = ops.constant(np.ones((128, 128), dtype=np.float32))
+        out = x
+        for _ in range(10):
+            out = ops.multiply(out, 1.01)
+        planned = static_peak_bytes(get_default_graph(), fetches=[out])
+        tensor_bytes = 128 * 128 * 4
+        assert planned < 4 * tensor_bytes  # not 11 tensors
+        assert planned >= 2 * tensor_bytes
+
+
+class TestPlannerScaling:
+    def test_bigger_batch_bigger_plan(self):
+        small = workloads.MemN2N(config={"batch_size": 4}, seed=0)
+        large = workloads.MemN2N(config={"batch_size": 32}, seed=0)
+        plan_small = static_peak_bytes(
+            small.graph, fetches=[small.loss, small.train_step])
+        plan_large = static_peak_bytes(
+            large.graph, fetches=[large.loss, large.train_step])
+        assert plan_large > plan_small

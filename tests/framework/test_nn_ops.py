@@ -1,0 +1,194 @@
+"""Correctness tests for neural-network operations.
+
+Convolution and pooling are cross-checked against brute-force reference
+implementations written directly from the definitions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.framework import ops
+from repro.framework.errors import ShapeError
+from repro.framework.ops.nn_ops import conv_output_dim
+
+
+def reference_conv2d(x, filt, strides, padding):
+    """Direct six-loop convolution used as a test oracle."""
+    batch, in_h, in_w, in_c = x.shape
+    f_h, f_w, _, out_c = filt.shape
+    s_h, s_w = strides
+    out_h, pad_t, _ = conv_output_dim(in_h, f_h, s_h, padding)
+    out_w, pad_l, _ = conv_output_dim(in_w, f_w, s_w, padding)
+    padded = np.zeros((batch, in_h + f_h, in_w + f_w, in_c), dtype=x.dtype)
+    padded[:, pad_t:pad_t + in_h, pad_l:pad_l + in_w, :] = x
+    out = np.zeros((batch, out_h, out_w, out_c), dtype=np.float64)
+    for b in range(batch):
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = padded[b, i * s_h:i * s_h + f_h,
+                               j * s_w:j * s_w + f_w, :]
+                for k in range(out_c):
+                    out[b, i, j, k] = np.sum(patch * filt[:, :, :, k])
+    return out.astype(np.float32)
+
+
+class TestConvOutputDim:
+    def test_valid(self):
+        assert conv_output_dim(10, 3, 1, "VALID") == (8, 0, 0)
+        assert conv_output_dim(10, 3, 2, "VALID") == (4, 0, 0)
+
+    def test_same(self):
+        out, before, after = conv_output_dim(10, 3, 1, "SAME")
+        assert out == 10
+        assert before + after == 2
+
+    def test_same_with_stride(self):
+        out, _, _ = conv_output_dim(10, 3, 2, "SAME")
+        assert out == 5
+
+    def test_valid_too_small_rejected(self):
+        with pytest.raises(ShapeError):
+            conv_output_dim(2, 3, 1, "VALID")
+
+    def test_unknown_padding_rejected(self):
+        with pytest.raises(ShapeError, match="padding"):
+            conv_output_dim(10, 3, 1, "FULL")
+
+
+class TestConv2D:
+    @pytest.mark.parametrize("padding", ["SAME", "VALID"])
+    @pytest.mark.parametrize("strides", [(1, 1), (2, 2), (2, 1)])
+    def test_matches_reference(self, session, rng, padding, strides):
+        x = rng.standard_normal((2, 7, 8, 3)).astype(np.float32)
+        filt = rng.standard_normal((3, 3, 3, 4)).astype(np.float32)
+        out = session.run(ops.conv2d(ops.constant(x), ops.constant(filt),
+                                     strides=strides, padding=padding))
+        expected = reference_conv2d(x, filt, strides, padding)
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-4)
+
+    def test_channel_mismatch_rejected(self):
+        x = ops.constant(np.zeros((1, 8, 8, 3), dtype=np.float32))
+        filt = ops.constant(np.zeros((3, 3, 4, 8), dtype=np.float32))
+        with pytest.raises(ShapeError, match="channels"):
+            ops.conv2d(x, filt)
+
+    def test_output_shape_same_padding(self):
+        x = ops.constant(np.zeros((2, 16, 16, 3), dtype=np.float32))
+        filt = ops.constant(np.zeros((5, 5, 3, 8), dtype=np.float32))
+        assert ops.conv2d(x, filt, strides=(2, 2)).shape == (2, 8, 8, 8)
+
+
+class TestPooling:
+    def test_max_pool_matches_reference(self, session, rng):
+        x = rng.standard_normal((2, 6, 6, 3)).astype(np.float32)
+        out = session.run(ops.max_pool(ops.constant(x), ksize=(2, 2),
+                                       strides=(2, 2)))
+        expected = x.reshape(2, 3, 2, 3, 2, 3).max(axis=(2, 4))
+        np.testing.assert_allclose(out, expected)
+
+    def test_max_pool_overlapping_windows(self, session, rng):
+        x = rng.standard_normal((1, 5, 5, 1)).astype(np.float32)
+        out = session.run(ops.max_pool(ops.constant(x), ksize=(3, 3),
+                                       strides=(2, 2), padding="VALID"))
+        assert out.shape == (1, 2, 2, 1)
+        assert out[0, 0, 0, 0] == x[0, :3, :3, 0].max()
+
+    def test_avg_pool_matches_reference(self, session, rng):
+        x = rng.standard_normal((2, 6, 6, 3)).astype(np.float32)
+        out = session.run(ops.avg_pool(ops.constant(x), ksize=(2, 2),
+                                       strides=(2, 2)))
+        expected = x.reshape(2, 3, 2, 3, 2, 3).mean(axis=(2, 4))
+        np.testing.assert_allclose(out, expected, rtol=1e-6)
+
+
+class TestBiasAdd:
+    def test_adds_to_trailing_axis(self, session, rng):
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        bias = rng.standard_normal(4).astype(np.float32)
+        out = session.run(ops.bias_add(ops.constant(x), ops.constant(bias)))
+        np.testing.assert_allclose(out, x + bias, rtol=1e-6)
+
+    def test_wrong_bias_length_rejected(self):
+        x = ops.constant(np.zeros((2, 4), dtype=np.float32))
+        bias = ops.constant(np.zeros(3, dtype=np.float32))
+        with pytest.raises(ShapeError, match="trailing"):
+            ops.bias_add(x, bias)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, session, rng):
+        x = rng.standard_normal((5, 7)).astype(np.float32)
+        out = session.run(ops.softmax(ops.constant(x)))
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(5), rtol=1e-5)
+        assert np.all(out >= 0.0)
+
+    def test_stable_for_large_logits(self, session):
+        x = np.array([[1000.0, 1000.0, -1000.0]], dtype=np.float32)
+        out = session.run(ops.softmax(ops.constant(x)))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out[0, :2], [0.5, 0.5], rtol=1e-5)
+
+    def test_log_softmax_consistent(self, session, rng):
+        x = rng.standard_normal((4, 6)).astype(np.float32)
+        log_out = session.run(ops.log_softmax(ops.constant(x)))
+        soft_out = session.run(ops.softmax(ops.constant(x)))
+        np.testing.assert_allclose(np.exp(log_out), soft_out, rtol=1e-5)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_matches_manual(self, session, rng):
+        logits = rng.standard_normal((4, 6)).astype(np.float32)
+        labels = np.eye(6, dtype=np.float32)[[0, 2, 5, 1]]
+        out = session.run(ops.softmax_cross_entropy_with_logits(
+            ops.constant(logits), ops.constant(labels)))
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1,
+                                                         keepdims=True))
+        expected = -(labels * log_probs).sum(axis=1)
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_perfect_prediction_near_zero_loss(self, session):
+        logits = np.array([[100.0, 0.0, 0.0]], dtype=np.float32)
+        labels = np.array([[1.0, 0.0, 0.0]], dtype=np.float32)
+        out = session.run(ops.softmax_cross_entropy_with_logits(
+            ops.constant(logits), ops.constant(labels)))
+        assert out[0] < 1e-3
+
+    def test_shape_mismatch_rejected(self):
+        logits = ops.constant(np.zeros((4, 6), dtype=np.float32))
+        labels = ops.constant(np.zeros((4, 5), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            ops.softmax_cross_entropy_with_logits(logits, labels)
+
+
+class TestLRN:
+    def test_matches_reference(self, session, rng):
+        x = rng.standard_normal((2, 3, 3, 8)).astype(np.float32)
+        radius, bias, alpha, beta = 2, 1.0, 1e-4, 0.75
+        out = session.run(ops.lrn(ops.constant(x), depth_radius=radius,
+                                  bias=bias, alpha=alpha, beta=beta))
+        expected = np.empty_like(x)
+        for c in range(8):
+            lo, hi = max(0, c - radius), min(8, c + radius + 1)
+            denom = bias + alpha * np.square(x[..., lo:hi]).sum(axis=-1)
+            expected[..., c] = x[..., c] / denom ** beta
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+
+class TestDropout:
+    def test_zeroes_expected_fraction(self, session):
+        x = ops.constant(np.ones((200, 200), dtype=np.float32))
+        out = session.run(ops.dropout(x, rate=0.3))
+        zero_fraction = float((out == 0.0).mean())
+        assert 0.25 < zero_fraction < 0.35
+
+    def test_survivors_rescaled(self, session):
+        x = ops.constant(np.ones((100, 100), dtype=np.float32))
+        out = session.run(ops.dropout(x, rate=0.5))
+        survivors = out[out != 0.0]
+        np.testing.assert_allclose(survivors, 2.0, rtol=1e-6)
+
+    def test_preserves_expectation(self, session):
+        x = ops.constant(np.ones((300, 300), dtype=np.float32))
+        out = session.run(ops.dropout(x, rate=0.4))
+        assert abs(out.mean() - 1.0) < 0.02

@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for optimizer update math."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.framework import graph as graph_module
+from repro.framework import ops
+from repro.framework.optimizers import (AdamOptimizer,
+                                        GradientDescentOptimizer,
+                                        MomentumOptimizer,
+                                        RMSPropOptimizer)
+from repro.framework.session import Session
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def quadratic(initial, target):
+    graph = graph_module.reset_default_graph()
+    w = ops.variable(initial.astype(np.float32), name="w")
+    loss = ops.reduce_sum(ops.square(ops.subtract(
+        w, ops.constant(target.astype(np.float32)))))
+    return graph, w, loss
+
+
+def vectors():
+    return hnp.arrays(np.float32, st.integers(1, 6),
+                      elements=st.floats(-5.0, 5.0, width=32))
+
+
+class TestSGDProperties:
+    @settings(**SETTINGS)
+    @given(initial=vectors(), target=vectors(),
+           lr=st.floats(1e-3, 0.4))
+    def test_step_matches_closed_form(self, initial, target, lr):
+        if initial.shape != target.shape:
+            target = np.resize(target, initial.shape)
+        graph, w, loss = quadratic(initial, target)
+        train = GradientDescentOptimizer(lr).minimize(loss)
+        session = Session(graph, seed=0)
+        session.run(train)
+        expected = initial - lr * 2.0 * (initial - target)
+        np.testing.assert_allclose(session.variable_value(w), expected,
+                                   rtol=1e-4, atol=1e-5)
+
+    @settings(**SETTINGS)
+    @given(initial=vectors(), lr=st.floats(1e-3, 0.4))
+    def test_loss_never_increases_on_quadratic(self, initial, lr):
+        # For f = ||w - t||^2 gradient descent with lr < 0.5 contracts.
+        target = np.zeros_like(initial)
+        graph, w, loss = quadratic(initial, target)
+        train = GradientDescentOptimizer(lr).minimize(loss)
+        session = Session(graph, seed=0)
+        previous = float(session.run(loss))
+        for _ in range(5):
+            session.run(train)
+            current = float(session.run(loss))
+            assert current <= previous + 1e-5
+            previous = current
+
+
+class TestAdaptiveOptimizerProperties:
+    @settings(**SETTINGS)
+    @given(initial=vectors())
+    def test_adam_first_step_magnitude_bounded_by_lr(self, initial):
+        """Adam's bias-corrected first step has magnitude ~lr regardless
+        of gradient scale — its defining property."""
+        target = initial + np.float32(100.0)  # huge gradient
+        graph, w, loss = quadratic(initial, target)
+        lr = 0.05
+        train = AdamOptimizer(lr).minimize(loss)
+        session = Session(graph, seed=0)
+        session.run(train)
+        step = session.variable_value(w) - initial
+        assert np.all(np.abs(step) <= lr * 1.01)
+        assert np.all(np.abs(step) >= lr * 0.5)
+
+    @settings(**SETTINGS)
+    @given(initial=vectors(), scale=st.floats(0.1, 100.0))
+    def test_rmsprop_step_scale_invariant(self, initial, scale):
+        """Scaling the loss (hence gradient) leaves RMSProp's first-step
+        direction magnitude nearly unchanged."""
+        def first_step(loss_scale):
+            graph = graph_module.reset_default_graph()
+            w = ops.variable(initial.astype(np.float32), name="w")
+            loss = ops.multiply(
+                ops.reduce_sum(ops.square(ops.add(w, 1.0))),
+                float(loss_scale))
+            train = RMSPropOptimizer(0.01).minimize(loss)
+            session = Session(graph, seed=0)
+            session.run(train)
+            return session.variable_value(w) - initial
+
+        base = first_step(1.0)
+        scaled = first_step(scale)
+        np.testing.assert_allclose(np.abs(scaled), np.abs(base), rtol=0.3,
+                                   atol=1e-4)
+
+    @settings(**SETTINGS)
+    @given(initial=vectors(), momentum=st.floats(0.0, 0.95))
+    def test_momentum_zero_equals_sgd(self, initial, momentum):
+        target = np.zeros_like(initial)
+        lr = 0.1
+
+        def final(optimizer):
+            graph, w, loss = quadratic(initial, target)
+            train = optimizer.minimize(loss)
+            session = Session(graph, seed=0)
+            session.run(train)
+            return session.variable_value(w)
+
+        sgd = final(GradientDescentOptimizer(lr))
+        with_momentum = final(MomentumOptimizer(lr, momentum=0.0))
+        np.testing.assert_allclose(sgd, with_momentum, rtol=1e-5,
+                                   atol=1e-6)

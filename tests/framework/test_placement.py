@@ -1,0 +1,157 @@
+"""Tests for multi-device placement simulation."""
+
+import numpy as np
+import pytest
+
+from repro.framework import ops
+from repro.framework.graph import get_default_graph
+from repro.framework.placement import (DEFAULT_CPU_ONLY_TYPES,
+                                       PlacementError, TransferModel,
+                                       default_devices,
+                                       gpu_with_cpu_fallback, place_all,
+                                       simulate_schedule)
+
+
+def chain_graph(length=4, size=64):
+    """A linear chain of matmuls."""
+    x = ops.constant(np.ones((size, size), dtype=np.float32), name="x")
+    out = x
+    for _ in range(length):
+        out = ops.matmul(out, x)
+    return out
+
+
+class TestTransferModel:
+    def test_latency_plus_bandwidth(self):
+        model = TransferModel(bandwidth=1e9, latency=1e-5)
+        assert model.transfer_time(1e9) == pytest.approx(1.0 + 1e-5)
+
+    def test_zero_bytes_free(self):
+        assert TransferModel().transfer_time(0) == 0.0
+
+
+class TestSimulateSchedule:
+    def test_single_device_serializes(self, fresh_graph):
+        out = chain_graph()
+        ops_list = get_default_graph().subgraph([out])
+        result = simulate_schedule(ops_list, place_all("cpu"),
+                                   default_devices())
+        # No overlap on a single device: makespan equals busy time.
+        assert result.makespan == pytest.approx(result.device_busy["cpu"])
+        assert result.transfer_bytes == 0.0
+
+    def test_chain_respects_dependencies(self, fresh_graph):
+        out = chain_graph()
+        ops_list = get_default_graph().subgraph([out])
+        result = simulate_schedule(ops_list, place_all("gpu"),
+                                   default_devices())
+        by_name = {s.op.name: s for s in result.scheduled}
+        for scheduled in result.scheduled:
+            for tensor in scheduled.op.inputs:
+                if tensor.op.name in by_name:
+                    assert scheduled.start >= by_name[tensor.op.name].end \
+                        - 1e-12
+
+    def test_cross_device_edge_pays_transfer(self, fresh_graph):
+        a = ops.constant(np.ones((256, 256), dtype=np.float32), name="a")
+        b = ops.matmul(a, a, name="on_gpu")
+        c = ops.reduce_sum(b, name="on_cpu")
+        ops_list = get_default_graph().subgraph([c])
+
+        def placement(op):
+            return "cpu" if op.name == "on_cpu" else "gpu"
+
+        result = simulate_schedule(ops_list, placement, default_devices(),
+                                   TransferModel(latency=1e-3))
+        assert result.transfer_bytes == 256 * 256 * 4
+        assert result.transfer_seconds > 1e-3
+
+    def test_transferred_tensor_cached(self, fresh_graph):
+        a = ops.constant(np.ones((64, 64), dtype=np.float32), name="a")
+        b = ops.matmul(a, a, name="gpu_op")
+        # Two CPU consumers of the same GPU tensor: one transfer only.
+        c = ops.reduce_sum(b, name="cpu_1")
+        d = ops.reduce_mean(b, name="cpu_2")
+
+        def placement(op):
+            return "cpu" if op.name.startswith("cpu_") else "gpu"
+
+        ops_list = get_default_graph().subgraph([c, d])
+        result = simulate_schedule(ops_list, placement, default_devices())
+        assert result.transfer_bytes == 64 * 64 * 4
+
+    def test_independent_ops_overlap_across_devices(self, fresh_graph):
+        a = ops.constant(np.ones((512, 512), dtype=np.float32), name="a")
+        gpu_out = ops.matmul(a, a, name="gpu_op")
+        cpu_out = ops.matmul(a, a, name="cpu_op")
+        merged = None
+
+        def placement(op):
+            # Constant lives on the CPU; only the gpu_op matmul crosses.
+            return "gpu" if op.name == "gpu_op" else "cpu"
+
+        ops_list = get_default_graph().subgraph([gpu_out, cpu_out])
+        result = simulate_schedule(ops_list, placement, default_devices())
+        # Independent work on two devices: makespan < sum of busy times.
+        assert result.makespan < (result.device_busy["cpu"]
+                                  + result.device_busy["gpu"]) - 1e-12
+
+    def test_unknown_device_rejected(self, fresh_graph):
+        out = chain_graph(length=1)
+        ops_list = get_default_graph().subgraph([out])
+        with pytest.raises(PlacementError, match="unknown device"):
+            simulate_schedule(ops_list, place_all("tpu"), default_devices())
+
+    def test_structural_ops_free(self, fresh_graph):
+        value = ops.constant(np.ones((1024, 1024), dtype=np.float32))
+        ops_list = get_default_graph().subgraph([value])
+        result = simulate_schedule(ops_list, place_all("cpu"),
+                                   default_devices())
+        assert result.makespan == 0.0
+
+
+class TestPlacementPolicies:
+    def test_place_all(self, fresh_graph):
+        out = chain_graph(length=1)
+        assert place_all("gpu")(out.op) == "gpu"
+
+    def test_fallback_pins_unsupported_types(self, fresh_graph):
+        noise = ops.random_normal((4, 4))
+        matmul = ops.matmul(noise, noise)
+        placement = gpu_with_cpu_fallback()
+        assert placement(noise.op) == "cpu"
+        assert placement(matmul.op) == "gpu"
+
+    def test_default_cpu_only_set(self):
+        assert "CTCLoss" in DEFAULT_CPU_ONLY_TYPES
+        assert "StandardRandomNormal" in DEFAULT_CPU_ONLY_TYPES
+        assert "MatMul" not in DEFAULT_CPU_ONLY_TYPES
+
+
+class TestPlacementStudy:
+    def test_points_are_consistent(self):
+        from repro.analysis.placement_study import study_workload
+        from repro import workloads
+        model = workloads.create("memnet", config="tiny", seed=0)
+        point = study_workload(model)
+        assert point.cpu_seconds > 0
+        assert point.gpu_seconds > 0
+        assert point.fallback_cpu_ops > 0  # scatter-adds fall back
+        assert point.transfer_mb >= 0.0
+
+    def test_pure_conv_net_immune(self):
+        """deepq has no CPU-only op types, so fall-back == pure GPU."""
+        from repro.analysis.placement_study import study_workload
+        from repro import workloads
+        model = workloads.create("deepq", config="tiny", seed=0)
+        point = study_workload(model)
+        assert point.fallback_cpu_ops == 0
+        assert point.fallback_seconds == pytest.approx(point.gpu_seconds)
+
+    def test_penalty_monotone_in_latency(self):
+        from repro.analysis.placement_study import latency_sweep
+        from repro import workloads
+        model = workloads.create("memnet", config="tiny", seed=0)
+        sweep = latency_sweep(model, latencies=(1e-5, 1e-4, 1e-3))
+        penalties = [p.fallback_seconds for p in sweep.values()]
+        assert all(a <= b + 1e-12 for a, b in zip(penalties, penalties[1:]))

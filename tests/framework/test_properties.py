@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on framework invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.framework import graph as graph_module
+from repro.framework import ops
+from repro.framework.autodiff import gradients
+from repro.framework.session import Session
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+def small_shapes():
+    return hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5)
+
+
+def float_arrays(shape=None):
+    shape_strategy = st.just(shape) if shape is not None else small_shapes()
+    return hnp.arrays(np.float32, shape_strategy,
+                      elements=st.floats(-10.0, 10.0, width=32))
+
+
+def fresh_session():
+    graph = graph_module.reset_default_graph()
+    return Session(graph, seed=0)
+
+
+class TestElementwiseMatchesNumpy:
+    @settings(**SETTINGS)
+    @given(float_arrays())
+    def test_add_commutes(self, x):
+        session = fresh_session()
+        a = ops.constant(x)
+        b = ops.constant(x[::-1].copy() if x.ndim == 1 else x)
+        left = session.run(ops.add(a, b))
+        right = session.run(ops.add(b, a))
+        np.testing.assert_array_equal(left, right)
+
+    @settings(**SETTINGS)
+    @given(float_arrays())
+    def test_double_negative_is_identity(self, x):
+        session = fresh_session()
+        out = session.run(ops.negative(ops.negative(ops.constant(x))))
+        np.testing.assert_array_equal(out, x)
+
+    @settings(**SETTINGS)
+    @given(float_arrays())
+    def test_exp_log_roundtrip(self, x):
+        session = fresh_session()
+        out = session.run(ops.log(ops.exp(ops.constant(x))))
+        np.testing.assert_allclose(out, x, rtol=1e-3, atol=1e-4)
+
+    @settings(**SETTINGS)
+    @given(float_arrays())
+    def test_relu_idempotent(self, x):
+        session = fresh_session()
+        once = session.run(ops.relu(ops.constant(x)))
+        twice = session.run(ops.relu(ops.relu(ops.constant(x))))
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestMovementInvariants:
+    @settings(**SETTINGS)
+    @given(float_arrays())
+    def test_reshape_preserves_content(self, x):
+        session = fresh_session()
+        flat = ops.reshape(ops.constant(x), (-1,))
+        back = ops.reshape(flat, x.shape)
+        np.testing.assert_array_equal(session.run(back), x)
+
+    @settings(**SETTINGS)
+    @given(float_arrays())
+    def test_double_transpose_is_identity(self, x):
+        session = fresh_session()
+        out = session.run(ops.transpose(ops.transpose(ops.constant(x))))
+        np.testing.assert_array_equal(out, x)
+
+    @settings(**SETTINGS)
+    @given(float_arrays(), st.integers(1, 3))
+    def test_tile_multiplies_sum(self, x, reps):
+        session = fresh_session()
+        multiples = (reps,) + (1,) * (x.ndim - 1)
+        tiled = ops.tile(ops.constant(x), multiples)
+        total = session.run(ops.reduce_sum(tiled))
+        np.testing.assert_allclose(total, reps * x.sum(dtype=np.float64),
+                                   rtol=1e-3, atol=1e-3)
+
+    @settings(**SETTINGS)
+    @given(float_arrays())
+    def test_pad_preserves_sum(self, x):
+        session = fresh_session()
+        padded = ops.pad(ops.constant(x), [(1, 2)] * x.ndim)
+        np.testing.assert_allclose(session.run(ops.reduce_sum(padded)),
+                                   x.sum(dtype=np.float64), rtol=1e-3,
+                                   atol=1e-3)
+
+
+class TestReductionInvariants:
+    @settings(**SETTINGS)
+    @given(float_arrays())
+    def test_sum_over_all_axes_matches_full_sum(self, x):
+        session = fresh_session()
+        by_axes = ops.constant(x)
+        for _ in range(x.ndim):
+            by_axes = ops.reduce_sum(by_axes, axis=0)
+        full = ops.reduce_sum(ops.constant(x))
+        np.testing.assert_allclose(session.run(by_axes), session.run(full),
+                                   rtol=1e-3, atol=1e-3)
+
+    @settings(**SETTINGS)
+    @given(float_arrays())
+    def test_max_bounds_mean(self, x):
+        session = fresh_session()
+        mx = session.run(ops.reduce_max(ops.constant(x)))
+        mean = session.run(ops.reduce_mean(ops.constant(x)))
+        assert mx >= mean - 1e-5
+
+
+class TestSoftmaxInvariants:
+    @settings(**SETTINGS)
+    @given(hnp.arrays(np.float32, st.tuples(st.integers(1, 5),
+                                            st.integers(2, 6)),
+                      elements=st.floats(-20.0, 20.0, width=32)))
+    def test_rows_are_distributions(self, x):
+        session = fresh_session()
+        out = session.run(ops.softmax(ops.constant(x)))
+        assert np.all(out >= 0.0)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-4)
+
+    @settings(**SETTINGS)
+    @given(hnp.arrays(np.float32, st.tuples(st.integers(1, 5),
+                                            st.integers(2, 6)),
+                      elements=st.floats(-20.0, 20.0, width=32)),
+           st.floats(-5.0, 5.0))
+    def test_shift_invariance(self, x, shift):
+        session = fresh_session()
+        base = session.run(ops.softmax(ops.constant(x)))
+        shifted = session.run(
+            ops.softmax(ops.constant(x + np.float32(shift))))
+        np.testing.assert_allclose(base, shifted, rtol=1e-3, atol=1e-5)
+
+
+class TestAutodiffInvariants:
+    @settings(**SETTINGS)
+    @given(float_arrays())
+    def test_gradient_of_sum_is_ones(self, x):
+        session = fresh_session()
+        ph = ops.placeholder(x.shape, name="x")
+        grad = gradients(ops.reduce_sum(ph), [ph])[0]
+        np.testing.assert_array_equal(session.run(grad, feed_dict={ph: x}),
+                                      np.ones_like(x))
+
+    @settings(**SETTINGS)
+    @given(float_arrays(), st.floats(-3.0, 3.0))
+    def test_gradient_linearity_in_scale(self, x, scale):
+        session = fresh_session()
+        ph = ops.placeholder(x.shape, name="x")
+        base_grad = gradients(ops.reduce_sum(ops.square(ph)), [ph])[0]
+        scaled_grad = gradients(
+            ops.multiply(ops.reduce_sum(ops.square(ph)), np.float32(scale)),
+            [ph])[0]
+        g1 = session.run(base_grad, feed_dict={ph: x})
+        g2 = session.run(scaled_grad, feed_dict={ph: x})
+        np.testing.assert_allclose(g2, np.float32(scale) * g1, rtol=1e-3,
+                                   atol=1e-3)
+
+    @settings(**SETTINGS)
+    @given(float_arrays())
+    def test_gradient_through_movement_preserves_total(self, x):
+        """d(sum(reshape/transpose(x)))/dx is all-ones regardless of the
+        movement ops in between."""
+        session = fresh_session()
+        ph = ops.placeholder(x.shape, name="x")
+        moved = ops.transpose(ops.reshape(ph, (-1,)), (0,))
+        grad = gradients(ops.reduce_sum(moved), [ph])[0]
+        np.testing.assert_array_equal(session.run(grad, feed_dict={ph: x}),
+                                      np.ones_like(x))
+
+
+class TestWorkEstimateInvariants:
+    @settings(**SETTINGS)
+    @given(st.integers(1, 32), st.integers(1, 32), st.integers(1, 32))
+    def test_matmul_work_positive_and_symmetric_in_mn(self, m, k, n):
+        from repro.framework.cost_model import matmul_work
+        forward = matmul_work(m, k, n)
+        swapped = matmul_work(n, k, m)
+        assert forward.flops == swapped.flops
+        assert forward.flops > 0
+        assert forward.trip_count == m * n

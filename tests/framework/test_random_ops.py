@@ -1,0 +1,62 @@
+"""Tests for random sampling operations."""
+
+import numpy as np
+import pytest
+
+from repro.framework import ops
+from repro.framework.errors import ShapeError
+from repro.framework.session import Session
+
+
+class TestRandomNormal:
+    def test_moments(self, session):
+        out = session.run(ops.random_normal((200, 200)))
+        assert abs(out.mean()) < 0.02
+        assert abs(out.std() - 1.0) < 0.02
+
+    def test_shape_and_dtype(self, session):
+        tensor = ops.random_normal((3, 5))
+        assert tensor.shape == (3, 5)
+        assert tensor.dtype == np.float32
+
+
+class TestRandomUniform:
+    def test_range(self, session):
+        out = session.run(ops.random_uniform((100, 100)))
+        assert out.min() >= 0.0
+        assert out.max() < 1.0
+        assert abs(out.mean() - 0.5) < 0.02
+
+
+class TestMultinomial:
+    def test_output_in_range(self, session):
+        logits = ops.constant(np.zeros((4, 6), dtype=np.float32))
+        out = session.run(ops.multinomial(logits, num_samples=10))
+        assert out.shape == (4, 10)
+        assert out.dtype == np.int32
+        assert np.all((0 <= out) & (out < 6))
+
+    def test_respects_distribution(self, session):
+        # Overwhelming logit on class 2 -> nearly all samples are class 2.
+        logits_value = np.full((1, 4), -10.0, dtype=np.float32)
+        logits_value[0, 2] = 10.0
+        out = session.run(ops.multinomial(ops.constant(logits_value),
+                                          num_samples=200))
+        assert (out == 2).mean() > 0.99
+
+    def test_rank_check(self):
+        bad = ops.constant(np.zeros((2, 3, 4), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            ops.multinomial(bad)
+
+
+class TestDeterminism:
+    def test_entire_random_stream_reproducible(self, fresh_graph):
+        normal = ops.random_normal((10,))
+        uniform = ops.random_uniform((10,))
+        first = Session(fresh_graph, seed=9)
+        second = Session(fresh_graph, seed=9)
+        a = first.run([normal, uniform])
+        b = second.run([normal, uniform])
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])

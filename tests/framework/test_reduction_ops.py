@@ -1,0 +1,64 @@
+"""Correctness tests for reduction operations."""
+
+import numpy as np
+import pytest
+
+from repro.framework import ops
+from repro.framework.errors import ShapeError
+
+CASES = [
+    (ops.reduce_sum, np.sum),
+    (ops.reduce_mean, np.mean),
+    (ops.reduce_max, np.max),
+    (ops.reduce_min, np.min),
+]
+IDS = [c[0].__name__ for c in CASES]
+
+
+class TestReductions:
+    @pytest.mark.parametrize("op_fn,np_fn", CASES, ids=IDS)
+    def test_full_reduction(self, session, rng, op_fn, np_fn):
+        x = rng.standard_normal((3, 4, 5)).astype(np.float32)
+        tensor = op_fn(ops.constant(x))
+        assert tensor.shape == ()
+        np.testing.assert_allclose(session.run(tensor), np_fn(x), rtol=1e-5)
+
+    @pytest.mark.parametrize("op_fn,np_fn", CASES, ids=IDS)
+    @pytest.mark.parametrize("axis", [0, 1, -1, (0, 2)])
+    def test_axis_reduction(self, session, rng, op_fn, np_fn, axis):
+        x = rng.standard_normal((3, 4, 5)).astype(np.float32)
+        tensor = op_fn(ops.constant(x), axis=axis)
+        np.testing.assert_allclose(session.run(tensor), np_fn(x, axis=axis),
+                                   rtol=1e-5)
+
+    @pytest.mark.parametrize("op_fn,np_fn", CASES, ids=IDS)
+    def test_keepdims(self, session, rng, op_fn, np_fn):
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        tensor = op_fn(ops.constant(x), axis=1, keepdims=True)
+        assert tensor.shape == (3, 1)
+        np.testing.assert_allclose(session.run(tensor),
+                                   np_fn(x, axis=1, keepdims=True),
+                                   rtol=1e-5)
+
+    def test_out_of_range_axis_rejected(self):
+        x = ops.constant(np.zeros((3, 4), dtype=np.float32))
+        with pytest.raises(ShapeError, match="out of range"):
+            ops.reduce_sum(x, axis=2)
+
+    def test_duplicate_axes_rejected(self):
+        x = ops.constant(np.zeros((3, 4), dtype=np.float32))
+        with pytest.raises(ShapeError, match="duplicate"):
+            ops.reduce_sum(x, axis=(1, -1))
+
+
+class TestArgMax:
+    def test_matches_numpy(self, session, rng):
+        x = rng.standard_normal((4, 7)).astype(np.float32)
+        out = session.run(ops.argmax(ops.constant(x), axis=1))
+        assert out.dtype == np.int32
+        np.testing.assert_array_equal(out, np.argmax(x, axis=1))
+
+    def test_negative_axis(self, session, rng):
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        out = session.run(ops.argmax(ops.constant(x), axis=-1))
+        np.testing.assert_array_equal(out, np.argmax(x, axis=-1))

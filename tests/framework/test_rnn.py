@@ -1,0 +1,132 @@
+"""Tests for recurrent cells and static unrolling."""
+
+import numpy as np
+import pytest
+
+from repro.framework import ops, rnn
+from repro.framework.session import Session
+
+
+def manual_lstm_step(x, h, c, kernel, bias, forget_bias=1.0):
+    """Reference LSTM step in plain numpy, matching the cell's gate order."""
+    def sigmoid(v):
+        return 1.0 / (1.0 + np.exp(-v))
+    joined = np.concatenate([x, h], axis=1)
+    gates = joined @ kernel + bias
+    units = gates.shape[1] // 4
+    i, j, f, o = (gates[:, k * units:(k + 1) * units] for k in range(4))
+    new_c = c * sigmoid(f + forget_bias) + sigmoid(i) * np.tanh(j)
+    new_h = np.tanh(new_c) * sigmoid(o)
+    return new_h, new_c
+
+
+class TestLSTMCell:
+    def test_step_matches_manual_computation(self, fresh_graph, rng):
+        cell = rnn.LSTMCell(num_units=5, input_size=3, rng=rng, name="cell")
+        x = ops.placeholder((2, 3), name="x")
+        out, (new_c, new_h) = cell(x, cell.zero_state(2))
+        session = Session(fresh_graph, seed=0)
+        x_val = rng.standard_normal((2, 3)).astype(np.float32)
+        out_val, c_val = session.run([out, new_c], feed_dict={x: x_val})
+        kernel = session.variable_value(cell.kernel)
+        bias = session.variable_value(cell.bias)
+        expected_h, expected_c = manual_lstm_step(
+            x_val, np.zeros((2, 5), np.float32), np.zeros((2, 5), np.float32),
+            kernel, bias)
+        np.testing.assert_allclose(out_val, expected_h, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(c_val, expected_c, rtol=1e-4, atol=1e-5)
+
+    def test_output_is_new_hidden_state(self, fresh_graph, rng):
+        cell = rnn.LSTMCell(num_units=4, input_size=4, rng=rng)
+        x = ops.placeholder((1, 4))
+        out, (_, new_h) = cell(x, cell.zero_state(1))
+        assert out is new_h
+
+    def test_state_shapes(self, fresh_graph, rng):
+        cell = rnn.LSTMCell(num_units=6, input_size=2, rng=rng)
+        c0, h0 = cell.zero_state(3)
+        assert c0.shape == (3, 6)
+        assert h0.shape == (3, 6)
+
+
+class TestBasicRNNCell:
+    def test_activation_is_clipped_relu(self, fresh_graph, rng):
+        cell = rnn.BasicRNNCell(num_units=4, input_size=4, rng=rng, clip=1.5)
+        x = ops.placeholder((1, 4))
+        out, _ = cell(x, cell.zero_state(1))
+        session = Session(fresh_graph, seed=0)
+        big = np.full((1, 4), 100.0, dtype=np.float32)
+        out_val = session.run(out, feed_dict={x: big})
+        assert np.all(out_val <= 1.5 + 1e-6)
+        assert np.all(out_val >= 0.0)
+
+    def test_state_feeds_back(self, fresh_graph, rng):
+        cell = rnn.BasicRNNCell(num_units=3, input_size=3, rng=rng)
+        x = ops.placeholder((1, 3))
+        h1, state1 = cell(x, cell.zero_state(1))
+        h2, _ = cell(x, state1)
+        session = Session(fresh_graph, seed=0)
+        x_val = np.ones((1, 3), dtype=np.float32)
+        h1_val, h2_val = session.run([h1, h2], feed_dict={x: x_val})
+        assert not np.allclose(h1_val, h2_val)
+
+
+class TestStaticRNN:
+    def test_unrolls_one_output_per_step(self, fresh_graph, rng):
+        cell = rnn.LSTMCell(num_units=4, input_size=3, rng=rng)
+        inputs = [ops.placeholder((2, 3), name=f"t{t}") for t in range(5)]
+        outputs, final_state = rnn.static_rnn(cell, inputs)
+        assert len(outputs) == 5
+        assert all(o.shape == (2, 4) for o in outputs)
+        assert final_state[0].shape == (2, 4)
+
+    def test_empty_inputs_rejected(self, fresh_graph, rng):
+        cell = rnn.LSTMCell(num_units=4, input_size=3, rng=rng)
+        with pytest.raises(ValueError):
+            rnn.static_rnn(cell, [])
+
+    def test_order_sensitivity(self, fresh_graph, rng):
+        """A recurrent stack must produce different final output for
+        permuted input sequences (unlike a bag-of-words model)."""
+        cell = rnn.LSTMCell(num_units=4, input_size=2, rng=rng)
+        a = ops.placeholder((1, 2), name="a")
+        b = ops.placeholder((1, 2), name="b")
+        out_ab, _ = rnn.static_rnn(cell, [a, b])
+        out_ba, _ = rnn.static_rnn(cell, [b, a])
+        session = Session(fresh_graph, seed=0)
+        feed = {a: np.array([[1.0, 0.0]], np.float32),
+                b: np.array([[0.0, 1.0]], np.float32)}
+        forward, backward = session.run([out_ab[-1], out_ba[-1]],
+                                        feed_dict=feed)
+        assert not np.allclose(forward, backward)
+
+
+class TestBidirectional:
+    def test_concatenates_directions(self, fresh_graph, rng):
+        fwd = rnn.BasicRNNCell(num_units=3, input_size=2, rng=rng,
+                               name="fwd")
+        bwd = rnn.BasicRNNCell(num_units=3, input_size=2, rng=rng,
+                               name="bwd")
+        inputs = [ops.placeholder((2, 2), name=f"t{t}") for t in range(4)]
+        outputs = rnn.bidirectional_rnn(fwd, bwd, inputs)
+        assert len(outputs) == 4
+        assert all(o.shape == (2, 6) for o in outputs)
+
+    def test_backward_direction_sees_future(self, fresh_graph, rng):
+        """The backward half of the first timestep's output must depend on
+        the last input."""
+        fwd = rnn.BasicRNNCell(num_units=3, input_size=2, rng=rng,
+                               name="fwd")
+        bwd = rnn.BasicRNNCell(num_units=3, input_size=2, rng=rng,
+                               name="bwd")
+        inputs = [ops.placeholder((1, 2), name=f"t{t}") for t in range(3)]
+        outputs = rnn.bidirectional_rnn(fwd, bwd, inputs)
+        session = Session(fresh_graph, seed=0)
+        base = {p: np.zeros((1, 2), np.float32) for p in inputs}
+        changed = dict(base)
+        changed[inputs[2]] = np.ones((1, 2), np.float32)
+        first_base = session.run(outputs[0], feed_dict=base)
+        first_changed = session.run(outputs[0], feed_dict=changed)
+        # forward half identical, backward half differs
+        np.testing.assert_allclose(first_base[:, :3], first_changed[:, :3])
+        assert not np.allclose(first_base[:, 3:], first_changed[:, 3:])

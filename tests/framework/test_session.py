@@ -1,0 +1,167 @@
+"""Tests for the session executor: feeds, state, pruning, tracing."""
+
+import numpy as np
+import pytest
+
+from repro.framework import ops
+from repro.framework.errors import ExecutionError, FeedError
+from repro.framework.graph import Graph, get_default_graph
+from repro.framework.session import Session
+from repro.profiling.tracer import Tracer
+
+
+class TestFetching:
+    def test_single_fetch_returns_array(self, session):
+        out = session.run(ops.constant(np.ones(3, dtype=np.float32)))
+        np.testing.assert_array_equal(out, np.ones(3))
+
+    def test_list_fetch_returns_list(self, session):
+        a = ops.constant(1.0)
+        b = ops.constant(2.0)
+        out = session.run([a, b])
+        assert isinstance(out, list) and len(out) == 2
+
+    def test_fetching_intermediate_and_final(self, session):
+        x = ops.constant(np.array([1.0, 2.0], dtype=np.float32))
+        mid = ops.multiply(x, 2.0)
+        final = ops.reduce_sum(mid)
+        mid_val, final_val = session.run([mid, final])
+        np.testing.assert_array_equal(mid_val, [2.0, 4.0])
+        assert final_val == 6.0
+
+    def test_unneeded_placeholder_not_required(self, session):
+        used = ops.placeholder((2,), name="used")
+        ops.placeholder((2,), name="unused")
+        out = session.run(ops.reduce_sum(used),
+                          feed_dict={used: np.ones(2, np.float32)})
+        assert out == 2.0
+
+
+class TestFeeds:
+    def test_missing_placeholder_raises(self, session):
+        x = ops.placeholder((2,), name="x")
+        with pytest.raises(FeedError, match="was not fed"):
+            session.run(ops.reduce_sum(x))
+
+    def test_wrong_shape_feed_raises(self, session):
+        x = ops.placeholder((2,), name="x")
+        with pytest.raises(FeedError, match="shape"):
+            session.run(ops.reduce_sum(x),
+                        feed_dict={x: np.ones(3, np.float32)})
+
+    def test_feeding_non_placeholder_raises(self, session):
+        c = ops.constant(np.ones(2, dtype=np.float32))
+        with pytest.raises(FeedError, match="placeholders"):
+            session.run(c, feed_dict={c: np.zeros(2, np.float32)})
+
+    def test_feed_value_cast_to_placeholder_dtype(self, session):
+        x = ops.placeholder((2,), name="x")
+        out = session.run(ops.multiply(x, 2.0),
+                          feed_dict={x: [1, 2]})
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(out, [2.0, 4.0])
+
+
+class TestVariables:
+    def test_lazy_initialization(self, session):
+        v = ops.variable(np.full(3, 7.0, dtype=np.float32))
+        np.testing.assert_array_equal(session.run(v), [7.0, 7.0, 7.0])
+
+    def test_assign_persists_across_runs(self, session):
+        v = ops.variable(np.zeros(2, dtype=np.float32))
+        update = ops.assign(v, ops.constant(np.ones(2, dtype=np.float32)))
+        session.run(update)
+        np.testing.assert_array_equal(session.run(v), [1.0, 1.0])
+
+    def test_sessions_have_independent_state(self, fresh_graph):
+        v = ops.variable(np.zeros(2, dtype=np.float32))
+        update = ops.assign(v, ops.constant(np.ones(2, dtype=np.float32)))
+        first = Session(fresh_graph, seed=0)
+        second = Session(fresh_graph, seed=0)
+        first.run(update)
+        np.testing.assert_array_equal(first.run(v), [1.0, 1.0])
+        np.testing.assert_array_equal(second.run(v), [0.0, 0.0])
+
+    def test_set_and_get_variable(self, session):
+        v = ops.variable(np.zeros(2, dtype=np.float32))
+        session.set_variable(v, np.array([3.0, 4.0], dtype=np.float32))
+        np.testing.assert_array_equal(session.variable_value(v), [3.0, 4.0])
+
+    def test_set_variable_shape_checked(self, session):
+        v = ops.variable(np.zeros(2, dtype=np.float32))
+        with pytest.raises(FeedError, match="shape"):
+            session.set_variable(v, np.zeros(3, dtype=np.float32))
+
+    def test_set_variable_on_non_variable_raises(self, session):
+        c = ops.constant(np.zeros(2, dtype=np.float32))
+        with pytest.raises(FeedError, match="not a variable"):
+            session.set_variable(c, np.zeros(2, dtype=np.float32))
+
+
+class TestRandomness:
+    def test_same_seed_reproduces(self, fresh_graph):
+        sample = ops.random_normal((4, 4))
+        a = Session(fresh_graph, seed=42).run(sample)
+        b = Session(fresh_graph, seed=42).run(sample)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, fresh_graph):
+        sample = ops.random_normal((4, 4))
+        a = Session(fresh_graph, seed=1).run(sample)
+        b = Session(fresh_graph, seed=2).run(sample)
+        assert not np.array_equal(a, b)
+
+    def test_sample_shared_within_run_fresh_across_runs(self, session):
+        noise = ops.random_normal((8,))
+        doubled = ops.multiply(noise, 2.0)
+        noise_val, doubled_val = session.run([noise, doubled])
+        np.testing.assert_allclose(doubled_val, 2 * noise_val, rtol=1e-6)
+        second = session.run(noise)
+        assert not np.array_equal(noise_val, second)
+
+
+class TestErrors:
+    def test_compute_failure_names_the_op(self, session):
+        x = ops.placeholder((2, 2), name="x")
+        # Gather with out-of-range indices fails at run time.
+        bad = ops.gather(x, ops.constant(np.array([5], dtype=np.int32)))
+        with pytest.raises(ExecutionError, match="Gather"):
+            session.run(bad, feed_dict={x: np.zeros((2, 2), np.float32)})
+
+
+class TestTracing:
+    def test_tracer_records_each_op_per_step(self, session):
+        x = ops.constant(np.ones((4, 4), dtype=np.float32))
+        out = ops.reduce_sum(ops.multiply(x, x))
+        tracer = Tracer()
+        session.run(out, tracer=tracer)
+        session.run(out, tracer=tracer)
+        assert tracer.num_steps == 2
+        types = {r.op_type for r in tracer.records}
+        assert {"Mul", "Sum"} <= types
+        step0 = tracer.records_for_step(0)
+        step1 = tracer.records_for_step(1)
+        assert len(step0) == len(step1) > 0
+
+    def test_step_totals_bound_op_times(self, session):
+        x = ops.constant(np.ones((64, 64), dtype=np.float32))
+        out = ops.matmul(x, x)
+        tracer = Tracer()
+        session.run(out, tracer=tracer)
+        assert tracer.step_totals[0] >= tracer.total_op_seconds() > 0.0
+
+    def test_overhead_fraction_in_unit_interval(self, session):
+        x = ops.constant(np.ones((32, 32), dtype=np.float32))
+        out = ops.matmul(x, x)
+        tracer = Tracer()
+        for _ in range(3):
+            session.run(out, tracer=tracer)
+        assert 0.0 <= tracer.framework_overhead_fraction() < 1.0
+
+    def test_clear_resets(self, session):
+        out = ops.reduce_sum(ops.constant(np.ones(4, dtype=np.float32)))
+        tracer = Tracer()
+        session.run(out, tracer=tracer)
+        tracer.clear()
+        assert tracer.num_steps == 0
+        assert tracer.records == []

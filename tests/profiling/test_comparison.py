@@ -1,0 +1,79 @@
+"""Tests for profile comparison."""
+
+import numpy as np
+import pytest
+
+from repro.framework.graph import OpClass
+from repro.profiling.comparison import compare_profiles
+from repro.profiling.profile import OperationProfile
+
+
+def make_profile(label, seconds, steps=1):
+    classes = {name: OpClass.ELEMENTWISE for name in seconds}
+    return OperationProfile(workload=label, seconds_by_type=dict(seconds),
+                            class_by_type=classes, num_steps=steps)
+
+
+class TestCompareProfiles:
+    def test_identical_profiles(self):
+        profile = make_profile("a", {"MatMul": 1.0, "Add": 0.5})
+        comparison = compare_profiles(profile, profile)
+        assert comparison.cosine_distance == pytest.approx(0.0, abs=1e-12)
+        assert comparison.speedup == pytest.approx(1.0)
+        assert all(d.fraction_delta == 0.0 for d in comparison.deltas)
+
+    def test_speedup_direction(self):
+        slow = make_profile("slow", {"MatMul": 2.0})
+        fast = make_profile("fast", {"MatMul": 1.0})
+        assert compare_profiles(slow, fast).speedup == pytest.approx(2.0)
+        assert compare_profiles(fast, slow).speedup == pytest.approx(0.5)
+
+    def test_new_op_type_reported(self):
+        before = make_profile("before", {"MatMul": 1.0})
+        after = make_profile("after", {"MatMul": 1.0, "Conv2D": 1.0})
+        comparison = compare_profiles(before, after)
+        conv = next(d for d in comparison.deltas if d.op_type == "Conv2D")
+        assert conv.baseline_fraction == 0.0
+        assert conv.candidate_fraction == pytest.approx(0.5)
+        assert conv.seconds_ratio == float("inf")
+
+    def test_deltas_sorted_by_magnitude(self):
+        before = make_profile("b", {"A": 0.5, "B": 0.3, "C": 0.2})
+        after = make_profile("a", {"A": 0.2, "B": 0.3, "C": 0.5})
+        comparison = compare_profiles(before, after)
+        magnitudes = [abs(d.fraction_delta) for d in comparison.deltas]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_normalizes_by_steps(self):
+        one_step = make_profile("one", {"MatMul": 1.0}, steps=1)
+        four_steps = make_profile("four", {"MatMul": 4.0}, steps=4)
+        comparison = compare_profiles(one_step, four_steps)
+        assert comparison.speedup == pytest.approx(1.0)
+
+    def test_render(self):
+        before = make_profile("cpu", {"MatMul": 1.0, "Add": 0.2})
+        after = make_profile("gpu", {"MatMul": 0.1, "Add": 0.2})
+        text = compare_profiles(before, after).render()
+        assert "cpu -> gpu" in text
+        assert "MatMul" in text
+
+    def test_on_real_workload_devices(self):
+        """Comparing the same trace under CPU and GPU pricing shows the
+        dense ops shrinking."""
+        from repro import workloads
+        from repro.framework.device_model import cpu, gpu
+        from repro.profiling.tracer import Tracer
+        # Default config: large enough that the CPU profile is
+        # matmul-dominated (tiny configs are overhead-bound everywhere).
+        model = workloads.create("autoenc", config="default", seed=0)
+        tracer = Tracer()
+        model.run_training(2, tracer=tracer)
+        cpu_profile = OperationProfile.from_trace(tracer, "autoenc-cpu",
+                                                  device=cpu(1))
+        gpu_profile = OperationProfile.from_trace(tracer, "autoenc-gpu",
+                                                  device=gpu())
+        comparison = compare_profiles(cpu_profile, gpu_profile)
+        assert comparison.speedup > 1.0  # GPU is faster
+        matmul = next(d for d in comparison.deltas
+                      if d.op_type == "MatMul")
+        assert matmul.fraction_delta < 0  # matmul share shrinks on GPU

@@ -1,0 +1,106 @@
+"""Tests for trace serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import workloads
+from repro.framework.device_model import cpu, gpu
+from repro.profiling.profile import OperationProfile
+from repro.profiling.serialize import load_trace, save_trace
+from repro.profiling.tracer import Tracer
+
+
+@pytest.fixture(scope="module")
+def traced_model():
+    model = workloads.create("memnet", config="tiny", seed=0)
+    tracer = Tracer()
+    model.run_training(3, tracer=tracer)
+    return model, tracer
+
+
+class TestRoundtrip:
+    def test_record_count_preserved(self, traced_model, tmp_path):
+        _, tracer = traced_model
+        path = tmp_path / "trace.jsonl"
+        count = save_trace(tracer, path, metadata={"workload": "memnet"})
+        loaded = load_trace(path)
+        assert len(loaded.records) == count == len(tracer.compute_records())
+        assert loaded.num_steps == 3
+        assert loaded.metadata["workload"] == "memnet"
+
+    def test_measured_profile_identical(self, traced_model, tmp_path):
+        _, tracer = traced_model
+        path = tmp_path / "trace.jsonl"
+        save_trace(tracer, path)
+        loaded = load_trace(path)
+        original = OperationProfile.from_trace(tracer, "memnet")
+        restored = OperationProfile.from_trace(loaded, "memnet")
+        assert set(original.seconds_by_type) == set(restored.seconds_by_type)
+        for op_type, seconds in original.seconds_by_type.items():
+            assert restored.seconds_by_type[op_type] == \
+                pytest.approx(seconds)
+
+    def test_modeled_profile_from_saved_work(self, traced_model, tmp_path):
+        """Work estimates survive the round trip, so a saved trace can be
+        re-priced under any device model."""
+        _, tracer = traced_model
+        path = tmp_path / "trace.jsonl"
+        save_trace(tracer, path)
+        loaded = load_trace(path)
+        for device in (cpu(1), cpu(8), gpu()):
+            original = OperationProfile.from_trace(tracer, device=device)
+            restored = OperationProfile.from_trace(loaded, device=device)
+            assert original.total_seconds == \
+                pytest.approx(restored.total_seconds)
+
+    def test_overhead_fraction_preserved(self, traced_model, tmp_path):
+        _, tracer = traced_model
+        path = tmp_path / "trace.jsonl"
+        save_trace(tracer, path)
+        loaded = load_trace(path)
+        assert loaded.framework_overhead_fraction() == \
+            pytest.approx(tracer.framework_overhead_fraction())
+
+    def test_peak_bytes_preserved(self, traced_model, tmp_path):
+        _, tracer = traced_model
+        path = tmp_path / "trace.jsonl"
+        save_trace(tracer, path)
+        loaded = load_trace(path)
+        assert loaded.step_peak_bytes == tracer.step_peak_bytes
+
+
+class TestErrors:
+    def test_rejects_non_trace_file(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text(json.dumps({"kind": "something-else"}) + "\n")
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text(json.dumps({"kind": "repro-trace", "version": 99,
+                                    "step_totals": []}) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+
+class TestCrossMachineWorkflow:
+    def test_compare_saved_trace_against_live(self, traced_model, tmp_path):
+        """The regression workflow: save a baseline trace, later compare a
+        new run's profile against the loaded baseline."""
+        from repro.profiling.comparison import compare_profiles
+        model, tracer = traced_model
+        path = tmp_path / "baseline.jsonl"
+        save_trace(tracer, path)
+        baseline = OperationProfile.from_trace(load_trace(path),
+                                               "baseline", device=cpu(1))
+        fresh_tracer = Tracer()
+        model.run_training(2, tracer=fresh_tracer)
+        candidate = OperationProfile.from_trace(fresh_tracer, "candidate",
+                                                device=cpu(1))
+        comparison = compare_profiles(baseline, candidate)
+        # Same graph, same device model: profiles are identical.
+        assert comparison.cosine_distance == pytest.approx(0.0, abs=1e-9)
+        assert comparison.speedup == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,103 @@
+"""Tests for the EEG-style Chrome-trace timeline exporter."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.framework import ops
+from repro.framework.optimizers import GradientDescentOptimizer
+from repro.framework.session import Session
+from repro.profiling.timeline import timeline_events, to_chrome_trace
+from repro.profiling.tracer import Tracer
+
+
+@pytest.fixture
+def traced(fresh_graph):
+    x = ops.placeholder((4, 8), name="x")
+    w = ops.variable(np.zeros((8, 2), dtype=np.float32), name="w")
+    loss = ops.reduce_mean(ops.square(ops.matmul(x, w)))
+    train = GradientDescentOptimizer(0.1).minimize(loss)
+    session = Session(fresh_graph, seed=0)
+    tracer = Tracer()
+    feed = {x: np.ones((4, 8), dtype=np.float32)}
+    for _ in range(3):
+        session.run([loss, train], feed_dict=feed, tracer=tracer)
+    return tracer
+
+
+class TestTimelineEvents:
+    def test_event_count_matches_records(self, traced):
+        events = timeline_events(traced)
+        assert len(events) == len(traced.records)
+
+    def test_events_are_sequential_within_step(self, traced):
+        events = [e for e in timeline_events(traced) if e.step == 1]
+        cursor = None
+        for event in events:
+            if cursor is not None:
+                assert event.start_us >= cursor - 1e-9
+            cursor = event.start_us + event.duration_us
+
+    def test_steps_do_not_overlap(self, traced):
+        events = timeline_events(traced)
+        end_step0 = max(e.start_us + e.duration_us for e in events
+                        if e.step == 0)
+        start_step1 = min(e.start_us for e in events if e.step == 1)
+        assert start_step1 >= end_step0 - 1e-6
+
+    def test_categories_are_figure_groups(self, traced):
+        events = timeline_events(traced)
+        matmul_events = [e for e in events if e.op_type == "MatMul"]
+        assert matmul_events
+        assert all(e.category == "Matrix Operations" for e in matmul_events)
+
+
+class TestChromeTrace:
+    def test_valid_json_with_expected_phases(self, traced):
+        blob = json.loads(to_chrome_trace(traced, process_name="toy"))
+        events = blob["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(traced.records)
+        assert all("ts" in e and "dur" in e for e in complete)
+
+    def test_thread_lanes_per_step(self, traced):
+        blob = json.loads(to_chrome_trace(traced))
+        lanes = {e["tid"] for e in blob["traceEvents"] if e["ph"] == "X"}
+        assert lanes == {0, 1, 2}
+
+    def test_process_name_metadata(self, traced):
+        blob = json.loads(to_chrome_trace(traced, process_name="speech"))
+        meta = [e for e in blob["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "process_name"]
+        assert meta[0]["args"]["name"] == "speech"
+
+
+class TestMemoryTracking:
+    def test_peak_bytes_recorded_per_step(self, traced):
+        assert len(traced.step_peak_bytes) == 3
+        assert all(peak > 0 for peak in traced.step_peak_bytes)
+        assert traced.peak_live_bytes() == max(traced.step_peak_bytes)
+
+    def test_session_exposes_last_peak(self, fresh_graph):
+        x = ops.constant(np.ones((128, 128), dtype=np.float32))
+        out = ops.reduce_sum(ops.matmul(x, x))
+        session = Session(fresh_graph, seed=0)
+        session.run(out)
+        # At least the 64KB input and 64KB product were live at once.
+        assert session.last_peak_live_bytes >= 2 * 128 * 128 * 4
+
+    def test_peak_scales_with_tensor_size(self, fresh_graph):
+        small_graph = fresh_graph
+        x_small = ops.constant(np.ones((16, 16), dtype=np.float32))
+        small_out = ops.matmul(x_small, x_small)
+        x_big = ops.constant(np.ones((256, 256), dtype=np.float32))
+        big_out = ops.matmul(x_big, x_big)
+        session = Session(small_graph, seed=0)
+        session.run(small_out)
+        small_peak = session.last_peak_live_bytes
+        session.run(big_out)
+        big_peak = session.last_peak_live_bytes
+        assert big_peak > 10 * small_peak

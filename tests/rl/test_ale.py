@@ -1,0 +1,124 @@
+"""Tests for the Arcade-Learning-Environment substitute games."""
+
+import numpy as np
+import pytest
+
+from repro.rl import ale
+from repro.rl.ale import Catch, Dodge
+
+
+class TestCatch:
+    def test_reset_returns_frame(self):
+        env = Catch(screen_size=12, seed=0)
+        frame = env.reset()
+        assert frame.shape == (12, 12)
+        assert frame.dtype == np.float32
+        # One ball pixel plus a three-pixel paddle.
+        assert frame.sum() == 4.0
+
+    def test_episode_length_is_screen_height(self):
+        env = Catch(screen_size=10, seed=0)
+        env.reset()
+        steps = 0
+        done = False
+        while not done:
+            _, _, done = env.step(1)
+            steps += 1
+        assert steps == 9
+
+    def test_perfect_play_always_catches(self):
+        env = Catch(screen_size=12, seed=1)
+        total = 0.0
+        for _ in range(10):
+            env.reset()
+            done = False
+            while not done:
+                # Move the paddle toward the ball column.
+                delta = env._ball_col - env._paddle_col
+                action = 1 + int(np.sign(delta))
+                _, reward, done = env.step(action)
+            total += reward
+        assert total == 10.0
+
+    def test_ignoring_ball_eventually_misses(self):
+        env = Catch(screen_size=16, seed=3)
+        rewards = []
+        for _ in range(20):
+            env.reset()
+            done = False
+            while not done:
+                _, reward, done = env.step(0)  # always move left
+            rewards.append(reward)
+        assert -1.0 in rewards
+
+    def test_step_after_done_raises(self):
+        env = Catch(screen_size=8, seed=0)
+        env.reset()
+        done = False
+        while not done:
+            _, _, done = env.step(1)
+        with pytest.raises(RuntimeError):
+            env.step(1)
+
+    def test_invalid_action_rejected(self):
+        env = Catch(screen_size=8, seed=0)
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(5)
+
+    def test_too_small_screen_rejected(self):
+        with pytest.raises(ValueError):
+            Catch(screen_size=3)
+
+    def test_render_ascii(self):
+        env = Catch(screen_size=8, seed=0)
+        env.reset()
+        art = env.render_ascii()
+        assert art.count("\n") == 7
+        assert "#" in art
+
+
+class TestDodge:
+    def test_survival_accumulates_reward(self):
+        env = Dodge(screen_size=10, spawn_probability=0.0, max_steps=20,
+                    seed=0)
+        env.reset()
+        total = 0.0
+        done = False
+        while not done:
+            _, reward, done = env.step(1)
+            total += reward
+        assert total == pytest.approx(2.0)  # 20 steps * 0.1
+
+    def test_collision_ends_episode_with_penalty(self):
+        env = Dodge(screen_size=8, spawn_probability=1.0, max_steps=500,
+                    seed=0)
+        env.reset()
+        done = False
+        last_reward = 0.0
+        steps = 0
+        while not done and steps < 500:
+            _, last_reward, done = env.step(1)  # never dodge
+            steps += 1
+        assert done
+        assert last_reward == -1.0
+
+    def test_frame_contains_player(self):
+        env = Dodge(screen_size=10, seed=0)
+        frame = env.reset()
+        assert frame[-1].sum() >= 1.0
+
+
+class TestRegistry:
+    def test_make_by_name(self):
+        assert isinstance(ale.make("catch"), Catch)
+        assert isinstance(ale.make("dodge"), Dodge)
+
+    def test_unknown_game_rejected(self):
+        with pytest.raises(ValueError, match="unknown game"):
+            ale.make("pacman")
+
+    def test_seeded_determinism(self):
+        a = ale.make("catch", seed=7)
+        b = ale.make("catch", seed=7)
+        np.testing.assert_array_equal(a.reset(), b.reset())

@@ -1,0 +1,199 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestList:
+    def test_lists_all_workloads(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        for name in ("seq2seq", "memnet", "speech", "autoenc", "residual",
+                     "vgg", "alexnet", "deepq"):
+            assert name in out
+
+
+class TestRun:
+    def test_training(self, capsys):
+        code, out = run_cli(capsys, "run", "memnet", "--config", "tiny",
+                            "--steps", "2")
+        assert code == 0
+        assert out.count("loss") == 2
+
+    def test_inference(self, capsys):
+        code, out = run_cli(capsys, "run", "autoenc", "--config", "tiny",
+                            "--mode", "infer", "--steps", "1")
+        assert code == 0
+        assert "inference output shape" in out
+
+
+class TestProfile:
+    def test_top_types(self, capsys):
+        code, out = run_cli(capsys, "profile", "memnet", "--config", "tiny",
+                            "--steps", "1")
+        assert code == 0
+        assert "seconds per step" in out
+        assert "90%" in out
+
+    def test_class_breakdown(self, capsys):
+        code, out = run_cli(capsys, "profile", "memnet", "--config", "tiny",
+                            "--classes")
+        assert code == 0
+        assert "Elementwise Arithmetic" in out
+
+    def test_measured_device(self, capsys):
+        code, out = run_cli(capsys, "profile", "memnet", "--config", "tiny",
+                            "--device", "measured")
+        assert code == 0
+        assert "(measured)" in out
+
+    def test_gpu_device(self, capsys):
+        code, out = run_cli(capsys, "profile", "memnet", "--config", "tiny",
+                            "--device", "gpu")
+        assert code == 0
+
+    def test_bad_device_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["profile", "memnet", "--device", "tpu"])
+
+
+class TestSweep:
+    def test_thread_sweep(self, capsys):
+        code, out = run_cli(capsys, "sweep", "memnet", "--config", "tiny",
+                            "--threads", "1", "4")
+        assert code == 0
+        assert "overall speedup at 4 threads" in out
+
+
+class TestTables:
+    def test_both_tables(self, capsys):
+        code, out = run_cli(capsys, "tables")
+        assert code == 0
+        assert "Table I" in out
+        assert "Table II" in out
+
+
+class TestGraph:
+    def test_stats(self, capsys):
+        code, out = run_cli(capsys, "graph", "memnet", "--config", "tiny")
+        assert code == 0
+        assert "critical path" in out
+        assert "BatchMatMul" in out
+
+    def test_dot_output(self, capsys, tmp_path):
+        dot_path = tmp_path / "graph.dot"
+        code, out = run_cli(capsys, "graph", "memnet", "--config", "tiny",
+                            "--dot", str(dot_path))
+        assert code == 0
+        assert dot_path.read_text().startswith("digraph")
+
+
+class TestTimeline:
+    def test_writes_chrome_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        code, out = run_cli(capsys, "timeline", "memnet", "--config",
+                            "tiny", "--steps", "2", "-o", str(trace_path))
+        assert code == 0
+        blob = json.loads(trace_path.read_text())
+        assert blob["traceEvents"]
+
+
+class TestEvaluate:
+    def test_metrics_printed(self, capsys):
+        code, out = run_cli(capsys, "evaluate", "memnet", "--config",
+                            "tiny", "--batches", "2")
+        assert code == 0
+        assert "accuracy" in out
+
+    def test_train_then_evaluate(self, capsys):
+        code, out = run_cli(capsys, "evaluate", "autoenc", "--config",
+                            "tiny", "--train-steps", "3", "--batches", "1")
+        assert code == 0
+        assert "negative_elbo" in out
+
+
+class TestPlacement:
+    def test_fallback_table(self, capsys):
+        code, out = run_cli(capsys, "placement", "memnet", "--config",
+                            "tiny")
+        assert code == 0
+        assert "fallback" in out
+        assert "sync cost" in out
+
+
+class TestCompare:
+    def test_diff_two_workloads(self, capsys):
+        code, out = run_cli(capsys, "compare", "memnet", "autoenc",
+                            "--config", "tiny", "--steps", "1")
+        assert code == 0
+        assert "memnet -> autoenc" in out
+        assert "cosine distance" in out
+
+
+class TestTrace:
+    def test_writes_loadable_trace(self, capsys, tmp_path):
+        from repro.profiling.serialize import load_trace
+        path = tmp_path / "t.jsonl"
+        code, out = run_cli(capsys, "trace", "memnet", "--config", "tiny",
+                            "--steps", "2", "-o", str(path))
+        assert code == 0
+        trace = load_trace(path)
+        assert trace.num_steps == 2
+        assert trace.metadata["workload"] == "memnet"
+
+
+class TestAnalysisCommands:
+    def test_census(self, capsys):
+        code, out = run_cli(capsys, "census", "memnet", "--config", "tiny")
+        assert code == 0
+        assert "GFLOPs" in out
+
+    def test_roofline(self, capsys):
+        code, out = run_cli(capsys, "roofline", "memnet", "--config",
+                            "tiny", "--steps", "1")
+        assert code == 0
+        assert "overhead" in out
+
+    def test_roofline_gpu(self, capsys):
+        code, out = run_cli(capsys, "roofline", "memnet", "--config",
+                            "tiny", "--steps", "1", "--device", "gpu")
+        assert code == 0
+        assert "gpu" in out
+
+    def test_phases(self, capsys):
+        code, out = run_cli(capsys, "phases", "memnet", "--config", "tiny",
+                            "--steps", "1")
+        assert code == 0
+        assert "bwd/fwd" in out
+
+
+class TestWhatIfAndMemory:
+    def test_whatif(self, capsys):
+        code, out = run_cli(capsys, "whatif", "memnet", "--config", "tiny",
+                            "--steps", "1", "--preset", "gemm-engine")
+        assert code == 0
+        assert "ceiling" in out
+
+    def test_memory_plan(self, capsys):
+        code, out = run_cli(capsys, "memory", "memnet", "--config", "tiny")
+        assert code == 0
+        assert "training step peak" in out
+
+
+class TestParsing:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])
+
+    def test_unknown_workload_errors(self, capsys):
+        with pytest.raises(KeyError):
+            main(["run", "gpt4", "--config", "tiny"])

@@ -1,0 +1,118 @@
+"""Cross-module integration tests: the whole stack working together."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import workloads
+from repro.framework import checkpoint, ops
+from repro.framework.device_model import cpu, gpu
+from repro.framework.graph_export import graph_stats, to_networkx
+from repro.framework.placement import (default_devices,
+                                       gpu_with_cpu_fallback,
+                                       simulate_schedule)
+from repro.profiling.comparison import compare_profiles
+from repro.profiling.profile import OperationProfile
+from repro.profiling.timeline import to_chrome_trace
+from repro.profiling.tracer import Tracer
+
+
+class TestTrainProfileCheckpointCycle:
+    """One workload through train -> profile -> checkpoint -> restore."""
+
+    def test_full_lifecycle(self, tmp_path):
+        model = workloads.create("memnet", config="tiny", seed=0)
+
+        # Train while tracing.
+        tracer = Tracer()
+        losses = model.run_training(steps=5, tracer=tracer)
+        assert len(losses) == 5
+        assert tracer.num_steps == 5
+
+        # Profile from the same trace under two devices and diff them.
+        cpu_profile = OperationProfile.from_trace(tracer, "memnet-cpu",
+                                                  device=cpu(1))
+        gpu_profile = OperationProfile.from_trace(tracer, "memnet-gpu",
+                                                  device=gpu())
+        comparison = compare_profiles(cpu_profile, gpu_profile)
+        assert comparison.speedup > 0
+
+        # Timeline from the same trace is valid Chrome JSON.
+        blob = json.loads(to_chrome_trace(tracer))
+        assert len([e for e in blob["traceEvents"] if e["ph"] == "X"]) \
+            == len(tracer.records)
+
+        # Checkpoint, clone, restore, verify behavioural equivalence.
+        path = tmp_path / "memnet.npz"
+        checkpoint.save(model.session, path)
+        clone = workloads.create("memnet", config="tiny", seed=123)
+        checkpoint.restore(clone.session, path)
+        feed_arrays = {t.name: v
+                       for t, v in model.sample_feed(False).items()}
+        original = model.session.run(
+            model.inference_output,
+            feed_dict={model.stories: feed_arrays["stories:0"],
+                       model.queries: feed_arrays["queries:0"],
+                       model.answers: feed_arrays["answers:0"]})
+        restored = clone.session.run(
+            clone.inference_output,
+            feed_dict={clone.stories: feed_arrays["stories:0"],
+                       clone.queries: feed_arrays["queries:0"],
+                       clone.answers: feed_arrays["answers:0"]})
+        np.testing.assert_allclose(original, restored, rtol=1e-5)
+
+
+class TestGraphToolchain:
+    def test_stats_export_and_schedule_agree_on_op_count(self):
+        model = workloads.create("autoenc", config="tiny", seed=0)
+        fetches = [model.loss, model.train_step]
+        subgraph_ops = model.graph.subgraph(fetches)
+        stats = graph_stats(model.graph, fetches=fetches)
+        nxg = to_networkx(model.graph, fetches=fetches)
+        schedule = simulate_schedule(subgraph_ops, gpu_with_cpu_fallback(),
+                                     default_devices())
+        assert stats.num_ops == len(subgraph_ops)
+        assert nxg.number_of_nodes() == len(subgraph_ops)
+        assert len(schedule.scheduled) == len(subgraph_ops)
+
+    def test_critical_path_bounds_schedule(self):
+        """A single-device schedule's makespan >= modeled critical path
+        through any chain (sanity relation between the two analyses)."""
+        model = workloads.create("memnet", config="tiny", seed=0)
+        from repro.framework.placement import place_all
+        ops_list = model.graph.subgraph([model.loss])
+        devices = default_devices()
+        serial = simulate_schedule(ops_list, place_all("cpu"), devices)
+        assert serial.makespan == pytest.approx(serial.device_busy["cpu"])
+
+
+class TestSuiteWideConsistency:
+    def test_profiles_from_shared_trace_are_self_consistent(self):
+        """Measured and modeled profiles over the same trace must contain
+        the same op types."""
+        model = workloads.create("deepq", config="tiny", seed=0)
+        tracer = Tracer()
+        model.run_training(2, tracer=tracer)
+        measured = OperationProfile.from_trace(tracer, "m")
+        modeled = OperationProfile.from_trace(tracer, "d", device=cpu(1))
+        assert set(measured.seconds_by_type) == set(modeled.seconds_by_type)
+
+    def test_inference_subgraph_smaller_than_training(self):
+        for name in ("memnet", "autoenc"):
+            model = workloads.create(name, config="tiny", seed=0)
+            train_ops = model.graph.subgraph([model.loss,
+                                              model.train_step])
+            infer_ops = model.graph.subgraph([model.inference_output])
+            assert len(infer_ops) < len(train_ops), name
+
+    def test_workload_graphs_are_dags_with_consistent_stats(self):
+        import networkx as nx
+        for name in ("seq2seq", "speech"):
+            model = workloads.create(name, config="tiny", seed=0)
+            nxg = to_networkx(model.graph)
+            assert nx.is_directed_acyclic_graph(nxg), name
+            stats = graph_stats(model.graph)
+            longest = nx.dag_longest_path_length(nxg)
+            # networkx counts edges; our stat counts nodes on the path.
+            assert stats.critical_path_length == longest + 1, name

@@ -1,0 +1,155 @@
+"""Tests for the Fathom standard model interface."""
+
+import numpy as np
+import pytest
+
+from repro import workloads
+from repro.profiling.tracer import Tracer
+from repro.workloads import WORKLOADS, WORKLOAD_NAMES, create
+from repro.workloads.base import FathomModel
+
+
+class TestRegistry:
+    def test_eight_workloads_in_table2_order(self):
+        assert WORKLOAD_NAMES == ["seq2seq", "memnet", "speech", "autoenc",
+                                  "residual", "vgg", "alexnet", "deepq"]
+
+    def test_create_by_name(self):
+        model = create("memnet", config="tiny")
+        assert isinstance(model, WORKLOADS["memnet"])
+
+    def test_create_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            create("gpt")
+
+    def test_names_match_metadata(self):
+        for name, workload_cls in WORKLOADS.items():
+            assert workload_cls.name == name
+            assert workload_cls.metadata.name == name
+
+
+class TestConfigHandling:
+    def test_every_workload_has_three_configs(self):
+        for workload_cls in WORKLOADS.values():
+            assert {"tiny", "default", "paper"} <= set(workload_cls.configs)
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(KeyError, match="unknown config"):
+            create("memnet", config="huge")
+
+    def test_dict_config_overrides_default(self):
+        model = workloads.MemN2N(config={"hops": 1, "batch_size": 2})
+        assert model.config["hops"] == 1
+        assert model.config["batch_size"] == 2
+        assert model.config_name == "custom"
+        # Untouched keys come from the default config.
+        assert model.config["embed_dim"] == \
+            workloads.MemN2N.configs["default"]["embed_dim"]
+
+
+class TestStandardInterface:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return create("memnet", config="tiny", seed=0)
+
+    def test_fetches_are_set(self, model):
+        assert model.inference_output is not None
+        assert model.loss is not None
+        assert model.train_step is not None
+
+    def test_run_training_returns_losses(self, model):
+        losses = model.run_training(steps=3)
+        assert len(losses) == 3
+        assert all(np.isfinite(l) for l in losses)
+
+    def test_run_inference_returns_output(self, model):
+        out = model.run_inference(steps=2)
+        assert out.shape[0] == model.batch_size
+
+    def test_profile_modes(self, model):
+        profile = model.profile(mode="training", steps=1, warmup=0)
+        assert profile.total_seconds > 0.0
+        profile = model.profile(mode="inference", steps=1, warmup=0)
+        assert profile.total_seconds > 0.0
+
+    def test_profile_invalid_mode_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.profile(mode="validation")
+
+    def test_parameter_count_positive(self, model):
+        assert model.num_parameters() > 0
+
+    def test_repr(self, model):
+        text = repr(model)
+        assert "MemN2N" in text and "ops=" in text
+
+    def test_summary_lists_scopes_and_totals(self, model):
+        text = model.summary()
+        assert "TOTAL" in text
+        assert "hop0" in text
+        # The totals row matches the model's own accounting.
+        total_line = text.splitlines()[-1]
+        assert f"{model.num_parameters():,}" in total_line
+
+    def test_tracer_sees_training_ops(self, model):
+        tracer = Tracer()
+        model.run_training(steps=1, tracer=tracer)
+        types = {r.op_type for r in tracer.records}
+        assert "ApplyAdam" in types
+
+    def test_determinism_across_instances(self):
+        a = create("memnet", config="tiny", seed=5)
+        b = create("memnet", config="tiny", seed=5)
+        np.testing.assert_allclose(a.run_training(steps=2),
+                                   b.run_training(steps=2), rtol=1e-5)
+
+    def test_different_seeds_differ(self):
+        a = create("memnet", config="tiny", seed=1)
+        b = create("memnet", config="tiny", seed=2)
+        assert not np.allclose(a.run_training(steps=1),
+                               b.run_training(steps=1))
+
+
+class TestMetadataTable2:
+    """The registry metadata must match the paper's Table II."""
+
+    EXPECTED = {
+        "seq2seq": (2014, "Recurrent", 7, "Supervised", "WMT-15"),
+        "memnet": (2015, "Memory Network", 3, "Supervised", "bAbI"),
+        "speech": (2014, "Recurrent, Full", 5, "Supervised", "TIMIT"),
+        "autoenc": (2014, "Full", 3, "Unsupervised", "MNIST"),
+        "residual": (2015, "Convolutional", 34, "Supervised", "ImageNet"),
+        "vgg": (2014, "Convolutional, Full", 19, "Supervised", "ImageNet"),
+        "alexnet": (2012, "Convolutional, Full", 5, "Supervised",
+                    "ImageNet"),
+        "deepq": (2013, "Convolutional, Full", 5, "Reinforcement",
+                  "Atari ALE"),
+    }
+
+    @pytest.mark.parametrize("name", list(EXPECTED))
+    def test_row(self, name):
+        year, style, layers, task, dataset = self.EXPECTED[name]
+        meta = WORKLOADS[name].metadata
+        assert meta.year == year
+        assert meta.neuronal_style == style
+        assert meta.layers == layers
+        assert meta.learning_task == task
+        assert meta.dataset == dataset
+
+
+class TestAbstractBase:
+    def test_build_must_set_fetches(self):
+        class Broken(FathomModel):
+            name = "broken"
+            configs = {"tiny": {"batch_size": 1},
+                       "default": {"batch_size": 1},
+                       "paper": {"batch_size": 1}}
+
+            def build(self):
+                pass
+
+            def sample_feed(self, training=True):
+                return {}
+
+        with pytest.raises(RuntimeError, match="must set"):
+            Broken(config="tiny")

@@ -1,0 +1,63 @@
+"""Tests for the per-workload evaluate() task metrics."""
+
+import numpy as np
+import pytest
+
+from repro import workloads
+
+
+@pytest.fixture(scope="module")
+def models():
+    return {name: workloads.create(name, config="tiny", seed=0)
+            for name in workloads.WORKLOAD_NAMES}
+
+
+class TestMetricsWellFormed:
+    def test_classifiers_report_accuracy_and_chance(self, models):
+        for name in ("alexnet", "vgg", "residual", "memnet"):
+            metrics = models[name].evaluate(batches=2)
+            assert 0.0 <= metrics["accuracy"] <= 1.0, name
+            assert 0.0 < metrics["chance"] < 1.0, name
+
+    def test_autoenc_metrics(self, models):
+        metrics = models["autoenc"].evaluate(batches=2)
+        assert metrics["negative_elbo"] > 0.0
+        assert 0.0 <= metrics["pixel_l1_error"] <= 1.0
+
+    def test_speech_per(self, models):
+        metrics = models["speech"].evaluate(batches=2)
+        assert metrics["phoneme_error_rate"] >= 0.0
+
+    def test_seq2seq_metrics(self, models):
+        metrics = models["seq2seq"].evaluate(batches=2)
+        assert 0.0 <= metrics["token_accuracy"] <= 1.0
+        assert metrics["perplexity"] >= 1.0
+
+    def test_deepq_episode_reward(self, models):
+        metrics = models["deepq"].evaluate(batches=2)
+        # Catch rewards are +-1 per episode.
+        assert -1.0 <= metrics["mean_episode_reward"] <= 1.0
+
+
+class TestMetricsImproveWithTraining:
+    def test_memnet_accuracy_improves(self):
+        model = workloads.create("memnet", config="tiny", seed=7)
+        before = model.evaluate(batches=5)["accuracy"]
+        model.run_training(steps=250)
+        after = model.evaluate(batches=5)["accuracy"]
+        assert after > before
+        assert after > model.evaluate(batches=1)["chance"]
+
+    def test_autoenc_reconstruction_improves(self):
+        model = workloads.create("autoenc", config="tiny", seed=7)
+        before = model.evaluate(batches=3)["pixel_l1_error"]
+        model.run_training(steps=80)
+        after = model.evaluate(batches=3)["pixel_l1_error"]
+        assert after < before
+
+    def test_seq2seq_perplexity_improves(self):
+        model = workloads.create("seq2seq", config="tiny", seed=7)
+        before = model.evaluate(batches=2)["perplexity"]
+        model.run_training(steps=60)
+        after = model.evaluate(batches=2)["perplexity"]
+        assert after < before

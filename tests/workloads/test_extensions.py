@@ -1,0 +1,187 @@
+"""Tests for the living-suite extension workloads and their corpus."""
+
+import numpy as np
+import pytest
+
+from repro.data.ptb import SyntheticPTB
+from repro.workloads import WORKLOADS, extensions
+
+
+class TestSyntheticPTB:
+    def test_stream_tokens_in_range(self):
+        data = SyntheticPTB(vocab_size=40, branching=5, seed=0)
+        stream = data.sample_stream(200)
+        assert stream.min() >= 0
+        assert stream.max() < 40
+
+    def test_markov_structure_present(self):
+        """Likely successors must actually dominate the transitions."""
+        data = SyntheticPTB(vocab_size=40, branching=5,
+                            concentration=0.8, seed=0)
+        stream = data.sample_stream(5000)
+        hits = sum(1 for a, b in zip(stream, stream[1:])
+                   if b in data._successors[a])
+        # 0.8 mass on likely successors plus uniform leakage.
+        assert hits / (len(stream) - 1) > 0.7
+
+    def test_lm_batch_targets_are_shifted_inputs(self):
+        data = SyntheticPTB(vocab_size=40, branching=5, seed=0)
+        batch = data.sample_batch(4, sequence_length=10)
+        assert batch["inputs"].shape == (4, 10)
+        assert batch["targets"].shape == (4, 10)
+        # The target at t is the input at t+1 within the same stream.
+        np.testing.assert_array_equal(batch["inputs"][:, 1:],
+                                      batch["targets"][:, :-1])
+
+    def test_skipgram_batch_shapes(self):
+        data = SyntheticPTB(vocab_size=40, branching=5, seed=0)
+        batch = data.skipgram_batch(8, window=2, negatives=5)
+        assert batch["centers"].shape == (8,)
+        assert batch["contexts"].shape == (8,)
+        assert batch["negatives"].shape == (8, 5)
+
+    def test_transition_logprob_oracle(self):
+        data = SyntheticPTB(vocab_size=40, branching=5,
+                            concentration=0.7, seed=0)
+        likely = int(data._successors[0][0])
+        unlikely = next(w for w in range(40)
+                        if w not in data._successors[0])
+        assert data.transition_logprob(0, likely) > \
+            data.transition_logprob(0, unlikely)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticPTB(vocab_size=10, branching=10)
+        with pytest.raises(ValueError):
+            SyntheticPTB(concentration=1.5)
+
+
+class TestRegistry:
+    def test_extensions_do_not_touch_the_core_eight(self):
+        assert set(WORKLOADS) == {"seq2seq", "memnet", "speech", "autoenc",
+                                  "residual", "vgg", "alexnet", "deepq"}
+        assert not set(extensions.EXTENSION_WORKLOADS) & set(WORKLOADS)
+
+    def test_create_by_name(self):
+        model = extensions.create("lstm_lm", config="tiny")
+        assert isinstance(model, extensions.LSTMLanguageModel)
+
+    def test_unknown_extension_rejected(self):
+        with pytest.raises(KeyError, match="unknown extension"):
+            extensions.create("transformer")
+
+    def test_standard_interface_compliance(self):
+        for name in extensions.EXTENSION_WORKLOADS:
+            model = extensions.create(name, config="tiny", seed=0)
+            losses = model.run_training(steps=2)
+            assert all(np.isfinite(l) for l in losses), name
+            assert model.num_parameters() > 0
+            profile = model.profile(mode="training", steps=1, warmup=0)
+            assert profile.total_seconds > 0.0
+
+    @pytest.mark.parametrize("name",
+                             sorted(extensions.EXTENSION_WORKLOADS))
+    def test_default_configs_train_stably(self, name):
+        model = extensions.create(name, config="default", seed=0)
+        losses = model.run_training(steps=8)
+        assert all(np.isfinite(l) for l in losses), (name, losses)
+
+
+class TestLSTMLanguageModel:
+    def test_perplexity_beats_uniform_after_training(self):
+        model = extensions.create("lstm_lm", config="tiny", seed=0)
+        model.run_training(steps=300)
+        metrics = model.evaluate(batches=4)
+        assert metrics["perplexity"] < 0.75 * metrics["uniform_perplexity"]
+
+    def test_inference_rows_are_distributions(self):
+        model = extensions.create("lstm_lm", config="tiny", seed=0)
+        out = model.run_inference(steps=1)
+        np.testing.assert_allclose(out.sum(axis=-1),
+                                   np.ones(out.shape[0]), rtol=1e-4)
+
+
+class TestSyntheticCaptions:
+    def test_batch_shapes(self):
+        from repro.data.captions import SyntheticCaptions
+        data = SyntheticCaptions(image_size=16, num_classes=4, seed=0)
+        batch = data.sample_batch(5)
+        assert batch["images"].shape == (5, 16, 16, 3)
+        assert batch["caption_in"].shape == (5, data.CAPTION_LENGTH)
+        assert batch["caption_out"].shape == (5, data.CAPTION_LENGTH)
+
+    def test_teacher_forcing_alignment(self):
+        from repro.data.captions import START_ID, SyntheticCaptions
+        data = SyntheticCaptions(seed=0)
+        batch = data.sample_batch(8)
+        assert np.all(batch["caption_in"][:, 0] == START_ID)
+        np.testing.assert_array_equal(batch["caption_in"][:, 1:],
+                                      batch["caption_out"][:, :-1])
+
+    def test_captions_are_class_determined(self):
+        from repro.data.captions import SyntheticCaptions
+        data = SyntheticCaptions(num_classes=4, seed=0)
+        texts = {data.decode(data.caption_ids(cls)) for cls in range(4)}
+        assert len(texts) == 4  # distinct caption per class
+        assert all(t.startswith("a photo of") for t in texts)
+
+    def test_decode_stops_at_end(self):
+        from repro.data.captions import END_ID, SyntheticCaptions
+        data = SyntheticCaptions(seed=0)
+        tokens = list(data.caption_ids(0)) + [5, 5]
+        assert "photo" in data.decode(tokens)
+        assert data.decode(tokens) == data.decode(data.caption_ids(0))
+
+    def test_class_count_validated(self):
+        from repro.data.captions import SyntheticCaptions
+        with pytest.raises(ValueError):
+            SyntheticCaptions(num_classes=100)
+
+
+class TestNeuralTalk:
+    def test_hybrid_structure(self):
+        model = extensions.create("neuraltalk", config="tiny", seed=0)
+        types = {op.type_name for op in model.graph.operations}
+        # Both suite styles in one workload: convolution and LSTM gates.
+        assert "Conv2D" in types
+        assert "Gather" in types
+        assert "MatMul" in types
+
+    def test_learns_to_caption(self):
+        model = extensions.create("neuraltalk", config="tiny", seed=0)
+        before = model.evaluate(batches=3)
+        model.run_training(steps=200)
+        after = model.evaluate(batches=3)
+        assert after["token_accuracy"] > before["token_accuracy"]
+        # Content words require recognizing the image: above chance.
+        assert after["content_word_accuracy"] > \
+            1.2 * after["content_chance"]
+
+    def test_caption_image_returns_text(self):
+        model = extensions.create("neuraltalk", config="tiny", seed=0)
+        batch = model.dataset.sample_batch(1)
+        text = model.caption_image(batch["images"][0])
+        assert isinstance(text, str)
+
+
+class TestSkipGram:
+    def test_loss_decreases(self):
+        model = extensions.create("skipgram", config="tiny", seed=0)
+        losses = model.run_training(steps=300)
+        assert np.mean(losses[-30:]) < 0.95 * np.mean(losses[:30])
+
+    def test_ranking_beats_chance_after_training(self):
+        model = extensions.create("skipgram", config="tiny", seed=0)
+        model.run_training(steps=800)
+        metrics = model.evaluate(batches=8)
+        assert metrics["ranking_accuracy"] > 1.3 * metrics["chance"]
+
+    def test_profile_is_embedding_shaped(self):
+        """skipgram is Gather/BatchMatMul dominated — no conv, no big
+        dense matmuls."""
+        from repro.framework.device_model import cpu
+        model = extensions.create("skipgram", config="default", seed=0)
+        profile = model.profile(mode="training", steps=2, device=cpu(1))
+        assert "Conv2D" not in profile.seconds_by_type
+        types = set(profile.fractions())
+        assert {"Gather", "BatchMatMul", "UnsortedSegmentSum"} <= types

@@ -1,0 +1,206 @@
+"""Per-workload structural and behavioural tests (tiny configs)."""
+
+import numpy as np
+import pytest
+
+from repro import workloads
+from repro.framework.graph import OpClass
+from repro.profiling.tracer import Tracer
+
+
+@pytest.fixture(scope="module")
+def models():
+    """One tiny instance of each workload, shared across this module."""
+    return {name: workloads.create(name, config="tiny", seed=0)
+            for name in workloads.WORKLOAD_NAMES}
+
+
+def traced_types(model, mode="training"):
+    tracer = Tracer()
+    if mode == "training":
+        model.run_training(steps=1, tracer=tracer)
+    else:
+        model.run_inference(steps=1, tracer=tracer)
+    return {r.op_type for r in tracer.records}
+
+
+class TestStructure:
+    def test_conv_nets_contain_convolution(self, models):
+        for name in ("alexnet", "vgg", "residual", "deepq"):
+            types = {op.type_name for op in models[name].graph.operations}
+            assert "Conv2D" in types, name
+
+    def test_training_emits_conv_backward_kernels(self, models):
+        types = traced_types(models["alexnet"])
+        assert "Conv2DBackpropFilter" in types
+        assert "Conv2DBackpropInput" in types
+
+    def test_alexnet_has_lrn_and_dropout(self, models):
+        types = {op.type_name for op in models["alexnet"].graph.operations}
+        assert "LRN" in types
+        assert "RandomUniform" in types  # dropout's mask sampling
+
+    def test_vgg_uses_only_3x3_conv(self, models):
+        convs = [op for op in models["vgg"].graph.operations
+                 if op.type_name == "Conv2D"]
+        assert len(convs) == 16  # VGG-19: sixteen conv layers
+        assert all(op.inputs[1].shape[0] == 3 for op in convs)
+
+    def test_residual_block_count(self, models):
+        convs = [op for op in models["residual"].graph.operations
+                 if op.type_name == "Conv2D"]
+        # Stem + 2 per basic block (16 blocks) + projection shortcuts (3).
+        assert len(convs) == 1 + 32 + 3
+
+    def test_residual_has_shortcut_adds(self, models):
+        adds = [op for op in models["residual"].graph.operations
+                if "residual_add" in op.name]
+        assert len(adds) == 16
+
+    def test_seq2seq_has_attention_machinery(self, models):
+        types = {op.type_name for op in models["seq2seq"].graph.operations}
+        assert {"Tile", "BatchMatMul", "Softmax", "Gather"} <= types
+
+    def test_memnet_hop_structure(self, models):
+        softmaxes = [op for op in models["memnet"].graph.operations
+                     if op.type_name == "Softmax"
+                     and "attention" in op.name]
+        assert len(softmaxes) == models["memnet"].config["hops"]
+
+    def test_speech_has_ctc_and_bidirectional(self, models):
+        types = {op.type_name for op in models["speech"].graph.operations}
+        assert "CTCLoss" in types
+        names = [op.name for op in models["speech"].graph.operations]
+        assert any("birnn/forward" in n for n in names)
+        assert any("birnn/backward" in n for n in names)
+
+    def test_autoenc_samples_during_inference(self, models):
+        types = traced_types(models["autoenc"], mode="inference")
+        assert "StandardRandomNormal" in types
+
+    def test_deepq_uses_rmsprop_and_stop_gradient(self, models):
+        types = {op.type_name for op in models["deepq"].graph.operations}
+        assert "ApplyRMSProp" in types
+        assert "StopGradient" in types
+
+    def test_deepq_has_two_towers(self, models):
+        model = models["deepq"]
+        online = model._scope_variables("online")
+        target = model._scope_variables("target")
+        assert len(online) == len(target) > 0
+
+
+class TestBehaviour:
+    def test_classifier_outputs_are_distributions(self, models):
+        for name in ("alexnet", "vgg", "residual", "memnet"):
+            out = models[name].run_inference(steps=1)
+            np.testing.assert_allclose(out.sum(axis=-1),
+                                       np.ones(out.shape[0]), rtol=1e-4,
+                                       err_msg=name)
+
+    def test_autoenc_reconstruction_in_unit_interval(self, models):
+        out = models["autoenc"].run_inference(steps=1)
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0
+
+    def test_speech_inference_is_log_probs(self, models):
+        out = models["speech"].run_inference(steps=1)
+        np.testing.assert_allclose(np.exp(out).sum(axis=-1),
+                                   np.ones(out.shape[:2]), rtol=1e-4)
+
+    def test_deepq_sync_copies_online_to_target(self, models):
+        model = models["deepq"]
+        model.run_training(steps=2)
+        model.sync_target()
+        online = model._scope_variables("online")
+        target = model._scope_variables("target")
+        for src, dst in zip(online, target):
+            np.testing.assert_array_equal(
+                model.session.variable_value(src),
+                model.session.variable_value(dst))
+
+    def test_deepq_q_values_pads_small_batches(self, models):
+        model = models["deepq"]
+        size = model.config["screen_size"]
+        state = np.zeros((1, size, size, model.config["frame_depth"]),
+                         dtype=np.float32)
+        values = model.q_values(state)
+        assert values.shape == (1, model.env.num_actions)
+
+    def test_losses_are_finite_over_steps(self, models):
+        for name, model in models.items():
+            losses = model.run_training(steps=3)
+            assert all(np.isfinite(l) for l in losses), name
+
+
+class TestDefaultConfigStability:
+    """Default configs must train stably — no NaN/Inf blow-ups.
+
+    (Regression test: vgg's default once diverged to NaN by step 4
+    under momentum 0.9 with too-high a learning rate.)
+    """
+
+    @pytest.mark.parametrize("name", workloads.WORKLOAD_NAMES)
+    def test_ten_steps_stay_finite(self, name):
+        model = workloads.create(name, config="default", seed=0)
+        losses = model.run_training(steps=10)
+        assert all(np.isfinite(l) for l in losses), (name, losses)
+        # And the loss hasn't exploded relative to its start.
+        assert losses[-1] < 100 * abs(losses[0]) + 100, (name, losses)
+
+
+class TestLearning:
+    """Every workload must actually learn on its synthetic task."""
+
+    def check_decreases(self, name, steps, factor=0.95, seed=11):
+        model = workloads.create(name, config="tiny", seed=seed)
+        losses = model.run_training(steps=steps)
+        window = max(3, steps // 5)
+        early = float(np.mean(losses[:window]))
+        late = float(np.mean(losses[-window:]))
+        assert late < factor * early, (
+            f"{name}: loss did not decrease ({early:.4f} -> {late:.4f})")
+
+    def test_alexnet_learns(self):
+        self.check_decreases("alexnet", steps=30)
+
+    def test_vgg_learns(self):
+        self.check_decreases("vgg", steps=30)
+
+    def test_residual_learns(self):
+        self.check_decreases("residual", steps=30)
+
+    def test_autoenc_learns(self):
+        self.check_decreases("autoenc", steps=60)
+
+    def test_memnet_learns(self):
+        self.check_decreases("memnet", steps=200)
+
+    def test_seq2seq_learns(self):
+        self.check_decreases("seq2seq", steps=60)
+
+    def test_speech_learns(self):
+        self.check_decreases("speech", steps=40)
+
+    def test_deepq_reduces_bellman_error(self):
+        model = workloads.create("deepq", config="tiny", seed=11)
+        model.sync_target()
+        batch = model.replay if False else None
+        model._ensure_replay_seeded()
+        fixed = model.replay.sample(model.batch_size)
+        losses = [model.train_on_batch(fixed) for _ in range(40)]
+        assert losses[-1] < losses[0]
+
+    def test_memnet_beats_chance_with_training(self):
+        model = workloads.create("memnet", config="tiny", seed=3)
+        model.run_training(steps=250)
+        correct = total = 0
+        for _ in range(10):
+            feed = model.sample_feed(training=False)
+            predictions = model.session.run(model.predicted_answer,
+                                            feed_dict=feed)
+            answers = feed[model.answers]
+            correct += int((predictions == answers).sum())
+            total += len(answers)
+        chance = 1.0 / model.dataset.num_answers
+        assert correct / total > chance * 1.5

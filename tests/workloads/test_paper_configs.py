@@ -1,0 +1,77 @@
+"""Fidelity checks on the ``paper`` configurations.
+
+Construction-only (no training): the graphs must build with the original
+geometries and land in the published parameter-count ballpark. The heavy
+image networks are exercised via the cheaper members of the suite plus
+an explicit alexnet parameter-count formula check.
+"""
+
+import numpy as np
+import pytest
+
+from repro import workloads
+
+
+class TestPaperConfigs:
+    def test_autoenc_matches_kingma_welling_scale(self):
+        model = workloads.create("autoenc", config="paper", seed=0)
+        # 784 <-> 500 <-> 20 VAE: ~0.8M parameters.
+        assert 0.6e6 < model.num_parameters() < 1.1e6
+        assert model.config["hidden_units"] == 500
+        assert model.config["latent_dim"] == 20
+
+    def test_deepq_matches_dqn_scale(self):
+        model = workloads.create("deepq", config="paper", seed=0)
+        assert model.config["screen_size"] == 84
+        assert model.config["frame_depth"] == 4
+        # Mnih et al. tower at 84x84 with SAME padding: millions of
+        # parameters, dominated by the first dense layer.
+        assert 1e6 < model.num_parameters() < 2e7
+
+    def test_memnet_paper_geometry(self):
+        model = workloads.create("memnet", config="paper", seed=0)
+        assert model.config["memory_size"] == 50
+        assert model.config["hops"] == 3
+        assert model.config["embed_dim"] == 50
+
+    def test_seq2seq_paper_matches_text(self):
+        """Section IV: 'three 7-neuron layers'."""
+        cfg = workloads.Seq2Seq.configs["paper"]
+        assert cfg["num_layers"] == 3
+        assert cfg["hidden_units"] == 7
+
+    def test_speech_paper_matches_hannun(self):
+        """Five layers of 2048 units, TIMIT-scale windows."""
+        cfg = workloads.DeepSpeech.configs["paper"]
+        assert cfg["hidden_units"] == 2048
+        assert cfg["num_phonemes"] == 39
+
+    def test_vgg_alexnet_paper_geometry(self):
+        for name in ("vgg", "alexnet"):
+            cfg = workloads.WORKLOADS[name].configs["paper"]
+            assert cfg["image_size"] == 224
+            assert cfg["num_classes"] == 1000
+            assert cfg["dense_units"] == 4096
+            assert cfg["channel_scale"] == 1.0
+
+    def test_alexnet_parameter_formula(self):
+        """The full-scale alexnet graph holds ~62M parameters (the
+        original's count). Checked arithmetically from the layer plan to
+        avoid constructing the 62M-element arrays in CI."""
+        plan = workloads.AlexNet._CONV_PLAN
+        cfg = workloads.AlexNet.configs["paper"]
+        channels_in = 3
+        total = 0
+        spatial = cfg["image_size"]
+        for filters, kernel, stride, pooled in plan:
+            total += kernel * kernel * channels_in * filters + filters
+            channels_in = filters
+            spatial = -(-spatial // stride)
+            if pooled and spatial >= 4:
+                spatial = (spatial - 3) // 2 + 1
+        flattened = spatial * spatial * channels_in
+        total += flattened * cfg["dense_units"] + cfg["dense_units"]
+        total += cfg["dense_units"] ** 2 + cfg["dense_units"]
+        total += cfg["dense_units"] * cfg["num_classes"] \
+            + cfg["num_classes"]
+        assert 5.5e7 < total < 7.0e7
