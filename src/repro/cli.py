@@ -5,6 +5,7 @@ shell::
 
     python -m repro list
     python -m repro run alexnet --config tiny --steps 5
+    python -m repro run speech --resume ckpt.npz --max-retries 3
     python -m repro profile speech --device cpu1 --classes
     python -m repro sweep deepq --threads 1 2 4 8
     python -m repro tables
@@ -54,10 +55,32 @@ def _build(args):
 def cmd_run(args) -> int:
     model = _build(args)
     if args.mode == "train":
-        losses = model.run_training(steps=args.steps)
+        resilient = (args.resume is not None or args.max_retries is not None
+                     or args.checkpoint is not None)
+        if resilient:
+            from repro.framework.resilience import (ResilienceConfig,
+                                                    ResilientRunner)
+            config = ResilienceConfig(
+                max_retries=(args.max_retries
+                             if args.max_retries is not None else 2),
+                backoff_base=0.05,
+                resume_from=args.resume,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=(args.checkpoint_every
+                                  or (10 if args.checkpoint else 0)))
+            runner = ResilientRunner(model, config=config)
+            losses = runner.run(args.steps)
+            for event in runner.events:
+                print(f"[{event.kind}] step {event.step}: {event.detail}",
+                      file=sys.stderr)
+        else:
+            losses = model.run_training(steps=args.steps)
         for step, loss in enumerate(losses, start=1):
             print(f"step {step:3d}  loss {loss:.6f}")
     else:
+        if args.resume is not None:
+            from repro.framework import checkpoint
+            checkpoint.restore(model.session, args.resume)
         output = model.run_inference(steps=args.steps)
         print(f"inference output shape {output.shape}, "
               f"mean {float(np.mean(output)):.6f}")
@@ -291,6 +314,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_args(run_parser)
     run_parser.add_argument("--mode", default="train",
                             choices=["train", "infer"])
+    run_parser.add_argument("--resume", metavar="CKPT",
+                            help="restore variables from this checkpoint "
+                                 "before running")
+    run_parser.add_argument("--max-retries", type=int, default=None,
+                            help="retry failed training steps this many "
+                                 "times (enables the resilient runner)")
+    run_parser.add_argument("--checkpoint", metavar="PATH",
+                            help="write periodic atomic checkpoints here "
+                                 "while training")
+    run_parser.add_argument("--checkpoint-every", type=int, default=0,
+                            metavar="N",
+                            help="checkpoint cadence in steps "
+                                 "(default 10 when --checkpoint is set)")
     run_parser.set_defaults(handler=cmd_run)
 
     profile_parser = commands.add_parser("profile",
@@ -412,7 +448,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    from repro.framework.errors import FrameworkError
+    try:
+        return args.handler(args)
+    except FrameworkError as exc:
+        # One line, no traceback: framework errors are user-diagnosable
+        # (bad checkpoint, failed op, invalid feed), not CLI bugs.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -20,8 +20,8 @@ Quick tour::
 """
 
 from . import (autodiff, calibrate, checkpoint, cost_model, device_model,
-               fuse, gradient_check, graph_export, initializers, layers,
-               ops, optimizers, placement, rewrite, rnn)
+               faults, fuse, gradient_check, graph_export, initializers,
+               layers, ops, optimizers, placement, resilience, rewrite, rnn)
 from .autodiff import gradients
 from .calibrate import calibrate_cpu
 from .gradient_check import check_gradients
@@ -29,24 +29,33 @@ from .cost_model import WorkEstimate
 from .device_model import CPUDeviceModel, GPUDeviceModel, cpu, gpu
 from .errors import (DifferentiationError, ExecutionError, FeedError,
                      FrameworkError, GraphError, ShapeError)
+from .faults import (FaultInjector, FaultPlan, FaultSpec, InjectedFault,
+                     InjectionEvent)
 from .graph import (Graph, OpClass, Operation, OP_TYPE_REGISTRY, Tensor,
                     get_default_graph, name_scope, reset_default_graph)
 from .optimizers import (AdamOptimizer, GradientDescentOptimizer,
                          MomentumOptimizer, Optimizer, RMSPropOptimizer)
-from .session import RunContext, Session
+from .resilience import (FailureEvent, NonFiniteLossError, ResilienceConfig,
+                         ResilientRunner)
+from .session import RunContext, Session, SessionSnapshot
 
 __all__ = [
     "autodiff", "calibrate", "checkpoint", "cost_model", "device_model",
-    "fuse", "gradient_check", "graph_export", "initializers", "layers",
-    "ops", "optimizers", "placement", "rewrite", "rnn",
+    "faults", "fuse", "gradient_check", "graph_export", "initializers",
+    "layers", "ops", "optimizers", "placement", "resilience", "rewrite",
+    "rnn",
     "calibrate_cpu", "check_gradients",
     "gradients", "WorkEstimate",
     "CPUDeviceModel", "GPUDeviceModel", "cpu", "gpu",
     "DifferentiationError", "ExecutionError", "FeedError", "FrameworkError",
     "GraphError", "ShapeError",
+    "FaultInjector", "FaultPlan", "FaultSpec", "InjectedFault",
+    "InjectionEvent",
+    "FailureEvent", "NonFiniteLossError", "ResilienceConfig",
+    "ResilientRunner",
     "Graph", "OpClass", "Operation", "OP_TYPE_REGISTRY", "Tensor",
     "get_default_graph", "name_scope", "reset_default_graph",
     "AdamOptimizer", "GradientDescentOptimizer", "MomentumOptimizer",
     "Optimizer", "RMSPropOptimizer",
-    "RunContext", "Session",
+    "RunContext", "Session", "SessionSnapshot",
 ]

@@ -10,6 +10,8 @@ graphs that define identically-named, identically-shaped variables).
 from __future__ import annotations
 
 import os
+import tempfile
+import zipfile
 
 import numpy as np
 
@@ -33,11 +35,35 @@ def save(session: Session, path: str | os.PathLike) -> list[str]:
 
     Variables that were never touched are saved at their initial values.
     Returns the saved variable names.
+
+    The write is *atomic*: the archive is first written to a temporary
+    file in the same directory and then moved into place with
+    :func:`os.replace`, so a crash mid-save can never leave a truncated
+    or corrupt checkpoint behind — the previous checkpoint (if any)
+    survives untouched.
     """
     variables = _graph_variables(session.graph)
     arrays = {name: session.variable_value(op.output)
               for name, op in variables.items()}
-    np.savez(path, **arrays)
+    final = os.fspath(path)
+    if not final.endswith(".npz"):  # np.savez's own suffix convention
+        final += ".npz"
+    directory = os.path.dirname(final) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(final) + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return sorted(arrays)
 
 
@@ -53,8 +79,12 @@ def restore(session: Session, path: str | os.PathLike,
     Returns the restored variable names.
     """
     variables = _graph_variables(session.graph)
-    with np.load(path) as archive:
-        stored = {name: archive[name] for name in archive.files}
+    try:
+        with np.load(path) as archive:
+            stored = {name: archive[name] for name in archive.files}
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {os.fspath(path)!r}: {exc}") from exc
     missing = sorted(set(variables) - set(stored))
     unexpected = sorted(set(stored) - set(variables))
     if strict and (missing or unexpected):

@@ -27,13 +27,31 @@ class GraphError(FrameworkError):
 class ExecutionError(FrameworkError):
     """Raised when an operation fails while executing.
 
-    Wraps the underlying exception and records which operation failed so
-    profiling sessions can attribute failures to model features.
+    Wraps the underlying exception (chained via ``raise ... from exc``)
+    and records which operation failed — plus the shapes of its inputs —
+    so profiling sessions can attribute failures to model features and
+    recovery logs stay debuggable.
+
+    Attributes:
+        op_name: name of the failing operation.
+        input_shapes: the static shapes of the op's inputs, when known.
+        transient: True for failures that are expected to succeed on
+            retry (e.g. injected chaos faults); the resilient runner
+            only retries transient errors unless configured otherwise.
     """
 
-    def __init__(self, op_name: str, message: str):
-        super().__init__(f"operation '{op_name}': {message}")
+    def __init__(self, op_name: str, message: str,
+                 input_shapes: tuple | list | None = None,
+                 transient: bool = False):
+        detail = f"operation '{op_name}': {message}"
+        shapes = tuple(tuple(shape) for shape in input_shapes or ())
+        if shapes:
+            detail += " [input shapes: " + ", ".join(
+                str(shape) for shape in shapes) + "]"
+        super().__init__(detail)
         self.op_name = op_name
+        self.input_shapes = shapes
+        self.transient = transient
 
 
 class FeedError(FrameworkError):

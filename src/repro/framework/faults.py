@@ -1,0 +1,232 @@
+"""Deterministic fault injection for chaos-testing the runtime.
+
+Fathom's workloads are long-running training jobs; hardening the stack
+(see :mod:`repro.framework.resilience`) requires a way to *provoke* the
+failures it must survive, reproducibly. A :class:`FaultPlan` is a
+declarative, seedable list of :class:`FaultSpec` entries; a
+:class:`FaultInjector` executes the plan by hooking the four injection
+points :class:`~repro.framework.session.Session` exposes:
+
+* ``exception`` — raise a transient :class:`InjectedFault` before an op
+  runs (models a lost worker / preempted kernel).
+* ``nan`` — poison an op's floating-point outputs with NaN/Inf after it
+  runs (models silent data corruption).
+* ``latency`` — sleep before an op runs (models a straggler op).
+* ``feed`` — corrupt a placeholder's fed minibatch (models bad input
+  pipelines).
+
+Faults are targeted by op type, op name regex, and/or *injection step*
+(the index of the enclosing ``Session.run`` call; aborted runs count).
+Everything is deterministic given ``(plan, seed)``: probability draws
+come from a private seeded generator advanced in execution order, so two
+identical runs of the same plan produce identical
+:class:`InjectionEvent` sequences.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .errors import ExecutionError
+from .graph import Operation
+
+#: the supported fault kinds
+FAULT_KINDS = ("exception", "nan", "latency", "feed")
+
+
+class InjectedFault(ExecutionError):
+    """A deliberately injected, transient operation failure.
+
+    ``transient=True`` marks it as retryable for the resilient runner.
+    """
+
+    def __init__(self, op_name: str, message: str):
+        super().__init__(op_name, message, transient=True)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: what to inject, where, and how often.
+
+    Args:
+        kind: one of :data:`FAULT_KINDS`.
+        op_type: only fault ops of this ``type_name`` (e.g. ``"MatMul"``).
+        name_pattern: only fault ops whose name matches this regex
+            (``re.search`` semantics).
+        step: only fault during this injection step (the index of the
+            ``Session.run`` call as counted by the injector).
+        probability: chance of firing when all targets match; draws come
+            from the plan's seeded generator, so they are reproducible.
+        max_triggers: stop firing after this many injections
+            (``None`` = unlimited).
+        latency_seconds: sleep duration for ``latency`` faults.
+        payload: ``"nan"`` or ``"inf"`` — the poison value for ``nan``
+            and ``feed`` faults.
+    """
+
+    kind: str
+    op_type: str | None = None
+    name_pattern: str | None = None
+    step: int | None = None
+    probability: float = 1.0
+    max_triggers: int | None = 1
+    latency_seconds: float = 0.01
+    payload: str = "nan"
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}")
+        if self.payload not in ("nan", "inf"):
+            raise ValueError(
+                f"payload must be 'nan' or 'inf', got {self.payload!r}")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1], got {self.probability}")
+        if self.name_pattern is not None:
+            re.compile(self.name_pattern)  # fail fast on bad regexes
+
+    @property
+    def poison_value(self) -> float:
+        return float("nan") if self.payload == "nan" else float("inf")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seedable schedule of faults to inject.
+
+    The plan itself holds no runtime state; build a fresh
+    :class:`FaultInjector` per run. Two injectors over the same plan and
+    the same execution produce identical event sequences.
+    """
+
+    specs: tuple[FaultSpec, ...]
+    seed: int = 0
+
+    def __init__(self, specs, seed: int = 0):
+        object.__setattr__(self, "specs", tuple(specs))
+        object.__setattr__(self, "seed", int(seed))
+
+    def injector(self) -> "FaultInjector":
+        return FaultInjector(self)
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """One fault actually injected during execution."""
+
+    step: int
+    op_name: str
+    kind: str
+    spec_index: int
+
+
+@dataclass
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against a live session.
+
+    Install with ``session.fault_injector = FaultInjector(plan)`` (or
+    ``plan.injector()``). The injector counts ``Session.run`` calls as
+    *injection steps* — including runs aborted by an injected exception,
+    so a retried training step is a fresh injection step and a
+    ``max_triggers=1`` exception fault is genuinely transient.
+    """
+
+    plan: FaultPlan
+    step: int = 0
+    events: list[InjectionEvent] = field(default_factory=list)
+
+    def __post_init__(self):
+        self._rng = np.random.default_rng(self.plan.seed)
+        self._triggers = [0] * len(self.plan.specs)
+        self._patterns = [re.compile(spec.name_pattern)
+                          if spec.name_pattern is not None else None
+                          for spec in self.plan.specs]
+
+    # -- targeting ---------------------------------------------------------
+
+    def _matches(self, index: int, spec: FaultSpec, op: Operation) -> bool:
+        if (spec.max_triggers is not None
+                and self._triggers[index] >= spec.max_triggers):
+            return False
+        if spec.step is not None and spec.step != self.step:
+            return False
+        if spec.op_type is not None and op.type_name != spec.op_type:
+            return False
+        pattern = self._patterns[index]
+        if pattern is not None and pattern.search(op.name) is None:
+            return False
+        if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+            return False
+        return True
+
+    def _fire(self, index: int, spec: FaultSpec, op: Operation) -> None:
+        self._triggers[index] += 1
+        self.events.append(InjectionEvent(
+            step=self.step, op_name=op.name, kind=spec.kind,
+            spec_index=index))
+
+    # -- Session hook points -----------------------------------------------
+
+    def on_feed(self, op: Operation, value: np.ndarray) -> np.ndarray:
+        """Possibly corrupt a fed placeholder value (copy-on-poison)."""
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind != "feed" or not self._matches(index, spec, op):
+                continue
+            if not np.issubdtype(value.dtype, np.floating):
+                continue
+            self._fire(index, spec, op)
+            value = value.copy()
+            value.reshape(-1)[0] = spec.poison_value
+        return value
+
+    def before_op(self, op: Operation) -> None:
+        """Inject latency spikes and transient exceptions."""
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind == "latency" and self._matches(index, spec, op):
+                self._fire(index, spec, op)
+                time.sleep(spec.latency_seconds)
+            elif spec.kind == "exception" and self._matches(index, spec, op):
+                self._fire(index, spec, op)
+                raise InjectedFault(
+                    op.name,
+                    f"injected transient fault (spec {index}, "
+                    f"step {self.step})")
+
+    def after_op(self, op: Operation, outputs):
+        """Possibly poison an op's floating-point outputs."""
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind != "nan" or not self._matches(index, spec, op):
+                continue
+            poisoned = []
+            hit = False
+            for value in outputs:
+                value = np.asarray(value)
+                if np.issubdtype(value.dtype, np.floating) and value.size:
+                    value = value.copy()
+                    value.reshape(-1)[0] = spec.poison_value
+                    hit = True
+                poisoned.append(value)
+            if hit:
+                self._fire(index, spec, op)
+                outputs = tuple(poisoned)
+        return outputs
+
+    def end_step(self) -> None:
+        self.step += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def num_injected(self) -> int:
+        return len(self.events)
+
+    def signature(self) -> tuple:
+        """Hashable summary of everything injected, for determinism checks."""
+        return tuple((e.step, e.op_name, e.kind, e.spec_index)
+                     for e in self.events)

@@ -1,0 +1,297 @@
+"""Resilient training: retries, NaN guards, watchdog, checkpoint recovery.
+
+The original TensorFlow design treats fault tolerance as a user-level
+concern: checkpoint the variables, restart the computation, resume from
+the last consistent state. :class:`ResilientRunner` brings that recipe
+to the Fathom training loop:
+
+* **Per-step rollback.** Before every training step the runner captures
+  a :class:`~repro.framework.session.SessionSnapshot` (variables + RNG
+  state) and samples the minibatch once. A failed attempt restores the
+  snapshot and re-runs the *identical* step, so a recovered run is
+  bit-for-bit equal to a fault-free run.
+* **Bounded retry with backoff.** Transient
+  :class:`~repro.framework.errors.ExecutionError`\\ s (e.g. injected
+  chaos faults) are retried up to ``max_retries`` times with
+  exponential backoff and seeded jitter — deterministic delays given the
+  config seed.
+* **NaN/Inf guard.** A non-finite training loss raises
+  :class:`NonFiniteLossError`; the step is rolled back and retried, and
+  if the loss is *persistently* non-finite the poisoned update is
+  dropped (rollback-and-skip) instead of corrupting the parameters.
+* **Watchdog.** Steps slower than ``watchdog_seconds`` emit a
+  ``watchdog`` event so profiles can flag stragglers.
+* **Periodic atomic checkpoints.** Every ``checkpoint_every`` steps the
+  runner checkpoints (atomically, via :func:`repro.framework.checkpoint.
+  save`) and keeps an in-memory last-good snapshot; when retries are
+  exhausted it restores the last-good state and keeps training.
+
+Every recovery action is emitted as a structured :class:`FailureEvent`
+through the tracer hook, so :mod:`repro.profiling` can attribute time
+lost to faults.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Protocol
+
+import numpy as np
+
+from . import checkpoint as checkpoint_lib
+from .errors import ExecutionError, FrameworkError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .graph import Tensor
+    from .session import Session
+
+
+class NonFiniteLossError(FrameworkError):
+    """Raised by the NaN/Inf guard when a training loss is not finite."""
+
+    def __init__(self, step: int, value: float):
+        super().__init__(
+            f"non-finite training loss at step {step}: {value}")
+        self.step = step
+        self.value = value
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One structured recovery action taken by the resilient runner.
+
+    Kinds: ``retry`` (transient op failure rolled back and retried),
+    ``nan_rollback`` (non-finite loss rolled back and retried), ``skip``
+    (persistently poisoned step dropped), ``restore`` (last-good
+    checkpoint restored after retries were exhausted), ``watchdog``
+    (step exceeded its wall-clock budget), ``checkpoint`` (periodic
+    checkpoint written), ``resume`` (training resumed from a checkpoint
+    file).
+    """
+
+    step: int
+    kind: str
+    op_name: str | None = None
+    attempt: int = 0
+    seconds_lost: float = 0.0
+    detail: str = ""
+
+    def signature(self) -> tuple:
+        """Timing-free identity, for determinism comparisons."""
+        return (self.step, self.kind, self.op_name, self.attempt)
+
+
+class EventSink(Protocol):
+    """Tracers that also want recovery events implement ``record_event``."""
+
+    def record_event(self, event: FailureEvent) -> None:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Policy knobs for :class:`ResilientRunner`.
+
+    Args:
+        max_retries: failed-step re-executions before giving up.
+        backoff_base: first retry delay in seconds (0 disables sleeping).
+        backoff_factor: multiplier applied per additional attempt.
+        backoff_jitter: +/- fraction of jitter drawn from a generator
+            seeded with ``seed`` — deterministic across identical runs.
+        nan_guard: enable the non-finite-loss guard.
+        check_numerics: run steps under ``Session.run(check_numerics=
+            True)`` so the *first offending op* is named (slower).
+        retry_all_execution_errors: retry every ExecutionError, not just
+            those flagged ``transient``.
+        checkpoint_path: where periodic checkpoints are written (``None``
+            keeps last-good state in memory only).
+        checkpoint_every: checkpoint cadence in steps (0 disables).
+        watchdog_seconds: per-step wall-clock budget (None disables).
+        resume_from: checkpoint file restored before the first step.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.1
+    seed: int = 0
+    nan_guard: bool = True
+    check_numerics: bool = False
+    retry_all_execution_errors: bool = False
+    checkpoint_path: str | os.PathLike | None = None
+    checkpoint_every: int = 0
+    watchdog_seconds: float | None = None
+    resume_from: str | os.PathLike | None = None
+
+
+class TrainableModel(Protocol):
+    """What the runner needs from a workload (FathomModel satisfies it)."""
+
+    session: "Session"
+    loss: "Tensor"
+    train_step: "Tensor"
+
+    def sample_feed(self, training: bool = True) -> dict:  # pragma: no cover
+        ...
+
+
+class ResilientRunner:
+    """Drives a workload's training loop with fault recovery.
+
+    Used by :meth:`repro.workloads.base.FathomModel.run_training` when a
+    :class:`ResilienceConfig` is supplied; can also be constructed
+    directly for access to the recorded :attr:`events`.
+    """
+
+    def __init__(self, model: TrainableModel,
+                 config: ResilienceConfig | None = None,
+                 tracer: Any | None = None):
+        self.model = model
+        self.config = config or ResilienceConfig()
+        self.tracer = tracer
+        #: every recovery action taken, in order
+        self.events: list[FailureEvent] = []
+        self._backoff_rng = np.random.default_rng(self.config.seed)
+        self._last_good: tuple[int, Any] | None = None
+
+    # -- events ------------------------------------------------------------
+
+    def _emit(self, event: FailureEvent) -> None:
+        self.events.append(event)
+        record = getattr(self.tracer, "record_event", None)
+        if record is not None:
+            record(event)
+
+    def event_signatures(self) -> tuple:
+        """Timing-free event sequence, for determinism assertions."""
+        return tuple(event.signature() for event in self.events)
+
+    # -- retry policy ------------------------------------------------------
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Deterministic exponential backoff with seeded jitter.
+
+        ``attempt`` is 0-based: the delay before the first retry is
+        ``backoff_base``, the next ``backoff_base * backoff_factor``, ...
+        """
+        config = self.config
+        delay = config.backoff_base * config.backoff_factor ** attempt
+        if delay <= 0.0:
+            return 0.0
+        if config.backoff_jitter:
+            swing = float(self._backoff_rng.uniform(-1.0, 1.0))
+            delay *= 1.0 + config.backoff_jitter * swing
+        return max(0.0, delay)
+
+    def _retryable(self, exc: Exception) -> bool:
+        if isinstance(exc, NonFiniteLossError):
+            return True
+        return (self.config.retry_all_execution_errors
+                or getattr(exc, "transient", False))
+
+    # -- the training loop -------------------------------------------------
+
+    def run(self, steps: int) -> list[float]:
+        """Run ``steps`` training steps, surviving recoverable failures.
+
+        Returns per-step losses; a skipped step contributes ``nan``.
+        """
+        session = self.model.session
+        config = self.config
+        if config.resume_from is not None:
+            restored = checkpoint_lib.restore(session, config.resume_from)
+            self._emit(FailureEvent(
+                step=-1, kind="resume",
+                detail=f"restored {len(restored)} variables from "
+                       f"{os.fspath(config.resume_from)}"))
+        losses: list[float] = []
+        for step in range(steps):
+            feed = self.model.sample_feed(training=True)
+            snapshot = session.state_snapshot()
+            step_start = time.perf_counter()
+            losses.append(self._run_step(step, feed, snapshot))
+            elapsed = time.perf_counter() - step_start
+            if (config.watchdog_seconds is not None
+                    and elapsed > config.watchdog_seconds):
+                self._emit(FailureEvent(
+                    step=step, kind="watchdog",
+                    seconds_lost=elapsed - config.watchdog_seconds,
+                    detail=f"step took {elapsed:.4f}s "
+                           f"(budget {config.watchdog_seconds:.4f}s)"))
+            if config.checkpoint_every and \
+                    (step + 1) % config.checkpoint_every == 0:
+                self._checkpoint(step)
+        return losses
+
+    def _run_step(self, step: int, feed: dict, snapshot) -> float:
+        """Execute one step with rollback/retry; returns its loss."""
+        session = self.model.session
+        config = self.config
+        attempt = 0
+        while True:
+            attempt_start = time.perf_counter()
+            try:
+                loss_value, _ = session.run(
+                    [self.model.loss, self.model.train_step],
+                    feed_dict=feed, tracer=self.tracer,
+                    check_numerics=config.check_numerics)
+                loss_value = float(np.asarray(loss_value))
+                if config.nan_guard and not math.isfinite(loss_value):
+                    raise NonFiniteLossError(step, loss_value)
+                return loss_value
+            except (ExecutionError, NonFiniteLossError) as exc:
+                lost = time.perf_counter() - attempt_start
+                if not self._retryable(exc):
+                    return self._unrecoverable(step, exc, attempt, lost)
+                if attempt < config.max_retries:
+                    session.restore_snapshot(snapshot)
+                    kind = ("nan_rollback"
+                            if isinstance(exc, NonFiniteLossError)
+                            else "retry")
+                    attempt += 1
+                    self._emit(FailureEvent(
+                        step=step, kind=kind,
+                        op_name=getattr(exc, "op_name", None),
+                        attempt=attempt, seconds_lost=lost,
+                        detail=str(exc)))
+                    delay = self.backoff_delay(attempt - 1)
+                    if delay:
+                        time.sleep(delay)
+                    continue
+                if isinstance(exc, NonFiniteLossError):
+                    # Persistently poisoned step: drop the update rather
+                    # than corrupt the parameters (rollback-and-skip).
+                    session.restore_snapshot(snapshot)
+                    self._emit(FailureEvent(
+                        step=step, kind="skip", attempt=attempt,
+                        seconds_lost=lost, detail=str(exc)))
+                    return math.nan
+                return self._unrecoverable(step, exc, attempt, lost)
+
+    def _unrecoverable(self, step: int, exc: Exception, attempt: int,
+                       lost: float) -> float:
+        """Restore the last-good checkpoint state, or re-raise."""
+        if self._last_good is None:
+            raise exc
+        good_step, good_snapshot = self._last_good
+        self.model.session.restore_snapshot(good_snapshot)
+        self._emit(FailureEvent(
+            step=step, kind="restore",
+            op_name=getattr(exc, "op_name", None), attempt=attempt,
+            seconds_lost=lost,
+            detail=f"restored last-good state from step {good_step} "
+                   f"after: {exc}"))
+        return math.nan
+
+    def _checkpoint(self, step: int) -> None:
+        config = self.config
+        detail = "in-memory"
+        if config.checkpoint_path is not None:
+            checkpoint_lib.save(self.model.session, config.checkpoint_path)
+            detail = os.fspath(config.checkpoint_path)
+        self._last_good = (step, self.model.session.state_snapshot())
+        self._emit(FailureEvent(step=step, kind="checkpoint",
+                                detail=detail))

@@ -15,7 +15,9 @@ convolutional workloads.
 
 from __future__ import annotations
 
+import copy
 import time
+from dataclasses import dataclass
 from typing import Any, Mapping, Protocol, Sequence
 
 import numpy as np
@@ -34,6 +36,42 @@ class Tracer(Protocol):
     def finish_step(self, total_seconds: float,
                     peak_live_bytes: int = 0) -> None:  # pragma: no cover
         ...
+
+
+class FaultInjector(Protocol):
+    """Hook points :class:`Session.run` offers to a chaos-fault injector.
+
+    See :mod:`repro.framework.faults` for the concrete implementation;
+    the protocol keeps the executor decoupled from the fault model.
+    """
+
+    def on_feed(self, op: Operation,
+                value: np.ndarray) -> np.ndarray:  # pragma: no cover
+        ...
+
+    def before_op(self, op: Operation) -> None:  # pragma: no cover
+        ...
+
+    def after_op(self, op: Operation,
+                 outputs: Sequence[np.ndarray]):  # pragma: no cover
+        ...
+
+    def end_step(self) -> None:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """A deep copy of a session's mutable run state.
+
+    Captures variable values *and* the random-stream state, so restoring
+    a snapshot and re-running a step reproduces it bit-for-bit — the
+    property the resilient runner's rollback-and-retry relies on.
+    """
+
+    variables: dict[int, np.ndarray]
+    variable_ops: dict[int, VariableOp]
+    rng_state: dict
 
 
 class RunContext:
@@ -73,6 +111,9 @@ class Session:
         self._validated: set[int] = set()
         #: peak bytes of live intermediate tensors in the last run
         self.last_peak_live_bytes = 0
+        #: optional chaos-fault injector consulted around every op
+        #: execution (see :mod:`repro.framework.faults`)
+        self.fault_injector: FaultInjector | None = None
 
     # -- variable access ------------------------------------------------------
 
@@ -91,6 +132,29 @@ class Session:
                 f"variable {tensor.name!r} has shape {tensor.shape}, "
                 f"got {value.shape}")
         self._ctx.write_variable(tensor.op, value)
+
+    # -- state snapshots ---------------------------------------------------------
+
+    def state_snapshot(self) -> SessionSnapshot:
+        """Capture all mutable run state (variables + RNG) for rollback."""
+        return SessionSnapshot(
+            variables={key: value.copy()
+                       for key, value in self._variables.items()},
+            variable_ops=dict(self._variable_ops),
+            rng_state=copy.deepcopy(self.rng.bit_generator.state))
+
+    def restore_snapshot(self, snapshot: SessionSnapshot) -> None:
+        """Restore state captured by :meth:`state_snapshot`.
+
+        The variable store is mutated in place (it is shared with the
+        run context), so restoring never invalidates cached plans.
+        """
+        self._variables.clear()
+        self._variables.update({key: value.copy()
+                                for key, value in snapshot.variables.items()})
+        self._variable_ops.clear()
+        self._variable_ops.update(snapshot.variable_ops)
+        self.rng.bit_generator.state = copy.deepcopy(snapshot.rng_state)
 
     # -- execution --------------------------------------------------------------
 
@@ -128,64 +192,79 @@ class Session:
         now = time.perf_counter  # local binding: called twice per op
         validated = self._validated
         ctx = self._ctx
+        injector = self.fault_injector
         values: dict[str, np.ndarray] = {}
         live_bytes = 0
         peak_bytes = 0
         step_start = now()
-        for op in ops:
-            if type(op) is Placeholder:
-                fed = feeds[id(op)]
-                values[op.outputs[0].name] = fed
-                live_bytes += fed.nbytes
-                continue
-            args = tuple(values[t.name] for t in op.inputs)
-            op_start = now()
-            try:
-                outputs = op.compute(args, ctx)
-            except Exception as exc:
-                if isinstance(exc, ExecutionError):
-                    raise
-                raise ExecutionError(op.name, str(exc)) from exc
-            elapsed = now() - op_start
-            if tracer is not None:
-                tracer.record(op, elapsed)
-            if check_numerics:
-                for tensor, value in zip(op.outputs, outputs):
-                    value = np.asarray(value)
-                    if (np.issubdtype(value.dtype, np.floating)
-                            and not np.isfinite(value).all()):
-                        bad = ("NaN" if np.isnan(value).any() else "Inf")
-                        raise ExecutionError(
-                            op.name,
-                            f"produced {bad} in {tensor.name} "
-                            f"(check_numerics)")
-            if id(op) in validated:
-                for tensor, value in zip(op.outputs, outputs):
-                    values[tensor.name] = value
-                    live_bytes += value.nbytes
-            else:
-                # First execution: check declared shapes and normalize any
-                # non-ndarray outputs. Kernels return ndarrays of the
-                # declared shape thereafter, so the steady-state loop
-                # skips the checks.
-                validated.add(id(op))
-                for tensor, value in zip(op.outputs, outputs):
-                    value = np.asarray(value)
-                    if value.shape != tensor.shape:
-                        raise ExecutionError(
-                            op.name,
-                            f"produced shape {value.shape}, declared "
-                            f"{tensor.shape} for {tensor.name}")
-                    values[tensor.name] = value
-                    live_bytes += value.nbytes
-            if live_bytes > peak_bytes:
-                peak_bytes = live_bytes
-            for tensor in op.inputs:
-                name = tensor.name
-                refcount[name] -= 1
-                if refcount[name] == 0:
-                    live_bytes -= values[name].nbytes
-                    del values[name]
+        try:
+            for op in ops:
+                if type(op) is Placeholder:
+                    fed = feeds[id(op)]
+                    if injector is not None:
+                        fed = injector.on_feed(op, fed)
+                    values[op.outputs[0].name] = fed
+                    live_bytes += fed.nbytes
+                    continue
+                args = tuple(values[t.name] for t in op.inputs)
+                op_start = now()
+                try:
+                    if injector is not None:
+                        injector.before_op(op)
+                    outputs = op.compute(args, ctx)
+                    if injector is not None:
+                        outputs = injector.after_op(op, outputs)
+                except Exception as exc:
+                    if isinstance(exc, ExecutionError):
+                        raise
+                    raise ExecutionError(
+                        op.name, str(exc),
+                        input_shapes=[t.shape for t in op.inputs]) from exc
+                elapsed = now() - op_start
+                if tracer is not None:
+                    tracer.record(op, elapsed)
+                if check_numerics:
+                    for tensor, value in zip(op.outputs, outputs):
+                        value = np.asarray(value)
+                        if (np.issubdtype(value.dtype, np.floating)
+                                and not np.isfinite(value).all()):
+                            bad = ("NaN" if np.isnan(value).any() else "Inf")
+                            raise ExecutionError(
+                                op.name,
+                                f"produced {bad} in {tensor.name} "
+                                f"(check_numerics)")
+                if id(op) in validated:
+                    for tensor, value in zip(op.outputs, outputs):
+                        values[tensor.name] = value
+                        live_bytes += value.nbytes
+                else:
+                    # First execution: check declared shapes and normalize
+                    # any non-ndarray outputs. Kernels return ndarrays of
+                    # the declared shape thereafter, so the steady-state
+                    # loop skips the checks.
+                    validated.add(id(op))
+                    for tensor, value in zip(op.outputs, outputs):
+                        value = np.asarray(value)
+                        if value.shape != tensor.shape:
+                            raise ExecutionError(
+                                op.name,
+                                f"produced shape {value.shape}, declared "
+                                f"{tensor.shape} for {tensor.name}")
+                        values[tensor.name] = value
+                        live_bytes += value.nbytes
+                if live_bytes > peak_bytes:
+                    peak_bytes = live_bytes
+                for tensor in op.inputs:
+                    name = tensor.name
+                    refcount[name] -= 1
+                    if refcount[name] == 0:
+                        live_bytes -= values[name].nbytes
+                        del values[name]
+        finally:
+            # Aborted runs still advance the injector's step counter, so
+            # a retry of the same training step is a *new* injection step.
+            if injector is not None:
+                injector.end_step()
         self.last_peak_live_bytes = peak_bytes
         if tracer is not None:
             tracer.finish_step(now() - step_start, peak_bytes)

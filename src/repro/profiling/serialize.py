@@ -60,12 +60,22 @@ class SavedTrace:
 
     def __init__(self, records: list[SavedRecord], step_totals: list[float],
                  step_peak_bytes: list[int], metadata: dict,
-                 total_op_seconds: float | None = None):
+                 total_op_seconds: float | None = None,
+                 events: list | None = None):
         self.records = records
         self.step_totals = step_totals
         self.step_peak_bytes = step_peak_bytes
         self.metadata = metadata
+        self.events = events or []
         self._total_op_seconds = total_op_seconds
+
+    def failure_events(self, kind: str | None = None) -> list:
+        if kind is None:
+            return list(self.events)
+        return [e for e in self.events if e.kind == kind]
+
+    def fault_seconds(self) -> float:
+        return sum(e.seconds_lost for e in self.events)
 
     @property
     def num_steps(self) -> int:
@@ -98,6 +108,11 @@ def save_trace(tracer: Tracer, path: str | os.PathLike,
                   "step_peak_bytes": list(tracer.step_peak_bytes),
                   # includes structural ops, which records below omit
                   "total_op_seconds": tracer.total_op_seconds(),
+                  "failure_events": [
+                      {"step": e.step, "kind": e.kind, "op": e.op_name,
+                       "attempt": e.attempt, "seconds_lost": e.seconds_lost,
+                       "detail": e.detail}
+                      for e in getattr(tracer, "events", [])],
                   "metadata": metadata or {}}
         handle.write(json.dumps(header) + "\n")
         for record in records:
@@ -136,8 +151,16 @@ def load_trace(path: str | os.PathLike) -> SavedTrace:
                                             trip_count=blob["trips"]))
             records.append(SavedRecord(op=op, seconds=blob["seconds"],
                                        step=blob["step"]))
+    from repro.framework.resilience import FailureEvent
+    events = [FailureEvent(step=blob["step"], kind=blob["kind"],
+                           op_name=blob.get("op"),
+                           attempt=blob.get("attempt", 0),
+                           seconds_lost=blob.get("seconds_lost", 0.0),
+                           detail=blob.get("detail", ""))
+              for blob in header.get("failure_events", [])]
     return SavedTrace(records=records,
                       step_totals=header["step_totals"],
                       step_peak_bytes=header.get("step_peak_bytes", []),
                       metadata=header.get("metadata", {}),
-                      total_op_seconds=header.get("total_op_seconds"))
+                      total_op_seconds=header.get("total_op_seconds"),
+                      events=events)

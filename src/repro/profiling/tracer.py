@@ -50,6 +50,9 @@ class Tracer:
     records: list[OpRecord] = field(default_factory=list)
     step_totals: list[float] = field(default_factory=list)
     step_peak_bytes: list[int] = field(default_factory=list)
+    #: structured FailureEvent records emitted by the resilient runner
+    #: (see :mod:`repro.framework.resilience`), interleaved with steps
+    events: list = field(default_factory=list)
     _current_step: int = 0
 
     def record(self, op: Operation, seconds: float) -> None:
@@ -61,6 +64,10 @@ class Tracer:
         self.step_totals.append(total_seconds)
         self.step_peak_bytes.append(peak_live_bytes)
         self._current_step += 1
+
+    def record_event(self, event) -> None:
+        """Attach a recovery/failure event (the resilient-runner hook)."""
+        self.events.append(event)
 
     # -- summaries ---------------------------------------------------------
 
@@ -94,8 +101,23 @@ class Tracer:
         """Largest intermediate-tensor footprint seen in any step."""
         return max(self.step_peak_bytes, default=0)
 
+    def failure_events(self, kind: str | None = None) -> list:
+        """Recovery events recorded so far, optionally filtered by kind."""
+        if kind is None:
+            return list(self.events)
+        return [e for e in self.events if e.kind == kind]
+
+    def fault_seconds(self) -> float:
+        """Wall-clock time attributed to failed attempts and recovery.
+
+        Sums ``seconds_lost`` over all failure events, letting profiles
+        separate productive step time from time lost to faults.
+        """
+        return sum(e.seconds_lost for e in self.events)
+
     def clear(self) -> None:
         self.records.clear()
         self.step_totals.clear()
         self.step_peak_bytes.clear()
+        self.events.clear()
         self._current_step = 0

@@ -17,9 +17,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.framework.resilience import ResilienceConfig
 
 from repro.framework.device_model import DeviceModel
 from repro.framework.graph import Graph, Tensor
@@ -154,8 +157,24 @@ class FathomModel(abc.ABC):
         return output
 
     def run_training(self, steps: int = 1,
-                     tracer: Tracer | None = None) -> list[float]:
-        """Run update steps; returns the per-step losses."""
+                     tracer: Tracer | None = None,
+                     resilience: "ResilienceConfig | None" = None
+                     ) -> list[float]:
+        """Run update steps; returns the per-step losses.
+
+        Args:
+            resilience: when given, the steps are driven by a
+                :class:`~repro.framework.resilience.ResilientRunner`
+                with this policy — NaN/Inf guards, bounded retry with
+                rollback, watchdog, and periodic atomic checkpoints.
+                Recovery actions surface as ``FailureEvent`` records on
+                ``tracer`` (see docs/robustness.md). A fault-free
+                resilient run is bit-for-bit identical to a plain one.
+        """
+        if resilience is not None:
+            from repro.framework.resilience import ResilientRunner
+            return ResilientRunner(self, config=resilience,
+                                   tracer=tracer).run(steps)
         losses = []
         for _ in range(steps):
             loss_value, _ = self.session.run(

@@ -83,6 +83,13 @@ class TestSaveRestore:
         with pytest.raises(CheckpointError, match="shape"):
             checkpoint.restore(Session(other, seed=0), tmp_path / "v.npz")
 
+    def test_save_appends_npz_suffix_like_savez(self, fresh_graph,
+                                                tmp_path):
+        ops.variable(np.zeros(2, dtype=np.float32), name="v")
+        session = Session(fresh_graph, seed=0)
+        checkpoint.save(session, tmp_path / "bare")
+        assert (tmp_path / "bare.npz").exists()
+
     def test_workload_checkpoint_roundtrip(self, tmp_path):
         from repro import workloads
         model = workloads.create("autoenc", config="tiny", seed=0)
@@ -100,3 +107,72 @@ class TestSaveRestore:
         # noise stream, so losses are close but not identical.
         assert abs(float(restored) - float(reference)) < \
             0.1 * abs(float(reference))
+
+
+class TestAtomicSave:
+    """checkpoint.save must never leave a corrupt archive behind."""
+
+    def make_session(self, fresh_graph, value):
+        ops.variable(np.full(4, value, dtype=np.float32), name="v")
+        return Session(fresh_graph, seed=0)
+
+    def test_interrupted_save_preserves_previous_checkpoint(
+            self, fresh_graph, tmp_path, monkeypatch):
+        """A crash mid-write (simulated: savez writes partial bytes then
+        dies) must leave the previous checkpoint intact and loadable."""
+        session = self.make_session(fresh_graph, 1.0)
+        path = tmp_path / "model.npz"
+        checkpoint.save(session, path)
+
+        real_savez = np.savez
+
+        def dying_savez(file, **arrays):
+            file.write(b"PK\x03\x04 truncated")  # partial, invalid npz
+            raise OSError("simulated crash mid-save")
+
+        monkeypatch.setattr(checkpoint.np, "savez", dying_savez)
+        session.set_variable(
+            session.graph.operations[0].output,
+            np.full(4, 2.0, dtype=np.float32))
+        with pytest.raises(OSError, match="simulated crash"):
+            checkpoint.save(session, path)
+        monkeypatch.setattr(checkpoint.np, "savez", real_savez)
+
+        # The old checkpoint survives, bit-for-bit valid.
+        restored = Session(fresh_graph, seed=3)
+        checkpoint.restore(restored, path)
+        np.testing.assert_array_equal(
+            restored.variable_value(fresh_graph.operations[0].output),
+            [1.0, 1.0, 1.0, 1.0])
+
+    def test_interrupted_save_leaves_no_temp_litter(
+            self, fresh_graph, tmp_path, monkeypatch):
+        session = self.make_session(fresh_graph, 1.0)
+
+        def dying_savez(file, **arrays):
+            raise OSError("simulated crash mid-save")
+
+        monkeypatch.setattr(checkpoint.np, "savez", dying_savez)
+        with pytest.raises(OSError):
+            checkpoint.save(session, tmp_path / "model.npz")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_save_goes_through_os_replace(self, fresh_graph, tmp_path,
+                                          monkeypatch):
+        """The final publish step is an atomic rename, not a write."""
+        import os as os_module
+        session = self.make_session(fresh_graph, 1.0)
+        replaced = []
+        real_replace = os_module.replace
+
+        def spying_replace(src, dst):
+            replaced.append((src, dst))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(checkpoint.os, "replace", spying_replace)
+        checkpoint.save(session, tmp_path / "model.npz")
+        assert len(replaced) == 1
+        src, dst = replaced[0]
+        assert dst == str(tmp_path / "model.npz")
+        # temp file lived in the same directory (required for atomicity)
+        assert os_module.path.dirname(src) == str(tmp_path)

@@ -1,0 +1,213 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.framework import ops
+from repro.framework.errors import ExecutionError
+from repro.framework.faults import (FaultInjector, FaultPlan, FaultSpec,
+                                    InjectedFault, InjectionEvent)
+from repro.framework.session import Session
+
+
+def tiny_graph():
+    x = ops.placeholder((2, 3), name="x")
+    w = ops.variable(np.ones((3, 2), dtype=np.float32), name="w")
+    y = ops.matmul(x, w, name="proj")
+    out = ops.reduce_sum(y, name="total")
+    return x, out
+
+
+def feed_for(x):
+    return {x: np.ones((2, 3), dtype=np.float32)}
+
+
+class TestFaultSpecValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(kind="meteor")
+
+    def test_rejects_bad_payload(self):
+        with pytest.raises(ValueError, match="payload"):
+            FaultSpec(kind="nan", payload="zero")
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(kind="exception", probability=0.0)
+
+    def test_rejects_bad_regex(self):
+        with pytest.raises(Exception):
+            FaultSpec(kind="exception", name_pattern="(unclosed")
+
+
+class TestExceptionFaults:
+    def test_raises_transient_injected_fault(self, fresh_graph):
+        x, out = tiny_graph()
+        session = Session(fresh_graph, seed=0)
+        session.fault_injector = FaultInjector(
+            FaultPlan([FaultSpec(kind="exception", op_type="MatMul")]))
+        with pytest.raises(InjectedFault, match="injected transient"):
+            session.run(out, feed_dict=feed_for(x))
+        # InjectedFault is a retryable ExecutionError naming the op.
+        try:
+            session2 = Session(fresh_graph, seed=0)
+            session2.fault_injector = FaultInjector(
+                FaultPlan([FaultSpec(kind="exception", op_type="MatMul")]))
+            session2.run(out, feed_dict=feed_for(x))
+        except ExecutionError as exc:
+            assert exc.transient
+            assert exc.op_name == "proj"
+
+    def test_max_triggers_limits_injections(self, fresh_graph):
+        x, out = tiny_graph()
+        session = Session(fresh_graph, seed=0)
+        injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="exception", op_type="MatMul", max_triggers=1)]))
+        session.fault_injector = injector
+        with pytest.raises(InjectedFault):
+            session.run(out, feed_dict=feed_for(x))
+        # Second run: the single-shot fault is spent, execution succeeds.
+        value = session.run(out, feed_dict=feed_for(x))
+        assert float(value) == pytest.approx(12.0)
+        assert injector.num_injected == 1
+
+    def test_step_targeting(self, fresh_graph):
+        x, out = tiny_graph()
+        session = Session(fresh_graph, seed=0)
+        injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="exception", op_type="MatMul", step=1)]))
+        session.fault_injector = injector
+        session.run(out, feed_dict=feed_for(x))  # step 0: clean
+        with pytest.raises(InjectedFault, match="step 1"):
+            session.run(out, feed_dict=feed_for(x))
+        assert injector.events == [InjectionEvent(
+            step=1, op_name="proj", kind="exception", spec_index=0)]
+
+    def test_aborted_run_still_advances_step(self, fresh_graph):
+        x, out = tiny_graph()
+        session = Session(fresh_graph, seed=0)
+        injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="exception", op_type="MatMul", step=0)]))
+        session.fault_injector = injector
+        with pytest.raises(InjectedFault):
+            session.run(out, feed_dict=feed_for(x))
+        assert injector.step == 1  # the aborted run counted
+
+
+class TestNanFaults:
+    def test_poisons_targeted_output(self, fresh_graph):
+        x, out = tiny_graph()
+        session = Session(fresh_graph, seed=0)
+        session.fault_injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="nan", name_pattern="^total$")]))
+        assert np.isnan(session.run(out, feed_dict=feed_for(x)))
+
+    def test_inf_payload(self, fresh_graph):
+        x, out = tiny_graph()
+        session = Session(fresh_graph, seed=0)
+        session.fault_injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="nan", name_pattern="^total$", payload="inf")]))
+        assert np.isinf(session.run(out, feed_dict=feed_for(x)))
+
+    def test_poison_copies_rather_than_mutates(self, fresh_graph):
+        """Poisoning a Const output must not corrupt the graph's array."""
+        c = ops.constant(np.ones(3, dtype=np.float32), name="c")
+        out = ops.reduce_sum(c, name="s")
+        session = Session(fresh_graph, seed=0)
+        session.fault_injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="nan", op_type="Const")]))
+        assert np.isnan(session.run(out))
+        np.testing.assert_array_equal(c.op.attrs["value"], [1.0, 1.0, 1.0])
+
+    def test_untargeted_ops_untouched(self, fresh_graph):
+        x, out = tiny_graph()
+        session = Session(fresh_graph, seed=0)
+        session.fault_injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="nan", op_type="Tanh")]))  # not in the graph
+        assert float(session.run(out, feed_dict=feed_for(x))) == \
+            pytest.approx(12.0)
+
+
+class TestFeedFaults:
+    def test_corrupts_fed_minibatch(self, fresh_graph):
+        x, out = tiny_graph()
+        session = Session(fresh_graph, seed=0)
+        injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="feed", name_pattern="^x$")]))
+        session.fault_injector = injector
+        assert np.isnan(session.run(out, feed_dict=feed_for(x)))
+        assert injector.events[0].kind == "feed"
+
+    def test_caller_array_not_mutated(self, fresh_graph):
+        x, out = tiny_graph()
+        session = Session(fresh_graph, seed=0)
+        session.fault_injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="feed", name_pattern="^x$")]))
+        batch = np.ones((2, 3), dtype=np.float32)
+        session.run(out, feed_dict={x: batch})
+        np.testing.assert_array_equal(batch, np.ones((2, 3)))
+
+
+class TestLatencyFaults:
+    def test_injects_sleep(self, fresh_graph):
+        x, out = tiny_graph()
+        session = Session(fresh_graph, seed=0)
+        injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="latency", op_type="MatMul",
+                       latency_seconds=0.02)]))
+        session.fault_injector = injector
+        start = time.perf_counter()
+        session.run(out, feed_dict=feed_for(x))
+        assert time.perf_counter() - start >= 0.02
+        assert injector.events[0].kind == "latency"
+
+
+class TestDeterminism:
+    def run_plan(self, fresh_graph, plan, runs=4):
+        from repro.framework.graph import Graph
+        graph = Graph()  # own graph per run: identical op names
+        with graph.as_default():
+            x, out = tiny_graph()
+        session = Session(graph, seed=0)
+        injector = FaultInjector(plan)
+        session.fault_injector = injector
+        for _ in range(runs):
+            try:
+                session.run(out, feed_dict=feed_for(x))
+            except InjectedFault:
+                pass
+        return injector.signature()
+
+    def test_identical_runs_identical_events(self, fresh_graph):
+        plan = FaultPlan([
+            FaultSpec(kind="exception", op_type="MatMul", probability=0.5,
+                      max_triggers=None),
+            FaultSpec(kind="nan", name_pattern="total", probability=0.5,
+                      max_triggers=None),
+        ], seed=42)
+        first = self.run_plan(fresh_graph, plan)
+        second = self.run_plan(fresh_graph, plan)
+        assert first == second
+        assert first  # the probabilistic plan did fire at seed 42
+
+    def test_different_seeds_can_differ(self, fresh_graph):
+        def signature(seed):
+            plan = FaultPlan([FaultSpec(kind="nan", name_pattern="total",
+                                        probability=0.5,
+                                        max_triggers=None)], seed=seed)
+            return self.run_plan(fresh_graph, plan, runs=8)
+        signatures = {signature(seed) for seed in range(6)}
+        assert len(signatures) > 1
+
+    def test_plan_is_immutable(self):
+        plan = FaultPlan([FaultSpec(kind="exception")], seed=1)
+        with pytest.raises(Exception):
+            plan.seed = 2
+
+    def test_injector_factory(self):
+        plan = FaultPlan([FaultSpec(kind="exception")], seed=1)
+        injector = plan.injector()
+        assert injector.plan is plan
+        assert injector.step == 0

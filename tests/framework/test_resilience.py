@@ -1,0 +1,297 @@
+"""Tests for the resilient training runner (retry, rollback, recovery)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.framework import checkpoint, ops
+from repro.framework.errors import ExecutionError
+from repro.framework.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.framework.graph import Operation, OpClass
+from repro.framework.optimizers import GradientDescentOptimizer
+from repro.framework.resilience import (FailureEvent, NonFiniteLossError,
+                                        ResilienceConfig, ResilientRunner)
+from repro.framework.session import Session
+from repro.profiling.tracer import Tracer
+
+
+class FlakyLoss(Operation):
+    """Identity on the loss that fails (non-transiently) N times."""
+
+    type_name = "FlakyLossTestOp"
+    op_class = OpClass.ELEMENTWISE
+
+    def _output_specs(self):
+        return [(self.inputs[0].shape, self.inputs[0].dtype)]
+
+    def compute(self, inputs, ctx):
+        remaining = self.attrs.get("failures_left", 0)
+        if remaining > 0:
+            self.attrs["failures_left"] = remaining - 1
+            raise ValueError("flaky hardware")
+        return (inputs[0],)
+
+    def gradient(self, grads):
+        return [grads[0]]
+
+
+class ToyModel:
+    """Minimal TrainableModel: deterministic quadratic regression."""
+
+    def __init__(self, graph, flaky_failures=0, seed=0):
+        self.x = ops.placeholder((4, 3), name="toy_x")
+        w = ops.variable(np.zeros((3, 1), dtype=np.float32), name="toy_w")
+        self.w = w
+        pred = ops.matmul(self.x, w)
+        clean = ops.reduce_mean(ops.square(pred - 1.0))
+        self.flaky_op = FlakyLoss([clean],
+                                  attrs={"failures_left": flaky_failures},
+                                  name="toy_loss")
+        self.loss = self.flaky_op.output
+        self.train_step = GradientDescentOptimizer(0.1).minimize(clean)
+        self.session = Session(graph, seed=seed)
+        rng = np.random.default_rng(7)
+        self._batches = [rng.standard_normal((4, 3)).astype(np.float32)
+                         for _ in range(32)]
+        self._cursor = 0
+
+    def sample_feed(self, training=True):
+        batch = self._batches[self._cursor % len(self._batches)]
+        self._cursor += 1
+        return {self.x: batch}
+
+
+def plain_losses(model, steps):
+    losses = []
+    for _ in range(steps):
+        loss, _ = model.session.run([model.loss, model.train_step],
+                                    feed_dict=model.sample_feed())
+        losses.append(float(loss))
+    return losses
+
+
+class TestFaultFreeEquivalence:
+    def test_resilient_run_matches_plain_loop(self, fresh_graph):
+        baseline = plain_losses(ToyModel(fresh_graph), steps=6)
+        runner = ResilientRunner(ToyModel(fresh_graph),
+                                 config=ResilienceConfig())
+        assert runner.run(6) == baseline
+        assert runner.events == []
+
+
+class TestRetry:
+    def inject(self, model, spec, seed=0):
+        injector = FaultInjector(FaultPlan([spec], seed=seed))
+        model.session.fault_injector = injector
+        return injector
+
+    def test_transient_fault_recovers_exactly(self, fresh_graph):
+        baseline = plain_losses(ToyModel(fresh_graph), steps=6)
+        model = ToyModel(fresh_graph)
+        self.inject(model, FaultSpec(kind="exception", op_type="MatMul",
+                                     step=3))
+        tracer = Tracer()
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            max_retries=2), tracer=tracer)
+        assert runner.run(6) == baseline
+        retries = tracer.failure_events("retry")
+        assert len(retries) == 1
+        assert retries[0].step == 3
+        assert retries[0].attempt == 1
+        assert tracer.fault_seconds() > 0.0
+
+    def test_non_transient_error_not_retried_by_default(self, fresh_graph):
+        model = ToyModel(fresh_graph, flaky_failures=1)
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            max_retries=3))
+        with pytest.raises(ExecutionError, match="flaky hardware"):
+            runner.run(4)
+
+    def test_retry_all_execution_errors_opt_in(self, fresh_graph):
+        baseline = plain_losses(ToyModel(fresh_graph), steps=4)
+        model = ToyModel(fresh_graph, flaky_failures=2)
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            max_retries=3, retry_all_execution_errors=True))
+        assert runner.run(4) == baseline
+        assert [e.kind for e in runner.events] == ["retry", "retry"]
+
+    def test_exhausted_retries_without_checkpoint_raise(self, fresh_graph):
+        model = ToyModel(fresh_graph)
+        self.inject(model, FaultSpec(kind="exception", op_type="MatMul",
+                                     max_triggers=None))
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            max_retries=1))
+        with pytest.raises(ExecutionError, match="injected"):
+            runner.run(2)
+        # One retry was attempted before giving up on step 0.
+        assert [(e.step, e.kind, e.attempt) for e in runner.events] == \
+            [(0, "retry", 1)]
+
+    def test_exhausted_retries_restore_last_good(self, fresh_graph):
+        model = ToyModel(fresh_graph)
+        # Two clean checkpointed steps, then a persistent fault.
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            max_retries=1, checkpoint_every=1))
+        runner.run(2)
+        good_w = model.session.variable_value(model.w).copy()
+        self.inject(model, FaultSpec(kind="exception", op_type="MatMul",
+                                     max_triggers=None))
+        losses = runner.run(1)
+        assert math.isnan(losses[0])
+        kinds = [e.kind for e in runner.events]
+        # ckpt, ckpt (clean steps), retry, restore, then a checkpoint of
+        # the restored state at the end of the surviving step.
+        assert kinds == ["checkpoint", "checkpoint", "retry", "restore",
+                         "checkpoint"]
+        np.testing.assert_array_equal(
+            model.session.variable_value(model.w), good_w)
+
+
+class TestNanGuard:
+    def test_transient_nan_rolls_back_and_retries(self, fresh_graph):
+        baseline = plain_losses(ToyModel(fresh_graph), steps=5)
+        model = ToyModel(fresh_graph)
+        model.session.fault_injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="nan", name_pattern="toy_loss", step=2)]))
+        tracer = Tracer()
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            max_retries=2), tracer=tracer)
+        assert runner.run(5) == baseline
+        events = tracer.failure_events("nan_rollback")
+        assert len(events) == 1 and events[0].step == 2
+
+    def test_persistent_nan_skips_the_step(self, fresh_graph):
+        model = ToyModel(fresh_graph)
+        model.session.fault_injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="nan", name_pattern="toy_loss",
+                       max_triggers=None)]))
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            max_retries=1))
+        before = model.session.variable_value(model.w).copy()
+        losses = runner.run(1)
+        assert math.isnan(losses[0])
+        assert [e.kind for e in runner.events] == ["nan_rollback", "skip"]
+        # rollback-and-skip: the poisoned update never landed
+        np.testing.assert_array_equal(
+            model.session.variable_value(model.w), before)
+
+    def test_guard_can_be_disabled(self, fresh_graph):
+        model = ToyModel(fresh_graph)
+        model.session.fault_injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="nan", name_pattern="toy_loss")]))
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            nan_guard=False))
+        losses = runner.run(1)
+        assert math.isnan(losses[0])
+        assert runner.events == []
+
+
+class TestWatchdog:
+    def test_slow_step_emits_event(self, fresh_graph):
+        model = ToyModel(fresh_graph)
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            watchdog_seconds=0.0))
+        runner.run(2)
+        watchdogs = [e for e in runner.events if e.kind == "watchdog"]
+        assert len(watchdogs) == 2
+        assert all(e.seconds_lost > 0 for e in watchdogs)
+
+    def test_fast_steps_stay_silent(self, fresh_graph):
+        model = ToyModel(fresh_graph)
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            watchdog_seconds=60.0))
+        runner.run(2)
+        assert runner.events == []
+
+
+class TestCheckpointing:
+    def test_periodic_checkpoints_written(self, fresh_graph, tmp_path):
+        model = ToyModel(fresh_graph)
+        path = tmp_path / "toy.npz"
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            checkpoint_path=path, checkpoint_every=2))
+        runner.run(5)
+        assert path.exists()
+        assert [e.kind for e in runner.events] == ["checkpoint",
+                                                   "checkpoint"]
+
+    def test_resume_from_checkpoint(self, fresh_graph, tmp_path):
+        from repro.framework.graph import Graph
+        model = ToyModel(fresh_graph)
+        path = tmp_path / "toy.npz"
+        ResilientRunner(model, config=ResilienceConfig(
+            checkpoint_path=path, checkpoint_every=3)).run(3)
+        trained_w = model.session.variable_value(model.w).copy()
+        assert not np.array_equal(trained_w, np.zeros_like(trained_w))
+
+        other = Graph()  # identical variable names, fresh session state
+        with other.as_default():
+            fresh = ToyModel(other, seed=5)
+        runner = ResilientRunner(fresh, config=ResilienceConfig(
+            resume_from=path))
+        runner.run(0)  # resume happens before the first step
+        assert [e.kind for e in runner.events] == ["resume"]
+        assert runner.events[0].step == -1
+        np.testing.assert_array_equal(
+            fresh.session.variable_value(fresh.w), trained_w)
+
+
+class TestBackoff:
+    def test_deterministic_given_seed(self):
+        config = ResilienceConfig(backoff_base=0.1, backoff_factor=2.0,
+                                  backoff_jitter=0.2, seed=11)
+        first = [ResilientRunner(None, config).backoff_delay(a)
+                 for a in range(4)]
+        second = [ResilientRunner(None, config).backoff_delay(a)
+                  for a in range(4)]
+        # Fresh runners with the same seed draw identical jitter.
+        r1, r2 = ResilientRunner(None, config), ResilientRunner(None, config)
+        assert [r1.backoff_delay(a) for a in range(4)] == \
+            [r2.backoff_delay(a) for a in range(4)]
+        assert first == second
+
+    def test_exponential_growth(self):
+        config = ResilienceConfig(backoff_base=0.1, backoff_factor=2.0,
+                                  backoff_jitter=0.0)
+        runner = ResilientRunner(None, config)
+        assert runner.backoff_delay(0) == pytest.approx(0.1)
+        assert runner.backoff_delay(1) == pytest.approx(0.2)
+        assert runner.backoff_delay(2) == pytest.approx(0.4)
+
+    def test_zero_base_never_sleeps(self):
+        runner = ResilientRunner(None, ResilienceConfig(backoff_base=0.0))
+        assert runner.backoff_delay(0) == 0.0
+        assert runner.backoff_delay(5) == 0.0
+
+    def test_jitter_bounded(self):
+        config = ResilienceConfig(backoff_base=1.0, backoff_factor=1.0,
+                                  backoff_jitter=0.5, seed=3)
+        runner = ResilientRunner(None, config)
+        for attempt in range(16):
+            assert 0.5 <= runner.backoff_delay(attempt) <= 1.5
+
+
+class TestEvents:
+    def test_events_flow_through_tracer(self, fresh_graph):
+        model = ToyModel(fresh_graph)
+        model.session.fault_injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="exception", op_type="MatMul", step=1)]))
+        tracer = Tracer()
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            max_retries=1), tracer=tracer)
+        runner.run(3)
+        assert tracer.events == runner.events
+        assert tracer.failure_events("retry") == runner.events
+
+    def test_signature_excludes_timing(self):
+        a = FailureEvent(step=1, kind="retry", op_name="m", attempt=1,
+                         seconds_lost=0.5)
+        b = FailureEvent(step=1, kind="retry", op_name="m", attempt=1,
+                         seconds_lost=9.9)
+        assert a.signature() == b.signature()
+
+    def test_non_finite_loss_error_message(self):
+        error = NonFiniteLossError(4, float("nan"))
+        assert "step 4" in str(error)
+        assert error.step == 4

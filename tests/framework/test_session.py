@@ -128,6 +128,78 @@ class TestErrors:
         with pytest.raises(ExecutionError, match="Gather"):
             session.run(bad, feed_dict={x: np.zeros((2, 2), np.float32)})
 
+    def test_chains_the_original_exception(self, session):
+        x = ops.placeholder((2, 2), name="x")
+        bad = ops.gather(x, ops.constant(np.array([5], dtype=np.int32)))
+        with pytest.raises(ExecutionError) as info:
+            session.run(bad, feed_dict={x: np.zeros((2, 2), np.float32)})
+        # The kernel's own exception rides along as __cause__ so the
+        # full traceback points at the real failure, not the wrapper.
+        assert isinstance(info.value.__cause__, Exception)
+        assert info.value.__cause__ is not info.value
+        assert not info.value.transient
+
+    def test_reports_input_shapes_of_failing_op(self, session):
+        x = ops.placeholder((2, 3), name="x")
+        bad = ops.gather(x, ops.constant(np.array([9], dtype=np.int32)))
+        with pytest.raises(ExecutionError) as info:
+            session.run(bad, feed_dict={x: np.zeros((2, 3), np.float32)})
+        assert info.value.input_shapes == ((2, 3), (1,))
+        assert "input shapes: (2, 3), (1,)" in str(info.value)
+
+
+class TestCheckNumericsFirstOffender:
+    def test_names_the_first_bad_op_not_a_downstream_one(self, session):
+        """With two non-finite producers in topological order, the error
+        must name the *earlier* one — that is where divergence started."""
+        x = ops.placeholder((2,), name="x")
+        first = ops.log(x, name="first_bad")        # NaN for x < 0
+        second = ops.log(first, name="second_bad")  # NaN of NaN
+        out = ops.reduce_sum(second, name="total")
+        with pytest.raises(ExecutionError, match="first_bad") as info:
+            session.run(out, feed_dict={x: np.array([-1.0, 1.0],
+                                                    np.float32)},
+                        check_numerics=True)
+        assert "second_bad" not in str(info.value)
+        assert info.value.op_name == "first_bad"
+
+    def test_clean_prefix_executes_before_the_guard_fires(self, session):
+        """Ops upstream of the offender run normally; the guard aborts
+        the step at the first non-finite output."""
+        x = ops.placeholder((2,), name="x")
+        shifted = ops.add(x, 1.0, name="clean_shift")
+        bad = ops.log(ops.subtract(shifted, 5.0), name="bad_log")
+        tracer = Tracer()
+        with pytest.raises(ExecutionError, match="bad_log"):
+            session.run(bad, feed_dict={x: np.array([0.0, 1.0],
+                                                    np.float32)},
+                        tracer=tracer, check_numerics=True)
+        executed = [r.op.name for r in tracer.records]
+        assert "clean_shift" in executed
+        assert executed[-1] == "bad_log"
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_restores_variables_and_rng(self, session):
+        w = ops.variable(np.zeros(3, dtype=np.float32), name="w")
+        noise = ops.random_normal((3,))
+        snapshot = session.state_snapshot()
+        session.set_variable(w, np.full(3, 9.0, dtype=np.float32))
+        first_draw = session.run(noise)
+        session.restore_snapshot(snapshot)
+        np.testing.assert_array_equal(session.variable_value(w),
+                                      [0.0, 0.0, 0.0])
+        # The RNG stream rewinds too: the same draw repeats exactly.
+        np.testing.assert_array_equal(session.run(noise), first_draw)
+
+    def test_snapshot_is_isolated_from_later_mutation(self, session):
+        w = ops.variable(np.ones(2, dtype=np.float32), name="w")
+        session.run(w)  # materialise the variable in session state
+        snapshot = session.state_snapshot()
+        session.set_variable(w, np.full(2, 5.0, dtype=np.float32))
+        np.testing.assert_array_equal(snapshot.variables[id(w.op)],
+                                      [1.0, 1.0])
+
 
 class TestTracing:
     def test_tracer_records_each_op_per_step(self, session):

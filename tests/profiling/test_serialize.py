@@ -71,6 +71,33 @@ class TestRoundtrip:
         assert loaded.step_peak_bytes == tracer.step_peak_bytes
 
 
+class TestFailureEvents:
+    def test_failure_events_round_trip(self, tmp_path):
+        from repro.framework.resilience import FailureEvent
+        tracer = Tracer()
+        tracer.record_event(FailureEvent(step=2, kind="retry",
+                                         op_name="proj", attempt=1,
+                                         seconds_lost=0.25,
+                                         detail="injected fault"))
+        tracer.record_event(FailureEvent(step=4, kind="checkpoint",
+                                         op_name=None, attempt=0,
+                                         seconds_lost=0.0))
+        path = tmp_path / "faulty.jsonl"
+        save_trace(tracer, path)
+        loaded = load_trace(path)
+        assert [e.signature() for e in loaded.failure_events()] == \
+            [e.signature() for e in tracer.events]
+        assert loaded.fault_seconds() == pytest.approx(0.25)
+        assert loaded.failure_events("retry")[0].detail == "injected fault"
+
+    def test_trace_without_events_loads_empty(self, traced_model,
+                                              tmp_path):
+        _, tracer = traced_model
+        path = tmp_path / "clean.jsonl"
+        save_trace(tracer, path)
+        assert load_trace(path).failure_events() == []
+
+
 class TestErrors:
     def test_rejects_non_trace_file(self, tmp_path):
         path = tmp_path / "junk.jsonl"

@@ -1,0 +1,133 @@
+"""Chaos suite: every workload must survive injected faults unchanged.
+
+The acceptance bar (see docs/robustness.md): a training run with a
+transient fault injected at a mid-run step must recover — via rollback
+and retry — and produce *exactly* the same loss trajectory as the
+uninterrupted run, with the recovery visible as ``FailureEvent`` records
+in the trace.
+
+The full eight-workload matrix runs under ``pytest -m chaos``; a fast
+two-workload subset runs in the default (tier-1) suite.
+"""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro import workloads
+from repro.framework.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.framework.resilience import ResilienceConfig
+from repro.profiling.tracer import Tracer
+
+#: total training steps per scenario; the fault lands mid-run
+TOTAL_STEPS = 5
+CLEAN_STEPS = 2
+
+#: fast tier-1 subset; the chaos marker covers the full Table II matrix
+FAST_WORKLOADS = ("memnet", "autoenc")
+
+# The optimizer's fused update node is named train_step in every
+# workload, so targeting it faults only *training* runs — auxiliary
+# inference runs (e.g. deepq's replay seeding) are untouched.
+TRAIN_STEP_FAULT = FaultSpec(kind="exception", name_pattern="train_step")
+
+
+def baseline_losses(name):
+    model = workloads.create(name, config="tiny", seed=0)
+    return model.run_training(steps=TOTAL_STEPS)
+
+
+def faulted_losses(name, spec, config=None):
+    """Train CLEAN_STEPS plainly, then arm the fault and finish
+    resiliently — so the injection lands at training step CLEAN_STEPS,
+    mid-run."""
+    model = workloads.create(name, config="tiny", seed=0)
+    losses = model.run_training(steps=CLEAN_STEPS)
+    injector = FaultInjector(FaultPlan([spec], seed=99))
+    model.session.fault_injector = injector
+    tracer = Tracer()
+    losses += model.run_training(
+        steps=TOTAL_STEPS - CLEAN_STEPS, tracer=tracer,
+        resilience=config or ResilienceConfig(max_retries=2))
+    return losses, tracer, injector
+
+
+def assert_recovers_exactly(name, spec, expected_kind):
+    baseline = baseline_losses(name)
+    losses, tracer, injector = faulted_losses(name, spec)
+    assert injector.num_injected == 1, \
+        f"{name}: expected exactly one injected fault"
+    recoveries = tracer.failure_events(expected_kind)
+    assert len(recoveries) == 1, \
+        f"{name}: recovery not visible as a FailureEvent"
+    assert recoveries[0].step == 0  # first step of the resilient phase
+    np.testing.assert_array_equal(
+        np.asarray(losses), np.asarray(baseline),
+        err_msg=f"{name}: recovered trajectory diverged from fault-free run")
+
+
+class TestFastSubset:
+    """Tier-1-safe slice of the matrix (runs in the default suite)."""
+
+    @pytest.mark.parametrize("name", FAST_WORKLOADS)
+    def test_transient_fault_recovers_exactly(self, name):
+        assert_recovers_exactly(name, TRAIN_STEP_FAULT, "retry")
+
+    def test_nan_poisoned_loss_recovers_exactly(self):
+        model = workloads.create("memnet", config="tiny", seed=0)
+        loss_pattern = re.escape(model.loss.op.name) + "$"
+        assert_recovers_exactly(
+            "memnet", FaultSpec(kind="nan", name_pattern=loss_pattern),
+            "nan_rollback")
+
+    def test_event_sequence_is_deterministic(self):
+        def signatures():
+            _, tracer, injector = faulted_losses("memnet",
+                                                 TRAIN_STEP_FAULT)
+            return (injector.signature(),
+                    tuple(e.signature() for e in tracer.events))
+        assert signatures() == signatures()
+
+
+@pytest.mark.chaos
+class TestFullMatrix:
+    """All eight Table II workloads under the full injection matrix."""
+
+    @pytest.mark.parametrize("name", workloads.WORKLOAD_NAMES)
+    def test_transient_fault_recovers_exactly(self, name):
+        assert_recovers_exactly(name, TRAIN_STEP_FAULT, "retry")
+
+    @pytest.mark.parametrize("name", workloads.WORKLOAD_NAMES)
+    def test_nan_poisoned_loss_recovers_exactly(self, name):
+        model = workloads.create(name, config="tiny", seed=0)
+        loss_pattern = re.escape(model.loss.op.name) + "$"
+        assert_recovers_exactly(
+            name, FaultSpec(kind="nan", name_pattern=loss_pattern),
+            "nan_rollback")
+
+    @pytest.mark.parametrize("name", workloads.WORKLOAD_NAMES)
+    def test_checkpointed_run_survives_persistent_fault(self, name):
+        """Retries exhausted -> restore last-good state, keep training."""
+        from repro.framework.resilience import ResilientRunner
+        model = workloads.create(name, config="tiny", seed=0)
+        tracer = Tracer()
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            max_retries=1, checkpoint_every=1), tracer=tracer)
+        losses = runner.run(2)
+        assert all(np.isfinite(losses))
+        model.session.fault_injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="exception", name_pattern="train_step",
+                       max_triggers=None)], seed=5))
+        survived = runner.run(1)
+        assert np.isnan(survived[0])
+        kinds = [e.kind for e in tracer.events]
+        assert "restore" in kinds
+
+    @pytest.mark.parametrize("name", workloads.WORKLOAD_NAMES)
+    def test_event_sequence_is_deterministic(self, name):
+        def signatures():
+            _, tracer, injector = faulted_losses(name, TRAIN_STEP_FAULT)
+            return (injector.signature(),
+                    tuple(e.signature() for e in tracer.events))
+        assert signatures() == signatures()

@@ -189,6 +189,65 @@ class TestWhatIfAndMemory:
         assert "training step peak" in out
 
 
+class TestRobustnessFlags:
+    def test_max_retries_enables_resilient_training(self, capsys):
+        code, out = run_cli(capsys, "run", "memnet", "--config", "tiny",
+                            "--steps", "2", "--max-retries", "1")
+        assert code == 0
+        assert out.count("loss") == 2
+
+    def test_checkpoint_flag_writes_atomic_checkpoint(self, capsys,
+                                                      tmp_path):
+        path = tmp_path / "ck.npz"
+        code, _ = run_cli(capsys, "run", "memnet", "--config", "tiny",
+                          "--steps", "2", "--checkpoint", str(path),
+                          "--checkpoint-every", "1")
+        assert code == 0
+        assert path.exists()
+
+    def test_resume_restores_training_state(self, capsys, tmp_path):
+        path = tmp_path / "ck.npz"
+        run_cli(capsys, "run", "memnet", "--config", "tiny", "--steps",
+                "2", "--checkpoint", str(path), "--checkpoint-every", "1")
+        code, out = run_cli(capsys, "run", "memnet", "--config", "tiny",
+                            "--steps", "1", "--resume", str(path))
+        assert code == 0
+        assert "loss" in out
+
+    def test_resume_works_for_inference(self, capsys, tmp_path):
+        path = tmp_path / "ck.npz"
+        run_cli(capsys, "run", "autoenc", "--config", "tiny", "--steps",
+                "1", "--checkpoint", str(path), "--checkpoint-every", "1")
+        code, out = run_cli(capsys, "run", "autoenc", "--config", "tiny",
+                            "--mode", "infer", "--steps", "1",
+                            "--resume", str(path))
+        assert code == 0
+        assert "inference output shape" in out
+
+
+class TestErrorHandling:
+    def test_framework_error_exits_one_with_one_line_message(
+            self, capsys, tmp_path):
+        code = main(["run", "memnet", "--config", "tiny", "--steps", "1",
+                     "--resume", str(tmp_path / "missing.npz")])
+        captured = capsys.readouterr()
+        assert code == 1
+        errors = [line for line in captured.err.splitlines()
+                  if line.startswith("error:")]
+        assert len(errors) == 1
+        assert "checkpoint" in errors[0]
+
+    def test_corrupt_checkpoint_reported_not_raised(self, capsys,
+                                                    tmp_path):
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"this is not an npz archive")
+        code = main(["run", "memnet", "--config", "tiny", "--steps", "1",
+                     "--resume", str(path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+
+
 class TestParsing:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
