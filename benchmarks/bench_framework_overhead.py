@@ -4,12 +4,20 @@ The paper reports that TensorFlow spends "typically less than 1-2% of
 the total runtime outside of operations". This benchmark measures the
 same quantity for our executor on the heavyweight workloads (where ops
 are large enough that scheduling cost should disappear) and prints it
-for every workload.
+for every workload, comparing against the committed baseline in
+``BENCH_framework_overhead.json`` (regenerate with
+``python benchmarks/record_overhead_baseline.py``).
 """
+
+import json
+import pathlib
 
 from repro.analysis.suite import get_model
 from repro.profiling.tracer import Tracer
 from repro.workloads import WORKLOAD_NAMES
+
+BASELINE_PATH = (pathlib.Path(__file__).parent
+                 / "BENCH_framework_overhead.json")
 
 
 def _measure_overheads():
@@ -32,10 +40,16 @@ def _measure_overheads():
 def test_framework_overhead(benchmark):
     overheads = benchmark.pedantic(_measure_overheads, rounds=1,
                                    iterations=1)
+    baseline = (json.loads(BASELINE_PATH.read_text())
+                if BASELINE_PATH.exists() else None)
     print("\nFraction of wall time outside operations (training, default "
           "config):")
     for name, fraction in overheads.items():
-        print(f"  {name:>10s}  {fraction:6.2%}")
+        line = f"  {name:>10s}  {fraction:6.2%}"
+        if baseline and name in baseline.get("overhead_fraction", {}):
+            line += (f"  (baseline "
+                     f"{baseline['overhead_fraction'][name]:6.2%})")
+        print(line)
 
     # Big-op workloads should be within shouting distance of the paper's
     # 1-2% (pure-Python scheduling is heavier than TF's C++ executor, so
@@ -49,3 +63,13 @@ def test_framework_overhead(benchmark):
     # "overhead" also absorbs scheduler preemption on shared machines,
     # hence the generous bound.)
     assert all(f < 0.85 for f in overheads.values())
+
+    if baseline:
+        # Steady-state dispatch must not regress against the recorded
+        # baseline: allow generous absolute slack for machine noise, but
+        # a wholesale regression (a fatter interpreter loop) must fail.
+        for name, fraction in overheads.items():
+            recorded = baseline["overhead_fraction"].get(name)
+            if recorded is not None:
+                assert fraction <= recorded + 0.15, (name, fraction,
+                                                     recorded)

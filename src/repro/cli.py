@@ -12,6 +12,7 @@ shell::
     python -m repro figures
     python -m repro graph memnet --stats
     python -m repro timeline autoenc --output trace.json
+    python -m repro compile seq2seq --mode infer --report
 """
 
 from __future__ import annotations
@@ -164,13 +165,32 @@ def cmd_whatif(args) -> int:
     return 0
 
 
+def cmd_compile(args) -> int:
+    model = _build(args)
+    mode = args.mode.replace("train", "training").replace("infer",
+                                                          "inference")
+    plan = model.compile_plan(mode=mode)
+    if args.report:
+        print(plan.report())
+    else:
+        saved = plan.stats.ops_in - plan.num_steps
+        print(f"{args.workload} {mode}: {plan.stats.ops_in} ops -> "
+              f"{plan.num_steps} steps ({saved} eliminated, "
+              f"{plan.fused_cells} LSTM cells fused); planned peak "
+              f"{plan.planned_peak_bytes / 1e6:.2f} MB; compiled in "
+              f"{plan.compile_seconds * 1e3:.2f} ms")
+    return 0
+
+
 def cmd_memory(args) -> int:
     from repro.framework.graph_export import static_peak_bytes
     model = _build(args)
     train_peak = static_peak_bytes(model.graph,
-                                   fetches=[model.loss, model.train_step])
+                                   fetches=[model.loss, model.train_step],
+                                   options=model.session.options)
     infer_peak = static_peak_bytes(model.graph,
-                                   fetches=[model.inference_output])
+                                   fetches=[model.inference_output],
+                                   options=model.session.options)
     params = model.num_parameters() * 4
     print(f"parameters:          {params / 1e6:8.2f} MB")
     print(f"training step peak:  {train_peak / 1e6:8.2f} MB "
@@ -380,6 +400,16 @@ def build_parser() -> argparse.ArgumentParser:
     whatif_parser.add_argument("--factors", type=float, nargs="+",
                                default=[10.0, 100.0])
     whatif_parser.set_defaults(handler=cmd_whatif)
+
+    compile_parser = commands.add_parser(
+        "compile", help="compile an execution plan and report the passes")
+    _add_model_args(compile_parser)
+    compile_parser.add_argument("--mode", default="train",
+                                choices=["train", "infer"])
+    compile_parser.add_argument("--report", action="store_true",
+                                help="pass-by-pass report (op counts, "
+                                     "planned peak, arena reuse)")
+    compile_parser.set_defaults(handler=cmd_compile)
 
     memory_parser = commands.add_parser(
         "memory", help="static memory plan (no execution)")

@@ -19,10 +19,12 @@ Quick tour::
     print(sess.run(y, feed_dict={x: np.ones((4, 8))}))
 """
 
-from . import (autodiff, calibrate, checkpoint, cost_model, device_model,
-               faults, fuse, gradient_check, graph_export, initializers,
-               layers, ops, optimizers, placement, resilience, rewrite, rnn)
+from . import (autodiff, calibrate, checkpoint, compiler, cost_model,
+               device_model, faults, fuse, gradient_check, graph_export,
+               initializers, layers, memory, ops, optimizers, placement,
+               resilience, rewrite, rnn)
 from .autodiff import gradients
+from .compiler import ExecutionPlan, PlanOptions, compile_plan
 from .calibrate import calibrate_cpu
 from .gradient_check import check_gradients
 from .cost_model import WorkEstimate
@@ -33,6 +35,7 @@ from .faults import (FaultInjector, FaultPlan, FaultSpec, InjectedFault,
                      InjectionEvent)
 from .graph import (Graph, OpClass, Operation, OP_TYPE_REGISTRY, Tensor,
                     get_default_graph, name_scope, reset_default_graph)
+from .memory import MemoryPlan, plan_memory
 from .optimizers import (AdamOptimizer, GradientDescentOptimizer,
                          MomentumOptimizer, Optimizer, RMSPropOptimizer)
 from .resilience import (FailureEvent, NonFiniteLossError, ResilienceConfig,
@@ -40,12 +43,14 @@ from .resilience import (FailureEvent, NonFiniteLossError, ResilienceConfig,
 from .session import RunContext, Session, SessionSnapshot
 
 __all__ = [
-    "autodiff", "calibrate", "checkpoint", "cost_model", "device_model",
-    "faults", "fuse", "gradient_check", "graph_export", "initializers",
-    "layers", "ops", "optimizers", "placement", "resilience", "rewrite",
-    "rnn",
+    "autodiff", "calibrate", "checkpoint", "compiler", "cost_model",
+    "device_model", "faults", "fuse", "gradient_check", "graph_export",
+    "initializers", "layers", "memory", "ops", "optimizers", "placement",
+    "resilience", "rewrite", "rnn",
     "calibrate_cpu", "check_gradients",
     "gradients", "WorkEstimate",
+    "ExecutionPlan", "PlanOptions", "compile_plan",
+    "MemoryPlan", "plan_memory",
     "CPUDeviceModel", "GPUDeviceModel", "cpu", "gpu",
     "DifferentiationError", "ExecutionError", "FeedError", "FrameworkError",
     "GraphError", "ShapeError",

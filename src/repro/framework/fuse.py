@@ -189,14 +189,19 @@ def _externally_clean(match: _LSTMMatch, graph: Graph,
     return True
 
 
-def fuse_lstm_cells(graph: Graph, fetches: list[Tensor]) -> RewriteResult:
-    """Transcribe ``fetches``' subgraph, fusing every recognizable
-    composed LSTM step into a single ``LSTMBlockCell`` op."""
+def find_lstm_matches(graph: Graph,
+                      fetches: list[Tensor]) -> list[_LSTMMatch]:
+    """Recognize every fusible composed-LSTM step in a fetch subgraph.
+
+    Returns structurally valid, externally clean, mutually disjoint
+    matches in topological (construction) order. Shared by
+    :func:`fuse_lstm_cells` and the plan compiler's fusion pass, which
+    additionally revalidates cleanliness against its own rewritten view
+    of the subgraph.
+    """
     ops = graph.subgraph(fetches)
     subgraph_ids = {id(op) for op in ops}
     fetch_names = {t.name for t in fetches}
-    stats = RewriteStats(ops_in=len(ops))
-
     matches: list[_LSTMMatch] = []
     claimed: set[int] = set()
     for op in ops:
@@ -208,6 +213,19 @@ def fuse_lstm_cells(graph: Graph, fetches: list[Tensor]) -> RewriteResult:
         if not _externally_clean(match, graph, fetch_names, subgraph_ids):
             continue
         matches.append(match)
+        claimed |= match.interior
+    return matches
+
+
+def fuse_lstm_cells(graph: Graph, fetches: list[Tensor]) -> RewriteResult:
+    """Transcribe ``fetches``' subgraph, fusing every recognizable
+    composed LSTM step into a single ``LSTMBlockCell`` op."""
+    ops = graph.subgraph(fetches)
+    stats = RewriteStats(ops_in=len(ops))
+
+    matches = find_lstm_matches(graph, fetches)
+    claimed: set[int] = set()
+    for match in matches:
         claimed |= match.interior
     anchor_to_match = {id(m.anchor): m for m in matches}
 

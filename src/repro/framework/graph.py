@@ -235,12 +235,14 @@ class Graph:
         self._name_counts: dict[str, int] = {}
         self._scope_stack: list[str] = []
         self._consumers: dict[str, list[Operation]] = {}
+        self._version = 0
 
     # -- construction -------------------------------------------------------
 
     def _add(self, op: Operation) -> None:
         self._ops.append(op)
         self._ops_by_name[op.name] = op
+        self._version += 1
         for tensor in op.inputs:
             self._consumers.setdefault(tensor.name, []).append(op)
 
@@ -265,6 +267,16 @@ class Graph:
     @property
     def operations(self) -> list[Operation]:
         return list(self._ops)
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter; bumped on every added operation.
+
+        Cached execution plans record the version they were compiled
+        against, so a plan over a graph that has since gained operations
+        is recognized as stale instead of silently reused.
+        """
+        return self._version
 
     def __len__(self) -> int:
         return len(self._ops)

@@ -88,49 +88,31 @@ def graph_stats(graph: Graph,
 
 
 def static_peak_bytes(graph: Graph,
-                      fetches: list[Tensor] | None = None) -> int:
+                      fetches: list[Tensor] | None = None,
+                      options=None) -> int:
     """Peak live intermediate bytes, computed statically.
 
-    Replays the executor's exact policy — tensors materialize when their
-    op runs and die after their last consumer (fetched tensors live to
-    the end) — over the static shapes, without executing anything. By
-    construction this matches ``Session.last_peak_live_bytes`` for the
-    same fetch set, which the test suite asserts; use it to size memory
-    before committing to a configuration.
+    Compiles the fetch set (at the given optimization ``options``; the
+    default ``None`` is the structural level, where every subgraph op
+    executes) and returns the memory planner's peak, which replays the
+    executor's exact policy — tensors materialize when their op runs and
+    die after their statically computed last consumer; fetched tensors
+    live to the end. By construction this matches
+    ``Session.last_peak_live_bytes`` for a session compiled at the same
+    options, which the test suite asserts; use it to size memory before
+    committing to a configuration.
+
+    With ``fetches=None`` the whole graph is planned: every tensor no
+    operation consumes is pinned as a fetch, so unconsumed outputs stay
+    live to the end, as they would if fetched.
     """
-    from .ops.state_ops import Placeholder
+    from .compiler import compile_plan
 
-    ops = graph.subgraph(fetches) if fetches is not None else graph.operations
-    fetch_names = {t.name for t in fetches} if fetches else set()
-    remaining: dict[str, int] = {}
-    for op in ops:
-        for tensor in op.inputs:
-            remaining[tensor.name] = remaining.get(tensor.name, 0) + 1
-    for name in fetch_names:
-        remaining[name] = remaining.get(name, 0) + 1
-
-    element_size = 4
-    live = 0
-    peak = 0
-    sizes: dict[str, int] = {}
-    for op in ops:
-        if isinstance(op, Placeholder):
-            # Mirrors the executor: feeds add to the live set but the
-            # peak is only sampled after a compute op's outputs land.
-            tensor = op.outputs[0]
-            sizes[tensor.name] = tensor.size * element_size
-            live += sizes[tensor.name]
-            continue
-        for tensor in op.outputs:
-            sizes[tensor.name] = tensor.size * element_size
-            live += sizes[tensor.name]
-        if live > peak:
-            peak = live
-        for tensor in op.inputs:
-            remaining[tensor.name] -= 1
-            if remaining[tensor.name] == 0:
-                live -= sizes.get(tensor.name, 0)
-    return peak
+    if fetches is None:
+        fetches = [tensor for op in graph.operations
+                   for tensor in op.outputs if not graph.consumers(tensor)]
+    plan = compile_plan(graph, fetches, options)
+    return plan.memory.planned_peak_bytes
 
 
 _CLASS_COLORS = {

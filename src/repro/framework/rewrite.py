@@ -88,7 +88,11 @@ def _attr_key(value) -> object:
     if isinstance(value, (list, tuple)):
         return tuple(_attr_key(v) for v in value)
     if isinstance(value, Operation):
-        return ("op", id(value))
+        # Keyed by name + type, not id(): an id can be recycled by the
+        # allocator after a previous rewrite's operations are collected,
+        # which would silently merge unrelated ops across rewrites.
+        # Names are unique within a graph, so this key is stable.
+        return ("op", value.name, value.type_name)
     return value
 
 

@@ -1,16 +1,24 @@
-"""The session: a deterministic topological executor with tracing hooks.
+"""The session: compiled-plan execution with tracing hooks.
 
 A :class:`Session` owns all runtime state for a graph — variable values
-and the random stream — and executes the pruned subgraph needed by each
-``run`` call in construction (= topological) order. Each operation's
-execution is individually timed, and an optional tracer receives one
-record per op per step; the profiling stack in :mod:`repro.profiling` is
-built entirely on this hook, just as the paper's tools were built on
-TensorFlow's runtime tracing support.
+and the random stream — and executes each ``run`` call through a
+compiled :class:`~repro.framework.compiler.ExecutionPlan`. The first run
+of a fetch set pays a compilation: the fetch subgraph is lowered through
+the optimization pipeline into a flat schedule whose operands are
+integer slots, with feed coverage, input lookups, and free-after lists
+all resolved at compile time. Subsequent runs of the same fetch set
+reuse the cached plan (plans are invalidated when the graph gains
+operations), so the steady-state interpreter loop does no per-run graph
+analysis at all.
 
-Intermediate tensors are reference-counted and freed as soon as their
-last consumer has run, which keeps peak memory manageable for the deep
-convolutional workloads.
+Each operation's execution can be individually timed: an optional tracer
+receives one record per op per step, and the profiling stack in
+:mod:`repro.profiling` is built entirely on this hook, just as the
+paper's tools were built on TensorFlow's runtime tracing support.
+Intermediate tensors are freed as soon as their statically computed last
+consumer has run, which keeps peak memory manageable for the deep
+convolutional workloads; the measured peak is validated against the
+plan's memory planner by the tier-1 tests.
 """
 
 from __future__ import annotations
@@ -18,13 +26,17 @@ from __future__ import annotations
 import copy
 import time
 from dataclasses import dataclass
-from typing import Any, Mapping, Protocol, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Protocol, Sequence
 
 import numpy as np
 
 from .errors import ExecutionError, FeedError
 from .graph import Graph, Operation, Tensor, get_default_graph
+from .memory import K_CONST, K_PLACEHOLDER
 from .ops.state_ops import Placeholder, VariableOp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .compiler import ExecutionPlan
 
 
 class Tracer(Protocol):
@@ -99,16 +111,28 @@ class RunContext:
 class Session:
     """Executes a graph with its own variables and random stream."""
 
-    def __init__(self, graph: Graph | None = None, seed: int = 0):
+    def __init__(self, graph: Graph | None = None, seed: int = 0,
+                 optimize=None):
+        from .compiler import PlanOptions
         self.graph = graph if graph is not None else get_default_graph()
+        #: optimization level plans are compiled at. None/'structural'
+        #: keeps the classic interpreter's observable behaviour exactly;
+        #: 'full' (or a PlanOptions) enables the optimizing passes.
+        self.options = PlanOptions.coerce(optimize)
         self._variables: dict[int, np.ndarray] = {}
         self._variable_ops: dict[int, VariableOp] = {}
         self.rng = np.random.default_rng(seed)
         self._ctx = RunContext(self.rng, self._variables, self._variable_ops)
-        # Execution plans cached per fetch set; declared-shape validation
-        # runs only on each op's first execution in this session.
-        self._plans: dict[tuple[str, ...], list[Operation]] = {}
-        self._validated: set[int] = set()
+        # Compiled plans cached per fetch set. A cached plan is reused
+        # only while it still matches the graph version and the exact
+        # fetch tensors (see ExecutionPlan.matches) — fetch *names* are
+        # just the lookup key and are never trusted on their own.
+        self._plans: dict[tuple[str, ...], "ExecutionPlan"] = {}
+        #: number of plan compilations / cache reuses this session did
+        self.plan_compiles = 0
+        self.plan_cache_hits = 0
+        #: compile summaries (one dict per compilation, newest last)
+        self.compile_log: list[dict] = []
         #: peak bytes of live intermediate tensors in the last run
         self.last_peak_live_bytes = 0
         #: optional chaos-fault injector consulted around every op
@@ -156,6 +180,36 @@ class Session:
         self._variable_ops.update(snapshot.variable_ops)
         self.rng.bit_generator.state = copy.deepcopy(snapshot.rng_state)
 
+    # -- compilation -------------------------------------------------------------
+
+    def compile(self, fetches, tracer: Tracer | None = None) -> "ExecutionPlan":
+        """Compile (or fetch the cached plan for) a fetch set.
+
+        ``run`` calls this implicitly; it is public so tools can inspect
+        a plan — pass records, memory plan, schedule — without running.
+        """
+        fetch_list = [fetches] if isinstance(fetches, Tensor) else list(fetches)
+        return self._plan_for(fetch_list, tracer)
+
+    def _plan_for(self, fetch_list: list[Tensor],
+                  tracer: Tracer | None) -> "ExecutionPlan":
+        key = tuple(t.name for t in fetch_list)
+        plan = self._plans.get(key)
+        if plan is not None and plan.matches(self.graph, fetch_list):
+            self.plan_cache_hits += 1
+            return plan
+        from .compiler import compile_plan
+        plan = compile_plan(self.graph, fetch_list, self.options)
+        self._plans[key] = plan
+        self.plan_compiles += 1
+        summary = plan.summary()
+        self.compile_log.append(summary)
+        if tracer is not None:
+            record_compile = getattr(tracer, "record_compile", None)
+            if record_compile is not None:
+                record_compile(summary)
+        return plan
+
     # -- execution --------------------------------------------------------------
 
     def run(self, fetches, feed_dict: Mapping[Tensor, Any] | None = None,
@@ -173,45 +227,40 @@ class Session:
         single = isinstance(fetches, Tensor)
         fetch_list: list[Tensor] = [fetches] if single else list(fetches)
         feeds = self._validate_feeds(feed_dict or {})
-
-        plan_key = tuple(t.name for t in fetch_list)
-        ops = self._plans.get(plan_key)
-        if ops is None:
-            ops = self.graph.subgraph(fetch_list)
-            self._plans[plan_key] = ops
-        self._check_feeds_cover(ops, feeds)
-
-        # Reference counts so intermediates are freed after their last use.
-        refcount: dict[str, int] = {}
-        for op in ops:
-            for tensor in op.inputs:
-                refcount[tensor.name] = refcount.get(tensor.name, 0) + 1
-        for tensor in fetch_list:
-            refcount[tensor.name] = refcount.get(tensor.name, 0) + 1
+        plan = self._plan_for(fetch_list, tracer)
+        for op in plan.placeholders:
+            if id(op) not in feeds:
+                raise FeedError(
+                    f"placeholder {op.name!r} is required but was not fed")
 
         now = time.perf_counter  # local binding: called twice per op
-        validated = self._validated
         ctx = self._ctx
         injector = self.fault_injector
-        values: dict[str, np.ndarray] = {}
+        values: list = [None] * plan.num_slots
         live_bytes = 0
         peak_bytes = 0
-        step_start = now()
+        step_start = now() if tracer is not None else 0.0
         try:
-            for op in ops:
-                if type(op) is Placeholder:
+            for step in plan.steps:
+                op = step.op
+                kind = step.kind
+                if kind == K_PLACEHOLDER:
                     fed = feeds[id(op)]
                     if injector is not None:
                         fed = injector.on_feed(op, fed)
-                    values[op.outputs[0].name] = fed
+                    values[step.output_slots[0]] = fed
                     live_bytes += fed.nbytes
                     continue
-                args = tuple(values[t.name] for t in op.inputs)
-                op_start = now()
+                op_start = now() if tracer is not None else 0.0
                 try:
                     if injector is not None:
                         injector.before_op(op)
-                    outputs = op.compute(args, ctx)
+                    if kind == K_CONST:
+                        outputs = (step.const_value,)
+                    else:
+                        args = tuple(values[slot]
+                                     for slot in step.input_slots)
+                        outputs = op.compute(args, ctx)
                     if injector is not None:
                         outputs = injector.after_op(op, outputs)
                 except Exception as exc:
@@ -220,9 +269,8 @@ class Session:
                     raise ExecutionError(
                         op.name, str(exc),
                         input_shapes=[t.shape for t in op.inputs]) from exc
-                elapsed = now() - op_start
                 if tracer is not None:
-                    tracer.record(op, elapsed)
+                    tracer.record(op, now() - op_start)
                 if check_numerics:
                     for tensor, value in zip(op.outputs, outputs):
                         value = np.asarray(value)
@@ -233,33 +281,32 @@ class Session:
                                 op.name,
                                 f"produced {bad} in {tensor.name} "
                                 f"(check_numerics)")
-                if id(op) in validated:
-                    for tensor, value in zip(op.outputs, outputs):
-                        values[tensor.name] = value
+                if step.validated:
+                    # Steady state: kernels return ndarrays of the
+                    # declared shapes, so skip the asarray normalization
+                    # copy and the shape comparison entirely.
+                    for slot, value in zip(step.output_slots, outputs):
+                        values[slot] = value
                         live_bytes += value.nbytes
                 else:
-                    # First execution: check declared shapes and normalize
-                    # any non-ndarray outputs. Kernels return ndarrays of
-                    # the declared shape thereafter, so the steady-state
-                    # loop skips the checks.
-                    validated.add(id(op))
-                    for tensor, value in zip(op.outputs, outputs):
+                    # First execution of this step: normalize any
+                    # non-ndarray outputs and check declared shapes.
+                    for slot, tensor, value in zip(step.output_slots,
+                                                   op.outputs, outputs):
                         value = np.asarray(value)
                         if value.shape != tensor.shape:
                             raise ExecutionError(
                                 op.name,
                                 f"produced shape {value.shape}, declared "
                                 f"{tensor.shape} for {tensor.name}")
-                        values[tensor.name] = value
+                        values[slot] = value
                         live_bytes += value.nbytes
+                    step.validated = True
                 if live_bytes > peak_bytes:
                     peak_bytes = live_bytes
-                for tensor in op.inputs:
-                    name = tensor.name
-                    refcount[name] -= 1
-                    if refcount[name] == 0:
-                        live_bytes -= values[name].nbytes
-                        del values[name]
+                for slot in step.free_slots:
+                    live_bytes -= values[slot].nbytes
+                    values[slot] = None
         finally:
             # Aborted runs still advance the injector's step counter, so
             # a retry of the same training step is a *new* injection step.
@@ -269,7 +316,7 @@ class Session:
         if tracer is not None:
             tracer.finish_step(now() - step_start, peak_bytes)
 
-        results = [values[t.name] for t in fetch_list]
+        results = [values[slot] for slot in plan.fetch_slots]
         return results[0] if single else results
 
     # -- helpers ----------------------------------------------------------------
@@ -289,10 +336,3 @@ class Session:
                     f"placeholder expects {tensor.shape}")
             feeds[id(tensor.op)] = value
         return feeds
-
-    def _check_feeds_cover(self, ops: Sequence[Operation],
-                           feeds: dict[int, np.ndarray]) -> None:
-        for op in ops:
-            if isinstance(op, Placeholder) and id(op) not in feeds:
-                raise FeedError(
-                    f"placeholder {op.name!r} is required but was not fed")

@@ -61,12 +61,14 @@ class SavedTrace:
     def __init__(self, records: list[SavedRecord], step_totals: list[float],
                  step_peak_bytes: list[int], metadata: dict,
                  total_op_seconds: float | None = None,
-                 events: list | None = None):
+                 events: list | None = None,
+                 compile_records: list[dict] | None = None):
         self.records = records
         self.step_totals = step_totals
         self.step_peak_bytes = step_peak_bytes
         self.metadata = metadata
         self.events = events or []
+        self.compile_records = compile_records or []
         self._total_op_seconds = total_op_seconds
 
     def failure_events(self, kind: str | None = None) -> list:
@@ -113,6 +115,9 @@ def save_trace(tracer: Tracer, path: str | os.PathLike,
                        "attempt": e.attempt, "seconds_lost": e.seconds_lost,
                        "detail": e.detail}
                       for e in getattr(tracer, "events", [])],
+                  # plan-compilation summaries (pass stats, memory plan)
+                  "compile_records": list(
+                      getattr(tracer, "compile_records", [])),
                   "metadata": metadata or {}}
         handle.write(json.dumps(header) + "\n")
         for record in records:
@@ -163,4 +168,5 @@ def load_trace(path: str | os.PathLike) -> SavedTrace:
                       step_peak_bytes=header.get("step_peak_bytes", []),
                       metadata=header.get("metadata", {}),
                       total_op_seconds=header.get("total_op_seconds"),
-                      events=events)
+                      events=events,
+                      compile_records=header.get("compile_records", []))

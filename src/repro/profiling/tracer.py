@@ -53,11 +53,18 @@ class Tracer:
     #: structured FailureEvent records emitted by the resilient runner
     #: (see :mod:`repro.framework.resilience`), interleaved with steps
     events: list = field(default_factory=list)
+    #: plan-compilation summaries (one dict per compilation the session
+    #: performed while this tracer was attached; see ExecutionPlan.summary)
+    compile_records: list[dict] = field(default_factory=list)
     _current_step: int = 0
 
     def record(self, op: Operation, seconds: float) -> None:
         self.records.append(OpRecord(op=op, seconds=seconds,
                                      step=self._current_step))
+
+    def record_compile(self, summary: dict) -> None:
+        """Attach one plan-compilation summary (the session's hook)."""
+        self.compile_records.append(summary)
 
     def finish_step(self, total_seconds: float,
                     peak_live_bytes: int = 0) -> None:
@@ -120,4 +127,5 @@ class Tracer:
         self.step_totals.clear()
         self.step_peak_bytes.clear()
         self.events.clear()
+        self.compile_records.clear()
         self._current_step = 0

@@ -111,7 +111,9 @@ class FathomModel(abc.ABC):
             if getattr(self, attr) is None:
                 raise RuntimeError(
                     f"{type(self).__name__}.build() must set {attr}")
-        self.session = Session(self.graph, seed=seed + 1)
+        # Workload graphs are built once and never mutated afterwards,
+        # so they opt into the full optimizing plan pipeline.
+        self.session = Session(self.graph, seed=seed + 1, optimize="full")
 
     # -- to be provided by each workload ---------------------------------------
 
@@ -205,6 +207,22 @@ class FathomModel(abc.ABC):
         runner(steps, tracer=tracer)
         return OperationProfile.from_trace(
             tracer, workload=self.name, device=device)
+
+    def compile_plan(self, mode: str = "training"):
+        """The session's compiled :class:`ExecutionPlan` for a mode.
+
+        Compiles (or returns the cached plan for) the same fetch set the
+        corresponding ``run_*`` entry point uses, without running it —
+        the inspection hook behind ``repro compile``.
+        """
+        if mode == "training":
+            fetches = [self._loss_fetch, self._train_fetch]
+        elif mode == "inference":
+            fetches = [self._inference_fetch]
+        else:
+            raise ValueError(
+                f"mode must be training or inference, got {mode}")
+        return self.session.compile(fetches)
 
     def evaluate(self, batches: int = 4) -> dict[str, float]:
         """Task-quality metrics on held-out synthetic batches.

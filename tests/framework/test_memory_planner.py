@@ -20,7 +20,9 @@ class TestStaticPlanMatchesExecutor:
     def test_training_peak_exact(self, name):
         model = workloads.create(name, config="tiny", seed=0)
         fetches = [model.loss, model.train_step]
-        planned = static_peak_bytes(model.graph, fetches=fetches)
+        # Plan at the same optimization level the session executes at.
+        planned = static_peak_bytes(model.graph, fetches=fetches,
+                                    options=model.session.options)
         tracer = Tracer()
         model.session.run(fetches, feed_dict=model.sample_feed(),
                           tracer=tracer)
@@ -30,12 +32,21 @@ class TestStaticPlanMatchesExecutor:
     def test_inference_peak_exact(self):
         model = workloads.create("autoenc", config="tiny", seed=0)
         fetches = [model.inference_output]
-        planned = static_peak_bytes(model.graph, fetches=fetches)
+        planned = static_peak_bytes(model.graph, fetches=fetches,
+                                    options=model.session.options)
         tracer = Tracer()
         model.session.run(fetches,
                           feed_dict=model.sample_feed(training=False),
                           tracer=tracer)
         assert planned == tracer.step_peak_bytes[0]
+
+    def test_structural_peak_matches_structural_session(self):
+        model = workloads.create("memnet", config="tiny", seed=0)
+        fetches = [model.loss, model.train_step]
+        planned = static_peak_bytes(model.graph, fetches=fetches)
+        session = Session(model.graph, seed=1)  # structural by default
+        session.run(fetches, feed_dict=model.sample_feed())
+        assert planned == session.last_peak_live_bytes
 
     def test_plan_without_running(self, fresh_graph):
         """The planner needs no session, no data, no execution."""

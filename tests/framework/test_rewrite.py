@@ -146,3 +146,21 @@ class TestWorkloadEquivalence:
             [model.loss, model.train_step]))
         assert stats.removed >= (stats.identities_removed
                                  + stats.subexpressions_merged)
+
+
+class TestAttrKeyStability:
+    def test_operation_attrs_key_by_name_not_id(self, fresh_graph):
+        """Regression: _attr_key used id(op), which the allocator can
+        recycle after GC, silently merging unrelated ops across rewrites.
+        """
+        from repro.framework.rewrite import _attr_key
+        v = ops.variable(np.zeros(2, dtype=np.float32), name="w")
+        key = _attr_key(v.op)
+        assert key == ("op", "w", v.op.type_name)
+        assert not any(part == id(v.op) for part in key)
+
+    def test_distinct_ops_get_distinct_keys(self, fresh_graph):
+        from repro.framework.rewrite import _attr_key
+        a = ops.variable(np.zeros(2, dtype=np.float32), name="a")
+        b = ops.variable(np.zeros(2, dtype=np.float32), name="b")
+        assert _attr_key(a.op) != _attr_key(b.op)

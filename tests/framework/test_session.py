@@ -237,3 +237,100 @@ class TestTracing:
         tracer.clear()
         assert tracer.num_steps == 0
         assert tracer.records == []
+
+
+class TestPlanCache:
+    def test_repeat_runs_reuse_the_plan(self, session):
+        total = ops.add(ops.constant(1.0), ops.constant(2.0))
+        session.run(total)
+        session.run(total)
+        session.run(total)
+        assert session.plan_compiles == 1
+        assert session.plan_cache_hits == 2
+
+    def test_graph_growth_invalidates_the_plan(self, fresh_graph):
+        x = ops.variable(np.zeros(3, dtype=np.float32), name="w")
+        y = ops.add(x, 1.0)
+        session = Session(fresh_graph, seed=0)
+        first = session.run(y)
+        # Growing the graph must trigger recompilation on the next run,
+        # even though the fetch is unchanged.
+        ops.constant(5.0)
+        second = session.run(y)
+        np.testing.assert_array_equal(first, second)
+        assert session.plan_compiles == 2
+
+    def test_same_name_in_new_graph_is_rejected(self, fresh_graph):
+        """Regression: the old cache was keyed only by fetch *names*.
+
+        Running a same-named fetch from a different graph silently
+        returned the first graph's cached value. It must now raise.
+        """
+        from repro.framework.errors import GraphError
+        first = ops.constant(1.0)  # named "Const" in fresh_graph
+        session = Session(fresh_graph, seed=0)
+        assert float(session.run(first)) == 1.0
+        other = Graph()
+        with other.as_default():
+            impostor = ops.constant(2.0)  # also named "Const"
+        assert impostor.name == first.name
+        with pytest.raises(GraphError):
+            session.run(impostor)
+
+    def test_compile_is_inspectable_without_running(self, session):
+        total = ops.add(ops.constant(1.0), ops.constant(2.0))
+        plan = session.compile(total)
+        assert plan.num_steps == 3
+        assert session.plan_compiles == 1
+        assert session.compile_log[-1]["num_steps"] == 3
+        # run() reuses what compile() built
+        session.run(total)
+        assert session.plan_compiles == 1
+
+
+class TestValidatedFastPath:
+    def test_steady_state_skips_asarray_normalization(self, session):
+        """After first-run validation the executor must pass kernel
+        outputs through without an np.asarray round trip."""
+        a = ops.constant(np.ones((2, 2), dtype=np.float32))
+        b = ops.add(a, a)
+        plan = session.compile(b)
+        assert all(not step.validated for step in plan.steps)
+        session.run(b)
+        assert all(step.validated for step in plan.steps)
+
+        seen = []
+        add_step = next(s for s in plan.steps if s.op is b.op)
+        original_compute = type(b.op).compute
+
+        class Canary(np.ndarray):
+            pass
+
+        def spying_compute(self, inputs, ctx):
+            outputs = original_compute(self, inputs, ctx)
+            tagged = tuple(np.asarray(o).view(Canary) for o in outputs)
+            seen.append(tagged)
+            return tagged
+
+        type(b.op).compute = spying_compute
+        try:
+            result = session.run(b)
+        finally:
+            type(b.op).compute = original_compute
+        # The exact object the kernel returned must be what run() hands
+        # back: no asarray copy, no view-stripping, on the hot path.
+        assert result is seen[0][0]
+        assert isinstance(result, Canary)
+        assert add_step.validated
+
+    def test_check_numerics_still_names_first_offender_when_validated(
+            self, session):
+        x = ops.constant(np.zeros(3, dtype=np.float32), name="zeros")
+        bad = ops.log(x, name="bad_log")  # -inf
+        worse = ops.multiply(bad, 0.0, name="worse")  # nan downstream
+        # Validate every step with the guard off...
+        session.run(worse)
+        # ...then the guard must still catch the first offender on the
+        # validated fast path.
+        with pytest.raises(ExecutionError, match="bad_log"):
+            session.run(worse, check_numerics=True)

@@ -131,3 +131,32 @@ class TestCrossMachineWorkflow:
         # Same graph, same device model: profiles are identical.
         assert comparison.cosine_distance == pytest.approx(0.0, abs=1e-9)
         assert comparison.speedup == pytest.approx(1.0, rel=1e-6)
+
+
+class TestCompileRecords:
+    def test_compile_records_roundtrip(self, tmp_path):
+        model = workloads.create("memnet", config="tiny", seed=0)
+        tracer = Tracer()
+        model.run_training(2, tracer=tracer)
+        assert tracer.compile_records, "session should report compilations"
+        path = tmp_path / "trace.jsonl"
+        save_trace(tracer, path)
+        loaded = load_trace(path)
+        assert loaded.compile_records == tracer.compile_records
+        record = loaded.compile_records[0]
+        assert record["options"] == "full"
+        assert {"ops_in", "num_steps", "memory", "passes"} <= set(record)
+
+    def test_traces_without_compile_records_still_load(self, tmp_path):
+        """Backward compatibility with pre-compiler trace files."""
+        model = workloads.create("memnet", config="tiny", seed=0)
+        tracer = Tracer()
+        model.run_training(1, tracer=tracer)
+        path = tmp_path / "trace.jsonl"
+        save_trace(tracer, path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header.pop("compile_records")
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        loaded = load_trace(path)
+        assert loaded.compile_records == []

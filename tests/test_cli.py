@@ -256,3 +256,18 @@ class TestParsing:
     def test_unknown_workload_errors(self, capsys):
         with pytest.raises(KeyError):
             main(["run", "gpt4", "--config", "tiny"])
+
+
+class TestCompile:
+    def test_one_line_summary(self, capsys):
+        code, out = run_cli(capsys, "compile", "memnet", "--config", "tiny")
+        assert code == 0
+        assert "ops ->" in out and "planned peak" in out
+
+    def test_pass_report(self, capsys):
+        code, out = run_cli(capsys, "compile", "seq2seq", "--config",
+                            "tiny", "--mode", "infer", "--report")
+        assert code == 0
+        for pass_name in ("prune", "fold", "cse", "fuse", "schedule"):
+            assert pass_name in out
+        assert "LSTM cells fused" in out
