@@ -55,9 +55,14 @@ def _build(args):
 
 def cmd_run(args) -> int:
     model = _build(args)
+    if getattr(args, "safe_mode", False):
+        # Start at the lowest tier: op-at-a-time exception capture with
+        # forced zero-and-record numeric screening.
+        model.session.safe_mode = True
     if args.mode == "train":
+        healing = getattr(args, "healing", False)
         resilient = (args.resume is not None or args.max_retries is not None
-                     or args.checkpoint is not None)
+                     or args.checkpoint is not None or healing)
         if resilient:
             from repro.framework.resilience import (ResilienceConfig,
                                                     ResilientRunner)
@@ -68,12 +73,20 @@ def cmd_run(args) -> int:
                 resume_from=args.resume,
                 checkpoint_path=args.checkpoint,
                 checkpoint_every=(args.checkpoint_every
-                                  or (10 if args.checkpoint else 0)))
+                                  or (10 if args.checkpoint else 0)),
+                healing=healing or None)
             runner = ResilientRunner(model, config=config)
             losses = runner.run(args.steps)
             for event in runner.events:
                 print(f"[{event.kind}] step {event.step}: {event.detail}",
                       file=sys.stderr)
+            for event in runner.degradations:
+                where = f" at {event.op_name}" if event.op_name else ""
+                print(f"[healing:{event.kind}] step {event.step}{where}: "
+                      f"{event.detail}", file=sys.stderr)
+            if healing:
+                print(f"final execution tier: "
+                      f"{model.session.execution_tier}", file=sys.stderr)
         else:
             losses = model.run_training(steps=args.steps)
         for step, loss in enumerate(losses, start=1):
@@ -347,6 +360,15 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="N",
                             help="checkpoint cadence in steps "
                                  "(default 10 when --checkpoint is set)")
+    run_parser.add_argument("--healing", action="store_true",
+                            help="self-heal failed steps: blame-localize, "
+                                 "de-optimize to safer plan tiers, "
+                                 "quarantine offending compiler passes "
+                                 "(enables the resilient runner)")
+    run_parser.add_argument("--safe-mode", action="store_true",
+                            help="start in op-at-a-time safe mode "
+                                 "(per-op exception capture + numeric "
+                                 "screening; the slowest, safest tier)")
     run_parser.set_defaults(handler=cmd_run)
 
     profile_parser = commands.add_parser("profile",

@@ -24,13 +24,15 @@ from . import (autodiff, calibrate, checkpoint, compiler, cost_model,
                initializers, layers, memory, ops, optimizers, placement,
                resilience, rewrite, rnn)
 from .autodiff import gradients
-from .compiler import ExecutionPlan, PlanOptions, compile_plan
+from .compiler import (ExecutionPlan, PassQuarantine, PlanOptions,
+                       QuarantineEntry, compile_plan)
 from .calibrate import calibrate_cpu
 from .gradient_check import check_gradients
 from .cost_model import WorkEstimate
 from .device_model import CPUDeviceModel, GPUDeviceModel, cpu, gpu
 from .errors import (DifferentiationError, ExecutionError, FeedError,
-                     FrameworkError, GraphError, ShapeError)
+                     FrameworkError, GraphError, GuardrailViolation,
+                     ShapeError)
 from .faults import (FaultInjector, FaultPlan, FaultSpec, InjectedFault,
                      InjectionEvent)
 from .graph import (Graph, OpClass, Operation, OP_TYPE_REGISTRY, Tensor,
@@ -40,7 +42,8 @@ from .optimizers import (AdamOptimizer, GradientDescentOptimizer,
                          MomentumOptimizer, Optimizer, RMSPropOptimizer)
 from .resilience import (FailureEvent, NonFiniteLossError, ResilienceConfig,
                          ResilientRunner)
-from .session import RunContext, Session, SessionSnapshot
+from .session import (DegradationEvent, GuardrailPolicy, HealingConfig,
+                      HealingPolicy, RunContext, Session, SessionSnapshot)
 
 __all__ = [
     "autodiff", "calibrate", "checkpoint", "compiler", "cost_model",
@@ -49,11 +52,12 @@ __all__ = [
     "resilience", "rewrite", "rnn",
     "calibrate_cpu", "check_gradients",
     "gradients", "WorkEstimate",
-    "ExecutionPlan", "PlanOptions", "compile_plan",
+    "ExecutionPlan", "PassQuarantine", "PlanOptions", "QuarantineEntry",
+    "compile_plan",
     "MemoryPlan", "plan_memory",
     "CPUDeviceModel", "GPUDeviceModel", "cpu", "gpu",
     "DifferentiationError", "ExecutionError", "FeedError", "FrameworkError",
-    "GraphError", "ShapeError",
+    "GraphError", "GuardrailViolation", "ShapeError",
     "FaultInjector", "FaultPlan", "FaultSpec", "InjectedFault",
     "InjectionEvent",
     "FailureEvent", "NonFiniteLossError", "ResilienceConfig",
@@ -62,5 +66,6 @@ __all__ = [
     "get_default_graph", "name_scope", "reset_default_graph",
     "AdamOptimizer", "GradientDescentOptimizer", "MomentumOptimizer",
     "Optimizer", "RMSPropOptimizer",
+    "DegradationEvent", "GuardrailPolicy", "HealingConfig", "HealingPolicy",
     "RunContext", "Session", "SessionSnapshot",
 ]

@@ -110,6 +110,112 @@ class PlanOptions:
         return "+".join(enabled) if enabled else "structural"
 
 
+#: optimization-pass names (as used by quarantine and pass records)
+#: mapped to the PlanOptions flag that enables each pass
+PASS_FLAGS = {
+    "identity": "eliminate_identities",
+    "fold": "fold_constants",
+    "cse": "merge_subexpressions",
+    "fuse": "fuse_lstm",
+}
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One quarantined compiler pass in a :class:`PassQuarantine`.
+
+    ``sticky`` entries persist until explicitly cleared — they record a
+    rewrite that has been *blamed* for a failure (via step provenance)
+    and must not run again for this graph. Non-sticky ("soft") entries
+    implement temporary tier demotion and are lifted wholesale when the
+    healing policy re-escalates after enough clean steps.
+    """
+
+    pass_name: str
+    reason: str = ""
+    op_name: str | None = None
+    sticky: bool = True
+
+    def as_dict(self) -> dict:
+        return {"pass": self.pass_name, "reason": self.reason,
+                "op": self.op_name, "sticky": self.sticky}
+
+
+class PassQuarantine:
+    """Pass-health registry: which rewrites are disabled for a graph.
+
+    Owned by a :class:`~repro.framework.session.Session` (one registry
+    per session, hence per graph). The session filters its base
+    :class:`PlanOptions` through :meth:`filter` before every plan
+    lookup, so quarantining or clearing a pass transparently invalidates
+    cached plans — the next ``run`` recompiles without the offending
+    rewrite. ``version`` increments on every mutation, for observers.
+    """
+
+    def __init__(self):
+        self._entries: dict[str, QuarantineEntry] = {}
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> tuple[QuarantineEntry, ...]:
+        return tuple(self._entries.values())
+
+    def is_quarantined(self, pass_name: str) -> bool:
+        return pass_name in self._entries
+
+    def has_soft(self) -> bool:
+        return any(not e.sticky for e in self._entries.values())
+
+    def quarantine(self, pass_name: str, *, reason: str = "",
+                   op_name: str | None = None,
+                   sticky: bool = True) -> QuarantineEntry:
+        """Disable ``pass_name`` for this session until cleared/lifted."""
+        if pass_name not in PASS_FLAGS:
+            raise ValueError(
+                f"unknown compiler pass {pass_name!r}; expected one of "
+                f"{sorted(PASS_FLAGS)}")
+        entry = QuarantineEntry(pass_name, reason=reason, op_name=op_name,
+                                sticky=sticky)
+        self._entries[pass_name] = entry
+        self.version += 1
+        return entry
+
+    def clear(self, pass_name: str | None = None) -> list[str]:
+        """Explicitly clear one pass (or all); returns what was cleared."""
+        names = ([pass_name] if pass_name is not None
+                 else list(self._entries))
+        cleared = [name for name in names if self._entries.pop(name, None)]
+        if cleared:
+            self.version += 1
+        return cleared
+
+    def lift_soft(self) -> list[str]:
+        """Remove non-sticky entries (re-escalation); sticky ones stay."""
+        lifted = [name for name, entry in self._entries.items()
+                  if not entry.sticky]
+        for name in lifted:
+            del self._entries[name]
+        if lifted:
+            self.version += 1
+        return lifted
+
+    def filter(self, options: "PlanOptions") -> "PlanOptions":
+        """``options`` with every quarantined pass forced off."""
+        if not self._entries:
+            return options
+        disabled = {PASS_FLAGS[name]: False for name in self._entries}
+        return PlanOptions(**{
+            flag: disabled.get(flag, getattr(options, flag))
+            for flag in PASS_FLAGS.values()})
+
+    def as_dict(self) -> dict:
+        return {"version": self.version,
+                "entries": [e.as_dict() for e in self.entries]}
+
+
 @dataclass(frozen=True)
 class PassRecord:
     """Observability record for one compiler pass."""
@@ -143,11 +249,13 @@ class CompiledStep:
     """
 
     __slots__ = ("op", "kind", "input_slots", "output_slots", "free_slots",
-                 "const_value", "validated")
+                 "const_value", "validated", "provenance", "origin_pass")
 
     def __init__(self, op: Operation, kind: int,
                  input_slots: tuple[int, ...], output_slots: tuple[int, ...],
-                 const_value: np.ndarray | None = None):
+                 const_value: np.ndarray | None = None,
+                 provenance: tuple[str, ...] = (),
+                 origin_pass: str | None = None):
         self.op = op
         self.kind = kind
         self.input_slots = input_slots
@@ -155,6 +263,11 @@ class CompiledStep:
         self.free_slots: tuple[int, ...] = ()
         self.const_value = const_value
         self.validated = False
+        #: for synthesized ops, the source-graph op names this step
+        #: replaced (originating op first) and the pass that made it —
+        #: the blame links ExecutionError carries out of the executor
+        self.provenance = provenance
+        self.origin_pass = origin_pass
 
     def __repr__(self) -> str:
         return (f"<CompiledStep {self.op.name!r} in={self.input_slots} "
@@ -298,16 +411,21 @@ class _Values:
 class _Node:
     """A mutable scheduling node used while passes run."""
 
-    __slots__ = ("op", "kind", "in_vids", "out_vids", "const_value")
+    __slots__ = ("op", "kind", "in_vids", "out_vids", "const_value",
+                 "provenance", "origin_pass")
 
     def __init__(self, op: Operation, kind: int, in_vids: list[int],
                  out_vids: list[int],
-                 const_value: np.ndarray | None = None):
+                 const_value: np.ndarray | None = None,
+                 provenance: tuple[str, ...] = (),
+                 origin_pass: str | None = None):
         self.op = op
         self.kind = kind
         self.in_vids = in_vids
         self.out_vids = out_vids
         self.const_value = const_value
+        self.provenance = provenance
+        self.origin_pass = origin_pass
 
 
 def compile_plan(graph: Graph, fetches, options=None) -> ExecutionPlan:
@@ -412,7 +530,9 @@ def compile_plan(graph: Graph, fetches, options=None) -> ExecutionPlan:
             slot_specs.append(values.spec(vid))
             output_slots.append(slot)
         steps.append(CompiledStep(node.op, node.kind, input_slots,
-                                  tuple(output_slots), node.const_value))
+                                  tuple(output_slots), node.const_value,
+                                  provenance=node.provenance,
+                                  origin_pass=node.origin_pass))
         if node.kind == K_PLACEHOLDER:
             placeholders.append(node.op)
 
@@ -485,6 +605,10 @@ def _pass_fold(nodes: list[_Node], values: _Values,
     fold_ctx = _FoldContext()
     kept = []
     folded = 0
+    # Provenance chains for folded values: a fold over already-folded
+    # inputs inherits their source-op chain, so blame localization can
+    # walk a cascade of folds back to every original op it absorbed.
+    prov_of: dict[int, tuple[str, ...]] = {}
     for node in nodes:
         node.in_vids = [values.resolve(vid) for vid in node.in_vids]
         op = node.op
@@ -505,12 +629,20 @@ def _pass_fold(nodes: list[_Node], values: _Values,
                     and (not np.issubdtype(value.dtype, np.floating)
                          or bool(np.isfinite(value).all()))
                     for value, tensor in zip(outputs, op.outputs)):
+                chain = [op.name]
+                for vid in node.in_vids:
+                    chain.extend(name for name in prov_of.get(vid, ())
+                                 if name not in chain)
+                provenance = tuple(chain)
                 for vid, value in zip(node.out_vids, outputs):
                     const_op = Const(attrs={"value": value},
                                      name=f"{op.name}/folded",
                                      graph=plan_graph)
                     values.const[vid] = value
-                    kept.append(_Node(const_op, K_CONST, [], [vid], value))
+                    prov_of[vid] = provenance
+                    kept.append(_Node(const_op, K_CONST, [], [vid], value,
+                                      provenance=provenance,
+                                      origin_pass="fold"))
                 folded += 1
                 continue
         kept.append(node)
@@ -628,8 +760,12 @@ def _pass_fuse(graph: Graph, fetch_list: list[Tensor],
         new_c_vid = values.resolve(vid_of[match.new_c.name])
         new_h_vid = values.resolve(vid_of[match.new_h.name])
         gates_vid = values.new(block.outputs[2])
+        provenance = (match.anchor.name,) + tuple(
+            node.op.name for node in removal
+            if node.op is not match.anchor)
         fused_node = _Node(block, K_COMPUTE, in_vids,
-                           [new_c_vid, new_h_vid, gates_vid])
+                           [new_c_vid, new_h_vid, gates_vid],
+                           provenance=provenance, origin_pass="fuse")
         replacement[id(anchor_node)] = fused_node
         dropped.update(removal_ids - {id(anchor_node)})
         fused += 1

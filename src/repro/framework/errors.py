@@ -38,20 +38,77 @@ class ExecutionError(FrameworkError):
         transient: True for failures that are expected to succeed on
             retry (e.g. injected chaos faults); the resilient runner
             only retries transient errors unless configured otherwise.
+        provenance: for failures inside a *synthesized* plan step (a
+            folded constant, a fused LSTM cell), the names of the
+            source-graph operations the step replaced, originating op
+            first. Empty for ordinary steps.
+        origin_pass: the compiler pass that synthesized the failing
+            step (``"fold"``, ``"fuse"``), or None for original ops.
     """
 
     def __init__(self, op_name: str, message: str,
                  input_shapes: tuple | list | None = None,
-                 transient: bool = False):
-        detail = f"operation '{op_name}': {message}"
-        shapes = tuple(tuple(shape) for shape in input_shapes or ())
-        if shapes:
-            detail += " [input shapes: " + ", ".join(
-                str(shape) for shape in shapes) + "]"
-        super().__init__(detail)
+                 transient: bool = False,
+                 provenance: tuple | list = (),
+                 origin_pass: str | None = None):
+        self._message = message
         self.op_name = op_name
-        self.input_shapes = shapes
+        self.input_shapes = tuple(tuple(shape)
+                                  for shape in input_shapes or ())
         self.transient = transient
+        self.provenance = tuple(provenance)
+        self.origin_pass = origin_pass
+        super().__init__(self._detail())
+
+    def _detail(self) -> str:
+        detail = f"operation '{self.op_name}': {self._message}"
+        if self.input_shapes:
+            detail += " [input shapes: " + ", ".join(
+                str(shape) for shape in self.input_shapes) + "]"
+        if self.provenance:
+            origin = f" by {self.origin_pass} pass" if self.origin_pass \
+                else ""
+            detail += (f" [synthesized{origin}, replacing: "
+                       + ", ".join(self.provenance) + "]")
+        return detail
+
+    @property
+    def blamed_op(self) -> str:
+        """The source-graph operation this failure localizes to.
+
+        For a synthesized step that is the first provenance entry (the
+        originating op the rewrite replaced); otherwise the failing op
+        itself.
+        """
+        return self.provenance[0] if self.provenance else self.op_name
+
+    def attach_provenance(self, provenance: tuple | list,
+                          origin_pass: str | None) -> None:
+        """Late-bind blame links onto an error raised *inside* a step.
+
+        Injected faults and guardrail violations are raised with only
+        the (possibly synthesized) op name; the executor calls this to
+        attach the plan step's provenance chain before propagating.
+        """
+        if self.provenance or not provenance:
+            return
+        self.provenance = tuple(provenance)
+        self.origin_pass = origin_pass
+        self.args = (self._detail(),)
+
+
+class GuardrailViolation(ExecutionError):
+    """Raised by the op-level numerical guardrail (see session docs).
+
+    ``deoptimize_hint=True`` marks violations raised under the
+    ``"deoptimize"`` policy: the healing policy treats them as a
+    request to recompile at a safer tier rather than a hard failure.
+    """
+
+    def __init__(self, op_name: str, message: str,
+                 deoptimize_hint: bool = False):
+        super().__init__(op_name, message)
+        self.deoptimize_hint = deoptimize_hint
 
 
 class FeedError(FrameworkError):

@@ -42,10 +42,15 @@ class InjectedFault(ExecutionError):
     """A deliberately injected, transient operation failure.
 
     ``transient=True`` marks it as retryable for the resilient runner.
+    ``injection_step`` records which injection step (``Session.run``
+    index) fired the fault, so blame trails in recovery logs can be
+    cross-referenced against the injector's event list.
     """
 
-    def __init__(self, op_name: str, message: str):
+    def __init__(self, op_name: str, message: str,
+                 injection_step: int | None = None):
         super().__init__(op_name, message, transient=True)
+        self.injection_step = injection_step
 
 
 @dataclass(frozen=True)
@@ -196,7 +201,7 @@ class FaultInjector:
                 raise InjectedFault(
                     op.name,
                     f"injected transient fault (spec {index}, "
-                    f"step {self.step})")
+                    f"step {self.step})", injection_step=self.step)
 
     def after_op(self, op: Operation, outputs):
         """Possibly poison an op's floating-point outputs."""

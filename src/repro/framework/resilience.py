@@ -43,6 +43,8 @@ import numpy as np
 
 from . import checkpoint as checkpoint_lib
 from .errors import ExecutionError, FrameworkError
+from .session import (DegradationEvent, GuardrailPolicy, HealingConfig,
+                      HealingPolicy)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .graph import Tensor
@@ -111,6 +113,14 @@ class ResilienceConfig:
         checkpoint_every: checkpoint cadence in steps (0 disables).
         watchdog_seconds: per-step wall-clock budget (None disables).
         resume_from: checkpoint file restored before the first step.
+        healing: enable self-healing (``True`` for
+            :class:`~repro.framework.session.HealingConfig` defaults, or
+            a config instance): plan-step failures are blame-localized
+            and repeated offenders trigger tiered de-optimization and
+            pass quarantine instead of blind same-plan retries.
+        guardrails: a :class:`~repro.framework.session.GuardrailPolicy`
+            (or policy name) applied to every ``Session.run`` the runner
+            issues — op-level NaN/Inf/overflow screening.
     """
 
     max_retries: int = 2
@@ -125,6 +135,8 @@ class ResilienceConfig:
     checkpoint_every: int = 0
     watchdog_seconds: float | None = None
     resume_from: str | os.PathLike | None = None
+    healing: HealingConfig | bool | None = None
+    guardrails: GuardrailPolicy | str | None = None
 
 
 class TrainableModel(Protocol):
@@ -154,7 +166,21 @@ class ResilientRunner:
         self.tracer = tracer
         #: every recovery action taken, in order
         self.events: list[FailureEvent] = []
-        self._backoff_rng = np.random.default_rng(self.config.seed)
+        #: every self-healing action taken (tier drops, quarantines,
+        #: re-escalations), in order; empty unless ``healing`` is set
+        self.degradations: list[DegradationEvent] = []
+        self.guardrails = GuardrailPolicy.coerce(self.config.guardrails)
+        healing_config = HealingConfig.coerce(self.config.healing)
+        self.healing: HealingPolicy | None = (
+            HealingPolicy(model.session, healing_config,
+                          sink=self._emit_degradation)
+            if healing_config is not None else None)
+        # Dedicated jitter stream (decorrelated from the session RNG by
+        # the spawn key), so recovery traces reproduce run-to-run.
+        self._backoff_rng = np.random.default_rng(
+            np.random.SeedSequence(self.config.seed, spawn_key=(0xB0FF,)))
+        #: every jittered delay drawn, for reproducibility assertions
+        self.backoff_delays: list[float] = []
         self._last_good: tuple[int, Any] | None = None
 
     # -- events ------------------------------------------------------------
@@ -168,6 +194,16 @@ class ResilientRunner:
     def event_signatures(self) -> tuple:
         """Timing-free event sequence, for determinism assertions."""
         return tuple(event.signature() for event in self.events)
+
+    def _emit_degradation(self, event: DegradationEvent) -> None:
+        self.degradations.append(event)
+        record = getattr(self.tracer, "record_event", None)
+        if record is not None:
+            record(event)
+
+    def degradation_signatures(self) -> tuple:
+        """Timing-free healing-event sequence, for determinism assertions."""
+        return tuple(event.signature() for event in self.degradations)
 
     # -- retry policy ------------------------------------------------------
 
@@ -184,10 +220,17 @@ class ResilientRunner:
         if config.backoff_jitter:
             swing = float(self._backoff_rng.uniform(-1.0, 1.0))
             delay *= 1.0 + config.backoff_jitter * swing
-        return max(0.0, delay)
+        delay = max(0.0, delay)
+        self.backoff_delays.append(delay)
+        return delay
 
     def _retryable(self, exc: Exception) -> bool:
         if isinstance(exc, NonFiniteLossError):
+            return True
+        if self.healing is not None and isinstance(exc, ExecutionError):
+            # Under healing every plan-step failure is worth a retry:
+            # the policy may have just recompiled at a safer tier, so
+            # re-running the same step is not "blind".
             return True
         return (self.config.retry_all_execution_errors
                 or getattr(exc, "transient", False))
@@ -237,13 +280,21 @@ class ResilientRunner:
                 loss_value, _ = session.run(
                     [self.model.loss, self.model.train_step],
                     feed_dict=feed, tracer=self.tracer,
-                    check_numerics=config.check_numerics)
+                    check_numerics=config.check_numerics,
+                    guardrails=self.guardrails)
                 loss_value = float(np.asarray(loss_value))
                 if config.nan_guard and not math.isfinite(loss_value):
                     raise NonFiniteLossError(step, loss_value)
+                if self.healing is not None:
+                    self.healing.on_success(step)
                 return loss_value
             except (ExecutionError, NonFiniteLossError) as exc:
                 lost = time.perf_counter() - attempt_start
+                if self.healing is not None \
+                        and isinstance(exc, ExecutionError):
+                    # Blame-localize and maybe demote/quarantine before
+                    # deciding whether (and how) to retry.
+                    self.healing.on_failure(exc, step)
                 if not self._retryable(exc):
                     return self._unrecoverable(step, exc, attempt, lost)
                 if attempt < config.max_retries:

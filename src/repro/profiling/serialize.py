@@ -72,9 +72,17 @@ class SavedTrace:
         self._total_op_seconds = total_op_seconds
 
     def failure_events(self, kind: str | None = None) -> list:
+        events = [e for e in self.events if not hasattr(e, "pass_name")]
         if kind is None:
-            return list(self.events)
-        return [e for e in self.events if e.kind == kind]
+            return events
+        return [e for e in events if e.kind == kind]
+
+    def degradation_events(self, kind: str | None = None) -> list:
+        """Self-healing events persisted with the trace, in emit order."""
+        events = [e for e in self.events if hasattr(e, "pass_name")]
+        if kind is None:
+            return events
+        return [e for e in events if e.kind == kind]
 
     def fault_seconds(self) -> float:
         return sum(e.seconds_lost for e in self.events)
@@ -103,6 +111,24 @@ def save_trace(tracer: Tracer, path: str | os.PathLike,
                metadata: dict | None = None) -> int:
     """Write a tracer's compute records to ``path``; returns record count."""
     records = tracer.compute_records()
+    # Failure and degradation events share one ordered stream in the
+    # tracer; persist them as separate header lists (degradations carry
+    # extra fields) tagged with a shared ``seq`` so loading restores the
+    # interleaved emit order exactly.
+    failure_blobs: list[dict] = []
+    degradation_blobs: list[dict] = []
+    for seq, e in enumerate(getattr(tracer, "events", [])):
+        if hasattr(e, "pass_name"):
+            degradation_blobs.append(
+                {"seq": seq, "step": e.step, "kind": e.kind,
+                 "op": e.op_name, "tier": e.tier, "pass": e.pass_name,
+                 "attempt": e.attempt, "seconds_lost": e.seconds_lost,
+                 "detail": e.detail})
+        else:
+            failure_blobs.append(
+                {"seq": seq, "step": e.step, "kind": e.kind,
+                 "op": e.op_name, "attempt": e.attempt,
+                 "seconds_lost": e.seconds_lost, "detail": e.detail})
     with open(path, "w") as handle:
         header = {"kind": "repro-trace", "version": FORMAT_VERSION,
                   "num_steps": tracer.num_steps,
@@ -110,11 +136,8 @@ def save_trace(tracer: Tracer, path: str | os.PathLike,
                   "step_peak_bytes": list(tracer.step_peak_bytes),
                   # includes structural ops, which records below omit
                   "total_op_seconds": tracer.total_op_seconds(),
-                  "failure_events": [
-                      {"step": e.step, "kind": e.kind, "op": e.op_name,
-                       "attempt": e.attempt, "seconds_lost": e.seconds_lost,
-                       "detail": e.detail}
-                      for e in getattr(tracer, "events", [])],
+                  "failure_events": failure_blobs,
+                  "degradation_events": degradation_blobs,
                   # plan-compilation summaries (pass stats, memory plan)
                   "compile_records": list(
                       getattr(tracer, "compile_records", [])),
@@ -157,12 +180,23 @@ def load_trace(path: str | os.PathLike) -> SavedTrace:
             records.append(SavedRecord(op=op, seconds=blob["seconds"],
                                        step=blob["step"]))
     from repro.framework.resilience import FailureEvent
-    events = [FailureEvent(step=blob["step"], kind=blob["kind"],
-                           op_name=blob.get("op"),
-                           attempt=blob.get("attempt", 0),
-                           seconds_lost=blob.get("seconds_lost", 0.0),
-                           detail=blob.get("detail", ""))
-              for blob in header.get("failure_events", [])]
+    from repro.framework.session import DegradationEvent
+    tagged: list[tuple[int, object]] = []
+    for blob in header.get("failure_events", []):
+        tagged.append((blob.get("seq", len(tagged)), FailureEvent(
+            step=blob["step"], kind=blob["kind"], op_name=blob.get("op"),
+            attempt=blob.get("attempt", 0),
+            seconds_lost=blob.get("seconds_lost", 0.0),
+            detail=blob.get("detail", ""))))
+    for blob in header.get("degradation_events", []):
+        tagged.append((blob.get("seq", len(tagged)), DegradationEvent(
+            step=blob["step"], kind=blob["kind"], op_name=blob.get("op"),
+            tier=blob.get("tier"), pass_name=blob.get("pass"),
+            attempt=blob.get("attempt", 0),
+            seconds_lost=blob.get("seconds_lost", 0.0),
+            detail=blob.get("detail", ""))))
+    tagged.sort(key=lambda pair: pair[0])
+    events = [event for _, event in tagged]
     return SavedTrace(records=records,
                       step_totals=header["step_totals"],
                       step_peak_bytes=header.get("step_peak_bytes", []),

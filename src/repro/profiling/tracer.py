@@ -109,10 +109,28 @@ class Tracer:
         return max(self.step_peak_bytes, default=0)
 
     def failure_events(self, kind: str | None = None) -> list:
-        """Recovery events recorded so far, optionally filtered by kind."""
+        """Recovery events recorded so far, optionally filtered by kind.
+
+        Degradation events (which carry a ``pass_name`` field) share the
+        ``record_event`` hook but are reported separately via
+        :meth:`degradation_events`.
+        """
+        events = [e for e in self.events if not hasattr(e, "pass_name")]
         if kind is None:
-            return list(self.events)
-        return [e for e in self.events if e.kind == kind]
+            return events
+        return [e for e in events if e.kind == kind]
+
+    def degradation_events(self, kind: str | None = None) -> list:
+        """Self-healing events (tier drops, quarantines, guardrails).
+
+        Distinguished from failure events by duck-typing on the
+        ``pass_name`` field, so the tracer stays decoupled from both
+        event classes.
+        """
+        events = [e for e in self.events if hasattr(e, "pass_name")]
+        if kind is None:
+            return events
+        return [e for e in events if e.kind == kind]
 
     def fault_seconds(self) -> float:
         """Wall-clock time attributed to failed attempts and recovery.

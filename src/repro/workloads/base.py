@@ -169,9 +169,16 @@ class FathomModel(abc.ABC):
                 :class:`~repro.framework.resilience.ResilientRunner`
                 with this policy — NaN/Inf guards, bounded retry with
                 rollback, watchdog, and periodic atomic checkpoints.
-                Recovery actions surface as ``FailureEvent`` records on
-                ``tracer`` (see docs/robustness.md). A fault-free
-                resilient run is bit-for-bit identical to a plain one.
+                With ``healing=True`` the runner also blame-localizes
+                plan-step failures and de-optimizes through the
+                execution tiers (full → structural → safe mode),
+                quarantining offending compiler passes; with
+                ``guardrails=...`` every op's outputs are screened for
+                NaN/Inf/overflow. Recovery actions surface as
+                ``FailureEvent`` (and healing actions as
+                ``DegradationEvent``) records on ``tracer`` (see
+                docs/robustness.md). A fault-free resilient run is
+                bit-for-bit identical to a plain one.
         """
         if resilience is not None:
             from repro.framework.resilience import ResilientRunner

@@ -271,6 +271,33 @@ class TestBackoff:
         for attempt in range(16):
             assert 0.5 <= runner.backoff_delay(attempt) <= 1.5
 
+    def test_recorded_delays_reproduce_run_to_run(self):
+        """The jitter stream is seeded, so recovery traces replay."""
+        config = ResilienceConfig(backoff_base=0.01, backoff_factor=2.0,
+                                  backoff_jitter=0.3, seed=11)
+
+        def delays(cfg):
+            runner = ResilientRunner(None, cfg)
+            for attempt in range(5):
+                runner.backoff_delay(attempt)
+            return runner.backoff_delays
+
+        assert delays(config) == delays(config)
+        reseeded = ResilienceConfig(backoff_base=0.01, backoff_factor=2.0,
+                                    backoff_jitter=0.3, seed=12)
+        assert delays(config) != delays(reseeded)
+
+    def test_jitter_decorrelated_from_session_rng(self):
+        """Same numeric seed as a model's RNG must not share a stream."""
+        config = ResilienceConfig(backoff_base=1.0, backoff_factor=1.0,
+                                  backoff_jitter=0.5, seed=0)
+        runner = ResilientRunner(None, config)
+        session_rng = np.random.default_rng(0)
+        swings = [runner.backoff_delay(a) - 1.0 for a in range(8)]
+        session_draws = [0.5 * float(session_rng.uniform(-1.0, 1.0))
+                         for _ in range(8)]
+        assert swings != session_draws
+
 
 class TestEvents:
     def test_events_flow_through_tracer(self, fresh_graph):

@@ -1,0 +1,135 @@
+"""Property tests: snapshot/rollback is bit-exact under compiled plans.
+
+The resilient runner's recovery guarantee rests on one invariant:
+restoring a :class:`SessionSnapshot` after a *mid-plan* fault puts every
+piece of mutable session state — variables, optimizer slot variables,
+and the RNG stream — back bit-for-bit, so re-running the identical step
+reproduces the fault-free trajectory exactly. These tests drive that
+invariant with hypothesis across fault placements (forward MatMul,
+post-RNG Square, and the optimizer's ApplyAdam update itself) under
+fully optimized plans, where folded/fused steps and slot-aliased memory
+make partial execution most likely to leak state.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework import graph as graph_module
+from repro.framework import ops
+from repro.framework.errors import ExecutionError
+from repro.framework.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.framework.optimizers import AdamOptimizer
+from repro.framework.session import Session
+
+SETTINGS = dict(max_examples=15, deadline=None)
+STEPS = 4
+
+#: fault anchors, chosen to abort the plan at different depths: during
+#: the forward pass, after the dropout RNG draw, and inside the
+#: optimizer update (when slot-variable writes are in flight)
+FAULT_TARGETS = ("MatMul", "Square", "ApplyAdam")
+
+
+def build_model(seed):
+    """Adam-trained regression with dropout, under full optimization.
+
+    Dropout makes every step consume RNG state; Adam adds slot
+    variables (m, v, t) beyond the weights — both must survive
+    rollback bit-exactly for recovery to be exact.
+    """
+    graph = graph_module.reset_default_graph()
+    x = ops.placeholder((4, 3), name="px")
+    w = ops.variable(np.full((3, 2), 0.5, dtype=np.float32), name="w")
+    hidden = ops.dropout(ops.matmul(x, w), 0.25)
+    loss = ops.reduce_mean(ops.square(hidden - 1.0))
+    train = AdamOptimizer(0.05).minimize(loss)
+    session = Session(graph, seed=seed, optimize="full")
+    return session, x, loss, train
+
+
+def batches(seed):
+    rng = np.random.default_rng(seed + 100)
+    return [rng.standard_normal((4, 3)).astype(np.float32)
+            for _ in range(STEPS)]
+
+
+def state_by_name(session):
+    """All session variables (weights + optimizer slots), keyed by name."""
+    return {op.name: session._variables[key].copy()
+            for key, op in session._variable_ops.items()}
+
+
+def assert_states_equal(actual, expected):
+    assert actual.keys() == expected.keys()
+    for name, value in expected.items():
+        np.testing.assert_array_equal(
+            actual[name], value,
+            err_msg=f"variable {name!r} not restored bit-exactly")
+
+
+class TestRollbackBitExactness:
+    @settings(**SETTINGS)
+    @given(fault_step=st.integers(0, STEPS - 1),
+           op_type=st.sampled_from(FAULT_TARGETS),
+           seed=st.integers(0, 7))
+    def test_mid_plan_fault_rollback_and_retry_is_exact(
+            self, fault_step, op_type, seed):
+        # Fault-free twin: the trajectory recovery must reproduce.
+        session, x, loss, train = build_model(seed)
+        feeds = batches(seed)
+        clean_losses = []
+        for feed in feeds:
+            value, _ = session.run([loss, train], feed_dict={x: feed})
+            clean_losses.append(float(value))
+        clean_state = state_by_name(session)
+
+        # Faulted twin: one step aborts mid-plan, rolls back, retries.
+        session, x, loss, train = build_model(seed)
+        losses = []
+        for step, feed in enumerate(feeds):
+            snapshot = session.state_snapshot()
+            if step == fault_step:
+                injector = FaultInjector(FaultPlan(
+                    [FaultSpec(kind="exception", op_type=op_type,
+                               step=0)]))
+                session.fault_injector = injector
+                with pytest.raises(ExecutionError):
+                    session.run([loss, train], feed_dict={x: feed})
+                assert injector.num_injected == 1
+                session.fault_injector = None
+                session.restore_snapshot(snapshot)
+                # The rollback itself is bit-exact: every variable
+                # (including Adam's m/v/t slots) and the RNG stream.
+                assert_states_equal(state_by_name(session),
+                                    {op.name: value for (_, value), op in
+                                     zip(snapshot.variables.items(),
+                                         snapshot.variable_ops.values())})
+                assert session.rng.bit_generator.state == \
+                    snapshot.rng_state
+            value, _ = session.run([loss, train], feed_dict={x: feed})
+            losses.append(float(value))
+
+        assert losses == clean_losses
+        assert_states_equal(state_by_name(session), clean_state)
+
+    @settings(**SETTINGS)
+    @given(seed=st.integers(0, 7), rounds=st.integers(1, 3))
+    def test_restore_is_idempotent_and_plans_stay_cached(
+            self, seed, rounds):
+        session, x, loss, train = build_model(seed)
+        feed = batches(seed)[0]
+        session.run([loss, train], feed_dict={x: feed})
+        compiles = session.plan_compiles
+        snapshot = session.state_snapshot()
+        expected = state_by_name(session)
+        rng_state = session.rng.bit_generator.state
+        for _ in range(rounds):
+            session.run([loss, train], feed_dict={x: feed})
+            session.restore_snapshot(snapshot)
+        assert_states_equal(state_by_name(session), expected)
+        assert session.rng.bit_generator.state == rng_state
+        # Restoring mutates the variable store in place, so compiled
+        # plans survive rollback — no recompilation churn on retry.
+        assert session.plan_compiles == compiles

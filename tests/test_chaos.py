@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 
 from repro import workloads
+from repro.framework.compiler import PlanOptions
 from repro.framework.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.framework.resilience import ResilienceConfig
 from repro.profiling.tracer import Tracer
@@ -27,22 +28,34 @@ CLEAN_STEPS = 2
 #: fast tier-1 subset; the chaos marker covers the full Table II matrix
 FAST_WORKLOADS = ("memnet", "autoenc")
 
+#: plan tiers the exact-recovery matrix runs against: the structural
+#: (pass-free) tier and the fully optimizing pipeline
+TIERS = ("structural", "full")
+
 # The optimizer's fused update node is named train_step in every
 # workload, so targeting it faults only *training* runs — auxiliary
 # inference runs (e.g. deepq's replay seeding) are untouched.
 TRAIN_STEP_FAULT = FaultSpec(kind="exception", name_pattern="train_step")
 
 
-def baseline_losses(name):
+def make_model(name, tier=None):
+    """Create a workload, optionally pinning its plan-optimization tier."""
     model = workloads.create(name, config="tiny", seed=0)
-    return model.run_training(steps=TOTAL_STEPS)
+    if tier is not None:
+        level = "none" if tier == "structural" else tier
+        model.session.options = PlanOptions.coerce(level)
+    return model
 
 
-def faulted_losses(name, spec, config=None):
+def baseline_losses(name, tier=None):
+    return make_model(name, tier).run_training(steps=TOTAL_STEPS)
+
+
+def faulted_losses(name, spec, config=None, tier=None):
     """Train CLEAN_STEPS plainly, then arm the fault and finish
     resiliently — so the injection lands at training step CLEAN_STEPS,
     mid-run."""
-    model = workloads.create(name, config="tiny", seed=0)
+    model = make_model(name, tier)
     losses = model.run_training(steps=CLEAN_STEPS)
     injector = FaultInjector(FaultPlan([spec], seed=99))
     model.session.fault_injector = injector
@@ -53,9 +66,9 @@ def faulted_losses(name, spec, config=None):
     return losses, tracer, injector
 
 
-def assert_recovers_exactly(name, spec, expected_kind):
-    baseline = baseline_losses(name)
-    losses, tracer, injector = faulted_losses(name, spec)
+def assert_recovers_exactly(name, spec, expected_kind, tier=None):
+    baseline = baseline_losses(name, tier)
+    losses, tracer, injector = faulted_losses(name, spec, tier=tier)
     assert injector.num_injected == 1, \
         f"{name}: expected exactly one injected fault"
     recoveries = tracer.failure_events(expected_kind)
@@ -67,12 +80,71 @@ def assert_recovers_exactly(name, spec, expected_kind):
         err_msg=f"{name}: recovered trajectory diverged from fault-free run")
 
 
+def healed_losses(name):
+    """A full-tier run hit by a repeating plan-step fault, healing on.
+
+    The fault fires twice at the same blamed op, so the healing policy
+    demotes to the structural tier mid-step-0, finishes the step there,
+    and re-escalates to full after three clean steps.
+    """
+    model = make_model(name, tier="full")
+    injector = FaultInjector(FaultPlan(
+        [FaultSpec(kind="exception", name_pattern="train_step",
+                   max_triggers=2)], seed=99))
+    model.session.fault_injector = injector
+    tracer = Tracer()
+    losses = model.run_training(
+        steps=TOTAL_STEPS, tracer=tracer,
+        resilience=ResilienceConfig(max_retries=3, healing=True))
+    return model, losses, tracer, injector
+
+
+def assert_heals_exactly(name, tmp_path):
+    """The acceptance bar for self-healing (see docs/robustness.md).
+
+    A full-tier run with repeated plan-step faults must finish training
+    via automatic de-optimization, match the fault-free structural run
+    bit-for-bit, and leave the complete fault -> blame -> tier drop ->
+    quarantine -> re-escalation trail in the serialized trace.
+    """
+    from repro.profiling.serialize import load_trace, save_trace
+    baseline = baseline_losses(name, tier="structural")
+    model, losses, tracer, injector = healed_losses(name)
+    assert injector.num_injected == 2, \
+        f"{name}: expected the fault to fire twice"
+    np.testing.assert_array_equal(
+        np.asarray(losses), np.asarray(baseline),
+        err_msg=f"{name}: healed trajectory diverged from fault-free run")
+    # The session climbed all the way back up.
+    assert model.session.execution_tier == "full"
+    kinds = [e.kind for e in tracer.degradation_events()]
+    for kind in ("fault", "blame", "tier_drop", "quarantine", "reescalate"):
+        assert kind in kinds, f"{name}: no {kind!r} event in the trail"
+    # Causality: blame precedes the drop, which precedes re-escalation.
+    assert kinds.index("blame") < kinds.index("tier_drop") \
+        < kinds.index("quarantine") < kinds.index("reescalate")
+    # The trail survives a serialization round-trip, interleaved with
+    # the runner's FailureEvents in emit order.
+    path = tmp_path / f"{name}-healing.jsonl"
+    save_trace(tracer, path)
+    saved = load_trace(path)
+    assert [e.signature() for e in saved.degradation_events()] == \
+        [e.signature() for e in tracer.degradation_events()]
+    assert [e.signature() for e in saved.failure_events()] == \
+        [e.signature() for e in tracer.failure_events()]
+
+
 class TestFastSubset:
     """Tier-1-safe slice of the matrix (runs in the default suite)."""
 
+    @pytest.mark.parametrize("tier", TIERS)
     @pytest.mark.parametrize("name", FAST_WORKLOADS)
-    def test_transient_fault_recovers_exactly(self, name):
-        assert_recovers_exactly(name, TRAIN_STEP_FAULT, "retry")
+    def test_transient_fault_recovers_exactly(self, name, tier):
+        assert_recovers_exactly(name, TRAIN_STEP_FAULT, "retry", tier=tier)
+
+    @pytest.mark.parametrize("name", FAST_WORKLOADS)
+    def test_self_healing_recovers_exactly(self, name, tmp_path):
+        assert_heals_exactly(name, tmp_path)
 
     def test_nan_poisoned_loss_recovers_exactly(self):
         model = workloads.create("memnet", config="tiny", seed=0)
@@ -94,9 +166,15 @@ class TestFastSubset:
 class TestFullMatrix:
     """All eight Table II workloads under the full injection matrix."""
 
+    @pytest.mark.parametrize("tier", TIERS)
     @pytest.mark.parametrize("name", workloads.WORKLOAD_NAMES)
-    def test_transient_fault_recovers_exactly(self, name):
-        assert_recovers_exactly(name, TRAIN_STEP_FAULT, "retry")
+    def test_transient_fault_recovers_exactly(self, name, tier):
+        assert_recovers_exactly(name, TRAIN_STEP_FAULT, "retry", tier=tier)
+
+    @pytest.mark.parametrize("name", workloads.WORKLOAD_NAMES)
+    def test_self_healing_recovers_exactly(self, name, tmp_path):
+        """The PR's acceptance criterion, over the whole Table II matrix."""
+        assert_heals_exactly(name, tmp_path)
 
     @pytest.mark.parametrize("name", workloads.WORKLOAD_NAMES)
     def test_nan_poisoned_loss_recovers_exactly(self, name):
