@@ -1,0 +1,116 @@
+"""Serving SLO benchmark: latency percentiles and overload shedding.
+
+Two measurements per workload, printed side by side and compared
+against the committed baseline in ``BENCH_serving_latency.json``
+(regenerate with ``python benchmarks/bench_serving_latency.py``):
+
+* **unloaded latency** — closed-loop requests on the real clock
+  through a two-replica server; p50/p95/p99 of per-request latency.
+  Machine-dependent, reported for trend-watching only.
+* **overload behaviour** — an open-loop burst at ~4x the service rate
+  on a *virtual* clock with a bounded queue and tight deadlines. The
+  shed rate and attainment are deterministic given the seeds, so they
+  are asserted exactly against the baseline: admission control must
+  shed the excess while every accepted request is answered on time.
+"""
+
+import json
+import pathlib
+
+from repro import workloads
+from repro.serving import (LoadConfig, LoadGenerator, ServingConfig,
+                           VirtualClock)
+
+BASELINE_PATH = (pathlib.Path(__file__).parent
+                 / "BENCH_serving_latency.json")
+
+#: fast workloads keep the benchmark (and CI smoke) under a minute
+BENCH_WORKLOADS = ("memnet", "autoenc")
+REQUESTS = 48
+
+
+def _unloaded_latency(model):
+    server = model.serve(config=ServingConfig(
+        replicas=2, default_deadline_ms=0.0))
+    report = LoadGenerator(server, LoadConfig(requests=REQUESTS)).run()
+    return {"p50_ms": report.p50_ms, "p95_ms": report.p95_ms,
+            "p99_ms": report.p99_ms}
+
+
+def _overload_shedding(model):
+    # Every batch is stalled 20 ms of virtual time while arrivals come
+    # every 1.25 ms — a sustained overload. The bounded queue plus
+    # deadline-unmeetable admission must shed the excess; the virtual
+    # clock makes the whole trajectory deterministic.
+    from repro.framework.faults import ServingFaultPlan, ServingFaultSpec
+    server = model.serve(
+        config=ServingConfig(replicas=2, queue_limit=8,
+                             default_deadline_ms=40.0, est_batch_ms=5.0,
+                             seed=2),
+        clock=VirtualClock())
+    server.install_faults(ServingFaultPlan(
+        [ServingFaultSpec("slow_replica", latency_seconds=0.02,
+                          max_triggers=None)]))
+    report = LoadGenerator(server, LoadConfig(
+        requests=REQUESTS, qps=800.0, seed=3)).run()
+    assert (report.ok + report.shed + report.deadline
+            + report.error) == REQUESTS
+    return {"shed_rate": report.shed_rate,
+            "attainment": report.attainment}
+
+
+def measure():
+    results = {}
+    for name in BENCH_WORKLOADS:
+        model = workloads.create(name, config="tiny", seed=0)
+        model.run_inference(1)  # warm the plan cache
+        results[name] = {**_unloaded_latency(model),
+                         **_overload_shedding(model)}
+    return results
+
+
+def test_serving_latency(benchmark):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    baseline = (json.loads(BASELINE_PATH.read_text())["serving"]
+                if BASELINE_PATH.exists() else {})
+    print("\nServing SLOs (tiny config, 2 replicas, closed loop + "
+          "overload burst):")
+    for name, row in results.items():
+        line = (f"  {name:>10s}  p50 {row['p50_ms']:7.2f} ms  "
+                f"p95 {row['p95_ms']:7.2f} ms  p99 {row['p99_ms']:7.2f} ms"
+                f"  shed {row['shed_rate']:6.2%}  "
+                f"attainment {row['attainment']:6.2%}")
+        if name in baseline:
+            line += f"  (baseline shed {baseline[name]['shed_rate']:6.2%})"
+        print(line)
+        assert row["p50_ms"] > 0.0
+        assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+        # Overload is deterministic on the virtual clock: admission
+        # control sheds a real fraction and still answers a real
+        # fraction of what it accepts on time.
+        assert row["shed_rate"] > 0.0
+        assert row["attainment"] > 0.0
+        if name in baseline:
+            assert row["shed_rate"] == baseline[name]["shed_rate"]
+            assert row["attainment"] == baseline[name]["attainment"]
+
+
+def record_baseline():
+    import datetime
+    import platform
+    payload = {
+        "metadata": {
+            "recorded": datetime.date.today().isoformat(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "note": "serving: tiny config, 2 replicas; latency real-clock "
+                    "closed loop, shedding virtual-clock 800 qps burst",
+        },
+        "serving": measure(),
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    record_baseline()

@@ -101,6 +101,64 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.framework.faults import ServingFaultPlan, ServingFaultSpec
+    from repro.profiling.tracer import Tracer
+    from repro.serving import (LoadConfig, LoadGenerator, ServingConfig,
+                               VirtualClock)
+    model = _build(args)
+    tracer = Tracer()
+    clock = VirtualClock() if args.virtual_clock else None
+    config = ServingConfig(
+        replicas=args.replicas, max_batch=args.max_batch,
+        queue_limit=args.queue_limit,
+        default_deadline_ms=args.deadline_ms,
+        max_hedges=args.max_hedges, slow_batch_ms=args.slow_batch_ms,
+        seed=args.seed)
+    server = model.serve(config=config, tracer=tracer, clock=clock)
+    injector = None
+    if args.fault != "none":
+        presets = {
+            "crash": [ServingFaultSpec("replica_crash", replica=0,
+                                       batch=1)],
+            "slow": [ServingFaultSpec("slow_replica", replica=0,
+                                      latency_seconds=0.05,
+                                      max_triggers=5)],
+            "poison": [ServingFaultSpec("poisoned_batch", replica=0,
+                                        max_triggers=3)],
+            "storm": [ServingFaultSpec("replica_crash", replica=0,
+                                       batch=1),
+                      ServingFaultSpec("slow_replica", replica=1,
+                                       latency_seconds=0.05,
+                                       max_triggers=5),
+                      ServingFaultSpec("poisoned_batch",
+                                       max_triggers=3)],
+        }
+        injector = server.install_faults(
+            ServingFaultPlan(presets[args.fault], seed=args.seed))
+        print(f"armed {args.fault!r} serving-fault plan", file=sys.stderr)
+    generator = LoadGenerator(server, LoadConfig(
+        requests=args.requests, qps=args.qps, seed=args.seed))
+    report = generator.run()
+    print(report.render())
+    if injector is not None:
+        print(f"injected {injector.num_injected} serving faults",
+              file=sys.stderr)
+    if args.report_json:
+        report.save(args.report_json)
+        print(f"wrote {args.report_json}", file=sys.stderr)
+    if args.trace:
+        from repro.profiling.serialize import save_trace
+        count = save_trace(tracer, args.trace,
+                           metadata={"workload": args.workload,
+                                     "config": args.config,
+                                     "mode": "serve", "seed": args.seed})
+        print(f"wrote {args.trace}: {count} op records, "
+              f"{len(tracer.serving_events())} serving events",
+              file=sys.stderr)
+    return 0
+
+
 def cmd_profile(args) -> int:
     model = _build(args)
     profile = model.profile(mode=args.mode.replace("train", "training")
@@ -370,6 +428,46 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(per-op exception capture + numeric "
                                  "screening; the slowest, safest tier)")
     run_parser.set_defaults(handler=cmd_run)
+
+    serve_parser = commands.add_parser(
+        "serve", help="robust inference serving under synthetic load")
+    serve_parser.add_argument("workload", help="workload name (see 'list')")
+    serve_parser.add_argument("--config", default="default",
+                              choices=["tiny", "default", "paper"])
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument("--requests", type=int, default=64,
+                              help="total requests to generate")
+    serve_parser.add_argument("--qps", type=float, default=0.0,
+                              help="open-loop arrival rate "
+                                   "(0 = closed loop)")
+    serve_parser.add_argument("--deadline-ms", type=float, default=100.0,
+                              help="per-request deadline (0 disables)")
+    serve_parser.add_argument("--replicas", type=int, default=2)
+    serve_parser.add_argument("--max-batch", type=int, default=None,
+                              help="coalesce at most this many requests "
+                                   "(default: the plan batch size)")
+    serve_parser.add_argument("--max-hedges", type=int, default=1,
+                              help="retries for requests on failed "
+                                   "batches")
+    serve_parser.add_argument("--queue-limit", type=int, default=64)
+    serve_parser.add_argument("--slow-batch-ms", type=float, default=None,
+                              help="breaker-count batches slower than "
+                                   "this (straggler detection)")
+    serve_parser.add_argument("--fault", default="none",
+                              choices=["none", "crash", "slow", "poison",
+                                       "storm"],
+                              help="arm a deterministic serving-fault "
+                                   "preset")
+    serve_parser.add_argument("--virtual-clock", action="store_true",
+                              help="drive the server on a virtual clock "
+                                   "(deterministic latencies; injected "
+                                   "stalls cost no wall time)")
+    serve_parser.add_argument("--report-json", metavar="PATH",
+                              help="write the ServingReport as JSON")
+    serve_parser.add_argument("--trace", metavar="PATH",
+                              help="save the serving trace (op records + "
+                                   "SLO/healing events) as JSONL")
+    serve_parser.set_defaults(handler=cmd_serve)
 
     profile_parser = commands.add_parser("profile",
                                          help="operation-type profile")

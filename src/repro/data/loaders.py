@@ -10,19 +10,31 @@ relevant file formats from scratch:
 :func:`mnist_dataset` returns a real-file-backed dataset when the files
 are present and the synthetic substitute otherwise, behind the same
 ``sample_batch`` interface.
+
+Real files also mean real corruption: a mislabeled row, a truncated
+image, a stray float64 column. :class:`ResilientBatchIterator` hardens
+batch iteration against such samples — a sample whose shape or dtype
+does not match the expected feed spec is skipped and logged (bounded to
+``max_consecutive_skips`` before raising) instead of crashing the epoch
+mid-training, and skips are counted in the iterator's :class:`LoaderStats`.
 """
 
 from __future__ import annotations
 
 import gzip
+import logging
 import os
 import struct
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterable, Mapping
 
 import numpy as np
 
 from .mnist import SyntheticMNIST
 from .synthetic import SyntheticDataset
+
+logger = logging.getLogger("repro.data")
 
 _IDX_DTYPES = {
     0x08: np.uint8,
@@ -109,6 +121,110 @@ class FileMNIST(SyntheticDataset):
         idx = self.rng.integers(0, len(self), size=batch_size)
         return {"images": self._images[idx].copy(),
                 "labels": self._labels[idx].copy()}
+
+
+class SampleSkipLimitError(ValueError):
+    """Too many consecutive malformed samples; the stream is unusable.
+
+    Raised by :class:`ResilientBatchIterator` when more than
+    ``max_consecutive_skips`` samples in a row fail validation — at that
+    point the mismatches are systematic (wrong file, wrong spec), not
+    sporadic corruption, and silently skipping forever would hide it.
+    """
+
+    def __init__(self, message: str, skipped: int):
+        super().__init__(message)
+        self.skipped = skipped
+
+
+@dataclass
+class LoaderStats:
+    """Counters a :class:`ResilientBatchIterator` maintains while iterating."""
+
+    samples: int = 0          #: valid samples yielded into batches
+    batches: int = 0          #: complete batches produced
+    skipped: int = 0          #: malformed samples skipped (total)
+    skip_reasons: list[str] = field(default_factory=list)
+
+
+class ResilientBatchIterator:
+    """Batch iteration that survives malformed samples.
+
+    Wraps a stream of per-sample feed dicts (``name -> array``) and
+    yields stacked batches of ``batch_size``. Each sample is validated
+    against ``spec`` — a mapping from feed name to ``(shape, dtype)``
+    where ``shape`` is the per-sample shape (no batch dimension). A
+    sample with a missing key, a wrong shape, or an incompatible dtype
+    is *skipped and logged* rather than crashing mid-epoch; int inputs
+    are accepted for float specs (and safely cast), but lossy casts are
+    rejected. More than ``max_consecutive_skips`` skips in a row raise
+    :class:`SampleSkipLimitError`, so a systematically wrong stream
+    still fails fast. Skips are counted in :attr:`stats`.
+    """
+
+    def __init__(self, samples: Iterable[Mapping[str, np.ndarray]],
+                 spec: Mapping[str, tuple[tuple[int, ...], np.dtype]],
+                 batch_size: int, max_consecutive_skips: int = 8,
+                 drop_remainder: bool = True):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self._samples = iter(samples)
+        self.spec = {name: (tuple(shape), np.dtype(dtype))
+                     for name, (shape, dtype) in spec.items()}
+        self.batch_size = batch_size
+        self.max_consecutive_skips = max_consecutive_skips
+        self.drop_remainder = drop_remainder
+        self.stats = LoaderStats()
+        self._consecutive_skips = 0
+
+    def _validate(self, sample: Mapping[str, np.ndarray]) -> \
+            "dict[str, np.ndarray] | str":
+        """A normalized sample dict, or a skip-reason string."""
+        if not isinstance(sample, Mapping):
+            return f"sample is {type(sample).__name__}, not a mapping"
+        normalized = {}
+        for name, (shape, dtype) in self.spec.items():
+            if name not in sample:
+                return f"missing feed {name!r}"
+            value = np.asarray(sample[name])
+            if value.shape != shape:
+                return (f"feed {name!r} has shape {value.shape}, "
+                        f"expected {shape}")
+            if value.dtype != dtype:
+                if not np.can_cast(value.dtype, dtype, casting="safe"):
+                    return (f"feed {name!r} has dtype {value.dtype}, "
+                            f"cannot safely cast to {dtype}")
+                value = value.astype(dtype)
+            normalized[name] = value
+        return normalized
+
+    def __iter__(self):
+        batch: list[dict[str, np.ndarray]] = []
+        for sample in self._samples:
+            result = self._validate(sample)
+            if isinstance(result, str):
+                self.stats.skipped += 1
+                self.stats.skip_reasons.append(result)
+                self._consecutive_skips += 1
+                logger.warning("skipping malformed sample: %s", result)
+                if self._consecutive_skips > self.max_consecutive_skips:
+                    raise SampleSkipLimitError(
+                        f"gave up after {self._consecutive_skips} "
+                        f"consecutive malformed samples (last: {result})",
+                        skipped=self.stats.skipped)
+                continue
+            self._consecutive_skips = 0
+            self.stats.samples += 1
+            batch.append(result)
+            if len(batch) == self.batch_size:
+                self.stats.batches += 1
+                yield {name: np.stack([s[name] for s in batch])
+                       for name in self.spec}
+                batch = []
+        if batch and not self.drop_remainder:
+            self.stats.batches += 1
+            yield {name: np.stack([s[name] for s in batch])
+                   for name in self.spec}
 
 
 def mnist_dataset(data_dir: str | os.PathLike | None = None,

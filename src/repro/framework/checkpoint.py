@@ -5,13 +5,21 @@ an experiment pause/resume and lets the examples ship trained weights.
 Checkpoints are plain ``.npz`` archives keyed by variable operation name,
 so they are portable across sessions over the same graph (and across
 graphs that define identically-named, identically-shaped variables).
+
+Integrity: every save records a CRC32 checksum per variable payload
+(under a reserved archive key); restore verifies them and raises
+:class:`CheckpointCorruptError` naming the offending variable when a
+payload was corrupted after save. Checkpoints written before checksums
+existed still restore (no checksum table, nothing to verify).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
 import zipfile
+import zlib
 
 import numpy as np
 
@@ -20,9 +28,34 @@ from .graph import Graph
 from .ops.state_ops import VariableOp
 from .session import Session
 
+#: reserved archive key holding the JSON {variable: crc32} map
+_CHECKSUM_KEY = "__repro_crc32__"
+
 
 class CheckpointError(FrameworkError):
     """Raised when a checkpoint cannot be applied to a graph/session."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint payload failed its integrity check.
+
+    Raised (chained to the underlying decode error, when there is one)
+    with the offending variable's name when a stored array cannot be
+    decoded or its CRC32 checksum does not match the value recorded at
+    save time — so a bad disk or a truncated copy surfaces as a
+    diagnosable checkpoint problem instead of a numpy stack trace.
+
+    Attributes:
+        variable: name of the corrupt variable, when localized.
+    """
+
+    def __init__(self, message: str, variable: str | None = None):
+        super().__init__(message)
+        self.variable = variable
+
+
+def _array_crc32(array: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
 
 
 def _graph_variables(graph: Graph) -> dict[str, VariableOp]:
@@ -45,6 +78,12 @@ def save(session: Session, path: str | os.PathLike) -> list[str]:
     variables = _graph_variables(session.graph)
     arrays = {name: session.variable_value(op.output)
               for name, op in variables.items()}
+    # Per-variable CRC32 checksums, stored as a reserved JSON payload in
+    # the archive and verified on restore (see CheckpointCorruptError).
+    checksums = {name: _array_crc32(value) for name, value in arrays.items()}
+    arrays[_CHECKSUM_KEY] = np.frombuffer(
+        json.dumps(checksums, sort_keys=True).encode("utf-8"),
+        dtype=np.uint8).copy()
     final = os.fspath(path)
     if not final.endswith(".npz"):  # np.savez's own suffix convention
         final += ".npz"
@@ -64,7 +103,7 @@ def save(session: Session, path: str | os.PathLike) -> list[str]:
         except OSError:
             pass
         raise
-    return sorted(arrays)
+    return sorted(checksums)
 
 
 def restore(session: Session, path: str | os.PathLike,
@@ -81,10 +120,33 @@ def restore(session: Session, path: str | os.PathLike,
     variables = _graph_variables(session.graph)
     try:
         with np.load(path) as archive:
-            stored = {name: archive[name] for name in archive.files}
+            names = list(archive.files)
+            stored = {}
+            for name in names:
+                try:
+                    stored[name] = archive[name]
+                except (OSError, ValueError, zipfile.BadZipFile,
+                        EOFError) as exc:
+                    # A single undecodable member: localize the blame
+                    # instead of surfacing the numpy decode error.
+                    raise CheckpointCorruptError(
+                        f"checkpoint {os.fspath(path)!r}: variable "
+                        f"{name!r} cannot be decoded: {exc}",
+                        variable=name) from exc
+    except CheckpointCorruptError:
+        raise
     except (OSError, ValueError, zipfile.BadZipFile) as exc:
         raise CheckpointError(
             f"cannot read checkpoint {os.fspath(path)!r}: {exc}") from exc
+    checksums = None
+    blob = stored.pop(_CHECKSUM_KEY, None)
+    if blob is not None:
+        try:
+            checksums = json.loads(bytes(blob).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint {os.fspath(path)!r}: checksum table is "
+                f"corrupt: {exc}", variable=_CHECKSUM_KEY) from exc
     missing = sorted(set(variables) - set(stored))
     unexpected = sorted(set(stored) - set(variables))
     if strict and (missing or unexpected):
@@ -95,6 +157,15 @@ def restore(session: Session, path: str | os.PathLike,
     for name in sorted(set(variables) & set(stored)):
         op = variables[name]
         value = stored[name]
+        if checksums is not None and name in checksums:
+            actual = _array_crc32(value)
+            if actual != checksums[name]:
+                raise CheckpointCorruptError(
+                    f"checkpoint {os.fspath(path)!r}: variable {name!r} "
+                    f"failed its CRC32 check (stored "
+                    f"{checksums[name]:#010x}, computed {actual:#010x}); "
+                    f"the payload was corrupted after save",
+                    variable=name)
         if value.shape != op.output.shape:
             raise CheckpointError(
                 f"variable {name!r}: checkpoint shape {value.shape} != "

@@ -111,6 +111,47 @@ class GuardrailViolation(ExecutionError):
         self.deoptimize_hint = deoptimize_hint
 
 
+class ServingError(FrameworkError):
+    """Base class for errors raised by the inference-serving layer.
+
+    See :mod:`repro.serving`. Deriving from :class:`FrameworkError`
+    keeps the CLI's one-line error reporting uniform across training
+    and serving entry points.
+    """
+
+
+class RequestRejected(ServingError):
+    """A request was shed at admission (queue full / deadline hopeless).
+
+    Attributes:
+        reason: machine-readable shed reason (``"queue_full"`` or
+            ``"deadline_unmeetable"``).
+    """
+
+    def __init__(self, message: str, reason: str = "queue_full"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class DeadlineExceededError(ServingError):
+    """A request's reply could not be produced before its deadline."""
+
+
+class ReplicaCrashError(ExecutionError):
+    """A serving replica died mid-batch (injected or real).
+
+    Unlike :class:`~repro.framework.faults.InjectedFault` this is *not*
+    transient: the replica process is modeled as gone, so the server
+    must fail over the in-flight batch to a healthy replica and restart
+    the crashed one behind its circuit breaker.
+    """
+
+    def __init__(self, op_name: str, message: str,
+                 injection_step: int | None = None):
+        super().__init__(op_name, message, transient=False)
+        self.injection_step = injection_step
+
+
 class FeedError(FrameworkError):
     """Raised when a required placeholder is not fed or a feed is invalid."""
 

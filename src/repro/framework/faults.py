@@ -31,11 +31,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .errors import ExecutionError
+from .errors import ExecutionError, ReplicaCrashError
 from .graph import Operation
 
 #: the supported fault kinds
 FAULT_KINDS = ("exception", "nan", "latency", "feed")
+
+#: fault kinds injected at the *serving* layer (see ServingFaultPlan)
+SERVING_FAULT_KINDS = ("replica_crash", "slow_replica", "poisoned_batch")
 
 
 class InjectedFault(ExecutionError):
@@ -226,6 +229,166 @@ class FaultInjector:
         self.step += 1
 
     # -- reporting ---------------------------------------------------------
+
+    @property
+    def num_injected(self) -> int:
+        return len(self.events)
+
+    def signature(self) -> tuple:
+        """Hashable summary of everything injected, for determinism checks."""
+        return tuple((e.step, e.op_name, e.kind, e.spec_index)
+                     for e in self.events)
+
+
+# -- serving-path faults ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServingFaultSpec:
+    """One declarative fault against the inference-serving path.
+
+    Where :class:`FaultSpec` targets individual operations inside a
+    ``Session.run``, a serving fault targets a whole *replica batch* —
+    the unit of work :class:`repro.serving.server.InferenceServer`
+    dispatches. Kinds:
+
+    * ``replica_crash`` — the replica dies before executing the batch
+      (raises :class:`~repro.framework.errors.ReplicaCrashError`; the
+      server fails the batch over and restarts the replica).
+    * ``slow_replica`` — the replica stalls ``latency_seconds`` before
+      executing (models a straggler machine; provokes deadline misses
+      and hedged retries).
+    * ``poisoned_batch`` — the batch executes but its output comes back
+      NaN/Inf-poisoned (models silent data corruption in flight).
+
+    Args:
+        kind: one of :data:`SERVING_FAULT_KINDS`.
+        replica: only fault this replica id (``None`` = any replica).
+        batch: only fault this dispatch index (the server's batch
+            counter; ``None`` = any batch).
+        probability: chance of firing when the targets match; draws come
+            from the plan's seeded generator, so they are reproducible.
+        max_triggers: stop firing after this many injections
+            (``None`` = unlimited).
+        latency_seconds: stall duration for ``slow_replica`` faults.
+        payload: ``"nan"`` or ``"inf"`` — the poison for
+            ``poisoned_batch`` faults.
+    """
+
+    kind: str
+    replica: int | None = None
+    batch: int | None = None
+    probability: float = 1.0
+    max_triggers: int | None = 1
+    latency_seconds: float = 0.05
+    payload: str = "nan"
+
+    def __post_init__(self):
+        if self.kind not in SERVING_FAULT_KINDS:
+            raise ValueError(
+                f"unknown serving fault kind {self.kind!r}; expected one "
+                f"of {SERVING_FAULT_KINDS}")
+        if self.payload not in ("nan", "inf"):
+            raise ValueError(
+                f"payload must be 'nan' or 'inf', got {self.payload!r}")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1], got {self.probability}")
+
+    @property
+    def poison_value(self) -> float:
+        return float("nan") if self.payload == "nan" else float("inf")
+
+
+@dataclass(frozen=True)
+class ServingFaultPlan:
+    """An immutable, seedable schedule of serving-path faults.
+
+    Install on a server with ``server.install_faults(plan)`` — the
+    server builds the injector bound to its own clock, so injected
+    stalls advance virtual time deterministically in tests.
+    """
+
+    specs: tuple[ServingFaultSpec, ...]
+    seed: int = 0
+
+    def __init__(self, specs, seed: int = 0):
+        object.__setattr__(self, "specs", tuple(specs))
+        object.__setattr__(self, "seed", int(seed))
+
+    def injector(self, sleep=time.sleep) -> "ServingFaultInjector":
+        return ServingFaultInjector(self, sleep=sleep)
+
+
+class ServingFaultInjector:
+    """Executes a :class:`ServingFaultPlan` against a live server.
+
+    The server consults :meth:`before_batch` right before handing a
+    batch to a replica and :meth:`after_batch` on the replica's output.
+    Like the op-level injector, everything is deterministic given
+    ``(plan, seed)``; fired faults are recorded as
+    :class:`InjectionEvent` entries with ``op_name`` set to
+    ``"replica:<id>"``.
+    """
+
+    def __init__(self, plan: ServingFaultPlan, sleep=time.sleep):
+        self.plan = plan
+        self._sleep = sleep
+        self.events: list[InjectionEvent] = []
+        self._rng = np.random.default_rng(plan.seed)
+        self._triggers = [0] * len(plan.specs)
+
+    def _matches(self, index: int, spec: ServingFaultSpec,
+                 replica_id: int, batch_index: int) -> bool:
+        if (spec.max_triggers is not None
+                and self._triggers[index] >= spec.max_triggers):
+            return False
+        if spec.replica is not None and spec.replica != replica_id:
+            return False
+        if spec.batch is not None and spec.batch != batch_index:
+            return False
+        if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+            return False
+        return True
+
+    def _fire(self, index: int, spec: ServingFaultSpec, replica_id: int,
+              batch_index: int) -> None:
+        self._triggers[index] += 1
+        self.events.append(InjectionEvent(
+            step=batch_index, op_name=f"replica:{replica_id}",
+            kind=spec.kind, spec_index=index))
+
+    # -- server hook points --------------------------------------------------
+
+    def before_batch(self, replica_id: int, batch_index: int) -> None:
+        """Inject stalls and crashes before a batch executes."""
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind == "slow_replica" \
+                    and self._matches(index, spec, replica_id, batch_index):
+                self._fire(index, spec, replica_id, batch_index)
+                self._sleep(spec.latency_seconds)
+            elif spec.kind == "replica_crash" \
+                    and self._matches(index, spec, replica_id, batch_index):
+                self._fire(index, spec, replica_id, batch_index)
+                raise ReplicaCrashError(
+                    f"replica:{replica_id}",
+                    f"injected replica crash (spec {index}, "
+                    f"batch {batch_index})", injection_step=batch_index)
+
+    def after_batch(self, replica_id: int, batch_index: int, output):
+        """Possibly poison a batch's floating-point output."""
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind != "poisoned_batch" \
+                    or not self._matches(index, spec, replica_id,
+                                         batch_index):
+                continue
+            value = np.asarray(output)
+            if np.issubdtype(value.dtype, np.floating) and value.size:
+                self._fire(index, spec, replica_id, batch_index)
+                value = value.copy()
+                value.reshape(-1)[0] = spec.poison_value
+                output = value
+        return output
 
     @property
     def num_injected(self) -> int:

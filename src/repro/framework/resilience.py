@@ -93,6 +93,45 @@ class EventSink(Protocol):
         ...
 
 
+class BackoffPolicy:
+    """Deterministic exponential backoff with seeded jitter.
+
+    The delay before retry ``attempt`` (0-based) is
+    ``base * factor ** attempt``, scaled by ``1 +/- jitter`` drawn from
+    a private generator seeded with ``(seed, spawn_key)`` — so two
+    policies built from the same config produce identical delay
+    sequences, and recovery traces reproduce run-to-run. Shared by the
+    :class:`ResilientRunner` retry loop and the serving layer's
+    circuit breakers (:mod:`repro.serving.breaker`).
+    """
+
+    def __init__(self, base: float, factor: float = 2.0,
+                 jitter: float = 0.1, seed: int = 0,
+                 max_delay: float | None = None,
+                 spawn_key: int = 0xB0FF):
+        self.base = base
+        self.factor = factor
+        self.jitter = jitter
+        self.max_delay = max_delay
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(seed, spawn_key=(spawn_key,)))
+        #: every jittered delay drawn, for reproducibility assertions
+        self.delays: list[float] = []
+
+    def delay(self, attempt: int) -> float:
+        delay = self.base * self.factor ** attempt
+        if delay <= 0.0:
+            return 0.0
+        if self.jitter:
+            swing = float(self._rng.uniform(-1.0, 1.0))
+            delay *= 1.0 + self.jitter * swing
+        delay = max(0.0, delay)
+        if self.max_delay is not None:
+            delay = min(delay, self.max_delay)
+        self.delays.append(delay)
+        return delay
+
+
 @dataclass(frozen=True)
 class ResilienceConfig:
     """Policy knobs for :class:`ResilientRunner`.
@@ -177,11 +216,16 @@ class ResilientRunner:
             if healing_config is not None else None)
         # Dedicated jitter stream (decorrelated from the session RNG by
         # the spawn key), so recovery traces reproduce run-to-run.
-        self._backoff_rng = np.random.default_rng(
-            np.random.SeedSequence(self.config.seed, spawn_key=(0xB0FF,)))
-        #: every jittered delay drawn, for reproducibility assertions
-        self.backoff_delays: list[float] = []
+        self._backoff = BackoffPolicy(
+            base=self.config.backoff_base,
+            factor=self.config.backoff_factor,
+            jitter=self.config.backoff_jitter, seed=self.config.seed)
         self._last_good: tuple[int, Any] | None = None
+
+    @property
+    def backoff_delays(self) -> list[float]:
+        """Every jittered delay drawn, for reproducibility assertions."""
+        return self._backoff.delays
 
     # -- events ------------------------------------------------------------
 
@@ -213,16 +257,7 @@ class ResilientRunner:
         ``attempt`` is 0-based: the delay before the first retry is
         ``backoff_base``, the next ``backoff_base * backoff_factor``, ...
         """
-        config = self.config
-        delay = config.backoff_base * config.backoff_factor ** attempt
-        if delay <= 0.0:
-            return 0.0
-        if config.backoff_jitter:
-            swing = float(self._backoff_rng.uniform(-1.0, 1.0))
-            delay *= 1.0 + config.backoff_jitter * swing
-        delay = max(0.0, delay)
-        self.backoff_delays.append(delay)
-        return delay
+        return self._backoff.delay(attempt)
 
     def _retryable(self, exc: Exception) -> bool:
         if isinstance(exc, NonFiniteLossError):

@@ -234,10 +234,10 @@ class HealingPolicy:
             return True
         if getattr(exc, "deoptimize_hint", False) \
                 or count >= config.demote_after:
-            return self._demote(step, blamed)
+            return self.demote(step, blamed)
         return False
 
-    def _demote(self, step: int, blamed: str) -> bool:
+    def demote(self, step: int, blamed: str) -> bool:
         """Drop one tier; records soft quarantines for disabled passes."""
         from .compiler import PASS_FLAGS, PlanOptions
         session = self.session
@@ -461,6 +461,27 @@ class Session:
         self._variable_ops.clear()
         self._variable_ops.update(snapshot.variable_ops)
         self.rng.bit_generator.state = copy.deepcopy(snapshot.rng_state)
+
+    def fork(self, seed: int = 0) -> "Session":
+        """A new session over the same graph with this session's state.
+
+        The fork receives a copy of the current variable values, the
+        parent's optimization options, and the parent's degradation
+        state (safe mode and quarantined passes), but a fresh random
+        stream seeded with ``seed`` and its own plan cache. This is the
+        replica-pool primitive in :mod:`repro.serving`: each replica
+        serves the same weights from an isolated session, so one
+        replica's faults or tier drops never leak into another.
+        """
+        fork = Session(self.graph, seed=seed, optimize=self.options,
+                       guardrails=self.guardrails)
+        fork.safe_mode = self.safe_mode
+        fork.quarantine = copy.deepcopy(self.quarantine)
+        snapshot = self.state_snapshot()
+        fork._variables.update({key: value.copy()
+                                for key, value in snapshot.variables.items()})
+        fork._variable_ops.update(snapshot.variable_ops)
+        return fork
 
     # -- compilation -------------------------------------------------------------
 

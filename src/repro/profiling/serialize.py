@@ -72,7 +72,9 @@ class SavedTrace:
         self._total_op_seconds = total_op_seconds
 
     def failure_events(self, kind: str | None = None) -> list:
-        events = [e for e in self.events if not hasattr(e, "pass_name")]
+        events = [e for e in self.events
+                  if not hasattr(e, "pass_name")
+                  and not hasattr(e, "outcome")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]
@@ -80,6 +82,13 @@ class SavedTrace:
     def degradation_events(self, kind: str | None = None) -> list:
         """Self-healing events persisted with the trace, in emit order."""
         events = [e for e in self.events if hasattr(e, "pass_name")]
+        if kind is None:
+            return events
+        return [e for e in events if e.kind == kind]
+
+    def serving_events(self, kind: str | None = None) -> list:
+        """Serving SLO events persisted with the trace, in emit order."""
+        events = [e for e in self.events if hasattr(e, "outcome")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]
@@ -111,12 +120,13 @@ def save_trace(tracer: Tracer, path: str | os.PathLike,
                metadata: dict | None = None) -> int:
     """Write a tracer's compute records to ``path``; returns record count."""
     records = tracer.compute_records()
-    # Failure and degradation events share one ordered stream in the
-    # tracer; persist them as separate header lists (degradations carry
-    # extra fields) tagged with a shared ``seq`` so loading restores the
-    # interleaved emit order exactly.
+    # Failure, degradation, and serving events share one ordered stream
+    # in the tracer; persist them as separate header lists (each family
+    # carries different fields) tagged with a shared ``seq`` so loading
+    # restores the interleaved emit order exactly.
     failure_blobs: list[dict] = []
     degradation_blobs: list[dict] = []
+    serving_blobs: list[dict] = []
     for seq, e in enumerate(getattr(tracer, "events", [])):
         if hasattr(e, "pass_name"):
             degradation_blobs.append(
@@ -124,6 +134,12 @@ def save_trace(tracer: Tracer, path: str | os.PathLike,
                  "op": e.op_name, "tier": e.tier, "pass": e.pass_name,
                  "attempt": e.attempt, "seconds_lost": e.seconds_lost,
                  "detail": e.detail})
+        elif hasattr(e, "outcome"):
+            serving_blobs.append(
+                {"seq": seq, "step": e.step, "kind": e.kind,
+                 "outcome": e.outcome, "replica": e.replica,
+                 "latency_ms": e.latency_ms, "deadline_ms": e.deadline_ms,
+                 "seconds_lost": e.seconds_lost, "detail": e.detail})
         else:
             failure_blobs.append(
                 {"seq": seq, "step": e.step, "kind": e.kind,
@@ -138,6 +154,7 @@ def save_trace(tracer: Tracer, path: str | os.PathLike,
                   "total_op_seconds": tracer.total_op_seconds(),
                   "failure_events": failure_blobs,
                   "degradation_events": degradation_blobs,
+                  "serving_events": serving_blobs,
                   # plan-compilation summaries (pass stats, memory plan)
                   "compile_records": list(
                       getattr(tracer, "compile_records", [])),
@@ -195,6 +212,16 @@ def load_trace(path: str | os.PathLike) -> SavedTrace:
             attempt=blob.get("attempt", 0),
             seconds_lost=blob.get("seconds_lost", 0.0),
             detail=blob.get("detail", ""))))
+    if header.get("serving_events"):
+        from repro.serving.events import ServingEvent
+        for blob in header["serving_events"]:
+            tagged.append((blob.get("seq", len(tagged)), ServingEvent(
+                step=blob["step"], kind=blob["kind"],
+                outcome=blob.get("outcome"), replica=blob.get("replica"),
+                latency_ms=blob.get("latency_ms", 0.0),
+                deadline_ms=blob.get("deadline_ms", 0.0),
+                seconds_lost=blob.get("seconds_lost", 0.0),
+                detail=blob.get("detail", ""))))
     tagged.sort(key=lambda pair: pair[0])
     events = [event for _, event in tagged]
     return SavedTrace(records=records,

@@ -111,11 +111,14 @@ class Tracer:
     def failure_events(self, kind: str | None = None) -> list:
         """Recovery events recorded so far, optionally filtered by kind.
 
-        Degradation events (which carry a ``pass_name`` field) share the
+        Degradation events (which carry a ``pass_name`` field) and
+        serving events (which carry an ``outcome`` field) share the
         ``record_event`` hook but are reported separately via
-        :meth:`degradation_events`.
+        :meth:`degradation_events` and :meth:`serving_events`.
         """
-        events = [e for e in self.events if not hasattr(e, "pass_name")]
+        events = [e for e in self.events
+                  if not hasattr(e, "pass_name")
+                  and not hasattr(e, "outcome")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]
@@ -128,6 +131,20 @@ class Tracer:
         event classes.
         """
         events = [e for e in self.events if hasattr(e, "pass_name")]
+        if kind is None:
+            return events
+        return [e for e in events if e.kind == kind]
+
+    def serving_events(self, kind: str | None = None) -> list:
+        """SLO events from the inference-serving layer.
+
+        One event per terminal request outcome plus breaker transitions,
+        hedges, and replica restarts (see
+        :class:`repro.serving.events.ServingEvent`). Distinguished from
+        the other event families by duck-typing on the ``outcome``
+        field.
+        """
+        events = [e for e in self.events if hasattr(e, "outcome")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]

@@ -1,0 +1,45 @@
+"""Robust inference serving for the Fathom workloads.
+
+The paper's standard model interface deliberately exposes inference as
+a first-class mode next to training (Section V.D contrasts the two);
+this package fronts any :class:`~repro.workloads.base.FathomModel`'s
+compiled inference plan with a request queue and makes it survive
+overload and faults:
+
+* :mod:`~repro.serving.batcher` — deadline-aware dynamic batching with
+  admission control and bounded-queue load shedding;
+* :mod:`~repro.serving.breaker` — per-replica circuit breakers
+  (closed/open/half-open, seeded deterministic backoff);
+* :mod:`~repro.serving.replica` — a pool of forked sessions with
+  degrade-don't-die tier demotion via the self-healing ladder;
+* :mod:`~repro.serving.server` — the synchronous dispatch engine with
+  hedged retry and SLO event emission;
+* :mod:`~repro.serving.loadgen` — open/closed-loop load generation and
+  the :class:`~repro.serving.loadgen.ServingReport` latency summary.
+
+See ``docs/serving.md`` for the architecture and SLO semantics.
+"""
+
+from .batcher import DynamicBatcher, FeedCodec
+from .breaker import BreakerConfig, CircuitBreaker
+from .events import OUTCOMES, Reply, ServingEvent
+from .loadgen import LoadConfig, LoadGenerator, ServingReport
+from .replica import Replica
+from .server import InferenceServer, ServingConfig, VirtualClock
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "DynamicBatcher",
+    "FeedCodec",
+    "InferenceServer",
+    "LoadConfig",
+    "LoadGenerator",
+    "OUTCOMES",
+    "Replica",
+    "Reply",
+    "ServingConfig",
+    "ServingEvent",
+    "ServingReport",
+    "VirtualClock",
+]

@@ -1,0 +1,231 @@
+"""Deadline-aware dynamic batching with admission control.
+
+The workloads' compiled inference plans take *fixed-shape* batch feeds
+(static shapes are what make the plan pipeline possible, see
+docs/compiler.md), but serving traffic arrives one example at a time.
+Two pieces bridge the gap:
+
+* :class:`FeedCodec` — understands each placeholder's batch layout
+  (batch-major, time-major like speech, or time-flattened like
+  seq2seq), so it can split a model batch into single-example request
+  feeds, assemble up to ``batch_size`` requests back into a padded
+  full-batch feed, and slice the per-request reply out of the batched
+  output.
+* :class:`DynamicBatcher` — a bounded FIFO of pending requests with
+  admission control: a request is *shed* at submit time when the queue
+  is full or when, given the current latency estimate and the queue
+  ahead of it, its deadline is already unmeetable. Queued requests
+  whose deadline passes before dispatch are expired without wasting
+  replica time on them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.framework.errors import FeedError
+
+from .events import PendingRequest
+
+
+class FeedCodec:
+    """Splits, pads, and reassembles feeds for one model's inference plan.
+
+    Batch-axis resolution per tensor, in order:
+
+    1. axis 0 when its extent equals the model's batch size (the common
+       batch-major layout);
+    2. otherwise the first inner axis whose extent equals the batch
+       size (speech's time-major ``(time, batch, classes)`` output);
+    3. otherwise, when axis 0 is a multiple of the batch size, the
+       tensor is *time-flattened*: ``(T*B, ...)`` reshapes to
+       ``(T, B, ...)`` and requests index the inner axis (seq2seq's
+       concatenated per-step softmaxes);
+    4. otherwise the tensor is *broadcast* — identical for every
+       request in a batch (scalar knobs), never split.
+    """
+
+    def __init__(self, model):
+        self.model = model
+        self.batch_size = model.batch_size
+        plan = model.session.compile([model.inference_output])
+        self.placeholders = [op.output for op in plan.placeholders]
+        self._feed_axes = {tensor: self._batch_axis(tensor.shape)
+                           for tensor in self.placeholders}
+        self._out_axis = self._batch_axis(model.inference_output.shape)
+        if self._out_axis is None:
+            raise FeedError(
+                f"{model.name}: inference output shape "
+                f"{model.inference_output.shape} has no axis matching "
+                f"batch size {self.batch_size}; cannot serve per-request "
+                f"replies")
+
+    def _batch_axis(self, shape: tuple[int, ...]) -> "int | str | None":
+        """The batch axis, the string ``"folded"``, or None (broadcast)."""
+        batch = self.batch_size
+        if shape and shape[0] == batch:
+            return 0
+        for axis, extent in enumerate(shape):
+            if extent == batch:
+                return axis
+        if shape and shape[0] % batch == 0:
+            return "folded"
+        return None
+
+    # -- splitting ---------------------------------------------------------
+
+    def _take(self, value: np.ndarray, axis, index: int) -> np.ndarray:
+        if axis == "folded":
+            folded = value.reshape((-1, self.batch_size) + value.shape[1:])
+            return folded[:, index]
+        return np.take(value, index, axis=axis)
+
+    def split_feed(self, feed: Mapping[Any, np.ndarray]) \
+            -> list[dict[Any, np.ndarray]]:
+        """One full-batch feed dict -> ``batch_size`` request feeds."""
+        singles: list[dict[Any, np.ndarray]] = []
+        for index in range(self.batch_size):
+            single = {}
+            for tensor, value in feed.items():
+                axis = self._feed_axes.get(tensor, 0)
+                value = np.asarray(value)
+                single[tensor] = (value if axis is None
+                                  else self._take(value, axis, index))
+            singles.append(single)
+        return singles
+
+    # -- assembly ----------------------------------------------------------
+
+    def _put(self, values: list[np.ndarray], axis) -> np.ndarray:
+        if axis == "folded":
+            # values are (T, ...) per request; interleave back to (T*B, ...)
+            stacked = np.stack(values, axis=1)
+            return stacked.reshape((-1,) + stacked.shape[2:])
+        return np.stack(values, axis=axis)
+
+    def assemble(self, feeds: list[Mapping[Any, np.ndarray]]) \
+            -> tuple[dict[Any, np.ndarray], int]:
+        """Stack request feeds into one padded full-batch feed.
+
+        Returns ``(batch_feed, live)`` where ``live`` is the number of
+        real requests; rows ``live..batch_size-1`` are padding (the last
+        request repeated, so padded rows are always well-formed inputs).
+        """
+        if not feeds:
+            raise FeedError("cannot assemble an empty batch")
+        if len(feeds) > self.batch_size:
+            raise FeedError(
+                f"{len(feeds)} requests exceed the plan batch size "
+                f"{self.batch_size}; split before assembling")
+        live = len(feeds)
+        padded = list(feeds) + [feeds[-1]] * (self.batch_size - live)
+        batch_feed = {}
+        for tensor in self.placeholders:
+            axis = self._feed_axes[tensor]
+            if axis is None:
+                batch_feed[tensor] = np.asarray(padded[0][tensor])
+                continue
+            values = [np.asarray(feed[tensor]) for feed in padded]
+            batch_feed[tensor] = np.ascontiguousarray(
+                self._put(values, axis)).astype(tensor.dtype, copy=False)
+        return batch_feed, live
+
+    def extract(self, output: np.ndarray, index: int) -> np.ndarray:
+        """The per-request slice of a batched inference output."""
+        return np.asarray(self._take(np.asarray(output), self._out_axis,
+                                     index))
+
+
+class DynamicBatcher:
+    """A bounded request queue that coalesces dispatch-ready batches.
+
+    A batch is *ready* when ``max_batch`` requests are queued or the
+    oldest request has waited ``max_wait`` seconds — the classic
+    dynamic-batching latency/throughput trade. Admission control sheds
+    requests the server could only disappoint: see :meth:`admit`.
+    """
+
+    def __init__(self, codec: FeedCodec, max_batch: int | None = None,
+                 max_wait: float = 0.002, queue_limit: int = 64,
+                 admission_safety: float = 1.0):
+        self.codec = codec
+        self.max_batch = min(max_batch or codec.batch_size,
+                             codec.batch_size)
+        self.max_wait = max_wait
+        self.queue_limit = queue_limit
+        self.admission_safety = admission_safety
+        self._queue: deque[PendingRequest] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- admission control -------------------------------------------------
+
+    def admit(self, pending: PendingRequest, now: float,
+              est_batch_seconds: float) -> str | None:
+        """Admit ``pending`` or return a shed reason.
+
+        Sheds when the queue is at its bound (``"queue_full"``) or when
+        the deadline is provably unmeetable (``"deadline_unmeetable"``):
+        even if dispatch started immediately after the batches already
+        ahead of it, the estimated service time (scaled by
+        ``admission_safety``) would land past the deadline. Load
+        shedding at admission is what keeps queued work young — a
+        saturated server answers *some* requests on time instead of all
+        requests late.
+        """
+        if len(self._queue) >= self.queue_limit:
+            return "queue_full"
+        if pending.deadline_ms > 0 and est_batch_seconds > 0:
+            batches_ahead = len(self._queue) // self.max_batch
+            estimate = (batches_ahead + 1) * est_batch_seconds \
+                * self.admission_safety
+            if now + estimate > pending.deadline_at():
+                return "deadline_unmeetable"
+        self._queue.append(pending)
+        return None
+
+    # -- dispatch ----------------------------------------------------------
+
+    def ready(self, now: float) -> bool:
+        """True when a batch should be dispatched right now."""
+        if not self._queue:
+            return False
+        if len(self._queue) >= self.max_batch:
+            return True
+        return now - self._queue[0].arrival >= self.max_wait
+
+    def next_deadline(self) -> float | None:
+        """Earliest absolute deadline among queued requests, if any."""
+        deadlines = [p.deadline_at() for p in self._queue
+                     if p.deadline_ms > 0]
+        return min(deadlines) if deadlines else None
+
+    def expire(self, now: float) -> list[PendingRequest]:
+        """Remove and return queued requests already past their deadline."""
+        expired = [p for p in self._queue
+                   if p.deadline_ms > 0 and now >= p.deadline_at()]
+        if expired:
+            dead = set(id(p) for p in expired)
+            self._queue = deque(p for p in self._queue
+                                if id(p) not in dead)
+        return expired
+
+    def pop_batch(self) -> list[PendingRequest]:
+        """Dequeue up to ``max_batch`` requests, FIFO order."""
+        group = []
+        while self._queue and len(group) < self.max_batch:
+            group.append(self._queue.popleft())
+        return group
+
+    def requeue(self, pending: PendingRequest) -> None:
+        """Put a hedged request back at the *front* of the queue.
+
+        Hedged requests have already waited one full service attempt,
+        so they jump the line — the alternative (tail requeue) makes a
+        single slow replica double every victim's latency.
+        """
+        self._queue.appendleft(pending)

@@ -1,0 +1,148 @@
+"""Per-replica circuit breakers with seeded deterministic backoff.
+
+A replica that keeps failing (crashes, poisoned outputs, straggling
+batches) must be taken out of rotation *before* it burns every queued
+request's deadline — but it must also get a cheap path back in, because
+serving capacity is precious. The classic answer is the three-state
+circuit breaker:
+
+* **closed** — healthy; failures are counted, successes reset the count;
+* **open** — tripped after ``failure_threshold`` consecutive failures;
+  the replica receives no traffic until its backoff expires. Open
+  durations grow exponentially per consecutive trip, with the same
+  seeded jitter the resilient runner uses
+  (:class:`~repro.framework.resilience.BackoffPolicy`), so breaker
+  traces are deterministic given the config seed;
+* **half-open** — the backoff expired; the replica gets exactly one
+  *probe* batch. Success closes the breaker (and resets the trip
+  streak), failure re-opens it with a longer backoff.
+
+Transitions are reported through an optional callback so the server can
+emit :class:`~repro.serving.events.ServingEvent` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.framework.resilience import BackoffPolicy
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Knobs for :class:`CircuitBreaker`.
+
+    Args:
+        failure_threshold: consecutive failures (while closed) before
+            the breaker trips open.
+        recovery_time: base open duration in seconds; doubles (by
+            ``backoff_factor``) per consecutive trip.
+        backoff_factor: open-duration growth per consecutive trip.
+        jitter: +/- fraction of seeded jitter on each open duration.
+        max_open_time: ceiling on any single open duration.
+        seed: jitter stream seed (deterministic given the config).
+    """
+
+    failure_threshold: int = 2
+    recovery_time: float = 0.02
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    max_open_time: float = 2.0
+    seed: int = 0
+
+
+class CircuitBreaker:
+    """One replica's health gate. Single-threaded; time is an argument.
+
+    Every method takes ``now`` (clock seconds) instead of reading a
+    clock, so the server can drive breakers from a virtual clock in
+    chaos tests and everything stays deterministic.
+    """
+
+    def __init__(self, config: BreakerConfig | None = None,
+                 on_transition=None):
+        self.config = config or BreakerConfig()
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.consecutive_trips = 0
+        self.open_until = 0.0
+        #: lifetime transition counters, for the ServingReport
+        self.opens = 0
+        self.closes = 0
+        self._on_transition = on_transition
+        self._backoff = BackoffPolicy(
+            base=self.config.recovery_time,
+            factor=self.config.backoff_factor,
+            jitter=self.config.jitter, seed=self.config.seed,
+            max_delay=self.config.max_open_time, spawn_key=0xB4EA)
+
+    def _transition(self, state: str, now: float, detail: str = "") -> None:
+        self.state = state
+        if self._on_transition is not None:
+            self._on_transition(state, now, detail)
+
+    # -- queries -----------------------------------------------------------
+
+    def available(self, now: float) -> bool:
+        """May this replica receive a batch right now?
+
+        An open breaker whose backoff has expired moves to half-open as
+        a side effect — the caller should treat the next batch as a
+        probe (see :meth:`is_probe`).
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN and now >= self.open_until:
+            self._transition(HALF_OPEN, now,
+                             "backoff expired; next batch is a probe")
+            return True
+        return self.state == HALF_OPEN
+
+    def is_probe(self) -> bool:
+        """True when the next batch is a half-open trial."""
+        return self.state == HALF_OPEN
+
+    def reopen_at(self) -> float | None:
+        """When an open breaker becomes probeable (None unless open)."""
+        return self.open_until if self.state == OPEN else None
+
+    # -- outcomes ----------------------------------------------------------
+
+    def record_success(self, now: float) -> None:
+        self.consecutive_failures = 0
+        if self.state == HALF_OPEN:
+            self.consecutive_trips = 0
+            self.closes += 1
+            self._transition(CLOSED, now, "probe succeeded")
+
+    def record_failure(self, now: float) -> bool:
+        """Count a failure; returns True when this one tripped the breaker."""
+        if self.state == HALF_OPEN:
+            # A failed probe re-opens immediately with a longer backoff.
+            self._trip(now, "probe failed")
+            return True
+        self.consecutive_failures += 1
+        if self.state == CLOSED and \
+                self.consecutive_failures >= self.config.failure_threshold:
+            self._trip(now, f"{self.consecutive_failures} consecutive "
+                            f"failures")
+            return True
+        return False
+
+    def trip(self, now: float, detail: str = "hard trip") -> None:
+        """Force the breaker open (e.g. on a replica crash)."""
+        if self.state != OPEN:
+            self._trip(now, detail)
+
+    def _trip(self, now: float, detail: str) -> None:
+        delay = self._backoff.delay(self.consecutive_trips)
+        self.consecutive_trips += 1
+        self.consecutive_failures = 0
+        self.open_until = now + delay
+        self.opens += 1
+        self._transition(OPEN, now,
+                         f"{detail}; open for {delay * 1e3:.1f} ms")

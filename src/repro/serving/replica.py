@@ -1,0 +1,148 @@
+"""Serving replicas: forked sessions that degrade instead of dying.
+
+Each replica owns a :meth:`~repro.framework.session.Session.fork` of the
+model's session — same graph, same weights, isolated variable store,
+random stream, and plan cache — plus two health mechanisms:
+
+* a :class:`~repro.serving.breaker.CircuitBreaker` deciding *whether*
+  the replica receives traffic, and
+* the existing self-healing ladder
+  (:class:`~repro.framework.session.HealingPolicy` over the replica's
+  own session) deciding *how* it executes: a replica whose breaker
+  trips on execution faults demotes ``full -> structural -> safe``
+  instead of being discarded, serves its half-open probe at the safer
+  tier, and earns its way back up after consecutive clean batches —
+  with every step of the ladder emitted as
+  :class:`~repro.framework.session.DegradationEvent` records.
+
+Straggler trips (slow batches) intentionally do **not** demote: latency
+is not a plan defect, so resting the replica behind its open breaker is
+the whole remedy; lower tiers would only make it slower.
+
+A *crash* (:class:`~repro.framework.errors.ReplicaCrashError`) rebuilds
+the session from the source model's current weights — the supervisor
+restart — while preserving the degradation tier the replica had earned,
+so a flapping replica does not reset its own ladder.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.framework.errors import ExecutionError, ReplicaCrashError
+from repro.framework.session import HealingConfig, HealingPolicy
+
+from .breaker import BreakerConfig, CircuitBreaker
+
+#: EWMA smoothing for the per-replica batch-latency estimate
+_LATENCY_ALPHA = 0.3
+
+
+class Replica:
+    """One serving replica: a forked session behind a breaker."""
+
+    def __init__(self, model, replica_id: int,
+                 breaker_config: BreakerConfig | None = None,
+                 healing_config: HealingConfig | None = None,
+                 sink=None, on_transition=None):
+        self.model = model
+        self.replica_id = replica_id
+        self._sink = sink
+        self._healing_config = healing_config or HealingConfig()
+        self.session = model.session.fork(seed=1000 + replica_id)
+        self.healing = HealingPolicy(self.session, self._healing_config,
+                                     sink=sink)
+        self.breaker = CircuitBreaker(breaker_config,
+                                      on_transition=on_transition)
+        #: EWMA of recent batch latencies (seconds); None until measured
+        self.ewma_latency: float | None = None
+        self.batches = 0
+        self.failures = 0
+        self.restarts = 0
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def tier(self) -> str:
+        """The replica's current execution tier (full/structural/safe)."""
+        return self.session.execution_tier
+
+    def __repr__(self) -> str:
+        return (f"<Replica {self.replica_id} tier={self.tier!r} "
+                f"breaker={self.breaker.state!r} batches={self.batches}>")
+
+    # -- execution ---------------------------------------------------------
+
+    def run_batch(self, batch_feed: dict[Any, np.ndarray],
+                  clock=None) -> tuple[np.ndarray, float]:
+        """Execute one inference batch; returns (output, seconds).
+
+        Timing uses the caller's clock so virtual-clock tests see
+        deterministic latencies (0 plus whatever injected stalls
+        advanced the clock).
+        """
+        import time
+        now = clock or time.monotonic
+        start = now()
+        output = self.session.run([self.model.inference_output],
+                                  feed_dict=batch_feed)[0]
+        elapsed = now() - start
+        self.batches += 1
+        return output, elapsed
+
+    def observe_latency(self, seconds: float) -> None:
+        if self.ewma_latency is None:
+            self.ewma_latency = seconds
+        else:
+            self.ewma_latency += _LATENCY_ALPHA * (seconds
+                                                   - self.ewma_latency)
+
+    # -- health ------------------------------------------------------------
+
+    def on_success(self, step: int, now: float) -> None:
+        """A clean batch: close the breaker path, climb the ladder."""
+        self.breaker.record_success(now)
+        self.healing.on_success(step)
+
+    def on_error(self, exc: Exception, step: int, now: float) -> bool:
+        """An execution fault: blame-localize, maybe demote; count for
+        the breaker. Returns True when the breaker tripped."""
+        self.failures += 1
+        acted = False
+        if isinstance(exc, ExecutionError):
+            acted = self.healing.on_failure(exc, step)
+        tripped = self.breaker.record_failure(now)
+        if tripped and not acted and not self.session.safe_mode:
+            # Degrade-don't-die: a tripped breaker costs a tier even when
+            # the healing policy's own counter hasn't fired yet — but at
+            # most one tier per failure.
+            blamed = getattr(exc, "blamed_op", None) \
+                or getattr(exc, "op_name", None) or f"replica:{self.replica_id}"
+            self.healing.demote(step, blamed)
+        return tripped
+
+    def on_slow(self, step: int, now: float, detail: str = "") -> bool:
+        """A straggling batch: breaker-only failure (no tier demotion)."""
+        self.failures += 1
+        return self.breaker.record_failure(now)
+
+    def on_crash(self, exc: ReplicaCrashError, step: int,
+                 now: float) -> None:
+        """A dead replica: hard-trip the breaker and rebuild the session.
+
+        The restarted session inherits the source model's *current*
+        weights and the replica's earned degradation tier (safe mode and
+        quarantined passes survive the restart).
+        """
+        self.failures += 1
+        self.restarts += 1
+        self.breaker.trip(now, f"replica crash: {exc}")
+        old = self.session
+        self.session = self.model.session.fork(
+            seed=1000 + self.replica_id + 7919 * self.restarts)
+        self.session.safe_mode = old.safe_mode
+        self.session.quarantine = old.quarantine
+        self.healing = HealingPolicy(self.session, self._healing_config,
+                                     sink=self._sink)

@@ -1,0 +1,452 @@
+"""The serving engine: dispatch, hedged retry, and failover.
+
+:class:`InferenceServer` fronts one workload's compiled inference plan
+with the pieces from the sibling modules — a
+:class:`~repro.serving.batcher.DynamicBatcher` feeding a pool of
+:class:`~repro.serving.replica.Replica` sessions — and owns the
+policies that tie them together:
+
+* **replica selection** — healthy (breaker-closed) replicas first,
+  fastest EWMA first; a half-open replica gets exactly one probe batch;
+  when *every* breaker is open the server sleeps until the earliest
+  one becomes probeable, so accepted work always makes progress;
+* **hedged retry** — requests stranded on a failed batch (crash,
+  execution fault, poisoned output) re-enter the queue at the *front*
+  and retry on another replica, bounded by ``max_hedges`` attempts;
+* **failover + restart** — a crashed replica hard-trips its breaker and
+  is rebuilt from the source model's weights, preserving its earned
+  degradation tier;
+* **termination** — every accepted request reaches exactly one terminal
+  :class:`~repro.serving.events.Reply`; bounded hedges, queue expiry,
+  and the all-breakers-open sleep make hangs structurally impossible.
+
+The engine is synchronous and single-threaded, and *time is a
+dependency*: all timing flows through an injectable clock, so chaos
+tests drive the whole stack — breaker backoffs, deadlines, injected
+stalls — from a :class:`VirtualClock` and stay deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.framework.errors import ExecutionError, ReplicaCrashError, \
+    ServingError
+from repro.framework.session import HealingConfig
+
+from .batcher import DynamicBatcher, FeedCodec
+from .breaker import BreakerConfig
+from .events import PendingRequest, Reply, ServingEvent
+from .replica import Replica
+
+#: small epsilon added when sleeping toward a breaker's reopen time,
+#: so the subsequent availability check is strictly past the boundary
+_REOPEN_EPSILON = 1e-6
+
+
+class VirtualClock:
+    """A manually-advanced clock for deterministic serving tests.
+
+    ``sleep`` *is* the advancement: injected stalls, breaker waits, and
+    load-generator pacing all move virtual time forward, and nothing
+    else does — so latencies and deadline outcomes are exact functions
+    of the fault schedule.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.time = float(start)
+
+    def now(self) -> float:
+        return self.time
+
+    def sleep(self, seconds: float) -> None:
+        self.time += max(0.0, float(seconds))
+
+
+class SystemClock:
+    """The real thing: ``time.monotonic`` + ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+@dataclass
+class ServingConfig:
+    """Knobs for :class:`InferenceServer`.
+
+    Args:
+        replicas: size of the session pool.
+        max_batch: coalesce at most this many requests per dispatch
+            (capped at the workload's plan batch size; ``None`` = the
+            plan batch size).
+        max_wait_ms: dispatch a partial batch once its oldest request
+            has waited this long.
+        queue_limit: bound on queued requests; beyond it, admission
+            sheds with reason ``queue_full``.
+        default_deadline_ms: per-request deadline when the caller gives
+            none; ``0`` disables deadline handling for the request.
+        max_hedges: retry attempts for requests stranded on a failed
+            batch before they terminate with an ``error`` reply.
+        slow_batch_ms: batches slower than this count as breaker
+            failures for their replica (straggler detection);
+            ``None`` disables.
+        admission_safety: multiplier on the service-time estimate used
+            by deadline-unmeetable shedding (>1 sheds earlier).
+        est_batch_ms: prior service-time estimate used until the
+            replicas have measured latencies.
+        breaker: per-replica :class:`~repro.serving.breaker.BreakerConfig`
+            (each replica derives a distinct jitter seed from it).
+        healing: per-replica
+            :class:`~repro.framework.session.HealingConfig` for the
+            degrade-don't-die ladder.
+        seed: base seed for per-replica derived seeds.
+    """
+
+    replicas: int = 2
+    max_batch: int | None = None
+    max_wait_ms: float = 2.0
+    queue_limit: int = 64
+    default_deadline_ms: float = 100.0
+    max_hedges: int = 1
+    slow_batch_ms: float | None = None
+    admission_safety: float = 1.0
+    est_batch_ms: float = 5.0
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    healing: HealingConfig = field(default_factory=HealingConfig)
+    seed: int = 0
+
+
+_BREAKER_EVENT_KINDS = {
+    "open": "breaker_open",
+    "half_open": "breaker_half_open",
+    "closed": "breaker_close",
+}
+
+
+class InferenceServer:
+    """A robust request front-end over one workload's inference plan."""
+
+    def __init__(self, model, config: ServingConfig | None = None,
+                 tracer=None, clock=None):
+        self.model = model
+        self.config = config or ServingConfig()
+        self.tracer = tracer
+        self.clock = clock or SystemClock()
+        self.codec = FeedCodec(model)
+        self.batcher = DynamicBatcher(
+            self.codec, max_batch=self.config.max_batch,
+            max_wait=self.config.max_wait_ms / 1000.0,
+            queue_limit=self.config.queue_limit,
+            admission_safety=self.config.admission_safety)
+        self.replicas = [self._make_replica(rid)
+                         for rid in range(max(1, self.config.replicas))]
+        self.replies: dict[int, Reply] = {}
+        self.events: list[ServingEvent] = []
+        #: serviced-request latencies (ok + late), for the report
+        self.latencies_ms: list[float] = []
+        self.counters = {"accepted": 0, "shed": 0, "ok": 0,
+                         "deadline": 0, "error": 0, "hedges": 0,
+                         "probes": 0}
+        self.batches_dispatched = 0
+        self._next_id = 0
+        self._faults = None
+
+    def _make_replica(self, replica_id: int) -> Replica:
+        breaker = dataclasses.replace(
+            self.config.breaker,
+            seed=self.config.breaker.seed + 31 * (self.config.seed + 1)
+            + replica_id)
+
+        def on_transition(state, now, detail, _rid=replica_id):
+            self._emit(ServingEvent(
+                step=self.batches_dispatched,
+                kind=_BREAKER_EVENT_KINDS[state], replica=_rid,
+                detail=detail))
+
+        return Replica(self.model, replica_id, breaker_config=breaker,
+                       healing_config=self.config.healing,
+                       sink=self._sink_degradation,
+                       on_transition=on_transition)
+
+    # -- events ------------------------------------------------------------
+
+    def _emit(self, event: ServingEvent) -> None:
+        self.events.append(event)
+        if self.tracer is not None:
+            self.tracer.record_event(event)
+
+    def _sink_degradation(self, event) -> None:
+        """Replica healing events flow to the same tracer stream."""
+        if self.tracer is not None:
+            self.tracer.record_event(event)
+
+    # -- faults ------------------------------------------------------------
+
+    def install_faults(self, plan):
+        """Arm a :class:`~repro.framework.faults.ServingFaultPlan`.
+
+        The injector's stalls sleep on *this server's clock*, so chaos
+        under a :class:`VirtualClock` is fully deterministic.
+        """
+        self._faults = plan.injector(sleep=self.clock.sleep)
+        return self._faults
+
+    # -- admission ---------------------------------------------------------
+
+    def _est_batch_seconds(self) -> float:
+        known = [r.ewma_latency for r in self.replicas
+                 if r.ewma_latency is not None]
+        if known:
+            return sum(known) / len(known)
+        return self.config.est_batch_ms / 1000.0
+
+    def submit(self, feed: Mapping[Any, np.ndarray],
+               deadline_ms: float | None = None) -> int:
+        """Admit one single-example request; returns its request id.
+
+        A request the server cannot serve in time is shed *now* (its
+        terminal :class:`~repro.serving.events.Reply` is immediately
+        available) rather than queued to fail later.
+        """
+        now = self.clock.now()
+        request_id = self._next_id
+        self._next_id += 1
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        pending = PendingRequest(request_id=request_id, feed=dict(feed),
+                                 deadline_ms=float(deadline_ms),
+                                 arrival=now)
+        reason = self.batcher.admit(pending, now,
+                                    self._est_batch_seconds())
+        if reason is not None:
+            self._finish(pending, "shed", error=reason, now=now)
+        else:
+            self.counters["accepted"] += 1
+        return request_id
+
+    def submit_batch(self, batch_feed: Mapping[Any, np.ndarray],
+                     deadline_ms: float | None = None) -> list[int]:
+        """Split a full-batch feed into per-example requests and submit."""
+        return [self.submit(single, deadline_ms=deadline_ms)
+                for single in self.codec.split_feed(batch_feed)]
+
+    # -- terminal outcomes -------------------------------------------------
+
+    def _finish(self, pending: PendingRequest, outcome: str,
+                value: np.ndarray | None = None,
+                replica: int | None = None, latency_ms: float = 0.0,
+                error: str = "", now: float | None = None) -> None:
+        if pending.request_id in self.replies:
+            raise ServingError(
+                f"request {pending.request_id} finished twice "
+                f"({self.replies[pending.request_id].outcome!r} then "
+                f"{outcome!r})")
+        reply = Reply(request_id=pending.request_id, outcome=outcome,
+                      value=value, replica=replica,
+                      latency_ms=latency_ms,
+                      deadline_ms=pending.deadline_ms,
+                      hedges=pending.attempts, error=error)
+        self.replies[pending.request_id] = reply
+        self.counters[outcome] += 1
+        if outcome in ("ok", "deadline") and value is not None:
+            self.latencies_ms.append(latency_ms)
+        self._emit(ServingEvent(
+            step=pending.request_id,
+            kind="shed" if outcome == "shed" else "reply",
+            outcome=outcome, replica=replica, latency_ms=latency_ms,
+            deadline_ms=pending.deadline_ms, detail=error))
+
+    def _expire_queue(self, now: float) -> None:
+        for pending in self.batcher.expire(now):
+            self._finish(pending, "deadline",
+                         latency_ms=(now - pending.arrival) * 1000.0,
+                         error="expired in queue", now=now)
+
+    # -- replica selection -------------------------------------------------
+
+    def _pick_replica(self, now: float) -> Replica:
+        """A replica allowed to serve right now; sleeps if none is.
+
+        Preference order: half-open probes first (once a breaker's
+        backoff expires, the next batch IS the trial — otherwise a
+        tripped replica starves behind a healthy peer and never closes
+        its breaker or re-escalates; a failed trial is bounded by the
+        hedge path), then breaker-closed replicas by EWMA latency
+        (fastest first). When every breaker is open, sleeping until the
+        earliest ``reopen_at`` converts one to half-open — so selection
+        always terminates with a replica.
+        """
+        while True:
+            available = [r for r in self.replicas
+                         if r.breaker.available(now)]
+            if available:
+                available.sort(key=lambda r: (
+                    not r.breaker.is_probe(),
+                    r.ewma_latency if r.ewma_latency is not None else 0.0,
+                    r.replica_id))
+                return available[0]
+            reopen = min(r.breaker.reopen_at() for r in self.replicas)
+            self.clock.sleep(max(0.0, reopen - now) + _REOPEN_EPSILON)
+            now = self.clock.now()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _retry_group(self, group: list[PendingRequest], now: float,
+                     detail: str) -> None:
+        """Hedge a failed batch's requests, or fail them terminally."""
+        retry: list[PendingRequest] = []
+        for pending in group:
+            pending.attempts += 1
+            alive = (pending.deadline_ms <= 0
+                     or now < pending.deadline_at())
+            if pending.attempts <= self.config.max_hedges and alive:
+                retry.append(pending)
+            else:
+                why = detail if pending.attempts > self.config.max_hedges \
+                    else f"deadline passed during failed attempt: {detail}"
+                outcome = "error" if alive else "deadline"
+                self._finish(pending, outcome,
+                             latency_ms=(now - pending.arrival) * 1000.0,
+                             error=why, now=now)
+        # Front-requeue preserving FIFO order among the hedged.
+        for pending in reversed(retry):
+            self.batcher.requeue(pending)
+            self.counters["hedges"] += 1
+            self._emit(ServingEvent(
+                step=pending.request_id, kind="hedge",
+                detail=f"attempt {pending.attempts + 1}: {detail}"))
+
+    def _dispatch(self) -> None:
+        """Run one coalesced batch through one replica."""
+        group = self.batcher.pop_batch()
+        if not group:
+            return
+        batch_index = self.batches_dispatched
+        self.batches_dispatched += 1
+        now = self.clock.now()
+        replica = self._pick_replica(now)
+        rid = replica.replica_id
+        if replica.breaker.is_probe():
+            self.counters["probes"] += 1
+            self._emit(ServingEvent(
+                step=batch_index, kind="probe", replica=rid,
+                detail=f"half-open trial at tier {replica.tier!r}"))
+        batch_feed, _live = self.codec.assemble([p.feed for p in group])
+        # Service time is measured around the fault hooks so injected
+        # stalls count against the replica (straggler detection, EWMA).
+        started = self.clock.now()
+        try:
+            if self._faults is not None:
+                self._faults.before_batch(rid, batch_index)
+            output, _ = replica.run_batch(batch_feed,
+                                          clock=self.clock.now)
+            if self._faults is not None:
+                output = self._faults.after_batch(rid, batch_index,
+                                                  output)
+        except ReplicaCrashError as exc:
+            now = self.clock.now()
+            replica.on_crash(exc, batch_index, now)
+            self._emit(ServingEvent(
+                step=batch_index, kind="replica_restart", replica=rid,
+                detail=f"session rebuilt at tier {replica.tier!r} "
+                       f"after: {exc}"))
+            self._retry_group(group, now, f"replica {rid} crashed")
+            return
+        except Exception as exc:
+            now = self.clock.now()
+            replica.on_error(exc, batch_index, now)
+            self._retry_group(group, now,
+                              f"replica {rid}: {exc}".splitlines()[0])
+            return
+        now = self.clock.now()
+        elapsed = now - started
+        poisoned = self._screen_output(output)
+        if poisoned:
+            replica.on_error(ExecutionError(
+                f"replica:{rid}",
+                f"non-finite inference output ({poisoned})"),
+                batch_index, now)
+            self._retry_group(
+                group, now, f"replica {rid} returned {poisoned} output")
+            return
+        replica.observe_latency(elapsed)
+        slow = (self.config.slow_batch_ms is not None
+                and elapsed * 1000.0 > self.config.slow_batch_ms)
+        if slow:
+            replica.on_slow(batch_index, now,
+                            detail=f"{elapsed * 1e3:.1f} ms batch")
+        else:
+            replica.on_success(batch_index, now)
+        for index, pending in enumerate(group):
+            value = self.codec.extract(output, index)
+            latency_ms = (now - pending.arrival) * 1000.0
+            late = pending.deadline_ms > 0 and now > pending.deadline_at()
+            self._finish(pending, "deadline" if late else "ok",
+                         value=value, replica=rid,
+                         latency_ms=latency_ms,
+                         error="served past deadline" if late else "",
+                         now=now)
+
+    @staticmethod
+    def _screen_output(output) -> str | None:
+        value = np.asarray(output)
+        if not np.issubdtype(value.dtype, np.floating):
+            return None
+        if np.isnan(value).any():
+            return "NaN"
+        if np.isinf(value).any():
+            return "Inf"
+        return None
+
+    # -- driving -----------------------------------------------------------
+
+    def pump(self) -> int:
+        """Dispatch every batch that is *ready* now; returns batches run."""
+        ran = 0
+        while True:
+            now = self.clock.now()
+            self._expire_queue(now)
+            if not self.batcher.ready(now):
+                return ran
+            self._dispatch()
+            ran += 1
+
+    def drain(self, max_batches: int = 10000) -> dict[int, Reply]:
+        """Serve until every accepted request has a terminal reply.
+
+        Dispatches partial batches without waiting out ``max_wait`` —
+        no further arrivals are coming. ``max_batches`` is a structural
+        backstop; exceeding it means a termination bug, not load.
+        """
+        ran = 0
+        while len(self.batcher):
+            self._expire_queue(self.clock.now())
+            if not len(self.batcher):
+                break
+            if ran >= max_batches:
+                raise ServingError(
+                    f"drain exceeded {max_batches} batches with "
+                    f"{len(self.batcher)} requests still queued")
+            self._dispatch()
+            ran += 1
+        return self.replies
+
+    def result(self, request_id: int) -> Reply | None:
+        """The terminal reply for a request, or None while pending."""
+        return self.replies.get(request_id)
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self):
+        """A :class:`~repro.serving.loadgen.ServingReport` snapshot."""
+        from .loadgen import ServingReport
+        return ServingReport.from_server(self)

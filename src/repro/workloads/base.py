@@ -231,6 +231,20 @@ class FathomModel(abc.ABC):
                 f"mode must be training or inference, got {mode}")
         return self.session.compile(fetches)
 
+    def serve(self, config=None, tracer=None, clock=None):
+        """A robust request front-end over this model's inference plan.
+
+        Returns a :class:`~repro.serving.server.InferenceServer` —
+        deadline-aware dynamic batching with admission control, a
+        replica pool of forked sessions behind circuit breakers, hedged
+        retry, and degrade-don't-die tier demotion (the serving-side
+        counterpart of ``run_training(resilience=...)``; see
+        docs/serving.md).
+        """
+        from repro.serving import InferenceServer
+        return InferenceServer(self, config=config, tracer=tracer,
+                               clock=clock)
+
     def evaluate(self, batches: int = 4) -> dict[str, float]:
         """Task-quality metrics on held-out synthetic batches.
 

@@ -105,3 +105,91 @@ class TestSelector:
 
     def test_default_is_synthetic(self):
         assert isinstance(mnist_dataset(), SyntheticMNIST)
+
+
+class TestResilientBatchIterator:
+    SPEC = {"images": ((4,), np.float32), "labels": ((), np.int32)}
+
+    def _good(self, rng, value=None):
+        return {"images": (value if value is not None
+                           else rng.standard_normal(4)).astype(np.float32),
+                "labels": np.int32(3)}
+
+    def test_valid_stream_batches_cleanly(self, rng):
+        from repro.data.loaders import ResilientBatchIterator
+        samples = [self._good(rng) for _ in range(6)]
+        iterator = ResilientBatchIterator(samples, self.SPEC, batch_size=2)
+        batches = list(iterator)
+        assert len(batches) == 3
+        assert batches[0]["images"].shape == (2, 4)
+        assert batches[0]["labels"].dtype == np.int32
+        assert iterator.stats.samples == 6
+        assert iterator.stats.batches == 3
+        assert iterator.stats.skipped == 0
+
+    def test_malformed_samples_skipped_and_counted(self, rng, caplog):
+        from repro.data.loaders import ResilientBatchIterator
+        samples = [
+            self._good(rng),
+            {"images": np.zeros(5, dtype=np.float32),       # wrong shape
+             "labels": np.int32(0)},
+            {"labels": np.int32(1)},                        # missing feed
+            {"images": np.zeros(4, dtype=np.float64),       # lossy cast
+             "labels": np.int32(2)},
+            self._good(rng),
+            self._good(rng),
+            self._good(rng),
+        ]
+        iterator = ResilientBatchIterator(samples, self.SPEC, batch_size=2)
+        import logging
+        with caplog.at_level(logging.WARNING, logger="repro.data"):
+            batches = list(iterator)
+        assert len(batches) == 2
+        assert iterator.stats.skipped == 3
+        assert iterator.stats.samples == 4
+        reasons = " ".join(iterator.stats.skip_reasons)
+        assert "shape" in reasons and "missing" in reasons \
+            and "cast" in reasons
+        assert sum("skipping malformed sample" in r.message
+                   for r in caplog.records) == 3
+
+    def test_safe_casts_are_applied(self, rng):
+        from repro.data.loaders import ResilientBatchIterator
+        # int32 -> float64-safe? here: int8 labels upcast to int32
+        samples = [{"images": np.zeros(4, dtype=np.float32),
+                    "labels": np.int8(1)} for _ in range(2)]
+        batches = list(ResilientBatchIterator(samples, self.SPEC,
+                                              batch_size=2))
+        assert batches[0]["labels"].dtype == np.int32
+
+    def test_consecutive_skip_limit_raises(self, rng):
+        from repro.data.loaders import (ResilientBatchIterator,
+                                        SampleSkipLimitError)
+        bad = {"labels": np.int32(0)}
+        samples = [self._good(rng)] + [bad] * 4
+        iterator = ResilientBatchIterator(samples, self.SPEC, batch_size=2,
+                                          max_consecutive_skips=3)
+        with pytest.raises(SampleSkipLimitError) as excinfo:
+            list(iterator)
+        assert excinfo.value.skipped == 4
+        assert "4 consecutive" in str(excinfo.value)
+
+    def test_good_sample_resets_the_skip_streak(self, rng):
+        from repro.data.loaders import ResilientBatchIterator
+        bad = {"labels": np.int32(0)}
+        samples = []
+        for _ in range(4):              # bad pairs interleaved with good
+            samples.extend([bad, bad, self._good(rng)])
+        iterator = ResilientBatchIterator(samples, self.SPEC, batch_size=2,
+                                          max_consecutive_skips=2)
+        batches = list(iterator)        # never 3 bad in a row: no raise
+        assert len(batches) == 2
+        assert iterator.stats.skipped == 8
+
+    def test_remainder_kept_when_requested(self, rng):
+        from repro.data.loaders import ResilientBatchIterator
+        samples = [self._good(rng) for _ in range(5)]
+        batches = list(ResilientBatchIterator(samples, self.SPEC,
+                                              batch_size=2,
+                                              drop_remainder=False))
+        assert [b["images"].shape[0] for b in batches] == [2, 2, 1]

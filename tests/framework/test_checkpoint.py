@@ -176,3 +176,77 @@ class TestAtomicSave:
         assert dst == str(tmp_path / "model.npz")
         # temp file lived in the same directory (required for atomicity)
         assert os_module.path.dirname(src) == str(tmp_path)
+
+
+class TestIntegrity:
+    """CRC32 verification: corruption after save is localized on restore."""
+
+    def _tamper(self, path, name, mutate):
+        """Rewrite one stored array, keeping the original checksum table."""
+        with np.load(path) as archive:
+            data = {key: archive[key] for key in archive.files}
+        data[name] = mutate(data[name])
+        np.savez(path, **data)
+
+    def test_tampered_payload_names_the_variable(self, fresh_graph,
+                                                 tmp_path):
+        from repro.framework.checkpoint import CheckpointCorruptError
+        x, loss, train, w, b = small_model()
+        session = Session(fresh_graph, seed=0)
+        path = tmp_path / "ckpt.npz"
+        checkpoint.save(session, path)
+        self._tamper(path, "w", lambda value: value + 1.0)
+        fresh = Session(fresh_graph, seed=1)
+        with pytest.raises(CheckpointCorruptError,
+                           match="'w' failed its CRC32") as excinfo:
+            checkpoint.restore(fresh, path)
+        assert excinfo.value.variable == "w"
+        # corruption errors are still CheckpointErrors for callers that
+        # catch broadly (the resilient runner's resume path)
+        assert isinstance(excinfo.value, CheckpointError)
+
+    def test_untampered_checkpoint_passes_verification(self, fresh_graph,
+                                                       tmp_path):
+        x, loss, train, w, b = small_model()
+        session = Session(fresh_graph, seed=0)
+        path = tmp_path / "ckpt.npz"
+        checkpoint.save(session, path)
+        restored = checkpoint.restore(Session(fresh_graph, seed=1), path)
+        assert restored == ["b", "w"]
+
+    def test_corrupt_checksum_table_rejected(self, fresh_graph, tmp_path):
+        from repro.framework.checkpoint import (CheckpointCorruptError,
+                                                _CHECKSUM_KEY)
+        x, loss, train, w, b = small_model()
+        session = Session(fresh_graph, seed=0)
+        path = tmp_path / "ckpt.npz"
+        checkpoint.save(session, path)
+        self._tamper(path, _CHECKSUM_KEY,
+                     lambda value: np.frombuffer(b"not json",
+                                                 dtype=np.uint8).copy())
+        with pytest.raises(CheckpointCorruptError, match="checksum table"):
+            checkpoint.restore(Session(fresh_graph, seed=1), path)
+
+    def test_legacy_checkpoint_without_checksums_restores(self, fresh_graph,
+                                                          tmp_path):
+        """Archives written before checksums existed still load."""
+        x, loss, train, w, b = small_model()
+        session = Session(fresh_graph, seed=0)
+        path = tmp_path / "legacy.npz"
+        np.savez(path, w=np.ones((4, 2), dtype=np.float32),
+                 b=np.ones(2, dtype=np.float32))
+        restored = checkpoint.restore(session, path)
+        assert restored == ["b", "w"]
+        np.testing.assert_array_equal(session.variable_value(w),
+                                      np.ones((4, 2), dtype=np.float32))
+
+    def test_truncated_archive_is_a_checkpoint_error(self, fresh_graph,
+                                                     tmp_path):
+        x, loss, train, w, b = small_model()
+        session = Session(fresh_graph, seed=0)
+        path = tmp_path / "ckpt.npz"
+        checkpoint.save(session, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointError):
+            checkpoint.restore(Session(fresh_graph, seed=1), path)

@@ -160,3 +160,50 @@ class TestCompileRecords:
         path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
         loaded = load_trace(path)
         assert loaded.compile_records == []
+
+
+class TestServingEvents:
+    def test_serving_events_round_trip(self, tmp_path):
+        from repro.serving.events import ServingEvent
+        tracer = Tracer()
+        events = [
+            ServingEvent(step=0, kind="reply", outcome="ok", replica=1,
+                         latency_ms=3.25, deadline_ms=100.0),
+            ServingEvent(step=1, kind="shed", outcome="shed",
+                         detail="queue_full"),
+            ServingEvent(step=2, kind="breaker_open", replica=0,
+                         detail="2 consecutive failures"),
+            ServingEvent(step=3, kind="hedge", detail="attempt 2"),
+        ]
+        for event in events:
+            tracer.record_event(event)
+        path = tmp_path / "serving.jsonl"
+        save_trace(tracer, path)
+        loaded = load_trace(path)
+        restored = loaded.serving_events()
+        assert [e.signature() for e in restored] == \
+            [e.signature() for e in events]
+        assert restored[0].latency_ms == pytest.approx(3.25)
+        assert restored[1].detail == "queue_full"
+        # the family filters stay disjoint
+        assert loaded.failure_events() == []
+        assert loaded.degradation_events() == []
+
+    def test_mixed_event_families_stay_separated(self, tmp_path):
+        from repro.framework.resilience import FailureEvent
+        from repro.framework.session import DegradationEvent
+        from repro.serving.events import ServingEvent
+        tracer = Tracer()
+        tracer.record_event(FailureEvent(step=0, kind="retry",
+                                         detail="boom"))
+        tracer.record_event(DegradationEvent(step=1, kind="tier_drop",
+                                             tier="structural"))
+        tracer.record_event(ServingEvent(step=2, kind="reply",
+                                         outcome="ok"))
+        path = tmp_path / "mixed.jsonl"
+        save_trace(tracer, path)
+        loaded = load_trace(path)
+        assert len(loaded.failure_events()) == 1
+        assert len(loaded.degradation_events()) == 1
+        assert len(loaded.serving_events()) == 1
+        assert loaded.serving_events()[0].outcome == "ok"

@@ -1,0 +1,86 @@
+"""Tests for the per-replica circuit breaker."""
+
+import pytest
+
+from repro.serving.breaker import (CLOSED, HALF_OPEN, OPEN, BreakerConfig,
+                                   CircuitBreaker)
+
+
+def make(threshold=2, recovery=0.01, **kwargs):
+    return CircuitBreaker(BreakerConfig(failure_threshold=threshold,
+                                        recovery_time=recovery, **kwargs))
+
+
+class TestTripping:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = make(threshold=3)
+        assert not breaker.record_failure(0.0)
+        assert not breaker.record_failure(0.0)
+        assert breaker.record_failure(0.0)
+        assert breaker.state == OPEN
+        assert not breaker.available(0.0)
+
+    def test_success_resets_the_streak(self):
+        breaker = make(threshold=2)
+        breaker.record_failure(0.0)
+        breaker.record_success(0.0)
+        assert not breaker.record_failure(0.0)
+        assert breaker.state == CLOSED
+
+    def test_hard_trip_opens_immediately(self):
+        breaker = make()
+        breaker.trip(0.0, "crash")
+        assert breaker.state == OPEN
+        assert breaker.opens == 1
+
+
+class TestRecovery:
+    def test_half_open_after_backoff_then_close_on_success(self):
+        breaker = make(threshold=1, recovery=0.01)
+        breaker.record_failure(0.0)
+        reopen = breaker.reopen_at()
+        assert reopen is not None and reopen > 0.0
+        assert not breaker.available(reopen - 1e-4)
+        assert breaker.available(reopen + 1e-4)
+        assert breaker.state == HALF_OPEN and breaker.is_probe()
+        breaker.record_success(reopen + 1e-4)
+        assert breaker.state == CLOSED
+        assert breaker.closes == 1
+        assert breaker.consecutive_trips == 0
+
+    def test_failed_probe_reopens_with_longer_backoff(self):
+        breaker = make(threshold=1, recovery=0.01, jitter=0.0)
+        breaker.record_failure(0.0)
+        first = breaker.open_until
+        breaker.available(first + 1e-4)  # -> half-open
+        assert breaker.record_failure(first + 1e-4)
+        assert breaker.state == OPEN
+        second = breaker.open_until - (first + 1e-4)
+        assert second == pytest.approx(2 * first, rel=1e-6)
+
+    def test_open_duration_capped(self):
+        breaker = make(threshold=1, recovery=0.01, jitter=0.0,
+                       max_open_time=0.03)
+        now = 0.0
+        for _ in range(6):
+            breaker.record_failure(now)
+            assert breaker.open_until - now <= 0.03 + 1e-9
+            now = breaker.open_until + 1e-4
+            breaker.available(now)  # half-open; next failure re-trips
+
+
+class TestDeterminism:
+    def test_same_seed_same_backoff_schedule(self):
+        def schedule(seed):
+            breaker = make(threshold=1, seed=seed)
+            opens = []
+            now = 0.0
+            for _ in range(4):
+                breaker.record_failure(now)
+                opens.append(breaker.open_until - now)
+                now = breaker.open_until + 1e-4
+                breaker.available(now)
+            return opens
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)

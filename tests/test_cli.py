@@ -271,3 +271,31 @@ class TestCompile:
         for pass_name in ("prune", "fold", "cse", "fuse", "schedule"):
             assert pass_name in out
         assert "LSTM cells fused" in out
+
+
+class TestServe:
+    def test_closed_loop_report(self, capsys):
+        code, out = run_cli(capsys, "serve", "memnet", "--config", "tiny",
+                            "--requests", "8", "--virtual-clock")
+        assert code == 0
+        assert "serving report: memnet" in out
+        assert "attainment" in out
+
+    def test_fault_preset_with_artifacts(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        trace_path = tmp_path / "serve.jsonl"
+        code, out = run_cli(capsys, "serve", "memnet", "--config", "tiny",
+                            "--requests", "16", "--qps", "400",
+                            "--fault", "crash", "--virtual-clock",
+                            "--report-json", str(report_path),
+                            "--trace", str(trace_path))
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["workload"] == "memnet"
+        assert report["requests"] == 16
+        assert report["ok"] + report["shed"] + report["deadline"] \
+            + report["error"] == 16
+        assert report["restarts"] == 1
+        from repro.profiling.serialize import load_trace
+        loaded = load_trace(trace_path)
+        assert loaded.serving_events()

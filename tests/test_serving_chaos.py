@@ -1,0 +1,114 @@
+"""Serving chaos suite: saturating load plus replica faults, zero hangs.
+
+The acceptance bar (see docs/serving.md): under injected replica-crash,
+straggler, and poisoned-batch chaos at load, the server must *shed or
+answer* every request — each submission reaches exactly one terminal
+reply, no request hangs — while breaker-tripped replicas demote through
+the healing ladder instead of dying, then recover to the full tier on
+clean traffic, with the whole breaker -> degrade -> re-escalate trail
+visible in the serialized trace.
+
+The full eight-workload matrix runs under ``pytest -m chaos``; a fast
+two-workload subset runs in the default (tier-1) suite.
+"""
+
+import pytest
+
+from repro import workloads
+from repro.framework.faults import ServingFaultPlan, ServingFaultSpec
+from repro.profiling.serialize import load_trace, save_trace
+from repro.profiling.tracer import Tracer
+from repro.serving import (LoadConfig, LoadGenerator, ServingConfig,
+                           VirtualClock)
+from repro.workloads import WORKLOAD_NAMES
+
+#: fast tier-1 subset; the chaos marker covers the full Table II matrix
+FAST_WORKLOADS = ("memnet", "autoenc")
+
+#: requests per scenario — enough to straddle every injected fault
+REQUESTS = 24
+
+
+def chaos_serve(name):
+    """One serving run under the standard chaos storm: a replica crash,
+    a straggling replica, and a double poisoned batch, all landing
+    mid-load on a virtual clock."""
+    model = workloads.create(name, config="tiny", seed=0)
+    tracer = Tracer()
+    server = model.serve(
+        config=ServingConfig(replicas=2, default_deadline_ms=2000.0,
+                             max_hedges=2, slow_batch_ms=25.0, seed=1),
+        tracer=tracer, clock=VirtualClock())
+    server.install_faults(ServingFaultPlan([
+        ServingFaultSpec("replica_crash", replica=0, batch=1),
+        ServingFaultSpec("slow_replica", replica=1,
+                         latency_seconds=0.05, max_triggers=3),
+        ServingFaultSpec("poisoned_batch", replica=0, max_triggers=2),
+    ], seed=9))
+    report = LoadGenerator(server, LoadConfig(
+        requests=REQUESTS, qps=500.0, seed=4)).run()
+    return model, tracer, server, report
+
+
+def assert_survives_chaos(name, tmp_path):
+    model, tracer, server, report = chaos_serve(name)
+
+    # Zero hangs: every request terminates in exactly one reply, and
+    # the outcome counts account for all of them.
+    assert sorted(server.replies) == list(range(REQUESTS))
+    assert (report.ok + report.shed + report.deadline
+            + report.error) == REQUESTS
+
+    # The chaos actually happened: the crash restarted replica 0 and
+    # tripped breakers; the double poison cost replica 0 a tier.
+    assert report.restarts >= 1
+    assert report.breaker_opens >= 1
+    assert any(e.tier == "structural"
+               for e in tracer.degradation_events("tier_drop"))
+
+    # Degrade-don't-die: clean post-storm traffic climbs every replica
+    # back to the full tier (faults are exhausted by max_triggers).
+    single = server.codec.split_feed(
+        model.sample_feed(training=False))[0]
+    for _ in range(12):
+        server.submit(single, deadline_ms=0.0)
+        server.drain()
+        if all(r.tier == "full" for r in server.replicas):
+            break
+    assert [r.tier for r in server.replicas] == ["full", "full"]
+    assert tracer.degradation_events("reescalate")
+
+    # The serialized trace carries the whole breaker -> degrade ->
+    # re-escalate trail next to the per-request SLO story.
+    path = tmp_path / f"{name}_serving.jsonl"
+    save_trace(tracer, path, metadata={"workload": name})
+    loaded = load_trace(path)
+    serving_kinds = {e.kind for e in loaded.serving_events()}
+    assert {"reply", "hedge", "replica_restart",
+            "breaker_open"} <= serving_kinds
+    degradation_kinds = {e.kind for e in loaded.degradation_events()}
+    assert {"tier_drop", "reescalate"} <= degradation_kinds
+    replies = [e for e in loaded.serving_events() if e.kind == "reply"]
+    assert len(replies) >= REQUESTS - report.shed
+
+
+@pytest.mark.parametrize("name", FAST_WORKLOADS)
+def test_serving_survives_chaos_fast(name, tmp_path):
+    assert_survives_chaos(name, tmp_path)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("name", [n for n in WORKLOAD_NAMES
+                                  if n not in FAST_WORKLOADS])
+def test_serving_survives_chaos_matrix(name, tmp_path):
+    assert_survives_chaos(name, tmp_path)
+
+
+@pytest.mark.parametrize("name", FAST_WORKLOADS)
+def test_chaos_serving_is_deterministic(name):
+    """Two identical chaos runs produce identical event signatures."""
+    _, _, first_server, first_report = chaos_serve(name)
+    _, _, second_server, second_report = chaos_serve(name)
+    assert tuple(e.signature() for e in first_server.events) \
+        == tuple(e.signature() for e in second_server.events)
+    assert first_report.to_json() == second_report.to_json()
