@@ -20,6 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+# ClusterModel moved to the executed runtime so the analytic study and
+# the cluster clock share one interconnect pricing formula; re-exported
+# here for compatibility.
+from repro.distributed.clock import ClusterModel
 from repro.framework.device_model import DeviceModel, cpu
 from repro.profiling.profile import OperationProfile
 from repro.profiling.tracer import Tracer
@@ -27,21 +31,9 @@ from repro.workloads.base import FathomModel
 
 DEFAULT_WORKER_COUNTS = (1, 2, 4, 8, 16)
 
-
-@dataclass(frozen=True)
-class ClusterModel:
-    """A homogeneous cluster: per-worker device + interconnect."""
-
-    bandwidth: float = 1.25e9   # 10 GbE in bytes/s, the 2016 commodity link
-    latency: float = 50e-6      # per all-reduce round
-
-    def allreduce_seconds(self, parameter_bytes: float,
-                          workers: int) -> float:
-        """Ring all-reduce cost for one gradient exchange."""
-        if workers <= 1:
-            return 0.0
-        volume = 2.0 * (workers - 1) / workers * parameter_bytes
-        return self.latency * 2 * (workers - 1) + volume / self.bandwidth
+__all__ = ["ClusterModel", "ScalingCurve", "scaling_curve",
+           "render_scaling", "measured_scaling_curve",
+           "DEFAULT_WORKER_COUNTS"]
 
 
 @dataclass(frozen=True)
@@ -93,6 +85,39 @@ def scaling_curve(model: FathomModel, steps: int = 2,
     for workers in worker_counts:
         times.append(compute
                      + cluster.allreduce_seconds(parameter_bytes, workers))
+    return ScalingCurve(workload=model.name, compute_seconds=compute,
+                        parameter_bytes=parameter_bytes,
+                        worker_counts=list(worker_counts),
+                        step_seconds=times)
+
+
+def measured_scaling_curve(model: FathomModel, steps: int = 2,
+                           cluster: ClusterModel | None = None,
+                           worker_counts=DEFAULT_WORKER_COUNTS,
+                           strategy: str = "allreduce") -> ScalingCurve:
+    """The *executed* counterpart of :func:`scaling_curve`.
+
+    Runs the real cluster runtime (:class:`~repro.distributed.runtime.
+    ClusterRuntime`) fault-free at each worker count and reads the step
+    time off the deterministic cluster clock. Because the runtime and
+    this module share one :class:`ClusterModel` and one modeled compute
+    price, the measured curve validates the analytic *composition*
+    (compute + collective per step) rather than restating its inputs:
+    the runtime's timeline additionally includes barrier effects and
+    whatever the exchange actually did that step.
+    """
+    from repro.distributed import (ClusterConfig, ClusterRuntime,
+                                   modeled_step_seconds)
+    cluster = cluster or ClusterModel()
+    compute = modeled_step_seconds(model)
+    parameter_bytes = model.num_parameters() * 4.0
+    times = []
+    for workers in worker_counts:
+        runtime = ClusterRuntime(model, config=ClusterConfig(
+            workers=workers, strategy=strategy, cluster=cluster,
+            compute_seconds=compute))
+        result = runtime.run(steps)
+        times.append(result.elapsed_seconds / steps)
     return ScalingCurve(workload=model.name, compute_seconds=compute,
                         parameter_bytes=parameter_bytes,
                         worker_counts=list(worker_counts),

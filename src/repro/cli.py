@@ -101,6 +101,85 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_train(args) -> int:
+    from repro.distributed import (ClusterConfig, ClusterRuntime,
+                                   single_worker_reference)
+    from repro.framework.faults import ClusterFaultPlan, ClusterFaultSpec
+    from repro.profiling.tracer import Tracer
+    from repro.workloads import create
+    model = _build(args)
+    tracer = Tracer()
+    config = ClusterConfig(
+        workers=args.workers, strategy=args.strategy,
+        backup_workers=args.backup_workers, staleness=args.staleness,
+        seed=args.seed,
+        checkpoint_every=(args.checkpoint_every
+                          or (10 if args.checkpoint_dir else 0)),
+        checkpoint_dir=args.checkpoint_dir)
+    faults = None
+    if args.cluster_faults != "none":
+        presets = {
+            "crash": [ClusterFaultSpec("worker_crash", worker=1, step=1)],
+            "straggler": [ClusterFaultSpec("straggler", worker=0, step=1,
+                                           delay_seconds=0.5,
+                                           max_triggers=3)],
+            "partition": [ClusterFaultSpec("partition", link=(0, 1),
+                                           step=1, duration_steps=1)],
+            "storm": [ClusterFaultSpec("worker_crash", worker=1, step=1),
+                      ClusterFaultSpec("straggler", worker=0, step=2,
+                                       delay_seconds=0.5, max_triggers=2),
+                      ClusterFaultSpec("corrupt_gradient", link=(1, 0),
+                                       step=2, max_triggers=1),
+                      ClusterFaultSpec("partition", link=(0, 1), step=3,
+                                       duration_steps=1)],
+        }
+        faults = ClusterFaultPlan(presets[args.cluster_faults],
+                                  seed=args.seed)
+        print(f"armed {args.cluster_faults!r} cluster-fault plan",
+              file=sys.stderr)
+    runtime = ClusterRuntime(model, config=config, faults=faults,
+                             tracer=tracer)
+    result = runtime.run(args.steps)
+    for step, loss in enumerate(result.losses, start=1):
+        print(f"step {step:3d}  loss {loss:.6f}")
+    for event in result.events:
+        where = f" worker {event.worker}" if event.worker is not None else ""
+        where += f" link {event.link}" if event.link is not None else ""
+        print(f"[{event.kind}] step {event.step}{where}: {event.detail}",
+              file=sys.stderr)
+    print(f"{result.workers} workers ({config.strategy}), "
+          f"{len(result.events)} cluster events, virtual elapsed "
+          f"{result.elapsed_seconds:.4f}s", file=sys.stderr)
+    if args.verify_identity:
+        reference = create(args.workload, config=args.config,
+                           seed=args.seed)
+        ref_losses, _worker = single_worker_reference(
+            reference, args.steps, args.workers, seed=args.seed)
+        identical = ref_losses == result.losses
+        print(f"single-worker bit-identity: "
+              f"{'PASS' if identical else 'FAIL'}", file=sys.stderr)
+        if not identical:
+            return 1
+    if args.report_json:
+        import json as json_lib
+        with open(args.report_json, "w") as handle:
+            json_lib.dump(result.to_json(), handle, indent=2)
+        print(f"wrote {args.report_json}", file=sys.stderr)
+    if args.trace:
+        from repro.profiling.serialize import save_trace
+        count = save_trace(tracer, args.trace,
+                           metadata={"workload": args.workload,
+                                     "config": args.config,
+                                     "mode": "distributed-train",
+                                     "workers": args.workers,
+                                     "strategy": args.strategy,
+                                     "seed": args.seed})
+        print(f"wrote {args.trace}: {count} op records, "
+              f"{len(tracer.cluster_events())} cluster events",
+              file=sys.stderr)
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.framework.faults import ServingFaultPlan, ServingFaultSpec
     from repro.profiling.tracer import Tracer
@@ -428,6 +507,46 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(per-op exception capture + numeric "
                                  "screening; the slowest, safest tier)")
     run_parser.set_defaults(handler=cmd_run)
+
+    train_parser = commands.add_parser(
+        "train", help="fault-tolerant data-parallel training")
+    _add_model_args(train_parser)
+    train_parser.add_argument("--workers", type=int, default=2,
+                              help="data-parallel worker count")
+    train_parser.add_argument("--strategy", default="ps",
+                              choices=["ps", "allreduce"],
+                              help="gradient exchange: parameter server "
+                                   "or ring all-reduce")
+    train_parser.add_argument("--backup-workers", type=int, default=0,
+                              metavar="K",
+                              help="extra shard mirrors (drop-slowest "
+                                   "straggler tolerance)")
+    train_parser.add_argument("--staleness", type=int, default=0,
+                              metavar="S",
+                              help="bounded-staleness async PS: workers "
+                                   "pull params after lagging S versions "
+                                   "(0 = synchronous)")
+    train_parser.add_argument("--cluster-faults", default="none",
+                              choices=["none", "crash", "straggler",
+                                       "partition", "storm"],
+                              help="arm a deterministic cluster-fault "
+                                   "preset")
+    train_parser.add_argument("--checkpoint-dir", metavar="DIR",
+                              help="persist coordinated checkpoints here")
+    train_parser.add_argument("--checkpoint-every", type=int, default=0,
+                              metavar="N",
+                              help="coordinated checkpoint cadence "
+                                   "(default 10 when --checkpoint-dir "
+                                   "is set)")
+    train_parser.add_argument("--verify-identity", action="store_true",
+                              help="also run the single-worker reference "
+                                   "and assert bit-identical losses")
+    train_parser.add_argument("--report-json", metavar="PATH",
+                              help="write the cluster run result as JSON")
+    train_parser.add_argument("--trace", metavar="PATH",
+                              help="save the training trace (op records + "
+                                   "cluster events) as JSONL")
+    train_parser.set_defaults(handler=cmd_train)
 
     serve_parser = commands.add_parser(
         "serve", help="robust inference serving under synthetic load")

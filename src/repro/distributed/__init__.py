@@ -1,0 +1,38 @@
+"""Executed fault-tolerant data-parallel training (see docs/distributed.md).
+
+Unlike :mod:`repro.analysis.scaling` — which *prices* data-parallel
+scaling analytically — this package *runs* it: each worker is a real
+``Session.fork`` computing real numpy gradient steps, coordinated over a
+deterministic event-driven cluster clock, with injectable worker
+crashes, stragglers, network partitions, and lost/corrupted gradient
+messages.
+
+The anchor invariant: fault-free synchronous data-parallel training is
+bit-identical to single-worker training on the same global batch, for
+every workload. Everything else — coordinated checkpoints, crash replay,
+backup mirrors, ring→PS fallback, elastic membership — is built so
+faults perturb *timing and events* but never the committed trajectory.
+"""
+
+from .clock import SERVER, ClusterClock, ClusterModel, WorkerClock
+from .events import CLUSTER_EVENT_KINDS, ClusterEvent, events_signature
+from .membership import MembershipChange, MembershipPlan
+from .pipeline import ShardedPipeline
+from .runtime import (ClusterConfig, ClusterRunResult, ClusterRuntime,
+                      modeled_step_seconds, restore_cluster,
+                      single_worker_reference)
+from .strategies import (AllReduceBroken, ExchangeError,
+                         ParameterServerStrategy, RingAllReduceStrategy,
+                         aggregate_shards, make_strategy)
+from .worker import ClusterWorker, shard_rng_state, training_targets
+
+__all__ = [
+    "SERVER", "ClusterClock", "ClusterModel", "WorkerClock",
+    "CLUSTER_EVENT_KINDS", "ClusterEvent", "events_signature",
+    "MembershipChange", "MembershipPlan", "ShardedPipeline",
+    "ClusterConfig", "ClusterRunResult", "ClusterRuntime",
+    "modeled_step_seconds", "restore_cluster", "single_worker_reference",
+    "AllReduceBroken", "ExchangeError", "ParameterServerStrategy",
+    "RingAllReduceStrategy", "aggregate_shards", "make_strategy",
+    "ClusterWorker", "shard_rng_state", "training_targets",
+]

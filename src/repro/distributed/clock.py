@@ -1,0 +1,120 @@
+"""Deterministic cluster time: per-worker virtual clocks + interconnect.
+
+The distributed runtime is *event-driven*: nothing in it waits on wall
+time. Each worker owns a virtual timeline on the :class:`ClusterClock`;
+compute phases, injected straggler delays, message timeouts, and backoff
+waits advance individual timelines, and synchronization points
+(:meth:`ClusterClock.barrier`) advance everybody to the slowest member —
+exactly how a synchronous data-parallel step behaves. Because every
+advance is an explicit, deterministic function of the fault schedule,
+two runs with the same seed produce identical timelines, which is what
+lets the chaos tests assert exact event sequences.
+
+:class:`ClusterModel` prices the interconnect. It used to live in
+:mod:`repro.analysis.scaling` (which still re-exports it): the analytic
+scaling study and the executed runtime deliberately share one pricing
+formula, so the cross-validation benchmark compares the *composition* of
+compute and communication, not two divergent cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: virtual node id of the parameter server (never a worker id)
+SERVER = -1
+
+
+@dataclass(frozen=True)
+class ClusterModel:
+    """A homogeneous cluster: per-worker device + interconnect."""
+
+    bandwidth: float = 1.25e9   # 10 GbE in bytes/s, the 2016 commodity link
+    latency: float = 50e-6      # per all-reduce round
+
+    def allreduce_seconds(self, parameter_bytes: float,
+                          workers: int) -> float:
+        """Ring all-reduce cost for one gradient exchange."""
+        if workers <= 1:
+            return 0.0
+        volume = 2.0 * (workers - 1) / workers * parameter_bytes
+        return self.latency * 2 * (workers - 1) + volume / self.bandwidth
+
+    def ps_seconds(self, parameter_bytes: float, workers: int) -> float:
+        """Parameter-server cost for one gradient exchange.
+
+        The server's link serializes all traffic: ``K`` pushes in, ``K``
+        parameter broadcasts out — which is why PS loses to the ring
+        beyond a couple of workers, and why falling back to it under a
+        partition is a *degradation*, not a free substitute.
+        """
+        if workers <= 1:
+            return 0.0
+        volume = 2.0 * workers * parameter_bytes
+        return 2.0 * self.latency + volume / self.bandwidth
+
+
+class ClusterClock:
+    """Per-worker virtual timelines with barrier synchronization.
+
+    Implements the shared ``now()``/``sleep()`` protocol of
+    :mod:`repro.framework.clock` *per worker*: ``for_worker`` returns a
+    bound view usable anywhere a plain clock is expected (e.g. a
+    per-worker backoff sleep).
+    """
+
+    def __init__(self, workers=()):
+        self._times: dict[int, float] = {int(w): 0.0 for w in workers}
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def workers(self) -> list[int]:
+        return sorted(self._times)
+
+    def add_worker(self, worker: int, at: float | None = None) -> None:
+        """Register a timeline; joiners start at the cluster frontier."""
+        if at is None:
+            at = max(self._times.values(), default=0.0)
+        self._times[int(worker)] = float(at)
+
+    def remove_worker(self, worker: int) -> None:
+        self._times.pop(int(worker), None)
+
+    # -- time --------------------------------------------------------------
+
+    def now(self, worker: int) -> float:
+        return self._times[worker]
+
+    def advance(self, worker: int, seconds: float) -> float:
+        self._times[worker] += max(0.0, float(seconds))
+        return self._times[worker]
+
+    def barrier(self, workers=None) -> float:
+        """Advance ``workers`` (default: all) to the slowest member."""
+        ids = list(workers) if workers is not None else list(self._times)
+        frontier = max(self._times[w] for w in ids)
+        for w in ids:
+            self._times[w] = frontier
+        return frontier
+
+    def elapsed(self) -> float:
+        """The cluster frontier: the furthest timeline."""
+        return max(self._times.values(), default=0.0)
+
+    def for_worker(self, worker: int) -> "WorkerClock":
+        return WorkerClock(self, worker)
+
+
+class WorkerClock:
+    """One worker's view of the cluster clock (Clock-protocol shaped)."""
+
+    def __init__(self, clock: ClusterClock, worker: int):
+        self._clock = clock
+        self.worker = worker
+
+    def now(self) -> float:
+        return self._clock.now(self.worker)
+
+    def sleep(self, seconds: float) -> None:
+        self._clock.advance(self.worker, seconds)

@@ -1,0 +1,52 @@
+"""Elastic membership: workers join and leave between steps.
+
+The cluster treats membership as a declarative, seed-free schedule:
+:class:`MembershipPlan` lists which worker ids join or leave before
+which global step. Changes are only legal on step boundaries — inside a
+step the worker set is fixed — which keeps re-sharding deterministic:
+after a change, the data pipeline simply shards the next global batch
+``K'`` ways in canonical order, and a joiner bootstraps by forking the
+current (bit-identical everywhere) parameter state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_ACTIONS = ("join", "leave")
+
+
+@dataclass(frozen=True)
+class MembershipChange:
+    """One scheduled membership transition, applied before ``step``."""
+
+    step: int
+    action: str
+    worker: int
+
+    def __post_init__(self):
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"action must be one of {_ACTIONS}, got {self.action!r}")
+
+
+@dataclass(frozen=True)
+class MembershipPlan:
+    """An immutable schedule of join/leave transitions."""
+
+    changes: tuple[MembershipChange, ...]
+
+    def __init__(self, changes=()):
+        ordered = tuple(sorted(changes,
+                               key=lambda c: (c.step, c.action, c.worker)))
+        object.__setattr__(self, "changes", ordered)
+
+    def changes_at(self, step: int) -> list[MembershipChange]:
+        return [c for c in self.changes if c.step == step]
+
+    @classmethod
+    def elastic(cls, join_step: int, leave_step: int,
+                joiner: int, leaver: int) -> "MembershipPlan":
+        """Convenience: one worker joins, another later leaves."""
+        return cls([MembershipChange(join_step, "join", joiner),
+                    MembershipChange(leave_step, "leave", leaver)])

@@ -1,0 +1,70 @@
+"""Deterministic sharded data pipeline over a frozen template model.
+
+Data-parallel training needs every worker to see a *different* shard of
+the same global batch, and fault tolerance needs those shards to be
+*replayable*: a crashed step must be recomputed from exactly the feeds
+it originally saw, and a worker joining mid-run must pick up the shard
+stream deterministically.
+
+Both properties come from freezing one template model as the sole feed
+source. The template is never trained (critical for workloads like
+deepq whose ``sample_feed`` runs inference on its own session: frozen
+weights ⇒ deterministic replay sampling), and its ``sample_feed`` is
+drawn exactly ``num_shards`` times per global step in canonical shard
+order. The results are cached until the coordinated-checkpoint frontier
+passes them, so crash replay re-reads the cache instead of re-drawing
+the dataset stream.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import FathomModel
+
+
+class ShardedPipeline:
+    """Shard-indexed, replayable minibatch source for one cluster run.
+
+    Shard ``s`` of step ``t`` is the ``s``-th ``sample_feed`` draw of
+    that step — a pure function of the template's ``(config, seed)`` and
+    the sequence of shard counts, independent of which worker ends up
+    computing it. Elastic membership changes the shard count *between*
+    steps; the draw order makes the re-sharding deterministic.
+    """
+
+    def __init__(self, model: FathomModel):
+        self.model = model
+        self._cache: dict[int, list[dict]] = {}
+        self._next_step = 0
+
+    @property
+    def shard_batch(self) -> int:
+        """Per-shard minibatch size (the template's configured batch)."""
+        return self.model.batch_size
+
+    def feeds_for_step(self, step: int, num_shards: int) -> list[dict]:
+        """The step's shard feeds, drawing and caching them on first use."""
+        cached = self._cache.get(step)
+        if cached is not None:
+            if len(cached) != num_shards:
+                raise ValueError(
+                    f"step {step} was sharded {len(cached)} ways, "
+                    f"requested {num_shards}; re-sharding is only legal "
+                    f"between steps")
+            return cached
+        if step != self._next_step:
+            raise ValueError(
+                f"feeds must be drawn in step order: expected step "
+                f"{self._next_step}, got {step} (replays hit the cache)")
+        feeds = [self.model.sample_feed(training=True)
+                 for _ in range(num_shards)]
+        self._cache[step] = feeds
+        self._next_step = step + 1
+        return feeds
+
+    def evict_before(self, step: int) -> None:
+        """Drop cached feeds no longer reachable by crash replay."""
+        for cached_step in [s for s in self._cache if s < step]:
+            del self._cache[cached_step]
+
+    def cached_steps(self) -> list[int]:
+        return sorted(self._cache)

@@ -1,0 +1,231 @@
+"""Gradient exchange: parameter-server and ring-all-reduce transports.
+
+A strategy moves one step's shard gradients across the (virtual)
+network: it prices the collective on the :class:`~repro.distributed.
+clock.ClusterModel`, pushes every message past the cluster fault
+injector, survives lost and corrupted deliveries by timeout +
+per-worker seeded-jitter retransmit, and returns the aggregated
+gradients.
+
+**Transport never touches arithmetic.** Aggregation is always
+:func:`aggregate_shards` — a canonical-shard-order float32 sum divided
+by the shard count — regardless of which transport carried the bytes or
+in which order they arrived. A real ring all-reduce would sum chunks in
+ring order and produce a *different* float32 rounding than a PS sum;
+fixing one canonical reduction order instead makes the result
+transport-independent, which is what lets fault-free training be
+bit-identical to the single-worker reference and lets the runtime fall
+back from the ring to the PS path mid-run without perturbing the
+trajectory. The strategies therefore govern *timing, faults, and
+events*; the numbers are the same by construction.
+
+Fault handling per message:
+
+* **lost** (``lost_gradient`` or an active ``partition``): the receiver
+  burns the configured timeout, the sender sleeps a jittered backoff
+  (each worker's jitter stream is private — see
+  :meth:`~repro.framework.resilience.BackoffPolicy.for_worker` — so
+  retry storms de-synchronize) and retransmits.
+* **corrupt** (``corrupt_gradient``): the receiver's numerical screen —
+  the same NaN/Inf test the session guardrails apply to op outputs —
+  rejects the payload and requests a retransmit.
+* **retries exhausted**: the PS path raises :class:`ExchangeError`
+  (unrecoverable for that step); the ring raises
+  :class:`AllReduceBroken`, which the runtime catches to degrade to the
+  PS path (partitioned worker↔worker links don't block worker↔server
+  routes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .clock import SERVER
+
+__all__ = ["AllReduceBroken", "ExchangeError", "ParameterServerStrategy",
+           "RingAllReduceStrategy", "aggregate_shards", "make_strategy"]
+
+
+class ExchangeError(RuntimeError):
+    """A gradient exchange could not complete within its retry budget."""
+
+    def __init__(self, message: str, link: tuple[int, int] | None = None):
+        super().__init__(message)
+        self.link = link
+
+
+class AllReduceBroken(ExchangeError):
+    """The ring collective lost a link for good; fall back to PS."""
+
+
+def aggregate_shards(shard_grads: list[list[np.ndarray]]
+                     ) -> list[np.ndarray]:
+    """Canonical mean over shards: fixed-order float32 sum, then ``/K``.
+
+    ``shard_grads[s][v]`` is shard ``s``'s gradient for variable ``v``.
+    The summation order is the shard order — never arrival or ring
+    order — so every transport (and the single-worker reference's
+    gradient accumulation) produces bitwise-identical aggregates.
+    """
+    if not shard_grads:
+        raise ValueError("no shard gradients to aggregate")
+    count = np.float32(len(shard_grads))
+    aggregated = []
+    for per_shard in zip(*shard_grads):
+        total = per_shard[0].copy()
+        for grad in per_shard[1:]:
+            total += grad
+        aggregated.append(total / count)
+    return aggregated
+
+
+def _screen(payload: list[np.ndarray]) -> bool:
+    """True if every float tensor in the payload is finite (guardrail)."""
+    for value in payload:
+        if np.issubdtype(value.dtype, np.floating) \
+                and not np.isfinite(value).all():
+            return False
+    return True
+
+
+class _Transport:
+    """Shared deliver-with-retries machinery for both strategies."""
+
+    name = "transport"
+
+    def _deliver(self, ctx, step: int, src: int, dst: int,
+                 payload: list[np.ndarray]) -> list[np.ndarray]:
+        """Move one message across ``src -> dst``, surviving faults.
+
+        Returns the (screened) delivered payload; raises
+        :class:`ExchangeError` when the retry budget is exhausted.
+        Virtual-time charges: a loss costs the receiver the timeout, a
+        retransmit costs the sender its jittered backoff.
+        """
+        clock = ctx.clock
+        attempt = 0
+        while True:
+            status, probe = "ok", payload[0]
+            if ctx.injector is not None:
+                status, probe = ctx.injector.on_message(
+                    src, dst, step, payload[0])
+            delivered = payload if status == "ok" else \
+                (None if status == "lost" else [probe, *payload[1:]])
+            if delivered is not None and _screen(delivered):
+                return delivered
+            if delivered is None:
+                # Nothing arrived: the receiver waits out the timeout.
+                if dst in clock.workers:
+                    clock.advance(dst, ctx.timeout)
+                ctx.emit(step, "timeout", worker=dst, link=(src, dst),
+                         strategy=self.name, seconds_lost=ctx.timeout,
+                         detail=f"no delivery on {src}->{dst} within "
+                                f"{ctx.timeout:.3f}s")
+            else:
+                # Poisoned payload: the receiver's NaN/Inf screen (the
+                # guardrail test) rejects it and asks for a clean copy.
+                ctx.emit(step, "corrupt_screened", worker=dst,
+                         link=(src, dst), strategy=self.name,
+                         detail="non-finite gradient payload rejected")
+            if attempt >= ctx.max_retries:
+                raise ExchangeError(
+                    f"link {src}->{dst} failed {attempt + 1} deliveries "
+                    f"at step {step}", link=(src, dst))
+            delay = ctx.backoff_for(src).delay(attempt)
+            if src in clock.workers:
+                clock.advance(src, delay)
+            attempt += 1
+            ctx.emit(step, "retransmit", worker=src, link=(src, dst),
+                     strategy=self.name, seconds_lost=delay,
+                     detail=f"attempt {attempt} after {delay:.4f}s backoff")
+
+
+class ParameterServerStrategy(_Transport):
+    """Centralized exchange: push shard gradients, pull the aggregate.
+
+    Synchronous mode: the server barriers on every shard's push,
+    aggregates canonically, and broadcasts — all replicas apply the
+    identical update. (The bounded-staleness *async* mode reuses the
+    same push/pull message plumbing but is driven by the runtime, which
+    owns the server's parameter state.)
+    """
+
+    name = "ps"
+
+    def exchange(self, ctx, step: int,
+                 contributions: list[tuple[int, int, list[np.ndarray]]],
+                 participants: list[int]) -> list[np.ndarray]:
+        for _shard, worker, grads in contributions:
+            self.push(ctx, step, worker, grads)
+        aggregated = aggregate_shards([g for _, _, g in contributions])
+        for worker in sorted(participants):
+            self.pull(ctx, step, worker, aggregated)
+        cost = ctx.cluster.ps_seconds(ctx.parameter_bytes,
+                                      len(contributions))
+        for worker in participants:
+            ctx.clock.advance(worker, cost)
+        ctx.clock.barrier(participants)
+        return aggregated
+
+    def push(self, ctx, step: int, worker: int,
+             grads: list[np.ndarray]) -> list[np.ndarray]:
+        return self._deliver(ctx, step, worker, SERVER, grads)
+
+    def pull(self, ctx, step: int, worker: int,
+             values: list[np.ndarray]) -> list[np.ndarray]:
+        return self._deliver(ctx, step, SERVER, worker, values)
+
+
+class RingAllReduceStrategy(_Transport):
+    """Decentralized exchange: 2(K-1) neighbor passes around a ring.
+
+    The ring schedule exists to carry *timing and faults*: every phase
+    sends one segment across each directed ring link, so a partitioned
+    or lossy link surfaces exactly where a real ring would stall. When a
+    link stays dead past the retry budget the collective is declared
+    broken (:class:`AllReduceBroken`) and the step falls back to the PS
+    route — a degradation the runtime records, since the PS exchange
+    serializes at the server's link.
+    """
+
+    name = "allreduce"
+
+    def exchange(self, ctx, step: int,
+                 contributions: list[tuple[int, int, list[np.ndarray]]],
+                 participants: list[int]) -> list[np.ndarray]:
+        ring = sorted(participants)
+        segments = {worker: grads
+                    for _shard, worker, grads in contributions}
+        if len(ring) > 1:
+            for _phase in range(2 * (len(ring) - 1)):
+                for index, src in enumerate(ring):
+                    dst = ring[(index + 1) % len(ring)]
+                    # The segment a worker forwards is whatever it last
+                    # reduced; any of its shard tensors stands in for
+                    # the wire payload.
+                    payload = segments.get(src) \
+                        or next(iter(segments.values()))
+                    try:
+                        self._deliver(ctx, step, src, dst, payload)
+                    except ExchangeError as exc:
+                        raise AllReduceBroken(
+                            f"ring broken at step {step}: {exc}",
+                            link=exc.link) from exc
+        aggregated = aggregate_shards([g for _, _, g in contributions])
+        cost = ctx.cluster.allreduce_seconds(ctx.parameter_bytes,
+                                             len(ring))
+        for worker in ring:
+            ctx.clock.advance(worker, cost)
+        ctx.clock.barrier(ring)
+        return aggregated
+
+
+def make_strategy(name: str):
+    """Strategy registry for the CLI and config layer."""
+    strategies = {"ps": ParameterServerStrategy,
+                  "allreduce": RingAllReduceStrategy}
+    try:
+        return strategies[name]()
+    except KeyError:
+        raise ValueError(f"unknown strategy {name!r}; expected one of "
+                         f"{sorted(strategies)}") from None

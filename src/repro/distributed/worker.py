@@ -1,0 +1,116 @@
+"""One data-parallel worker: a forked session plus gradient plumbing.
+
+The executed runtime never feeds gradients through placeholders (only
+placeholders are feedable) and never mutates the workload graph.
+Instead it exploits the optimizer's structure: ``model.train_step`` is a
+``Group`` over per-variable ``Apply*`` update ops, each of which takes
+its gradient as ``inputs[0]`` and reads/writes its variable through the
+run context. That gives two primitives:
+
+* **extract** — fetching ``[loss] + [apply.inputs[0] ...]`` runs the
+  forward and backward passes but *not* the updates, yielding the local
+  gradients;
+* **apply** — calling ``apply_op.compute((aggregated_grad,), ctx)``
+  performs the exact update the graph would have, including optimizer
+  slot state (momenta, Adam moments), against the worker's session.
+
+Because every worker applies the identical canonically-aggregated
+gradients, all replicas hold bit-identical parameters after every
+synchronous step — the invariant the whole fault-tolerance story
+(backup mirrors, checkpoint-from-any-worker, join-by-fork) leans on.
+
+Stochastic graph ops (dropout, the VAE's reparameterization sample)
+draw from the session RNG, so the runtime pins the RNG state per
+``(step, shard)`` before each gradient computation: shard ``s`` of step
+``t`` produces the same draws no matter which worker — primary, backup
+mirror, restarted replacement, or the single-worker reference — runs it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework.optimizers import _ApplyOp
+from repro.framework.session import Session, SessionSnapshot
+from repro.workloads.base import FathomModel
+
+
+def training_targets(model: FathomModel) -> list[_ApplyOp]:
+    """The per-variable ``Apply*`` update ops behind ``train_step``."""
+    group = model.train_step.op
+    applies = [t.op for t in group.inputs]
+    bad = [op.name for op in applies if not isinstance(op, _ApplyOp)]
+    if bad:
+        raise TypeError(
+            f"{model.name}: train_step groups non-update ops {bad[:3]}; "
+            f"the distributed runtime needs Apply* updates")
+    return applies
+
+
+def shard_rng_state(seed: int, step: int, shard: int) -> dict:
+    """The pinned RNG state for one ``(step, shard)`` computation."""
+    sequence = np.random.SeedSequence(seed, spawn_key=(step, shard))
+    return np.random.default_rng(sequence).bit_generator.state
+
+
+class ClusterWorker:
+    """A live worker: session fork + compiled gradient fetch set."""
+
+    def __init__(self, worker_id: int, model: FathomModel, seed: int = 0):
+        self.id = int(worker_id)
+        self.model = model
+        self.seed = int(seed)
+        #: shard index this worker computes (reassigned on re-sharding;
+        #: backups mirror a primary's shard)
+        self.shard: int = self.id
+        self.alive = True
+        self.applies = training_targets(model)
+        self._fetches = [model.loss] + [op.inputs[0] for op in self.applies]
+        self.session: Session = model.session.fork(seed=seed)
+
+    # -- compute -----------------------------------------------------------
+
+    def compute_gradients(self, feed: dict, step: int,
+                          shard: int) -> tuple[float, list[np.ndarray]]:
+        """One local forward/backward pass on a shard; no update applied.
+
+        The session RNG is pinned to ``(data_seed, step, shard)`` first,
+        so the result is a pure function of the shard, not the worker.
+        """
+        self.session.rng.bit_generator.state = \
+            shard_rng_state(self.seed, step, shard)
+        results = self.session.run(self._fetches, feed_dict=feed)
+        return float(np.asarray(results[0])), results[1:]
+
+    def apply_update(self, aggregated: list[np.ndarray]) -> None:
+        """Apply canonically-aggregated gradients through the Apply* ops."""
+        ctx = self.session._ctx
+        for apply_op, grad in zip(self.applies, aggregated):
+            apply_op.compute((grad,), ctx)
+
+    def pull_from(self, other: "ClusterWorker") -> None:
+        """Adopt another replica's parameters (async PS pull).
+
+        Both sessions are forks over the same graph, so the id-keyed
+        variable stores line up; optimizer slot state travels too.
+        """
+        self.session._variables.clear()
+        self.session._variables.update(
+            {key: value.copy()
+             for key, value in other.session._variables.items()})
+        self.session._variable_ops.clear()
+        self.session._variable_ops.update(other.session._variable_ops)
+
+    # -- state -------------------------------------------------------------
+
+    def snapshot(self) -> SessionSnapshot:
+        return self.session.state_snapshot()
+
+    def restore(self, snapshot: SessionSnapshot) -> None:
+        self.session.restore_snapshot(snapshot)
+
+    def replace_session(self, snapshot: SessionSnapshot) -> None:
+        """Restart after a crash: fresh fork, state from the snapshot."""
+        self.session = self.model.session.fork(seed=self.seed)
+        self.session.restore_snapshot(snapshot)
+        self.alive = True

@@ -1,0 +1,67 @@
+"""Injectable clocks: time is a dependency, not an ambient global.
+
+Every robustness layer in this repo — the resilient training runner, the
+serving engine, and the distributed cluster runtime — treats timing as
+part of its *semantics*: watchdogs, backoff sleeps, deadlines, straggler
+detection, and message timeouts all change behaviour. Chaos tests can
+only be deterministic if all of that timing flows through an injectable
+clock object rather than ad-hoc ``time.perf_counter()`` calls.
+
+Two implementations share the ``now()``/``sleep()`` protocol:
+
+* :class:`SystemClock` — the real thing (``time.monotonic`` +
+  ``time.sleep``), used in production runs;
+* :class:`VirtualClock` — a manually-advanced clock where ``sleep`` *is*
+  the advancement, used by the chaos suites so injected stalls and
+  backoff waits cost no wall time and every latency is an exact function
+  of the fault schedule.
+
+(The serving layer re-exports both for backward compatibility; the
+cluster runtime builds its per-worker :class:`~repro.distributed.clock.
+ClusterClock` on the same protocol.)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """The injectable-time protocol shared by all robustness layers."""
+
+    def now(self) -> float:  # pragma: no cover - protocol
+        ...
+
+    def sleep(self, seconds: float) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class VirtualClock:
+    """A manually-advanced clock for deterministic robustness tests.
+
+    ``sleep`` *is* the advancement: injected stalls, breaker waits,
+    backoff delays, and load-generator pacing all move virtual time
+    forward, and nothing else does — so latencies, watchdog verdicts,
+    and deadline outcomes are exact functions of the fault schedule.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.time = float(start)
+
+    def now(self) -> float:
+        return self.time
+
+    def sleep(self, seconds: float) -> None:
+        self.time += max(0.0, float(seconds))
+
+
+class SystemClock:
+    """The real thing: ``time.monotonic`` + ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)

@@ -40,6 +40,10 @@ FAULT_KINDS = ("exception", "nan", "latency", "feed")
 #: fault kinds injected at the *serving* layer (see ServingFaultPlan)
 SERVING_FAULT_KINDS = ("replica_crash", "slow_replica", "poisoned_batch")
 
+#: fault kinds injected at the *cluster* layer (see ClusterFaultPlan)
+CLUSTER_FAULT_KINDS = ("worker_crash", "straggler", "partition",
+                       "lost_gradient", "corrupt_gradient")
+
 
 class InjectedFault(ExecutionError):
     """A deliberately injected, transient operation failure.
@@ -229,6 +233,226 @@ class FaultInjector:
         self.step += 1
 
     # -- reporting ---------------------------------------------------------
+
+    @property
+    def num_injected(self) -> int:
+        return len(self.events)
+
+    def signature(self) -> tuple:
+        """Hashable summary of everything injected, for determinism checks."""
+        return tuple((e.step, e.op_name, e.kind, e.spec_index)
+                     for e in self.events)
+
+
+# -- cluster-path faults ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterFaultSpec:
+    """One declarative fault against the data-parallel cluster runtime.
+
+    Where :class:`FaultSpec` targets individual operations and
+    :class:`ServingFaultSpec` targets replica batches, a cluster fault
+    targets the *machinery of distributed training* — workers, links,
+    and the gradient messages crossing them
+    (see :mod:`repro.distributed`). Kinds:
+
+    * ``worker_crash`` — a worker dies mid-step, before its gradient is
+      exchanged; the cluster restarts it and recovers all workers from
+      the last coordinated checkpoint, then replays.
+    * ``straggler`` — a worker's compute phase is delayed by
+      ``delay_seconds`` of cluster-clock time (models a slow machine;
+      provokes drop-slowest backup-worker semantics and straggler
+      events).
+    * ``partition`` — a worker↔worker link drops every message for
+      ``duration_steps`` global steps (models a network partition;
+      provokes timeout + retransmit and, when retries exhaust,
+      degradation from ring all-reduce to the parameter-server path).
+    * ``lost_gradient`` — one gradient message vanishes in flight
+      (timeout + seeded-jitter retransmit recovers it).
+    * ``corrupt_gradient`` — a gradient message arrives NaN/Inf-poisoned
+      (``payload``); the receiver's guardrail screen rejects it and
+      requests a retransmit.
+
+    Args:
+        kind: one of :data:`CLUSTER_FAULT_KINDS`.
+        worker: only fault this worker id (``None`` = any worker).
+        link: only fault this directed ``(src, dst)`` worker link
+            (``partition``/``lost_gradient``/``corrupt_gradient``;
+            ``None`` = any link, with ``worker`` matching the sender).
+        step: only fault during this global training step
+            (``None`` = any step).
+        duration_steps: how many global steps a ``partition`` stays up.
+        probability: chance of firing when all targets match; draws come
+            from the plan's seeded generator, so they are reproducible.
+        max_triggers: stop firing after this many injections
+            (``None`` = unlimited).
+        delay_seconds: compute delay for ``straggler`` faults
+            (cluster-clock seconds, not wall time).
+        payload: ``"nan"`` or ``"inf"`` — the poison for
+            ``corrupt_gradient`` faults.
+    """
+
+    kind: str
+    worker: int | None = None
+    link: tuple[int, int] | None = None
+    step: int | None = None
+    duration_steps: int = 1
+    probability: float = 1.0
+    max_triggers: int | None = 1
+    delay_seconds: float = 0.5
+    payload: str = "nan"
+
+    def __post_init__(self):
+        if self.kind not in CLUSTER_FAULT_KINDS:
+            raise ValueError(
+                f"unknown cluster fault kind {self.kind!r}; expected one "
+                f"of {CLUSTER_FAULT_KINDS}")
+        if self.payload not in ("nan", "inf"):
+            raise ValueError(
+                f"payload must be 'nan' or 'inf', got {self.payload!r}")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1], got {self.probability}")
+        if self.duration_steps < 1:
+            raise ValueError(
+                f"duration_steps must be >= 1, got {self.duration_steps}")
+        if self.link is not None:
+            object.__setattr__(self, "link",
+                               (int(self.link[0]), int(self.link[1])))
+
+    @property
+    def poison_value(self) -> float:
+        return float("nan") if self.payload == "nan" else float("inf")
+
+
+@dataclass(frozen=True)
+class ClusterFaultPlan:
+    """An immutable, seedable schedule of cluster faults.
+
+    Hand it to :class:`repro.distributed.runtime.ClusterRuntime`; the
+    runtime builds the injector so injected delays advance the cluster
+    clock deterministically.
+    """
+
+    specs: tuple[ClusterFaultSpec, ...]
+    seed: int = 0
+
+    def __init__(self, specs, seed: int = 0):
+        object.__setattr__(self, "specs", tuple(specs))
+        object.__setattr__(self, "seed", int(seed))
+
+    def injector(self) -> "ClusterFaultInjector":
+        return ClusterFaultInjector(self)
+
+
+class ClusterFaultInjector:
+    """Executes a :class:`ClusterFaultPlan` against a cluster run.
+
+    The runtime consults three hook points: :meth:`should_crash` and
+    :meth:`compute_delay` during each worker's compute phase, and
+    :meth:`on_message` for every gradient/parameter message crossing a
+    link. Like the other injectors, everything is deterministic given
+    ``(plan, seed)``; fired faults are recorded as
+    :class:`InjectionEvent` entries with ``op_name`` set to
+    ``"worker:<id>"`` or ``"link:<src>-><dst>"``.
+    """
+
+    def __init__(self, plan: ClusterFaultPlan):
+        self.plan = plan
+        self.events: list[InjectionEvent] = []
+        self._rng = np.random.default_rng(plan.seed)
+        self._triggers = [0] * len(plan.specs)
+        #: active partitions: (src, dst) -> step the partition heals at
+        self._partitions: dict[tuple[int, int], int] = {}
+
+    def _matches(self, index: int, spec: ClusterFaultSpec, step: int,
+                 worker: int | None = None,
+                 link: tuple[int, int] | None = None) -> bool:
+        if (spec.max_triggers is not None
+                and self._triggers[index] >= spec.max_triggers):
+            return False
+        if spec.step is not None and spec.step != step:
+            return False
+        if spec.worker is not None:
+            sender = link[0] if link is not None else worker
+            if spec.worker != sender:
+                return False
+        if spec.link is not None and spec.link != link:
+            return False
+        if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+            return False
+        return True
+
+    def _fire(self, index: int, spec: ClusterFaultSpec, step: int,
+              target: str) -> None:
+        self._triggers[index] += 1
+        self.events.append(InjectionEvent(
+            step=step, op_name=target, kind=spec.kind, spec_index=index))
+
+    # -- runtime hook points -------------------------------------------------
+
+    def should_crash(self, worker: int, step: int) -> bool:
+        """True if ``worker`` crashes during this step's compute phase."""
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind == "worker_crash" \
+                    and self._matches(index, spec, step, worker=worker):
+                self._fire(index, spec, step, f"worker:{worker}")
+                return True
+        return False
+
+    def compute_delay(self, worker: int, step: int) -> float:
+        """Extra cluster-clock seconds added to a worker's compute."""
+        delay = 0.0
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind == "straggler" \
+                    and self._matches(index, spec, step, worker=worker):
+                self._fire(index, spec, step, f"worker:{worker}")
+                delay += spec.delay_seconds
+        return delay
+
+    def on_message(self, src: int, dst: int, step: int,
+                   value: np.ndarray | None = None):
+        """Outcome of one message crossing the ``src -> dst`` link.
+
+        Returns ``("ok", value)``, ``("lost", None)`` for a dropped
+        message (partition or lost_gradient), or ``("corrupt",
+        poisoned)`` for an in-flight payload corruption. Partitions are
+        sticky: once fired, the link stays dead until ``duration_steps``
+        global steps have passed, so retransmits inside the window fail
+        deterministically.
+        """
+        link = (src, dst)
+        heals_at = self._partitions.get(link)
+        if heals_at is not None:
+            if step < heals_at:
+                return "lost", None
+            del self._partitions[link]
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind == "partition" \
+                    and self._matches(index, spec, step, link=link):
+                self._fire(index, spec, step, f"link:{src}->{dst}")
+                self._partitions[link] = step + spec.duration_steps
+                return "lost", None
+            if spec.kind == "lost_gradient" \
+                    and self._matches(index, spec, step, link=link):
+                self._fire(index, spec, step, f"link:{src}->{dst}")
+                return "lost", None
+            if spec.kind == "corrupt_gradient" \
+                    and self._matches(index, spec, step, link=link) \
+                    and value is not None:
+                self._fire(index, spec, step, f"link:{src}->{dst}")
+                poisoned = np.asarray(value).copy()
+                if np.issubdtype(poisoned.dtype, np.floating) \
+                        and poisoned.size:
+                    poisoned.reshape(-1)[0] = spec.poison_value
+                return "corrupt", poisoned
+        return "ok", value
+
+    def link_partitioned(self, src: int, dst: int, step: int) -> bool:
+        """True if an already-fired partition still covers this link."""
+        heals_at = self._partitions.get((src, dst))
+        return heals_at is not None and step < heals_at
 
     @property
     def num_injected(self) -> int:

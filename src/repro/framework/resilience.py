@@ -35,13 +35,13 @@ from __future__ import annotations
 
 import math
 import os
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Protocol
 
 import numpy as np
 
 from . import checkpoint as checkpoint_lib
+from .clock import SystemClock
 from .errors import ExecutionError, FrameworkError
 from .session import (DegradationEvent, GuardrailPolicy, HealingConfig,
                       HealingPolicy)
@@ -101,22 +101,45 @@ class BackoffPolicy:
     a private generator seeded with ``(seed, spawn_key)`` — so two
     policies built from the same config produce identical delay
     sequences, and recovery traces reproduce run-to-run. Shared by the
-    :class:`ResilientRunner` retry loop and the serving layer's
-    circuit breakers (:mod:`repro.serving.breaker`).
+    :class:`ResilientRunner` retry loop, the serving layer's circuit
+    breakers (:mod:`repro.serving.breaker`), and the distributed
+    runtime's retransmit loops (:mod:`repro.distributed`).
+
+    When one config fans out across many workers, build each worker's
+    policy with :meth:`for_worker` — the worker id becomes part of the
+    spawn key, so the jitter streams are *independent* and a retry
+    storm de-synchronizes instead of having every worker sleep the
+    identical jittered delay and stampede the network in lockstep.
     """
 
     def __init__(self, base: float, factor: float = 2.0,
                  jitter: float = 0.1, seed: int = 0,
                  max_delay: float | None = None,
-                 spawn_key: int = 0xB0FF):
+                 spawn_key: int | tuple[int, ...] = 0xB0FF):
         self.base = base
         self.factor = factor
         self.jitter = jitter
         self.max_delay = max_delay
+        if isinstance(spawn_key, int):
+            spawn_key = (spawn_key,)
         self._rng = np.random.default_rng(
-            np.random.SeedSequence(seed, spawn_key=(spawn_key,)))
+            np.random.SeedSequence(seed, spawn_key=tuple(spawn_key)))
         #: every jittered delay drawn, for reproducibility assertions
         self.delays: list[float] = []
+
+    @classmethod
+    def for_worker(cls, worker_id: int, base: float, factor: float = 2.0,
+                   jitter: float = 0.1, seed: int = 0,
+                   max_delay: float | None = None) -> "BackoffPolicy":
+        """A policy whose jitter stream is private to ``worker_id``.
+
+        Two workers built from the same config draw *different* (but
+        individually reproducible) delay sequences; the same worker id
+        always reproduces the same stream.
+        """
+        return cls(base=base, factor=factor, jitter=jitter, seed=seed,
+                   max_delay=max_delay,
+                   spawn_key=(0xB0FF, int(worker_id) + 1))
 
     def delay(self, attempt: int) -> float:
         delay = self.base * self.factor ** attempt
@@ -199,10 +222,16 @@ class ResilientRunner:
 
     def __init__(self, model: TrainableModel,
                  config: ResilienceConfig | None = None,
-                 tracer: Any | None = None):
+                 tracer: Any | None = None, clock: Any | None = None):
         self.model = model
         self.config = config or ResilienceConfig()
         self.tracer = tracer
+        # All step/attempt timing and backoff sleeping flows through an
+        # injectable clock (now()/sleep()), matching the serving path's
+        # design — so chaos runs under a VirtualClock are fully
+        # deterministic: watchdog verdicts and seconds_lost become exact
+        # functions of the fault schedule instead of wall-clock noise.
+        self.clock = clock if clock is not None else SystemClock()
         #: every recovery action taken, in order
         self.events: list[FailureEvent] = []
         #: every self-healing action taken (tier drops, quarantines,
@@ -289,9 +318,9 @@ class ResilientRunner:
         for step in range(steps):
             feed = self.model.sample_feed(training=True)
             snapshot = session.state_snapshot()
-            step_start = time.perf_counter()
+            step_start = self.clock.now()
             losses.append(self._run_step(step, feed, snapshot))
-            elapsed = time.perf_counter() - step_start
+            elapsed = self.clock.now() - step_start
             if (config.watchdog_seconds is not None
                     and elapsed > config.watchdog_seconds):
                 self._emit(FailureEvent(
@@ -310,7 +339,7 @@ class ResilientRunner:
         config = self.config
         attempt = 0
         while True:
-            attempt_start = time.perf_counter()
+            attempt_start = self.clock.now()
             try:
                 loss_value, _ = session.run(
                     [self.model.loss, self.model.train_step],
@@ -324,7 +353,7 @@ class ResilientRunner:
                     self.healing.on_success(step)
                 return loss_value
             except (ExecutionError, NonFiniteLossError) as exc:
-                lost = time.perf_counter() - attempt_start
+                lost = self.clock.now() - attempt_start
                 if self.healing is not None \
                         and isinstance(exc, ExecutionError):
                     # Blame-localize and maybe demote/quarantine before
@@ -345,7 +374,7 @@ class ResilientRunner:
                         detail=str(exc)))
                     delay = self.backoff_delay(attempt - 1)
                     if delay:
-                        time.sleep(delay)
+                        self.clock.sleep(delay)
                     continue
                 if isinstance(exc, NonFiniteLossError):
                     # Persistently poisoned step: drop the update rather

@@ -74,7 +74,8 @@ class SavedTrace:
     def failure_events(self, kind: str | None = None) -> list:
         events = [e for e in self.events
                   if not hasattr(e, "pass_name")
-                  and not hasattr(e, "outcome")]
+                  and not hasattr(e, "outcome")
+                  and not hasattr(e, "worker")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]
@@ -89,6 +90,13 @@ class SavedTrace:
     def serving_events(self, kind: str | None = None) -> list:
         """Serving SLO events persisted with the trace, in emit order."""
         events = [e for e in self.events if hasattr(e, "outcome")]
+        if kind is None:
+            return events
+        return [e for e in events if e.kind == kind]
+
+    def cluster_events(self, kind: str | None = None) -> list:
+        """Distributed-training events persisted with the trace."""
+        events = [e for e in self.events if hasattr(e, "worker")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]
@@ -127,8 +135,16 @@ def save_trace(tracer: Tracer, path: str | os.PathLike,
     failure_blobs: list[dict] = []
     degradation_blobs: list[dict] = []
     serving_blobs: list[dict] = []
+    cluster_blobs: list[dict] = []
     for seq, e in enumerate(getattr(tracer, "events", [])):
-        if hasattr(e, "pass_name"):
+        if hasattr(e, "worker"):
+            cluster_blobs.append(
+                {"seq": seq, "step": e.step, "kind": e.kind,
+                 "worker": e.worker,
+                 "link": list(e.link) if e.link is not None else None,
+                 "strategy": e.strategy, "seconds_lost": e.seconds_lost,
+                 "detail": e.detail})
+        elif hasattr(e, "pass_name"):
             degradation_blobs.append(
                 {"seq": seq, "step": e.step, "kind": e.kind,
                  "op": e.op_name, "tier": e.tier, "pass": e.pass_name,
@@ -155,6 +171,7 @@ def save_trace(tracer: Tracer, path: str | os.PathLike,
                   "failure_events": failure_blobs,
                   "degradation_events": degradation_blobs,
                   "serving_events": serving_blobs,
+                  "cluster_events": cluster_blobs,
                   # plan-compilation summaries (pass stats, memory plan)
                   "compile_records": list(
                       getattr(tracer, "compile_records", [])),
@@ -220,6 +237,17 @@ def load_trace(path: str | os.PathLike) -> SavedTrace:
                 outcome=blob.get("outcome"), replica=blob.get("replica"),
                 latency_ms=blob.get("latency_ms", 0.0),
                 deadline_ms=blob.get("deadline_ms", 0.0),
+                seconds_lost=blob.get("seconds_lost", 0.0),
+                detail=blob.get("detail", ""))))
+    if header.get("cluster_events"):
+        from repro.distributed.events import ClusterEvent
+        for blob in header["cluster_events"]:
+            link = blob.get("link")
+            tagged.append((blob.get("seq", len(tagged)), ClusterEvent(
+                step=blob["step"], kind=blob["kind"],
+                worker=blob.get("worker"),
+                link=tuple(link) if link is not None else None,
+                strategy=blob.get("strategy"),
                 seconds_lost=blob.get("seconds_lost", 0.0),
                 detail=blob.get("detail", ""))))
     tagged.sort(key=lambda pair: pair[0])

@@ -111,14 +111,16 @@ class Tracer:
     def failure_events(self, kind: str | None = None) -> list:
         """Recovery events recorded so far, optionally filtered by kind.
 
-        Degradation events (which carry a ``pass_name`` field) and
-        serving events (which carry an ``outcome`` field) share the
-        ``record_event`` hook but are reported separately via
-        :meth:`degradation_events` and :meth:`serving_events`.
+        Degradation events (which carry a ``pass_name`` field), serving
+        events (``outcome`` field), and cluster events (``worker``
+        field) share the ``record_event`` hook but are reported
+        separately via :meth:`degradation_events`,
+        :meth:`serving_events`, and :meth:`cluster_events`.
         """
         events = [e for e in self.events
                   if not hasattr(e, "pass_name")
-                  and not hasattr(e, "outcome")]
+                  and not hasattr(e, "outcome")
+                  and not hasattr(e, "worker")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]
@@ -145,6 +147,18 @@ class Tracer:
         field.
         """
         events = [e for e in self.events if hasattr(e, "outcome")]
+        if kind is None:
+            return events
+        return [e for e in events if e.kind == kind]
+
+    def cluster_events(self, kind: str | None = None) -> list:
+        """Distributed-training events (checkpoints, crashes, stragglers,
+        retransmits, fallbacks, membership — see
+        :class:`repro.distributed.events.ClusterEvent`). Distinguished
+        from the other event families by duck-typing on the ``worker``
+        field.
+        """
+        events = [e for e in self.events if hasattr(e, "worker")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]

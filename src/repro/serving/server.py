@@ -29,12 +29,14 @@ stalls — from a :class:`VirtualClock` and stay deterministic.
 from __future__ import annotations
 
 import dataclasses
-import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 import numpy as np
 
+# Clocks live in framework.clock so the resilience and distributed
+# layers can share them; re-exported here for backward compatibility.
+from repro.framework.clock import SystemClock, VirtualClock
 from repro.framework.errors import ExecutionError, ReplicaCrashError, \
     ServingError
 from repro.framework.session import HealingConfig
@@ -44,39 +46,12 @@ from .breaker import BreakerConfig
 from .events import PendingRequest, Reply, ServingEvent
 from .replica import Replica
 
+__all__ = ["InferenceServer", "ServingConfig", "SystemClock",
+           "VirtualClock"]
+
 #: small epsilon added when sleeping toward a breaker's reopen time,
 #: so the subsequent availability check is strictly past the boundary
 _REOPEN_EPSILON = 1e-6
-
-
-class VirtualClock:
-    """A manually-advanced clock for deterministic serving tests.
-
-    ``sleep`` *is* the advancement: injected stalls, breaker waits, and
-    load-generator pacing all move virtual time forward, and nothing
-    else does — so latencies and deadline outcomes are exact functions
-    of the fault schedule.
-    """
-
-    def __init__(self, start: float = 0.0):
-        self.time = float(start)
-
-    def now(self) -> float:
-        return self.time
-
-    def sleep(self, seconds: float) -> None:
-        self.time += max(0.0, float(seconds))
-
-
-class SystemClock:
-    """The real thing: ``time.monotonic`` + ``time.sleep``."""
-
-    def now(self) -> float:
-        return time.monotonic()
-
-    def sleep(self, seconds: float) -> None:
-        if seconds > 0:
-            time.sleep(seconds)
 
 
 @dataclass

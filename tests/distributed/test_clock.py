@@ -1,0 +1,79 @@
+"""Cluster clock and interconnect pricing."""
+
+import pytest
+
+from repro.distributed import SERVER, ClusterClock, ClusterModel
+
+
+class TestClusterClock:
+
+    def test_advance_and_barrier(self):
+        clock = ClusterClock([0, 1, 2])
+        clock.advance(0, 1.0)
+        clock.advance(1, 3.0)
+        frontier = clock.barrier()
+        assert frontier == 3.0
+        assert all(clock.now(w) == 3.0 for w in clock.workers)
+
+    def test_partial_barrier_leaves_others(self):
+        clock = ClusterClock([0, 1, 2])
+        clock.advance(2, 5.0)
+        clock.advance(0, 1.0)
+        clock.barrier([0, 1])
+        assert clock.now(0) == clock.now(1) == 1.0
+        assert clock.now(2) == 5.0
+
+    def test_joiner_starts_at_frontier(self):
+        clock = ClusterClock([0])
+        clock.advance(0, 2.0)
+        clock.add_worker(7)
+        assert clock.now(7) == 2.0
+
+    def test_negative_advance_clamped(self):
+        clock = ClusterClock([0])
+        clock.advance(0, -1.0)
+        assert clock.now(0) == 0.0
+
+    def test_elapsed_is_furthest_timeline(self):
+        clock = ClusterClock([0, 1])
+        clock.advance(1, 4.0)
+        assert clock.elapsed() == 4.0
+
+    def test_remove_worker(self):
+        clock = ClusterClock([0, 1])
+        clock.remove_worker(1)
+        assert clock.workers == [0]
+
+    def test_worker_view_implements_clock_protocol(self):
+        clock = ClusterClock([3])
+        view = clock.for_worker(3)
+        assert view.now() == 0.0
+        view.sleep(0.5)
+        assert view.now() == 0.5
+        assert clock.now(3) == 0.5
+
+
+class TestClusterModel:
+
+    def test_single_worker_exchanges_are_free(self):
+        model = ClusterModel()
+        assert model.allreduce_seconds(1e6, 1) == 0.0
+        assert model.ps_seconds(1e6, 1) == 0.0
+
+    def test_ps_serializes_at_the_server_link(self):
+        # Beyond two workers the ring's 2(K-1)/K volume beats the
+        # server's 2K volume — the fallback must be a real degradation.
+        model = ClusterModel()
+        for workers in (4, 8, 16):
+            assert model.ps_seconds(1e7, workers) > \
+                model.allreduce_seconds(1e7, workers)
+
+    def test_allreduce_volume_grows_sublinearly(self):
+        model = ClusterModel(latency=0.0)
+        # 2(K-1)/K -> 2: doubling K beyond a few workers barely moves it
+        t8 = model.allreduce_seconds(1e7, 8)
+        t16 = model.allreduce_seconds(1e7, 16)
+        assert t16 / t8 == pytest.approx(1.0, abs=0.08)
+
+    def test_server_id_is_not_a_worker_id(self):
+        assert SERVER == -1

@@ -1,0 +1,75 @@
+"""Elastic membership plans and their execution."""
+
+import pytest
+
+from repro import workloads
+from repro.distributed import (ClusterConfig, ClusterRuntime,
+                               MembershipChange, MembershipPlan,
+                               single_worker_reference)
+
+
+class TestMembershipPlan:
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError, match="action"):
+            MembershipChange(1, "promote", 0)
+
+    def test_changes_sorted_and_filtered(self):
+        plan = MembershipPlan([MembershipChange(3, "leave", 0),
+                               MembershipChange(1, "join", 5)])
+        assert plan.changes[0].step == 1
+        assert [c.worker for c in plan.changes_at(3)] == [0]
+        assert plan.changes_at(2) == []
+
+    def test_elastic_helper(self):
+        plan = MembershipPlan.elastic(1, 3, joiner=5, leaver=0)
+        assert len(plan.changes) == 2
+
+
+class TestElasticRuntime:
+
+    def make_runtime(self, membership):
+        model = workloads.create("memnet", config="tiny", seed=0)
+        return ClusterRuntime(model, config=ClusterConfig(workers=2,
+                                                          seed=0),
+                              membership=membership)
+
+    def test_join_and_leave_emit_events_and_reshard(self):
+        runtime = self.make_runtime(MembershipPlan.elastic(
+            1, 3, joiner=5, leaver=0))
+        result = runtime.run(4)
+        kinds = [e.kind for e in result.events]
+        assert kinds == ["join", "reshard", "leave", "reshard"]
+        assert len(result.losses) == 4
+
+    def test_joiner_participates_in_sharding(self):
+        runtime = self.make_runtime(MembershipPlan(
+            [MembershipChange(1, "join", 9)]))
+        runtime.run(2)
+        assert sorted(runtime.workers) == [0, 1, 9]
+        shards = sorted(w.shard for w in runtime.workers.values())
+        assert shards == [0, 1, 2]
+
+    def test_steady_membership_matches_reference(self):
+        # A join at step 1 re-shards 2 -> 3; the first step must still be
+        # bit-identical to a 2-shard single-worker step.
+        runtime = self.make_runtime(MembershipPlan(
+            [MembershipChange(1, "join", 2)]))
+        result = runtime.run(1)
+        reference = workloads.create("memnet", config="tiny", seed=0)
+        ref_losses, _ = single_worker_reference(reference, 1, 2, seed=0)
+        assert result.losses == ref_losses
+
+    def test_removing_last_primary_rejected(self):
+        model = workloads.create("memnet", config="tiny", seed=0)
+        runtime = ClusterRuntime(
+            model, config=ClusterConfig(workers=1, seed=0),
+            membership=MembershipPlan([MembershipChange(0, "leave", 0)]))
+        with pytest.raises(ValueError, match="last primary"):
+            runtime.run(1)
+
+    def test_duplicate_join_rejected(self):
+        runtime = self.make_runtime(MembershipPlan(
+            [MembershipChange(0, "join", 1)]))
+        with pytest.raises(ValueError, match="already a member"):
+            runtime.run(1)

@@ -1,0 +1,152 @@
+"""Cluster runtime units: recovery, backups, checkpoints, async mode."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import workloads
+from repro.distributed import (ClusterConfig, ClusterRuntime,
+                               modeled_step_seconds, restore_cluster,
+                               single_worker_reference)
+from repro.framework.faults import ClusterFaultPlan, ClusterFaultSpec
+
+WORKLOAD = "memnet"
+
+
+def make_model():
+    return workloads.create(WORKLOAD, config="tiny", seed=0)
+
+
+def named_params(worker):
+    session = worker.session
+    return {session._variable_ops[key].name: value
+            for key, value in session._variables.items()}
+
+
+def params_equal(a, b):
+    names_a, names_b = named_params(a), named_params(b)
+    return set(names_a) == set(names_b) and all(
+        np.array_equal(names_a[name], names_b[name]) for name in names_a)
+
+
+def run_cluster(steps=3, faults=None, **kw):
+    config = ClusterConfig(seed=0, **{"workers": 2, **kw})
+    runtime = ClusterRuntime(make_model(), config=config, faults=faults)
+    return runtime, runtime.run(steps)
+
+
+class TestFaultFree:
+
+    def test_all_replicas_bit_identical_after_every_run(self):
+        runtime, _ = run_cluster(workers=3)
+        workers = list(runtime.workers.values())
+        assert all(params_equal(workers[0], w) for w in workers[1:])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            ClusterConfig(workers=0)
+        with pytest.raises(ValueError, match="staleness"):
+            ClusterConfig(strategy="allreduce", staleness=2)
+
+    def test_modeled_compute_price_is_deterministic(self):
+        assert modeled_step_seconds(make_model()) == \
+            modeled_step_seconds(make_model())
+
+    def test_elapsed_time_accumulates(self):
+        _, result = run_cluster()
+        assert result.elapsed_seconds > 0.0
+
+    def test_result_json_round_trips(self):
+        _, result = run_cluster(faults=ClusterFaultPlan(
+            [ClusterFaultSpec("worker_crash", worker=1, step=1)]))
+        blob = json.loads(json.dumps(result.to_json()))
+        assert blob["workers"] == 2
+        assert any(e["kind"] == "crash" for e in blob["events"])
+
+
+class TestCrashRecovery:
+
+    def test_crash_trajectory_matches_fault_free(self):
+        _, clean = run_cluster()
+        faults = ClusterFaultPlan(
+            [ClusterFaultSpec("worker_crash", worker=1, step=1)])
+        runtime, faulted = run_cluster(faults=faults)
+        assert faulted.losses == clean.losses
+        kinds = [e.kind for e in faulted.events]
+        assert kinds[:3] == ["crash", "restart", "recover"]
+
+    def test_recovery_restores_bit_identical_parameters(self):
+        clean_runtime, _ = run_cluster()
+        faults = ClusterFaultPlan(
+            [ClusterFaultSpec("worker_crash", worker=0, step=2)])
+        crashed_runtime, _ = run_cluster(faults=faults)
+        assert params_equal(clean_runtime.workers[0],
+                            crashed_runtime.workers[0])
+
+    def test_crash_replays_from_periodic_checkpoint(self):
+        _, clean = run_cluster(steps=5)
+        faults = ClusterFaultPlan(
+            [ClusterFaultSpec("worker_crash", worker=1, step=4)])
+        _, faulted = run_cluster(steps=5, faults=faults,
+                                 checkpoint_every=2)
+        assert faulted.losses == clean.losses
+        recover = [e for e in faulted.events if e.kind == "recover"]
+        assert "rolled back to step 4" in recover[0].detail
+
+
+class TestBackupWorkers:
+
+    def test_straggler_dropped_backup_promoted(self):
+        faults = ClusterFaultPlan(
+            [ClusterFaultSpec("straggler", worker=0, step=1,
+                              delay_seconds=5.0)])
+        _, clean = run_cluster(workers=3)
+        _, faulted = run_cluster(workers=3, backup_workers=1,
+                                 faults=faults)
+        assert faulted.losses == clean.losses
+        kinds = [e.kind for e in faulted.events]
+        assert "straggler" in kinds and "backup_promote" in kinds
+
+    def test_fault_free_backups_change_nothing(self):
+        _, plain = run_cluster()
+        _, mirrored = run_cluster(backup_workers=2)
+        assert mirrored.losses == plain.losses
+        assert [e.kind for e in mirrored.events] == []
+
+
+class TestDiskCheckpoints:
+
+    def test_persisted_checkpoint_restores_on_more_workers(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        runtime, _ = run_cluster(steps=2, checkpoint_every=2,
+                                 checkpoint_dir=directory)
+        restored, manifest = restore_cluster(
+            make_model(), directory, config=ClusterConfig(workers=4,
+                                                          seed=0))
+        assert manifest["step"] == 2
+        assert manifest["workers"] == 2
+        assert len(restored.workers) == 4
+        assert params_equal(runtime.workers[0], restored.workers[3])
+
+    def test_manifest_kind_checked(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        directory.mkdir()
+        (directory / "cluster-manifest.json").write_text(
+            json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError, match="not a cluster checkpoint"):
+            restore_cluster(make_model(), directory)
+
+
+class TestAsyncBoundedStaleness:
+
+    def test_staleness_bound_forces_pulls(self):
+        _, result = run_cluster(steps=4, staleness=1)
+        pulls = [e for e in result.events if e.kind == "staleness"]
+        assert pulls and all(e.strategy == "ps" for e in pulls)
+        # lag never exceeds the bound: a pull at least every 2 steps
+        assert all(np.isfinite(result.losses))
+
+    def test_async_converges_on_memnet(self):
+        _, result = run_cluster(steps=6, staleness=2)
+        assert result.losses[-1] < result.losses[0] * 1.2

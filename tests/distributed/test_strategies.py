@@ -1,0 +1,136 @@
+"""Gradient transports: canonical aggregation and fault handling."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (SERVER, AllReduceBroken, ClusterClock,
+                               ClusterModel, ExchangeError,
+                               ParameterServerStrategy,
+                               RingAllReduceStrategy, aggregate_shards,
+                               make_strategy)
+from repro.distributed.events import ClusterEvent
+from repro.framework.faults import ClusterFaultPlan, ClusterFaultSpec
+from repro.framework.resilience import BackoffPolicy
+
+
+class FakeContext:
+    """Minimal ExchangeContext for driving strategies directly."""
+
+    def __init__(self, workers=(0, 1), injector=None, max_retries=2):
+        self.clock = ClusterClock(list(workers) + [SERVER])
+        self.injector = injector
+        self.cluster = ClusterModel()
+        self.parameter_bytes = 4e6
+        self.timeout = 0.05
+        self.max_retries = max_retries
+        self.events = []
+        self._backoffs = {}
+
+    def emit(self, step, kind, **kw):
+        self.events.append(ClusterEvent(step=step, kind=kind, **kw))
+
+    def backoff_for(self, worker):
+        if worker not in self._backoffs:
+            self._backoffs[worker] = BackoffPolicy.for_worker(
+                worker, base=0.01, seed=0)
+        return self._backoffs[worker]
+
+    def kinds(self):
+        return [e.kind for e in self.events]
+
+
+def grads_for(workers, value=1.0):
+    return [(shard, worker,
+             [np.full((2, 2), value * (shard + 1), dtype=np.float32)])
+            for shard, worker in enumerate(workers)]
+
+
+class TestAggregateShards:
+
+    def test_mean_in_shard_order(self):
+        shards = [[np.array([2.0, 4.0], dtype=np.float32)],
+                  [np.array([4.0, 8.0], dtype=np.float32)]]
+        (mean,) = aggregate_shards(shards)
+        np.testing.assert_array_equal(mean, [3.0, 6.0])
+
+    def test_result_independent_of_list_identity(self):
+        shards = [[np.ones(3, dtype=np.float32)],
+                  [np.full(3, 2.0, dtype=np.float32)],
+                  [np.full(3, 4.0, dtype=np.float32)]]
+        a = aggregate_shards(shards)
+        b = aggregate_shards([list(s) for s in shards])
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_inputs_not_mutated(self):
+        first = np.ones(2, dtype=np.float32)
+        aggregate_shards([[first], [np.full(2, 3.0, dtype=np.float32)]])
+        np.testing.assert_array_equal(first, [1.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_shards([])
+
+
+class TestTransports:
+
+    def test_ps_and_ring_return_identical_aggregates(self):
+        contributions = grads_for([0, 1])
+        ps = ParameterServerStrategy().exchange(
+            FakeContext(), 0, contributions, [0, 1])
+        ring = RingAllReduceStrategy().exchange(
+            FakeContext(), 0, contributions, [0, 1])
+        np.testing.assert_array_equal(ps[0], ring[0])
+
+    def test_lost_message_times_out_and_retransmits(self):
+        plan = ClusterFaultPlan([ClusterFaultSpec(
+            "lost_gradient", link=(0, SERVER), step=0, max_triggers=1)])
+        ctx = FakeContext(injector=plan.injector())
+        ParameterServerStrategy().exchange(ctx, 0, grads_for([0, 1]),
+                                           [0, 1])
+        assert "timeout" in ctx.kinds() and "retransmit" in ctx.kinds()
+
+    def test_corrupt_payload_screened_and_retried(self):
+        plan = ClusterFaultPlan([ClusterFaultSpec(
+            "corrupt_gradient", link=(1, SERVER), step=0, max_triggers=1)])
+        ctx = FakeContext(injector=plan.injector())
+        aggregated = ParameterServerStrategy().exchange(
+            ctx, 0, grads_for([0, 1]), [0, 1])
+        assert "corrupt_screened" in ctx.kinds()
+        assert np.isfinite(aggregated[0]).all()
+
+    def test_exhausted_ps_link_raises_exchange_error(self):
+        plan = ClusterFaultPlan([ClusterFaultSpec(
+            "lost_gradient", link=(0, SERVER), step=0, max_triggers=None,
+            duration_steps=1)])
+        ctx = FakeContext(injector=plan.injector(), max_retries=1)
+        with pytest.raises(ExchangeError) as excinfo:
+            ParameterServerStrategy().exchange(ctx, 0, grads_for([0, 1]),
+                                               [0, 1])
+        assert excinfo.value.link == (0, SERVER)
+
+    def test_dead_ring_link_raises_allreduce_broken(self):
+        plan = ClusterFaultPlan([ClusterFaultSpec(
+            "partition", link=(0, 1), step=0, duration_steps=5,
+            max_triggers=None)])
+        ctx = FakeContext(injector=plan.injector(), max_retries=1)
+        with pytest.raises(AllReduceBroken):
+            RingAllReduceStrategy().exchange(ctx, 0, grads_for([0, 1]),
+                                             [0, 1])
+
+    def test_retransmit_charges_sender_timeout_charges_receiver(self):
+        plan = ClusterFaultPlan([ClusterFaultSpec(
+            "lost_gradient", link=(0, SERVER), step=0, max_triggers=1)])
+        ctx = FakeContext(injector=plan.injector())
+        before = ctx.clock.now(0)
+        ParameterServerStrategy().push(ctx, 0, 0, [np.ones(1,
+                                                           np.float32)])
+        assert ctx.clock.now(0) > before          # sender backoff
+        timeout = [e for e in ctx.events if e.kind == "timeout"]
+        assert timeout[0].worker == SERVER         # receiver waited
+
+    def test_registry(self):
+        assert isinstance(make_strategy("ps"), ParameterServerStrategy)
+        assert isinstance(make_strategy("allreduce"),
+                          RingAllReduceStrategy)
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_strategy("gossip")

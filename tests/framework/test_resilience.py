@@ -322,3 +322,70 @@ class TestEvents:
         error = NonFiniteLossError(4, float("nan"))
         assert "step 4" in str(error)
         assert error.step == 4
+
+
+class TestPerWorkerBackoff:
+    """Regression: per-worker jitter streams must be independent —
+    sharing one stream re-synchronizes simultaneous retransmits."""
+
+    def delays(self, policy, count=8):
+        return [policy.delay(a) for a in range(count)]
+
+    def test_distinct_workers_draw_distinct_jitter(self):
+        from repro.framework.resilience import BackoffPolicy
+        a = BackoffPolicy.for_worker(0, base=0.1, jitter=0.3, seed=0)
+        b = BackoffPolicy.for_worker(1, base=0.1, jitter=0.3, seed=0)
+        assert self.delays(a) != self.delays(b)
+
+    def test_same_worker_same_seed_reproduces(self):
+        from repro.framework.resilience import BackoffPolicy
+        first = BackoffPolicy.for_worker(2, base=0.1, jitter=0.3, seed=5)
+        second = BackoffPolicy.for_worker(2, base=0.1, jitter=0.3, seed=5)
+        assert self.delays(first) == self.delays(second)
+
+    def test_worker_stream_differs_from_default_stream(self):
+        from repro.framework.resilience import BackoffPolicy
+        worker = BackoffPolicy.for_worker(0, base=0.1, jitter=0.3, seed=0)
+        plain = BackoffPolicy(base=0.1, jitter=0.3, seed=0)
+        assert self.delays(worker) != self.delays(plain)
+
+    def test_server_id_gets_its_own_stream(self):
+        from repro.framework.resilience import BackoffPolicy
+        server = BackoffPolicy.for_worker(-1, base=0.1, jitter=0.3, seed=0)
+        worker = BackoffPolicy.for_worker(0, base=0.1, jitter=0.3, seed=0)
+        assert self.delays(server) != self.delays(worker)
+
+
+class TestInjectableClock:
+    """Satellite: the runner's wall-clock reads route through a clock."""
+
+    def test_virtual_clock_attributes_backoff_time(self, fresh_graph):
+        from repro.framework.clock import VirtualClock
+        model = ToyModel(fresh_graph)
+        model.session.fault_injector = FaultInjector(FaultPlan(
+            [FaultSpec(kind="exception", op_type="MatMul", step=1)]))
+        clock = VirtualClock()
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            max_retries=1, backoff_base=0.25, backoff_jitter=0.0),
+            clock=clock)
+        runner.run(3)
+        retries = [e for e in runner.events if e.kind == "retry"]
+        assert retries
+        # The backoff sleep advanced the virtual clock, not wall time.
+        assert clock.now() >= 0.25
+
+    def test_virtual_clock_runs_are_deterministic(self, fresh_graph):
+        from repro.framework.clock import VirtualClock
+        import repro.framework.graph as graph_module
+
+        def run_once():
+            graph_module.reset_default_graph()
+            model = ToyModel(graph_module.get_default_graph())
+            model.session.fault_injector = FaultInjector(FaultPlan(
+                [FaultSpec(kind="exception", op_type="MatMul", step=1)]))
+            runner = ResilientRunner(model, config=ResilienceConfig(
+                max_retries=1, seed=4), clock=VirtualClock())
+            losses = runner.run(3)
+            return losses, [e.signature() for e in runner.events]
+
+        assert run_once() == run_once()

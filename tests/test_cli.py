@@ -273,6 +273,38 @@ class TestCompile:
         assert "LSTM cells fused" in out
 
 
+class TestTrain:
+    def test_distributed_training(self, capsys):
+        code, out = run_cli(capsys, "train", "memnet", "--config", "tiny",
+                            "--steps", "2", "--workers", "2")
+        assert code == 0
+        assert out.count("loss") == 2
+
+    def test_verify_identity_passes(self, capsys):
+        code, _ = run_cli(capsys, "train", "memnet", "--config", "tiny",
+                          "--steps", "2", "--workers", "2",
+                          "--strategy", "allreduce", "--verify-identity")
+        assert code == 0
+
+    def test_fault_preset_with_artifacts(self, capsys, tmp_path):
+        report_path = tmp_path / "cluster.json"
+        trace_path = tmp_path / "cluster.jsonl"
+        code, _ = run_cli(capsys, "train", "memnet", "--config", "tiny",
+                          "--steps", "3", "--workers", "2",
+                          "--cluster-faults", "crash",
+                          "--verify-identity",
+                          "--report-json", str(report_path),
+                          "--trace", str(trace_path))
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["workload"] == "memnet"
+        kinds = {e["kind"] for e in report["events"]}
+        assert {"crash", "restart", "recover"} <= kinds
+        from repro.profiling.serialize import load_trace
+        loaded = load_trace(trace_path)
+        assert loaded.cluster_events("crash")
+
+
 class TestServe:
     def test_closed_loop_report(self, capsys):
         code, out = run_cli(capsys, "serve", "memnet", "--config", "tiny",

@@ -1,0 +1,146 @@
+"""Distributed chaos suite: the cluster must not perturb training.
+
+Two acceptance bars (see docs/distributed.md):
+
+* **Bit-identity** — fault-free synchronous data-parallel training must
+  be *bit-identical* to single-worker training on the same global batch
+  (gradient accumulation over the same shards), for every workload and
+  both exchange strategies.
+* **Fault transparency** — a cluster run under injected chaos (worker
+  crash mid-step, straggler with backup workers, partition forcing the
+  ring onto the PS path) must converge to exactly the fault-free loss
+  trajectory, and the same seed must reproduce the same ordered
+  ``ClusterEvent`` signature sequence.
+
+The full eight-workload matrix runs under ``pytest -m chaos``; a fast
+two-workload subset runs in the default (tier-1) suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro import workloads
+from repro.distributed import (ClusterConfig, ClusterRuntime,
+                               single_worker_reference)
+from repro.framework.faults import ClusterFaultPlan, ClusterFaultSpec
+
+TOTAL_STEPS = 3
+WORKERS = 2
+
+#: fast tier-1 subset; the chaos marker covers the full Table II matrix
+FAST_WORKLOADS = ("memnet", "autoenc")
+ALL_WORKLOADS = tuple(workloads.WORKLOADS)
+
+#: the chaos scenarios every workload must shrug off
+SCENARIOS = {
+    "crash": dict(
+        config=dict(workers=WORKERS),
+        faults=[ClusterFaultSpec("worker_crash", worker=1, step=1)]),
+    "straggler-backups": dict(
+        config=dict(workers=3, backup_workers=1),
+        faults=[ClusterFaultSpec("straggler", worker=0, step=1,
+                                 delay_seconds=5.0)]),
+    "partition-fallback": dict(
+        config=dict(workers=WORKERS, strategy="allreduce"),
+        faults=[ClusterFaultSpec("partition", link=(0, 1), step=1,
+                                 duration_steps=1)]),
+}
+
+
+def make_model(name):
+    return workloads.create(name, config="tiny", seed=0)
+
+
+def cluster_losses(name, strategy="ps", faults=None, **kw):
+    config = ClusterConfig(**{"workers": WORKERS, "strategy": strategy,
+                              "seed": 0, **kw})
+    plan = ClusterFaultPlan(faults, seed=0) if faults else None
+    runtime = ClusterRuntime(make_model(name), config=config, faults=plan)
+    return runtime.run(TOTAL_STEPS)
+
+
+def reference_losses(name, shards=WORKERS):
+    losses, _worker = single_worker_reference(make_model(name),
+                                              TOTAL_STEPS, shards, seed=0)
+    return losses
+
+
+def assert_bit_identical(name, strategy):
+    result = cluster_losses(name, strategy=strategy)
+    assert result.losses == reference_losses(name), \
+        f"{name}/{strategy}: distributed training diverged from the " \
+        f"single-worker reference"
+    assert result.events == []
+
+
+def assert_chaos_transparent(name, scenario):
+    spec = SCENARIOS[scenario]
+    clean = cluster_losses(name, **spec["config"])
+    faulted = cluster_losses(name, faults=spec["faults"],
+                             **spec["config"])
+    assert faulted.losses == clean.losses, \
+        f"{name}/{scenario}: chaos perturbed the committed trajectory"
+    assert faulted.events, f"{name}/{scenario}: no cluster events emitted"
+    # Determinism: same seed, same ordered event signature sequence.
+    replay = cluster_losses(name, faults=spec["faults"], **spec["config"])
+    assert replay.signature() == faulted.signature()
+    assert replay.injected == faulted.injected
+
+
+class TestBitIdentityFast:
+    """Tier-1: the anchor invariant on the fast subset, both strategies."""
+
+    @pytest.mark.parametrize("name", FAST_WORKLOADS)
+    @pytest.mark.parametrize("strategy", ("ps", "allreduce"))
+    def test_matches_single_worker(self, name, strategy):
+        assert_bit_identical(name, strategy)
+
+
+class TestChaosFast:
+    """Tier-1: every scenario on the fast subset."""
+
+    @pytest.mark.parametrize("name", FAST_WORKLOADS)
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_chaos_is_transparent(self, name, scenario):
+        assert_chaos_transparent(name, scenario)
+
+
+@pytest.mark.chaos
+class TestBitIdentityMatrix:
+    """All eight workloads, both strategies (pytest -m chaos)."""
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    @pytest.mark.parametrize("strategy", ("ps", "allreduce"))
+    def test_matches_single_worker(self, name, strategy):
+        assert_bit_identical(name, strategy)
+
+
+@pytest.mark.chaos
+class TestChaosMatrix:
+    """All eight workloads under every chaos scenario (pytest -m chaos)."""
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_chaos_is_transparent(self, name, scenario):
+        assert_chaos_transparent(name, scenario)
+
+
+class TestCorruptGradientScreen:
+    """Poisoned gradients must be screened, retried, and leave no trace
+    in the parameters (the serving of satellite: guardrail machinery
+    reused at the transport layer)."""
+
+    def test_poison_never_reaches_parameters(self):
+        faults = [ClusterFaultSpec("corrupt_gradient", link=(0, -1),
+                                   step=1, max_triggers=1)]
+        clean = cluster_losses("memnet")
+        poisoned = cluster_losses("memnet", faults=faults)
+        assert poisoned.losses == clean.losses
+        kinds = [e.kind for e in poisoned.events]
+        assert "corrupt_screened" in kinds and "retransmit" in kinds
+
+    def test_inf_payload_screened_too(self):
+        faults = [ClusterFaultSpec("corrupt_gradient", link=(0, -1),
+                                   step=1, max_triggers=1, payload="inf")]
+        result = cluster_losses("memnet", faults=faults)
+        assert all(np.isfinite(result.losses))
