@@ -23,6 +23,116 @@ import sys
 import numpy as np
 
 
+#: serving-fault presets for ``repro serve --fault`` (name -> one-line
+#: description; the specs are built in :func:`_serve_preset_specs`)
+SERVE_FAULT_PRESETS = {
+    "crash": "replica 0 crashes on its second batch "
+             "(restart + hedged-retry path)",
+    "slow": "replica 0 stalls 50 ms per batch, 5 times "
+            "(straggler detection)",
+    "poison": "replica 0 returns NaN-poisoned outputs, 3 times "
+              "(output screening)",
+    "storm": "crash + straggler + fleet-wide poison in one run",
+}
+
+#: fleet-fault presets for ``repro fleet --fault`` (name -> one-line
+#: description; the specs are built in :func:`_fleet_preset_specs`)
+FLEET_FAULT_PRESETS = {
+    "outage": "one zone goes dark at t=50 ms for 100 ms; queued work "
+              "re-routes to surviving zones",
+    "crash": "the two lowest-id active servers crash together at "
+             "t=40 ms (correlated failure)",
+    "blackhole": "the balancer's favourite link silently eats traffic "
+                 "for 150 ms; probes must discover it",
+    "badrollout": "the next deploy is poisoned; the canary must "
+                  "convict it and roll back",
+    "storm": "blackhole + zone outage + correlated crash + a slow "
+             "bad rollout, all in one run",
+}
+
+
+def _serve_preset_specs(name: str):
+    from repro.framework.faults import ServingFaultSpec
+    return {
+        "crash": [ServingFaultSpec("replica_crash", replica=0,
+                                   batch=1)],
+        "slow": [ServingFaultSpec("slow_replica", replica=0,
+                                  latency_seconds=0.05,
+                                  max_triggers=5)],
+        "poison": [ServingFaultSpec("poisoned_batch", replica=0,
+                                    max_triggers=3)],
+        "storm": [ServingFaultSpec("replica_crash", replica=0,
+                                   batch=1),
+                  ServingFaultSpec("slow_replica", replica=1,
+                                   latency_seconds=0.05,
+                                   max_triggers=5),
+                  ServingFaultSpec("poisoned_batch", max_triggers=3)],
+    }[name]
+
+
+def _fleet_preset_specs(name: str, zones: tuple[str, ...]):
+    from repro.framework.faults import FleetFaultSpec
+    second = zones[1] if len(zones) > 1 else zones[0]
+    return {
+        "outage": [FleetFaultSpec("zone_outage", zone=second,
+                                  at_seconds=0.05,
+                                  duration_seconds=0.1)],
+        "crash": [FleetFaultSpec("correlated_crash", count=2,
+                                 at_seconds=0.04)],
+        "blackhole": [FleetFaultSpec("lb_blackhole", at_seconds=0.02,
+                                     duration_seconds=0.15)],
+        "badrollout": [FleetFaultSpec("bad_rollout", at_seconds=0.0,
+                                      defect="poison")],
+        "storm": [FleetFaultSpec("lb_blackhole", at_seconds=0.02,
+                                 duration_seconds=0.15),
+                  FleetFaultSpec("zone_outage", zone=second,
+                                 at_seconds=0.05,
+                                 duration_seconds=0.1),
+                  FleetFaultSpec("correlated_crash", count=2,
+                                 at_seconds=0.12),
+                  FleetFaultSpec("bad_rollout", at_seconds=0.0,
+                                 defect="slow")],
+    }[name]
+
+
+def _print_presets(title: str, presets: dict[str, str]) -> int:
+    print(f"{title}:")
+    for name, description in presets.items():
+        print(f"  {name:<12s} {description}")
+    return 0
+
+
+def _check_preset(name: str, presets: dict[str, str],
+                  command: str) -> bool:
+    """Friendly validation: list what exists instead of a bare error."""
+    if name == "none" or name in presets:
+        return True
+    print(f"error: unknown fault preset {name!r} for 'repro "
+          f"{command}'. Available presets:", file=sys.stderr)
+    for known, description in presets.items():
+        print(f"  {known:<12s} {description}", file=sys.stderr)
+    return False
+
+
+def _parse_tenants(text: str):
+    """Parse ``name[:max_outstanding[:deadline_ms]],...`` tenant specs."""
+    from repro.serving import TenantSpec
+    tenants = []
+    for chunk in text.split(","):
+        parts = chunk.strip().split(":")
+        if not parts[0]:
+            raise argparse.ArgumentTypeError(
+                f"empty tenant name in {text!r}")
+        max_outstanding = int(parts[1]) if len(parts) > 1 and parts[1] \
+            else 64
+        deadline_ms = float(parts[2]) if len(parts) > 2 and parts[2] \
+            else None
+        tenants.append(TenantSpec(parts[0],
+                                  max_outstanding=max_outstanding,
+                                  deadline_ms=deadline_ms))
+    return tuple(tenants)
+
+
 def _parse_device(text: str):
     from repro.framework.device_model import cpu, gpu
     if text == "measured":
@@ -181,10 +291,19 @@ def cmd_train(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from repro.framework.faults import ServingFaultPlan, ServingFaultSpec
+    from repro.framework.faults import ServingFaultPlan
     from repro.profiling.tracer import Tracer
     from repro.serving import (LoadConfig, LoadGenerator, ServingConfig,
                                VirtualClock)
+    if args.list_presets:
+        return _print_presets("serving-fault presets (repro serve "
+                              "--fault NAME)", SERVE_FAULT_PRESETS)
+    if args.workload is None:
+        print("error: a workload is required (see 'repro list'), or "
+              "use --list-presets", file=sys.stderr)
+        return 2
+    if not _check_preset(args.fault, SERVE_FAULT_PRESETS, "serve"):
+        return 2
     model = _build(args)
     tracer = Tracer()
     clock = VirtualClock() if args.virtual_clock else None
@@ -197,24 +316,9 @@ def cmd_serve(args) -> int:
     server = model.serve(config=config, tracer=tracer, clock=clock)
     injector = None
     if args.fault != "none":
-        presets = {
-            "crash": [ServingFaultSpec("replica_crash", replica=0,
-                                       batch=1)],
-            "slow": [ServingFaultSpec("slow_replica", replica=0,
-                                      latency_seconds=0.05,
-                                      max_triggers=5)],
-            "poison": [ServingFaultSpec("poisoned_batch", replica=0,
-                                        max_triggers=3)],
-            "storm": [ServingFaultSpec("replica_crash", replica=0,
-                                       batch=1),
-                      ServingFaultSpec("slow_replica", replica=1,
-                                       latency_seconds=0.05,
-                                       max_triggers=5),
-                      ServingFaultSpec("poisoned_batch",
-                                       max_triggers=3)],
-        }
         injector = server.install_faults(
-            ServingFaultPlan(presets[args.fault], seed=args.seed))
+            ServingFaultPlan(_serve_preset_specs(args.fault),
+                             seed=args.seed))
         print(f"armed {args.fault!r} serving-fault plan", file=sys.stderr)
     generator = LoadGenerator(server, LoadConfig(
         requests=args.requests, qps=args.qps, seed=args.seed))
@@ -234,6 +338,72 @@ def cmd_serve(args) -> int:
                                      "mode": "serve", "seed": args.seed})
         print(f"wrote {args.trace}: {count} op records, "
               f"{len(tracer.serving_events())} serving events",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    from repro.framework.faults import FleetFaultPlan
+    from repro.profiling.tracer import Tracer
+    from repro.serving import (AutoscaleConfig, FleetConfig, LoadConfig,
+                               LoadGenerator, ServingConfig,
+                               ServingFleet, VirtualClock)
+    if args.list_presets:
+        return _print_presets("fleet-fault presets (repro fleet "
+                              "--fault NAME)", FLEET_FAULT_PRESETS)
+    if args.workload is None:
+        print("error: a workload is required (see 'repro list'), or "
+              "use --list-presets", file=sys.stderr)
+        return 2
+    if not _check_preset(args.fault, FLEET_FAULT_PRESETS, "fleet"):
+        return 2
+    model = _build(args)
+    tracer = Tracer()
+    clock = VirtualClock() if args.virtual_clock else None
+    zones = tuple(f"z{index}" for index in range(args.zones))
+    rollout_at = args.rollout_at
+    if rollout_at is None and args.fault in ("badrollout", "storm"):
+        # The bad_rollout fault only bites when a deploy happens; the
+        # presets that arm one also schedule one.
+        rollout_at = 0.08
+    config = FleetConfig(
+        zones=zones, servers_per_zone=args.servers_per_zone,
+        server=ServingConfig(
+            replicas=args.replicas, queue_limit=args.queue_limit,
+            default_deadline_ms=args.deadline_ms,
+            max_hedges=args.max_hedges, seed=args.seed),
+        tenants=_parse_tenants(args.tenants),
+        autoscale=AutoscaleConfig(min_servers=args.min_servers,
+                                  max_servers=args.max_servers),
+        rollout_at_seconds=rollout_at,
+        rollout_version=args.rollout_version,
+        seed=args.seed)
+    fleet = ServingFleet(model, config, tracer=tracer, clock=clock)
+    injector = None
+    if args.fault != "none":
+        injector = fleet.install_faults(FleetFaultPlan(
+            _fleet_preset_specs(args.fault, zones), seed=args.seed))
+        print(f"armed {args.fault!r} fleet-fault plan", file=sys.stderr)
+    generator = LoadGenerator(fleet, LoadConfig(
+        requests=args.requests, qps=args.qps, seed=args.seed))
+    report = generator.run()
+    print(report.render())
+    if injector is not None:
+        print(f"injected {injector.num_injected} fleet faults: "
+              f"{injector.signature()}", file=sys.stderr)
+    if args.report_json:
+        report.save(args.report_json)
+        print(f"wrote {args.report_json}", file=sys.stderr)
+    if args.trace:
+        from repro.profiling.serialize import save_trace
+        count = save_trace(tracer, args.trace,
+                           metadata={"workload": args.workload,
+                                     "config": args.config,
+                                     "mode": "fleet",
+                                     "zones": list(zones),
+                                     "seed": args.seed})
+        print(f"wrote {args.trace}: {count} op records, "
+              f"{len(tracer.fleet_events())} fleet events",
               file=sys.stderr)
     return 0
 
@@ -550,7 +720,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve_parser = commands.add_parser(
         "serve", help="robust inference serving under synthetic load")
-    serve_parser.add_argument("workload", help="workload name (see 'list')")
+    serve_parser.add_argument("workload", nargs="?", default=None,
+                              help="workload name (see 'list')")
     serve_parser.add_argument("--config", default="default",
                               choices=["tiny", "default", "paper"])
     serve_parser.add_argument("--seed", type=int, default=0)
@@ -573,10 +744,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="breaker-count batches slower than "
                                    "this (straggler detection)")
     serve_parser.add_argument("--fault", default="none",
-                              choices=["none", "crash", "slow", "poison",
-                                       "storm"],
+                              metavar="PRESET",
                               help="arm a deterministic serving-fault "
-                                   "preset")
+                                   "preset (see --list-presets)")
+    serve_parser.add_argument("--list-presets", action="store_true",
+                              help="print the fault presets and exit")
     serve_parser.add_argument("--virtual-clock", action="store_true",
                               help="drive the server on a virtual clock "
                                    "(deterministic latencies; injected "
@@ -587,6 +759,61 @@ def build_parser() -> argparse.ArgumentParser:
                               help="save the serving trace (op records + "
                                    "SLO/healing events) as JSONL")
     serve_parser.set_defaults(handler=cmd_serve)
+
+    fleet_parser = commands.add_parser(
+        "fleet", help="fault-domain-aware serving fleet under chaos")
+    fleet_parser.add_argument("workload", nargs="?", default=None,
+                              help="workload name (see 'list')")
+    fleet_parser.add_argument("--config", default="default",
+                              choices=["tiny", "default", "paper"])
+    fleet_parser.add_argument("--seed", type=int, default=0)
+    fleet_parser.add_argument("--requests", type=int, default=96,
+                              help="total requests to generate")
+    fleet_parser.add_argument("--qps", type=float, default=300.0,
+                              help="open-loop arrival rate "
+                                   "(0 = closed loop)")
+    fleet_parser.add_argument("--deadline-ms", type=float, default=100.0,
+                              help="default per-request deadline "
+                                   "(0 disables)")
+    fleet_parser.add_argument("--zones", type=int, default=3,
+                              help="fault domains (named z0..zN-1)")
+    fleet_parser.add_argument("--servers-per-zone", type=int, default=1)
+    fleet_parser.add_argument("--replicas", type=int, default=1,
+                              help="replicas per fleet server")
+    fleet_parser.add_argument("--queue-limit", type=int, default=32,
+                              help="per-server queue bound")
+    fleet_parser.add_argument("--max-hedges", type=int, default=1)
+    fleet_parser.add_argument("--min-servers", type=int, default=2,
+                              help="autoscaler floor")
+    fleet_parser.add_argument("--max-servers", type=int, default=9,
+                              help="autoscaler ceiling")
+    fleet_parser.add_argument("--tenants", default="default",
+                              metavar="SPECS",
+                              help="comma-separated "
+                                   "name[:max_outstanding[:deadline_ms]]"
+                                   " tenant specs")
+    fleet_parser.add_argument("--fault", default="none",
+                              metavar="PRESET",
+                              help="arm a deterministic fleet-fault "
+                                   "preset (see --list-presets)")
+    fleet_parser.add_argument("--list-presets", action="store_true",
+                              help="print the fault presets and exit")
+    fleet_parser.add_argument("--rollout-at", type=float, default=None,
+                              metavar="SECONDS",
+                              help="start a rolling deploy at this "
+                                   "fleet-clock time")
+    fleet_parser.add_argument("--rollout-version", default="v2",
+                              help="version label the scripted rollout "
+                                   "deploys")
+    fleet_parser.add_argument("--virtual-clock", action="store_true",
+                              help="drive the fleet on a virtual clock "
+                                   "(deterministic chaos timelines)")
+    fleet_parser.add_argument("--report-json", metavar="PATH",
+                              help="write the FleetReport as JSON")
+    fleet_parser.add_argument("--trace", metavar="PATH",
+                              help="save the fleet trace (op records + "
+                                   "fleet events) as JSONL")
+    fleet_parser.set_defaults(handler=cmd_fleet)
 
     profile_parser = commands.add_parser("profile",
                                          help="operation-type profile")

@@ -40,6 +40,10 @@ FAULT_KINDS = ("exception", "nan", "latency", "feed")
 #: fault kinds injected at the *serving* layer (see ServingFaultPlan)
 SERVING_FAULT_KINDS = ("replica_crash", "slow_replica", "poisoned_batch")
 
+#: fault kinds injected at the *fleet* layer (see FleetFaultPlan)
+FLEET_FAULT_KINDS = ("zone_outage", "correlated_crash", "bad_rollout",
+                     "lb_blackhole")
+
 #: fault kinds injected at the *cluster* layer (see ClusterFaultPlan)
 CLUSTER_FAULT_KINDS = ("worker_crash", "straggler", "partition",
                        "lost_gradient", "corrupt_gradient")
@@ -453,6 +457,271 @@ class ClusterFaultInjector:
         """True if an already-fired partition still covers this link."""
         heals_at = self._partitions.get((src, dst))
         return heals_at is not None and step < heals_at
+
+    @property
+    def num_injected(self) -> int:
+        return len(self.events)
+
+    def signature(self) -> tuple:
+        """Hashable summary of everything injected, for determinism checks."""
+        return tuple((e.step, e.op_name, e.kind, e.spec_index)
+                     for e in self.events)
+
+
+# -- fleet-path faults ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetFaultSpec:
+    """One declarative fault against the serving *fleet*.
+
+    Where :class:`ServingFaultSpec` targets one replica's batch, a fleet
+    fault targets the machinery that keeps a multi-zone fleet alive —
+    whole fault domains, correlated server groups, the load balancer's
+    links, and the deploy pipeline (see :mod:`repro.serving.fleet`).
+    Kinds:
+
+    * ``zone_outage`` — every server in ``zone`` goes down at once for
+      ``duration_seconds`` of fleet-clock time (models a power/network
+      domain failure); their queued requests are salvaged and re-routed
+      to surviving zones, and the zone rejoins when the outage heals.
+    * ``correlated_crash`` — ``servers`` (or the ``count`` lowest-id
+      active servers) crash simultaneously across zones (models a bad
+      kernel/hardware batch — failures that are *not* independent).
+    * ``bad_rollout`` — arms the next deployment with a ``defect``
+      (``"poison"``: NaN outputs, ``"slow"``: stalled batches); the
+      canary comparator must catch it and roll back.
+    * ``lb_blackhole`` — the balancer's link to one server silently
+      drops everything sent on it for ``duration_seconds`` (models a
+      misprogrammed switch); requests captured in the hole are freed
+      when health probes eject the server or the link heals.
+
+    Fleet faults are *time-triggered*: a spec fires at the first fleet
+    tick at or after ``at_seconds`` on the fleet clock. A failed
+    ``probability`` draw spends the trigger (the spec does not re-arm
+    every tick), keeping draws deterministic in tick order.
+
+    Args:
+        kind: one of :data:`FLEET_FAULT_KINDS`.
+        zone: the fault domain a ``zone_outage`` takes out (``None`` =
+            the fleet's first zone).
+        servers: explicit server ids for ``correlated_crash`` /
+            ``lb_blackhole`` (``None`` = resolved by the fleet: the
+            ``count`` lowest-id active servers, or the busiest link).
+        count: how many servers a ``correlated_crash`` takes when
+            ``servers`` is ``None``.
+        at_seconds: fleet-clock time the fault fires at.
+        duration_seconds: how long an outage / blackhole lasts.
+        defect: ``"poison"`` or ``"slow"`` — what a ``bad_rollout``
+            deployment does to batches on servers running it.
+        probability: chance of firing when due.
+        max_triggers: stop firing after this many injections
+            (``None`` = unlimited; the fault re-arms every
+            ``duration_seconds`` after healing).
+    """
+
+    kind: str
+    zone: str | None = None
+    servers: tuple[int, ...] | None = None
+    count: int = 2
+    at_seconds: float = 0.0
+    duration_seconds: float = 0.05
+    defect: str = "poison"
+    probability: float = 1.0
+    max_triggers: int | None = 1
+
+    def __post_init__(self):
+        if self.kind not in FLEET_FAULT_KINDS:
+            raise ValueError(
+                f"unknown fleet fault kind {self.kind!r}; expected one "
+                f"of {FLEET_FAULT_KINDS}")
+        if self.defect not in ("poison", "slow"):
+            raise ValueError(
+                f"defect must be 'poison' or 'slow', got {self.defect!r}")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1], got {self.probability}")
+        if self.duration_seconds <= 0.0:
+            raise ValueError(
+                f"duration_seconds must be > 0, got "
+                f"{self.duration_seconds}")
+        if self.servers is not None:
+            object.__setattr__(self, "servers",
+                               tuple(int(s) for s in self.servers))
+
+
+@dataclass(frozen=True)
+class FleetFaultPlan:
+    """An immutable, seedable schedule of fleet faults.
+
+    Install on a fleet with ``fleet.install_faults(plan)`` — the fleet
+    ticks the injector on its own clock every pump round, so outage
+    starts and heals are deterministic functions of virtual time.
+    """
+
+    specs: tuple[FleetFaultSpec, ...]
+    seed: int = 0
+
+    def __init__(self, specs, seed: int = 0):
+        object.__setattr__(self, "specs", tuple(specs))
+        object.__setattr__(self, "seed", int(seed))
+
+    def injector(self) -> "FleetFaultInjector":
+        return FleetFaultInjector(self)
+
+
+class FleetFaultInjector:
+    """Executes a :class:`FleetFaultPlan` against a live fleet.
+
+    The fleet calls :meth:`tick` once per pump round with the current
+    fleet-clock time; the injector returns the *actions* that fire this
+    round (outage starts/heals, crash groups, blackhole arms/heals,
+    rollout defects) and the fleet applies them. Between ticks the
+    fleet consults :meth:`zone_down` and :meth:`blackholed` for the
+    standing state. Everything is deterministic given ``(plan, seed)``;
+    fired faults are recorded as :class:`InjectionEvent` entries with
+    ``op_name`` set to ``"zone:<z>"``, ``"servers:<ids>"``,
+    ``"lb:<id>"``, or ``"rollout"`` and ``step`` set to the tick round.
+    """
+
+    def __init__(self, plan: FleetFaultPlan):
+        self.plan = plan
+        self.events: list[InjectionEvent] = []
+        self.round = 0
+        self._rng = np.random.default_rng(plan.seed)
+        self._triggers = [0] * len(plan.specs)
+        self._spent = [False] * len(plan.specs)
+        #: active outages: zone -> heal_at (fleet-clock seconds)
+        self._outages: dict[str, float] = {}
+        #: active blackholes: server id -> heal_at
+        self._blackholes: dict[int, float] = {}
+        #: armed bad-rollout defect, consumed by the rollout manager
+        self._pending_defect: str | None = None
+
+    def _due(self, index: int, spec: FleetFaultSpec, now: float) -> bool:
+        if self._spent[index]:
+            return False
+        if (spec.max_triggers is not None
+                and self._triggers[index] >= spec.max_triggers):
+            return False
+        if now < spec.at_seconds:
+            return False
+        if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+            # A failed draw spends the trigger — time-based faults must
+            # not re-draw every tick or determinism would depend on the
+            # pump cadence.
+            self._spent[index] = True
+            return False
+        return True
+
+    def _fire(self, index: int, spec: FleetFaultSpec,
+              target: str) -> None:
+        self._triggers[index] += 1
+        if spec.max_triggers is not None \
+                and self._triggers[index] >= spec.max_triggers:
+            self._spent[index] = True
+        self.events.append(InjectionEvent(
+            step=self.round, op_name=target, kind=spec.kind,
+            spec_index=index))
+
+    # -- fleet hook points ---------------------------------------------------
+
+    def tick(self, now: float) -> list[tuple]:
+        """Advance one pump round; returns the actions firing now.
+
+        Actions (applied by the fleet, in order):
+
+        * ``("zone_heal", zone)`` — an outage's duration elapsed;
+        * ``("blackhole_heal", server)`` — a blackhole healed;
+        * ``("zone_outage", zone, heal_at)`` — a zone goes down now
+          (``zone`` may be ``None``: the fleet resolves its first zone);
+        * ``("correlated_crash", servers, count)`` — this server group
+          (or, when ``servers`` is None, the ``count`` lowest-id active
+          servers) crashes now;
+        * ``("lb_blackhole", server, heal_at)`` — the link to this
+          server (None = the fleet's current routing favourite) goes
+          silent until ``heal_at``;
+        * ``("bad_rollout", defect)`` — the next deployment started is
+          defective.
+        """
+        actions: list[tuple] = []
+        for zone, heal_at in sorted(self._outages.items()):
+            if now >= heal_at:
+                del self._outages[zone]
+                actions.append(("zone_heal", zone))
+        for server, heal_at in sorted(self._blackholes.items()):
+            if now >= heal_at:
+                del self._blackholes[server]
+                actions.append(("blackhole_heal", server))
+        for index, spec in enumerate(self.plan.specs):
+            if not self._due(index, spec, now):
+                continue
+            if spec.kind == "zone_outage":
+                heal_at = now + spec.duration_seconds
+                if spec.zone is not None:
+                    self._outages[spec.zone] = heal_at
+                self._fire(index, spec, f"zone:{spec.zone or '?'}")
+                actions.append(("zone_outage", spec.zone, heal_at))
+            elif spec.kind == "correlated_crash":
+                ids = ",".join(str(s) for s in spec.servers or ())
+                self._fire(index, spec, f"servers:{ids or spec.count}")
+                actions.append(("correlated_crash", spec.servers,
+                                spec.count))
+            elif spec.kind == "lb_blackhole":
+                server = spec.servers[0] if spec.servers else None
+                heal_at = now + spec.duration_seconds
+                if server is not None:
+                    self._blackholes[server] = heal_at
+                self._fire(index, spec, f"lb:{server if server is not None else '?'}")
+                actions.append(("lb_blackhole", server, heal_at))
+            elif spec.kind == "bad_rollout":
+                self._pending_defect = spec.defect
+                self._fire(index, spec, "rollout")
+                actions.append(("bad_rollout", spec.defect))
+        self.round += 1
+        return actions
+
+    def note_zone_outage(self, zone: str, heal_at: float) -> None:
+        """Register a fleet-resolved outage target (spec.zone was None)."""
+        self._outages[zone] = heal_at
+
+    def note_blackhole(self, server: int, heal_at: float) -> None:
+        """Register a fleet-resolved blackhole target."""
+        self._blackholes[server] = heal_at
+
+    def zone_down(self, zone: str, now: float) -> bool:
+        """True while an outage covers ``zone``."""
+        heal_at = self._outages.get(zone)
+        return heal_at is not None and now < heal_at
+
+    def blackholed(self, server: int, now: float) -> bool:
+        """True while the balancer's link to ``server`` drops traffic."""
+        heal_at = self._blackholes.get(server)
+        return heal_at is not None and now < heal_at
+
+    def take_rollout_defect(self) -> str | None:
+        """Consume the armed bad-rollout defect, if any."""
+        defect, self._pending_defect = self._pending_defect, None
+        return defect
+
+    def next_wakeup(self, now: float) -> float | None:
+        """The next fleet-clock time something scheduled happens.
+
+        The earliest pending heal or unfired ``at_seconds`` strictly
+        after ``now`` — the fleet's drain loop sleeps toward this when
+        no server has dispatchable work (e.g. everything is down or
+        captured in a blackhole).
+        """
+        times = list(self._outages.values()) \
+            + list(self._blackholes.values())
+        times += [spec.at_seconds
+                  for index, spec in enumerate(self.plan.specs)
+                  if not self._spent[index]
+                  and (spec.max_triggers is None
+                       or self._triggers[index] < spec.max_triggers)
+                  and spec.at_seconds > now]
+        future = [t for t in times if t > now]
+        return min(future) if future else None
 
     @property
     def num_injected(self) -> int:

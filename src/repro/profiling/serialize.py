@@ -94,6 +94,12 @@ class SavedTrace:
             return events
         return [e for e in events if e.kind == kind]
 
+    def fleet_events(self, kind: str | None = None) -> list:
+        """The fleet-scoped slice of :meth:`serving_events`."""
+        return [e for e in self.serving_events(kind)
+                if getattr(e, "zone", None) is not None
+                or getattr(e, "server", None) is not None]
+
     def cluster_events(self, kind: str | None = None) -> list:
         """Distributed-training events persisted with the trace."""
         events = [e for e in self.events if hasattr(e, "worker")]
@@ -155,7 +161,11 @@ def save_trace(tracer: Tracer, path: str | os.PathLike,
                 {"seq": seq, "step": e.step, "kind": e.kind,
                  "outcome": e.outcome, "replica": e.replica,
                  "latency_ms": e.latency_ms, "deadline_ms": e.deadline_ms,
-                 "seconds_lost": e.seconds_lost, "detail": e.detail})
+                 "seconds_lost": e.seconds_lost, "detail": e.detail,
+                 # fleet scoping (zone outages, re-routes, rollouts);
+                 # None for single-server events
+                 "zone": getattr(e, "zone", None),
+                 "server": getattr(e, "server", None)})
         else:
             failure_blobs.append(
                 {"seq": seq, "step": e.step, "kind": e.kind,
@@ -238,7 +248,8 @@ def load_trace(path: str | os.PathLike) -> SavedTrace:
                 latency_ms=blob.get("latency_ms", 0.0),
                 deadline_ms=blob.get("deadline_ms", 0.0),
                 seconds_lost=blob.get("seconds_lost", 0.0),
-                detail=blob.get("detail", ""))))
+                detail=blob.get("detail", ""),
+                zone=blob.get("zone"), server=blob.get("server"))))
     if header.get("cluster_events"):
         from repro.distributed.events import ClusterEvent
         for blob in header["cluster_events"]:

@@ -142,14 +142,28 @@ class Tracer:
 
         One event per terminal request outcome plus breaker transitions,
         hedges, and replica restarts (see
-        :class:`repro.serving.events.ServingEvent`). Distinguished from
-        the other event families by duck-typing on the ``outcome``
-        field.
+        :class:`repro.serving.events.ServingEvent`) — and, for fleet
+        runs, the fleet-scoped lifecycle (zone outages, re-routes,
+        ejections, scaling, rollouts; see :meth:`fleet_events`).
+        Distinguished from the other event families by duck-typing on
+        the ``outcome`` field.
         """
         events = [e for e in self.events if hasattr(e, "outcome")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]
+
+    def fleet_events(self, kind: str | None = None) -> list:
+        """The fleet-scoped slice of :meth:`serving_events`.
+
+        Fleet events carry a ``zone`` or ``server`` attribution (see
+        :data:`repro.serving.events.FLEET_EVENT_KINDS`); per-server
+        events leave both ``None`` and are excluded here.
+        """
+        events = [e for e in self.serving_events(kind)
+                  if getattr(e, "zone", None) is not None
+                  or getattr(e, "server", None) is not None]
+        return events
 
     def cluster_events(self, kind: str | None = None) -> list:
         """Distributed-training events (checkpoints, crashes, stragglers,

@@ -14,32 +14,61 @@ overload and faults:
   degrade-don't-die tier demotion via the self-healing ladder;
 * :mod:`~repro.serving.server` — the synchronous dispatch engine with
   hedged retry and SLO event emission;
+* :mod:`~repro.serving.routing` — the EWMA-latency + breaker-state
+  scoring shared by replica selection and fleet load balancing;
 * :mod:`~repro.serving.loadgen` — open/closed-loop load generation and
   the :class:`~repro.serving.loadgen.ServingReport` latency summary.
+
+The *fleet* layer composes servers into a fault-domain-aware tier:
+
+* :mod:`~repro.serving.fleet` — zones, salvage/re-route, the fleet
+  invariant (exactly one terminal reply per accepted request);
+* :mod:`~repro.serving.balancer` — tenant quotas + weighted selection;
+* :mod:`~repro.serving.health` — active probing, ejection, reinstate;
+* :mod:`~repro.serving.autoscale` — queue/p99-driven elastic sizing;
+* :mod:`~repro.serving.rollout` — canary deploys with auto-rollback.
 
 See ``docs/serving.md`` for the architecture and SLO semantics.
 """
 
+from .autoscale import AutoscaleConfig, Autoscaler
+from .balancer import LoadBalancer, TenantSpec
 from .batcher import DynamicBatcher, FeedCodec
 from .breaker import BreakerConfig, CircuitBreaker
 from .events import OUTCOMES, Reply, ServingEvent
+from .fleet import FleetConfig, FleetReport, FleetServer, ServingFleet
+from .health import HealthConfig, HealthProber
 from .loadgen import LoadConfig, LoadGenerator, ServingReport
 from .replica import Replica
+from .rollout import Deployment, RolloutConfig, RolloutManager
 from .server import InferenceServer, ServingConfig, VirtualClock
 
 __all__ = [
+    "AutoscaleConfig",
+    "Autoscaler",
     "BreakerConfig",
     "CircuitBreaker",
+    "Deployment",
     "DynamicBatcher",
     "FeedCodec",
+    "FleetConfig",
+    "FleetReport",
+    "FleetServer",
+    "HealthConfig",
+    "HealthProber",
     "InferenceServer",
+    "LoadBalancer",
     "LoadConfig",
     "LoadGenerator",
     "OUTCOMES",
     "Replica",
     "Reply",
+    "RolloutConfig",
+    "RolloutManager",
     "ServingConfig",
     "ServingEvent",
+    "ServingFleet",
     "ServingReport",
+    "TenantSpec",
     "VirtualClock",
 ]

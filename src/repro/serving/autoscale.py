@@ -1,0 +1,158 @@
+"""Deterministic autoscaling from queue depth and p99-vs-deadline.
+
+The autoscaler watches two production signals:
+
+* **queue pressure** — mean queued requests per active server. Deep
+  queues mean arrivals outrun capacity; admission control is already
+  shedding or about to.
+* **tail latency vs SLO** — the p99 of recently serviced requests
+  against their deadlines. A fleet can have shallow queues and still
+  be about to blow its SLO (slow replicas, a straggling zone).
+
+Either signal breaching its threshold scales *up*; both signals calm
+scales *down*. Decisions follow PR 5's elastic-membership discipline
+(:class:`~repro.distributed.membership.MembershipPlan`): changes land
+only on pump-round boundaries, target selection is a pure function of
+fleet state (zone occupancy, server ids), and a cooldown separates
+consecutive actions — so the whole scaling trajectory is deterministic
+on a virtual clock. Scale-down never kills a server outright: the
+victim is *drained* (no new traffic, in-flight work finishes) and only
+then decommissioned.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AutoscaleConfig", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Knobs for :class:`Autoscaler`.
+
+    Args:
+        enabled: master switch (a fixed-size fleet sets False).
+        min_servers: never drain below this many active servers.
+        max_servers: never grow beyond this many (active + draining).
+        high_queue_per_server: scale up when mean queue depth per
+            active server exceeds this.
+        low_queue_per_server: scale down only when mean queue depth is
+            below this.
+        p99_deadline_fraction: scale up when the recent p99 latency
+            exceeds this fraction of the matching deadlines.
+        window: how many recent serviced replies the p99 sees.
+        cooldown_seconds: minimum fleet-clock time between actions.
+    """
+
+    enabled: bool = True
+    min_servers: int = 2
+    max_servers: int = 9
+    high_queue_per_server: float = 4.0
+    low_queue_per_server: float = 0.5
+    p99_deadline_fraction: float = 0.9
+    window: int = 64
+    cooldown_seconds: float = 0.02
+
+    def __post_init__(self):
+        if self.min_servers < 1:
+            raise ValueError("min_servers must be >= 1")
+        if self.max_servers < self.min_servers:
+            raise ValueError("max_servers must be >= min_servers")
+
+
+class Autoscaler:
+    """Queue- and SLO-driven scale decisions, one per cooldown window."""
+
+    def __init__(self, config: AutoscaleConfig | None = None):
+        self.config = config or AutoscaleConfig()
+        self._last_action_at: float | None = None
+        #: (latency_ms, deadline_ms) of recent serviced replies
+        self._recent: deque[tuple[float, float]] = deque(
+            maxlen=self.config.window)
+        self.scale_ups = 0
+        self.scale_downs = 0
+
+    def observe(self, latency_ms: float, deadline_ms: float) -> None:
+        """Feed one serviced (ok/deadline) reply into the p99 window."""
+        if deadline_ms > 0:
+            self._recent.append((latency_ms, deadline_ms))
+
+    # -- signals -------------------------------------------------------------
+
+    def p99_breach(self) -> bool:
+        """True when the recent p99 is pressing against deadlines."""
+        if len(self._recent) < 8:   # too little signal to act on
+            return False
+        latencies = np.asarray([pair[0] for pair in self._recent])
+        deadlines = np.asarray([pair[1] for pair in self._recent])
+        p99 = float(np.percentile(latencies, 99))
+        bound = float(np.median(deadlines)) \
+            * self.config.p99_deadline_fraction
+        return p99 > bound
+
+    # -- decisions -----------------------------------------------------------
+
+    def tick(self, now: float, active_servers,
+             draining: int = 0) -> tuple | None:
+        """One scale decision, or ``None``.
+
+        Returns ``("up", zone_hint, reason)`` — the fleet adds a server
+        to the least-occupied zone — or ``("down", server, reason)`` —
+        the fleet starts draining ``server``. ``active_servers`` are
+        the currently routable servers (each with ``zone``,
+        ``server_id``, and a ``queue_depth``); ``draining`` counts
+        servers already on their way out (they still occupy capacity
+        against ``max_servers``).
+        """
+        config = self.config
+        if not config.enabled or not active_servers:
+            return None
+        if self._last_action_at is not None \
+                and now - self._last_action_at < config.cooldown_seconds:
+            return None
+        active = sorted(active_servers, key=lambda s: s.server_id)
+        depth = sum(s.queue_depth for s in active)
+        per_server = depth / len(active)
+        breach = self.p99_breach()
+        if per_server > config.high_queue_per_server or breach:
+            if len(active) + draining < config.max_servers:
+                self._last_action_at = now
+                self.scale_ups += 1
+                reason = (f"queue {per_server:.1f}/server"
+                          if per_server > config.high_queue_per_server
+                          else "p99 pressing deadline")
+                return ("up", self._emptiest_zone(active), reason)
+            return None
+        if per_server < config.low_queue_per_server and not breach \
+                and len(active) > config.min_servers:
+            self._last_action_at = now
+            self.scale_downs += 1
+            victim = self._drain_victim(active)
+            return ("down", victim,
+                    f"queue {per_server:.2f}/server, p99 healthy")
+        return None
+
+    @staticmethod
+    def _emptiest_zone(active) -> str:
+        """The zone with the fewest active servers (ties: zone order)."""
+        occupancy: dict[str, int] = {}
+        for server in active:
+            occupancy[server.zone] = occupancy.get(server.zone, 0) + 1
+        return min(sorted(occupancy), key=lambda z: occupancy[z])
+
+    @staticmethod
+    def _drain_victim(active):
+        """Who drains on scale-down: the youngest server in the
+        fullest zone — the deterministic inverse of scale-up, so a
+        scale-up/scale-down cycle returns the fleet to its prior
+        topology."""
+        occupancy: dict[str, int] = {}
+        for server in active:
+            occupancy[server.zone] = occupancy.get(server.zone, 0) + 1
+        fullest = max(sorted(occupancy), key=lambda z: occupancy[z])
+        in_zone = [s for s in active if s.zone == fullest]
+        return max(in_zone, key=lambda s: s.server_id)

@@ -1,0 +1,123 @@
+"""Fleet load balancing: tenant admission quotas + weighted server pick.
+
+The :class:`LoadBalancer` is the fleet's front door. It does two jobs:
+
+* **tenant admission** — every request belongs to a tenant (an SLO
+  class with a quota on *outstanding* work). A tenant that floods the
+  fleet — deliberately or because its traffic is poisoned and every
+  request burns hedges — hits its own quota and is shed with reason
+  ``tenant_quota`` while the other tenants' traffic flows untouched.
+  Quotas bound outstanding (accepted but unterminated) requests, so a
+  tenant's pressure on the fleet is capped no matter how fast it
+  submits.
+* **server selection** — among routable servers (active, zone up, not
+  draining/ejected), pick the one with the best routing score: the
+  same EWMA-latency + breaker-state weight the single server uses to
+  pick replicas (see :mod:`repro.serving.routing` — one
+  implementation, two layers). Ties break on server id, so selection
+  is deterministic.
+
+The balancer deliberately does *not* know about blackholes: an
+``lb_blackhole`` fault is a silent link failure, and discovering it is
+the health prober's job (see :mod:`repro.serving.health`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .routing import server_score
+
+__all__ = ["LoadBalancer", "TenantSpec"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's admission contract.
+
+    Args:
+        name: tenant identity (request tagging, quota accounting).
+        max_outstanding: quota on accepted-but-unterminated requests;
+            submissions beyond it are shed with reason ``tenant_quota``.
+        deadline_ms: this tenant's SLO class — the per-request deadline
+            applied when the caller gives none (``None`` = the fleet's
+            default deadline).
+    """
+
+    name: str
+    max_outstanding: int = 64
+    deadline_ms: float | None = None
+
+    def __post_init__(self):
+        if self.max_outstanding < 1:
+            raise ValueError(
+                f"max_outstanding must be >= 1, got "
+                f"{self.max_outstanding}")
+
+
+class LoadBalancer:
+    """Weighted server selection plus per-tenant quota accounting."""
+
+    def __init__(self, tenants: tuple[TenantSpec, ...],
+                 prior_seconds: float = 0.0):
+        if not tenants:
+            raise ValueError("a fleet needs at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        self.tenants = {t.name: t for t in tenants}
+        self.prior_seconds = prior_seconds
+        self.outstanding = {t.name: 0 for t in tenants}
+
+    # -- tenant admission ----------------------------------------------------
+
+    def admit_tenant(self, name: str) -> str | None:
+        """Count one submission against ``name``'s quota.
+
+        Returns ``None`` and increments the tenant's outstanding count
+        on success, or the shed reason ``"tenant_quota"`` when the
+        tenant is at its bound.
+        """
+        spec = self.tenants[name]
+        if self.outstanding[name] >= spec.max_outstanding:
+            return "tenant_quota"
+        self.outstanding[name] += 1
+        return None
+
+    def release_tenant(self, name: str) -> None:
+        """One of ``name``'s requests reached a terminal reply."""
+        self.outstanding[name] -= 1
+        assert self.outstanding[name] >= 0, \
+            f"tenant {name} outstanding went negative"
+
+    def deadline_for(self, name: str, default_ms: float) -> float:
+        """The tenant's SLO-class deadline, or the fleet default."""
+        spec = self.tenants[name]
+        return spec.deadline_ms if spec.deadline_ms is not None \
+            else default_ms
+
+    # -- server selection ----------------------------------------------------
+
+    def pick(self, servers, exclude: frozenset | set = frozenset()):
+        """The best routable server, or ``None`` when nothing routes.
+
+        ``servers`` is any iterable of fleet servers (objects with
+        ``routable``, ``server_id``, and ``replicas``); ``exclude``
+        removes ids already tried this submission (spillover: a server
+        that sheds passes the request to the next-best candidate).
+        """
+        candidates = [s for s in servers
+                      if s.routable and s.server_id not in exclude]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda s: (
+            server_score(s.replicas, self.prior_seconds), s.server_id))
+        return candidates[0]
+
+    def ranked(self, servers, exclude: frozenset | set = frozenset()):
+        """All routable servers, best first (spillover order)."""
+        candidates = [s for s in servers
+                      if s.routable and s.server_id not in exclude]
+        candidates.sort(key=lambda s: (
+            server_score(s.replicas, self.prior_seconds), s.server_id))
+        return candidates

@@ -30,6 +30,18 @@ OUTCOMES = ("ok", "shed", "deadline", "error")
 EVENT_KINDS = ("reply", "shed", "hedge", "probe", "replica_restart",
                "breaker_open", "breaker_half_open", "breaker_close")
 
+#: fleet-scoped ServingEvent kinds (see :mod:`repro.serving.fleet`):
+#: zone/server lifecycle, load-balancer re-routes, health ejections,
+#: autoscaling, and rollout/canary decisions. Fleet events carry the
+#: ``zone``/``server`` fields; per-server events leave them ``None``.
+FLEET_EVENT_KINDS = (
+    "zone_down", "zone_up", "server_down", "server_up", "server_crash",
+    "reroute", "blackhole", "blackhole_heal",
+    "probe_fail", "eject", "reinstate",
+    "drain_start", "drain_done", "scale_up", "scale_down",
+    "rollout_start", "rollout_stage", "canary_pass", "canary_fail",
+    "rollback", "rollout_done")
+
 
 @dataclass(frozen=True)
 class ServingEvent:
@@ -46,10 +58,14 @@ class ServingEvent:
     * ``probe`` — a half-open replica received a trial batch;
     * ``replica_restart`` — a crashed replica's session was rebuilt;
     * ``breaker_open`` / ``breaker_half_open`` / ``breaker_close`` —
-      circuit-breaker transitions for ``replica``.
+      circuit-breaker transitions for ``replica``;
+    * the :data:`FLEET_EVENT_KINDS` — fleet-scoped actions (outages,
+      re-routes, ejections, scaling, rollouts), identified by the
+      ``zone``/``server`` fields.
 
     ``step`` is the request id for per-request events and the server's
-    dispatch (batch) index for replica/breaker events.
+    dispatch (batch) index for replica/breaker events; fleet events use
+    the fleet request id (per-request kinds) or the fleet's pump round.
     """
 
     step: int
@@ -60,10 +76,15 @@ class ServingEvent:
     deadline_ms: float = 0.0
     seconds_lost: float = 0.0
     detail: str = ""
+    #: fleet scoping: which fault domain / fleet server the event is
+    #: about (None for single-server events, PR-4 compatible)
+    zone: str | None = None
+    server: int | None = None
 
     def signature(self) -> tuple:
         """Timing-free identity, for determinism comparisons."""
-        return (self.step, self.kind, self.outcome, self.replica)
+        return (self.step, self.kind, self.outcome, self.replica,
+                self.zone, self.server)
 
 
 @dataclass

@@ -1,0 +1,977 @@
+"""The serving fleet: fault-domain-aware, autoscaled, multi-tenant.
+
+:class:`ServingFleet` composes multiple
+:class:`~repro.serving.server.InferenceServer` replicas — each already
+robust to replica crashes, stragglers, and poisoned batches — into a
+fleet that survives the failures a *single* server cannot:
+
+* **fault domains** — servers live in zones
+  (:class:`FleetServer`), and a ``zone_outage`` takes out every server
+  in one domain at once. Queued work on downed servers is salvaged and
+  re-routed to surviving zones.
+* **probe-driven health** — a :class:`~repro.serving.health.HealthProber`
+  actively probes every server from the balancer's vantage point, so a
+  *silent* link failure (``lb_blackhole``) is discovered and the server
+  ejected even though no passive signal ever fires. Requests captured
+  in the hole are freed and re-routed at ejection (or at link heal).
+* **autoscaling** — an :class:`~repro.serving.autoscale.Autoscaler`
+  grows the fleet into the emptiest zone under queue or tail-latency
+  pressure and shrinks it by *draining* (never killing) the youngest
+  server in the fullest zone.
+* **rolling deploys** — a :class:`~repro.serving.rollout.RolloutManager`
+  stages new versions zone by zone with canary analysis; a defective
+  version (``bad_rollout``) is convicted on SLO evidence and every
+  staged server reverts in one pump round.
+* **tenant isolation** — the :class:`~repro.serving.balancer.LoadBalancer`
+  caps each tenant's outstanding requests, so one flooding tenant is
+  shed with ``tenant_quota`` while the others flow.
+
+The fleet invariant extends the server's: **every request the fleet
+accepts reaches exactly one terminal reply** — even when a zone
+outage, an autoscale event, and a rolled-back deploy land in the same
+run. Re-routes are bounded (``reroute_limit``) and deadline-checked,
+so salvage can never loop; a request that outruns its salvage budget
+terminates with an ``error`` or ``deadline`` reply, never silence.
+
+Everything runs on one injectable clock shared by the balancer,
+prober, autoscaler, rollout manager, fault injector, and every
+server — a chaos storm on a :class:`VirtualClock` is deterministic
+down to the event signatures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.framework.clock import SystemClock
+from repro.framework.errors import ServingError
+from repro.framework.faults import ServingFaultPlan, ServingFaultSpec
+
+from .autoscale import AutoscaleConfig, Autoscaler
+from .balancer import LoadBalancer, TenantSpec
+from .events import Reply, ServingEvent
+from .health import HealthConfig, HealthProber
+from .rollout import Deployment, RolloutConfig, RolloutManager
+from .server import InferenceServer, ServingConfig
+
+__all__ = ["FleetConfig", "FleetReport", "FleetServer", "ServingFleet"]
+
+#: FleetServer lifecycle states
+ACTIVE = "active"        #: in rotation, taking traffic
+DRAINING = "draining"    #: finishing queued work, no new traffic
+DOWN = "down"            #: zone outage — will return when it heals
+EJECTED = "ejected"      #: pulled from rotation by health probes
+RETIRED = "retired"      #: drained out by scale-down; gone for good
+
+#: how long a "slow" defective deployment stalls each batch
+_DEFECT_STALL_SECONDS = 0.03
+
+
+@dataclass
+class FleetConfig:
+    """Knobs for :class:`ServingFleet`.
+
+    Args:
+        zones: the fault domains, in rollout order.
+        servers_per_zone: initial servers in each zone.
+        server: the :class:`ServingConfig` template every fleet server
+            is built from (each derives a distinct seed).
+        tenants: the admission contracts (at least one).
+        autoscale / health / rollout: subsystem configs.
+        reroute_limit: how many times one request may be salvaged and
+            re-routed before it terminates with an ``error`` reply.
+        rollout_at_seconds: when set, the fleet starts a rollout of
+            ``rollout_version`` at this fleet-clock time (the CLI's
+            way of scripting a deploy mid-storm).
+        rollout_version: the version that scripted rollout deploys.
+        seed: base seed for derived per-server fault-plan seeds.
+    """
+
+    zones: tuple[str, ...] = ("z0", "z1", "z2")
+    servers_per_zone: int = 1
+    server: ServingConfig = field(
+        default_factory=lambda: ServingConfig(replicas=1))
+    tenants: tuple[TenantSpec, ...] = (TenantSpec("default"),)
+    autoscale: AutoscaleConfig = field(default_factory=AutoscaleConfig)
+    health: HealthConfig = field(default_factory=HealthConfig)
+    rollout: RolloutConfig = field(default_factory=RolloutConfig)
+    reroute_limit: int = 3
+    rollout_at_seconds: float | None = None
+    rollout_version: str = "v2"
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.zones:
+            raise ValueError("a fleet needs at least one zone")
+        if len(set(self.zones)) != len(self.zones):
+            raise ValueError(f"duplicate zones: {self.zones}")
+        if self.servers_per_zone < 1:
+            raise ValueError("servers_per_zone must be >= 1")
+        if self.reroute_limit < 1:
+            raise ValueError("reroute_limit must be >= 1")
+
+
+class FleetServer:
+    """One server's place in the fleet: identity, zone, lifecycle."""
+
+    def __init__(self, server_id: int, zone: str,
+                 server: InferenceServer, deployment: str):
+        self.server_id = server_id
+        self.zone = zone
+        self.server = server
+        self.deployment = deployment
+        self.state = ACTIVE
+
+    @property
+    def routable(self) -> bool:
+        """May the balancer send new traffic here?"""
+        return self.state == ACTIVE
+
+    @property
+    def ejected(self) -> bool:
+        return self.state == EJECTED
+
+    @property
+    def replicas(self):
+        return self.server.replicas
+
+    @property
+    def queue_depth(self) -> int:
+        return self.server.queue_depth
+
+    def __repr__(self):
+        return (f"FleetServer(id={self.server_id}, zone={self.zone!r}, "
+                f"state={self.state!r}, v={self.deployment!r})")
+
+
+@dataclass
+class _FleetPending:
+    """Fleet-side bookkeeping for one accepted request."""
+
+    fleet_id: int
+    tenant: str
+    feed: dict[Any, np.ndarray]
+    deadline_ms: float
+    arrival: float                 #: fleet-clock seconds at admission
+    admitted: bool = False         #: counted against the tenant quota
+    server_id: int | None = None   #: where it is queued right now
+    server_rid: int | None = None  #: its request id on that server
+    hole: int | None = None        #: blackholed link it vanished into
+    handoff_ms: float = 0.0        #: fleet-arrival -> server-arrival gap
+    reroutes: int = 0
+
+    def deadline_at(self) -> float:
+        return self.arrival + self.deadline_ms / 1000.0
+
+
+class ServingFleet:
+    """A zone-aware fleet of inference servers behind one balancer.
+
+    Duck-type compatible with :class:`InferenceServer` for the pieces
+    :class:`~repro.serving.loadgen.LoadGenerator` uses — ``clock``,
+    ``codec``, ``model``, ``submit``, ``pump``, ``drain``,
+    ``report`` — so the same load generator drives either.
+    """
+
+    def __init__(self, model, config: FleetConfig | None = None,
+                 tracer=None, clock=None):
+        self.model = model
+        self.config = config or FleetConfig()
+        self.tracer = tracer
+        self.clock = clock or SystemClock()
+        template = self.config.server
+        self.balancer = LoadBalancer(
+            self.config.tenants,
+            prior_seconds=template.est_batch_ms / 1000.0)
+        self.prober = HealthProber(self.config.health)
+        self.autoscaler = Autoscaler(self.config.autoscale)
+        self.rollout = RolloutManager(self.config.rollout)
+        self._tenant_order = tuple(t.name for t in self.config.tenants)
+        self._servers: dict[int, FleetServer] = {}
+        self._next_server_id = 0
+        self._current_version = "v1"
+        self._staging: Deployment | None = None
+        self._version_defects: dict[str, str | None] = {"v1": None}
+        for zone in self.config.zones:
+            for _ in range(self.config.servers_per_zone):
+                self._add_server(zone)
+        self.codec = next(iter(self._servers.values())).server.codec
+        self.replies: dict[int, Reply] = {}
+        self.events: list[ServingEvent] = []
+        self.latencies_ms: list[float] = []
+        self.counters = {"accepted": 0, "shed": 0, "ok": 0,
+                         "deadline": 0, "error": 0, "reroutes": 0,
+                         "blackholed": 0, "ejections": 0,
+                         "reinstatements": 0, "hedges": 0,
+                         "rollouts": 0, "zone_outages": 0,
+                         "server_crashes": 0}
+        self.tenant_counters = {
+            name: {"accepted": 0, "shed": 0, "ok": 0, "deadline": 0,
+                   "error": 0}
+            for name in self._tenant_order}
+        #: fleet_id -> live bookkeeping; every entry is reachable via
+        #: _routes or _holes (the no-silent-loss invariant)
+        self._pending: dict[int, _FleetPending] = {}
+        #: (server_id, server request id) -> fleet_id
+        self._routes: dict[tuple[int, int], int] = {}
+        #: blackholed link -> fleet ids swallowed by it
+        self._holes: dict[int, list[int]] = {}
+        self._injector = None
+        self._next_id = 0
+        self._round = 0
+        self._rollout_autostarted = False
+        self._lost_batches = 0
+        self.servers_peak = len(self._servers)
+
+    # -- topology ------------------------------------------------------------
+
+    def _make_server(self, server_id: int) -> InferenceServer:
+        template = self.config.server
+        config = dataclasses.replace(
+            template, seed=template.seed + 101 * (server_id + 1))
+        # Servers emit into their own event logs; the fleet owns the
+        # tracer stream and emits the fleet-scoped story itself.
+        return InferenceServer(self.model, config, tracer=None,
+                               clock=self.clock)
+
+    def _add_server(self, zone: str) -> FleetServer:
+        server_id = self._next_server_id
+        self._next_server_id += 1
+        fleet_server = FleetServer(server_id, zone,
+                                   self._make_server(server_id),
+                                   self._current_version)
+        defect = self._version_defects.get(self._current_version)
+        if defect is not None:
+            fleet_server.server.install_faults(
+                self._defect_plan(defect, server_id))
+        self._servers[server_id] = fleet_server
+        return fleet_server
+
+    def _ordered(self) -> list[FleetServer]:
+        return [self._servers[sid] for sid in sorted(self._servers)]
+
+    def _routable(self) -> list[FleetServer]:
+        return [fs for fs in self._ordered() if fs.routable]
+
+    def _in_zone(self, zone: str) -> list[FleetServer]:
+        return [fs for fs in self._ordered() if fs.zone == zone]
+
+    def servers_in(self, *states: str) -> list[FleetServer]:
+        """The fleet's servers currently in any of ``states``."""
+        return [fs for fs in self._ordered() if fs.state in states]
+
+    # -- events --------------------------------------------------------------
+
+    def _emit(self, event: ServingEvent) -> None:
+        self.events.append(event)
+        if self.tracer is not None:
+            self.tracer.record_event(event)
+
+    def _fleet_event(self, kind: str, *, step: int | None = None,
+                     zone: str | None = None, server: int | None = None,
+                     detail: str = "") -> None:
+        self._emit(ServingEvent(
+            step=self._round if step is None else step, kind=kind,
+            zone=zone, server=server, detail=detail))
+
+    # -- faults --------------------------------------------------------------
+
+    def install_faults(self, plan):
+        """Arm a :class:`~repro.framework.faults.FleetFaultPlan`."""
+        self._injector = plan.injector()
+        return self._injector
+
+    def _defect_plan(self, defect: str, server_id: int) -> ServingFaultPlan:
+        if defect == "poison":
+            spec = ServingFaultSpec(kind="poisoned_batch",
+                                    probability=1.0, max_triggers=None)
+        else:
+            spec = ServingFaultSpec(
+                kind="slow_replica", probability=1.0, max_triggers=None,
+                latency_seconds=_DEFECT_STALL_SECONDS)
+        return ServingFaultPlan([spec],
+                                seed=self.config.seed + server_id)
+
+    # -- admission + placement -----------------------------------------------
+
+    def submit(self, feed: Mapping[Any, np.ndarray],
+               deadline_ms: float | None = None,
+               tenant: str | None = None) -> int:
+        """Admit one request into the fleet; returns its fleet id.
+
+        ``tenant=None`` rotates requests across the configured tenants
+        (deterministically, by fleet id). The effective deadline is the
+        caller's, else the tenant's SLO class, else the server
+        template's default.
+        """
+        now = self.clock.now()
+        fleet_id = self._next_id
+        self._next_id += 1
+        if tenant is None:
+            tenant = self._tenant_order[fleet_id
+                                        % len(self._tenant_order)]
+        elif tenant not in self.balancer.tenants:
+            raise ValueError(f"unknown tenant {tenant!r}; configured: "
+                             f"{self._tenant_order}")
+        if deadline_ms is None:
+            deadline_ms = self.balancer.deadline_for(
+                tenant, self.config.server.default_deadline_ms)
+        record = _FleetPending(fleet_id=fleet_id, tenant=tenant,
+                               feed=dict(feed),
+                               deadline_ms=float(deadline_ms),
+                               arrival=now)
+        self._pending[fleet_id] = record
+        reason = self.balancer.admit_tenant(tenant)
+        if reason is not None:
+            self._finish(record, "shed", error=reason)
+            return fleet_id
+        record.admitted = True
+        placed = self._place(record, now, set())
+        if placed is True:
+            self.counters["accepted"] += 1
+            self.tenant_counters[tenant]["accepted"] += 1
+        else:
+            self._finish(record, "shed", error=placed)
+        return fleet_id
+
+    def submit_batch(self, batch_feed: Mapping[Any, np.ndarray],
+                     deadline_ms: float | None = None,
+                     tenant: str | None = None) -> list[int]:
+        """Split a full-batch feed into per-example fleet requests."""
+        return [self.submit(single, deadline_ms=deadline_ms,
+                            tenant=tenant)
+                for single in self.codec.split_feed(batch_feed)]
+
+    def _place(self, record: _FleetPending, now: float,
+               exclude: set[int]):
+        """Queue ``record`` on the best server; spill over on shed.
+
+        Returns ``True`` on success (including capture by a blackholed
+        link — the fleet does not know the link is dead) or the final
+        shed reason when every routable server refused it.
+        """
+        shed_reason = "no_capacity"
+        tried = set(exclude)
+        for candidate in self.balancer.ranked(self._routable(), tried):
+            sid = candidate.server_id
+            if self._injector is not None \
+                    and self._injector.blackholed(sid, now):
+                # The link silently swallows the request: no server-side
+                # queueing, no reply, no event — discovery is the health
+                # prober's job.
+                record.hole = sid
+                record.server_id = record.server_rid = None
+                self._holes.setdefault(sid, []).append(record.fleet_id)
+                self.counters["blackholed"] += 1
+                return True
+            remaining_ms = record.deadline_ms
+            if record.deadline_ms > 0:
+                remaining_ms = max(
+                    (record.deadline_at() - now) * 1000.0, 0.001)
+            rid = candidate.server.submit(record.feed,
+                                          deadline_ms=remaining_ms)
+            reply = candidate.server.result(rid)
+            if reply is not None and reply.outcome == "shed":
+                shed_reason = reply.error or "queue_full"
+                tried.add(sid)
+                continue
+            record.server_id, record.server_rid = sid, rid
+            record.hole = None
+            record.handoff_ms = (now - record.arrival) * 1000.0
+            self._routes[(sid, rid)] = record.fleet_id
+            return True
+        return shed_reason
+
+    # -- terminal outcomes ---------------------------------------------------
+
+    def _finish(self, record: _FleetPending, outcome: str,
+                value: np.ndarray | None = None,
+                replica: int | None = None, latency_ms: float = 0.0,
+                hedges: int = 0, error: str = "",
+                server: int | None = None,
+                zone: str | None = None) -> None:
+        if record.fleet_id in self.replies:
+            raise ServingError(
+                f"fleet request {record.fleet_id} finished twice "
+                f"({self.replies[record.fleet_id].outcome!r} then "
+                f"{outcome!r})")
+        reply = Reply(request_id=record.fleet_id, outcome=outcome,
+                      value=value, replica=replica,
+                      latency_ms=latency_ms,
+                      deadline_ms=record.deadline_ms, hedges=hedges,
+                      error=error)
+        self.replies[record.fleet_id] = reply
+        self.counters[outcome] += 1
+        self.counters["hedges"] += hedges
+        self.tenant_counters[record.tenant][outcome] += 1
+        if record.admitted:
+            self.balancer.release_tenant(record.tenant)
+        if outcome in ("ok", "deadline") and value is not None:
+            self.latencies_ms.append(latency_ms)
+        self._pending.pop(record.fleet_id, None)
+        self._emit(ServingEvent(
+            step=record.fleet_id,
+            kind="shed" if outcome == "shed" else "reply",
+            outcome=outcome, replica=replica, latency_ms=latency_ms,
+            deadline_ms=record.deadline_ms, detail=error, zone=zone,
+            server=server))
+
+    def result(self, fleet_id: int) -> Reply | None:
+        """The terminal reply for a fleet request, or None while live."""
+        return self.replies.get(fleet_id)
+
+    # -- salvage + re-route --------------------------------------------------
+
+    def _evict_routes(self, fleet_server: FleetServer) -> list[int]:
+        """Pull every queued request off a server; returns fleet ids.
+
+        Requests swallowed by a blackholed link *to* this server are
+        freed too — eviction is the moment the fleet takes back
+        responsibility for everything aimed at the server.
+        """
+        fleet_ids: list[int] = []
+        for pending in fleet_server.server.evict_pending():
+            fid = self._routes.pop(
+                (fleet_server.server_id, pending.request_id), None)
+            if fid is not None:
+                fleet_ids.append(fid)
+        fleet_ids.extend(self._holes.pop(fleet_server.server_id, []))
+        return fleet_ids
+
+    def _reroute(self, fleet_ids: list[int], now: float,
+                 exclude: set[int], why: str) -> None:
+        """Salvage displaced requests onto surviving servers.
+
+        Bounded: a request re-routes at most ``reroute_limit`` times
+        and never past its deadline — so even a cascade of failures
+        converges on terminal replies, not a routing loop.
+        """
+        for fid in fleet_ids:
+            record = self._pending.get(fid)
+            if record is None:
+                continue
+            record.server_id = record.server_rid = record.hole = None
+            elapsed_ms = (now - record.arrival) * 1000.0
+            if record.deadline_ms > 0 and now >= record.deadline_at():
+                self._finish(record, "deadline", latency_ms=elapsed_ms,
+                             error=f"expired during re-route: {why}")
+                continue
+            if record.reroutes >= self.config.reroute_limit:
+                self._finish(
+                    record, "error", latency_ms=elapsed_ms,
+                    error=f"re-route limit "
+                          f"({self.config.reroute_limit}) exhausted: "
+                          f"{why}")
+                continue
+            record.reroutes += 1
+            self.counters["reroutes"] += 1
+            placed = self._place(record, now, set(exclude))
+            if placed is True:
+                target = record.server_id if record.server_id \
+                    is not None else record.hole
+                zone = self._servers[target].zone \
+                    if target in self._servers else None
+                self._fleet_event("reroute", step=fid, zone=zone,
+                                  server=target, detail=why)
+            else:
+                self._finish(
+                    record, "error", latency_ms=elapsed_ms,
+                    error=f"no capacity after re-route ({placed}): "
+                          f"{why}")
+
+    # -- fault application ---------------------------------------------------
+
+    def _apply_faults(self, now: float) -> None:
+        if self._injector is None:
+            return
+        for action in self._injector.tick(now):
+            kind = action[0]
+            if kind == "zone_heal":
+                self._heal_zone(action[1])
+            elif kind == "blackhole_heal":
+                self._heal_blackhole(action[1], now)
+            elif kind == "zone_outage":
+                zone, heal_at = action[1], action[2]
+                if zone is None:
+                    zone = self.config.zones[0]
+                    self._injector.note_zone_outage(zone, heal_at)
+                self._take_down_zone(zone, now, heal_at)
+            elif kind == "correlated_crash":
+                explicit, count = action[1], action[2]
+                ids = list(explicit) if explicit else \
+                    [fs.server_id for fs in self._ordered()
+                     if fs.state == ACTIVE][:count]
+                self._crash_servers(ids, now)
+            elif kind == "lb_blackhole":
+                sid, heal_at = action[1], action[2]
+                if sid is None:
+                    favourite = self.balancer.pick(self._routable())
+                    if favourite is None:
+                        continue
+                    sid = favourite.server_id
+                    self._injector.note_blackhole(sid, heal_at)
+                zone = self._servers[sid].zone \
+                    if sid in self._servers else None
+                self._fleet_event(
+                    "blackhole", zone=zone, server=sid,
+                    detail=f"link silent until {heal_at:.3f}s")
+            # "bad_rollout" needs no fleet action now: the defect stays
+            # armed in the injector until the next rollout starts.
+
+    def _take_down_zone(self, zone: str, now: float,
+                        heal_at: float) -> None:
+        self._collect()
+        self.counters["zone_outages"] += 1
+        self._fleet_event("zone_down", zone=zone,
+                          detail=f"outage until {heal_at:.3f}s")
+        victims = [fs for fs in self._in_zone(zone)
+                   if fs.state in (ACTIVE, DRAINING, EJECTED)]
+        # Mark the whole zone down *before* salvaging, so re-routes
+        # cannot land on a sibling that is about to vanish too.
+        for fleet_server in victims:
+            fleet_server.state = DOWN
+            self.prober.forget(fleet_server.server_id)
+            self._fleet_event("server_down", zone=zone,
+                              server=fleet_server.server_id)
+        down_ids = {fs.server_id for fs in victims}
+        for fleet_server in victims:
+            self._reroute(self._evict_routes(fleet_server), now,
+                          down_ids, f"zone {zone} outage")
+
+    def _heal_zone(self, zone: str) -> None:
+        self._fleet_event("zone_up", zone=zone)
+        for fleet_server in self._in_zone(zone):
+            if fleet_server.state == DOWN:
+                fleet_server.state = ACTIVE
+                self._fleet_event("server_up", zone=zone,
+                                  server=fleet_server.server_id)
+
+    def _crash_servers(self, server_ids: list[int],
+                       now: float) -> None:
+        self._collect()
+        crashed: list[FleetServer] = []
+        for sid in server_ids:
+            fleet_server = self._servers.get(sid)
+            if fleet_server is None \
+                    or fleet_server.state in (DOWN, RETIRED):
+                continue
+            crashed.append(fleet_server)
+        salvage: list[int] = []
+        crash_ids = {fs.server_id for fs in crashed}
+        for fleet_server in crashed:
+            self.counters["server_crashes"] += 1
+            self._fleet_event(
+                "server_crash", zone=fleet_server.zone,
+                server=fleet_server.server_id,
+                detail="correlated crash; session pool rebuilt")
+            salvage.extend(self._evict_routes(fleet_server))
+            self._lost_batches += \
+                fleet_server.server.batches_dispatched
+            fleet_server.server = self._make_server(
+                fleet_server.server_id)
+            defect = self._version_defects.get(fleet_server.deployment)
+            if defect is not None:
+                fleet_server.server.install_faults(self._defect_plan(
+                    defect, fleet_server.server_id))
+            self.prober.forget(fleet_server.server_id)
+        self._reroute(salvage, now, crash_ids, "correlated crash")
+
+    def _heal_blackhole(self, server_id: int, now: float) -> None:
+        zone = self._servers[server_id].zone \
+            if server_id in self._servers else None
+        self._fleet_event("blackhole_heal", zone=zone,
+                          server=server_id)
+        # Requests the hole swallowed are re-routed now that the fleet
+        # knows they never arrived; the healed server is a fair target.
+        self._reroute(self._holes.pop(server_id, []), now, set(),
+                      "blackhole healed")
+
+    # -- probing, rollout, autoscale -----------------------------------------
+
+    def _apply_probes(self, now: float) -> None:
+        probeable = [fs for fs in self._ordered()
+                     if fs.state in (ACTIVE, EJECTED)]
+
+        def reachable(fleet_server):
+            return self._injector is None or not self._injector \
+                .blackholed(fleet_server.server_id, now)
+
+        for action in self.prober.tick(now, probeable, reachable):
+            fleet_server = action[1]
+            if action[0] == "probe_fail":
+                self._fleet_event("probe_fail", zone=fleet_server.zone,
+                                  server=fleet_server.server_id,
+                                  detail=action[2])
+            elif action[0] == "eject":
+                fleet_server.state = EJECTED
+                self.counters["ejections"] += 1
+                self._fleet_event("eject", zone=fleet_server.zone,
+                                  server=fleet_server.server_id)
+                self._collect()
+                self._reroute(
+                    self._evict_routes(fleet_server), now,
+                    {fleet_server.server_id},
+                    f"server {fleet_server.server_id} ejected")
+            elif action[0] == "reinstate":
+                fleet_server.state = ACTIVE
+                self.counters["reinstatements"] += 1
+                self._fleet_event("reinstate", zone=fleet_server.zone,
+                                  server=fleet_server.server_id)
+
+    def start_rollout(self, deployment: Deployment) -> None:
+        """Begin a zone-by-zone rollout of ``deployment``.
+
+        If a ``bad_rollout`` fault is armed, its defect infects this
+        deployment — the canary comparator has to catch it.
+        """
+        if self.rollout.active:
+            raise ServingError(
+                "a rollout is already in progress")
+        if deployment.defect is None and self._injector is not None:
+            defect = self._injector.take_rollout_defect()
+            if defect is not None:
+                deployment = Deployment(
+                    version=deployment.version, defect=defect,
+                    detail="bad_rollout fault armed this deploy")
+        self._staging = deployment
+        self._version_defects[deployment.version] = deployment.defect
+        self.rollout.start(deployment, self.config.zones,
+                           self._current_version)
+        self.counters["rollouts"] += 1
+        self._fleet_event(
+            "rollout_start", zone=self.config.zones[0],
+            detail=f"{self._current_version} -> {deployment.version}")
+
+    def _deploy_to(self, fleet_server: FleetServer,
+                   version: str) -> None:
+        fleet_server.deployment = version
+        defect = self._version_defects.get(version)
+        if defect is not None:
+            fleet_server.server.install_faults(self._defect_plan(
+                defect, fleet_server.server_id))
+        else:
+            fleet_server.server.uninstall_faults()
+
+    def _apply_rollout(self, now: float) -> None:
+        if self.config.rollout_at_seconds is not None \
+                and not self._rollout_autostarted \
+                and now >= self.config.rollout_at_seconds \
+                and not self.rollout.active:
+            self._rollout_autostarted = True
+            self.start_rollout(Deployment(self.config.rollout_version))
+        action = self.rollout.tick(now)
+        if action is None:
+            return
+        if action[0] == "stage":
+            zone = action[1]
+            version = self._staging.version
+            self._fleet_event("rollout_stage", zone=zone,
+                              detail=f"{version} -> zone {zone}")
+            for fleet_server in self._in_zone(zone):
+                if fleet_server.state != RETIRED:
+                    self._deploy_to(fleet_server, version)
+        elif action[0] == "canary_pass":
+            self._fleet_event("canary_pass", zone=action[1],
+                              detail=action[2])
+        elif action[0] == "rollback":
+            staged = self._staging.version
+            revert_to = self.rollout.previous_version \
+                or self._current_version
+            self._fleet_event("canary_fail", zone=None, server=-1,
+                              detail=action[1])
+            for fleet_server in self._ordered():
+                if fleet_server.deployment == staged:
+                    self._deploy_to(fleet_server, revert_to)
+            self._fleet_event(
+                "rollback", zone=None, server=-1,
+                detail=f"{staged} -> {revert_to}: {action[1]}")
+            self._staging = None
+        elif action[0] == "done":
+            self._fleet_event("canary_pass", zone=action[1],
+                              detail=action[2])
+            self._current_version = self._staging.version
+            self._fleet_event(
+                "rollout_done", zone=action[1],
+                detail=f"fleet now on {self._current_version}")
+            self._staging = None
+
+    def _apply_autoscale(self, now: float) -> None:
+        draining = sum(1 for fs in self._ordered()
+                       if fs.state == DRAINING)
+        action = self.autoscaler.tick(now, self._routable(), draining)
+        if action is None:
+            return
+        if action[0] == "up":
+            zone, reason = action[1], action[2]
+            fleet_server = self._add_server(zone)
+            live = len(self._routable()) + draining
+            self.servers_peak = max(self.servers_peak, live)
+            self._fleet_event("scale_up", zone=zone,
+                              server=fleet_server.server_id,
+                              detail=reason)
+        else:
+            victim, reason = action[1], action[2]
+            victim.state = DRAINING
+            self._fleet_event("scale_down", zone=victim.zone,
+                              server=victim.server_id, detail=reason)
+            self._fleet_event("drain_start", zone=victim.zone,
+                              server=victim.server_id)
+
+    def _finish_drains(self) -> None:
+        for fleet_server in self._ordered():
+            if fleet_server.state != DRAINING:
+                continue
+            sid = fleet_server.server_id
+            live = fleet_server.queue_depth \
+                or any(route_sid == sid
+                       for route_sid, _ in self._routes)
+            if not live:
+                fleet_server.state = RETIRED
+                self.prober.forget(sid)
+                self._fleet_event("drain_done", zone=fleet_server.zone,
+                                  server=sid)
+
+    # -- reply collection ----------------------------------------------------
+
+    def _collect(self) -> int:
+        """Harvest finished server replies into fleet terminal replies."""
+        collected = 0
+        for (sid, rid), fid in sorted(list(self._routes.items())):
+            fleet_server = self._servers[sid]
+            reply = fleet_server.server.result(rid)
+            if reply is None:
+                continue
+            del self._routes[(sid, rid)]
+            record = self._pending[fid]
+            latency_ms = reply.latency_ms + record.handoff_ms
+            if reply.outcome in ("ok", "deadline"):
+                self.autoscaler.observe(latency_ms,
+                                        record.deadline_ms)
+            self.rollout.on_reply(fleet_server.deployment,
+                                  reply.outcome, latency_ms)
+            self._finish(record, reply.outcome, value=reply.value,
+                         replica=reply.replica, latency_ms=latency_ms,
+                         hedges=reply.hedges, error=reply.error,
+                         server=sid, zone=fleet_server.zone)
+            collected += 1
+        return collected
+
+    # -- driving -------------------------------------------------------------
+
+    def pump(self, _drain: bool = False) -> int:
+        """One fleet control round; returns batches dispatched.
+
+        Order matters and is fixed: faults fire first (the world
+        changes), probes observe the changed world, the rollout and
+        autoscaler act on it, servers run, replies are harvested, and
+        finished drains retire — all deterministic on the shared clock.
+        """
+        now = self.clock.now()
+        self._apply_faults(now)
+        self._apply_probes(now)
+        self._apply_rollout(now)
+        self._apply_autoscale(now)
+        ran = 0
+        for fleet_server in self._ordered():
+            if fleet_server.state in (ACTIVE, DRAINING):
+                if _drain:
+                    before = fleet_server.server.batches_dispatched
+                    fleet_server.server.drain()
+                    ran += fleet_server.server.batches_dispatched \
+                        - before
+                else:
+                    ran += fleet_server.server.pump()
+        self._collect()
+        self._finish_drains()
+        self._round += 1
+        return ran
+
+    def outstanding(self) -> int:
+        """Accepted requests without a terminal reply yet."""
+        return len(self._pending)
+
+    def drain(self, max_rounds: int = 10000) -> dict[int, Reply]:
+        """Run the fleet until every accepted request terminates.
+
+        When a round makes no progress (e.g. every request is captured
+        in a blackhole, or a whole-fleet outage is in force), the clock
+        sleeps toward the next scheduled thing — a fault heal or a
+        probe cycle — instead of spinning. ``max_rounds`` is a
+        structural backstop: exceeding it means a termination bug.
+        """
+        rounds = 0
+        while self.outstanding():
+            rounds += 1
+            if rounds > max_rounds:
+                raise ServingError(
+                    f"fleet drain exceeded {max_rounds} rounds with "
+                    f"{self.outstanding()} requests outstanding")
+            before = len(self.replies)
+            started = self.clock.now()
+            self.pump(_drain=True)
+            if len(self.replies) == before \
+                    and self.clock.now() == started:
+                self._sleep_toward_wakeup()
+        self.pump(_drain=True)   # retire any finished drains
+        return self.replies
+
+    def _sleep_toward_wakeup(self) -> None:
+        now = self.clock.now()
+        candidates = [self.prober.next_wakeup(now)]
+        if self._injector is not None:
+            injector_next = self._injector.next_wakeup(now)
+            if injector_next is not None:
+                candidates.append(injector_next)
+        future = [c for c in candidates if c > now]
+        target = min(future) if future else now
+        self.clock.sleep(max(target - now, 1e-4))
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def batches_dispatched(self) -> int:
+        return self._lost_batches + sum(
+            fs.server.batches_dispatched
+            for fs in self._servers.values())
+
+    def report(self) -> "FleetReport":
+        return FleetReport.from_fleet(self)
+
+
+def _percentile(latencies: list[float], q: float) -> float:
+    if not latencies:
+        return 0.0
+    return float(np.percentile(np.asarray(latencies), q))
+
+
+@dataclass
+class FleetReport:
+    """SLO + survival summary of one fleet run (JSON-serializable)."""
+
+    workload: str
+    zones: list[str] = field(default_factory=list)
+    requests: int = 0
+    accepted: int = 0
+    ok: int = 0
+    shed: int = 0
+    deadline: int = 0
+    error: int = 0
+    hedges: int = 0
+    reroutes: int = 0
+    blackholed: int = 0
+    probes: int = 0
+    ejections: int = 0
+    reinstatements: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    rollouts: int = 0
+    rollbacks: int = 0
+    zone_outages: int = 0
+    server_crashes: int = 0
+    servers_final: int = 0
+    servers_peak: int = 0
+    batches: int = 0
+    faults_injected: int = 0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    mean_ms: float = 0.0
+    tenants: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_fleet(cls, fleet: ServingFleet) -> "FleetReport":
+        counters = fleet.counters
+        latencies = fleet.latencies_ms
+        return cls(
+            workload=fleet.model.name,
+            zones=list(fleet.config.zones),
+            requests=len(fleet.replies),
+            accepted=counters["accepted"],
+            ok=counters["ok"],
+            shed=counters["shed"],
+            deadline=counters["deadline"],
+            error=counters["error"],
+            hedges=counters["hedges"],
+            reroutes=counters["reroutes"],
+            blackholed=counters["blackholed"],
+            probes=fleet.prober.probes,
+            ejections=counters["ejections"],
+            reinstatements=counters["reinstatements"],
+            scale_ups=fleet.autoscaler.scale_ups,
+            scale_downs=fleet.autoscaler.scale_downs,
+            rollouts=counters["rollouts"],
+            rollbacks=fleet.rollout.rollbacks,
+            zone_outages=counters["zone_outages"],
+            server_crashes=counters["server_crashes"],
+            servers_final=len(fleet.servers_in(ACTIVE)),
+            servers_peak=fleet.servers_peak,
+            batches=fleet.batches_dispatched,
+            faults_injected=(fleet._injector.num_injected
+                             if fleet._injector is not None else 0),
+            p50_ms=_percentile(latencies, 50),
+            p95_ms=_percentile(latencies, 95),
+            p99_ms=_percentile(latencies, 99),
+            mean_ms=(float(np.mean(latencies)) if latencies else 0.0),
+            tenants={name: dict(stats)
+                     for name, stats in fleet.tenant_counters.items()})
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of *accepted* requests answered on time."""
+        return self.ok / self.accepted if self.accepted else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of all requests shed at admission."""
+        return self.shed / self.requests if self.requests else 0.0
+
+    def to_json(self) -> dict:
+        blob = dict(self.__dict__)
+        blob["attainment"] = self.attainment
+        blob["shed_rate"] = self.shed_rate
+        return blob
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def render(self) -> str:
+        """A terminal-friendly summary for ``repro fleet``."""
+        lines = [
+            f"fleet report: {self.workload}  "
+            f"(zones {', '.join(self.zones)})",
+            f"  requests   {self.requests:>6}  "
+            f"(accepted {self.accepted}, shed {self.shed})",
+            f"  outcomes   ok {self.ok}  deadline {self.deadline}  "
+            f"error {self.error}",
+            f"  latency    p50 {self.p50_ms:.2f} ms  "
+            f"p95 {self.p95_ms:.2f} ms  p99 {self.p99_ms:.2f} ms",
+            f"  attainment {self.attainment * 100:.1f}%  "
+            f"shed rate {self.shed_rate * 100:.1f}%",
+            f"  survival   reroutes {self.reroutes}  "
+            f"blackholed {self.blackholed}  ejections {self.ejections}"
+            f"  outages {self.zone_outages}  "
+            f"crashes {self.server_crashes}",
+            f"  scaling    up {self.scale_ups}  down "
+            f"{self.scale_downs}  peak {self.servers_peak} servers  "
+            f"final {self.servers_final}",
+            f"  rollouts   {self.rollouts} started, "
+            f"{self.rollbacks} rolled back",
+            f"  probes     {self.probes} sent, "
+            f"{self.reinstatements} reinstatements; "
+            f"{self.batches} batches; "
+            f"{self.faults_injected} faults injected",
+        ]
+        for name, stats in sorted(self.tenants.items()):
+            lines.append(
+                f"  tenant {name:<10} accepted {stats['accepted']:>5}"
+                f"  ok {stats['ok']:>5}  shed {stats['shed']:>4}"
+                f"  deadline {stats['deadline']:>4}"
+                f"  error {stats['error']:>4}")
+        return "\n".join(lines)

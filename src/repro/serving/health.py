@@ -1,0 +1,135 @@
+"""Active health probing: probe-driven ejection and reinstatement.
+
+The load balancer's routing weights react to what servers *report*
+(EWMA latency, breaker state) — but a server the balancer cannot reach
+reports nothing. An ``lb_blackhole`` fault is exactly that failure
+mode: requests sent down the link vanish, the server itself is
+healthy, and no passive signal ever fires. Active probing closes the
+loop: the prober pings every probeable server on a fixed cadence from
+the *balancer's* vantage point, so a silent link failure looks like a
+dead server and gets the same remedy.
+
+* a probe succeeds when the server is reachable (no blackhole between
+  the balancer and it) **and** has serving capacity right now (at
+  least one replica whose breaker is not hard-open);
+* ``eject_threshold`` consecutive probe failures eject the server:
+  the fleet takes it out of rotation and re-routes its queued work;
+* ``reinstate_threshold`` consecutive successes while ejected bring it
+  back — ejection is a routing decision, not a death sentence.
+
+The prober never calls ``breaker.available()`` (that transitions an
+expired breaker to half-open as a side effect); it peeks at breaker
+state read-only, so probing cannot perturb the serving path and chaos
+runs stay deterministic whether or not probes happen to land between
+batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .breaker import OPEN
+
+__all__ = ["HealthConfig", "HealthProber"]
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Knobs for :class:`HealthProber`.
+
+    Args:
+        interval_seconds: probe cadence on the fleet clock.
+        eject_threshold: consecutive probe failures before a server is
+            ejected from rotation.
+        reinstate_threshold: consecutive probe successes before an
+            ejected server rejoins.
+    """
+
+    interval_seconds: float = 0.01
+    eject_threshold: int = 3
+    reinstate_threshold: int = 2
+
+    def __post_init__(self):
+        if self.interval_seconds <= 0:
+            raise ValueError("interval_seconds must be > 0")
+        if self.eject_threshold < 1 or self.reinstate_threshold < 1:
+            raise ValueError("thresholds must be >= 1")
+
+
+def _has_capacity(server, now: float) -> bool:
+    """Read-only capacity check: any replica not hard-open right now.
+
+    Mirrors ``CircuitBreaker.available`` without its open->half-open
+    side effect — probing must observe, never transition.
+    """
+    return any(r.breaker.state != OPEN or now >= r.breaker.open_until
+               for r in server.replicas)
+
+
+class HealthProber:
+    """Fixed-cadence probing over the fleet's servers.
+
+    :meth:`tick` is called once per fleet pump round; when a probe
+    cycle is due it returns the actions the fleet should apply —
+    ``("probe_fail", server, detail)``, ``("eject", server)``,
+    ``("reinstate", server)`` — in deterministic server-id order.
+    """
+
+    def __init__(self, config: HealthConfig | None = None):
+        self.config = config or HealthConfig()
+        self.probes = 0
+        self.failures: dict[int, int] = {}   #: consecutive probe failures
+        self.successes: dict[int, int] = {}  #: consecutive (while ejected)
+        self._next_at: float | None = None
+
+    def next_wakeup(self, now: float) -> float:
+        """When the next probe cycle runs (drain-loop pacing)."""
+        if self._next_at is None:
+            return now + self.config.interval_seconds
+        return self._next_at
+
+    def tick(self, now: float, servers, reachable) -> list[tuple]:
+        """Run a probe cycle if one is due; returns fleet actions.
+
+        ``servers`` are the fleet's probeable servers (active or
+        ejected — down, draining, and retired servers are owned by
+        other machinery); ``reachable(server)`` is the fleet's link
+        predicate (False inside an ``lb_blackhole`` window).
+        """
+        if self._next_at is None:
+            self._next_at = now + self.config.interval_seconds
+            return []
+        if now < self._next_at:
+            return []
+        self._next_at = now + self.config.interval_seconds
+        actions: list[tuple] = []
+        for server in sorted(servers, key=lambda s: s.server_id):
+            sid = server.server_id
+            self.probes += 1
+            if reachable(server) and _has_capacity(server, now):
+                self.failures[sid] = 0
+                if server.ejected:
+                    streak = self.successes.get(sid, 0) + 1
+                    self.successes[sid] = streak
+                    if streak >= self.config.reinstate_threshold:
+                        self.successes[sid] = 0
+                        actions.append(("reinstate", server))
+                continue
+            self.successes[sid] = 0
+            streak = self.failures.get(sid, 0) + 1
+            self.failures[sid] = streak
+            why = ("unreachable" if not reachable(server)
+                   else "no replica capacity")
+            actions.append(("probe_fail", server,
+                            f"{why} ({streak}/"
+                            f"{self.config.eject_threshold})"))
+            if streak >= self.config.eject_threshold \
+                    and not server.ejected:
+                self.failures[sid] = 0
+                actions.append(("eject", server))
+        return actions
+
+    def forget(self, server_id: int) -> None:
+        """Drop state for a retired/crashed server."""
+        self.failures.pop(server_id, None)
+        self.successes.pop(server_id, None)

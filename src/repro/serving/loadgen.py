@@ -95,7 +95,9 @@ class LoadGenerator:
                 server.submit(self._feed(index),
                               deadline_ms=config.deadline_ms)
                 server.drain()
-        return ServingReport.from_server(server)
+        # Duck-typed: an InferenceServer returns a ServingReport, a
+        # ServingFleet a FleetReport — same generator drives both.
+        return server.report()
 
 
 def _percentile(latencies: list[float], q: float) -> float:

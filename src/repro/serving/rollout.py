@@ -1,0 +1,237 @@
+"""Rolling deploys with canary analysis and deterministic rollback.
+
+A fleet that survives machine failures can still be killed in one
+motion by its own deploy pipeline — a bad rollout is a *correlated*
+fault injected by the operator. The defense is the same one production
+fleets use:
+
+* **zone-by-zone staging** — a new :class:`Deployment` lands on one
+  fault domain at a time, in zone order. The blast radius of a bad
+  version is one zone, never the fleet.
+* **canary analysis** — while a stage bakes, the comparator splits
+  terminal replies into *canary* (servers on the new version) and
+  *baseline* (servers still on the old one) and, after
+  ``canary_window`` canary replies, compares unhealthy-outcome rate
+  (error + deadline) and p99 latency. Baseline stats accumulate across
+  the whole rollout, so the final stage — when no old-version server
+  remains — still judges against the versions it replaced.
+* **automatic rollback** — a regression (unhealthy-rate delta or p99
+  blowup beyond the configured bounds) reverts *every* staged server
+  to the prior version in the same pump round. All comparisons use
+  deterministic virtual-clock stats, so the same seed produces the
+  same verdict and the same event signature, run after run.
+
+The defective behaviour itself is injected by the ``bad_rollout``
+fleet fault (see :class:`~repro.framework.faults.FleetFaultSpec`): a
+poisoned version NaNs its batches, a slow one stalls them — both are
+regressions the comparator must catch from SLO signals alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CanaryStats", "Deployment", "RolloutConfig", "RolloutManager"]
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """One deployable version of the serving configuration.
+
+    ``defect`` is the chaos hook: ``None`` is a clean deploy, while
+    ``"poison"``/``"slow"`` make servers running this version misbehave
+    (wired through a per-server fault plan by the fleet). The canary
+    comparator never reads ``defect`` — it must convict the version on
+    observed SLO evidence.
+    """
+
+    version: str
+    defect: str | None = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RolloutConfig:
+    """Knobs for :class:`RolloutManager`.
+
+    Args:
+        canary_window: canary replies per stage before judging.
+        max_unhealthy_delta: regression when the canary's unhealthy
+            rate (error + deadline outcomes) exceeds the baseline's by
+            more than this.
+        max_p99_ratio: regression when the canary p99 exceeds
+            ``baseline_p99 * ratio + p99_slack_ms``.
+        p99_slack_ms: absolute slack on the p99 comparison (keeps tiny
+            baselines from flagging noise).
+        bake_seconds: judge a stage on whatever evidence arrived once
+            it has baked this long, even below ``canary_window`` —
+            a misbehaving canary repels traffic (its breakers open and
+            its routing score collapses), so waiting for a full window
+            would starve forever exactly when the version is worst.
+        min_canary: minimum canary replies a baked judgement needs; a
+            stage baked ``4 * bake_seconds`` with *zero* canary replies
+            rolls back on starvation alone.
+    """
+
+    canary_window: int = 8
+    max_unhealthy_delta: float = 0.25
+    max_p99_ratio: float = 3.0
+    p99_slack_ms: float = 5.0
+    bake_seconds: float = 0.05
+    min_canary: int = 2
+
+
+@dataclass
+class CanaryStats:
+    """Terminal-reply tallies for one side of the comparison."""
+
+    count: int = 0
+    unhealthy: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+
+    def add(self, outcome: str, latency_ms: float) -> None:
+        self.count += 1
+        if outcome in ("error", "deadline"):
+            self.unhealthy += 1
+        elif outcome == "ok":
+            self.latencies_ms.append(latency_ms)
+
+    @property
+    def unhealthy_rate(self) -> float:
+        return self.unhealthy / self.count if self.count else 0.0
+
+    def p99_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_ms), 99))
+
+
+class RolloutManager:
+    """The zone-by-zone rollout state machine.
+
+    The fleet drives it with three calls: :meth:`start` begins a
+    rollout, :meth:`on_reply` feeds every terminal reply's
+    ``(version, outcome, latency)``, and :meth:`tick` returns the next
+    action when a stage has enough evidence:
+
+    * ``("stage", zone)`` — apply the deployment to this zone next;
+    * ``("canary_pass", zone, detail)`` — stage judged healthy;
+    * ``("rollback", detail)`` — regression: revert every staged zone;
+    * ``("done",)`` — all zones staged and judged.
+    """
+
+    def __init__(self, config: RolloutConfig | None = None):
+        self.config = config or RolloutConfig()
+        self.deployment: Deployment | None = None
+        self.previous_version: str | None = None
+        self.zones: list[str] = []
+        self.stage_index = -1
+        self.staged_pending = False   #: stage announced, not yet applied
+        self._stage_started_at: float | None = None
+        self.canary = CanaryStats()
+        self.baseline = CanaryStats()
+        self.rollbacks = 0
+        self.completed = 0
+
+    @property
+    def active(self) -> bool:
+        return self.deployment is not None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, deployment: Deployment, zones,
+              current_version: str) -> None:
+        if self.active:
+            raise RuntimeError(
+                f"rollout of {self.deployment.version!r} still in "
+                f"progress; cannot start {deployment.version!r}")
+        self.deployment = deployment
+        self.previous_version = current_version
+        self.zones = list(zones)
+        self.stage_index = 0
+        self.staged_pending = True
+        self.canary = CanaryStats()
+        self.baseline = CanaryStats()
+
+    def on_reply(self, version: str, outcome: str,
+                 latency_ms: float) -> None:
+        """Classify one terminal reply as canary or baseline evidence."""
+        if not self.active or outcome == "shed":
+            return
+        if version == self.deployment.version:
+            self.canary.add(outcome, latency_ms)
+        else:
+            self.baseline.add(outcome, latency_ms)
+
+    def tick(self, now: float) -> tuple | None:
+        """The next rollout action, if the evidence is in."""
+        if not self.active:
+            return None
+        if self.staged_pending:
+            self.staged_pending = False
+            self._stage_started_at = now
+            return ("stage", self.zones[self.stage_index])
+        if self.canary.count < self.config.canary_window:
+            baked = now - self._stage_started_at
+            if baked < self.config.bake_seconds \
+                    or self.canary.count < self.config.min_canary:
+                if self.canary.count == 0 \
+                        and baked >= 4 * self.config.bake_seconds:
+                    # Total starvation: the staged zone repels all
+                    # traffic. That only happens when its servers score
+                    # unroutably bad — conviction by avoidance.
+                    self.rollbacks += 1
+                    version = self.deployment.version
+                    self._reset()
+                    return ("rollback",
+                            f"canary starved on {version!r}: no "
+                            f"traffic reached the staged zone in "
+                            f"{baked * 1000:.0f} ms")
+                return None
+        verdict = self._judge()
+        if verdict is not None:
+            self.rollbacks += 1
+            version = self.deployment.version
+            self._reset()
+            return ("rollback",
+                    f"canary regression on {version!r}: {verdict}")
+        zone = self.zones[self.stage_index]
+        detail = (f"canary healthy: unhealthy "
+                  f"{self.canary.unhealthy_rate:.2f} vs baseline "
+                  f"{self.baseline.unhealthy_rate:.2f}")
+        self.stage_index += 1
+        if self.stage_index >= len(self.zones):
+            self.completed += 1
+            self._reset()
+            return ("done", zone, detail)
+        # Next stage: fresh canary window, baseline keeps accumulating
+        # so late stages still have an old-version yardstick.
+        self.canary = CanaryStats()
+        self.staged_pending = True
+        return ("canary_pass", zone, detail)
+
+    # -- judgement -----------------------------------------------------------
+
+    def _judge(self) -> str | None:
+        """The regression verdict for the current stage, or None."""
+        config = self.config
+        delta = self.canary.unhealthy_rate - self.baseline.unhealthy_rate
+        if delta > config.max_unhealthy_delta:
+            return (f"unhealthy rate {self.canary.unhealthy_rate:.2f} "
+                    f"vs {self.baseline.unhealthy_rate:.2f}")
+        canary_p99 = self.canary.p99_ms()
+        baseline_p99 = self.baseline.p99_ms()
+        bound = baseline_p99 * config.max_p99_ratio + config.p99_slack_ms
+        if self.baseline.latencies_ms and canary_p99 > bound:
+            return (f"p99 {canary_p99:.1f} ms vs baseline "
+                    f"{baseline_p99:.1f} ms")
+        return None
+
+    def _reset(self) -> None:
+        self.deployment = None
+        self.zones = []
+        self.stage_index = -1
+        self.staged_pending = False
+        self._stage_started_at = None

@@ -1,0 +1,92 @@
+"""Shared routing-weight scoring: EWMA latency shaded by breaker state.
+
+Both routing layers in the serving stack rank candidates by the same
+two signals — how fast a target has recently been (its EWMA batch
+latency) and how healthy it currently is (its circuit-breaker state):
+
+* :class:`~repro.serving.server.InferenceServer` picks a *replica* for
+  the next batch (:func:`replica_selection_key`);
+* the fleet :class:`~repro.serving.balancer.LoadBalancer` picks a
+  *server* for the next request (:func:`server_score`, which folds
+  every replica's score into the server's best case).
+
+Keeping the computation here — one implementation, two call sites —
+is what stops the two layers' notions of "fastest healthy target" from
+drifting apart.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .breaker import CLOSED, HALF_OPEN, OPEN
+
+#: breaker-state multipliers on the latency score: a closed breaker
+#: routes at face value, a half-open one is deprioritized (its next
+#: batch is a trial, not a commitment), an open one is effectively
+#: unroutable (infinite weight) without being structurally excluded —
+#: callers that *must* pick someone still get a total order.
+BREAKER_WEIGHTS = {CLOSED: 1.0, HALF_OPEN: 2.0, OPEN: math.inf}
+
+
+def effective_latency(ewma_latency: float | None,
+                      prior_seconds: float = 0.0) -> float:
+    """The latency estimate to route on, before any health shading.
+
+    An unmeasured target scores ``prior_seconds`` — by default ``0.0``,
+    i.e. optimistically fast, so cold targets (fresh replicas, newly
+    scaled-up servers) attract traffic and get measured instead of
+    starving behind warm peers.
+    """
+    return ewma_latency if ewma_latency is not None else prior_seconds
+
+
+def breaker_weight(state: str) -> float:
+    """The routing multiplier for one breaker state."""
+    return BREAKER_WEIGHTS[state]
+
+
+def routing_score(ewma_latency: float | None, breaker_state: str,
+                  prior_seconds: float = 0.0) -> float:
+    """One target's routing weight: lower is better.
+
+    The score is the EWMA latency estimate scaled by the breaker-state
+    weight; an open breaker scores ``inf`` (last resort), a half-open
+    one doubles its latency (probe-shy), a closed one competes on
+    measured speed alone.
+    """
+    latency = effective_latency(ewma_latency, prior_seconds)
+    weight = breaker_weight(breaker_state)
+    if math.isinf(weight):
+        return math.inf
+    # A cold target (latency 0.0) stays cold-attractive regardless of
+    # the weight; the multiplier only shades *measured* targets.
+    return latency * weight
+
+
+def replica_selection_key(replica) -> tuple:
+    """Sort key for :meth:`InferenceServer._pick_replica`.
+
+    Probe-eligible (half-open) replicas sort first — once a breaker's
+    backoff expires, the next batch IS the trial, otherwise a tripped
+    replica starves behind healthy peers and never closes its breaker —
+    then breaker-closed replicas by routing score (fastest first), with
+    the replica id as the deterministic tie-break.
+    """
+    return (not replica.breaker.is_probe(),
+            routing_score(replica.ewma_latency, CLOSED),
+            replica.replica_id)
+
+
+def server_score(replicas, prior_seconds: float = 0.0) -> float:
+    """A whole server's routing weight: its best replica's score.
+
+    A server is as attractive as the best batch it could serve right
+    now; a server whose breakers are all open scores ``inf`` (routable
+    only when nothing better exists).
+    """
+    if not replicas:
+        return math.inf
+    return min(routing_score(r.ewma_latency, r.breaker.state,
+                             prior_seconds)
+               for r in replicas)

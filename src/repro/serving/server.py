@@ -45,6 +45,7 @@ from .batcher import DynamicBatcher, FeedCodec
 from .breaker import BreakerConfig
 from .events import PendingRequest, Reply, ServingEvent
 from .replica import Replica
+from .routing import replica_selection_key
 
 __all__ = ["InferenceServer", "ServingConfig", "SystemClock",
            "VirtualClock"]
@@ -175,6 +176,11 @@ class InferenceServer:
         self._faults = plan.injector(sleep=self.clock.sleep)
         return self._faults
 
+    def uninstall_faults(self) -> None:
+        """Disarm any installed fault plan (a rollback reverting a
+        defective deployment)."""
+        self._faults = None
+
     # -- admission ---------------------------------------------------------
 
     def _est_batch_seconds(self) -> float:
@@ -264,10 +270,10 @@ class InferenceServer:
             available = [r for r in self.replicas
                          if r.breaker.available(now)]
             if available:
-                available.sort(key=lambda r: (
-                    not r.breaker.is_probe(),
-                    r.ewma_latency if r.ewma_latency is not None else 0.0,
-                    r.replica_id))
+                # Probe-first, then fastest-EWMA — the same scoring the
+                # fleet LoadBalancer uses to rank whole servers (see
+                # repro.serving.routing).
+                available.sort(key=replica_selection_key)
                 return available[0]
             reopen = min(r.breaker.reopen_at() for r in self.replicas)
             self.clock.sleep(max(0.0, reopen - now) + _REOPEN_EPSILON)
@@ -418,6 +424,27 @@ class InferenceServer:
     def result(self, request_id: int) -> Reply | None:
         """The terminal reply for a request, or None while pending."""
         return self.replies.get(request_id)
+
+    # -- fleet hooks -------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Queued (accepted, undispatched) requests right now."""
+        return len(self.batcher)
+
+    def evict_pending(self) -> list[PendingRequest]:
+        """Remove and return every queued request *without* finishing it.
+
+        The fleet layer's salvage path: when this server goes down (zone
+        outage, correlated crash) or is ejected, its queued requests are
+        evicted here and re-routed to surviving servers, so they still
+        reach exactly one terminal reply — at the fleet level, on
+        another server — instead of dying with this one.
+        """
+        evicted = []
+        while len(self.batcher):
+            evicted.extend(self.batcher.pop_batch())
+        return evicted
 
     # -- reporting ---------------------------------------------------------
 

@@ -69,6 +69,77 @@ class TestRecovery:
             breaker.available(now)  # half-open; next failure re-trips
 
 
+class TestHalfOpenEdgeCases:
+    def test_hard_trip_during_half_open_escalates_backoff(self):
+        """A crash landing *during* the half-open probe must re-open
+        with the next backoff tier, exactly like a failed probe — the
+        trip streak survives the half-open excursion."""
+        breaker = make(threshold=1, recovery=0.01, jitter=0.0)
+        breaker.record_failure(0.0)
+        first = breaker.open_until
+        breaker.available(first + 1e-4)
+        assert breaker.state == HALF_OPEN
+        breaker.trip(first + 1e-4, "crash during probe")
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+        second = breaker.open_until - (first + 1e-4)
+        assert second == pytest.approx(2 * first, rel=1e-6)
+
+    def test_hard_trip_while_already_open_is_a_no_op(self):
+        """A redundant trip must not restart (or re-jitter) the
+        current backoff window."""
+        breaker = make(threshold=1, recovery=0.01, jitter=0.0)
+        breaker.record_failure(0.0)
+        until = breaker.open_until
+        breaker.trip(until / 2, "redundant")
+        assert breaker.open_until == until
+        assert breaker.opens == 1
+
+    def test_success_then_failure_in_half_open_window(self):
+        """The probe closing the breaker resets the trip streak, so a
+        later trip starts back at the base backoff tier."""
+        breaker = make(threshold=1, recovery=0.01, jitter=0.0)
+        breaker.record_failure(0.0)
+        first = breaker.open_until
+        probe_at = first + 1e-4
+        breaker.available(probe_at)
+        breaker.record_success(probe_at)
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_trips == 0
+        breaker.record_failure(probe_at + 1e-3)
+        fresh = breaker.open_until - (probe_at + 1e-3)
+        assert fresh == pytest.approx(first, rel=1e-6)
+
+
+class TestPerReplicaJitter:
+    def test_replicas_sharing_one_config_derive_distinct_seeds(self):
+        """Two replicas built from one ServingConfig share the breaker
+        *config* but not the jitter *stream* — otherwise both breakers
+        reopen at the identical jittered instant and probe in lockstep.
+        Regression-pinned: the derivation is
+        ``breaker.seed + 31 * (config.seed + 1) + replica_id``."""
+        from repro import workloads
+        from repro.serving import InferenceServer, ServingConfig
+
+        model = workloads.create("autoenc", config="tiny", seed=0)
+        server = InferenceServer(model, ServingConfig(replicas=2, seed=3))
+        seeds = [r.breaker.config.seed for r in server.replicas]
+        assert seeds == [124, 125]
+        first = [r.breaker._backoff.delay(k) for k in range(3)
+                 for r in (server.replicas[0],)]
+        second = [r.breaker._backoff.delay(k) for k in range(3)
+                  for r in (server.replicas[1],)]
+        assert first != second
+        # Pinned jittered schedules: any drift here changes every
+        # deterministic chaos baseline downstream.
+        assert first == pytest.approx(
+            [0.021488560984268462, 0.04176611700425826,
+             0.07324263437546961])
+        assert second == pytest.approx(
+            [0.021842168119174072, 0.03742163883340611,
+             0.07554011711841345])
+
+
 class TestDeterminism:
     def test_same_seed_same_backoff_schedule(self):
         def schedule(seed):

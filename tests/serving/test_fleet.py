@@ -1,0 +1,435 @@
+"""Unit tests for the fleet layer: routing, balancer, health,
+autoscale, rollout, and the ServingFleet invariants."""
+
+import math
+
+import pytest
+
+from repro import workloads
+from repro.framework.errors import ServingError
+from repro.framework.faults import FleetFaultPlan, FleetFaultSpec
+from repro.serving import (AutoscaleConfig, Autoscaler, Deployment,
+                           FleetConfig, HealthConfig, HealthProber,
+                           LoadBalancer, LoadConfig, LoadGenerator,
+                           RolloutConfig, RolloutManager, ServingConfig,
+                           ServingFleet, TenantSpec, VirtualClock)
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.serving.fleet import ACTIVE, DRAINING, EJECTED, RETIRED
+from repro.serving.routing import (breaker_weight, routing_score,
+                                   server_score)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return workloads.create("autoenc", config="tiny", seed=0)
+
+
+def make_fleet(model, *, zones=("z0", "z1"), servers_per_zone=1,
+               tenants=(TenantSpec("default"),), autoscale=None,
+               clock=None, deadline_ms=200.0, queue_limit=32,
+               **kwargs):
+    config = FleetConfig(
+        zones=zones, servers_per_zone=servers_per_zone,
+        server=ServingConfig(replicas=1, queue_limit=queue_limit,
+                             default_deadline_ms=deadline_ms,
+                             est_batch_ms=5.0, seed=2),
+        tenants=tenants,
+        autoscale=autoscale or AutoscaleConfig(enabled=False,
+                                               min_servers=1),
+        seed=7, **kwargs)
+    return ServingFleet(model, config, clock=clock or VirtualClock())
+
+
+def single_feed(model, fleet):
+    return fleet.codec.split_feed(model.sample_feed(training=False))[0]
+
+
+class TestRoutingScores:
+    def test_breaker_weights(self):
+        assert breaker_weight(CLOSED) == 1.0
+        assert breaker_weight(HALF_OPEN) == 2.0
+        assert math.isinf(breaker_weight(OPEN))
+
+    def test_routing_score_prefers_fast_closed_replicas(self):
+        fast = routing_score(0.001, CLOSED)
+        slow = routing_score(0.010, CLOSED)
+        probing = routing_score(0.001, HALF_OPEN)
+        assert fast < slow < math.inf
+        assert fast < probing
+        assert math.isinf(routing_score(0.001, OPEN))
+
+    def test_unknown_latency_falls_back_to_prior(self):
+        assert routing_score(None, CLOSED, prior_seconds=0.005) \
+            == pytest.approx(0.005)
+
+    def test_server_score_is_best_replica(self):
+        class FakeBreaker:
+            def __init__(self, state):
+                self.state = state
+
+        class FakeReplica:
+            def __init__(self, state, ewma):
+                self.breaker = FakeBreaker(state)
+                self.ewma_latency = ewma
+
+        replicas = [FakeReplica(OPEN, 0.001),
+                    FakeReplica(CLOSED, 0.004)]
+        assert server_score(replicas) == pytest.approx(0.004)
+        assert math.isinf(server_score([FakeReplica(OPEN, 0.001)]))
+
+
+class TestLoadBalancer:
+    def test_tenant_quota_sheds_beyond_outstanding_bound(self):
+        balancer = LoadBalancer((TenantSpec("a", max_outstanding=2),
+                                 TenantSpec("b", max_outstanding=4)))
+        assert balancer.admit_tenant("a") is None
+        assert balancer.admit_tenant("a") is None
+        assert balancer.admit_tenant("a") == "tenant_quota"
+        assert balancer.admit_tenant("b") is None
+        balancer.release_tenant("a")
+        assert balancer.admit_tenant("a") is None
+
+    def test_duplicate_tenants_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            LoadBalancer((TenantSpec("a"), TenantSpec("a")))
+
+    def test_tenant_deadline_class(self):
+        balancer = LoadBalancer((TenantSpec("gold", deadline_ms=30.0),
+                                 TenantSpec("std")))
+        assert balancer.deadline_for("gold", 100.0) == 30.0
+        assert balancer.deadline_for("std", 100.0) == 100.0
+
+
+class TestHealthProber:
+    class FakeServer:
+        def __init__(self, server_id, ejected=False):
+            self.server_id = server_id
+            self.ejected = ejected
+            self.replicas = []
+
+    def test_eject_after_consecutive_failures_then_reinstate(self):
+        prober = HealthProber(HealthConfig(interval_seconds=0.01,
+                                           eject_threshold=2,
+                                           reinstate_threshold=2))
+        server = self.FakeServer(0)
+        down = lambda s: False
+        up = lambda s: True
+        assert prober.tick(0.0, [server], down) == []   # arms cadence
+        actions = prober.tick(0.011, [server], down)
+        assert [a[0] for a in actions] == ["probe_fail"]
+        actions = prober.tick(0.021, [server], down)
+        assert [a[0] for a in actions] == ["probe_fail", "eject"]
+        server.ejected = True
+        # capacity check: no replicas -> probe fails even when reachable
+        actions = prober.tick(0.031, [server], up)
+        assert [a[0] for a in actions] == ["probe_fail"]
+
+    def test_reinstate_needs_consecutive_successes(self):
+        class Replica:
+            class breaker:
+                state = CLOSED
+                open_until = 0.0
+        prober = HealthProber(HealthConfig(interval_seconds=0.01,
+                                           eject_threshold=2,
+                                           reinstate_threshold=2))
+        server = self.FakeServer(0, ejected=True)
+        server.replicas = [Replica()]
+        up = lambda s: True
+        prober.tick(0.0, [server], up)
+        assert prober.tick(0.011, [server], up) == []
+        actions = prober.tick(0.021, [server], up)
+        assert [a[0] for a in actions] == ["reinstate"]
+
+
+class TestAutoscaler:
+    class FakeServer:
+        def __init__(self, server_id, zone, queue_depth=0):
+            self.server_id = server_id
+            self.zone = zone
+            self.queue_depth = queue_depth
+
+    def test_scales_up_into_emptiest_zone_on_queue_pressure(self):
+        scaler = Autoscaler(AutoscaleConfig(high_queue_per_server=2.0,
+                                            max_servers=4))
+        servers = [self.FakeServer(0, "z0", 5),
+                   self.FakeServer(1, "z1", 5)]
+        action = scaler.tick(1.0, servers + [self.FakeServer(2, "z0", 5)])
+        assert action == ("up", "z1", "queue 5.0/server")
+
+    def test_scale_down_drains_youngest_in_fullest_zone(self):
+        scaler = Autoscaler(AutoscaleConfig(low_queue_per_server=1.0,
+                                            min_servers=2))
+        servers = [self.FakeServer(0, "z0"), self.FakeServer(1, "z1"),
+                   self.FakeServer(2, "z0")]
+        action = scaler.tick(1.0, servers)
+        assert action[0] == "down"
+        assert action[1].server_id == 2
+
+    def test_cooldown_gates_consecutive_actions(self):
+        scaler = Autoscaler(AutoscaleConfig(high_queue_per_server=1.0,
+                                            cooldown_seconds=0.5,
+                                            max_servers=8))
+        busy = [self.FakeServer(0, "z0", 9)]
+        assert scaler.tick(1.0, busy) is not None
+        assert scaler.tick(1.2, busy) is None
+        assert scaler.tick(1.6, busy) is not None
+
+    def test_p99_breach_triggers_scale_up(self):
+        scaler = Autoscaler(AutoscaleConfig(high_queue_per_server=100.0,
+                                            p99_deadline_fraction=0.9))
+        for _ in range(16):
+            scaler.observe(95.0, 100.0)
+        action = scaler.tick(1.0, [self.FakeServer(0, "z0", 0),
+                                   self.FakeServer(1, "z1", 0)])
+        assert action is not None and action[0] == "up"
+        assert action[2] == "p99 pressing deadline"
+
+
+class TestRolloutManager:
+    def feed(self, manager, version, outcome, count, latency=5.0):
+        for _ in range(count):
+            manager.on_reply(version, outcome, latency)
+
+    def test_clean_rollout_stages_every_zone_then_done(self):
+        manager = RolloutManager(RolloutConfig(canary_window=4))
+        manager.start(Deployment("v2"), ["z0", "z1"], "v1")
+        assert manager.tick(0.0) == ("stage", "z0")
+        assert manager.tick(0.0) is None
+        self.feed(manager, "v2", "ok", 4)
+        self.feed(manager, "v1", "ok", 4)
+        action = manager.tick(0.01)
+        assert action[0] == "canary_pass" and action[1] == "z0"
+        assert manager.tick(0.01) == ("stage", "z1")
+        self.feed(manager, "v2", "ok", 4)
+        action = manager.tick(0.02)
+        assert action[0] == "done"
+        assert not manager.active and manager.completed == 1
+
+    def test_unhealthy_canary_rolls_back(self):
+        manager = RolloutManager(RolloutConfig(canary_window=4))
+        manager.start(Deployment("v2", defect="poison"), ["z0", "z1"],
+                      "v1")
+        manager.tick(0.0)
+        self.feed(manager, "v2", "error", 4)
+        self.feed(manager, "v1", "ok", 8)
+        action = manager.tick(0.01)
+        assert action[0] == "rollback"
+        assert "unhealthy rate" in action[1]
+        assert manager.rollbacks == 1 and not manager.active
+        assert manager.previous_version == "v1"
+
+    def test_starved_canary_rolls_back_on_bake_timeout(self):
+        manager = RolloutManager(RolloutConfig(canary_window=8,
+                                               bake_seconds=0.05))
+        manager.start(Deployment("v2"), ["z0"], "v1")
+        manager.tick(0.0)
+        self.feed(manager, "v1", "ok", 20)
+        assert manager.tick(0.1) is None          # < 4x bake
+        action = manager.tick(0.21)
+        assert action[0] == "rollback" and "starved" in action[1]
+
+    def test_slow_canary_convicted_on_p99(self):
+        manager = RolloutManager(RolloutConfig(canary_window=4,
+                                               max_p99_ratio=2.0,
+                                               p99_slack_ms=1.0))
+        manager.start(Deployment("v2", defect="slow"), ["z0"], "v1")
+        manager.tick(0.0)
+        self.feed(manager, "v1", "ok", 8, latency=5.0)
+        self.feed(manager, "v2", "ok", 4, latency=50.0)
+        action = manager.tick(0.01)
+        assert action[0] == "rollback" and "p99" in action[1]
+
+    def test_overlapping_rollouts_rejected(self):
+        manager = RolloutManager()
+        manager.start(Deployment("v2"), ["z0"], "v1")
+        with pytest.raises(RuntimeError, match="in progress"):
+            manager.start(Deployment("v3"), ["z0"], "v1")
+
+
+class TestServingFleet:
+    def test_every_request_reaches_one_terminal_reply(self, model):
+        fleet = make_fleet(model)
+        report = LoadGenerator(fleet, LoadConfig(requests=24, qps=300,
+                                                 seed=3)).run()
+        assert sorted(fleet.replies) == list(range(24))
+        assert fleet.outstanding() == 0
+        assert (report.ok + report.shed + report.deadline
+                + report.error) == 24
+
+    def test_double_finish_raises(self, model):
+        fleet = make_fleet(model)
+        fleet.submit(single_feed(model, fleet))
+        fleet.drain()
+        record = type("R", (), {"fleet_id": 0, "tenant": "default",
+                                "admitted": False,
+                                "deadline_ms": 0.0})()
+        with pytest.raises(ServingError, match="finished twice"):
+            fleet._finish(record, "ok")
+
+    def test_tenant_quota_isolates_a_flooding_tenant(self, model):
+        fleet = make_fleet(
+            model,
+            tenants=(TenantSpec("flood", max_outstanding=2),
+                     TenantSpec("calm", max_outstanding=64)))
+        feed = single_feed(model, fleet)
+        flood_ids = [fleet.submit(feed, tenant="flood")
+                     for _ in range(6)]
+        calm_ids = [fleet.submit(feed, tenant="calm")
+                    for _ in range(6)]
+        fleet.drain()
+        flood = [fleet.result(i).outcome for i in flood_ids]
+        calm = [fleet.result(i).outcome for i in calm_ids]
+        assert flood.count("shed") == 4
+        assert all(fleet.result(i).error == "tenant_quota"
+                   for i in flood_ids
+                   if fleet.result(i).outcome == "shed")
+        assert calm == ["ok"] * 6
+
+    def test_tenant_deadline_class_applies(self, model):
+        fleet = make_fleet(
+            model,
+            tenants=(TenantSpec("gold", deadline_ms=123.0),))
+        fid = fleet.submit(single_feed(model, fleet), tenant="gold")
+        fleet.drain()
+        assert fleet.result(fid).deadline_ms == 123.0
+
+    def test_unknown_tenant_rejected(self, model):
+        fleet = make_fleet(model)
+        with pytest.raises(ValueError, match="unknown tenant"):
+            fleet.submit(single_feed(model, fleet), tenant="nope")
+
+    def test_spillover_when_best_server_queue_full(self, model):
+        fleet = make_fleet(model, queue_limit=2)
+        feed = single_feed(model, fleet)
+        ids = [fleet.submit(feed) for _ in range(4)]
+        # 2 per server queue bound, 2 servers -> all 4 queued, 0 shed
+        assert fleet.counters["accepted"] == 4
+        assert {fleet._pending[i].server_id for i in ids} == {0, 1}
+        fleet.drain()
+
+    def test_fleet_sheds_when_every_queue_is_full(self, model):
+        fleet = make_fleet(model, queue_limit=1)
+        feed = single_feed(model, fleet)
+        ids = [fleet.submit(feed) for _ in range(4)]
+        outcomes = [fleet.result(i) for i in ids]
+        assert sum(1 for r in outcomes
+                   if r is not None and r.outcome == "shed") == 2
+        fleet.drain()
+        assert len(fleet.replies) == 4
+
+    def test_scale_down_drains_and_retires_without_dropping(self, model):
+        fleet = make_fleet(
+            model,
+            autoscale=AutoscaleConfig(min_servers=1, max_servers=2,
+                                      low_queue_per_server=5.0,
+                                      cooldown_seconds=0.0))
+        feed = single_feed(model, fleet)
+        ids = [fleet.submit(feed) for _ in range(6)]
+        fleet.drain()
+        assert all(fleet.result(i).outcome == "ok" for i in ids)
+        states = [fs.state for fs in fleet._ordered()]
+        assert states.count(ACTIVE) == 1
+        assert states.count(RETIRED) == 1
+        drain_events = [e.kind for e in fleet.events
+                        if e.kind in ("scale_down", "drain_start",
+                                      "drain_done")]
+        assert drain_events == ["scale_down", "drain_start",
+                                "drain_done"]
+
+    def test_zone_outage_reroutes_queued_work(self, model):
+        fleet = make_fleet(model, zones=("z0", "z1"))
+        plan = FleetFaultPlan([FleetFaultSpec(
+            "zone_outage", zone="z0", at_seconds=0.0,
+            duration_seconds=0.05)], seed=1)
+        fleet.install_faults(plan)
+        feed = single_feed(model, fleet)
+        ids = [fleet.submit(feed) for _ in range(6)]
+        fleet.drain()
+        assert all(fleet.result(i).outcome == "ok" for i in ids)
+        fleet.clock.sleep(0.06)   # past the heal
+        fleet.pump()
+        kinds = [e.kind for e in fleet.events]
+        assert "zone_down" in kinds and "zone_up" in kinds
+        assert kinds.count("reroute") >= 1
+        # all replies came from the surviving zone's server
+        served = {e.server for e in fleet.events
+                  if e.kind == "reply" and e.server is not None}
+        survivors = {fs.server_id for fs in fleet._in_zone("z1")}
+        assert served <= survivors
+
+    def test_blackhole_is_silent_until_probes_eject(self, model):
+        fleet = make_fleet(model, zones=("z0", "z1"))
+        plan = FleetFaultPlan([FleetFaultSpec(
+            "lb_blackhole", servers=(0,), at_seconds=0.0,
+            duration_seconds=10.0)], seed=1)
+        fleet.install_faults(plan)
+        fleet.pump()   # arm the blackhole
+        feed = single_feed(model, fleet)
+        ids = [fleet.submit(feed) for _ in range(4)]
+        swallowed = [i for i in ids if fleet._pending[i].hole == 0]
+        assert swallowed, "routing favourite should be blackholed"
+        fleet.drain()
+        assert all(fleet.result(i) is not None for i in ids)
+        kinds = [e.kind for e in fleet.events]
+        assert "probe_fail" in kinds and "eject" in kinds
+        assert fleet._servers[0].state == EJECTED
+
+    def test_correlated_crash_rebuilds_and_reroutes(self, model):
+        fleet = make_fleet(model, zones=("z0", "z1", "z2"))
+        plan = FleetFaultPlan([FleetFaultSpec(
+            "correlated_crash", count=2, at_seconds=0.0)], seed=1)
+        fleet.install_faults(plan)
+        feed = single_feed(model, fleet)
+        ids = [fleet.submit(feed) for _ in range(6)]
+        fleet.drain()
+        assert all(fleet.result(i).outcome == "ok" for i in ids)
+        assert fleet.counters["server_crashes"] == 2
+        assert all(fs.state == ACTIVE for fs in fleet._ordered())
+
+    def test_reroute_limit_bounds_salvage(self, model):
+        fleet = make_fleet(model, reroute_limit=1)
+        record = fleet._pending[fleet.submit(
+            single_feed(model, fleet))]
+        record.reroutes = 1
+        fleet._routes.pop((record.server_id, record.server_rid))
+        fleet._servers[record.server_id].server.evict_pending()
+        fleet._reroute([record.fleet_id], fleet.clock.now(), set(),
+                       "test")
+        reply = fleet.result(record.fleet_id)
+        assert reply.outcome == "error"
+        assert "re-route limit" in reply.error
+
+    def test_fleet_chaos_run_is_deterministic(self, model):
+        def run():
+            fleet = make_fleet(model, zones=("z0", "z1", "z2"))
+            fleet.install_faults(FleetFaultPlan([
+                FleetFaultSpec("zone_outage", zone="z1",
+                               at_seconds=0.02, duration_seconds=0.05),
+                FleetFaultSpec("lb_blackhole", at_seconds=0.01,
+                               duration_seconds=0.1),
+            ], seed=3))
+            LoadGenerator(fleet, LoadConfig(requests=30, qps=400,
+                                            seed=5)).run()
+            return fleet
+
+        first, second = run(), run()
+        assert [e.signature() for e in first.events] \
+            == [e.signature() for e in second.events]
+        assert first._injector.signature() \
+            == second._injector.signature()
+
+    def test_report_round_trips_to_json(self, model, tmp_path):
+        fleet = make_fleet(model)
+        LoadGenerator(fleet, LoadConfig(requests=8, qps=200,
+                                        seed=1)).run()
+        report = fleet.report()
+        path = tmp_path / "fleet.json"
+        report.save(path)
+        import json
+        blob = json.loads(path.read_text())
+        assert blob["requests"] == 8
+        assert blob["zones"] == ["z0", "z1"]
+        assert 0.0 <= blob["attainment"] <= 1.0
+        assert "tenants" in blob
+        assert "servers_peak" in blob
+        assert report.render().startswith("fleet report: autoenc")

@@ -331,3 +331,70 @@ class TestServe:
         from repro.profiling.serialize import load_trace
         loaded = load_trace(trace_path)
         assert loaded.serving_events()
+
+    def test_list_presets(self, capsys):
+        code, out = run_cli(capsys, "serve", "--list-presets")
+        assert code == 0
+        for name in ("crash", "slow", "poison", "storm"):
+            assert name in out
+
+    def test_unknown_preset_lists_alternatives(self, capsys):
+        code = main(["serve", "memnet", "--config", "tiny",
+                     "--fault", "tyop", "--virtual-clock"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown fault preset 'tyop'" in err
+        assert "crash" in err
+
+
+class TestFleet:
+    def test_closed_loop_report(self, capsys):
+        code, out = run_cli(capsys, "fleet", "memnet", "--config", "tiny",
+                            "--requests", "24", "--qps", "300",
+                            "--virtual-clock")
+        assert code == 0
+        assert "fleet report: memnet" in out
+        assert "attainment" in out
+        assert "zones" in out
+
+    def test_storm_preset_with_artifacts(self, capsys, tmp_path):
+        report_path = tmp_path / "fleet.json"
+        trace_path = tmp_path / "fleet.jsonl"
+        code, out = run_cli(capsys, "fleet", "memnet", "--config", "tiny",
+                            "--fault", "storm", "--virtual-clock",
+                            "--report-json", str(report_path),
+                            "--trace", str(trace_path))
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["workload"] == "memnet"
+        assert report["zone_outages"] == 1
+        assert report["server_crashes"] == 2
+        assert report["rollbacks"] == 1
+        assert report["ok"] + report["shed"] + report["deadline"] \
+            + report["error"] == report["requests"]
+        from repro.profiling.serialize import load_trace
+        loaded = load_trace(trace_path)
+        kinds = {e.kind for e in loaded.fleet_events()}
+        assert "zone_down" in kinds and "rollback" in kinds
+
+    def test_tenant_spec_parsing(self, capsys):
+        code, out = run_cli(capsys, "fleet", "memnet", "--config", "tiny",
+                            "--requests", "12", "--virtual-clock",
+                            "--tenants", "gold:8:50,std:32")
+        assert code == 0
+        assert "gold" in out and "std" in out
+
+    def test_list_presets(self, capsys):
+        code, out = run_cli(capsys, "fleet", "--list-presets")
+        assert code == 0
+        for name in ("outage", "crash", "blackhole", "badrollout",
+                     "storm"):
+            assert name in out
+
+    def test_unknown_preset_lists_alternatives(self, capsys):
+        code = main(["fleet", "memnet", "--config", "tiny",
+                     "--fault", "hurricane", "--virtual-clock"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown fault preset 'hurricane'" in err
+        assert "storm" in err

@@ -1,0 +1,143 @@
+"""Fleet chaos suite: the storm every workload must survive.
+
+The acceptance bar (see docs/serving.md): one run throws a silent
+balancer blackhole, a full zone outage, a correlated two-server crash,
+*and* a defective rollout at the fleet while it is autoscaling under
+load — and every accepted request still reaches exactly one terminal
+reply. Queued work on dead servers is salvaged and re-routed, probes
+discover the blackhole, and the canary comparator convicts the bad
+deploy and rolls it back, deterministically.
+
+The full eight-workload matrix runs under ``pytest -m chaos``; a fast
+two-workload subset runs in the default (tier-1) suite.
+"""
+
+import pytest
+
+from repro import workloads
+from repro.framework.faults import FleetFaultPlan, FleetFaultSpec
+from repro.profiling.serialize import load_trace, save_trace
+from repro.profiling.tracer import Tracer
+from repro.serving import (AutoscaleConfig, FleetConfig, LoadConfig,
+                           LoadGenerator, ServingConfig, ServingFleet,
+                           TenantSpec, VirtualClock)
+from repro.workloads import WORKLOAD_NAMES
+
+#: fast tier-1 subset; the chaos marker covers the full Table II matrix
+FAST_WORKLOADS = ("memnet", "autoenc")
+
+#: requests per scenario — enough to straddle every injected fault and
+#: carry the rollout through conviction
+REQUESTS = 96
+
+
+def storm_fleet(name):
+    """One fleet run under the full storm: blackhole, zone outage,
+    correlated crash, and a slow bad rollout landing mid-load while
+    the autoscaler is live — the CLI's ``--fault storm`` preset."""
+    model = workloads.create(name, config="tiny", seed=0)
+    tracer = Tracer()
+    fleet = ServingFleet(
+        model,
+        FleetConfig(
+            zones=("z0", "z1", "z2"), servers_per_zone=1,
+            server=ServingConfig(replicas=1, queue_limit=32,
+                                 default_deadline_ms=100.0,
+                                 est_batch_ms=5.0, seed=2),
+            tenants=(TenantSpec("gold", max_outstanding=24,
+                                deadline_ms=80.0),
+                     TenantSpec("std", max_outstanding=48)),
+            autoscale=AutoscaleConfig(min_servers=2, max_servers=9,
+                                      cooldown_seconds=0.02),
+            rollout_at_seconds=0.08, rollout_version="v2",
+            seed=0),
+        tracer=tracer, clock=VirtualClock())
+    fleet.install_faults(FleetFaultPlan([
+        FleetFaultSpec("lb_blackhole", at_seconds=0.02,
+                       duration_seconds=0.15),
+        FleetFaultSpec("zone_outage", zone="z1", at_seconds=0.05,
+                       duration_seconds=0.1),
+        FleetFaultSpec("correlated_crash", count=2, at_seconds=0.12),
+        FleetFaultSpec("bad_rollout", at_seconds=0.0, defect="slow"),
+    ], seed=0))
+    report = LoadGenerator(fleet, LoadConfig(
+        requests=REQUESTS, qps=300.0, seed=3)).run()
+    return model, tracer, fleet, report
+
+
+def assert_survives_storm(name, tmp_path):
+    model, tracer, fleet, report = storm_fleet(name)
+
+    # Zero silent loss: every request terminates in exactly one reply
+    # and the outcome counts account for all of them.
+    assert sorted(fleet.replies) == list(range(REQUESTS))
+    assert fleet.outstanding() == 0
+    assert (report.ok + report.shed + report.deadline
+            + report.error) == REQUESTS
+    # Sheds happen at admission only; once accepted, a request ends in
+    # ok/deadline/error — never silence.
+    assert report.accepted == REQUESTS - report.shed
+    assert report.ok + report.deadline + report.error == report.accepted
+
+    # The storm actually happened, all four fronts of it.
+    assert report.zone_outages == 1
+    assert report.server_crashes == 2
+    assert report.blackholed >= 1
+    assert report.rollouts == 1 and report.rollbacks == 1
+
+    # Salvage, not loss: blackholed and crashed work was re-routed.
+    assert report.reroutes >= report.blackholed
+
+    # The autoscaler acted in the same run the storm landed in.
+    assert report.scale_ups + report.scale_downs >= 1
+
+    # The rolled-back deploy left the fleet on the original version.
+    survivors = fleet.servers_in("active", "draining")
+    assert survivors and all(fs.deployment == "v1" for fs in survivors)
+
+    # Per-tenant accounting closes: fleet totals are tenant sums.
+    tenant_total = sum(t["accepted"] + t["shed"]
+                       for t in fleet.tenant_counters.values())
+    assert tenant_total == REQUESTS
+
+    # The serialized trace carries the whole fleet story.
+    path = tmp_path / f"{name}_fleet.jsonl"
+    save_trace(tracer, path, metadata={"workload": name,
+                                       "mode": "fleet"})
+    loaded = load_trace(path)
+    fleet_kinds = {e.kind for e in loaded.fleet_events()}
+    assert {"zone_down", "zone_up", "server_crash", "blackhole",
+            "reroute", "rollout_start", "rollback",
+            "probe_fail"} <= fleet_kinds
+    # Every terminal reply is in the trace (re-route-limit terminals
+    # die off-server, so they carry no zone/server attribution and sit
+    # in the serving slice rather than the fleet slice).
+    replies = [e for e in loaded.serving_events() if e.kind == "reply"]
+    assert len(replies) == report.ok + report.deadline + report.error
+
+
+@pytest.mark.parametrize("name", FAST_WORKLOADS)
+def test_fleet_survives_storm_fast(name, tmp_path):
+    assert_survives_storm(name, tmp_path)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("name", [n for n in WORKLOAD_NAMES
+                                  if n not in FAST_WORKLOADS])
+def test_fleet_survives_storm_matrix(name, tmp_path):
+    assert_survives_storm(name, tmp_path)
+
+
+@pytest.mark.parametrize("name", FAST_WORKLOADS)
+def test_fleet_storm_is_deterministic(name):
+    """Two identical storm runs produce identical fault signatures,
+    identical event trails (including the rollback), and identical
+    reports — the debuggability bar for correlated-failure forensics."""
+    _, _, first, first_report = storm_fleet(name)
+    _, _, second, second_report = storm_fleet(name)
+    assert first._injector.signature() == second._injector.signature()
+    assert tuple(e.signature() for e in first.events) \
+        == tuple(e.signature() for e in second.events)
+    assert first_report.to_json() == second_report.to_json()
+    rollbacks = [e for e in first.events if e.kind == "rollback"]
+    assert len(rollbacks) == 1
