@@ -12,18 +12,17 @@ for every workload, comparing against the committed baseline in
 import json
 import pathlib
 
-from repro.analysis.suite import get_model
 from repro.profiling.tracer import Tracer
-from repro.workloads import WORKLOAD_NAMES
+from repro.workloads import WORKLOAD_NAMES, create
 
 BASELINE_PATH = (pathlib.Path(__file__).parent
                  / "BENCH_framework_overhead.json")
 
 
-def _measure_overheads():
+def _measure_overheads(backend=None):
     overheads = {}
     for name in WORKLOAD_NAMES:
-        model = get_model(name, "default")
+        model = create(name, config="default", backend=backend)
         model.run_training(1)
         # Best of three: scheduler preemption on a shared machine shows
         # up as *extra* apparent overhead, so the minimum is the honest
@@ -40,16 +39,25 @@ def _measure_overheads():
 def test_framework_overhead(benchmark):
     overheads = benchmark.pedantic(_measure_overheads, rounds=1,
                                    iterations=1)
+    codegen = _measure_overheads(backend="codegen")
     baseline = (json.loads(BASELINE_PATH.read_text())
                 if BASELINE_PATH.exists() else None)
     print("\nFraction of wall time outside operations (training, default "
           "config):")
     for name, fraction in overheads.items():
-        line = f"  {name:>10s}  {fraction:6.2%}"
+        line = f"  {name:>10s}  interp {fraction:6.2%}  codegen {codegen[name]:6.2%}"
         if baseline and name in baseline.get("overhead_fraction", {}):
             line += (f"  (baseline "
                      f"{baseline['overhead_fraction'][name]:6.2%})")
         print(line)
+
+    # The codegen backend collapses whole regions into single generated
+    # kernels, so the dispatch loop touches a fraction of the steps: the
+    # executor's own cost must drop below 5% on *every* workload — the
+    # paper's 1-2% claim shape, including the fine-grained RNN graphs
+    # that the interpreter cannot get under 20%.
+    for name, fraction in codegen.items():
+        assert fraction < 0.05, (name, fraction)
 
     # Big-op workloads should be within shouting distance of the paper's
     # 1-2% (pure-Python scheduling is heavier than TF's C++ executor, so

@@ -158,7 +158,9 @@ def test_plan_compile_and_dispatch(benchmark):
     # Iterative graphs re-use same-shaped intermediates heavily; the
     # arena must capture that.
     assert results["memnet"]["arena_hit_rate"] > 0.3
-    assert results["seq2seq"]["fused_cells"] == 0  # training: grads need gates
+    # Gate escapes into the backward pass are recovered from the fused
+    # op's cached-gates output, so training graphs fuse too.
+    assert results["seq2seq"]["fused_cells"] > 0
 
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())

@@ -39,7 +39,7 @@ hazard the old name-keyed cache had).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -61,12 +61,28 @@ class PlanOptions:
     still gaining slot-indexed dispatch and compile-time feed checking.
     ``full()`` enables the whole pipeline. Plain sessions default to
     structural; the workload models opt into full.
+
+    ``backend`` selects how the scheduled plan executes: ``"interp"``
+    dispatches one step at a time in the session's interpreter loop;
+    ``"codegen"`` additionally partitions the schedule into regions of
+    pure compute steps and ``exec``-compiles one generated numpy kernel
+    per region (see :mod:`repro.framework.codegen`). The backend is part
+    of the plan-cache key and is orthogonal to the pass flags.
     """
 
     eliminate_identities: bool = True
     fold_constants: bool = True
     merge_subexpressions: bool = True
     fuse_lstm: bool = True
+    backend: str = "interp"
+
+    _BACKENDS = ("interp", "codegen")
+
+    def __post_init__(self):
+        if self.backend not in self._BACKENDS:
+            raise ValueError(
+                f"unknown plan backend {self.backend!r}; expected one of "
+                f"{self._BACKENDS}")
 
     @classmethod
     def structural(cls) -> "PlanOptions":
@@ -79,35 +95,49 @@ class PlanOptions:
 
     @classmethod
     def coerce(cls, value) -> "PlanOptions":
-        """Accept an options object, a level name, or None (structural)."""
+        """Accept an options object, a level name, or None (structural).
+
+        Level strings may carry a ``+codegen`` suffix (and the bare
+        string ``"codegen"`` means ``full`` with the codegen backend).
+        """
         if value is None:
             return cls.structural()
         if isinstance(value, cls):
             return value
         if isinstance(value, str):
             level = value.lower()
+            backend = "interp"
+            if level == "codegen":
+                return cls(backend="codegen")
+            if level.endswith("+codegen"):
+                level = level[:-len("+codegen")]
+                backend = "codegen"
             if level in ("structural", "none"):
-                return cls.structural()
+                return replace(cls.structural(), backend=backend)
             if level in ("full", "all"):
-                return cls.full()
+                return replace(cls.full(), backend=backend)
             raise ValueError(
                 f"unknown optimization level {value!r}; "
-                "expected 'structural'/'none' or 'full'/'all'")
+                "expected 'structural'/'none' or 'full'/'all' "
+                "(optionally with a '+codegen' suffix), or 'codegen'")
         raise TypeError(
             f"optimize must be a PlanOptions, a level name, or None; "
             f"got {type(value).__name__}")
 
     def describe(self) -> str:
-        if self == PlanOptions.full():
-            return "full"
-        if self == PlanOptions.structural():
-            return "structural"
-        enabled = [name for name, on in (
-            ("identity", self.eliminate_identities),
-            ("fold", self.fold_constants),
-            ("cse", self.merge_subexpressions),
-            ("fuse", self.fuse_lstm)) if on]
-        return "+".join(enabled) if enabled else "structural"
+        flags = replace(self, backend="interp")
+        if flags == PlanOptions.full():
+            base = "full"
+        elif flags == PlanOptions.structural():
+            base = "structural"
+        else:
+            enabled = [name for name, on in (
+                ("identity", self.eliminate_identities),
+                ("fold", self.fold_constants),
+                ("cse", self.merge_subexpressions),
+                ("fuse", self.fuse_lstm)) if on]
+            base = "+".join(enabled) if enabled else "structural"
+        return base if self.backend == "interp" else base + "+codegen"
 
 
 #: optimization-pass names (as used by quarantine and pass records)
@@ -173,10 +203,10 @@ class PassQuarantine:
                    op_name: str | None = None,
                    sticky: bool = True) -> QuarantineEntry:
         """Disable ``pass_name`` for this session until cleared/lifted."""
-        if pass_name not in PASS_FLAGS:
+        if pass_name not in PASS_FLAGS and pass_name != "codegen":
             raise ValueError(
                 f"unknown compiler pass {pass_name!r}; expected one of "
-                f"{sorted(PASS_FLAGS)}")
+                f"{sorted(PASS_FLAGS) + ['codegen']}")
         entry = QuarantineEntry(pass_name, reason=reason, op_name=op_name,
                                 sticky=sticky)
         self._entries[pass_name] = entry
@@ -203,13 +233,18 @@ class PassQuarantine:
         return lifted
 
     def filter(self, options: "PlanOptions") -> "PlanOptions":
-        """``options`` with every quarantined pass forced off."""
+        """``options`` with every quarantined pass forced off.
+
+        Quarantining the pseudo-pass ``"codegen"`` forces the plan
+        backend back to the interpreter; the pass flags are untouched.
+        """
         if not self._entries:
             return options
-        disabled = {PASS_FLAGS[name]: False for name in self._entries}
-        return PlanOptions(**{
-            flag: disabled.get(flag, getattr(options, flag))
-            for flag in PASS_FLAGS.values()})
+        disabled = {PASS_FLAGS[name]: False for name in self._entries
+                    if name in PASS_FLAGS}
+        if "codegen" in self._entries:
+            disabled["backend"] = "interp"
+        return replace(options, **disabled)
 
     def as_dict(self) -> dict:
         return {"version": self.version,
@@ -302,10 +337,27 @@ class ExecutionPlan:
         # Keeps synthesized ops (folded Consts, fused cells) alive and
         # out of the user's graph.
         self.plan_graph = plan_graph
+        #: codegen-backend schedule: a mixed list of CompiledStep and
+        #: CompiledRegion entries covering exactly the steps above, or
+        #: None for interpreter plans (see repro.framework.codegen)
+        self.program = None
 
     @property
     def num_steps(self) -> int:
         return len(self.steps)
+
+    @property
+    def regions(self) -> tuple:
+        """The plan's CompiledRegions (empty for interpreter plans)."""
+        if self.program is None:
+            return ()
+        from .memory import K_REGION
+        return tuple(entry for entry in self.program
+                     if entry.kind == K_REGION)
+
+    def kernel_sources(self) -> list[tuple[str, str]]:
+        """``(label, generated_source)`` for every compiled region."""
+        return [(region.label, region.source) for region in self.regions]
 
     @property
     def planned_peak_bytes(self) -> int:
@@ -356,6 +408,14 @@ class ExecutionPlan:
             f"{_format_bytes(m.arena_peak_bytes)} in {m.num_buffers} "
             f"buffers (hit rate {m.hit_rate:.1%}, saves "
             f"{_format_bytes(m.reuse_saving_bytes)}/step)")
+        if self.program is not None:
+            regions = self.regions
+            covered = sum(len(region.steps) for region in regions)
+            collapsed = sum(region.collapsed for region in regions)
+            lines.append(
+                f"  {'codegen':<10s} {len(regions)} regions covering "
+                f"{covered}/{self.num_steps} steps; {collapsed} ops "
+                f"collapsed into larger expressions")
         lines.append(
             f"  {'compile':<10s} {self.compile_seconds * 1e3:.2f} ms; "
             f"{self.num_steps} steps over {self.num_slots} slots; "
@@ -567,13 +627,25 @@ def compile_plan(graph: Graph, fetches, options=None) -> ExecutionPlan:
         f"{len(slot_specs)} slots, {len(pinned)} pinned",
         memory.planned_peak_bytes))
 
-    return ExecutionPlan(
+    plan = ExecutionPlan(
         graph=graph, graph_version=graph_version,
         fetches=tuple(fetch_list), options=options, steps=steps,
         num_slots=len(slot_specs), fetch_slots=fetch_slots,
         placeholders=tuple(placeholders), memory=memory,
         pass_records=records, stats=stats, fused_cells=fused_cells,
         compile_seconds=time.perf_counter() - start, plan_graph=plan_graph)
+    if options.backend == "codegen":
+        from .codegen import build_program
+        plan.program = build_program(steps, pinned, plan_graph)
+        regions = plan.regions
+        covered = sum(len(region.steps) for region in regions)
+        collapsed = sum(region.collapsed for region in regions)
+        records.append(PassRecord(
+            "codegen", len(steps), len(plan.program),
+            f"{len(regions)} regions over {covered} steps, "
+            f"{collapsed} ops collapsed", memory.planned_peak_bytes))
+        plan.compile_seconds = time.perf_counter() - start
+    return plan
 
 
 # -- passes -----------------------------------------------------------------
@@ -687,11 +759,23 @@ def _pass_fuse(graph: Graph, fetch_list: list[Tensor],
     interior value may escape to a surviving outside consumer or a
     fetch. Shared constants (e.g. a CSE-merged forget-bias scalar) are
     tolerated — they are simply left in place for DCE to judge.
+
+    Escapes of the six *recoverable* interior tensors (the activated
+    gates, tanh(new_c), and the joined concat — exactly what a training
+    graph's backward pass reads) do not veto fusion: the pass emits a
+    recovery node per escaping value — a Slice of the fused op's cached
+    gates output, a Tanh of its new_c, or a Concat of the match's own
+    x/h inputs — claiming the escaped vid, so outside consumers see
+    bit-identical values. This is what lets fusion fire on training
+    graphs, where it historically never did (fused_cells was 0 on every
+    recorded benchmark).
     """
     from .fuse import find_lstm_matches
+    from .ops.array_ops import Concat, Slice
+    from .ops.math_ops import Tanh
     from .ops.rnn_ops import LSTMBlockCellOp
 
-    matches = find_lstm_matches(graph, fetch_list)
+    matches = find_lstm_matches(graph, fetch_list, allow_recoverable=True)
     if not matches:
         return nodes, 0
     for node in nodes:
@@ -699,6 +783,7 @@ def _pass_fuse(graph: Graph, fetch_list: list[Tensor],
     op_by_id = {id(op): op for op in sub_ops}
     node_by_op = {id(node.op): node for node in nodes}
     fetch_vid_set = {values.resolve(vid_of[t.name]) for t in fetch_list}
+    position = {id(node): index for index, node in enumerate(nodes)}
     consumers: dict[int, list[_Node]] = {}
     for node in nodes:
         for vid in node.in_vids:
@@ -706,7 +791,7 @@ def _pass_fuse(graph: Graph, fetch_list: list[Tensor],
 
     fused = 0
     dropped: set[int] = set()
-    replacement: dict[int, _Node] = {}
+    replacement: dict[int, list[_Node]] = {}
     for match in matches:
         removal: list[_Node] = []
         intact = True
@@ -724,8 +809,16 @@ def _pass_fuse(graph: Graph, fetch_list: list[Tensor],
         if not intact:
             continue
         removal_ids = {id(node) for node in removal}
+        anchor_node = node_by_op[id(match.anchor)]
+        anchor_pos = position[id(anchor_node)]
         boundary = {values.resolve(vid_of[match.new_c.name]),
                     values.resolve(vid_of[match.new_h.name])}
+        recoverable_vids: dict[int, str] = {}
+        for role, tensor in match.recoverable.items():
+            recoverable_vids.setdefault(
+                values.resolve(vid_of[tensor.name]), role)
+        # Escaped interior vids (role by vid) needing a recovery node.
+        escapes: dict[int, str] = {}
         clean = True
         for node in removal:
             for vid in node.out_vids:
@@ -734,16 +827,26 @@ def _pass_fuse(graph: Graph, fetch_list: list[Tensor],
                 if vid in fetch_vid_set:
                     clean = False
                     break
-                if any(id(consumer) not in removal_ids
-                       for consumer in consumers.get(vid, ())):
+                outside = [consumer for consumer in consumers.get(vid, ())
+                           if id(consumer) not in removal_ids]
+                if not outside:
+                    continue
+                role = recoverable_vids.get(vid)
+                # Recovery nodes are emitted right after the fused op
+                # (at the anchor's position), so every outside consumer
+                # must be scheduled later — true by construction for
+                # backward passes, but guarded for exotic graphs.
+                if role is None or any(
+                        position[id(consumer)] < anchor_pos
+                        for consumer in outside):
                     clean = False
                     break
+                escapes[vid] = role
             if not clean:
                 break
         if not clean:
             continue
 
-        anchor_node = node_by_op[id(match.anchor)]
         in_tensors = (match.x, match.c, match.h, match.kernel, match.bias)
         in_vids = [values.resolve(vid_of[t.name]) for t in in_tensors]
         proxies = []
@@ -766,7 +869,54 @@ def _pass_fuse(graph: Graph, fetch_list: list[Tensor],
         fused_node = _Node(block, K_COMPUTE, in_vids,
                            [new_c_vid, new_h_vid, gates_vid],
                            provenance=provenance, origin_pass="fuse")
-        replacement[id(anchor_node)] = fused_node
+
+        # Recovery nodes for recoverable interior values the backward
+        # pass (or any outside consumer) still reads: each claims the
+        # escaped vid, recomputing the identical value from the fused
+        # op's outputs. Emitted immediately after the fused node.
+        emitted = [fused_node]
+        hidden = match.c.shape[1]
+        batch = match.c.shape[0]
+        gate_column = {"i": 0, "j": 1, "f": 2, "o": 3}
+        for vid, role in sorted(escapes.items()):
+            escaped = match.recoverable[role]
+            base = f"{match.anchor.name}/recovered_{role}"
+            if role in gate_column:
+                proxy = Placeholder(
+                    attrs={"shape": block.outputs[2].shape,
+                           "dtype": escaped.dtype},
+                    name=f"{base}_gates", graph=plan_graph)
+                recovery_op = Slice(
+                    [proxy.outputs[0]],
+                    attrs={"begin": (0, gate_column[role] * hidden),
+                           "size": (batch, hidden)},
+                    name=base, graph=plan_graph)
+                recovery_in = [gates_vid]
+            elif role == "tanh_c":
+                proxy = Placeholder(
+                    attrs={"shape": match.new_c.shape,
+                           "dtype": escaped.dtype},
+                    name=f"{base}_new_c", graph=plan_graph)
+                recovery_op = Tanh([proxy.outputs[0]], name=base,
+                                   graph=plan_graph)
+                recovery_in = [new_c_vid]
+            else:  # "joined": Concat(x, h) over the match's own inputs
+                parts = []
+                for tensor, tag in ((match.x, "x"), (match.h, "h")):
+                    part = Placeholder(
+                        attrs={"shape": tensor.shape,
+                               "dtype": tensor.dtype},
+                        name=f"{base}_{tag}", graph=plan_graph)
+                    parts.append(part.outputs[0])
+                recovery_op = Concat(parts, attrs={"axis": 1},
+                                     name=base, graph=plan_graph)
+                recovery_in = [values.resolve(vid_of[match.x.name]),
+                               values.resolve(vid_of[match.h.name])]
+            emitted.append(_Node(
+                recovery_op, K_COMPUTE, recovery_in, [vid],
+                provenance=(escaped.op.name, match.anchor.name),
+                origin_pass="fuse"))
+        replacement[id(anchor_node)] = emitted
         dropped.update(removal_ids - {id(anchor_node)})
         fused += 1
 
@@ -776,7 +926,7 @@ def _pass_fuse(graph: Graph, fetch_list: list[Tensor],
     for node in nodes:
         node_id = id(node)
         if node_id in replacement:
-            out.append(replacement[node_id])
+            out.extend(replacement[node_id])
         elif node_id not in dropped:
             out.append(node)
     return out, fused

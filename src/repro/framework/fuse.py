@@ -44,6 +44,15 @@ class _LSTMMatch:
     new_h: Tensor
     interior: set[int]  # ids of ops to be replaced
     anchor: Operation   # the new_c Add; the fused op is emitted here
+    #: interior tensors that outside consumers *may* read without
+    #: blocking fusion, because each is exactly recomputable from the
+    #: fused op's outputs: the four activated gates ("i", "j", "f",
+    #: "o") are H-wide column slices of the cached gates output,
+    #: "tanh_c" is Tanh of the new_c output, and "joined" is
+    #: Concat(x, h) over the match's own inputs. A training graph's
+    #: backward pass reads precisely these six, which is why fusion
+    #: historically never fired once gradients were taken.
+    recoverable: dict = field(default_factory=dict)
 
 
 def _op(tensor: Tensor) -> Operation:
@@ -99,7 +108,7 @@ def _match_cell(new_h_op: Operation) -> _LSTMMatch | None:
                         _is_type(slice_t, "Slice"):
                     value = const_t.op.attrs["value"]
                     if value.ndim == 0:
-                        return cell_t, slice_t, float(value), \
+                        return cell_t, slice_t, float(value), gate_t, \
                             {id(gate_t.op), id(pre.op), id(const_t.op)}
         return None
 
@@ -111,7 +120,8 @@ def _match_cell(new_h_op: Operation) -> _LSTMMatch | None:
                 j_slice = _op(tanh_t).inputs[0]
                 if _is_type(i_slice, "Slice") and _is_type(j_slice,
                                                            "Slice"):
-                    return i_slice, j_slice, {id(sig_t.op), id(tanh_t.op)}
+                    return i_slice, j_slice, sig_t, tanh_t, \
+                        {id(sig_t.op), id(tanh_t.op)}
         return None
 
     for forget_mul, input_mul in ((muls[0], muls[1]), (muls[1], muls[0])):
@@ -119,8 +129,8 @@ def _match_cell(new_h_op: Operation) -> _LSTMMatch | None:
         gate_pair = decompose_input(input_mul)
         if forget is None or gate_pair is None:
             continue
-        cell_t, f_slice, forget_bias, forget_ops = forget
-        i_slice, j_slice, input_ops = gate_pair
+        cell_t, f_slice, forget_bias, f_sigmoid, forget_ops = forget
+        i_slice, j_slice, i_sigmoid, j_tanh, input_ops = gate_pair
         o_slice = _op(sigmoid_o).inputs[0]
         if not _is_type(o_slice, "Slice"):
             continue
@@ -157,23 +167,37 @@ def _match_cell(new_h_op: Operation) -> _LSTMMatch | None:
                     id(o_slice.op), id(gates.op), id(matmul_op),
                     id(joined_t.op)}
         interior |= forget_ops | input_ops
+        recoverable = {"i": i_sigmoid, "j": j_tanh, "f": f_sigmoid,
+                       "o": sigmoid_o, "tanh_c": tanh_side,
+                       "joined": joined_t}
         return _LSTMMatch(x=x_t, c=cell_t, h=h_t, kernel=kernel_t,
                           bias=bias_t, forget_bias=forget_bias,
                           new_c=new_c, new_h=new_h_op.outputs[0],
-                          interior=interior, anchor=add_op)
+                          interior=interior, anchor=add_op,
+                          recoverable=recoverable)
     return None
 
 
 def _externally_clean(match: _LSTMMatch, graph: Graph,
                       fetch_names: set[str],
-                      subgraph_ids: set[int]) -> bool:
+                      subgraph_ids: set[int],
+                      allow_recoverable: bool = False) -> bool:
     """Every interior tensor (except new_c/new_h) stays inside the match.
 
     Only consumers inside the transcribed subgraph count: ops outside the
     fetch subgraph (e.g. a training graph's backward pass when fusing the
     inference fetches) are not transcribed, so they cannot dangle.
+
+    With ``allow_recoverable``, consumers of the six recoverable
+    interior tensors (see :class:`_LSTMMatch`) are tolerated — the
+    caller promises to re-materialize those values from the fused op's
+    outputs. A *fetched* interior tensor always vetoes the match, even a
+    recoverable one: fetches are the user-visible contract, and the
+    structural tier must observe the identical tensor object.
     """
     boundary = {match.new_c.name, match.new_h.name}
+    recoverable_names = ({t.name for t in match.recoverable.values()}
+                         if allow_recoverable else set())
     for op in graph.operations:
         if id(op) not in match.interior:
             continue
@@ -182,6 +206,8 @@ def _externally_clean(match: _LSTMMatch, graph: Graph,
                 continue
             if tensor.name in fetch_names:
                 return False
+            if tensor.name in recoverable_names:
+                continue
             for consumer in graph.consumers(tensor):
                 if id(consumer) in subgraph_ids and \
                         id(consumer) not in match.interior:
@@ -189,15 +215,17 @@ def _externally_clean(match: _LSTMMatch, graph: Graph,
     return True
 
 
-def find_lstm_matches(graph: Graph,
-                      fetches: list[Tensor]) -> list[_LSTMMatch]:
+def find_lstm_matches(graph: Graph, fetches: list[Tensor],
+                      allow_recoverable: bool = False) -> list[_LSTMMatch]:
     """Recognize every fusible composed-LSTM step in a fetch subgraph.
 
     Returns structurally valid, externally clean, mutually disjoint
     matches in topological (construction) order. Shared by
     :func:`fuse_lstm_cells` and the plan compiler's fusion pass, which
     additionally revalidates cleanliness against its own rewritten view
-    of the subgraph.
+    of the subgraph. ``allow_recoverable`` relaxes cleanliness to admit
+    matches whose gate activations escape into a backward pass (the
+    caller must then emit recovery ops for the escaping values).
     """
     ops = graph.subgraph(fetches)
     subgraph_ids = {id(op) for op in ops}
@@ -210,7 +238,8 @@ def find_lstm_matches(graph: Graph,
             continue
         if match.interior & claimed:
             continue
-        if not _externally_clean(match, graph, fetch_names, subgraph_ids):
+        if not _externally_clean(match, graph, fetch_names, subgraph_ids,
+                                 allow_recoverable):
             continue
         matches.append(match)
         claimed |= match.interior

@@ -29,6 +29,9 @@ from typing import Sequence
 K_COMPUTE = 0
 K_PLACEHOLDER = 1
 K_CONST = 2
+#: a codegen-backend CompiledRegion (repro.framework.codegen), not a
+#: single op; never appears in ExecutionPlan.steps, only in .program
+K_REGION = 3
 
 
 @dataclass(frozen=True)
@@ -98,7 +101,12 @@ def plan_memory(steps: Sequence, slot_specs: Sequence[tuple]) -> MemoryPlan:
     outputs materialize when their step runs, the peak is sampled after
     every non-placeholder step's outputs land, and freed slots leave the
     live set immediately. The arena simulation additionally recycles
-    freed compute buffers by ``(shape, dtype)``.
+    freed compute buffers: an exact ``(shape, dtype)`` match is
+    preferred, and failing that the smallest freed same-dtype buffer
+    with enough capacity is reshaped into service (best fit). The
+    fallback is what keeps hit rates up on small graphs with diverse
+    shapes — alexnet's plan recycles conv scratch into FC scratch
+    instead of allocating both.
     """
     live = 0
     peak = 0
@@ -108,6 +116,15 @@ def plan_memory(steps: Sequence, slot_specs: Sequence[tuple]) -> MemoryPlan:
     buffer_bytes: list[int] = []
     slot_buffers = [-1] * len(slot_specs)
     pool: dict[tuple, list[int]] = {}
+    #: freed buffers per dtype name -> {buffer index: capacity bytes},
+    #: for the best-fit fallback when no exact shape match is free
+    free_caps: dict[str, dict[int, int]] = {}
+    #: the pool key each freed buffer currently sits under
+    freed_under: dict[int, tuple] = {}
+
+    def _claim(buffer: int, dtype_name: str) -> None:
+        pool[freed_under.pop(buffer)].remove(buffer)
+        free_caps[dtype_name].pop(buffer)
 
     for step in steps:
         kind = step.kind
@@ -120,12 +137,24 @@ def plan_memory(steps: Sequence, slot_specs: Sequence[tuple]) -> MemoryPlan:
             key = (shape, dtype_name)
             free = pool.get(key)
             if free:
-                slot_buffers[slot] = free.pop()
+                buffer = free[-1]
+                _claim(buffer, dtype_name)
+                slot_buffers[slot] = buffer
                 hits += 1
-            else:
-                slot_buffers[slot] = len(buffer_bytes)
-                buffer_bytes.append(nbytes)
-                misses += 1
+                continue
+            candidates = free_caps.get(dtype_name)
+            fitting = ([(cap, buffer)
+                        for buffer, cap in candidates.items()
+                        if cap >= nbytes] if candidates else [])
+            if fitting:
+                _, buffer = min(fitting)
+                _claim(buffer, dtype_name)
+                slot_buffers[slot] = buffer
+                hits += 1
+                continue
+            slot_buffers[slot] = len(buffer_bytes)
+            buffer_bytes.append(nbytes)
+            misses += 1
         if kind != K_PLACEHOLDER and live > peak:
             peak = live
         for slot in step.free_slots:
@@ -134,6 +163,9 @@ def plan_memory(steps: Sequence, slot_specs: Sequence[tuple]) -> MemoryPlan:
             buffer = slot_buffers[slot]
             if buffer >= 0:
                 pool.setdefault((shape, dtype_name), []).append(buffer)
+                free_caps.setdefault(dtype_name, {})[buffer] = \
+                    buffer_bytes[buffer]
+                freed_under[buffer] = (shape, dtype_name)
 
     return MemoryPlan(
         planned_peak_bytes=peak,

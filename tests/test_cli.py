@@ -272,6 +272,37 @@ class TestCompile:
             assert pass_name in out
         assert "LSTM cells fused" in out
 
+    def test_summary_reports_arena_hit_rate(self, capsys):
+        code, out = run_cli(capsys, "compile", "alexnet", "--config",
+                            "tiny")
+        assert code == 0
+        assert "arena hit rate" in out
+
+    def test_codegen_backend_report(self, capsys):
+        code, out = run_cli(capsys, "compile", "memnet", "--config",
+                            "tiny", "--backend", "codegen", "--report")
+        assert code == 0
+        assert "codegen" in out and "regions" in out
+
+    def test_dump_kernels_prints_generated_source(self, capsys):
+        code, out = run_cli(capsys, "compile", "memnet", "--config",
+                            "tiny", "--backend", "codegen",
+                            "--dump-kernels")
+        assert code == 0
+        assert "def __region_kernel__(V, ctx, H):" in out
+
+    def test_dump_kernels_without_codegen_says_so(self, capsys):
+        code, out = run_cli(capsys, "compile", "memnet", "--config",
+                            "tiny", "--dump-kernels")
+        assert code == 0
+        assert "no generated kernels" in out
+
+    def test_codegen_run_trains(self, capsys):
+        code, out = run_cli(capsys, "run", "memnet", "--config", "tiny",
+                            "--steps", "2", "--backend", "codegen")
+        assert code == 0
+        assert "loss" in out
+
 
 class TestTrain:
     def test_distributed_training(self, capsys):
