@@ -1,0 +1,47 @@
+"""Chaos campaign engine: systematic fault-space search with oracles.
+
+The package turns the stack's four fault-injection families into a
+search problem: enumerate schedules, execute them on a harness adapter,
+judge every run against invariant oracles, and delta-debug violations
+down to minimal, replayable reproducers. See docs/robustness.md
+("Chaos campaigns") and ``python -m repro chaos --help``.
+"""
+
+from .campaign import (CampaignResult, CampaignSpec, Violation,
+                       enumerate_schedules, load_reproducer,
+                       minimize_violation, replay_reproducer,
+                       run_campaign, write_reproducer)
+from .events import CAMPAIGN_EVENT_KINDS, CampaignEvent
+from .harnesses import (HARNESSES, CampaignHarness, ClusterHarness,
+                        FleetHarness, RunOutcome, ServingHarness,
+                        TrainingHarness, build_harness)
+from .minimize import MinimizeResult, ddmin
+from .oracles import ORACLES, Oracle, Verdict, oracles_for
+
+__all__ = [
+    "CAMPAIGN_EVENT_KINDS",
+    "CampaignEvent",
+    "CampaignHarness",
+    "CampaignResult",
+    "CampaignSpec",
+    "ClusterHarness",
+    "FleetHarness",
+    "HARNESSES",
+    "MinimizeResult",
+    "ORACLES",
+    "Oracle",
+    "RunOutcome",
+    "ServingHarness",
+    "TrainingHarness",
+    "Verdict",
+    "Violation",
+    "build_harness",
+    "ddmin",
+    "enumerate_schedules",
+    "load_reproducer",
+    "minimize_violation",
+    "oracles_for",
+    "replay_reproducer",
+    "run_campaign",
+    "write_reproducer",
+]

@@ -1,0 +1,367 @@
+"""The campaign engine: systematic fault-space search with oracles.
+
+A campaign turns "imagine what could go wrong" into mechanical search:
+
+1. **Enumerate** fault schedules from the harness's atomic candidates —
+   all singletons, then pairs, triples, ... up to ``max_faults`` —
+   crossed with the spec's seeds. When the space exceeds the budget,
+   a seeded sample (without replacement) keeps the run deterministic.
+2. **Execute** each schedule on a fresh harness instance, entirely on
+   the virtual clock.
+3. **Judge** every applicable invariant oracle on the outcome against
+   the cached fault-free baseline.
+4. **Minimize** any violation with delta debugging down to a 1-minimal
+   reproducer, and emit it as a ready-to-run replay file.
+
+The whole campaign narrates itself as
+:class:`~repro.chaos.events.CampaignEvent` records through an optional
+tracer, so a campaign trace replays its verdict history like any other
+trace in the stack.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.framework.faults import (BaseFaultPlan, plan_from_json,
+                                    plan_to_json)
+
+from .events import CampaignEvent
+from .harnesses import CampaignHarness, build_harness
+from .minimize import MinimizeResult, ddmin
+from .oracles import Oracle, Verdict, oracles_for
+
+REPRODUCER_KIND = "repro-chaos-reproducer"
+REPRODUCER_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of one campaign.
+
+    Args:
+        harness: adapter name (``training``/``cluster``/``serving``/
+            ``fleet``).
+        workload: Fathom workload to drive.
+        config: workload config name.
+        steps: training steps per run (training/cluster harnesses);
+            ``None`` keeps the harness default.
+        requests: load-generator requests per run (serving/fleet);
+            ``None`` keeps the harness default (the fleet needs more
+            requests than one server to carry its rollout through
+            canary conviction).
+        budget: max fault schedules to execute (the baseline run is
+            free; minimization runs are separate).
+        max_faults: largest schedule size to compose from atomic
+            candidates.
+        seeds: plan seeds each schedule is crossed with (distinct seeds
+            re-draw every probabilistic trigger).
+        oracles: restrict to these oracle names (``None`` = every
+            applicable oracle).
+        sample_seed: RNG seed used only when the schedule space
+            overflows the budget and must be sampled.
+    """
+
+    harness: str = "training"
+    workload: str = "memnet"
+    config: str = "tiny"
+    steps: int | None = None
+    requests: int | None = None
+    budget: int = 24
+    max_faults: int = 2
+    seeds: tuple[int, ...] = (0,)
+    oracles: tuple[str, ...] | None = None
+    sample_seed: int = 0
+
+    def build_harness(self) -> CampaignHarness:
+        kw = {"workload": self.workload, "config": self.config}
+        if self.steps is not None:
+            kw["steps"] = self.steps
+        if self.requests is not None:
+            kw["requests"] = self.requests
+        return build_harness(self.harness, **kw)
+
+    def to_json(self) -> dict:
+        return {"harness": self.harness, "workload": self.workload,
+                "config": self.config, "steps": self.steps,
+                "requests": self.requests, "budget": self.budget,
+                "max_faults": self.max_faults,
+                "seeds": list(self.seeds),
+                "oracles": (list(self.oracles)
+                            if self.oracles is not None else None),
+                "sample_seed": self.sample_seed}
+
+
+@dataclass
+class Violation:
+    """One oracle failure on one executed schedule."""
+
+    schedule_index: int
+    plan: BaseFaultPlan
+    oracle: str
+    detail: str
+    minimized: BaseFaultPlan | None = None
+    minimize_stats: MinimizeResult | None = None
+
+    def to_json(self) -> dict:
+        blob = {"schedule_index": self.schedule_index,
+                "oracle": self.oracle, "detail": self.detail,
+                "plan": plan_to_json(self.plan)}
+        if self.minimized is not None:
+            blob["minimized"] = plan_to_json(self.minimized)
+            blob["minimize_tests"] = self.minimize_stats.tests_run
+        return blob
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run established."""
+
+    spec: CampaignSpec
+    executed: int = 0
+    schedule_space: int = 0
+    verdicts: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    oracle_names: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_json(self) -> dict:
+        return {"kind": "repro-chaos-report",
+                "spec": self.spec.to_json(),
+                "executed": self.executed,
+                "schedule_space": self.schedule_space,
+                "verdicts": self.verdicts,
+                "oracles": list(self.oracle_names),
+                "ok": self.ok,
+                "violations": [v.to_json() for v in self.violations]}
+
+
+def enumerate_schedules(atoms: list, max_faults: int) -> list[tuple]:
+    """All spec combinations of size 1..max_faults, deterministic order.
+
+    Singletons first (cheapest reproducers), then pairs in index order,
+    and so on — so a budget-truncated prefix still covers every atomic
+    fault before exploring interactions.
+    """
+    from itertools import combinations
+    schedules: list[tuple] = []
+    for size in range(1, max(1, max_faults) + 1):
+        schedules.extend(combinations(atoms, size))
+    return schedules
+
+
+def _plan_summary(plan: BaseFaultPlan) -> str:
+    kinds = ",".join(spec.kind for spec in plan.specs)
+    return f"{len(plan.specs)} fault(s) [{kinds}] seed={plan.seed}"
+
+
+class _Narrator:
+    """Routes campaign events to an optional tracer."""
+
+    def __init__(self, tracer, harness_name: str):
+        self.tracer = tracer
+        self.harness_name = harness_name
+
+    def emit(self, step: int, kind: str, *, oracle=None, ok=None,
+             seconds_lost: float = 0.0, detail: str = "") -> None:
+        if self.tracer is None:
+            return
+        record = getattr(self.tracer, "record_event", None)
+        if record is not None:
+            record(CampaignEvent(step=step, kind=kind, oracle=oracle,
+                                 harness=self.harness_name, ok=ok,
+                                 seconds_lost=seconds_lost,
+                                 detail=detail))
+
+
+def run_campaign(spec: CampaignSpec,
+                 harness: CampaignHarness | None = None,
+                 extra_plans: tuple[BaseFaultPlan, ...] = (),
+                 tracer=None, minimize: bool = True,
+                 log=None) -> CampaignResult:
+    """Execute one campaign; returns its result (never raises on
+    violations — they are the product).
+
+    Args:
+        harness: pre-built adapter (tests substitute broken fixtures);
+            built from the spec when ``None``.
+        extra_plans: schedules to check before the enumerated space
+            (e.g. the shipped CLI presets) — they count against the
+            budget.
+        tracer: optional tracer receiving CampaignEvent narration.
+        minimize: delta-debug each violation down to a minimal
+            reproducer (skip when the caller only wants detection).
+        log: optional ``print``-like callable for progress lines.
+    """
+    harness = harness if harness is not None else spec.build_harness()
+    oracles = oracles_for(harness.name, spec.oracles)
+    narrator = _Narrator(tracer, harness.name)
+    say = log if log is not None else (lambda *_: None)
+
+    baseline = harness.baseline()
+    if baseline.error is not None:
+        raise RuntimeError(
+            f"the fault-free baseline itself failed: {baseline.error}")
+    narrator.emit(-1, "baseline", seconds_lost=baseline.elapsed,
+                  detail=f"fault-free reference on {spec.workload}")
+
+    atoms = harness.atomic_specs()
+    combos = enumerate_schedules(atoms, spec.max_faults)
+    schedules: list[BaseFaultPlan] = list(extra_plans)
+    schedules += [harness.make_plan(list(combo), seed=seed)
+                  for combo in combos for seed in spec.seeds]
+    space = len(schedules)
+    if space > spec.budget:
+        # Deterministic sample: keep the extra plans and the budget's
+        # worth of enumerated schedules, chosen by the seeded RNG but
+        # replayed in enumeration order.
+        rng = np.random.default_rng(spec.sample_seed)
+        keep = min(len(extra_plans), spec.budget)
+        pool = range(keep, space)
+        chosen = rng.choice(len(pool), size=spec.budget - keep,
+                            replace=False)
+        picked = sorted(int(pool[i]) for i in chosen)
+        schedules = schedules[:keep] + [schedules[i] for i in picked]
+        say(f"schedule space {space} exceeds budget {spec.budget}; "
+            f"sampling deterministically (seed {spec.sample_seed})")
+
+    result = CampaignResult(
+        spec=spec, schedule_space=space,
+        oracle_names=tuple(o.name for o in oracles))
+
+    for index, plan in enumerate(schedules):
+        outcome = harness.run(plan)
+        result.executed += 1
+        narrator.emit(index, "schedule", seconds_lost=outcome.elapsed,
+                      detail=_plan_summary(plan))
+        for oracle in oracles:
+            verdict = oracle.check(outcome, baseline, harness)
+            result.verdicts += 1
+            narrator.emit(index, "verdict", oracle=oracle.name,
+                          ok=verdict.ok, detail=verdict.detail)
+            if verdict.ok:
+                continue
+            violation = Violation(schedule_index=index, plan=plan,
+                                  oracle=oracle.name,
+                                  detail=verdict.detail)
+            result.violations.append(violation)
+            narrator.emit(index, "violation", oracle=oracle.name,
+                          ok=False, detail=verdict.detail)
+            say(f"violation: schedule {index} "
+                f"({_plan_summary(plan)}) broke {oracle.name}: "
+                f"{verdict.detail}")
+            if minimize:
+                minimize_violation(harness, violation, narrator=narrator)
+                say(f"  minimized to "
+                    f"{_plan_summary(violation.minimized)} in "
+                    f"{violation.minimize_stats.tests_run} runs")
+    return result
+
+
+def minimize_violation(harness: CampaignHarness, violation: Violation,
+                       narrator: _Narrator | None = None) -> Violation:
+    """Delta-debug a violation's schedule to a 1-minimal reproducer.
+
+    Mutates (and returns) ``violation`` with the minimized plan and the
+    search statistics. Deterministic: same violation, same harness ->
+    same minimal schedule, always.
+    """
+    from .oracles import ORACLES
+    oracle = ORACLES[violation.oracle]
+    baseline = harness.baseline()
+    plan = violation.plan
+
+    def fails(specs) -> bool:
+        if not specs:
+            return False
+        candidate = harness.make_plan(specs, seed=plan.seed)
+        outcome = harness.run(candidate)
+        return not oracle.check(outcome, baseline, harness).ok
+
+    stats = ddmin(plan.specs, fails)
+    violation.minimized = harness.make_plan(list(stats.specs),
+                                            seed=plan.seed)
+    violation.minimize_stats = stats
+    if narrator is not None:
+        narrator.emit(
+            violation.schedule_index, "minimized",
+            oracle=violation.oracle, ok=False,
+            detail=f"{len(plan.specs)} -> {stats.size} fault(s) in "
+                   f"{stats.tests_run} runs ({stats.cache_hits} cached)")
+    return violation
+
+
+# -- reproducer files --------------------------------------------------------
+
+
+def write_reproducer(path: str | os.PathLike,
+                     harness: CampaignHarness,
+                     violation: Violation) -> dict:
+    """Emit a violation as a ready-to-run replay file.
+
+    The file carries everything needed to re-provoke the violation from
+    a clean checkout: the harness recipe, the (minimized, if available)
+    fault plan with its seed, the violated oracle, and the replay
+    command. Returns the written blob.
+    """
+    plan = violation.minimized or violation.plan
+    blob = {"kind": REPRODUCER_KIND, "version": REPRODUCER_VERSION,
+            **harness.describe(),
+            "oracle": violation.oracle,
+            "detail": violation.detail,
+            "plan": plan_to_json(plan),
+            "replay": f"python -m repro chaos replay {os.fspath(path)}"}
+    with open(path, "w") as handle:
+        json.dump(blob, handle, indent=2)
+        handle.write("\n")
+    return blob
+
+
+def load_reproducer(path: str | os.PathLike) -> dict:
+    """Load and validate a reproducer/replay file."""
+    with open(path) as handle:
+        blob = json.load(handle)
+    if blob.get("kind") != REPRODUCER_KIND:
+        raise ValueError(f"{os.fspath(path)}: not a chaos reproducer "
+                         f"file (kind {blob.get('kind')!r})")
+    if blob.get("version") != REPRODUCER_VERSION:
+        raise ValueError(f"{os.fspath(path)}: unsupported reproducer "
+                         f"version {blob.get('version')!r}")
+    return blob
+
+
+def replay_reproducer(path: str | os.PathLike,
+                      tracer=None) -> tuple[list[Verdict], dict]:
+    """Re-run a reproducer file's schedule and judge its oracle.
+
+    Returns ``(verdicts, blob)`` — one verdict for the recorded oracle
+    (or every applicable oracle if the file predates oracle tagging).
+    A failing verdict means the violation still reproduces.
+    """
+    blob = load_reproducer(path)
+    harness = build_harness(blob["harness"], workload=blob["workload"],
+                            config=blob["config"], seed=blob["seed"],
+                            steps=blob["steps"],
+                            requests=blob["requests"])
+    plan = plan_from_json(blob["plan"])
+    names = (blob["oracle"],) if blob.get("oracle") else None
+    oracles = oracles_for(harness.name, names)
+    narrator = _Narrator(tracer, harness.name)
+    baseline = harness.baseline()
+    outcome = harness.run(plan)
+    narrator.emit(0, "schedule", seconds_lost=outcome.elapsed,
+                  detail=_plan_summary(plan))
+    verdicts = []
+    for oracle in oracles:
+        verdict = oracle.check(outcome, baseline, harness)
+        verdicts.append(verdict)
+        narrator.emit(0, "verdict", oracle=oracle.name, ok=verdict.ok,
+                      detail=verdict.detail)
+    return verdicts, blob

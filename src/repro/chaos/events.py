@@ -1,0 +1,55 @@
+"""Campaign events: the fifth tracer event family.
+
+A chaos campaign narrates itself into the shared tracer stream the same
+way the resilient runner, healing policy, serving layer, and cluster
+runtime do — one frozen dataclass per occurrence, duck-typed apart from
+the other families by its marker field (here ``oracle``; see
+:meth:`repro.profiling.tracer.Tracer.campaign_events`). Campaign events
+persist through :mod:`repro.profiling.serialize` like every other
+family, so a saved campaign trace replays its verdict history exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: every campaign event kind, in lifecycle order
+CAMPAIGN_EVENT_KINDS = (
+    "baseline",   # the fault-free reference run completed
+    "schedule",   # one fault schedule executed against the harness
+    "verdict",    # one oracle's pass/fail on one schedule
+    "violation",  # an oracle failed: the schedule is a counterexample
+    "minimized",  # delta debugging shrank a violation to its minimum
+)
+
+
+@dataclass(frozen=True)
+class CampaignEvent:
+    """One chaos-campaign occurrence.
+
+    Args:
+        step: the campaign's schedule index (-1 for baseline events).
+        kind: one of :data:`CAMPAIGN_EVENT_KINDS`.
+        oracle: the oracle being judged, for verdict/violation/minimized
+            events (``None`` for schedule/baseline events — the field
+            must exist on every instance: it is the duck-typing marker
+            that routes campaign events in the tracer).
+        harness: the harness name the campaign is driving.
+        ok: the verdict, for verdict events (``None`` otherwise).
+        seconds_lost: virtual seconds the schedule's run consumed.
+        detail: human-readable specifics (schedule summary, oracle
+            failure detail, minimization stats).
+    """
+
+    step: int
+    kind: str
+    oracle: str | None = None
+    harness: str | None = None
+    ok: bool | None = None
+    seconds_lost: float = 0.0
+    detail: str = ""
+
+    def signature(self) -> tuple:
+        """Timing-free identity, for determinism assertions."""
+        return (self.step, self.kind, self.oracle, self.harness,
+                self.ok, self.detail)

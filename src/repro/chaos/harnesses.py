@@ -1,0 +1,394 @@
+"""Uniform campaign adapters over the four fault-injectable runtimes.
+
+The campaign engine needs to treat "run this fault schedule against
+that system" as one operation, whatever the system — resilient
+single-process training, the data-parallel cluster, one inference
+server, or the multi-zone fleet. Each adapter here wraps one runtime
+behind the same three-method surface:
+
+* :meth:`CampaignHarness.run` — execute one fault plan (or none) on a
+  fresh instance, entirely on the virtual clock, returning a
+  :class:`RunOutcome`;
+* :meth:`CampaignHarness.baseline` — the cached fault-free reference
+  outcome the oracles compare against;
+* :meth:`CampaignHarness.atomic_specs` — the deterministic list of
+  single-fault candidates the campaign composes schedules from.
+
+Every underlying runtime advertises its fault family and accepts plans
+through the same ``install_faults`` method (``ResilientRunner``,
+``ClusterRuntime``, ``InferenceServer``, ``ServingFleet`` — the
+``FAULT_FAMILY`` attribute), so adapters stay thin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.framework.faults import (BaseFaultPlan, BaseFaultSpec,
+                                    ClusterFaultPlan, ClusterFaultSpec,
+                                    FaultPlan, FaultSpec, FleetFaultPlan,
+                                    FleetFaultSpec, ServingFaultPlan,
+                                    ServingFaultSpec)
+
+
+@dataclass
+class RunOutcome:
+    """What one harness execution produced, normalized across harnesses.
+
+    Attributes:
+        harness: the adapter's name.
+        plan: the fault plan executed (``None`` for the baseline).
+        losses: per-step training losses (training/cluster harnesses).
+        replies: request id -> terminal reply (serving/fleet harnesses).
+        counters: the server/fleet counter dict (serving/fleet).
+        requests: how many requests were submitted (serving/fleet).
+        report: the harness's own report object, when it has one.
+        tracer: the run's private tracer (failure/degradation/serving/
+            cluster events for the trace-well-formedness oracle).
+        injected: the injector's ``signature()`` — everything that
+            actually fired, in order.
+        error: ``"Type: message"`` if the run itself raised (a crashed
+            harness is an outcome, not a campaign abort).
+        elapsed: virtual-clock seconds the run consumed.
+        model: the workload instance (training harness; lets the
+            checkpoint-restore oracle round-trip end state).
+    """
+
+    harness: str
+    plan: BaseFaultPlan | None
+    losses: list | None = None
+    replies: dict | None = None
+    counters: dict | None = None
+    requests: int = 0
+    report: object | None = None
+    tracer: object | None = None
+    injected: tuple = ()
+    error: str | None = None
+    elapsed: float = 0.0
+    model: object | None = None
+    extras: dict = field(default_factory=dict)
+
+
+class CampaignHarness:
+    """Base adapter: one fault-injectable runtime behind one surface."""
+
+    #: adapter name, used by CampaignSpec.harness and the CLI
+    name = ""
+    #: the fault family this harness's plans belong to
+    family = ""
+    #: the plan class schedules are built with
+    PLAN_CLASS: type[BaseFaultPlan] = BaseFaultPlan
+
+    def __init__(self, workload: str = "memnet", config: str = "tiny",
+                 seed: int = 0, steps: int = 4, requests: int = 24):
+        self.workload = workload
+        self.config = config
+        self.seed = seed
+        self.steps = steps
+        self.requests = requests
+        self._baseline: RunOutcome | None = None
+
+    def describe(self) -> dict:
+        """The constructor arguments, for reproducer files."""
+        return {"harness": self.name, "workload": self.workload,
+                "config": self.config, "seed": self.seed,
+                "steps": self.steps, "requests": self.requests}
+
+    def make_plan(self, specs, seed: int | None = None) -> BaseFaultPlan:
+        """Build this harness's plan class around ``specs``."""
+        return self.PLAN_CLASS(
+            specs, seed=self.seed if seed is None else seed)
+
+    def baseline(self) -> RunOutcome:
+        """The fault-free reference outcome (computed once, cached)."""
+        if self._baseline is None:
+            self._baseline = self.run(None)
+        return self._baseline
+
+    def run(self, plan: BaseFaultPlan | None) -> RunOutcome:
+        raise NotImplementedError
+
+    def atomic_specs(self) -> list[BaseFaultSpec]:
+        """Deterministic single-fault candidates for schedule search."""
+        raise NotImplementedError
+
+    def _model(self):
+        from repro import workloads
+        return workloads.create(self.workload, config=self.config,
+                                seed=self.seed)
+
+
+class TrainingHarness(CampaignHarness):
+    """Resilient single-process training under op-level faults.
+
+    The runner is configured so every injectable fault is survivable by
+    design — aggressive retries, op-level NaN/Inf guardrails, and the
+    non-finite-loss guard — which makes *bit-identity against the
+    fault-free run* the invariant the campaign hunts violations of.
+    """
+
+    name = "training"
+    family = "op"
+    PLAN_CLASS = FaultPlan
+
+    def resilience_config(self, **overrides):
+        from repro.framework.resilience import ResilienceConfig
+        base = dict(max_retries=4, retry_all_execution_errors=True,
+                    nan_guard=True, guardrails="raise", seed=self.seed)
+        base.update(overrides)
+        return ResilienceConfig(**base)
+
+    def run(self, plan, **config_overrides) -> RunOutcome:
+        from repro.framework.clock import VirtualClock
+        from repro.framework.resilience import ResilientRunner
+        from repro.profiling.tracer import Tracer
+        model = self._model()
+        tracer = Tracer()
+        clock = VirtualClock()
+        runner = ResilientRunner(
+            model, config=self.resilience_config(**config_overrides),
+            tracer=tracer, clock=clock)
+        if plan is not None:
+            runner.install_faults(plan)
+        losses, error = None, None
+        try:
+            losses = runner.run(self.steps)
+        except Exception as exc:  # a dead harness is itself an outcome
+            error = f"{type(exc).__name__}: {exc}"
+        injector = model.session.fault_injector
+        return RunOutcome(
+            harness=self.name, plan=plan, losses=losses, tracer=tracer,
+            injected=injector.signature() if injector is not None else (),
+            error=error, elapsed=clock.now(), model=model)
+
+    def atomic_specs(self) -> list[FaultSpec]:
+        # The optimizer's fused update node is named train_step in every
+        # workload, so these target only training runs. Steps 1 and 2
+        # land mid-run (step 0 would also exercise cold-start paths but
+        # doubles the schedule space for little coverage).
+        return [
+            FaultSpec("exception", name_pattern="train_step", step=1),
+            FaultSpec("exception", name_pattern="train_step", step=2),
+            FaultSpec("nan", name_pattern="train_step", step=1),
+            FaultSpec("nan", name_pattern="train_step", step=2),
+            FaultSpec("latency", name_pattern="train_step", step=1,
+                      latency_seconds=0.002),
+            FaultSpec("feed", step=2),
+        ]
+
+
+class ClusterHarness(CampaignHarness):
+    """Data-parallel cluster training under cluster faults.
+
+    The cluster guarantees bit-identical losses under every supported
+    fault (checkpoint replay, retransmits, guardrail screens, strategy
+    fallback), so *convergence to the fault-free trajectory* is the
+    invariant.
+    """
+
+    name = "cluster"
+    family = "cluster"
+    PLAN_CLASS = ClusterFaultPlan
+
+    workers = 3
+    strategy = "allreduce"
+
+    def run(self, plan) -> RunOutcome:
+        from repro.distributed import ClusterConfig, ClusterRuntime
+        from repro.profiling.tracer import Tracer
+        model = self._model()
+        tracer = Tracer()
+        runtime = ClusterRuntime(
+            model,
+            config=ClusterConfig(workers=self.workers,
+                                 strategy=self.strategy, seed=self.seed),
+            tracer=tracer)
+        if plan is not None:
+            runtime.install_faults(plan)
+        losses, error, elapsed = None, None, 0.0
+        try:
+            result = runtime.run(self.steps)
+            losses = result.losses
+            elapsed = result.elapsed_seconds
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        return RunOutcome(
+            harness=self.name, plan=plan, losses=losses, tracer=tracer,
+            injected=(runtime.injector.signature()
+                      if runtime.injector is not None else ()),
+            error=error, elapsed=elapsed, model=model)
+
+    def atomic_specs(self) -> list[ClusterFaultSpec]:
+        return [
+            ClusterFaultSpec("worker_crash", worker=1, step=1),
+            ClusterFaultSpec("worker_crash", worker=2, step=2),
+            ClusterFaultSpec("straggler", worker=0, step=1,
+                             delay_seconds=0.5, max_triggers=2),
+            ClusterFaultSpec("partition", link=(0, 1), step=1,
+                             duration_steps=1),
+            ClusterFaultSpec("lost_gradient", link=(1, 0), step=2),
+            ClusterFaultSpec("corrupt_gradient", link=(2, 0), step=2),
+        ]
+
+
+class ServingHarness(CampaignHarness):
+    """One inference server under saturating load and serving faults.
+
+    The server's contract is *exactly one terminal reply per accepted
+    request, zero hangs* — whatever crashes, stalls, or poison land
+    mid-load.
+    """
+
+    name = "serving"
+    family = "serving"
+    PLAN_CLASS = ServingFaultPlan
+
+    #: constructed per run; tests substitute a broken subclass here
+    SERVER_CLASS = None  # default: InferenceServer
+
+    qps = 500.0
+    load_seed = 4
+
+    def serving_config(self):
+        from repro.serving import ServingConfig
+        return ServingConfig(replicas=2, default_deadline_ms=2000.0,
+                             max_hedges=2, slow_batch_ms=25.0,
+                             seed=self.seed + 1)
+
+    def run(self, plan) -> RunOutcome:
+        from repro.profiling.tracer import Tracer
+        from repro.serving import (LoadConfig, LoadGenerator,
+                                   VirtualClock)
+        from repro.serving.server import InferenceServer
+        model = self._model()
+        tracer = Tracer()
+        clock = VirtualClock()
+        server_cls = self.SERVER_CLASS or InferenceServer
+        server = server_cls(model, self.serving_config(),
+                            tracer=tracer, clock=clock)
+        injector = None
+        if plan is not None:
+            injector = server.install_faults(plan)
+        report, error = None, None
+        try:
+            report = LoadGenerator(server, LoadConfig(
+                requests=self.requests, qps=self.qps,
+                seed=self.load_seed)).run()
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        return RunOutcome(
+            harness=self.name, plan=plan, replies=dict(server.replies),
+            counters=dict(server.counters), requests=self.requests,
+            report=report, tracer=tracer,
+            injected=injector.signature() if injector is not None else (),
+            error=error, elapsed=clock.now(), model=model)
+
+    def atomic_specs(self) -> list[ServingFaultSpec]:
+        return [
+            ServingFaultSpec("replica_crash", replica=0, batch=1),
+            ServingFaultSpec("replica_crash", replica=1, batch=2),
+            ServingFaultSpec("slow_replica", replica=0,
+                             latency_seconds=0.05, max_triggers=3),
+            ServingFaultSpec("slow_replica", replica=1,
+                             latency_seconds=0.05, max_triggers=3),
+            ServingFaultSpec("poisoned_batch", replica=0,
+                             max_triggers=2),
+            ServingFaultSpec("poisoned_batch", max_triggers=2),
+        ]
+
+
+class FleetHarness(CampaignHarness):
+    """The multi-zone autoscaling fleet under fleet-scoped faults.
+
+    Same terminal-reply contract as the single server, but the faults
+    take out whole fault domains — zones, correlated server groups,
+    balancer links, and the deploy pipeline.
+    """
+
+    name = "fleet"
+    family = "fleet"
+    PLAN_CLASS = FleetFaultPlan
+
+    zones = ("z0", "z1", "z2")
+    qps = 300.0
+    load_seed = 3
+
+    def __init__(self, workload: str = "memnet", config: str = "tiny",
+                 seed: int = 0, steps: int = 4, requests: int = 96):
+        super().__init__(workload, config, seed, steps, requests)
+
+    def fleet_config(self):
+        from repro.serving import (AutoscaleConfig, FleetConfig,
+                                   ServingConfig, TenantSpec)
+        return FleetConfig(
+            zones=self.zones, servers_per_zone=1,
+            server=ServingConfig(replicas=1, queue_limit=32,
+                                 default_deadline_ms=100.0,
+                                 est_batch_ms=5.0, seed=self.seed + 2),
+            tenants=(TenantSpec("gold", max_outstanding=24,
+                                deadline_ms=80.0),
+                     TenantSpec("std", max_outstanding=48)),
+            autoscale=AutoscaleConfig(min_servers=2, max_servers=9,
+                                      cooldown_seconds=0.02),
+            rollout_at_seconds=0.08, rollout_version="v2",
+            seed=self.seed)
+
+    def run(self, plan) -> RunOutcome:
+        from repro.profiling.tracer import Tracer
+        from repro.serving import (LoadConfig, LoadGenerator,
+                                   ServingFleet, VirtualClock)
+        model = self._model()
+        tracer = Tracer()
+        clock = VirtualClock()
+        fleet = ServingFleet(model, self.fleet_config(),
+                             tracer=tracer, clock=clock)
+        injector = None
+        if plan is not None:
+            injector = fleet.install_faults(plan)
+        report, error = None, None
+        try:
+            report = LoadGenerator(fleet, LoadConfig(
+                requests=self.requests, qps=self.qps,
+                seed=self.load_seed)).run()
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        return RunOutcome(
+            harness=self.name, plan=plan, replies=dict(fleet.replies),
+            counters=dict(fleet.counters), requests=self.requests,
+            report=report, tracer=tracer,
+            injected=injector.signature() if injector is not None else (),
+            error=error, elapsed=clock.now(), model=model,
+            extras={"outstanding": fleet.outstanding()})
+
+    def atomic_specs(self) -> list[FleetFaultSpec]:
+        return [
+            FleetFaultSpec("zone_outage", zone="z1", at_seconds=0.05,
+                           duration_seconds=0.1),
+            FleetFaultSpec("correlated_crash", count=2,
+                           at_seconds=0.04),
+            FleetFaultSpec("lb_blackhole", at_seconds=0.02,
+                           duration_seconds=0.15),
+            FleetFaultSpec("bad_rollout", at_seconds=0.0,
+                           defect="slow"),
+            FleetFaultSpec("bad_rollout", at_seconds=0.0,
+                           defect="poison"),
+        ]
+
+
+#: harness name -> adapter class (the CLI's --harness choices)
+HARNESSES: dict[str, type[CampaignHarness]] = {
+    cls.name: cls
+    for cls in (TrainingHarness, ClusterHarness, ServingHarness,
+                FleetHarness)
+}
+
+
+def build_harness(name: str, **kw) -> CampaignHarness:
+    """Instantiate the adapter registered under ``name``."""
+    try:
+        harness_cls = HARNESSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown harness {name!r}; expected one of "
+            f"{sorted(HARNESSES)}") from None
+    return harness_cls(**kw)

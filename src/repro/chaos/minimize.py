@@ -1,0 +1,117 @@
+"""Delta-debugging minimization of failing fault schedules.
+
+A campaign violation usually fires on a multi-fault schedule where most
+of the faults are innocent bystanders. Zeller's ddmin algorithm shrinks
+the schedule to a *1-minimal* reproducer — removing any single remaining
+fault makes the violation disappear — by repeatedly re-running the
+harness on subsets and complements of the current schedule.
+
+Everything here is deterministic: the subset order is a pure function
+of the input schedule, and each candidate subset is executed at most
+once (results are cached on the spec tuple), so the same violation
+always minimizes to the same reproducer in the same number of runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.framework.faults import BaseFaultSpec
+
+
+@dataclass
+class MinimizeResult:
+    """The minimal failing schedule plus search statistics."""
+
+    specs: tuple
+    tests_run: int
+    cache_hits: int
+
+    @property
+    def size(self) -> int:
+        return len(self.specs)
+
+
+def ddmin(specs: Sequence[BaseFaultSpec],
+          fails: Callable[[list], bool]) -> MinimizeResult:
+    """Shrink ``specs`` to a 1-minimal subset on which ``fails`` holds.
+
+    Args:
+        specs: the failing schedule (``fails(list(specs))`` must be
+            True; raises ValueError otherwise — a "violation" that does
+            not reproduce is a determinism bug worth failing loudly on).
+        fails: run the harness on a candidate sub-schedule and report
+            whether the violation still occurs.
+
+    Returns the minimal schedule (original order preserved) with run
+    statistics. The empty schedule is never tested: a fault-free run
+    violating an oracle is a baseline defect, not a fault reproducer.
+    """
+    cache: dict[tuple, bool] = {}
+    stats = {"tests": 0, "hits": 0}
+
+    def test(subset: list) -> bool:
+        key = tuple(subset)
+        if key in cache:
+            stats["hits"] += 1
+            return cache[key]
+        stats["tests"] += 1
+        result = bool(fails(list(subset)))
+        cache[key] = result
+        return result
+
+    current = list(specs)
+    if not current:
+        raise ValueError("cannot minimize an empty schedule")
+    if not test(current):
+        raise ValueError(
+            "the full schedule does not reproduce the violation — "
+            "non-deterministic harness or stale violation")
+
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        subsets = [current[i:i + chunk]
+                   for i in range(0, len(current), chunk)]
+        reduced = False
+        # Try each subset alone: the classic fast path.
+        for subset in subsets:
+            if len(subset) < len(current) and test(subset):
+                current = subset
+                granularity = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        # Try each complement: drop one chunk at a time.
+        if len(subsets) > 2:
+            for index in range(len(subsets)):
+                complement = [spec for j, subset in enumerate(subsets)
+                              if j != index for spec in subset]
+                if complement and test(complement):
+                    current = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if reduced:
+            continue
+        if granularity >= len(current):
+            break
+        granularity = min(len(current), granularity * 2)
+
+    # 1-minimality sweep: ddmin guarantees it at loop exit, but the
+    # sweep is cheap insurance (cache absorbs repeats) and makes the
+    # guarantee locally obvious.
+    changed = True
+    while changed and len(current) > 1:
+        changed = False
+        for index in range(len(current)):
+            candidate = current[:index] + current[index + 1:]
+            if test(candidate):
+                current = candidate
+                changed = True
+                break
+
+    return MinimizeResult(specs=tuple(current), tests_run=stats["tests"],
+                          cache_hits=stats["hits"])

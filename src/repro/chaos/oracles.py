@@ -1,0 +1,317 @@
+"""Invariant oracles: what "survived the faults" means, mechanically.
+
+Each oracle states one system-wide invariant the stack promises to hold
+under *any* injectable fault schedule, and checks it against a
+:class:`~repro.chaos.harnesses.RunOutcome` (usually by comparison with
+the harness's cached fault-free baseline). The campaign engine runs
+every applicable oracle after every schedule; a failed verdict is a
+counterexample worth minimizing.
+
+The registry (:data:`ORACLES`) maps names to instances; each oracle
+declares which harnesses it applies to. Write the invariant once, get
+every workload x harness x fault combination checked mechanically.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import tempfile
+from dataclasses import dataclass
+
+from .harnesses import CampaignHarness, RunOutcome
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One oracle's judgement of one schedule's outcome."""
+
+    oracle: str
+    ok: bool
+    detail: str = ""
+
+
+class Oracle:
+    """Base: one named invariant over run outcomes."""
+
+    #: registry key and CLI name
+    name = ""
+    #: harness names this oracle applies to
+    harnesses: tuple[str, ...] = ()
+    #: one-line summary for ``repro chaos run --list-oracles``
+    summary = ""
+
+    def applies_to(self, harness_name: str) -> bool:
+        return harness_name in self.harnesses
+
+    def check(self, outcome: RunOutcome, baseline: RunOutcome,
+              harness: CampaignHarness) -> Verdict:
+        raise NotImplementedError
+
+    def _verdict(self, ok: bool, detail: str = "") -> Verdict:
+        return Verdict(oracle=self.name, ok=ok,
+                       detail="" if ok else detail)
+
+
+def _losses_equal(a: list | None, b: list | None) -> bool:
+    if a is None or b is None or len(a) != len(b):
+        return False
+    # NaN != NaN, and a skipped step's nan loss IS a divergence from a
+    # clean baseline — plain equality is exactly the bit-identity bar.
+    return all(x == y for x, y in zip(a, b))
+
+
+class TerminalRepliesOracle(Oracle):
+    """Every submitted request reaches exactly one terminal reply.
+
+    The serving contract since PR 4: requests are shed at admission or
+    answered (ok/deadline/error) — never lost, never answered twice,
+    never left hanging once the load generator drains.
+    """
+
+    name = "terminal_replies"
+    harnesses = ("serving", "fleet")
+    summary = ("each request gets exactly one terminal reply; "
+               "counters account for all of them")
+
+    def check(self, outcome, baseline, harness):
+        if outcome.error is not None:
+            return self._verdict(False, f"run died: {outcome.error}")
+        replies = outcome.replies or {}
+        expected = list(range(outcome.requests))
+        if sorted(replies) != expected:
+            missing = sorted(set(expected) - set(replies))
+            extra = sorted(set(replies) - set(expected))
+            return self._verdict(
+                False, f"replies diverge: missing {missing[:8]}"
+                       f"{'...' if len(missing) > 8 else ''}, "
+                       f"unexpected {extra[:8]}")
+        counters = outcome.counters or {}
+        terminal = sum(counters.get(key, 0)
+                       for key in ("ok", "shed", "deadline", "error"))
+        if terminal != outcome.requests:
+            return self._verdict(
+                False, f"outcome counters sum to {terminal}, "
+                       f"expected {outcome.requests}")
+        outstanding = outcome.extras.get("outstanding", 0)
+        if outstanding:
+            return self._verdict(
+                False, f"{outstanding} requests still outstanding "
+                       f"after drain")
+        return self._verdict(True)
+
+
+class BitIdentityOracle(Oracle):
+    """Training recovers to the exact fault-free loss trajectory.
+
+    The resilience contract since PR 1: rollback + retry (and guardrail
+    screening) make every transient fault invisible in the final
+    numbers — bit-for-bit, not approximately.
+    """
+
+    name = "bit_identity"
+    harnesses = ("training",)
+    summary = "faulted training losses == fault-free losses, bitwise"
+
+    def check(self, outcome, baseline, harness):
+        if outcome.error is not None:
+            return self._verdict(False, f"run died: {outcome.error}")
+        if _losses_equal(outcome.losses, baseline.losses):
+            return self._verdict(True)
+        diverged = [i for i, (x, y) in enumerate(
+            zip(outcome.losses or [], baseline.losses or []))
+            if x != y]
+        return self._verdict(
+            False, f"loss trajectory diverged at steps {diverged[:6]} "
+                   f"(faulted {outcome.losses} vs fault-free "
+                   f"{baseline.losses})")
+
+
+class ConvergenceOracle(Oracle):
+    """Cluster training converges to the fault-free trajectory.
+
+    The distributed contract since PR 5: checkpoint replay, retransmits,
+    and strategy fallback keep the global model bit-identical to the
+    undisturbed run, whatever the cluster faults.
+    """
+
+    name = "convergence"
+    harnesses = ("cluster",)
+    summary = "faulted cluster losses == fault-free losses, bitwise"
+
+    def check(self, outcome, baseline, harness):
+        if outcome.error is not None:
+            return self._verdict(False, f"run died: {outcome.error}")
+        if _losses_equal(outcome.losses, baseline.losses):
+            return self._verdict(True)
+        return self._verdict(
+            False, f"cluster trajectory diverged (faulted "
+                   f"{outcome.losses} vs fault-free {baseline.losses})")
+
+
+class CheckpointRestoreOracle(Oracle):
+    """Post-fault state survives a checkpoint round-trip bit-exactly.
+
+    Whatever the schedule did, saving the end state and restoring it
+    into a fresh session must reproduce every variable exactly
+    (save -> restore -> save is a fixed point). Catches recovery paths
+    that leave sessions in states checkpoints cannot represent.
+    """
+
+    name = "checkpoint_restore"
+    harnesses = ("training",)
+    summary = "save -> restore -> save of post-fault state is a fixed point"
+
+    def check(self, outcome, baseline, harness):
+        import numpy as np
+        from repro.framework import checkpoint
+        if outcome.error is not None:
+            return self._verdict(False, f"run died: {outcome.error}")
+        if outcome.model is None:
+            return self._verdict(True, "")
+        with tempfile.TemporaryDirectory() as tmp:
+            first = os.path.join(tmp, "end-state.npz")
+            second = os.path.join(tmp, "round-trip.npz")
+            checkpoint.save(outcome.model.session, first)
+            fresh = harness._model()
+            checkpoint.restore(fresh.session, first)
+            checkpoint.save(fresh.session, second)
+            with np.load(first) as a, np.load(second) as b:
+                if sorted(a.files) != sorted(b.files):
+                    return self._verdict(
+                        False, f"variable sets differ: {sorted(a.files)}"
+                               f" vs {sorted(b.files)}")
+                for name in a.files:
+                    if not np.array_equal(a[name], b[name]):
+                        return self._verdict(
+                            False,
+                            f"variable {name!r} did not survive the "
+                            f"checkpoint round-trip bit-exactly")
+        return self._verdict(True)
+
+
+class LivelockOracle(Oracle):
+    """The run terminates: no stuck clock, no infinite retry loop.
+
+    Every harness runs on the virtual clock with bounded work; a
+    schedule that drives pump/retry cycles forever surfaces either as a
+    raised error (the server's drain bail-out) or as runaway virtual
+    time. Also catches short-counts: a training run that silently
+    produced fewer steps than asked.
+    """
+
+    name = "livelock"
+    harnesses = ("training", "cluster", "serving", "fleet")
+    summary = "the run terminates with bounded virtual time and full output"
+
+    #: virtual-seconds ceiling, far above any healthy run on these
+    #: tiny configs (healthy fleet storms finish in < 1 virtual second)
+    max_virtual_seconds = 120.0
+
+    def check(self, outcome, baseline, harness):
+        if outcome.error is not None:
+            return self._verdict(False, f"run died: {outcome.error}")
+        if not math.isfinite(outcome.elapsed) \
+                or outcome.elapsed > self.max_virtual_seconds:
+            return self._verdict(
+                False, f"virtual clock ran to {outcome.elapsed:.1f}s "
+                       f"(budget {self.max_virtual_seconds:.0f}s)")
+        if outcome.losses is not None \
+                and len(outcome.losses) != harness.steps:
+            return self._verdict(
+                False, f"{len(outcome.losses)} steps completed, "
+                       f"{harness.steps} requested")
+        return self._verdict(True)
+
+
+class TraceWellFormedOracle(Oracle):
+    """Every injected fault left its recovery visible in the trace.
+
+    Injection without a matching recovery/degradation/restart trail
+    means a fault was absorbed silently — the failure mode where a
+    recovery path rots because nothing notices it is never exercised.
+    Only fault kinds that *must* provoke a visible reaction are held to
+    this (e.g. latency injections legitimately pass unremarked).
+    """
+
+    name = "trace_well_formed"
+    harnesses = ("training", "cluster", "serving", "fleet")
+    summary = "every injected fault has a matching recovery event"
+
+    def check(self, outcome, baseline, harness):
+        if outcome.error is not None:
+            return self._verdict(False, f"run died: {outcome.error}")
+        kinds = [kind for _, _, kind, _ in outcome.injected]
+        tracer = outcome.tracer
+        if harness.name == "training":
+            # exception/nan/feed injections must each have provoked a
+            # rollback-retry (or skip/giveup) FailureEvent.
+            provoking = sum(1 for k in kinds
+                            if k in ("exception", "nan", "feed"))
+            seen = len(tracer.failure_events())
+            if seen < provoking:
+                return self._verdict(
+                    False, f"{provoking} recovery-demanding injections "
+                           f"but only {seen} failure events")
+        elif harness.name == "cluster":
+            crashes = sum(1 for k in kinds if k == "worker_crash")
+            seen = len(tracer.cluster_events("crash"))
+            recovered = len(tracer.cluster_events("recover"))
+            if seen < crashes or recovered < crashes:
+                return self._verdict(
+                    False, f"{crashes} injected crashes but trace shows "
+                           f"{seen} crash / {recovered} recover events")
+        elif harness.name == "serving":
+            crashes = sum(1 for k in kinds if k == "replica_crash")
+            restarts = len(tracer.serving_events("replica_restart"))
+            if restarts < crashes:
+                return self._verdict(
+                    False, f"{crashes} injected replica crashes but "
+                           f"only {restarts} restart events")
+        elif harness.name == "fleet":
+            report = outcome.report
+            outages = sum(1 for k in kinds if k == "zone_outage")
+            if report is not None and report.zone_outages < outages:
+                return self._verdict(
+                    False, f"{outages} injected zone outages but report "
+                           f"counts {report.zone_outages}")
+            # Multiple bad_rollout specs can all hit the same deploy, so
+            # the bar is per started rollout: every rollout that any
+            # defect injection fired on must have been rolled back.
+            defected = sum(1 for k in kinds if k == "bad_rollout")
+            if report is not None and defected \
+                    and report.rollbacks < report.rollouts:
+                return self._verdict(
+                    False, f"{report.rollouts} defective rollout(s) "
+                           f"started but only {report.rollbacks} "
+                           f"rolled back")
+        return self._verdict(True)
+
+
+#: oracle name -> instance (the CLI's --oracle choices)
+ORACLES: dict[str, Oracle] = {
+    oracle.name: oracle
+    for oracle in (TerminalRepliesOracle(), BitIdentityOracle(),
+                   ConvergenceOracle(), CheckpointRestoreOracle(),
+                   LivelockOracle(), TraceWellFormedOracle())
+}
+
+
+def oracles_for(harness_name: str,
+                names: tuple[str, ...] | None = None) -> list[Oracle]:
+    """The oracles applicable to ``harness_name``.
+
+    Args:
+        names: restrict to this subset (raises on unknown names);
+            ``None`` selects every applicable oracle.
+    """
+    if names is not None:
+        unknown = [n for n in names if n not in ORACLES]
+        if unknown:
+            raise ValueError(
+                f"unknown oracle(s) {unknown}; expected a subset of "
+                f"{sorted(ORACLES)}")
+        selected = [ORACLES[n] for n in names]
+    else:
+        selected = list(ORACLES.values())
+    return [o for o in selected if o.applies_to(harness_name)]

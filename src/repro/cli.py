@@ -18,6 +18,8 @@ shell::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 import numpy as np
@@ -33,6 +35,20 @@ SERVE_FAULT_PRESETS = {
     "poison": "replica 0 returns NaN-poisoned outputs, 3 times "
               "(output screening)",
     "storm": "crash + straggler + fleet-wide poison in one run",
+}
+
+#: cluster-fault presets for ``repro train --cluster-faults`` (name ->
+#: one-line description; the specs are built in
+#: :func:`_cluster_preset_specs`)
+CLUSTER_FAULT_PRESETS = {
+    "crash": "worker 1 dies mid-step at global step 1 "
+             "(checkpoint restart + replay)",
+    "straggler": "worker 0 runs 0.5 s slow for 3 steps "
+                 "(backup-worker / drop-slowest path)",
+    "partition": "the 0->1 link drops everything for one step "
+                 "(retransmit + degradation path)",
+    "storm": "crash + straggler + corrupt gradient + partition "
+             "in one run",
 }
 
 #: fleet-fault presets for ``repro fleet --fault`` (name -> one-line
@@ -67,6 +83,25 @@ def _serve_preset_specs(name: str):
                                    latency_seconds=0.05,
                                    max_triggers=5),
                   ServingFaultSpec("poisoned_batch", max_triggers=3)],
+    }[name]
+
+
+def _cluster_preset_specs(name: str):
+    from repro.framework.faults import ClusterFaultSpec
+    return {
+        "crash": [ClusterFaultSpec("worker_crash", worker=1, step=1)],
+        "straggler": [ClusterFaultSpec("straggler", worker=0, step=1,
+                                       delay_seconds=0.5,
+                                       max_triggers=3)],
+        "partition": [ClusterFaultSpec("partition", link=(0, 1),
+                                       step=1, duration_steps=1)],
+        "storm": [ClusterFaultSpec("worker_crash", worker=1, step=1),
+                  ClusterFaultSpec("straggler", worker=0, step=2,
+                                   delay_seconds=0.5, max_triggers=2),
+                  ClusterFaultSpec("corrupt_gradient", link=(1, 0),
+                                   step=2, max_triggers=1),
+                  ClusterFaultSpec("partition", link=(0, 1), step=3,
+                                   duration_steps=1)],
     }[name]
 
 
@@ -215,9 +250,12 @@ def cmd_run(args) -> int:
 def cmd_train(args) -> int:
     from repro.distributed import (ClusterConfig, ClusterRuntime,
                                    single_worker_reference)
-    from repro.framework.faults import ClusterFaultPlan, ClusterFaultSpec
+    from repro.framework.faults import ClusterFaultPlan
     from repro.profiling.tracer import Tracer
     from repro.workloads import create
+    if not _check_preset(args.cluster_faults, CLUSTER_FAULT_PRESETS,
+                         "train"):
+        return 2
     model = _build(args)
     tracer = Tracer()
     config = ClusterConfig(
@@ -229,23 +267,8 @@ def cmd_train(args) -> int:
         checkpoint_dir=args.checkpoint_dir)
     faults = None
     if args.cluster_faults != "none":
-        presets = {
-            "crash": [ClusterFaultSpec("worker_crash", worker=1, step=1)],
-            "straggler": [ClusterFaultSpec("straggler", worker=0, step=1,
-                                           delay_seconds=0.5,
-                                           max_triggers=3)],
-            "partition": [ClusterFaultSpec("partition", link=(0, 1),
-                                           step=1, duration_steps=1)],
-            "storm": [ClusterFaultSpec("worker_crash", worker=1, step=1),
-                      ClusterFaultSpec("straggler", worker=0, step=2,
-                                       delay_seconds=0.5, max_triggers=2),
-                      ClusterFaultSpec("corrupt_gradient", link=(1, 0),
-                                       step=2, max_triggers=1),
-                      ClusterFaultSpec("partition", link=(0, 1), step=3,
-                                       duration_steps=1)],
-        }
-        faults = ClusterFaultPlan(presets[args.cluster_faults],
-                                  seed=args.seed)
+        faults = ClusterFaultPlan(
+            _cluster_preset_specs(args.cluster_faults), seed=args.seed)
         print(f"armed {args.cluster_faults!r} cluster-fault plan",
               file=sys.stderr)
     runtime = ClusterRuntime(model, config=config, faults=faults,
@@ -407,6 +430,149 @@ def cmd_fleet(args) -> int:
               f"{len(tracer.fleet_events())} fleet events",
               file=sys.stderr)
     return 0
+
+
+def _campaign_preset_plans(harness):
+    """The shipped CLI fault presets, as plans for ``harness``.
+
+    Lets ``repro chaos run --include-presets`` hold every preset a user
+    can type at the CLI to the same oracle bar as the searched space.
+    The training harness has no shipped presets (op-level faults are
+    composed, not preset) so it contributes none.
+    """
+    if harness.name == "cluster":
+        specs = [_cluster_preset_specs(name)
+                 for name in CLUSTER_FAULT_PRESETS]
+    elif harness.name == "serving":
+        specs = [_serve_preset_specs(name)
+                 for name in SERVE_FAULT_PRESETS]
+    elif harness.name == "fleet":
+        specs = [_fleet_preset_specs(name, harness.zones)
+                 for name in FLEET_FAULT_PRESETS]
+    else:
+        specs = []
+    return tuple(harness.make_plan(s) for s in specs)
+
+
+def cmd_chaos_run(args) -> int:
+    from repro.chaos import (HARNESSES, ORACLES, CampaignSpec,
+                             run_campaign, write_reproducer)
+    from repro.profiling.tracer import Tracer
+    if args.list_oracles:
+        print("invariant oracles (repro chaos run --oracle NAME):")
+        for name, oracle in ORACLES.items():
+            harnesses = ",".join(oracle.harnesses)
+            print(f"  {name:<20s} [{harnesses}] {oracle.summary}")
+        return 0
+    if args.list_harnesses:
+        print("campaign harnesses (repro chaos run --harness NAME):")
+        for name, cls in HARNESSES.items():
+            print(f"  {name:<10s} {cls.__doc__.splitlines()[0]}")
+        return 0
+    spec = CampaignSpec(
+        harness=args.harness, workload=args.workload,
+        config=args.config, steps=args.steps, requests=args.requests,
+        budget=args.budget, max_faults=args.max_faults,
+        seeds=tuple(int(s) for s in args.seeds.split(",")),
+        oracles=tuple(args.oracle) if args.oracle else None,
+        sample_seed=args.sample_seed)
+    harness = spec.build_harness()
+    extra_plans = (_campaign_preset_plans(harness)
+                   if args.include_presets else ())
+    tracer = Tracer()
+    result = run_campaign(
+        spec, harness=harness, extra_plans=extra_plans, tracer=tracer,
+        minimize=not args.no_minimize,
+        log=lambda msg: print(msg, file=sys.stderr))
+    print(f"campaign: {result.executed} schedule(s) executed "
+          f"(space {result.schedule_space}), {result.verdicts} "
+          f"verdicts from {len(result.oracle_names)} oracle(s) "
+          f"[{', '.join(result.oracle_names)}]")
+    for violation in result.violations:
+        plan = violation.minimized or violation.plan
+        kinds = ",".join(s.kind for s in plan.specs)
+        print(f"violation: {violation.oracle} on schedule "
+              f"{violation.schedule_index} -> minimal reproducer "
+              f"{len(plan.specs)} fault(s) [{kinds}]: "
+              f"{violation.detail}")
+    if result.violations and args.reproducer_dir:
+        os.makedirs(args.reproducer_dir, exist_ok=True)
+        for index, violation in enumerate(result.violations):
+            path = os.path.join(
+                args.reproducer_dir,
+                f"repro-{harness.name}-{violation.oracle}-"
+                f"{violation.schedule_index}.json")
+            write_reproducer(path, harness, violation)
+            print(f"wrote {path} (replay: python -m repro chaos "
+                  f"replay {path})", file=sys.stderr)
+    if args.report_json:
+        with open(args.report_json, "w") as handle:
+            json.dump(result.to_json(), handle, indent=2)
+        print(f"wrote {args.report_json}", file=sys.stderr)
+    if args.trace:
+        from repro.profiling.serialize import save_trace
+        save_trace(tracer, args.trace,
+                   metadata={"mode": "chaos-campaign",
+                             "harness": harness.name,
+                             "workload": args.workload})
+        print(f"wrote {args.trace}: "
+              f"{len(tracer.campaign_events())} campaign events",
+              file=sys.stderr)
+    if result.ok:
+        print("all oracles held on every schedule")
+        return 0
+    return 1
+
+
+def cmd_chaos_minimize(args) -> int:
+    from repro.chaos import (Violation, load_reproducer,
+                             minimize_violation, write_reproducer)
+    from repro.chaos.campaign import build_harness
+    from repro.framework.faults import plan_from_json
+    blob = load_reproducer(args.reproducer)
+    harness = build_harness(
+        blob["harness"], workload=blob["workload"],
+        config=blob["config"], seed=blob["seed"], steps=blob["steps"],
+        requests=blob["requests"])
+    plan = plan_from_json(blob["plan"])
+    violation = Violation(schedule_index=0, plan=plan,
+                          oracle=blob["oracle"], detail=blob["detail"])
+    try:
+        minimize_violation(harness, violation)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    stats = violation.minimize_stats
+    out = args.output or args.reproducer
+    write_reproducer(out, harness, violation)
+    print(f"minimized {len(plan.specs)} -> {stats.size} fault(s) in "
+          f"{stats.tests_run} runs ({stats.cache_hits} cached); "
+          f"wrote {out}")
+    return 0
+
+
+def cmd_chaos_replay(args) -> int:
+    from repro.chaos import replay_reproducer
+    from repro.profiling.tracer import Tracer
+    tracer = Tracer() if args.trace else None
+    verdicts, blob = replay_reproducer(args.reproducer, tracer=tracer)
+    kinds = ",".join(s["kind"] for s in blob["plan"]["specs"])
+    print(f"replayed {len(blob['plan']['specs'])} fault(s) [{kinds}] "
+          f"on {blob['harness']}/{blob['workload']}")
+    failed = False
+    for verdict in verdicts:
+        status = "ok" if verdict.ok else "VIOLATED"
+        detail = f": {verdict.detail}" if verdict.detail else ""
+        print(f"  {verdict.oracle:<20s} {status}{detail}")
+        failed = failed or not verdict.ok
+    if args.trace:
+        from repro.profiling.serialize import save_trace
+        save_trace(tracer, args.trace,
+                   metadata={"mode": "chaos-replay",
+                             "harness": blob["harness"],
+                             "workload": blob["workload"]})
+        print(f"wrote {args.trace}", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def cmd_profile(args) -> int:
@@ -711,10 +877,10 @@ def build_parser() -> argparse.ArgumentParser:
                                    "pull params after lagging S versions "
                                    "(0 = synchronous)")
     train_parser.add_argument("--cluster-faults", default="none",
-                              choices=["none", "crash", "straggler",
-                                       "partition", "storm"],
+                              metavar="PRESET",
                               help="arm a deterministic cluster-fault "
-                                   "preset")
+                                   "preset (crash, straggler, partition, "
+                                   "storm)")
     train_parser.add_argument("--checkpoint-dir", metavar="DIR",
                               help="persist coordinated checkpoints here")
     train_parser.add_argument("--checkpoint-every", type=int, default=0,
@@ -828,6 +994,77 @@ def build_parser() -> argparse.ArgumentParser:
                               help="save the fleet trace (op records + "
                                    "fleet events) as JSONL")
     fleet_parser.set_defaults(handler=cmd_fleet)
+
+    chaos_parser = commands.add_parser(
+        "chaos", help="fault-space search with invariant oracles")
+    chaos_commands = chaos_parser.add_subparsers(dest="chaos_command",
+                                                required=True)
+
+    chaos_run = chaos_commands.add_parser(
+        "run", help="enumerate fault schedules, judge every oracle, "
+                    "minimize violations")
+    chaos_run.add_argument("--harness", default="training",
+                           metavar="NAME",
+                           help="training, cluster, serving, or fleet "
+                                "(see --list-harnesses)")
+    chaos_run.add_argument("--workload", default="memnet")
+    chaos_run.add_argument("--config", default="tiny")
+    chaos_run.add_argument("--steps", type=int, default=None,
+                           help="training steps per run "
+                                "(default: harness default)")
+    chaos_run.add_argument("--requests", type=int, default=None,
+                           help="load-generator requests per run "
+                                "(default: harness default)")
+    chaos_run.add_argument("--budget", type=int, default=24,
+                           help="max schedules to execute (the space "
+                                "is sampled deterministically beyond "
+                                "this)")
+    chaos_run.add_argument("--max-faults", type=int, default=2,
+                           help="largest schedule size to compose")
+    chaos_run.add_argument("--seeds", default="0",
+                           help="comma-separated plan seeds each "
+                                "schedule is crossed with")
+    chaos_run.add_argument("--sample-seed", type=int, default=0)
+    chaos_run.add_argument("--oracle", action="append", default=None,
+                           metavar="NAME",
+                           help="restrict to this oracle (repeatable; "
+                                "see --list-oracles)")
+    chaos_run.add_argument("--include-presets", action="store_true",
+                           help="also judge the shipped CLI fault "
+                                "presets for this harness")
+    chaos_run.add_argument("--no-minimize", action="store_true",
+                           help="report violations without "
+                                "delta-debugging them")
+    chaos_run.add_argument("--reproducer-dir", default=None,
+                           metavar="DIR",
+                           help="write a replayable reproducer file "
+                                "per violation here")
+    chaos_run.add_argument("--report-json", default=None,
+                           metavar="PATH",
+                           help="write the campaign report here")
+    chaos_run.add_argument("--trace", default=None, metavar="PATH",
+                           help="save the campaign event trace here")
+    chaos_run.add_argument("--list-oracles", action="store_true")
+    chaos_run.add_argument("--list-harnesses", action="store_true")
+    chaos_run.set_defaults(handler=cmd_chaos_run)
+
+    chaos_minimize = chaos_commands.add_parser(
+        "minimize", help="delta-debug a reproducer file's schedule to "
+                         "its minimum")
+    chaos_minimize.add_argument("reproducer",
+                                help="reproducer JSON from "
+                                     "'chaos run --reproducer-dir'")
+    chaos_minimize.add_argument("--output", "-o", default=None,
+                                help="write the minimized reproducer "
+                                     "here (default: in place)")
+    chaos_minimize.set_defaults(handler=cmd_chaos_minimize)
+
+    chaos_replay = chaos_commands.add_parser(
+        "replay", help="re-run a reproducer and re-judge its oracle")
+    chaos_replay.add_argument("reproducer")
+    chaos_replay.add_argument("--trace", default=None, metavar="PATH",
+                              help="save the replay event trace here")
+    chaos_replay.set_defaults(handler=cmd_chaos_replay)
 
     profile_parser = commands.add_parser("profile",
                                          help="operation-type profile")

@@ -179,6 +179,10 @@ class _ExchangeContext:
 class ClusterRuntime:
     """Elastic fault-tolerant data-parallel training over one workload."""
 
+    #: the fault family this harness accepts via :meth:`install_faults`
+    #: (the campaign engine's uniform adapter surface; see repro.chaos)
+    FAULT_FAMILY = "cluster"
+
     def __init__(self, model: FathomModel,
                  config: ClusterConfig | None = None,
                  faults: ClusterFaultPlan | None = None,
@@ -220,6 +224,20 @@ class ClusterRuntime:
         self._lags: dict[int, int] = {}
         if self.config.staleness:
             self._server = ClusterWorker(SERVER, model, seed=seed)
+
+    # -- fault arming (campaign adapter surface) ----------------------------
+
+    def install_faults(self, plan: ClusterFaultPlan) -> None:
+        """Arm a :class:`~repro.framework.faults.ClusterFaultPlan`.
+
+        Equivalent to passing ``faults=`` at construction; mirrors
+        ``InferenceServer.install_faults`` so the chaos campaign engine
+        drives every harness through one surface.
+        """
+        self.injector = plan.injector()
+
+    def uninstall_faults(self) -> None:
+        self.injector = None
 
     # -- events and plumbing -----------------------------------------------
 

@@ -2,32 +2,39 @@
 
 Fathom's workloads are long-running training jobs; hardening the stack
 (see :mod:`repro.framework.resilience`) requires a way to *provoke* the
-failures it must survive, reproducibly. A :class:`FaultPlan` is a
-declarative, seedable list of :class:`FaultSpec` entries; a
-:class:`FaultInjector` executes the plan by hooking the four injection
-points :class:`~repro.framework.session.Session` exposes:
+failures it must survive, reproducibly. Four fault families share one
+declarative core (:class:`BaseFaultSpec` / :class:`BaseFaultPlan` /
+:class:`BaseFaultInjector`):
 
-* ``exception`` — raise a transient :class:`InjectedFault` before an op
-  runs (models a lost worker / preempted kernel).
-* ``nan`` — poison an op's floating-point outputs with NaN/Inf after it
-  runs (models silent data corruption).
-* ``latency`` — sleep before an op runs (models a straggler op).
-* ``feed`` — corrupt a placeholder's fed minibatch (models bad input
-  pipelines).
+* **op faults** (:class:`FaultSpec`) — exceptions, NaN poison, latency
+  spikes, and corrupted feeds against individual operations inside a
+  ``Session.run``;
+* **cluster faults** (:class:`ClusterFaultSpec`) — worker crashes,
+  stragglers, partitions, and lost/corrupt gradient messages against
+  the data-parallel runtime (:mod:`repro.distributed`);
+* **serving faults** (:class:`ServingFaultSpec`) — replica crashes,
+  stalls, and poisoned batches against one inference server
+  (:mod:`repro.serving.server`);
+* **fleet faults** (:class:`FleetFaultSpec`) — zone outages, correlated
+  crashes, balancer blackholes, and defective rollouts against a
+  multi-zone fleet (:mod:`repro.serving.fleet`).
 
-Faults are targeted by op type, op name regex, and/or *injection step*
-(the index of the enclosing ``Session.run`` call; aborted runs count).
 Everything is deterministic given ``(plan, seed)``: probability draws
-come from a private seeded generator advanced in execution order, so two
-identical runs of the same plan produce identical
-:class:`InjectionEvent` sequences.
+come from a private seeded generator advanced in execution order, so
+two identical runs of the same plan produce identical
+:class:`InjectionEvent` sequences. Plans serialize to JSON and back via
+:func:`plan_to_json` / :func:`plan_from_json` — the substrate for the
+chaos campaign engine's replay files (:mod:`repro.chaos`): a found
+failure is a kept failure.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import re
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -64,72 +71,135 @@ class InjectedFault(ExecutionError):
         self.injection_step = injection_step
 
 
-@dataclass(frozen=True)
-class FaultSpec:
-    """One declarative fault: what to inject, where, and how often.
+# -- the shared declarative core --------------------------------------------
 
-    Args:
-        kind: one of :data:`FAULT_KINDS`.
-        op_type: only fault ops of this ``type_name`` (e.g. ``"MatMul"``).
-        name_pattern: only fault ops whose name matches this regex
-            (``re.search`` semantics).
-        step: only fault during this injection step (the index of the
-            ``Session.run`` call as counted by the injector).
+
+@dataclass(frozen=True)
+class BaseFaultSpec:
+    """The targeting/trigger core every fault family shares.
+
+    Args (common to all families):
+        kind: one of the family's ``KINDS``.
         probability: chance of firing when all targets match; draws come
             from the plan's seeded generator, so they are reproducible.
         max_triggers: stop firing after this many injections
             (``None`` = unlimited).
-        latency_seconds: sleep duration for ``latency`` faults.
-        payload: ``"nan"`` or ``"inf"`` — the poison value for ``nan``
-            and ``feed`` faults.
+
+    Subclasses add family-specific targeting fields and validate them in
+    :meth:`_validate`; families with a ``payload`` field get its
+    nan/inf validation and :attr:`poison_value` for free.
     """
 
     kind: str
-    op_type: str | None = None
-    name_pattern: str | None = None
-    step: int | None = None
     probability: float = 1.0
     max_triggers: int | None = 1
-    latency_seconds: float = 0.01
-    payload: str = "nan"
+
+    #: the family's legal fault kinds (subclass responsibility)
+    KINDS: ClassVar[tuple[str, ...]] = ()
+    #: short family name used by plan serialization and the campaign
+    #: engine ("op" / "cluster" / "serving" / "fleet")
+    FAMILY: ClassVar[str] = ""
 
     def __post_init__(self):
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in self.KINDS:
             raise ValueError(
-                f"unknown fault kind {self.kind!r}; expected one of "
-                f"{FAULT_KINDS}")
-        if self.payload not in ("nan", "inf"):
-            raise ValueError(
-                f"payload must be 'nan' or 'inf', got {self.payload!r}")
+                f"unknown {self.FAMILY} fault kind {self.kind!r}; "
+                f"expected one of {self.KINDS}")
         if not 0.0 < self.probability <= 1.0:
             raise ValueError(
                 f"probability must be in (0, 1], got {self.probability}")
-        if self.name_pattern is not None:
-            re.compile(self.name_pattern)  # fail fast on bad regexes
+        payload = getattr(self, "payload", None)
+        if payload is not None and payload not in ("nan", "inf"):
+            raise ValueError(
+                f"payload must be 'nan' or 'inf', got {payload!r}")
+        self._validate()
+
+    def _validate(self) -> None:
+        """Family-specific field validation (subclass hook)."""
 
     @property
     def poison_value(self) -> float:
+        """The poison written by nan/inf payload faults."""
         return float("nan") if self.payload == "nan" else float("inf")
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        """A JSON-safe dict capturing every field (tuples become lists)."""
+        blob = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            blob[field.name] = value
+        return blob
+
+    @classmethod
+    def from_json(cls, blob: dict) -> "BaseFaultSpec":
+        """Rebuild a spec from :meth:`to_json` output.
+
+        ``__post_init__`` re-normalizes list-valued fields (``link``,
+        ``servers``) back to tuples, so the round-trip is identity.
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(blob) - known
+        if unknown:
+            raise ValueError(
+                f"unknown {cls.__name__} fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}")
+        return cls(**blob)
 
 
 @dataclass(frozen=True)
-class FaultPlan:
+class BaseFaultPlan:
     """An immutable, seedable schedule of faults to inject.
 
-    The plan itself holds no runtime state; build a fresh
-    :class:`FaultInjector` per run. Two injectors over the same plan and
-    the same execution produce identical event sequences.
+    The plan itself holds no runtime state; build a fresh injector per
+    run via :meth:`injector`. Two injectors over the same plan and the
+    same execution produce identical event sequences.
     """
 
-    specs: tuple[FaultSpec, ...]
+    specs: tuple
     seed: int = 0
 
+    SPEC_CLASS: ClassVar[type] = BaseFaultSpec
+    INJECTOR_CLASS: ClassVar[type] = object
+
     def __init__(self, specs, seed: int = 0):
-        object.__setattr__(self, "specs", tuple(specs))
+        specs = tuple(specs)
+        for spec in specs:
+            if not isinstance(spec, self.SPEC_CLASS):
+                raise TypeError(
+                    f"{type(self).__name__} takes "
+                    f"{self.SPEC_CLASS.__name__} entries, got "
+                    f"{type(spec).__name__}")
+        object.__setattr__(self, "specs", specs)
         object.__setattr__(self, "seed", int(seed))
 
-    def injector(self) -> "FaultInjector":
-        return FaultInjector(self)
+    @property
+    def family(self) -> str:
+        return self.SPEC_CLASS.FAMILY
+
+    def injector(self, **kw):
+        return self.INJECTOR_CLASS(self, **kw)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        """A JSON-safe dict: family tag, seed, and every spec."""
+        return {"family": self.family, "seed": self.seed,
+                "specs": [spec.to_json() for spec in self.specs]}
+
+    @classmethod
+    def from_json(cls, blob: dict) -> "BaseFaultPlan":
+        family = blob.get("family", cls.SPEC_CLASS.FAMILY)
+        if family != cls.SPEC_CLASS.FAMILY:
+            raise ValueError(
+                f"{cls.__name__} loads {cls.SPEC_CLASS.FAMILY!r} plans, "
+                f"got family {family!r}")
+        return cls([cls.SPEC_CLASS.from_json(spec)
+                    for spec in blob.get("specs", [])],
+                   seed=blob.get("seed", 0))
 
 
 @dataclass(frozen=True)
@@ -142,8 +212,107 @@ class InjectionEvent:
     spec_index: int
 
 
-@dataclass
-class FaultInjector:
+class BaseFaultInjector:
+    """Trigger bookkeeping every family's injector shares.
+
+    Owns the plan, the fired-event log, the per-spec trigger counters,
+    and the seeded probability stream. Subclasses implement the hook
+    points their runtime consults, composing :meth:`_spent_trigger` /
+    :meth:`_draw` (always last, so the RNG advances only for fully
+    matched targets) and :meth:`_record`.
+    """
+
+    def __init__(self, plan: BaseFaultPlan):
+        self.plan = plan
+        self.events: list[InjectionEvent] = []
+        self._rng = np.random.default_rng(plan.seed)
+        self._triggers = [0] * len(plan.specs)
+
+    # -- shared trigger logic ----------------------------------------------
+
+    def _spent_trigger(self, index: int, spec: BaseFaultSpec) -> bool:
+        """True once a spec has fired ``max_triggers`` times."""
+        return (spec.max_triggers is not None
+                and self._triggers[index] >= spec.max_triggers)
+
+    def _draw(self, spec: BaseFaultSpec) -> bool:
+        """Seeded probability draw; advances the stream only when
+        ``probability < 1`` (so certain faults cost no randomness)."""
+        if spec.probability < 1.0:
+            return bool(self._rng.random() < spec.probability)
+        return True
+
+    def _record(self, index: int, kind: str, step: int,
+                target: str) -> None:
+        self._triggers[index] += 1
+        self.events.append(InjectionEvent(
+            step=step, op_name=target, kind=kind, spec_index=index))
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def num_injected(self) -> int:
+        return len(self.events)
+
+    def signature(self) -> tuple:
+        """Hashable summary of everything injected, for determinism checks."""
+        return tuple((e.step, e.op_name, e.kind, e.spec_index)
+                     for e in self.events)
+
+
+# -- op-path faults ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSpec(BaseFaultSpec):
+    """One declarative fault against individual operations.
+
+    Kinds (see :data:`FAULT_KINDS`):
+
+    * ``exception`` — raise a transient :class:`InjectedFault` before an
+      op runs (models a lost worker / preempted kernel).
+    * ``nan`` — poison an op's floating-point outputs with NaN/Inf after
+      it runs (models silent data corruption).
+    * ``latency`` — sleep before an op runs (models a straggler op).
+    * ``feed`` — corrupt a placeholder's fed minibatch (models bad input
+      pipelines).
+
+    Args (beyond the :class:`BaseFaultSpec` trio):
+        op_type: only fault ops of this ``type_name`` (e.g. ``"MatMul"``).
+        name_pattern: only fault ops whose name matches this regex
+            (``re.search`` semantics).
+        step: only fault during this injection step (the index of the
+            ``Session.run`` call as counted by the injector).
+        latency_seconds: sleep duration for ``latency`` faults.
+        payload: ``"nan"`` or ``"inf"`` — the poison value for ``nan``
+            and ``feed`` faults.
+    """
+
+    op_type: str | None = None
+    name_pattern: str | None = None
+    step: int | None = None
+    latency_seconds: float = 0.01
+    payload: str = "nan"
+
+    KINDS: ClassVar[tuple[str, ...]] = FAULT_KINDS
+    FAMILY: ClassVar[str] = "op"
+
+    def _validate(self):
+        if self.name_pattern is not None:
+            re.compile(self.name_pattern)  # fail fast on bad regexes
+
+
+class FaultPlan(BaseFaultPlan):
+    """An immutable, seedable schedule of op faults.
+
+    Install on a session with ``session.fault_injector =
+    plan.injector()``.
+    """
+
+    SPEC_CLASS: ClassVar[type] = FaultSpec
+
+
+class FaultInjector(BaseFaultInjector):
     """Executes a :class:`FaultPlan` against a live session.
 
     Install with ``session.fault_injector = FaultInjector(plan)`` (or
@@ -153,13 +322,9 @@ class FaultInjector:
     ``max_triggers=1`` exception fault is genuinely transient.
     """
 
-    plan: FaultPlan
-    step: int = 0
-    events: list[InjectionEvent] = field(default_factory=list)
-
-    def __post_init__(self):
-        self._rng = np.random.default_rng(self.plan.seed)
-        self._triggers = [0] * len(self.plan.specs)
+    def __init__(self, plan: FaultPlan):
+        super().__init__(plan)
+        self.step = 0
         self._patterns = [re.compile(spec.name_pattern)
                           if spec.name_pattern is not None else None
                           for spec in self.plan.specs]
@@ -167,8 +332,7 @@ class FaultInjector:
     # -- targeting ---------------------------------------------------------
 
     def _matches(self, index: int, spec: FaultSpec, op: Operation) -> bool:
-        if (spec.max_triggers is not None
-                and self._triggers[index] >= spec.max_triggers):
+        if self._spent_trigger(index, spec):
             return False
         if spec.step is not None and spec.step != self.step:
             return False
@@ -177,15 +341,10 @@ class FaultInjector:
         pattern = self._patterns[index]
         if pattern is not None and pattern.search(op.name) is None:
             return False
-        if spec.probability < 1.0 and self._rng.random() >= spec.probability:
-            return False
-        return True
+        return self._draw(spec)
 
     def _fire(self, index: int, spec: FaultSpec, op: Operation) -> None:
-        self._triggers[index] += 1
-        self.events.append(InjectionEvent(
-            step=self.step, op_name=op.name, kind=spec.kind,
-            spec_index=index))
+        self._record(index, spec.kind, self.step, op.name)
 
     # -- Session hook points -----------------------------------------------
 
@@ -236,23 +395,15 @@ class FaultInjector:
     def end_step(self) -> None:
         self.step += 1
 
-    # -- reporting ---------------------------------------------------------
 
-    @property
-    def num_injected(self) -> int:
-        return len(self.events)
-
-    def signature(self) -> tuple:
-        """Hashable summary of everything injected, for determinism checks."""
-        return tuple((e.step, e.op_name, e.kind, e.spec_index)
-                     for e in self.events)
+FaultPlan.INJECTOR_CLASS = FaultInjector
 
 
 # -- cluster-path faults ----------------------------------------------------
 
 
 @dataclass(frozen=True)
-class ClusterFaultSpec:
+class ClusterFaultSpec(BaseFaultSpec):
     """One declarative fault against the data-parallel cluster runtime.
 
     Where :class:`FaultSpec` targets individual operations and
@@ -278,8 +429,7 @@ class ClusterFaultSpec:
       (``payload``); the receiver's guardrail screen rejects it and
       requests a retransmit.
 
-    Args:
-        kind: one of :data:`CLUSTER_FAULT_KINDS`.
+    Args (beyond the :class:`BaseFaultSpec` trio):
         worker: only fault this worker id (``None`` = any worker).
         link: only fault this directed ``(src, dst)`` worker link
             (``partition``/``lost_gradient``/``corrupt_gradient``;
@@ -287,37 +437,23 @@ class ClusterFaultSpec:
         step: only fault during this global training step
             (``None`` = any step).
         duration_steps: how many global steps a ``partition`` stays up.
-        probability: chance of firing when all targets match; draws come
-            from the plan's seeded generator, so they are reproducible.
-        max_triggers: stop firing after this many injections
-            (``None`` = unlimited).
         delay_seconds: compute delay for ``straggler`` faults
             (cluster-clock seconds, not wall time).
         payload: ``"nan"`` or ``"inf"`` — the poison for
             ``corrupt_gradient`` faults.
     """
 
-    kind: str
     worker: int | None = None
     link: tuple[int, int] | None = None
     step: int | None = None
     duration_steps: int = 1
-    probability: float = 1.0
-    max_triggers: int | None = 1
     delay_seconds: float = 0.5
     payload: str = "nan"
 
-    def __post_init__(self):
-        if self.kind not in CLUSTER_FAULT_KINDS:
-            raise ValueError(
-                f"unknown cluster fault kind {self.kind!r}; expected one "
-                f"of {CLUSTER_FAULT_KINDS}")
-        if self.payload not in ("nan", "inf"):
-            raise ValueError(
-                f"payload must be 'nan' or 'inf', got {self.payload!r}")
-        if not 0.0 < self.probability <= 1.0:
-            raise ValueError(
-                f"probability must be in (0, 1], got {self.probability}")
+    KINDS: ClassVar[tuple[str, ...]] = CLUSTER_FAULT_KINDS
+    FAMILY: ClassVar[str] = "cluster"
+
+    def _validate(self):
         if self.duration_steps < 1:
             raise ValueError(
                 f"duration_steps must be >= 1, got {self.duration_steps}")
@@ -325,13 +461,8 @@ class ClusterFaultSpec:
             object.__setattr__(self, "link",
                                (int(self.link[0]), int(self.link[1])))
 
-    @property
-    def poison_value(self) -> float:
-        return float("nan") if self.payload == "nan" else float("inf")
 
-
-@dataclass(frozen=True)
-class ClusterFaultPlan:
+class ClusterFaultPlan(BaseFaultPlan):
     """An immutable, seedable schedule of cluster faults.
 
     Hand it to :class:`repro.distributed.runtime.ClusterRuntime`; the
@@ -339,18 +470,10 @@ class ClusterFaultPlan:
     clock deterministically.
     """
 
-    specs: tuple[ClusterFaultSpec, ...]
-    seed: int = 0
-
-    def __init__(self, specs, seed: int = 0):
-        object.__setattr__(self, "specs", tuple(specs))
-        object.__setattr__(self, "seed", int(seed))
-
-    def injector(self) -> "ClusterFaultInjector":
-        return ClusterFaultInjector(self)
+    SPEC_CLASS: ClassVar[type] = ClusterFaultSpec
 
 
-class ClusterFaultInjector:
+class ClusterFaultInjector(BaseFaultInjector):
     """Executes a :class:`ClusterFaultPlan` against a cluster run.
 
     The runtime consults three hook points: :meth:`should_crash` and
@@ -363,18 +486,14 @@ class ClusterFaultInjector:
     """
 
     def __init__(self, plan: ClusterFaultPlan):
-        self.plan = plan
-        self.events: list[InjectionEvent] = []
-        self._rng = np.random.default_rng(plan.seed)
-        self._triggers = [0] * len(plan.specs)
+        super().__init__(plan)
         #: active partitions: (src, dst) -> step the partition heals at
         self._partitions: dict[tuple[int, int], int] = {}
 
     def _matches(self, index: int, spec: ClusterFaultSpec, step: int,
                  worker: int | None = None,
                  link: tuple[int, int] | None = None) -> bool:
-        if (spec.max_triggers is not None
-                and self._triggers[index] >= spec.max_triggers):
+        if self._spent_trigger(index, spec):
             return False
         if spec.step is not None and spec.step != step:
             return False
@@ -384,15 +503,11 @@ class ClusterFaultInjector:
                 return False
         if spec.link is not None and spec.link != link:
             return False
-        if spec.probability < 1.0 and self._rng.random() >= spec.probability:
-            return False
-        return True
+        return self._draw(spec)
 
     def _fire(self, index: int, spec: ClusterFaultSpec, step: int,
               target: str) -> None:
-        self._triggers[index] += 1
-        self.events.append(InjectionEvent(
-            step=step, op_name=target, kind=spec.kind, spec_index=index))
+        self._record(index, spec.kind, step, target)
 
     # -- runtime hook points -------------------------------------------------
 
@@ -458,21 +573,15 @@ class ClusterFaultInjector:
         heals_at = self._partitions.get((src, dst))
         return heals_at is not None and step < heals_at
 
-    @property
-    def num_injected(self) -> int:
-        return len(self.events)
 
-    def signature(self) -> tuple:
-        """Hashable summary of everything injected, for determinism checks."""
-        return tuple((e.step, e.op_name, e.kind, e.spec_index)
-                     for e in self.events)
+ClusterFaultPlan.INJECTOR_CLASS = ClusterFaultInjector
 
 
 # -- fleet-path faults ------------------------------------------------------
 
 
 @dataclass(frozen=True)
-class FleetFaultSpec:
+class FleetFaultSpec(BaseFaultSpec):
     """One declarative fault against the serving *fleet*.
 
     Where :class:`ServingFaultSpec` targets one replica's batch, a fleet
@@ -501,8 +610,7 @@ class FleetFaultSpec:
     ``probability`` draw spends the trigger (the spec does not re-arm
     every tick), keeping draws deterministic in tick order.
 
-    Args:
-        kind: one of :data:`FLEET_FAULT_KINDS`.
+    Args (beyond the :class:`BaseFaultSpec` trio):
         zone: the fault domain a ``zone_outage`` takes out (``None`` =
             the fleet's first zone).
         servers: explicit server ids for ``correlated_crash`` /
@@ -514,33 +622,22 @@ class FleetFaultSpec:
         duration_seconds: how long an outage / blackhole lasts.
         defect: ``"poison"`` or ``"slow"`` — what a ``bad_rollout``
             deployment does to batches on servers running it.
-        probability: chance of firing when due.
-        max_triggers: stop firing after this many injections
-            (``None`` = unlimited; the fault re-arms every
-            ``duration_seconds`` after healing).
     """
 
-    kind: str
     zone: str | None = None
     servers: tuple[int, ...] | None = None
     count: int = 2
     at_seconds: float = 0.0
     duration_seconds: float = 0.05
     defect: str = "poison"
-    probability: float = 1.0
-    max_triggers: int | None = 1
 
-    def __post_init__(self):
-        if self.kind not in FLEET_FAULT_KINDS:
-            raise ValueError(
-                f"unknown fleet fault kind {self.kind!r}; expected one "
-                f"of {FLEET_FAULT_KINDS}")
+    KINDS: ClassVar[tuple[str, ...]] = FLEET_FAULT_KINDS
+    FAMILY: ClassVar[str] = "fleet"
+
+    def _validate(self):
         if self.defect not in ("poison", "slow"):
             raise ValueError(
                 f"defect must be 'poison' or 'slow', got {self.defect!r}")
-        if not 0.0 < self.probability <= 1.0:
-            raise ValueError(
-                f"probability must be in (0, 1], got {self.probability}")
         if self.duration_seconds <= 0.0:
             raise ValueError(
                 f"duration_seconds must be > 0, got "
@@ -550,8 +647,7 @@ class FleetFaultSpec:
                                tuple(int(s) for s in self.servers))
 
 
-@dataclass(frozen=True)
-class FleetFaultPlan:
+class FleetFaultPlan(BaseFaultPlan):
     """An immutable, seedable schedule of fleet faults.
 
     Install on a fleet with ``fleet.install_faults(plan)`` — the fleet
@@ -559,18 +655,10 @@ class FleetFaultPlan:
     starts and heals are deterministic functions of virtual time.
     """
 
-    specs: tuple[FleetFaultSpec, ...]
-    seed: int = 0
-
-    def __init__(self, specs, seed: int = 0):
-        object.__setattr__(self, "specs", tuple(specs))
-        object.__setattr__(self, "seed", int(seed))
-
-    def injector(self) -> "FleetFaultInjector":
-        return FleetFaultInjector(self)
+    SPEC_CLASS: ClassVar[type] = FleetFaultSpec
 
 
-class FleetFaultInjector:
+class FleetFaultInjector(BaseFaultInjector):
     """Executes a :class:`FleetFaultPlan` against a live fleet.
 
     The fleet calls :meth:`tick` once per pump round with the current
@@ -585,11 +673,8 @@ class FleetFaultInjector:
     """
 
     def __init__(self, plan: FleetFaultPlan):
-        self.plan = plan
-        self.events: list[InjectionEvent] = []
+        super().__init__(plan)
         self.round = 0
-        self._rng = np.random.default_rng(plan.seed)
-        self._triggers = [0] * len(plan.specs)
         self._spent = [False] * len(plan.specs)
         #: active outages: zone -> heal_at (fleet-clock seconds)
         self._outages: dict[str, float] = {}
@@ -599,14 +684,11 @@ class FleetFaultInjector:
         self._pending_defect: str | None = None
 
     def _due(self, index: int, spec: FleetFaultSpec, now: float) -> bool:
-        if self._spent[index]:
-            return False
-        if (spec.max_triggers is not None
-                and self._triggers[index] >= spec.max_triggers):
+        if self._spent[index] or self._spent_trigger(index, spec):
             return False
         if now < spec.at_seconds:
             return False
-        if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+        if not self._draw(spec):
             # A failed draw spends the trigger — time-based faults must
             # not re-draw every tick or determinism would depend on the
             # pump cadence.
@@ -616,13 +698,9 @@ class FleetFaultInjector:
 
     def _fire(self, index: int, spec: FleetFaultSpec,
               target: str) -> None:
-        self._triggers[index] += 1
-        if spec.max_triggers is not None \
-                and self._triggers[index] >= spec.max_triggers:
+        self._record(index, spec.kind, self.round, target)
+        if self._spent_trigger(index, spec):
             self._spent[index] = True
-        self.events.append(InjectionEvent(
-            step=self.round, op_name=target, kind=spec.kind,
-            spec_index=index))
 
     # -- fleet hook points ---------------------------------------------------
 
@@ -672,7 +750,8 @@ class FleetFaultInjector:
                 heal_at = now + spec.duration_seconds
                 if server is not None:
                     self._blackholes[server] = heal_at
-                self._fire(index, spec, f"lb:{server if server is not None else '?'}")
+                self._fire(index, spec,
+                           f"lb:{server if server is not None else '?'}")
                 actions.append(("lb_blackhole", server, heal_at))
             elif spec.kind == "bad_rollout":
                 self._pending_defect = spec.defect
@@ -717,27 +796,20 @@ class FleetFaultInjector:
         times += [spec.at_seconds
                   for index, spec in enumerate(self.plan.specs)
                   if not self._spent[index]
-                  and (spec.max_triggers is None
-                       or self._triggers[index] < spec.max_triggers)
+                  and not self._spent_trigger(index, spec)
                   and spec.at_seconds > now]
         future = [t for t in times if t > now]
         return min(future) if future else None
 
-    @property
-    def num_injected(self) -> int:
-        return len(self.events)
 
-    def signature(self) -> tuple:
-        """Hashable summary of everything injected, for determinism checks."""
-        return tuple((e.step, e.op_name, e.kind, e.spec_index)
-                     for e in self.events)
+FleetFaultPlan.INJECTOR_CLASS = FleetFaultInjector
 
 
 # -- serving-path faults ----------------------------------------------------
 
 
 @dataclass(frozen=True)
-class ServingFaultSpec:
+class ServingFaultSpec(BaseFaultSpec):
     """One declarative fault against the inference-serving path.
 
     Where :class:`FaultSpec` targets individual operations inside a
@@ -754,47 +826,25 @@ class ServingFaultSpec:
     * ``poisoned_batch`` — the batch executes but its output comes back
       NaN/Inf-poisoned (models silent data corruption in flight).
 
-    Args:
-        kind: one of :data:`SERVING_FAULT_KINDS`.
+    Args (beyond the :class:`BaseFaultSpec` trio):
         replica: only fault this replica id (``None`` = any replica).
         batch: only fault this dispatch index (the server's batch
             counter; ``None`` = any batch).
-        probability: chance of firing when the targets match; draws come
-            from the plan's seeded generator, so they are reproducible.
-        max_triggers: stop firing after this many injections
-            (``None`` = unlimited).
         latency_seconds: stall duration for ``slow_replica`` faults.
         payload: ``"nan"`` or ``"inf"`` — the poison for
             ``poisoned_batch`` faults.
     """
 
-    kind: str
     replica: int | None = None
     batch: int | None = None
-    probability: float = 1.0
-    max_triggers: int | None = 1
     latency_seconds: float = 0.05
     payload: str = "nan"
 
-    def __post_init__(self):
-        if self.kind not in SERVING_FAULT_KINDS:
-            raise ValueError(
-                f"unknown serving fault kind {self.kind!r}; expected one "
-                f"of {SERVING_FAULT_KINDS}")
-        if self.payload not in ("nan", "inf"):
-            raise ValueError(
-                f"payload must be 'nan' or 'inf', got {self.payload!r}")
-        if not 0.0 < self.probability <= 1.0:
-            raise ValueError(
-                f"probability must be in (0, 1], got {self.probability}")
-
-    @property
-    def poison_value(self) -> float:
-        return float("nan") if self.payload == "nan" else float("inf")
+    KINDS: ClassVar[tuple[str, ...]] = SERVING_FAULT_KINDS
+    FAMILY: ClassVar[str] = "serving"
 
 
-@dataclass(frozen=True)
-class ServingFaultPlan:
+class ServingFaultPlan(BaseFaultPlan):
     """An immutable, seedable schedule of serving-path faults.
 
     Install on a server with ``server.install_faults(plan)`` — the
@@ -802,18 +852,13 @@ class ServingFaultPlan:
     stalls advance virtual time deterministically in tests.
     """
 
-    specs: tuple[ServingFaultSpec, ...]
-    seed: int = 0
-
-    def __init__(self, specs, seed: int = 0):
-        object.__setattr__(self, "specs", tuple(specs))
-        object.__setattr__(self, "seed", int(seed))
+    SPEC_CLASS: ClassVar[type] = ServingFaultSpec
 
     def injector(self, sleep=time.sleep) -> "ServingFaultInjector":
         return ServingFaultInjector(self, sleep=sleep)
 
 
-class ServingFaultInjector:
+class ServingFaultInjector(BaseFaultInjector):
     """Executes a :class:`ServingFaultPlan` against a live server.
 
     The server consults :meth:`before_batch` right before handing a
@@ -825,31 +870,23 @@ class ServingFaultInjector:
     """
 
     def __init__(self, plan: ServingFaultPlan, sleep=time.sleep):
-        self.plan = plan
+        super().__init__(plan)
         self._sleep = sleep
-        self.events: list[InjectionEvent] = []
-        self._rng = np.random.default_rng(plan.seed)
-        self._triggers = [0] * len(plan.specs)
 
     def _matches(self, index: int, spec: ServingFaultSpec,
                  replica_id: int, batch_index: int) -> bool:
-        if (spec.max_triggers is not None
-                and self._triggers[index] >= spec.max_triggers):
+        if self._spent_trigger(index, spec):
             return False
         if spec.replica is not None and spec.replica != replica_id:
             return False
         if spec.batch is not None and spec.batch != batch_index:
             return False
-        if spec.probability < 1.0 and self._rng.random() >= spec.probability:
-            return False
-        return True
+        return self._draw(spec)
 
     def _fire(self, index: int, spec: ServingFaultSpec, replica_id: int,
               batch_index: int) -> None:
-        self._triggers[index] += 1
-        self.events.append(InjectionEvent(
-            step=batch_index, op_name=f"replica:{replica_id}",
-            kind=spec.kind, spec_index=index))
+        self._record(index, spec.kind, batch_index,
+                     f"replica:{replica_id}")
 
     # -- server hook points --------------------------------------------------
 
@@ -883,11 +920,38 @@ class ServingFaultInjector:
                 output = value
         return output
 
-    @property
-    def num_injected(self) -> int:
-        return len(self.events)
 
-    def signature(self) -> tuple:
-        """Hashable summary of everything injected, for determinism checks."""
-        return tuple((e.step, e.op_name, e.kind, e.spec_index)
-                     for e in self.events)
+ServingFaultPlan.INJECTOR_CLASS = ServingFaultInjector
+
+
+# -- plan serialization ------------------------------------------------------
+
+#: family name -> plan class, for replay-file round-trips
+FAULT_FAMILIES: dict[str, type[BaseFaultPlan]] = {
+    "op": FaultPlan,
+    "cluster": ClusterFaultPlan,
+    "serving": ServingFaultPlan,
+    "fleet": FleetFaultPlan,
+}
+
+
+def plan_to_json(plan: BaseFaultPlan) -> dict:
+    """Serialize any family's fault plan to a JSON-safe dict."""
+    return plan.to_json()
+
+
+def plan_from_json(blob: dict) -> BaseFaultPlan:
+    """Rebuild a fault plan of any family from :func:`plan_to_json`.
+
+    The ``family`` tag picks the plan class; the round-trip
+    ``plan_from_json(plan_to_json(p)) == p`` holds for every family
+    (spec tuples, seeds, and therefore the injector's probability
+    stream are all preserved exactly).
+    """
+    family = blob.get("family")
+    plan_cls = FAULT_FAMILIES.get(family)
+    if plan_cls is None:
+        raise ValueError(
+            f"unknown fault family {family!r}; expected one of "
+            f"{sorted(FAULT_FAMILIES)}")
+    return plan_cls.from_json(blob)

@@ -220,6 +220,10 @@ class ResilientRunner:
     directly for access to the recorded :attr:`events`.
     """
 
+    #: the fault family this harness accepts via :meth:`install_faults`
+    #: (the campaign engine's uniform adapter surface; see repro.chaos)
+    FAULT_FAMILY = "op"
+
     def __init__(self, model: TrainableModel,
                  config: ResilienceConfig | None = None,
                  tracer: Any | None = None, clock: Any | None = None):
@@ -255,6 +259,20 @@ class ResilientRunner:
     def backoff_delays(self) -> list[float]:
         """Every jittered delay drawn, for reproducibility assertions."""
         return self._backoff.delays
+
+    # -- fault arming (campaign adapter surface) ---------------------------
+
+    def install_faults(self, plan) -> None:
+        """Arm an op-level :class:`~repro.framework.faults.FaultPlan`.
+
+        Mirrors ``InferenceServer.install_faults`` so the chaos campaign
+        engine drives every harness through one surface; the injector is
+        reachable as ``model.session.fault_injector`` afterwards.
+        """
+        self.model.session.fault_injector = plan.injector()
+
+    def uninstall_faults(self) -> None:
+        self.model.session.fault_injector = None
 
     # -- events ------------------------------------------------------------
 

@@ -75,7 +75,8 @@ class SavedTrace:
         events = [e for e in self.events
                   if not hasattr(e, "pass_name")
                   and not hasattr(e, "outcome")
-                  and not hasattr(e, "worker")]
+                  and not hasattr(e, "worker")
+                  and not hasattr(e, "oracle")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]
@@ -103,6 +104,13 @@ class SavedTrace:
     def cluster_events(self, kind: str | None = None) -> list:
         """Distributed-training events persisted with the trace."""
         events = [e for e in self.events if hasattr(e, "worker")]
+        if kind is None:
+            return events
+        return [e for e in events if e.kind == kind]
+
+    def campaign_events(self, kind: str | None = None) -> list:
+        """Chaos-campaign events persisted with the trace."""
+        events = [e for e in self.events if hasattr(e, "oracle")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]
@@ -142,8 +150,14 @@ def save_trace(tracer: Tracer, path: str | os.PathLike,
     degradation_blobs: list[dict] = []
     serving_blobs: list[dict] = []
     cluster_blobs: list[dict] = []
+    campaign_blobs: list[dict] = []
     for seq, e in enumerate(getattr(tracer, "events", [])):
-        if hasattr(e, "worker"):
+        if hasattr(e, "oracle"):
+            campaign_blobs.append(
+                {"seq": seq, "step": e.step, "kind": e.kind,
+                 "oracle": e.oracle, "harness": e.harness, "ok": e.ok,
+                 "seconds_lost": e.seconds_lost, "detail": e.detail})
+        elif hasattr(e, "worker"):
             cluster_blobs.append(
                 {"seq": seq, "step": e.step, "kind": e.kind,
                  "worker": e.worker,
@@ -182,6 +196,7 @@ def save_trace(tracer: Tracer, path: str | os.PathLike,
                   "degradation_events": degradation_blobs,
                   "serving_events": serving_blobs,
                   "cluster_events": cluster_blobs,
+                  "campaign_events": campaign_blobs,
                   # plan-compilation summaries (pass stats, memory plan)
                   "compile_records": list(
                       getattr(tracer, "compile_records", [])),
@@ -259,6 +274,15 @@ def load_trace(path: str | os.PathLike) -> SavedTrace:
                 worker=blob.get("worker"),
                 link=tuple(link) if link is not None else None,
                 strategy=blob.get("strategy"),
+                seconds_lost=blob.get("seconds_lost", 0.0),
+                detail=blob.get("detail", ""))))
+    if header.get("campaign_events"):
+        from repro.chaos.events import CampaignEvent
+        for blob in header["campaign_events"]:
+            tagged.append((blob.get("seq", len(tagged)), CampaignEvent(
+                step=blob["step"], kind=blob["kind"],
+                oracle=blob.get("oracle"), harness=blob.get("harness"),
+                ok=blob.get("ok"),
                 seconds_lost=blob.get("seconds_lost", 0.0),
                 detail=blob.get("detail", ""))))
     tagged.sort(key=lambda pair: pair[0])

@@ -112,15 +112,17 @@ class Tracer:
         """Recovery events recorded so far, optionally filtered by kind.
 
         Degradation events (which carry a ``pass_name`` field), serving
-        events (``outcome`` field), and cluster events (``worker``
-        field) share the ``record_event`` hook but are reported
-        separately via :meth:`degradation_events`,
-        :meth:`serving_events`, and :meth:`cluster_events`.
+        events (``outcome`` field), cluster events (``worker`` field),
+        and campaign events (``oracle`` field) share the
+        ``record_event`` hook but are reported separately via
+        :meth:`degradation_events`, :meth:`serving_events`,
+        :meth:`cluster_events`, and :meth:`campaign_events`.
         """
         events = [e for e in self.events
                   if not hasattr(e, "pass_name")
                   and not hasattr(e, "outcome")
-                  and not hasattr(e, "worker")]
+                  and not hasattr(e, "worker")
+                  and not hasattr(e, "oracle")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]
@@ -173,6 +175,17 @@ class Tracer:
         field.
         """
         events = [e for e in self.events if hasattr(e, "worker")]
+        if kind is None:
+            return events
+        return [e for e in events if e.kind == kind]
+
+    def campaign_events(self, kind: str | None = None) -> list:
+        """Chaos-campaign events (schedule executions, oracle verdicts,
+        violations, minimization results — see
+        :class:`repro.chaos.events.CampaignEvent`). Distinguished from
+        the other event families by duck-typing on the ``oracle`` field.
+        """
+        events = [e for e in self.events if hasattr(e, "oracle")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]

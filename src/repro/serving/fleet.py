@@ -178,6 +178,10 @@ class ServingFleet:
     ``report`` — so the same load generator drives either.
     """
 
+    #: the fault family this harness accepts via :meth:`install_faults`
+    #: (the campaign engine's uniform adapter surface; see repro.chaos)
+    FAULT_FAMILY = "fleet"
+
     def __init__(self, model, config: FleetConfig | None = None,
                  tracer=None, clock=None):
         self.model = model

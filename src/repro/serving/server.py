@@ -111,6 +111,10 @@ _BREAKER_EVENT_KINDS = {
 class InferenceServer:
     """A robust request front-end over one workload's inference plan."""
 
+    #: the fault family this harness accepts via :meth:`install_faults`
+    #: (the campaign engine's uniform adapter surface; see repro.chaos)
+    FAULT_FAMILY = "serving"
+
     def __init__(self, model, config: ServingConfig | None = None,
                  tracer=None, clock=None):
         self.model = model

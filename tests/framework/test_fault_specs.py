@@ -1,0 +1,156 @@
+"""The shared fault-spec base layer: preset stability + serialization.
+
+Two contracts guard the BaseFaultSpec deduplication:
+
+* **Golden presets** — every shipped CLI preset must parse to exactly
+  the plan it produced before the four families' trigger/seed/validation
+  logic was folded into the shared base class
+  (``golden_fault_presets.json`` is the pre-refactor dump).
+* **Round-trips** — ``plan_from_json(plan_to_json(plan))`` is identity
+  for every family: specs, seeds, and therefore the injector's seeded
+  probability stream are preserved exactly.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import (_cluster_preset_specs, _fleet_preset_specs,
+                       _serve_preset_specs, CLUSTER_FAULT_PRESETS,
+                       FLEET_FAULT_PRESETS, SERVE_FAULT_PRESETS)
+from repro.framework.faults import (ClusterFaultPlan, ClusterFaultSpec,
+                                    FaultPlan, FaultSpec, FleetFaultPlan,
+                                    FleetFaultSpec, ServingFaultPlan,
+                                    ServingFaultSpec, FAULT_FAMILIES,
+                                    plan_from_json, plan_to_json)
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "golden_fault_presets.json")
+    .read_text())
+
+#: the zone layout the fleet CLI uses for three zones
+ZONES = ("z0", "z1", "z2")
+
+
+def _preset_specs(key):
+    family, name = key.split("/")
+    if family == "serve":
+        return _serve_preset_specs(name)
+    if family == "fleet":
+        return _fleet_preset_specs(name, ZONES)
+    return _cluster_preset_specs(name)
+
+
+@pytest.mark.parametrize(
+    "key", [key for key in GOLDEN if not key.startswith("_")])
+def test_presets_match_pre_refactor_golden(key):
+    specs = _preset_specs(key)
+    assert [spec.to_json() for spec in specs] == GOLDEN[key], \
+        f"preset {key} drifted from its pre-refactor plan"
+
+
+def test_every_shipped_preset_is_golden_covered():
+    # A new preset must come with a golden entry, or drift goes unseen.
+    shipped = {f"serve/{n}" for n in SERVE_FAULT_PRESETS}
+    shipped |= {f"fleet/{n}" for n in FLEET_FAULT_PRESETS}
+    shipped |= {f"train/{n}" for n in CLUSTER_FAULT_PRESETS}
+    golden = {key for key in GOLDEN if not key.startswith("_")}
+    assert shipped == golden
+
+
+# -- serialization round-trips ----------------------------------------------
+
+ROUND_TRIP_PLANS = {
+    "op": FaultPlan(
+        [FaultSpec("exception", name_pattern="train_step", step=1),
+         FaultSpec("nan", op_type="MatMul", payload="inf",
+                   probability=0.5, max_triggers=None),
+         FaultSpec("latency", latency_seconds=0.25),
+         FaultSpec("feed", name_pattern="input")],
+        seed=7),
+    "cluster": ClusterFaultPlan(
+        [ClusterFaultSpec("worker_crash", worker=1, step=1),
+         ClusterFaultSpec("partition", link=(0, 1), duration_steps=2),
+         ClusterFaultSpec("corrupt_gradient", link=(1, 0),
+                          payload="inf", probability=0.3),
+         ClusterFaultSpec("straggler", worker=0, delay_seconds=1.5,
+                          max_triggers=4)],
+        seed=11),
+    "serving": ServingFaultPlan(
+        [ServingFaultSpec("replica_crash", replica=0, batch=1),
+         ServingFaultSpec("slow_replica", latency_seconds=0.05,
+                          probability=0.25, max_triggers=None),
+         ServingFaultSpec("poisoned_batch", payload="inf")],
+        seed=13),
+    "fleet": FleetFaultPlan(
+        [FleetFaultSpec("zone_outage", zone="z1", at_seconds=0.05,
+                        duration_seconds=0.1),
+         FleetFaultSpec("correlated_crash", servers=(2, 5),
+                        at_seconds=0.04, probability=0.9),
+         FleetFaultSpec("lb_blackhole", at_seconds=0.02,
+                        duration_seconds=0.15),
+         FleetFaultSpec("bad_rollout", defect="slow")],
+        seed=17),
+}
+
+
+@pytest.mark.parametrize("family", sorted(ROUND_TRIP_PLANS))
+def test_plan_round_trips_through_json(family):
+    plan = ROUND_TRIP_PLANS[family]
+    blob = plan_to_json(plan)
+    # The blob must actually be JSON-safe, not merely dict-shaped.
+    restored = plan_from_json(json.loads(json.dumps(blob)))
+    assert type(restored) is type(plan)
+    assert restored == plan
+    assert restored.specs == plan.specs
+    assert restored.seed == plan.seed
+
+
+@pytest.mark.parametrize("family", sorted(ROUND_TRIP_PLANS))
+def test_round_trip_preserves_probability_stream(family):
+    # Equal plans are not enough: the restored plan's injector must
+    # draw the *same* random stream, or replay files would diverge on
+    # probabilistic specs. Compare the seeded generators directly.
+    import numpy as np
+    plan = ROUND_TRIP_PLANS[family]
+    restored = plan_from_json(plan_to_json(plan))
+    original = np.random.default_rng(plan.seed)
+    replayed = np.random.default_rng(restored.seed)
+    assert [original.random() for _ in range(32)] \
+        == [replayed.random() for _ in range(32)]
+
+
+def test_preset_plans_round_trip():
+    for key in (key for key in GOLDEN if not key.startswith("_")):
+        family, _ = key.split("/")
+        plan_cls = {"serve": ServingFaultPlan, "fleet": FleetFaultPlan,
+                    "train": ClusterFaultPlan}[family]
+        plan = plan_cls(_preset_specs(key), seed=3)
+        assert plan_from_json(plan_to_json(plan)) == plan
+
+
+def test_family_registry_covers_all_plan_classes():
+    assert FAULT_FAMILIES == {"op": FaultPlan,
+                              "cluster": ClusterFaultPlan,
+                              "serving": ServingFaultPlan,
+                              "fleet": FleetFaultPlan}
+    for family, plan_cls in FAULT_FAMILIES.items():
+        assert plan_cls.SPEC_CLASS.FAMILY == family
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(ValueError, match="family"):
+        plan_from_json({"family": "quantum", "seed": 0, "specs": []})
+
+
+def test_unknown_spec_field_rejected():
+    blob = plan_to_json(ROUND_TRIP_PLANS["op"])
+    blob["specs"][0]["surprise"] = True
+    with pytest.raises(ValueError, match="surprise"):
+        plan_from_json(blob)
+
+
+def test_wrong_spec_family_rejected():
+    with pytest.raises(TypeError, match="ServingFaultSpec"):
+        ServingFaultPlan([FaultSpec("exception")])

@@ -1,0 +1,267 @@
+"""Chaos campaign engine: search, oracles, minimization, replay.
+
+The acceptance bar (see docs/robustness.md): a healthy stack survives a
+budget-capped campaign on every harness with zero violations; a
+deliberately broken recovery path is *found* by the campaign, *shrunk*
+by delta debugging to a minimal reproducer — the same one on every run —
+and *replayed* from the emitted reproducer file alone.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import (CampaignSpec, ddmin, enumerate_schedules,
+                         oracles_for, replay_reproducer, run_campaign,
+                         write_reproducer)
+from repro.chaos.harnesses import ServingHarness, build_harness
+from repro.profiling.serialize import load_trace, save_trace
+from repro.profiling.tracer import Tracer
+from repro.serving.server import InferenceServer
+
+
+class DroppingServer(InferenceServer):
+    """The seeded bug: crashed batches' requests are silently dropped
+    instead of hedged or failed terminally — invisible to every happy
+    path, fatal to the exactly-one-terminal-reply contract."""
+
+    def _retry_group(self, group, now, detail):
+        if "crash" in detail:
+            return
+        super()._retry_group(group, now, detail)
+
+
+class BrokenServingHarness(ServingHarness):
+    SERVER_CLASS = DroppingServer
+
+
+class TestHealthyCampaigns:
+    """Every harness survives its budget-capped campaign cleanly."""
+
+    @pytest.mark.parametrize("harness", ["training", "cluster",
+                                         "serving", "fleet"])
+    def test_singleton_schedules_hold_every_oracle(self, harness):
+        spec = CampaignSpec(harness=harness, budget=8, max_faults=1)
+        result = run_campaign(spec)
+        assert result.ok, [v.to_json() for v in result.violations]
+        assert result.executed >= 5
+        # every applicable oracle was consulted on every schedule
+        assert result.verdicts == result.executed \
+            * len(result.oracle_names)
+
+    def test_pair_schedules_on_serving(self):
+        spec = CampaignSpec(harness="serving", budget=30, max_faults=2)
+        result = run_campaign(spec)
+        assert result.ok
+        assert result.schedule_space == 21  # 6 singletons + C(6,2)
+        assert result.executed == 21
+
+    def test_budget_sampling_is_deterministic(self):
+        spec = CampaignSpec(harness="training", budget=10, max_faults=2)
+        first = run_campaign(spec)
+        second = run_campaign(spec)
+        assert first.executed == second.executed == 10
+        assert first.schedule_space == 21
+        assert first.ok and second.ok
+
+
+class TestBrokenRecoveryFound:
+    """The seeded broken-recovery fixture is found, minimized, and
+    replayed deterministically."""
+
+    SPEC = CampaignSpec(harness="serving", budget=30, max_faults=2)
+
+    def test_campaign_finds_and_minimizes_the_bug(self):
+        result = run_campaign(self.SPEC, harness=BrokenServingHarness())
+        assert not result.ok
+        crash_violations = [v for v in result.violations
+                            if v.oracle == "terminal_replies"]
+        assert crash_violations
+        first = crash_violations[0]
+        # minimized to the essential fault(s): a replica crash, alone or
+        # with at most one accomplice
+        assert 1 <= len(first.minimized.specs) <= 2
+        assert any(s.kind == "replica_crash"
+                   for s in first.minimized.specs)
+        # 1-minimality: dropping any remaining spec loses the violation
+        assert first.minimize_stats.tests_run >= 1
+
+    def test_minimization_is_deterministic(self):
+        first = run_campaign(self.SPEC, harness=BrokenServingHarness())
+        second = run_campaign(self.SPEC, harness=BrokenServingHarness())
+        assert [(v.oracle, v.schedule_index, v.minimized.specs)
+                for v in first.violations] \
+            == [(v.oracle, v.schedule_index, v.minimized.specs)
+                for v in second.violations]
+
+    def test_reproducer_file_replays(self, tmp_path):
+        harness = BrokenServingHarness()
+        result = run_campaign(self.SPEC, harness=harness,
+                              minimize=True)
+        violation = result.violations[0]
+        path = tmp_path / "reproducer.json"
+        blob = write_reproducer(path, harness, violation)
+        assert blob["kind"] == "repro-chaos-reproducer"
+        assert blob["oracle"] == "terminal_replies"
+        assert "chaos replay" in blob["replay"]
+        written = json.loads(path.read_text())
+        assert written == blob
+        # replayed on the HEALTHY stack, the same schedule passes: the
+        # reproducer pins the schedule, the code carries the bug
+        verdicts, _ = replay_reproducer(path)
+        assert all(v.ok for v in verdicts)
+
+    def test_campaign_narrates_into_the_tracer(self, tmp_path):
+        tracer = Tracer()
+        result = run_campaign(self.SPEC,
+                              harness=BrokenServingHarness(),
+                              tracer=tracer)
+        events = tracer.campaign_events()
+        kinds = {e.kind for e in events}
+        assert {"baseline", "schedule", "verdict", "violation",
+                "minimized"} <= kinds
+        assert len(tracer.campaign_events("verdict")) \
+            == result.verdicts
+        # campaign events are their own family: not failures
+        assert tracer.failure_events() == []
+        # and they round-trip through trace serialization
+        path = tmp_path / "campaign.jsonl"
+        save_trace(tracer, path, metadata={"mode": "chaos-campaign"})
+        loaded = load_trace(path)
+        assert [e.signature() for e in loaded.campaign_events()] \
+            == [e.signature() for e in events]
+        assert loaded.failure_events() == []
+
+
+class TestEnumeration:
+    def test_singletons_come_first(self):
+        space = enumerate_schedules(["a", "b", "c"], 2)
+        assert space[:3] == [("a",), ("b",), ("c",)]
+        assert set(space[3:]) == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_max_faults_caps_size(self):
+        space = enumerate_schedules(list("abcd"), 3)
+        assert max(len(s) for s in space) == 3
+        assert len(space) == 4 + 6 + 4
+
+
+class TestDdmin:
+    def test_shrinks_to_the_single_culprit(self):
+        runs = []
+
+        def fails(specs):
+            runs.append(tuple(specs))
+            return "x" in specs
+
+        result = ddmin(list("abxcd"), fails)
+        assert result.specs == ("x",)
+        assert result.tests_run == len(set(runs))
+
+    def test_shrinks_conjunction_to_the_pair(self):
+        result = ddmin(list("abxcyd"),
+                       lambda s: "x" in s and "y" in s)
+        assert result.specs == ("x", "y")
+
+    def test_preserves_original_order(self):
+        result = ddmin(list("yabx"),
+                       lambda s: "x" in s and "y" in s)
+        assert result.specs == ("y", "x")
+
+    def test_rejects_non_reproducing_schedule(self):
+        with pytest.raises(ValueError, match="does not reproduce"):
+            ddmin(list("abc"), lambda s: False)
+
+    def test_rejects_empty_schedule(self):
+        with pytest.raises(ValueError, match="empty"):
+            ddmin([], lambda s: True)
+
+    def test_caches_repeat_subsets(self):
+        result = ddmin(list("abxcd"), lambda s: "x" in s)
+        # the 1-minimality sweep re-tests subsets ddmin already ran
+        assert result.cache_hits >= 0
+        assert result.size == 1
+
+
+class TestOracleSelection:
+    def test_selection_by_harness(self):
+        names = [o.name for o in oracles_for("training")]
+        assert "bit_identity" in names
+        assert "checkpoint_restore" in names
+        assert "terminal_replies" not in names
+        names = [o.name for o in oracles_for("fleet")]
+        assert "terminal_replies" in names
+        assert "bit_identity" not in names
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(ValueError, match="unknown oracle"):
+            oracles_for("training", names=("bit_identity", "tyop"))
+
+    def test_unknown_harness_rejected(self):
+        with pytest.raises(ValueError, match="unknown harness"):
+            build_harness("mainframe")
+
+
+class TestChaosCli:
+    def test_run_healthy_training_campaign(self, capsys, tmp_path):
+        from repro.cli import main
+        report_path = tmp_path / "report.json"
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(["chaos", "run", "--harness", "training",
+                     "--budget", "6", "--max-faults", "1",
+                     "--report-json", str(report_path),
+                     "--trace", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all oracles held" in out
+        report = json.loads(report_path.read_text())
+        assert report["kind"] == "repro-chaos-report"
+        assert report["ok"] and report["executed"] == 6
+        loaded = load_trace(trace_path)
+        assert loaded.campaign_events()
+
+    def test_run_with_shipped_presets(self, capsys):
+        from repro.cli import main
+        code = main(["chaos", "run", "--harness", "serving",
+                     "--budget", "10", "--max-faults", "1",
+                     "--include-presets"])
+        assert code == 0
+        assert "all oracles held" in capsys.readouterr().out
+
+    def test_list_oracles_and_harnesses(self, capsys):
+        from repro.cli import main
+        assert main(["chaos", "run", "--list-oracles"]) == 0
+        out = capsys.readouterr().out
+        assert "terminal_replies" in out and "bit_identity" in out
+        assert main(["chaos", "run", "--list-harnesses"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet" in out and "training" in out
+
+    def test_replay_cli_round_trip(self, capsys, tmp_path):
+        from repro.cli import main
+        harness = BrokenServingHarness()
+        result = run_campaign(
+            CampaignSpec(harness="serving", budget=8, max_faults=1),
+            harness=harness, minimize=False)
+        path = tmp_path / "bug.json"
+        write_reproducer(path, harness, result.violations[0])
+        # the healthy stack passes the pinned schedule
+        code = main(["chaos", "replay", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "terminal_replies" in out and "ok" in out
+
+    def test_minimize_cli_rejects_stale_reproducer(self, capsys,
+                                                   tmp_path):
+        from repro.cli import main
+        harness = BrokenServingHarness()
+        result = run_campaign(
+            CampaignSpec(harness="serving", budget=8, max_faults=1),
+            harness=harness, minimize=False)
+        path = tmp_path / "bug.json"
+        write_reproducer(path, harness, result.violations[0])
+        # on the healthy stack the violation no longer reproduces —
+        # minimize must fail loudly, not return a bogus "minimum"
+        code = main(["chaos", "minimize", str(path)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "does not reproduce" in err

@@ -257,6 +257,26 @@ class TestParsing:
         with pytest.raises(KeyError):
             main(["run", "gpt4", "--config", "tiny"])
 
+    @pytest.mark.parametrize("argv, known", [
+        (["train", "memnet", "--config", "tiny", "--steps", "1",
+          "--workers", "2", "--cluster-faults", "tyop"], "straggler"),
+        (["serve", "memnet", "--config", "tiny", "--fault", "tyop",
+          "--virtual-clock"], "poison"),
+        (["fleet", "memnet", "--config", "tiny", "--fault", "tyop",
+          "--virtual-clock"], "blackhole"),
+    ], ids=["train", "serve", "fleet"])
+    def test_unknown_fault_preset_is_friendly(self, capsys, argv,
+                                              known):
+        """All three fault-arming CLIs reject a typo'd preset the same
+        way: exit 2, a one-line error, and the available presets —
+        never an argparse usage dump or a traceback."""
+        code = main(argv)
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown fault preset 'tyop'" in err
+        assert f"'repro {argv[0]}'" in err
+        assert known in err
+
 
 class TestCompile:
     def test_one_line_summary(self, capsys):
