@@ -182,8 +182,9 @@ class ClusterHarness(CampaignHarness):
 
     The cluster guarantees bit-identical losses under every supported
     fault (checkpoint replay, retransmits, guardrail screens, strategy
-    fallback), so *convergence to the fault-free trajectory* is the
-    invariant.
+    fallback — and, with ``screened_mean``, attestation-replaced
+    byzantine shards), so *convergence to the fault-free trajectory* is
+    the invariant.
     """
 
     name = "cluster"
@@ -192,6 +193,11 @@ class ClusterHarness(CampaignHarness):
 
     workers = 3
     strategy = "allreduce"
+    aggregation = "screened_mean"
+    #: attestation thresholds the cluster campaign runs under
+    #: (None = the runtime defaults); broken-fixture subclasses weaken
+    #: this to hand the campaign something to find
+    attestation = None
 
     def run(self, plan) -> RunOutcome:
         from repro.distributed import ClusterConfig, ClusterRuntime
@@ -201,7 +207,9 @@ class ClusterHarness(CampaignHarness):
         runtime = ClusterRuntime(
             model,
             config=ClusterConfig(workers=self.workers,
-                                 strategy=self.strategy, seed=self.seed),
+                                 strategy=self.strategy, seed=self.seed,
+                                 aggregation=self.aggregation,
+                                 attestation=self.attestation),
             tracer=tracer)
         if plan is not None:
             runtime.install_faults(plan)
@@ -228,6 +236,20 @@ class ClusterHarness(CampaignHarness):
                              duration_steps=1),
             ClusterFaultSpec("lost_gradient", link=(1, 0), step=2),
             ClusterFaultSpec("corrupt_gradient", link=(2, 0), step=2),
+            # Byzantine atoms sit at pairwise-distinct steps so paired
+            # schedules never corrupt a majority of one step's shards
+            # (which would poison the peer statistics themselves). Each
+            # is same-step detectable: scale/drift trip the norm-ratio
+            # screen, stale trips the digest screen, and the signflip
+            # lands where the honest leave-one-out cosine is strongly
+            # positive (memnet step 3, shard 0: +0.72), so flipping it
+            # drives the cosine below the floor.
+            ClusterFaultSpec("byzantine_drift", worker=2, step=0,
+                             drift_rate=31.0),
+            ClusterFaultSpec("byzantine_scale", worker=1, step=1,
+                             scale_factor=64.0),
+            ClusterFaultSpec("byzantine_stale", worker=1, step=2),
+            ClusterFaultSpec("byzantine_signflip", worker=0, step=3),
         ]
 
 

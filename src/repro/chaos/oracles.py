@@ -149,6 +149,67 @@ class ConvergenceOracle(Oracle):
                    f"{outcome.losses} vs fault-free {baseline.losses})")
 
 
+class ByzantineDetectionOracle(Oracle):
+    """Every injected byzantine fault is detected, and training holds.
+
+    Two promises, checked per injected ``byzantine_*`` firing: the
+    offending worker is named by a ``gradient_suspect`` (or ``evict``)
+    event within ``max_detection_steps`` of the firing, and the final
+    loss stays within ``loss_rtol`` of the fault-free baseline. A
+    corruption that slips past attestation *silently* fails the first
+    check; one that is caught but still wrecks the trajectory fails the
+    second. Vacuously true for schedules that injected nothing
+    byzantine — the nightly campaign uses this to hunt for corruptions
+    that evade attestation.
+    """
+
+    name = "byzantine_detection"
+    harnesses = ("cluster",)
+    summary = ("every injected byzantine fault draws a suspect/evict "
+               "event in bounded steps; final loss near baseline")
+
+    #: steps allowed between a byzantine firing and its conviction (the
+    #: round-robin audit probe covers every shard within workers-1
+    #: steps, so the bound tracks the campaign harness's worker count)
+    max_detection_steps = 3
+    #: relative tolerance on the final loss vs the fault-free baseline
+    loss_rtol = 0.05
+
+    def check(self, outcome, baseline, harness):
+        fired = [(step, target) for step, target, kind, _index
+                 in outcome.injected if kind.startswith("byzantine_")]
+        if not fired:
+            return self._verdict(True)
+        if outcome.error is not None:
+            return self._verdict(False, f"run died: {outcome.error}")
+        convictions = [
+            (event.step, event.worker)
+            for kind in ("gradient_suspect", "evict")
+            for event in outcome.tracer.cluster_events(kind)]
+        for step, target in fired:
+            worker = int(target.split(":", 1)[1])
+            caught = any(c_worker == worker
+                         and step <= c_step <= step
+                         + self.max_detection_steps
+                         for c_step, c_worker in convictions)
+            if not caught:
+                return self._verdict(
+                    False,
+                    f"byzantine fault on worker {worker} at step {step} "
+                    f"was never convicted within "
+                    f"{self.max_detection_steps} steps "
+                    f"(convictions: {convictions})")
+        if not outcome.losses or not baseline.losses:
+            return self._verdict(False, "no losses to compare")
+        final, ref = outcome.losses[-1], baseline.losses[-1]
+        if not math.isfinite(final) \
+                or abs(final - ref) > self.loss_rtol * max(abs(ref), 1e-12):
+            return self._verdict(
+                False, f"final loss {final} strayed from fault-free "
+                       f"{ref} (rtol {self.loss_rtol})")
+        return self._verdict(True)
+
+
 class CheckpointRestoreOracle(Oracle):
     """Post-fault state survives a checkpoint round-trip bit-exactly.
 
@@ -292,8 +353,9 @@ class TraceWellFormedOracle(Oracle):
 ORACLES: dict[str, Oracle] = {
     oracle.name: oracle
     for oracle in (TerminalRepliesOracle(), BitIdentityOracle(),
-                   ConvergenceOracle(), CheckpointRestoreOracle(),
-                   LivelockOracle(), TraceWellFormedOracle())
+                   ConvergenceOracle(), ByzantineDetectionOracle(),
+                   CheckpointRestoreOracle(), LivelockOracle(),
+                   TraceWellFormedOracle())
 }
 
 

@@ -49,6 +49,10 @@ CLUSTER_FAULT_PRESETS = {
                  "(retransmit + degradation path)",
     "storm": "crash + straggler + corrupt gradient + partition "
              "in one run",
+    "byzantine": "worker 1 sends 64x-scaled gradients every step and "
+                 "worker 2 replays a stale gradient at step 2 "
+                 "(attestation -> quarantine -> eviction path; pair "
+                 "with --aggregation screened_mean)",
 }
 
 #: fleet-fault presets for ``repro fleet --fault`` (name -> one-line
@@ -102,6 +106,14 @@ def _cluster_preset_specs(name: str):
                                    step=2, max_triggers=1),
                   ClusterFaultSpec("partition", link=(0, 1), step=3,
                                    duration_steps=1)],
+        # Both byzantine detectors here are geometry-independent (norm
+        # ratio and digest repeat), so the preset convicts on any
+        # workload; run >= 4 steps to see the eviction land.
+        "byzantine": [ClusterFaultSpec("byzantine_scale", worker=1,
+                                       scale_factor=64.0,
+                                       max_triggers=None),
+                      ClusterFaultSpec("byzantine_stale", worker=2,
+                                       step=2, max_triggers=1)],
     }[name]
 
 
@@ -258,13 +270,17 @@ def cmd_train(args) -> int:
         return 2
     model = _build(args)
     tracer = Tracer()
-    config = ClusterConfig(
-        workers=args.workers, strategy=args.strategy,
-        backup_workers=args.backup_workers, staleness=args.staleness,
-        seed=args.seed,
-        checkpoint_every=(args.checkpoint_every
-                          or (10 if args.checkpoint_dir else 0)),
-        checkpoint_dir=args.checkpoint_dir)
+    try:
+        config = ClusterConfig(
+            workers=args.workers, strategy=args.strategy,
+            backup_workers=args.backup_workers, staleness=args.staleness,
+            seed=args.seed, aggregation=args.aggregation, trim=args.trim,
+            checkpoint_every=(args.checkpoint_every
+                              or (10 if args.checkpoint_dir else 0)),
+            checkpoint_dir=args.checkpoint_dir)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     faults = None
     if args.cluster_faults != "none":
         faults = ClusterFaultPlan(
@@ -876,11 +892,24 @@ def build_parser() -> argparse.ArgumentParser:
                               help="bounded-staleness async PS: workers "
                                    "pull params after lagging S versions "
                                    "(0 = synchronous)")
+    train_parser.add_argument("--aggregation", default="mean",
+                              choices=["mean", "trimmed_mean",
+                                       "coordinate_median",
+                                       "screened_mean"],
+                              help="gradient aggregation; screened_mean "
+                                   "turns on gradient attestation with "
+                                   "recompute audits and "
+                                   "reputation-driven eviction")
+    train_parser.add_argument("--trim", type=int, default=None,
+                              metavar="T",
+                              help="per-coordinate trim count for "
+                                   "--aggregation trimmed_mean "
+                                   "(default (K-1)//2)")
     train_parser.add_argument("--cluster-faults", default="none",
                               metavar="PRESET",
                               help="arm a deterministic cluster-fault "
                                    "preset (crash, straggler, partition, "
-                                   "storm)")
+                                   "storm, byzantine)")
     train_parser.add_argument("--checkpoint-dir", metavar="DIR",
                               help="persist coordinated checkpoints here")
     train_parser.add_argument("--checkpoint-every", type=int, default=0,

@@ -4,16 +4,20 @@ Unlike :mod:`repro.analysis.scaling` — which *prices* data-parallel
 scaling analytically — this package *runs* it: each worker is a real
 ``Session.fork`` computing real numpy gradient steps, coordinated over a
 deterministic event-driven cluster clock, with injectable worker
-crashes, stragglers, network partitions, and lost/corrupted gradient
-messages.
+crashes, stragglers, network partitions, lost/corrupted gradient
+messages, and byzantine source-corrupted gradients.
 
 The anchor invariant: fault-free synchronous data-parallel training is
 bit-identical to single-worker training on the same global batch, for
 every workload. Everything else — coordinated checkpoints, crash replay,
-backup mirrors, ring→PS fallback, elastic membership — is built so
-faults perturb *timing and events* but never the committed trajectory.
+backup mirrors, ring→PS fallback, elastic membership, gradient
+attestation with reputation-driven eviction — is built so faults perturb
+*timing and events* but never the committed trajectory.
 """
 
+from .byzantine import (AttestationPolicy, GradientAttestor,
+                        ReputationLedger, ReputationPolicy,
+                        ShardAttestation)
 from .clock import SERVER, ClusterClock, ClusterModel, WorkerClock
 from .events import CLUSTER_EVENT_KINDS, ClusterEvent, events_signature
 from .membership import MembershipChange, MembershipPlan
@@ -21,9 +25,11 @@ from .pipeline import ShardedPipeline
 from .runtime import (ClusterConfig, ClusterRunResult, ClusterRuntime,
                       modeled_step_seconds, restore_cluster,
                       single_worker_reference)
-from .strategies import (AllReduceBroken, ExchangeError,
+from .strategies import (AGGREGATIONS, AllReduceBroken, ExchangeError,
                          ParameterServerStrategy, RingAllReduceStrategy,
-                         aggregate_shards, make_strategy)
+                         aggregate_shards, coordinate_median_shards,
+                         make_aggregator, make_strategy,
+                         trimmed_mean_shards)
 from .worker import ClusterWorker, shard_rng_state, training_targets
 
 __all__ = [
@@ -32,7 +38,11 @@ __all__ = [
     "MembershipChange", "MembershipPlan", "ShardedPipeline",
     "ClusterConfig", "ClusterRunResult", "ClusterRuntime",
     "modeled_step_seconds", "restore_cluster", "single_worker_reference",
-    "AllReduceBroken", "ExchangeError", "ParameterServerStrategy",
-    "RingAllReduceStrategy", "aggregate_shards", "make_strategy",
+    "AGGREGATIONS", "AllReduceBroken", "ExchangeError",
+    "ParameterServerStrategy", "RingAllReduceStrategy",
+    "aggregate_shards", "coordinate_median_shards", "make_aggregator",
+    "make_strategy", "trimmed_mean_shards",
+    "AttestationPolicy", "GradientAttestor", "ReputationLedger",
+    "ReputationPolicy", "ShardAttestation",
     "ClusterWorker", "shard_rng_state", "training_targets",
 ]

@@ -1,0 +1,320 @@
+"""Gradient attestation and reputation: catching workers that lie.
+
+The fault kinds of PR 5 are *fail-stop or loud*: a crashed worker stops
+talking, a NaN-poisoned payload fails the wire screen instantly. The
+byzantine kinds (:data:`~repro.framework.faults.BYZANTINE_FAULT_KINDS`)
+are neither — a scaled, sign-flipped, stale, or drifting gradient is
+finite, has the right shapes, and aggregates silently into every
+replica. This module is the detection side of that threat model; the
+recovery side (shard replacement, quarantine, eviction) lives in the
+runtime's attestation phase.
+
+**Statistics nominate, recompute audits convict.** Per-shard summary
+statistics — gradient norm, norm ratio against the median of peers,
+worst per-layer norm ratio, cosine against the sum of peers, and a
+digest-repeat test — are scored against peers each step. But on real
+workloads the honest ranges are wide (the leave-one-out cosine of an
+honest memnet shard dips below -0.5), so statistics alone must either
+miss attacks or slander honest workers. The repo's determinism contract
+breaks the dilemma: a shard's gradient is a **pure function** of
+``(seed, step, shard)`` (per-(step, shard) RNG pinning — see
+``worker.py``), so any peer can recompute a nominated shard and compare
+**bitwise**. An honest worker is always exonerated (recompute matches),
+so the statistical triggers can be aggressive; a corrupted shard always
+diverges, so conviction is certain. A seeded round-robin probe audits
+one extra shard per step, which bounds the detection latency of
+corruptions subtle enough to pass every statistic: a persistent liar is
+audited within ``K - 1`` steps no matter how gentle the corruption.
+
+Everything is deterministic given ``(policy, seed)``: the probe
+schedule derives from the seed, the statistics are pure functions of
+the contributions, and the audit is a bitwise comparison — the same run
+replays the same suspects, quarantines, and evictions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AttestationPolicy", "GradientAttestor", "ReputationLedger",
+           "ReputationPolicy", "ShardAttestation"]
+
+
+@dataclass(frozen=True)
+class AttestationPolicy:
+    """Thresholds for nominating shards to the recompute audit.
+
+    False positives are cheap (one extra gradient recompute, after
+    which the honest worker is exonerated bitwise), so the defaults are
+    deliberately aggressive relative to the honest ranges measured
+    across the eight workloads (honest norm ratios reach ~5, honest
+    leave-one-out cosines dip to ~-0.58).
+
+    Args:
+        norm_ratio_limit: audit a shard whose gradient norm exceeds
+            this multiple of the median peer norm.
+        cosine_floor: audit a shard whose cosine against the sum of its
+            peers falls below this (a sign-flipped shard scores the
+            exact negation of its honest cosine).
+        probe_every: audit one seeded round-robin shard every this many
+            steps (``0`` disables the probe — and with it the bounded
+            detection-latency guarantee).
+        stale_window: audit a shard whose payload digest repeats any of
+            the worker's last ``stale_window`` digests (``0`` disables).
+        min_peers: skip attestation entirely below this many
+            contributions — peer statistics need peers.
+    """
+
+    norm_ratio_limit: float = 8.0
+    cosine_floor: float = -0.25
+    probe_every: int = 1
+    stale_window: int = 4
+    min_peers: int = 2
+
+    def __post_init__(self):
+        if self.norm_ratio_limit <= 1.0:
+            raise ValueError(
+                f"norm_ratio_limit must be > 1, got {self.norm_ratio_limit}")
+        if not -1.0 <= self.cosine_floor <= 1.0:
+            raise ValueError(
+                f"cosine_floor must be in [-1, 1], got {self.cosine_floor}")
+        if self.probe_every < 0:
+            raise ValueError(
+                f"probe_every must be >= 0, got {self.probe_every}")
+        if self.stale_window < 0:
+            raise ValueError(
+                f"stale_window must be >= 0, got {self.stale_window}")
+        if self.min_peers < 2:
+            raise ValueError(
+                f"min_peers must be >= 2, got {self.min_peers}")
+
+
+@dataclass(frozen=True)
+class ShardAttestation:
+    """One shard's per-step attestation scorecard.
+
+    ``reasons`` lists the statistical triggers that nominated the shard
+    for audit (empty = statistically clean). Nomination is *not* an
+    accusation: the runtime convicts only when the audit recompute
+    diverges bitwise.
+    """
+
+    step: int
+    shard: int
+    worker: int
+    norm: float
+    norm_ratio: float
+    layer_ratio: float
+    cosine: float
+    digest: str
+    reasons: tuple[str, ...] = ()
+
+
+def _flatten(grads) -> np.ndarray:
+    return np.concatenate(
+        [np.asarray(g, dtype=np.float64).ravel() for g in grads]) \
+        if grads else np.zeros(0)
+
+
+def _digest(grads) -> str:
+    hasher = hashlib.sha1()
+    for grad in grads:
+        array = np.ascontiguousarray(grad)
+        hasher.update(array.tobytes())
+    return hasher.hexdigest()
+
+
+class GradientAttestor:
+    """Scores each step's shard gradients and nominates audits.
+
+    Stateless across steps except for the per-worker digest windows
+    (the stale detector) — and those are forgotten when a worker leaves
+    (:meth:`forget`), so a joiner reusing an id starts clean.
+    """
+
+    def __init__(self, policy: AttestationPolicy | None = None,
+                 seed: int = 0):
+        self.policy = policy or AttestationPolicy()
+        self.seed = int(seed)
+        # The probe's round-robin offset is drawn once from the seed so
+        # different runs probe different phases, identically on replay.
+        self._probe_offset = int(
+            np.random.default_rng(self.seed).integers(0, 2 ** 31))
+        self._digests: dict[int, deque] = {}
+
+    def probe_shard(self, step: int, num_shards: int) -> int | None:
+        """The seeded round-robin audit victim for this step, if any."""
+        policy = self.policy
+        if policy.probe_every <= 0 or num_shards <= 0 \
+                or step % policy.probe_every:
+            return None
+        return (step + self._probe_offset) % num_shards
+
+    def attest(self, step: int,
+               contributions: list[tuple[int, int, float, list]]
+               ) -> list[ShardAttestation]:
+        """Score one step's contributions ``(shard, worker, loss, grads)``.
+
+        Returns one :class:`ShardAttestation` per contribution, in
+        contribution order. Digest windows update as a side effect, so
+        call exactly once per committed step.
+        """
+        policy = self.policy
+        flats = [_flatten(grads) for _, _, _, grads in contributions]
+        norms = [float(np.linalg.norm(flat)) for flat in flats]
+        median_norm = float(np.median(norms)) if norms else 0.0
+        total = np.sum(np.stack(flats), axis=0) if flats else np.zeros(0)
+        layer_medians = self._layer_medians(contributions)
+        records = []
+        for index, (shard, worker, _loss, grads) in \
+                enumerate(contributions):
+            reasons = []
+            norm = norms[index]
+            norm_ratio = norm / median_norm if median_norm > 0.0 else 1.0
+            if norm_ratio > policy.norm_ratio_limit:
+                reasons.append(
+                    f"norm_ratio {norm_ratio:.2f} > "
+                    f"{policy.norm_ratio_limit:g}")
+            peers = total - flats[index]
+            peers_norm = float(np.linalg.norm(peers))
+            cosine = 1.0
+            if norm > 0.0 and peers_norm > 0.0:
+                cosine = float(np.dot(flats[index], peers)
+                               / (norm * peers_norm))
+            if cosine < policy.cosine_floor:
+                reasons.append(f"cosine {cosine:.2f} < "
+                               f"{policy.cosine_floor:g}")
+            layer_ratio = self._layer_ratio(grads, layer_medians)
+            digest = _digest(grads)
+            window = self._digests.setdefault(
+                worker, deque(maxlen=max(policy.stale_window, 1)))
+            if policy.stale_window and digest in window:
+                reasons.append("digest repeats a recent contribution")
+            window.append(digest)
+            records.append(ShardAttestation(
+                step=step, shard=shard, worker=worker, norm=norm,
+                norm_ratio=norm_ratio, layer_ratio=layer_ratio,
+                cosine=cosine, digest=digest, reasons=tuple(reasons)))
+        return records
+
+    def forget(self, worker: int) -> None:
+        """Drop a departed worker's digest history."""
+        self._digests.pop(worker, None)
+
+    @staticmethod
+    def _layer_medians(contributions) -> list[float]:
+        per_layer: list[list[float]] = []
+        for _, _, _, grads in contributions:
+            for index, grad in enumerate(grads):
+                if index >= len(per_layer):
+                    per_layer.append([])
+                per_layer[index].append(
+                    float(np.linalg.norm(
+                        np.asarray(grad, dtype=np.float64))))
+        return [float(np.median(norms)) for norms in per_layer]
+
+    @staticmethod
+    def _layer_ratio(grads, layer_medians: list[float]) -> float:
+        # Recorded for diagnosis, never flagged on: honest per-layer
+        # ratios span [0.05, 9.3] across the eight workloads, far too
+        # noisy for a threshold.
+        worst = 1.0
+        for index, grad in enumerate(grads):
+            median = layer_medians[index] if index < len(layer_medians) \
+                else 0.0
+            if median <= 0.0:
+                continue
+            norm = float(np.linalg.norm(np.asarray(grad,
+                                                   dtype=np.float64)))
+            worst = max(worst, norm / median)
+        return worst
+
+
+@dataclass(frozen=True)
+class ReputationPolicy:
+    """How many convictions it takes to quarantine, then evict.
+
+    Streaks are *consecutive* audited-and-convicted steps: one clean
+    step resets the count, so a transient glitch (a single bit-flipped
+    exchange) never escalates. A quarantined worker keeps computing and
+    keeps being probed every step; ``lift_after`` consecutive clean
+    audits readmit it, ``evict_after`` total consecutive convictions
+    remove it from membership for good.
+    """
+
+    quarantine_after: int = 2
+    evict_after: int = 4
+    lift_after: int = 2
+
+    def __post_init__(self):
+        if self.quarantine_after < 1:
+            raise ValueError(f"quarantine_after must be >= 1, "
+                             f"got {self.quarantine_after}")
+        if self.evict_after <= self.quarantine_after:
+            raise ValueError(
+                f"evict_after ({self.evict_after}) must exceed "
+                f"quarantine_after ({self.quarantine_after})")
+        if self.lift_after < 1:
+            raise ValueError(
+                f"lift_after must be >= 1, got {self.lift_after}")
+
+
+class ReputationLedger:
+    """Per-worker conviction streaks driving quarantine and eviction.
+
+    Fed once per committed step with the set of convicted workers; the
+    returned actions are deterministic and ordered by worker id, so the
+    same run always produces the same quarantine/evict event trail.
+    """
+
+    def __init__(self, policy: ReputationPolicy | None = None):
+        self.policy = policy or ReputationPolicy()
+        self.quarantined: set[int] = set()
+        self.evicted: set[int] = set()
+        self._suspect_streak: dict[int, int] = {}
+        self._clean_streak: dict[int, int] = {}
+
+    def observe(self, step: int, suspects: set[int],
+                participants: set[int]) -> list[tuple[str, int]]:
+        """Record one step's verdicts; return ``(action, worker)`` pairs.
+
+        Actions are ``"quarantine"``, ``"lift"``, and ``"evict"``, in
+        worker-id order. Workers absent from ``participants`` (crashed
+        this step, already gone) keep their streaks untouched.
+        """
+        actions: list[tuple[str, int]] = []
+        for worker in sorted(participants):
+            if worker in self.evicted:
+                continue
+            if worker in suspects:
+                self._suspect_streak[worker] = \
+                    self._suspect_streak.get(worker, 0) + 1
+                self._clean_streak[worker] = 0
+            else:
+                self._suspect_streak[worker] = 0
+                self._clean_streak[worker] = \
+                    self._clean_streak.get(worker, 0) + 1
+            streak = self._suspect_streak[worker]
+            if worker in self.quarantined:
+                if streak >= self.policy.evict_after:
+                    actions.append(("evict", worker))
+                    self.quarantined.discard(worker)
+                    self.evicted.add(worker)
+                elif self._clean_streak[worker] >= self.policy.lift_after:
+                    actions.append(("lift", worker))
+                    self.quarantined.discard(worker)
+            elif streak >= self.policy.quarantine_after:
+                actions.append(("quarantine", worker))
+                self.quarantined.add(worker)
+        return actions
+
+    def forget(self, worker: int) -> None:
+        """Drop a departed worker's ledger state (id may be reused)."""
+        self.quarantined.discard(worker)
+        self.evicted.discard(worker)
+        self._suspect_streak.pop(worker, None)
+        self._clean_streak.pop(worker, None)

@@ -2,7 +2,8 @@
 
 Every observable action the cluster runtime takes — checkpoints, worker
 crashes and restarts, straggler verdicts, backup promotions, message
-timeouts and retransmits, collective-to-PS fallback, membership changes
+timeouts and retransmits, collective-to-PS fallback, membership changes,
+gradient-attestation verdicts and quarantines/evictions
 — is recorded as one :class:`ClusterEvent`. Events flow through the same
 ``tracer.record_event`` hook as
 :class:`~repro.framework.resilience.FailureEvent`,
@@ -32,6 +33,11 @@ CLUSTER_EVENT_KINDS = (
     "leave",             # a worker left between steps
     "reshard",           # the data pipeline re-sharded after membership
     "staleness",         # an async worker pulled params after lagging
+    "gradient_suspect",  # attestation audit proved a shard corrupted
+    "shard_replay",      # a flagged shard was replaced by clean recompute
+    "quarantine",        # repeat suspect: shard screened, worker probed
+    "quarantine_lift",   # a quarantined worker produced clean audits
+    "evict",             # repeat offender scheduled to leave the cluster
 )
 
 

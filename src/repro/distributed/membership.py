@@ -44,6 +44,15 @@ class MembershipPlan:
     def changes_at(self, step: int) -> list[MembershipChange]:
         return [c for c in self.changes if c.step == step]
 
+    def adding(self, change: MembershipChange) -> "MembershipPlan":
+        """A new plan with ``change`` merged in (plans are immutable).
+
+        The runtime uses this to schedule reputation-driven evictions
+        discovered *during* the run — e.g. a byzantine worker voted out
+        by the attestation ledger leaves on the next step boundary.
+        """
+        return MembershipPlan(self.changes + (change,))
+
     @classmethod
     def elastic(cls, join_step: int, leave_step: int,
                 joiner: int, leaver: int) -> "MembershipPlan":

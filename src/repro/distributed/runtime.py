@@ -14,12 +14,18 @@ ClusterClock`. One global step:
 3. **Select** — per shard, the first finisher wins (drop-slowest backup
    semantics; ties break on worker id). Mirrors compute bit-identical
    gradients, so selection never perturbs arithmetic.
-4. **Exchange** — the strategy (parameter server or ring all-reduce)
+4. **Attest** — when gradient attestation is on, per-shard statistics
+   nominate outliers, a recompute audit convicts liars bitwise
+   (:mod:`repro.distributed.byzantine`), ``screened_mean`` swaps
+   convicted shards for the auditor's clean recompute, and the
+   reputation ledger escalates repeat offenders through quarantine to
+   eviction.
+5. **Exchange** — the strategy (parameter server or ring all-reduce)
    carries the shard gradients past the fault injector; a ring broken by
    a partition degrades to the PS route for the step.
-5. **Apply** — every replica applies the canonically-aggregated update,
+6. **Apply** — every replica applies the canonically-aggregated update,
    keeping all parameters bit-identical; the cluster barriers.
-6. **Checkpoint** — every ``checkpoint_every`` steps the cluster takes a
+7. **Checkpoint** — every ``checkpoint_every`` steps the cluster takes a
    coordinated barrier snapshot (Chandy-Lamport degenerates to exactly
    this when channels are empty at a barrier), optionally persisted via
    the atomic CRC32-checked :mod:`repro.framework.checkpoint`.
@@ -48,15 +54,18 @@ from repro.framework import checkpoint as checkpoint_lib
 from repro.framework.device_model import cpu
 from repro.framework.faults import ClusterFaultInjector, ClusterFaultPlan
 from repro.framework.resilience import BackoffPolicy
-from repro.framework.session import SessionSnapshot
+from repro.framework.session import GuardrailPolicy, SessionSnapshot
 from repro.workloads.base import FathomModel
 
+from .byzantine import (AttestationPolicy, GradientAttestor,
+                        ReputationLedger, ReputationPolicy)
 from .clock import SERVER, ClusterClock, ClusterModel
 from .events import ClusterEvent, events_signature
-from .membership import MembershipPlan
+from .membership import MembershipChange, MembershipPlan
 from .pipeline import ShardedPipeline
-from .strategies import (AllReduceBroken, ParameterServerStrategy,
-                         aggregate_shards, make_strategy)
+from .strategies import (AGGREGATIONS, AllReduceBroken,
+                         ParameterServerStrategy, aggregate_shards,
+                         make_aggregator, make_strategy)
 from .worker import ClusterWorker
 
 MANIFEST_NAME = "cluster-manifest.json"
@@ -98,6 +107,20 @@ class ClusterConfig:
         restart_seconds: virtual-clock cost of restarting a crashed
             worker.
         cluster: interconnect pricing model.
+        aggregation: one of :data:`~repro.distributed.strategies.
+            AGGREGATIONS`. ``screened_mean`` turns gradient attestation
+            on (with default policies unless overridden) and is
+            bit-identical to ``mean`` whenever no shard is convicted.
+        trim: per-coordinate trim count for ``trimmed_mean``
+            (``None`` = the largest safe value, ``(K - 1) // 2``).
+        attestation: enable gradient attestation with these thresholds
+            (``None`` = off, unless ``aggregation="screened_mean"``
+            implies the defaults). Synchronous mode only.
+        reputation: quarantine/eviction escalation thresholds (used
+            when attestation is on).
+        guardrail: wire-level payload screen policy; its
+            ``overflow_limit`` extends the NaN/Inf screen to reject
+            absurd-magnitude *finite* payloads in flight.
     """
 
     workers: int = 2
@@ -114,6 +137,11 @@ class ClusterConfig:
     straggler_factor: float = 3.0
     restart_seconds: float = 0.25
     cluster: ClusterModel = field(default_factory=ClusterModel)
+    aggregation: str = "mean"
+    trim: int | None = None
+    attestation: AttestationPolicy | None = None
+    reputation: ReputationPolicy | None = None
+    guardrail: GuardrailPolicy | None = None
 
     def __post_init__(self):
         if self.workers < 1:
@@ -123,6 +151,18 @@ class ClusterConfig:
                              "strategy")
         if self.backup_workers < 0 or self.staleness < 0:
             raise ValueError("backup_workers and staleness must be >= 0")
+        if self.aggregation not in AGGREGATIONS:
+            raise ValueError(f"unknown aggregation {self.aggregation!r}; "
+                             f"expected one of {list(AGGREGATIONS)}")
+        if self.staleness and (self.aggregation != "mean"
+                               or self.attestation is not None):
+            raise ValueError("robust aggregation and attestation require "
+                             "synchronous training (staleness=0)")
+        if self.trim is not None and self.aggregation != "trimmed_mean":
+            raise ValueError("trim only applies to "
+                             "aggregation='trimmed_mean'")
+        if self.trim is not None and self.trim < 0:
+            raise ValueError(f"trim must be >= 0, got {self.trim}")
 
 
 @dataclass(frozen=True)
@@ -170,6 +210,10 @@ class _ExchangeContext:
         self.timeout = runtime.config.message_timeout
         self.max_retries = runtime.config.max_retries
         self.emit = runtime._emit_kw
+        self.aggregate = runtime._aggregate
+        self.overflow_limit = (runtime.config.guardrail.overflow_limit
+                               if runtime.config.guardrail is not None
+                               else None)
         self._runtime = runtime
 
     def backoff_for(self, worker: int) -> BackoffPolicy:
@@ -204,6 +248,17 @@ class ClusterRuntime:
                     if isinstance(self.strategy, ParameterServerStrategy)
                     else ParameterServerStrategy())
         seed = self.config.seed
+        self._aggregate = make_aggregator(self.config.aggregation,
+                                          self.config.trim)
+        # screened_mean implies attestation: screening without a
+        # detector would silently be plain mean.
+        attestation = self.config.attestation
+        if attestation is None and self.config.aggregation == "screened_mean":
+            attestation = AttestationPolicy()
+        self._attestor = (GradientAttestor(attestation, seed=seed)
+                          if attestation is not None else None)
+        self._ledger = (ReputationLedger(self.config.reputation)
+                        if attestation is not None else None)
         self.workers: dict[int, ClusterWorker] = {}
         for rank in range(self.config.workers + self.config.backup_workers):
             self.workers[rank] = ClusterWorker(rank, model, seed=seed)
@@ -291,6 +346,9 @@ class ClusterRuntime:
                 if change.worker in self._primary_ids:
                     self._primary_ids.remove(change.worker)
                 self._emit_kw(step, "leave", worker=change.worker)
+                if self._attestor is not None:
+                    self._attestor.forget(change.worker)
+                    self._ledger.forget(change.worker)
             else:
                 if change.worker in self.workers:
                     raise ValueError(f"step {step}: worker "
@@ -421,6 +479,7 @@ class ClusterRuntime:
             # shard-pinned RNG makes the redo bit-identical.
         results = self._compute_phase(step, feeds)
         contributions = self._select_winners(step, results, num_shards)
+        contributions = self._attestation_phase(step, contributions, feeds)
         aggregated = self._exchange(step, contributions)
         for worker_id in self._live_ids():
             self.workers[worker_id].apply_update(aggregated)
@@ -442,6 +501,12 @@ class ClusterRuntime:
             times[worker_id] = elapsed
             loss, grads = worker.compute_gradients(
                 feeds[worker.shard], step, worker.shard)
+            if self.injector is not None:
+                corrupt = getattr(self.injector, "corrupt_gradients", None)
+                corrupted = (corrupt(worker_id, step, grads)
+                             if corrupt is not None else None)
+                if corrupted is not None:
+                    grads = corrupted
             results[worker_id] = (finish, worker.shard, loss, grads)
         self._detect_stragglers(step, times)
         return results
@@ -484,6 +549,111 @@ class ClusterRuntime:
             _f, _s, loss, grads = results[winner]
             contributions.append((shard, winner, loss, grads))
         return contributions
+
+    # -- gradient attestation (byzantine detection) -------------------------
+
+    def _attestation_phase(self, step: int, contributions: list[tuple],
+                           feeds: list[dict]) -> list[tuple]:
+        """Statistics nominate, recompute audits convict.
+
+        Per-shard statistics (:meth:`GradientAttestor.attest`) plus a
+        seeded round-robin probe nominate shards; each nominee is
+        recomputed by another live worker and compared **bitwise** —
+        legal because a shard's gradient is a pure function of
+        ``(seed, step, shard)``, and trustworthy because the audit
+        recompute goes straight through ``compute_gradients`` (the
+        injector corrupts only original contributions, modelling
+        re-execution attestation on coordinator-verified hardware).
+        Honest workers are always exonerated; convicted shards emit
+        ``gradient_suspect`` and — under ``screened_mean``, or whenever
+        the offender is quarantined — are replaced by the auditor's
+        clean recompute (``shard_replay``), keeping the committed
+        aggregate bitwise fault-free. Convictions feed the reputation
+        ledger, which escalates quarantine → eviction.
+        """
+        attestor = self._attestor
+        if attestor is None \
+                or len(contributions) < attestor.policy.min_peers:
+            return contributions
+        records = attestor.attest(step, contributions)
+        probe = attestor.probe_shard(step, len(contributions))
+        quarantined = set(self._ledger.quarantined)
+        out = list(contributions)
+        suspects: set[int] = set()
+        for index, record in enumerate(records):
+            shard, worker, _loss, grads = contributions[index]
+            nominated = bool(record.reasons) or index == probe \
+                or worker in quarantined
+            if not nominated:
+                continue
+            auditor = next((w for w in self._live_ids() if w != worker),
+                           None)
+            if auditor is None:
+                continue
+            audit_loss, audit_grads = self.workers[auditor] \
+                .compute_gradients(feeds[shard], step, shard)
+            self.clock.advance(auditor, self.compute_seconds)
+            if _grads_equal(grads, audit_grads):
+                continue  # exonerated
+            suspects.add(worker)
+            reason = "; ".join(record.reasons) or "round-robin probe"
+            self._emit_kw(
+                step, "gradient_suspect", worker=worker,
+                detail=f"shard {shard}: audit recompute on worker "
+                       f"{auditor} diverged ({reason}; "
+                       f"norm_ratio={record.norm_ratio:.2f}, "
+                       f"cosine={record.cosine:.2f})")
+            if self.config.aggregation == "screened_mean" \
+                    or worker in quarantined:
+                out[index] = (shard, worker, audit_loss, audit_grads)
+                self._emit_kw(
+                    step, "shard_replay", worker=worker,
+                    seconds_lost=self.compute_seconds,
+                    detail=f"shard {shard} replaced by clean recompute "
+                           f"from worker {auditor}")
+        self._apply_reputation(step, suspects,
+                               {c[1] for c in contributions})
+        return out
+
+    def _apply_reputation(self, step: int, suspects: set[int],
+                          participants: set[int]) -> None:
+        for action, worker in self._ledger.observe(step, suspects,
+                                                   participants):
+            if action == "quarantine":
+                self._emit_kw(
+                    step, "quarantine", worker=worker,
+                    detail=f"suspect streak reached "
+                           f"{self._ledger.policy.quarantine_after}; "
+                           f"shard screened, worker still probed")
+            elif action == "lift":
+                self._emit_kw(
+                    step, "quarantine_lift", worker=worker,
+                    detail=f"{self._ledger.policy.lift_after} consecutive "
+                           f"clean audits; worker readmitted")
+            else:  # evict
+                self._schedule_eviction(step, worker)
+
+    def _schedule_eviction(self, step: int, worker: int) -> None:
+        if worker in self._primary_ids and len(self._primary_ids) <= 1:
+            # Never evict the last primary: keep it quarantined so its
+            # shard stays screened every step.
+            self._ledger.evicted.discard(worker)
+            self._ledger.quarantined.add(worker)
+            self._emit_kw(step, "quarantine", worker=worker,
+                          detail="eviction skipped: last primary stays "
+                                 "quarantined")
+            return
+        scheduled = any(c.step == step + 1 and c.action == "leave"
+                        and c.worker == worker
+                        for c in self.membership.changes)
+        if not scheduled:
+            self.membership = self.membership.adding(
+                MembershipChange(step + 1, "leave", worker))
+        self._emit_kw(step, "evict", worker=worker,
+                      detail=f"suspect streak reached "
+                             f"{self._ledger.policy.evict_after}; leaves "
+                             f"before step {step + 1} and the pipeline "
+                             f"re-shards")
 
     def _exchange(self, step: int, contributions: list[tuple]
                   ) -> list[np.ndarray]:
@@ -549,6 +719,13 @@ class ClusterRuntime:
 def _canonical_loss(shard_losses: list[float]) -> float:
     """Global loss: fixed-order mean of the shard losses."""
     return float(sum(shard_losses) / len(shard_losses))
+
+
+def _grads_equal(a: list[np.ndarray], b: list[np.ndarray]) -> bool:
+    """Bitwise equality of two gradient lists (the audit verdict)."""
+    return len(a) == len(b) and all(
+        np.array_equal(np.asarray(x), np.asarray(y))
+        for x, y in zip(a, b))
 
 
 def single_worker_reference(model: FathomModel, steps: int, shards: int,

@@ -7,17 +7,20 @@ injector, survives lost and corrupted deliveries by timeout +
 per-worker seeded-jitter retransmit, and returns the aggregated
 gradients.
 
-**Transport never touches arithmetic.** Aggregation is always
-:func:`aggregate_shards` — a canonical-shard-order float32 sum divided
-by the shard count — regardless of which transport carried the bytes or
-in which order they arrived. A real ring all-reduce would sum chunks in
-ring order and produce a *different* float32 rounding than a PS sum;
-fixing one canonical reduction order instead makes the result
+**Transport never touches arithmetic.** Aggregation is always the
+context's configured aggregator — by default :func:`aggregate_shards`,
+a canonical-shard-order float32 sum divided by the shard count —
+regardless of which transport carried the bytes or in which order they
+arrived. A real ring all-reduce would sum chunks in ring order and
+produce a *different* float32 rounding than a PS sum; fixing one
+canonical reduction order instead makes the result
 transport-independent, which is what lets fault-free training be
 bit-identical to the single-worker reference and lets the runtime fall
 back from the ring to the PS path mid-run without perturbing the
 trajectory. The strategies therefore govern *timing, faults, and
-events*; the numbers are the same by construction.
+events*; the numbers are the same by construction. Byzantine-robust
+alternatives (:data:`AGGREGATIONS`) swap in coordinate-wise trimmed
+mean or median — same canonical shard order, different estimator.
 
 Fault handling per message:
 
@@ -42,8 +45,18 @@ import numpy as np
 
 from .clock import SERVER
 
-__all__ = ["AllReduceBroken", "ExchangeError", "ParameterServerStrategy",
-           "RingAllReduceStrategy", "aggregate_shards", "make_strategy"]
+__all__ = ["AGGREGATIONS", "AllReduceBroken", "ExchangeError",
+           "ParameterServerStrategy", "RingAllReduceStrategy",
+           "aggregate_shards", "coordinate_median_shards",
+           "make_aggregator", "make_strategy", "trimmed_mean_shards"]
+
+#: robust-aggregation registry (see :func:`make_aggregator`):
+#: ``screened_mean`` is plain :func:`aggregate_shards` arithmetic — its
+#: robustness comes from the runtime replacing attestation-flagged
+#: shards with clean recomputes *before* aggregation, which is what
+#: keeps it bit-identical to ``mean`` whenever nothing is flagged.
+AGGREGATIONS = ("mean", "trimmed_mean", "coordinate_median",
+                "screened_mean")
 
 
 class ExchangeError(RuntimeError):
@@ -79,13 +92,93 @@ def aggregate_shards(shard_grads: list[list[np.ndarray]]
     return aggregated
 
 
-def _screen(payload: list[np.ndarray]) -> bool:
-    """True if every float tensor in the payload is finite (guardrail)."""
+def trimmed_mean_shards(shard_grads: list[list[np.ndarray]],
+                        trim: int | None = None) -> list[np.ndarray]:
+    """Coordinate-wise trimmed mean: drop the ``trim`` largest and
+    smallest values per coordinate, mean the rest (float32).
+
+    ``trim=None`` picks the largest safe value, ``(K - 1) // 2`` —
+    tolerant of up to ``trim`` byzantine shards per coordinate. With
+    ``trim=0`` (or fewer than three shards) this degenerates to the
+    canonical mean, bitwise.
+    """
+    if not shard_grads:
+        raise ValueError("no shard gradients to aggregate")
+    count = len(shard_grads)
+    if trim is None:
+        trim = (count - 1) // 2
+    trim = min(int(trim), (count - 1) // 2)
+    if trim <= 0:
+        return aggregate_shards(shard_grads)
+    aggregated = []
+    for per_shard in zip(*shard_grads):
+        stacked = np.sort(np.stack(per_shard), axis=0)
+        kept = stacked[trim:count - trim]
+        aggregated.append(np.mean(kept, axis=0, dtype=np.float32))
+    return aggregated
+
+
+def coordinate_median_shards(shard_grads: list[list[np.ndarray]]
+                             ) -> list[np.ndarray]:
+    """Coordinate-wise median over shards (float32).
+
+    The classic byzantine-tolerant estimator: each coordinate ignores
+    up to ``(K - 1) // 2`` arbitrary values. Pays for the robustness
+    with bias — the median of K means is not the mean — so convergence
+    is tolerance-checked, never bitwise.
+    """
+    if not shard_grads:
+        raise ValueError("no shard gradients to aggregate")
+    aggregated = []
+    for per_shard in zip(*shard_grads):
+        median = np.median(np.stack(per_shard), axis=0)
+        aggregated.append(median.astype(per_shard[0].dtype, copy=False))
+    return aggregated
+
+
+def make_aggregator(name: str, trim: int | None = None):
+    """Aggregator registry for the config layer.
+
+    Returns a callable ``shard_grads -> aggregated``. ``mean`` and
+    ``screened_mean`` are the *same arithmetic* (the screening happens
+    upstream in the runtime); they differ only in what the runtime does
+    with attestation verdicts before calling the aggregator.
+    """
+    if name in ("mean", "screened_mean"):
+        return aggregate_shards
+    if name == "trimmed_mean":
+        return lambda shard_grads: trimmed_mean_shards(shard_grads, trim)
+    if name == "coordinate_median":
+        return coordinate_median_shards
+    raise ValueError(f"unknown aggregation {name!r}; expected one of "
+                     f"{list(AGGREGATIONS)}")
+
+
+def _screen(payload: list[np.ndarray],
+            overflow_limit: float | None = None) -> str | None:
+    """Rejection reason for a delivered payload, or ``None`` if clean.
+
+    Two screens, mirroring the session guardrails
+    (:class:`~repro.framework.session.GuardrailPolicy`): every float
+    tensor must be finite, and — when ``overflow_limit`` is set — the
+    payload's global L2 norm must not exceed it. The norm screen
+    catches *finite* garbage (e.g. a byzantine-scaled gradient) that
+    the NaN/Inf test waves through.
+    """
+    total_sq = 0.0
     for value in payload:
-        if np.issubdtype(value.dtype, np.floating) \
-                and not np.isfinite(value).all():
-            return False
-    return True
+        if not np.issubdtype(value.dtype, np.floating):
+            continue
+        if not np.isfinite(value).all():
+            return "non-finite gradient payload rejected"
+        if overflow_limit is not None:
+            total_sq += float(np.sum(np.square(value, dtype=np.float64)))
+    if overflow_limit is not None:
+        norm = float(np.sqrt(total_sq))
+        if norm > overflow_limit:
+            return (f"gradient payload norm {norm:.4g} exceeds "
+                    f"overflow limit {overflow_limit:.4g}")
+    return None
 
 
 class _Transport:
@@ -111,8 +204,10 @@ class _Transport:
                     src, dst, step, payload[0])
             delivered = payload if status == "ok" else \
                 (None if status == "lost" else [probe, *payload[1:]])
-            if delivered is not None and _screen(delivered):
-                return delivered
+            if delivered is not None:
+                reason = _screen(delivered, ctx.overflow_limit)
+                if reason is None:
+                    return delivered
             if delivered is None:
                 # Nothing arrived: the receiver waits out the timeout.
                 if dst in clock.workers:
@@ -122,11 +217,12 @@ class _Transport:
                          detail=f"no delivery on {src}->{dst} within "
                                 f"{ctx.timeout:.3f}s")
             else:
-                # Poisoned payload: the receiver's NaN/Inf screen (the
-                # guardrail test) rejects it and asks for a clean copy.
+                # Poisoned payload: the receiver's numerical screen
+                # (the guardrail test) rejects it and asks for a clean
+                # copy, naming the sender it blames.
                 ctx.emit(step, "corrupt_screened", worker=dst,
                          link=(src, dst), strategy=self.name,
-                         detail="non-finite gradient payload rejected")
+                         detail=f"from worker {src}: {reason}")
             if attempt >= ctx.max_retries:
                 raise ExchangeError(
                     f"link {src}->{dst} failed {attempt + 1} deliveries "
@@ -157,7 +253,7 @@ class ParameterServerStrategy(_Transport):
                  participants: list[int]) -> list[np.ndarray]:
         for _shard, worker, grads in contributions:
             self.push(ctx, step, worker, grads)
-        aggregated = aggregate_shards([g for _, _, g in contributions])
+        aggregated = ctx.aggregate([g for _, _, g in contributions])
         for worker in sorted(participants):
             self.pull(ctx, step, worker, aggregated)
         cost = ctx.cluster.ps_seconds(ctx.parameter_bytes,
@@ -211,7 +307,7 @@ class RingAllReduceStrategy(_Transport):
                         raise AllReduceBroken(
                             f"ring broken at step {step}: {exc}",
                             link=exc.link) from exc
-        aggregated = aggregate_shards([g for _, _, g in contributions])
+        aggregated = ctx.aggregate([g for _, _, g in contributions])
         cost = ctx.cluster.allreduce_seconds(ctx.parameter_bytes,
                                              len(ring))
         for worker in ring:

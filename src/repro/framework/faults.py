@@ -10,8 +10,9 @@ declarative core (:class:`BaseFaultSpec` / :class:`BaseFaultPlan` /
   spikes, and corrupted feeds against individual operations inside a
   ``Session.run``;
 * **cluster faults** (:class:`ClusterFaultSpec`) — worker crashes,
-  stragglers, partitions, and lost/corrupt gradient messages against
-  the data-parallel runtime (:mod:`repro.distributed`);
+  stragglers, partitions, lost/corrupt gradient messages, and
+  byzantine source-corrupted gradients against the data-parallel
+  runtime (:mod:`repro.distributed`);
 * **serving faults** (:class:`ServingFaultSpec`) — replica crashes,
   stalls, and poisoned batches against one inference server
   (:mod:`repro.serving.server`);
@@ -51,9 +52,17 @@ SERVING_FAULT_KINDS = ("replica_crash", "slow_replica", "poisoned_batch")
 FLEET_FAULT_KINDS = ("zone_outage", "correlated_crash", "bad_rollout",
                      "lb_blackhole")
 
+#: byzantine cluster fault kinds: plausible-valued gradient corruption
+#: at the *source* worker (finite values, right shapes) — invisible to
+#: the wire-level NaN/Inf screen, detectable only by attestation
+#: (see repro.distributed.byzantine)
+BYZANTINE_FAULT_KINDS = ("byzantine_scale", "byzantine_signflip",
+                         "byzantine_stale", "byzantine_drift")
+
 #: fault kinds injected at the *cluster* layer (see ClusterFaultPlan)
 CLUSTER_FAULT_KINDS = ("worker_crash", "straggler", "partition",
-                       "lost_gradient", "corrupt_gradient")
+                       "lost_gradient", "corrupt_gradient") \
+    + BYZANTINE_FAULT_KINDS
 
 
 class InjectedFault(ExecutionError):
@@ -429,6 +438,24 @@ class ClusterFaultSpec(BaseFaultSpec):
       (``payload``); the receiver's guardrail screen rejects it and
       requests a retransmit.
 
+    The four *byzantine* kinds (:data:`BYZANTINE_FAULT_KINDS`) corrupt
+    a worker's gradients at the **source**, before exchange, with
+    plausible finite values of the right shapes — so the wire-level
+    screen never sees anything wrong and only gradient attestation
+    (:mod:`repro.distributed.byzantine`) can catch them:
+
+    * ``byzantine_scale`` — multiply the gradients by ``scale_factor``
+      (models a broken loss-scaling / learning-rate unit mixup).
+    * ``byzantine_signflip`` — negate the gradients (models a
+      sign-inverted reduction — an *adversarial* ascent direction).
+    * ``byzantine_stale`` — replay the worker's previous clean
+      gradients (models a stuck pipeline re-sending old state; skipped,
+      without consuming a probability draw, on a worker's first
+      contribution when there is nothing to replay).
+    * ``byzantine_drift`` — multiply by ``1 + drift_rate * k`` on the
+      spec's ``k``-th firing — a slow multiplicative drift that starts
+      plausible and worsens (models progressive hardware fault).
+
     Args (beyond the :class:`BaseFaultSpec` trio):
         worker: only fault this worker id (``None`` = any worker).
         link: only fault this directed ``(src, dst)`` worker link
@@ -441,6 +468,8 @@ class ClusterFaultSpec(BaseFaultSpec):
             (cluster-clock seconds, not wall time).
         payload: ``"nan"`` or ``"inf"`` — the poison for
             ``corrupt_gradient`` faults.
+        scale_factor: gradient multiplier for ``byzantine_scale``.
+        drift_rate: per-firing drift increment for ``byzantine_drift``.
     """
 
     worker: int | None = None
@@ -449,6 +478,8 @@ class ClusterFaultSpec(BaseFaultSpec):
     duration_steps: int = 1
     delay_seconds: float = 0.5
     payload: str = "nan"
+    scale_factor: float = 64.0
+    drift_rate: float = 1.0
 
     KINDS: ClassVar[tuple[str, ...]] = CLUSTER_FAULT_KINDS
     FAMILY: ClassVar[str] = "cluster"
@@ -457,6 +488,13 @@ class ClusterFaultSpec(BaseFaultSpec):
         if self.duration_steps < 1:
             raise ValueError(
                 f"duration_steps must be >= 1, got {self.duration_steps}")
+        if not np.isfinite(self.scale_factor) or self.scale_factor <= 0.0:
+            raise ValueError(
+                f"scale_factor must be finite and > 0, "
+                f"got {self.scale_factor}")
+        if not np.isfinite(self.drift_rate) or self.drift_rate <= 0.0:
+            raise ValueError(
+                f"drift_rate must be finite and > 0, got {self.drift_rate}")
         if self.link is not None:
             object.__setattr__(self, "link",
                                (int(self.link[0]), int(self.link[1])))
@@ -476,19 +514,24 @@ class ClusterFaultPlan(BaseFaultPlan):
 class ClusterFaultInjector(BaseFaultInjector):
     """Executes a :class:`ClusterFaultPlan` against a cluster run.
 
-    The runtime consults three hook points: :meth:`should_crash` and
-    :meth:`compute_delay` during each worker's compute phase, and
-    :meth:`on_message` for every gradient/parameter message crossing a
-    link. Like the other injectors, everything is deterministic given
-    ``(plan, seed)``; fired faults are recorded as
-    :class:`InjectionEvent` entries with ``op_name`` set to
-    ``"worker:<id>"`` or ``"link:<src>-><dst>"``.
+    The runtime consults four hook points: :meth:`should_crash` and
+    :meth:`compute_delay` during each worker's compute phase,
+    :meth:`corrupt_gradients` on each worker's freshly computed
+    gradients (the byzantine kinds), and :meth:`on_message` for every
+    gradient/parameter message crossing a link. Like the other
+    injectors, everything is deterministic given ``(plan, seed)``;
+    fired faults are recorded as :class:`InjectionEvent` entries with
+    ``op_name`` set to ``"worker:<id>"`` or ``"link:<src>-><dst>"``.
     """
 
     def __init__(self, plan: ClusterFaultPlan):
         super().__init__(plan)
         #: active partitions: (src, dst) -> step the partition heals at
         self._partitions: dict[tuple[int, int], int] = {}
+        #: per-worker previous clean gradients, for ``byzantine_stale``
+        self._stale_cache: dict[int, list[np.ndarray]] = {}
+        #: per-spec firing counts, for ``byzantine_drift`` escalation
+        self._drift_fires: list[int] = [0] * len(plan.specs)
 
     def _matches(self, index: int, spec: ClusterFaultSpec, step: int,
                  worker: int | None = None,
@@ -529,6 +572,50 @@ class ClusterFaultInjector(BaseFaultInjector):
                 self._fire(index, spec, step, f"worker:{worker}")
                 delay += spec.delay_seconds
         return delay
+
+    def corrupt_gradients(self, worker: int, step: int,
+                          grads: list[np.ndarray]
+                          ) -> list[np.ndarray] | None:
+        """Byzantine source-corruption of a worker's computed gradients.
+
+        Returns the corrupted gradient list, or ``None`` when no
+        byzantine spec fired for this ``(worker, step)``. The input is
+        never mutated; multiple matching specs compose in plan order.
+        Every corruption is finite and shape-preserving — the point is
+        to slip past the wire-level NaN/Inf screen and exercise
+        gradient attestation instead. ``byzantine_stale`` replays the
+        worker's previous *clean* gradients (cached below whenever the
+        plan contains a stale spec) and is skipped without consuming a
+        probability draw when the cache is empty.
+        """
+        out: list[np.ndarray] | None = None
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind not in BYZANTINE_FAULT_KINDS:
+                continue
+            if spec.kind == "byzantine_stale" \
+                    and worker not in self._stale_cache:
+                continue
+            if not self._matches(index, spec, step, worker=worker):
+                continue
+            self._fire(index, spec, step, f"worker:{worker}")
+            current = grads if out is None else out
+            if spec.kind == "byzantine_scale":
+                out = [np.asarray(g) * np.float32(spec.scale_factor)
+                       for g in current]
+            elif spec.kind == "byzantine_signflip":
+                out = [-np.asarray(g) for g in current]
+            elif spec.kind == "byzantine_stale":
+                out = [g.copy() for g in self._stale_cache[worker]]
+            else:  # byzantine_drift
+                self._drift_fires[index] += 1
+                factor = np.float32(
+                    1.0 + spec.drift_rate * self._drift_fires[index])
+                out = [np.asarray(g) * factor for g in current]
+        if any(spec.kind == "byzantine_stale"
+               for spec in self.plan.specs):
+            self._stale_cache[worker] = [np.asarray(g).copy()
+                                         for g in grads]
+        return out
 
     def on_message(self, src: int, dst: int, step: int,
                    value: np.ndarray | None = None):

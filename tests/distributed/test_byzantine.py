@@ -1,0 +1,476 @@
+"""Byzantine resilience: corruption, attestation, reputation, recovery.
+
+The threat model (docs/robustness.md): a byzantine worker sends
+*plausible* gradients — finite values, right shapes — that the wire
+NaN/Inf screen waves through. The defense is layered: statistics
+nominate, a bitwise recompute audit convicts, ``screened_mean`` swaps
+convicted shards for clean recomputes (keeping the committed trajectory
+bit-identical to fault-free), and the reputation ledger escalates
+repeat offenders through quarantine to eviction.
+"""
+
+import numpy as np
+import pytest
+
+from repro import workloads
+from repro.distributed import (AttestationPolicy, ClusterConfig,
+                               ClusterRuntime, GradientAttestor,
+                               ReputationLedger, ReputationPolicy,
+                               restore_cluster, single_worker_reference)
+from repro.framework.faults import (BYZANTINE_FAULT_KINDS,
+                                    ClusterFaultPlan, ClusterFaultSpec)
+
+WORKLOAD = "memnet"
+STEPS = 4
+WORKERS = 3
+
+
+def make_model():
+    return workloads.create(WORKLOAD, config="tiny", seed=0)
+
+
+def named_params(worker):
+    session = worker.session
+    return {session._variable_ops[key].name: value
+            for key, value in session._variables.items()}
+
+
+def params_equal(a, b):
+    names_a, names_b = named_params(a), named_params(b)
+    return set(names_a) == set(names_b) and all(
+        np.array_equal(names_a[name], names_b[name]) for name in names_a)
+
+
+def run_cluster(steps=STEPS, faults=None, **kw):
+    config = ClusterConfig(seed=0, **{"workers": WORKERS,
+                                      "strategy": "allreduce", **kw})
+    runtime = ClusterRuntime(make_model(), config=config, faults=faults)
+    return runtime, runtime.run(steps)
+
+
+def plan_of(*specs):
+    return ClusterFaultPlan(list(specs))
+
+
+def ones(value=1.0):
+    return [np.full((2, 3), value, dtype=np.float32)]
+
+
+# -- the injector's source-corruption hook ----------------------------------
+
+
+class TestInjectorCorruption:
+
+    def test_scale_multiplies(self):
+        injector = plan_of(ClusterFaultSpec(
+            "byzantine_scale", worker=0, scale_factor=4.0)).injector()
+        out = injector.corrupt_gradients(0, 0, ones())
+        np.testing.assert_array_equal(out[0], ones(4.0)[0])
+
+    def test_only_the_named_worker_lies(self):
+        injector = plan_of(ClusterFaultSpec(
+            "byzantine_scale", worker=0)).injector()
+        assert injector.corrupt_gradients(1, 0, ones()) is None
+
+    def test_signflip_negates(self):
+        injector = plan_of(ClusterFaultSpec(
+            "byzantine_signflip", worker=1)).injector()
+        out = injector.corrupt_gradients(1, 0, ones())
+        np.testing.assert_array_equal(out[0], ones(-1.0)[0])
+
+    def test_stale_skips_until_history_exists(self):
+        injector = plan_of(ClusterFaultSpec(
+            "byzantine_stale", worker=0, max_triggers=None)).injector()
+        # First step: no history to replay — the spec must not fire
+        # (and must not consume a probability draw).
+        assert injector.corrupt_gradients(0, 0, ones(1.0)) is None
+        assert injector.signature() == ()
+        out = injector.corrupt_gradients(0, 1, ones(2.0))
+        np.testing.assert_array_equal(out[0], ones(1.0)[0])
+
+    def test_drift_escalates_per_firing(self):
+        injector = plan_of(ClusterFaultSpec(
+            "byzantine_drift", worker=0, drift_rate=0.5,
+            max_triggers=None)).injector()
+        factors = []
+        for step in range(3):
+            out = injector.corrupt_gradients(0, step, ones())
+            factors.append(float(out[0].flat[0]))
+        assert factors == [1.5, 2.0, 2.5]
+
+    def test_matching_specs_compose_in_plan_order(self):
+        injector = plan_of(
+            ClusterFaultSpec("byzantine_scale", worker=0,
+                             scale_factor=2.0),
+            ClusterFaultSpec("byzantine_signflip", worker=0)).injector()
+        out = injector.corrupt_gradients(0, 0, ones())
+        np.testing.assert_array_equal(out[0], ones(-2.0)[0])
+
+    def test_input_gradients_never_mutated(self):
+        injector = plan_of(ClusterFaultSpec(
+            "byzantine_signflip", worker=0)).injector()
+        grads = ones()
+        injector.corrupt_gradients(0, 0, grads)
+        np.testing.assert_array_equal(grads[0], ones()[0])
+
+    def test_firings_recorded_against_the_worker(self):
+        injector = plan_of(ClusterFaultSpec(
+            "byzantine_scale", worker=2, step=1)).injector()
+        injector.corrupt_gradients(2, 1, ones())
+        assert injector.signature() == \
+            ((1, "worker:2", "byzantine_scale", 0),)
+
+
+# -- attestation statistics and the probe -----------------------------------
+
+
+def contribution(shard, worker, grads):
+    return (shard, worker, 0.0, grads)
+
+
+class TestGradientAttestor:
+
+    def test_probe_round_robin_covers_every_shard(self):
+        attestor = GradientAttestor(seed=0)
+        probes = [attestor.probe_shard(step, 3) for step in range(3)]
+        assert sorted(probes) == [0, 1, 2]
+
+    def test_probe_is_seed_deterministic(self):
+        first = [GradientAttestor(seed=7).probe_shard(s, 5)
+                 for s in range(5)]
+        second = [GradientAttestor(seed=7).probe_shard(s, 5)
+                  for s in range(5)]
+        assert first == second
+
+    def test_probe_disabled_and_throttled(self):
+        off = GradientAttestor(AttestationPolicy(probe_every=0))
+        assert off.probe_shard(0, 3) is None
+        sparse = GradientAttestor(AttestationPolicy(probe_every=2))
+        assert sparse.probe_shard(1, 3) is None
+        assert sparse.probe_shard(2, 3) is not None
+
+    def test_norm_outlier_nominated(self):
+        attestor = GradientAttestor(seed=0)
+        records = attestor.attest(0, [
+            contribution(0, 0, ones()), contribution(1, 1, ones()),
+            contribution(2, 2, ones(100.0))])
+        assert records[0].reasons == () and records[1].reasons == ()
+        assert records[2].norm_ratio == pytest.approx(100.0)
+        assert any("norm_ratio" in r for r in records[2].reasons)
+
+    def test_signflip_cosine_nominated(self):
+        attestor = GradientAttestor(seed=0)
+        records = attestor.attest(0, [
+            contribution(0, 0, ones()), contribution(1, 1, ones()),
+            contribution(2, 2, ones(-1.0))])
+        assert records[2].cosine == pytest.approx(-1.0)
+        assert any("cosine" in r for r in records[2].reasons)
+
+    def test_repeated_digest_nominated(self):
+        attestor = GradientAttestor(seed=0)
+        replayed = ones(3.0)
+        attestor.attest(0, [contribution(0, 0, ones(1.0)),
+                            contribution(1, 1, replayed)])
+        records = attestor.attest(1, [contribution(0, 0, ones(2.0)),
+                                      contribution(1, 1, replayed)])
+        assert records[0].reasons == ()
+        assert any("digest" in r for r in records[1].reasons)
+
+    def test_stale_window_zero_disables_digest_check(self):
+        attestor = GradientAttestor(AttestationPolicy(stale_window=0))
+        replayed = ones(3.0)
+        attestor.attest(0, [contribution(0, 0, ones(1.0)),
+                            contribution(1, 1, replayed)])
+        records = attestor.attest(1, [contribution(0, 0, ones(2.0)),
+                                      contribution(1, 1, replayed)])
+        assert records[1].reasons == ()
+
+    def test_forget_clears_the_digest_window(self):
+        attestor = GradientAttestor(seed=0)
+        replayed = ones(3.0)
+        attestor.attest(0, [contribution(0, 0, ones(1.0)),
+                            contribution(1, 1, replayed)])
+        attestor.forget(1)
+        records = attestor.attest(1, [contribution(0, 0, ones(2.0)),
+                                      contribution(1, 1, replayed)])
+        assert records[1].reasons == ()
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="norm_ratio_limit"):
+            AttestationPolicy(norm_ratio_limit=1.0)
+        with pytest.raises(ValueError, match="cosine_floor"):
+            AttestationPolicy(cosine_floor=-2.0)
+        with pytest.raises(ValueError, match="min_peers"):
+            AttestationPolicy(min_peers=1)
+
+
+# -- the reputation ledger --------------------------------------------------
+
+
+class TestReputationLedger:
+
+    def observe_runs(self, ledger, verdicts, workers=(0, 1, 2)):
+        actions = []
+        for step, suspects in enumerate(verdicts):
+            actions.extend(ledger.observe(step, set(suspects),
+                                          set(workers)))
+        return actions
+
+    def test_quarantine_needs_a_streak(self):
+        ledger = ReputationLedger()
+        assert self.observe_runs(ledger, [{1}]) == []
+        assert ledger.observe(1, {1}, {0, 1, 2}) == [("quarantine", 1)]
+
+    def test_one_clean_step_resets_the_streak(self):
+        ledger = ReputationLedger()
+        actions = self.observe_runs(ledger, [{1}, set(), {1}])
+        assert actions == []
+        assert ledger.quarantined == set()
+
+    def test_clean_audits_lift_quarantine(self):
+        ledger = ReputationLedger()
+        self.observe_runs(ledger, [{1}, {1}])
+        assert 1 in ledger.quarantined
+        actions = self.observe_runs(ledger, [set(), set()])
+        assert ("lift", 1) in actions
+        assert ledger.quarantined == set()
+
+    def test_persistent_offender_is_evicted_once(self):
+        ledger = ReputationLedger()
+        actions = self.observe_runs(ledger, [{1}] * 6)
+        assert actions == [("quarantine", 1), ("evict", 1)]
+        assert ledger.evicted == {1}
+
+    def test_forget_clears_every_trace(self):
+        ledger = ReputationLedger()
+        self.observe_runs(ledger, [{1}] * 4)
+        ledger.forget(1)
+        assert ledger.quarantined == ledger.evicted == set()
+        assert self.observe_runs(ledger, [{1}]) == []
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="evict_after"):
+            ReputationPolicy(quarantine_after=3, evict_after=3)
+        with pytest.raises(ValueError, match="quarantine_after"):
+            ReputationPolicy(quarantine_after=0)
+
+
+# -- the config surface -----------------------------------------------------
+
+
+class TestConfigValidation:
+
+    def test_unknown_aggregation_rejected(self):
+        with pytest.raises(ValueError, match="aggregation"):
+            ClusterConfig(aggregation="krum")
+
+    def test_trim_requires_trimmed_mean(self):
+        with pytest.raises(ValueError, match="trim"):
+            ClusterConfig(aggregation="mean", trim=1)
+        with pytest.raises(ValueError, match="trim"):
+            ClusterConfig(aggregation="trimmed_mean", trim=-1)
+
+    def test_async_mode_excludes_robustness(self):
+        with pytest.raises(ValueError, match="synchronous"):
+            ClusterConfig(strategy="ps", staleness=2,
+                          aggregation="screened_mean")
+        with pytest.raises(ValueError, match="synchronous"):
+            ClusterConfig(strategy="ps", staleness=2,
+                          attestation=AttestationPolicy())
+
+    def test_screened_mean_implies_attestation(self):
+        runtime, _ = run_cluster(steps=1, aggregation="screened_mean")
+        assert runtime._attestor is not None
+        plain, _ = run_cluster(steps=1)
+        assert plain._attestor is None
+
+
+# -- bit-identity of the screened path --------------------------------------
+
+
+class TestScreenedMeanBitIdentity:
+
+    def test_fault_free_screened_mean_is_bitwise_mean(self):
+        _, mean_result = run_cluster()
+        runtime, screened = run_cluster(aggregation="screened_mean")
+        assert screened.losses == mean_result.losses
+        assert screened.events == []
+        reference, ref_worker = single_worker_reference(
+            make_model(), STEPS, WORKERS)
+        assert screened.losses == reference
+        assert params_equal(runtime.workers[0], ref_worker)
+
+
+# -- detection trails, one per byzantine kind -------------------------------
+
+#: (kind, lying worker, fault step, spec overrides) — each chosen so
+#: the statistics nominate on the very step the corruption fires:
+#: 64x scale and 32x drift trip the norm-ratio limit, the stale replay
+#: trips the digest window, and memnet's step-3 shard-0 gradient has a
+#: +0.72 peer cosine, so its negation lands far below the -0.25 floor.
+TRAILS = [
+    ("byzantine_scale", 1, 1, {"scale_factor": 64.0}),
+    ("byzantine_signflip", 0, 3, {}),
+    ("byzantine_stale", 1, 2, {}),
+    ("byzantine_drift", 2, 0, {"drift_rate": 31.0}),
+]
+
+
+class TestDetectionTrails:
+
+    @pytest.mark.parametrize("kind,worker,step,overrides",
+                             TRAILS, ids=[t[0] for t in TRAILS])
+    def test_one_shot_liar_caught_same_step(self, kind, worker, step,
+                                            overrides):
+        faults = plan_of(ClusterFaultSpec(kind, worker=worker, step=step,
+                                          max_triggers=1, **overrides))
+        _, clean = run_cluster()
+        _, result = run_cluster(faults=faults,
+                                aggregation="screened_mean")
+        suspects = result.events_of("gradient_suspect")
+        assert [(e.step, e.worker) for e in suspects] == [(step, worker)]
+        replays = result.events_of("shard_replay")
+        assert [(e.step, e.worker) for e in replays] == [(step, worker)]
+        # the clean recompute replaced the lie before aggregation: the
+        # committed trajectory is bitwise the fault-free one
+        assert result.losses == clean.losses
+        assert any(sig[2] == kind for sig in result.injected)
+
+    def test_trails_are_deterministic(self):
+        faults = [plan_of(ClusterFaultSpec(
+            "byzantine_scale", worker=1, scale_factor=64.0,
+            max_triggers=None)) for _ in range(2)]
+        _, first = run_cluster(faults=faults[0],
+                               aggregation="screened_mean")
+        _, second = run_cluster(faults=faults[1],
+                                aggregation="screened_mean")
+        assert first.signature() == second.signature()
+        assert first.losses == second.losses
+
+
+# -- escalation: quarantine, eviction, and life after -----------------------
+
+
+class TestPersistentAttacker:
+
+    def attack(self, steps=5, **kw):
+        faults = plan_of(ClusterFaultSpec(
+            "byzantine_scale", worker=1, scale_factor=64.0,
+            max_triggers=None))
+        return run_cluster(steps=steps, faults=faults,
+                           aggregation="screened_mean", **kw)
+
+    def test_escalation_trail(self):
+        runtime, result = self.attack()
+        kinds = [(e.kind, e.step) for e in result.events]
+        assert ("gradient_suspect", 0) in kinds
+        assert ("quarantine", 1) in kinds
+        assert ("evict", 3) in kinds
+        assert ("leave", 4) in kinds
+        assert ("reshard", 4) in kinds
+        assert sorted(runtime.workers) == [0, 2]
+        assert result.workers == 2
+
+    def test_committed_trajectory_clean_until_reshard(self):
+        _, clean = run_cluster(steps=5)
+        _, result = self.attack()
+        # every pre-eviction step was screened back to the fault-free
+        # aggregate; after the leave the cluster re-shards 2 ways and
+        # the trajectories legitimately diverge
+        assert result.losses[:4] == clean.losses[:4]
+        assert all(np.isfinite(loss) for loss in result.losses)
+
+    def test_last_primary_is_never_evicted(self):
+        faults = plan_of(ClusterFaultSpec(
+            "byzantine_scale", worker=0, scale_factor=64.0,
+            max_triggers=None))
+        config = ClusterConfig(seed=0, workers=1, backup_workers=1,
+                               strategy="ps",
+                               aggregation="screened_mean",
+                               attestation=AttestationPolicy())
+        runtime = ClusterRuntime(make_model(), config=config,
+                                 faults=faults)
+        result = runtime.run(6)
+        assert result.events_of("evict") == []
+        assert 0 in runtime.workers
+
+
+class TestRestoreAfterEviction:
+
+    CONFIG = dict(seed=0, strategy="allreduce",
+                  aggregation="screened_mean")
+
+    def test_checkpoint_restores_onto_n_minus_1_workers(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        faults = plan_of(ClusterFaultSpec(
+            "byzantine_scale", worker=1, scale_factor=64.0,
+            max_triggers=None))
+        runtime, result = run_cluster(
+            steps=5, faults=faults, aggregation="screened_mean",
+            checkpoint_every=5, checkpoint_dir=directory)
+        assert result.events_of("evict") and result.events_of("leave")
+        restored, manifest = restore_cluster(
+            make_model(), directory,
+            config=ClusterConfig(workers=2, **self.CONFIG))
+        # the post-eviction cluster is n-1 wide, and the checkpoint
+        # carries exactly its parameters
+        assert manifest["workers"] == 2 and manifest["step"] == 5
+        assert params_equal(runtime.workers[0], restored.workers[0])
+        # replay from the restored state is bit-identical run to run
+        twin, _ = restore_cluster(
+            make_model(), directory,
+            config=ClusterConfig(workers=2, **self.CONFIG))
+        first, second = restored.run(2), twin.run(2)
+        assert first.losses == second.losses
+        assert first.signature() == second.signature()
+        assert params_equal(restored.workers[0], twin.workers[1])
+
+
+# -- robust aggregation without attestation ---------------------------------
+
+
+class TestRobustAggregation:
+
+    ATTACK = dict(worker=1, scale_factor=64.0, max_triggers=None)
+
+    def final_loss(self, **kw):
+        _, result = run_cluster(
+            faults=plan_of(ClusterFaultSpec("byzantine_scale",
+                                            **self.ATTACK)), **kw)
+        return result.losses[-1]
+
+    def test_trimmed_mean_and_median_survive_a_minority_liar(self):
+        _, clean = run_cluster()
+        for aggregation in ("trimmed_mean", "coordinate_median"):
+            final = self.final_loss(aggregation=aggregation)
+            assert np.isfinite(final)
+            assert final == pytest.approx(clean.losses[-1], rel=0.25), \
+                aggregation
+
+    def test_unscreened_mean_commits_the_lie(self):
+        # Adam's per-parameter normalization bounds how far a scaled
+        # gradient can push a single update, so the damage shows as
+        # trajectory divergence rather than a loss blow-up — but it
+        # *lands*: the unscreened mean leaves the fault-free
+        # trajectory, where the screened path (TestDetectionTrails)
+        # stays bitwise on it.
+        _, clean = run_cluster()
+        _, poisoned = run_cluster(
+            faults=plan_of(ClusterFaultSpec("byzantine_scale",
+                                            **self.ATTACK)))
+        # losses are the pre-update forward: step 0 is untouched, every
+        # later step reflects the poisoned parameters
+        assert poisoned.losses[0] == clean.losses[0]
+        assert poisoned.losses[1:] != clean.losses[1:]
+
+    def test_trim_zero_degenerates_to_mean_bitwise(self):
+        _, mean_result = run_cluster()
+        _, trimmed = run_cluster(aggregation="trimmed_mean", trim=0)
+        assert trimmed.losses == mean_result.losses
+
+
+def test_byzantine_kinds_registry():
+    assert BYZANTINE_FAULT_KINDS == ("byzantine_scale",
+                                     "byzantine_signflip",
+                                     "byzantine_stale",
+                                     "byzantine_drift")

@@ -7,7 +7,8 @@ from repro.distributed import (SERVER, AllReduceBroken, ClusterClock,
                                ClusterModel, ExchangeError,
                                ParameterServerStrategy,
                                RingAllReduceStrategy, aggregate_shards,
-                               make_strategy)
+                               coordinate_median_shards, make_aggregator,
+                               make_strategy, trimmed_mean_shards)
 from repro.distributed.events import ClusterEvent
 from repro.framework.faults import ClusterFaultPlan, ClusterFaultSpec
 from repro.framework.resilience import BackoffPolicy
@@ -16,13 +17,16 @@ from repro.framework.resilience import BackoffPolicy
 class FakeContext:
     """Minimal ExchangeContext for driving strategies directly."""
 
-    def __init__(self, workers=(0, 1), injector=None, max_retries=2):
+    def __init__(self, workers=(0, 1), injector=None, max_retries=2,
+                 overflow_limit=None):
         self.clock = ClusterClock(list(workers) + [SERVER])
         self.injector = injector
         self.cluster = ClusterModel()
         self.parameter_bytes = 4e6
         self.timeout = 0.05
         self.max_retries = max_retries
+        self.aggregate = aggregate_shards
+        self.overflow_limit = overflow_limit
         self.events = []
         self._backoffs = {}
 
@@ -71,6 +75,70 @@ class TestAggregateShards:
             aggregate_shards([])
 
 
+class TestRobustAggregators:
+
+    SHARDS = [[np.array([1.0, 10.0], dtype=np.float32)],
+              [np.array([2.0, 20.0], dtype=np.float32)],
+              [np.array([900.0, -900.0], dtype=np.float32)]]
+
+    def test_trimmed_mean_drops_the_extremes(self):
+        (trimmed,) = trimmed_mean_shards(self.SHARDS, trim=1)
+        np.testing.assert_array_equal(trimmed, [2.0, 10.0])
+
+    def test_default_trim_is_the_largest_safe_value(self):
+        explicit = trimmed_mean_shards(self.SHARDS, trim=1)
+        implicit = trimmed_mean_shards(self.SHARDS)
+        np.testing.assert_array_equal(explicit[0], implicit[0])
+
+    def test_oversized_trim_is_clamped(self):
+        clamped = trimmed_mean_shards(self.SHARDS, trim=10)
+        np.testing.assert_array_equal(clamped[0],
+                                      trimmed_mean_shards(self.SHARDS,
+                                                          trim=1)[0])
+
+    def test_trim_zero_is_bitwise_mean(self):
+        np.testing.assert_array_equal(
+            trimmed_mean_shards(self.SHARDS, trim=0)[0],
+            aggregate_shards(self.SHARDS)[0])
+
+    def test_coordinate_median_ignores_a_minority_liar(self):
+        (median,) = coordinate_median_shards(self.SHARDS)
+        np.testing.assert_array_equal(median, [2.0, 10.0])
+        assert median.dtype == np.float32
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trimmed_mean_shards([])
+        with pytest.raises(ValueError):
+            coordinate_median_shards([])
+
+    def test_aggregator_registry(self):
+        assert make_aggregator("mean") is aggregate_shards
+        # screened_mean is the same arithmetic: screening happens
+        # upstream in the runtime's attestation phase
+        assert make_aggregator("screened_mean") is aggregate_shards
+        (trimmed,) = make_aggregator("trimmed_mean", 1)(self.SHARDS)
+        np.testing.assert_array_equal(trimmed, [2.0, 10.0])
+        assert make_aggregator("coordinate_median") \
+            is coordinate_median_shards
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            make_aggregator("krum")
+
+
+class HugeOnceInjector:
+    """Corrupts the first message with finite-but-absurd values: the
+    NaN/Inf screen waves it through, only the norm screen can catch it."""
+
+    def __init__(self):
+        self.fired = False
+
+    def on_message(self, src, dst, step, probe):
+        if not self.fired:
+            self.fired = True
+            return "corrupt", np.full_like(probe, 1e30)
+        return "ok", probe
+
+
 class TestTransports:
 
     def test_ps_and_ring_return_identical_aggregates(self):
@@ -97,6 +165,26 @@ class TestTransports:
             ctx, 0, grads_for([0, 1]), [0, 1])
         assert "corrupt_screened" in ctx.kinds()
         assert np.isfinite(aggregated[0]).all()
+
+    def test_finite_overflow_screened_when_guardrail_set(self):
+        ctx = FakeContext(injector=HugeOnceInjector(),
+                          overflow_limit=1e6)
+        aggregated = ParameterServerStrategy().exchange(
+            ctx, 0, grads_for([0, 1]), [0, 1])
+        screened = [e for e in ctx.events
+                    if e.kind == "corrupt_screened"]
+        assert len(screened) == 1
+        # the rejection names the sender it blames and the screen that
+        # fired, and the retransmitted clean copy goes through
+        assert "from worker 0" in screened[0].detail
+        assert "overflow limit" in screened[0].detail
+        assert float(np.abs(aggregated[0]).max()) < 1e6
+
+    def test_finite_overflow_passes_without_guardrail(self):
+        ctx = FakeContext(injector=HugeOnceInjector())
+        ParameterServerStrategy().exchange(ctx, 0, grads_for([0, 1]),
+                                           [0, 1])
+        assert "corrupt_screened" not in ctx.kinds()
 
     def test_exhausted_ps_link_raises_exchange_error(self):
         plan = ClusterFaultPlan([ClusterFaultSpec(

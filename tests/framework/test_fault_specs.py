@@ -75,7 +75,14 @@ ROUND_TRIP_PLANS = {
          ClusterFaultSpec("corrupt_gradient", link=(1, 0),
                           payload="inf", probability=0.3),
          ClusterFaultSpec("straggler", worker=0, delay_seconds=1.5,
-                          max_triggers=4)],
+                          max_triggers=4),
+         ClusterFaultSpec("byzantine_scale", worker=1, step=1,
+                          scale_factor=32.0),
+         ClusterFaultSpec("byzantine_signflip", worker=0,
+                          probability=0.4, max_triggers=None),
+         ClusterFaultSpec("byzantine_stale", worker=2, step=3),
+         ClusterFaultSpec("byzantine_drift", worker=1, drift_rate=0.25,
+                          max_triggers=8)],
         seed=11),
     "serving": ServingFaultPlan(
         [ServingFaultSpec("replica_crash", replica=0, batch=1),
@@ -149,6 +156,23 @@ def test_unknown_spec_field_rejected():
     blob["specs"][0]["surprise"] = True
     with pytest.raises(ValueError, match="surprise"):
         plan_from_json(blob)
+
+
+def test_unknown_byzantine_spec_field_rejected():
+    blob = plan_to_json(ClusterFaultPlan(
+        [ClusterFaultSpec("byzantine_scale", worker=1)], seed=2))
+    blob["specs"][0]["attack_vector"] = "apt"
+    with pytest.raises(ValueError, match="attack_vector"):
+        plan_from_json(blob)
+
+
+@pytest.mark.parametrize("field,value", [("scale_factor", 0.0),
+                                         ("scale_factor", float("nan")),
+                                         ("drift_rate", -1.0),
+                                         ("drift_rate", float("inf"))])
+def test_byzantine_parameters_validated(field, value):
+    with pytest.raises(ValueError, match=field):
+        ClusterFaultSpec("byzantine_scale", **{field: value})
 
 
 def test_wrong_spec_family_rejected():

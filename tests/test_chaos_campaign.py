@@ -14,7 +14,9 @@ import pytest
 from repro.chaos import (CampaignSpec, ddmin, enumerate_schedules,
                          oracles_for, replay_reproducer, run_campaign,
                          write_reproducer)
-from repro.chaos.harnesses import ServingHarness, build_harness
+from repro.chaos.harnesses import (ClusterHarness, ServingHarness,
+                                   build_harness)
+from repro.distributed import AttestationPolicy
 from repro.profiling.serialize import load_trace, save_trace
 from repro.profiling.tracer import Tracer
 from repro.serving.server import InferenceServer
@@ -33,6 +35,17 @@ class DroppingServer(InferenceServer):
 
 class BrokenServingHarness(ServingHarness):
     SERVER_CLASS = DroppingServer
+
+
+class BlindClusterHarness(ClusterHarness):
+    """The seeded attestation-evading fixture: thresholds so lax that
+    the statistics nominate nothing and the round-robin audit probe is
+    off — byzantine corruption sails through undetected, unreplaced,
+    straight into every replica's parameters."""
+
+    attestation = AttestationPolicy(norm_ratio_limit=1e9,
+                                    cosine_floor=-1.0,
+                                    probe_every=0, stale_window=0)
 
 
 class TestHealthyCampaigns:
@@ -131,6 +144,46 @@ class TestBrokenRecoveryFound:
         assert [e.signature() for e in loaded.campaign_events()] \
             == [e.signature() for e in events]
         assert loaded.failure_events() == []
+
+
+class TestAttestationEvaderFound:
+    """The seeded attestation-evading fixture is found by the
+    byzantine_detection oracle and minimized to the byzantine atom(s)
+    alone — the campaign proves the *detector* is load-bearing, not
+    just the aggregation arithmetic."""
+
+    SPEC = CampaignSpec(harness="cluster", budget=12, max_faults=1)
+
+    def test_campaign_convicts_the_blind_attestor(self):
+        result = run_campaign(self.SPEC, harness=BlindClusterHarness())
+        assert not result.ok
+        missed = [v for v in result.violations
+                  if v.oracle == "byzantine_detection"]
+        assert missed
+        for violation in missed:
+            # ddmin lands on a <=2-fault reproducer made purely of
+            # byzantine atoms: benign faults never mask the evasion
+            assert 1 <= len(violation.minimized.specs) <= 2
+            assert all(s.kind.startswith("byzantine_")
+                       for s in violation.minimized.specs)
+        # every byzantine atom slips past the blinded attestor
+        kinds = {s.kind for v in missed for s in v.minimized.specs}
+        assert kinds == {"byzantine_scale", "byzantine_signflip",
+                         "byzantine_stale", "byzantine_drift"}
+
+    def test_evasion_hunt_is_deterministic(self):
+        first = run_campaign(self.SPEC, harness=BlindClusterHarness())
+        second = run_campaign(self.SPEC, harness=BlindClusterHarness())
+        assert [(v.oracle, v.schedule_index, v.minimized.specs)
+                for v in first.violations] \
+            == [(v.oracle, v.schedule_index, v.minimized.specs)
+                for v in second.violations]
+
+    def test_healthy_attestor_catches_every_atom(self):
+        # the same schedules on the real ClusterHarness stay green:
+        # the fixture's blindness, not the atoms, is the bug
+        result = run_campaign(self.SPEC)
+        assert result.ok, [v.to_json() for v in result.violations]
 
 
 class TestEnumeration:

@@ -44,6 +44,15 @@ SCENARIOS = {
         config=dict(workers=WORKERS, strategy="allreduce"),
         faults=[ClusterFaultSpec("partition", link=(0, 1), step=1,
                                  duration_steps=1)]),
+    # A persistent 64x-scaled liar: attestation convicts it every step
+    # and screened_mean swaps in the clean recompute, so even this
+    # scenario is held to *bitwise* transparency. Three workers, not
+    # two — a majority of honest peers keeps the norm median honest.
+    "byzantine-screened": dict(
+        config=dict(workers=3, aggregation="screened_mean"),
+        faults=[ClusterFaultSpec("byzantine_scale", worker=1,
+                                 scale_factor=64.0,
+                                 max_triggers=None)]),
 }
 
 
@@ -123,6 +132,76 @@ class TestChaosMatrix:
     @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
     def test_chaos_is_transparent(self, name, scenario):
         assert_chaos_transparent(name, scenario)
+
+
+EVICTION_STEPS = 5
+
+
+def assert_byzantine_trail(name):
+    """One persistent liar among three: the suspect → quarantine →
+    evict → leave trail is identical on every workload, and the
+    committed pre-eviction trajectory is bitwise fault-free."""
+    config = dict(workers=3, aggregation="screened_mean")
+    faults = [ClusterFaultSpec("byzantine_scale", worker=1,
+                               scale_factor=64.0, max_triggers=None)]
+    clean = ClusterRuntime(
+        make_model(name),
+        config=ClusterConfig(seed=0, **config)).run(EVICTION_STEPS)
+    runtime = ClusterRuntime(
+        make_model(name), config=ClusterConfig(seed=0, **config),
+        faults=ClusterFaultPlan(faults, seed=0))
+    result = runtime.run(EVICTION_STEPS)
+    suspects = result.events_of("gradient_suspect")
+    assert [e.step for e in suspects] == [0, 1, 2, 3], \
+        f"{name}: detection latency crept above zero"
+    assert all(e.worker == 1 for e in suspects)
+    assert [e.step for e in result.events_of("quarantine")] == [1]
+    assert [e.step for e in result.events_of("evict")] == [3]
+    assert [e.step for e in result.events_of("leave")] == [4]
+    assert sorted(runtime.workers) == [0, 2]
+    assert result.losses[:4] == clean.losses[:4], \
+        f"{name}: screening perturbed the committed trajectory"
+
+
+def assert_robust_aggregation_converges(name):
+    """f=1 < n/2 liar under trimmed_mean and coordinate_median (no
+    attestation): the robust estimators keep training on course."""
+    clean = cluster_losses(name, workers=3)
+    faults = [ClusterFaultSpec("byzantine_scale", worker=1,
+                               scale_factor=64.0, max_triggers=None)]
+    for aggregation in ("trimmed_mean", "coordinate_median"):
+        result = cluster_losses(name, workers=3, faults=faults,
+                                aggregation=aggregation)
+        assert all(np.isfinite(result.losses)), f"{name}/{aggregation}"
+        assert result.losses[-1] == pytest.approx(clean.losses[-1],
+                                                  rel=0.25), \
+            f"{name}/{aggregation}: diverged from the fault-free loss"
+
+
+class TestByzantineFast:
+    """Tier-1: detection/eviction trails + robust aggregation on the
+    fast subset."""
+
+    @pytest.mark.parametrize("name", FAST_WORKLOADS)
+    def test_escalation_trail(self, name):
+        assert_byzantine_trail(name)
+
+    @pytest.mark.parametrize("name", FAST_WORKLOADS)
+    def test_robust_aggregation_converges(self, name):
+        assert_robust_aggregation_converges(name)
+
+
+@pytest.mark.chaos
+class TestByzantineMatrix:
+    """All eight workloads (pytest -m chaos)."""
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_escalation_trail(self, name):
+        assert_byzantine_trail(name)
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_robust_aggregation_converges(self, name):
+        assert_robust_aggregation_converges(name)
 
 
 class TestCorruptGradientScreen:
