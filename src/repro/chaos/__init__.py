@@ -1,6 +1,6 @@
 """Chaos campaign engine: systematic fault-space search with oracles.
 
-The package turns the stack's four fault-injection families into a
+The package turns the stack's five fault-injection families into a
 search problem: enumerate schedules, execute them on a harness adapter,
 judge every run against invariant oracles, and delta-debug violations
 down to minimal, replayable reproducers. See docs/robustness.md
@@ -14,7 +14,7 @@ from .campaign import (CampaignResult, CampaignSpec, Violation,
 from .events import CAMPAIGN_EVENT_KINDS, CampaignEvent
 from .harnesses import (HARNESSES, CampaignHarness, ClusterHarness,
                         FleetHarness, RunOutcome, ServingHarness,
-                        TrainingHarness, build_harness)
+                        StorageHarness, TrainingHarness, build_harness)
 from .minimize import MinimizeResult, ddmin
 from .oracles import ORACLES, Oracle, Verdict, oracles_for
 
@@ -32,6 +32,7 @@ __all__ = [
     "Oracle",
     "RunOutcome",
     "ServingHarness",
+    "StorageHarness",
     "TrainingHarness",
     "Verdict",
     "Violation",

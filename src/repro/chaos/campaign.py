@@ -45,7 +45,7 @@ class CampaignSpec:
 
     Args:
         harness: adapter name (``training``/``cluster``/``serving``/
-            ``fleet``).
+            ``fleet``/``storage``).
         workload: Fathom workload to drive.
         config: workload config name.
         steps: training steps per run (training/cluster harnesses);
@@ -64,6 +64,8 @@ class CampaignSpec:
             applicable oracle).
         sample_seed: RNG seed used only when the schedule space
             overflows the budget and must be sampled.
+        replicas: replica-store count (storage harness only); ``None``
+            keeps the harness default.
     """
 
     harness: str = "training"
@@ -76,6 +78,7 @@ class CampaignSpec:
     seeds: tuple[int, ...] = (0,)
     oracles: tuple[str, ...] | None = None
     sample_seed: int = 0
+    replicas: int | None = None
 
     def build_harness(self) -> CampaignHarness:
         kw = {"workload": self.workload, "config": self.config}
@@ -83,6 +86,8 @@ class CampaignSpec:
             kw["steps"] = self.steps
         if self.requests is not None:
             kw["requests"] = self.requests
+        if self.replicas is not None:
+            kw["replicas"] = self.replicas
         return build_harness(self.harness, **kw)
 
     def to_json(self) -> dict:
@@ -93,7 +98,8 @@ class CampaignSpec:
                 "seeds": list(self.seeds),
                 "oracles": (list(self.oracles)
                             if self.oracles is not None else None),
-                "sample_seed": self.sample_seed}
+                "sample_seed": self.sample_seed,
+                "replicas": self.replicas}
 
 
 @dataclass
@@ -346,10 +352,13 @@ def replay_reproducer(path: str | os.PathLike,
     A failing verdict means the violation still reproduces.
     """
     blob = load_reproducer(path)
+    kw = {}
+    if blob.get("replicas") is not None:
+        kw["replicas"] = blob["replicas"]
     harness = build_harness(blob["harness"], workload=blob["workload"],
                             config=blob["config"], seed=blob["seed"],
                             steps=blob["steps"],
-                            requests=blob["requests"])
+                            requests=blob["requests"], **kw)
     plan = plan_from_json(blob["plan"])
     names = (blob["oracle"],) if blob.get("oracle") else None
     oracles = oracles_for(harness.name, names)

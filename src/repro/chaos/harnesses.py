@@ -1,10 +1,10 @@
-"""Uniform campaign adapters over the four fault-injectable runtimes.
+"""Uniform campaign adapters over the five fault-injectable runtimes.
 
 The campaign engine needs to treat "run this fault schedule against
 that system" as one operation, whatever the system — resilient
 single-process training, the data-parallel cluster, one inference
-server, or the multi-zone fleet. Each adapter here wraps one runtime
-behind the same three-method surface:
+server, the multi-zone fleet, or the replicated checkpoint store. Each
+adapter here wraps one runtime behind the same three-method surface:
 
 * :meth:`CampaignHarness.run` — execute one fault plan (or none) on a
   fresh instance, entirely on the virtual clock, returning a
@@ -28,7 +28,8 @@ from repro.framework.faults import (BaseFaultPlan, BaseFaultSpec,
                                     ClusterFaultPlan, ClusterFaultSpec,
                                     FaultPlan, FaultSpec, FleetFaultPlan,
                                     FleetFaultSpec, ServingFaultPlan,
-                                    ServingFaultSpec)
+                                    ServingFaultSpec, StorageFaultPlan,
+                                    StorageFaultSpec)
 
 
 @dataclass
@@ -397,11 +398,174 @@ class FleetHarness(CampaignHarness):
         ]
 
 
+class StorageHarness(CampaignHarness):
+    """Replicated checkpoint storage under storage faults.
+
+    Trains a workload while checkpointing every step through a
+    :class:`~repro.storage.ReplicatedCheckpointStore` over ``replicas``
+    in-memory blob stores, then — with the fault plan still armed —
+    restores every checkpoint that *committed* and checks it reproduces
+    the exact variable state it captured (per-variable SHA-256
+    digests). The durability contract the ``durability`` oracle judges:
+
+    * every committed checkpoint restores bitwise, whatever storage
+      faults fired (failover + read-repair must absorb them);
+    * a restore never yields *partial* state — the restored digests
+      match some checkpoint attempt exactly or the restore raises;
+    * restore-latest lands on a committed checkpoint at least as new
+      as the newest committed one.
+
+    Atomic faults deliberately spare the last store (id ``replicas-1``),
+    so with the default three replicas every single fault *and* every
+    fault pair leaves at least one intact copy — the campaign proves
+    the store survives them all. Rebuild with ``replicas=1`` and the
+    same atoms become violations (bit rot and torn writes defeat an
+    unreplicated archive), which is exactly the contrast the durability
+    matrix in the tests pins down.
+    """
+
+    name = "storage"
+    family = "storage"
+    PLAN_CLASS = StorageFaultPlan
+
+    #: per-blob-operation cost on the virtual clock
+    op_seconds = 0.001
+    #: scrub cadence in virtual seconds (~every other training step)
+    scrub_interval = 0.015
+
+    def __init__(self, workload: str = "memnet", config: str = "tiny",
+                 seed: int = 0, steps: int = 4, requests: int = 24,
+                 replicas: int = 3):
+        super().__init__(workload, config, seed, steps, requests)
+        self.replicas = replicas
+
+    def describe(self) -> dict:
+        blob = super().describe()
+        blob["replicas"] = self.replicas
+        return blob
+
+    def run(self, plan) -> RunOutcome:
+        from repro.framework.clock import VirtualClock
+        from repro.framework.checkpoint import CheckpointError
+        from repro.framework.errors import StorageError
+        from repro.profiling.tracer import Tracer
+        from repro.storage import (CheckpointQuorumError, MemoryStore,
+                                   ReplicatedCheckpointStore,
+                                   state_digests)
+        model = self._model()
+        tracer = Tracer()
+        clock = VirtualClock()
+        store = ReplicatedCheckpointStore(
+            [MemoryStore(i, clock, op_seconds=self.op_seconds)
+             for i in range(self.replicas)],
+            scrub_interval=self.scrub_interval, tracer=tracer)
+        injector = None
+        if plan is not None:
+            injector = store.install_faults(plan)
+        losses: list[float] = []
+        attempts: list[dict] = []
+        restores: list[dict] = []
+        latest: dict = {}
+        error = None
+        try:
+            for step in range(self.steps):
+                feed = model.sample_feed(training=True)
+                loss, _ = model.session.run(
+                    [model.loss, model.train_step], feed_dict=feed,
+                    tracer=tracer)
+                losses.append(float(loss))
+                digests = state_digests(model.session)
+                try:
+                    record = store.save(model.session, step=step)
+                except CheckpointQuorumError as exc:
+                    attempts.append(
+                        {"id": exc.record.checkpoint_id,
+                         "committed": False, "digests": digests,
+                         "detail": str(exc)})
+                except StorageError as exc:
+                    attempts.append(
+                        {"id": None, "committed": False,
+                         "digests": digests, "detail": str(exc)})
+                else:
+                    attempts.append(
+                        {"id": record.checkpoint_id, "committed": True,
+                         "digests": digests})
+            # Verification phase, faults still armed: every committed
+            # checkpoint must restore to the exact state it captured.
+            probe = self._model()
+            for attempt in attempts:
+                if not attempt["committed"]:
+                    continue
+                entry = {"id": attempt["id"], "ok": False, "detail": ""}
+                try:
+                    store.restore(probe.session, attempt["id"])
+                except (StorageError, CheckpointError) as exc:
+                    entry["detail"] = f"{type(exc).__name__}: {exc}"
+                else:
+                    if state_digests(probe.session) == attempt["digests"]:
+                        entry["ok"] = True
+                    else:
+                        entry["detail"] = ("restored state differs from "
+                                           "the state at save time")
+                restores.append(entry)
+            # Restore-latest must land exactly on some attempt's state.
+            latest = {"ok": False, "id": None, "matches": None,
+                      "detail": ""}
+            try:
+                record = store.restore(probe.session)
+            except (StorageError, CheckpointError) as exc:
+                latest["detail"] = f"{type(exc).__name__}: {exc}"
+            else:
+                latest["ok"] = True
+                latest["id"] = record.checkpoint_id
+                restored = state_digests(probe.session)
+                for attempt in attempts:
+                    if attempt["digests"] == restored:
+                        latest["matches"] = attempt["id"]
+                        break
+        except Exception as exc:  # a dead harness is itself an outcome
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            store.uninstall_faults()
+        return RunOutcome(
+            harness=self.name, plan=plan, losses=losses, tracer=tracer,
+            counters=dict(store.counters),
+            injected=injector.signature() if injector is not None else (),
+            error=error, elapsed=clock.now(), model=model,
+            extras={"durability": {
+                "replicas": self.replicas,
+                "attempts": attempts,
+                "restores": restores,
+                "latest": latest,
+                "scrub_heals": store.counters["scrub_heals"],
+                "unrecoverable": store.counters["unrecoverable"]}})
+
+    def atomic_specs(self) -> list[StorageFaultSpec]:
+        # Every atom targets stores 0 or 1, never the last store — so
+        # at N=3 replication each single fault and each fault pair
+        # leaves one clean replica and the durability contract must
+        # hold. 8 atoms -> 8 + C(8,2) = 36 schedules, within the
+        # standard budget of 40.
+        return [
+            StorageFaultSpec("torn_write", store=0,
+                             key_pattern="payload", fraction=0.5),
+            StorageFaultSpec("torn_write", store=1,
+                             key_pattern="payload", fraction=0.25),
+            StorageFaultSpec("bit_rot", store=0, key_pattern="payload"),
+            StorageFaultSpec("bit_rot", store=1, key_pattern="payload"),
+            StorageFaultSpec("stale_read", store=0),
+            StorageFaultSpec("disk_full", store=1),
+            StorageFaultSpec("slow_io", store=0, latency_seconds=0.01,
+                             max_triggers=4),
+            StorageFaultSpec("store_down", store=1, duration_ops=6),
+        ]
+
+
 #: harness name -> adapter class (the CLI's --harness choices)
 HARNESSES: dict[str, type[CampaignHarness]] = {
     cls.name: cls
     for cls in (TrainingHarness, ClusterHarness, ServingHarness,
-                FleetHarness)
+                FleetHarness, StorageHarness)
 }
 
 

@@ -262,7 +262,7 @@ class LivelockOracle(Oracle):
     """
 
     name = "livelock"
-    harnesses = ("training", "cluster", "serving", "fleet")
+    harnesses = ("training", "cluster", "serving", "fleet", "storage")
     summary = "the run terminates with bounded virtual time and full output"
 
     #: virtual-seconds ceiling, far above any healthy run on these
@@ -349,13 +349,75 @@ class TraceWellFormedOracle(Oracle):
         return self._verdict(True)
 
 
+class DurabilityOracle(Oracle):
+    """Committed checkpoints restore bitwise; commits are atomic.
+
+    The storage contract the tentpole promises (judged against the
+    ``durability`` extras the storage harness records):
+
+    * every checkpoint that *committed* (reached its write quorum)
+      restores to the exact per-variable state it captured — whatever
+      torn writes, bit rot, stale reads, or outages the schedule threw
+      at the replicas;
+    * a restore never exposes partial state: restore-latest lands
+      bitwise on *some* checkpoint attempt (old state or new state,
+      nothing in between);
+    * restore-latest never silently falls back *behind* the newest
+      committed checkpoint.
+
+    Uncommitted attempts carry no durability promise — a failed quorum
+    raised at save time, which is the contract working as designed.
+    """
+
+    name = "durability"
+    harnesses = ("storage",)
+    summary = ("every committed checkpoint restores bitwise under "
+               "injected storage faults; commits are all-or-nothing")
+
+    def check(self, outcome, baseline, harness):
+        if outcome.error is not None:
+            return self._verdict(False, f"run died: {outcome.error}")
+        durability = outcome.extras.get("durability")
+        if durability is None:
+            return self._verdict(False, "no durability record in outcome")
+        for entry in durability["restores"]:
+            if not entry["ok"]:
+                return self._verdict(
+                    False, f"committed checkpoint {entry['id']} did not "
+                           f"restore bitwise: {entry['detail']}")
+        committed = [a["id"] for a in durability["attempts"]
+                     if a["committed"]]
+        latest = durability["latest"]
+        if committed:
+            if not latest["ok"]:
+                return self._verdict(
+                    False, f"restore-latest failed with "
+                           f"{len(committed)} committed checkpoints "
+                           f"available: {latest['detail']}")
+            if latest["matches"] is None:
+                return self._verdict(
+                    False, f"restore-latest (checkpoint {latest['id']}) "
+                           f"produced state matching no checkpoint "
+                           f"attempt — partial restore")
+            if latest["matches"] < max(committed):
+                return self._verdict(
+                    False, f"restore-latest landed on state of attempt "
+                           f"{latest['matches']}, behind the newest "
+                           f"committed checkpoint {max(committed)}")
+        elif latest["ok"] and latest["matches"] is None:
+            return self._verdict(
+                False, "restore-latest succeeded with nothing committed "
+                       "but matches no attempt's state — partial restore")
+        return self._verdict(True)
+
+
 #: oracle name -> instance (the CLI's --oracle choices)
 ORACLES: dict[str, Oracle] = {
     oracle.name: oracle
     for oracle in (TerminalRepliesOracle(), BitIdentityOracle(),
                    ConvergenceOracle(), ByzantineDetectionOracle(),
                    CheckpointRestoreOracle(), LivelockOracle(),
-                   TraceWellFormedOracle())
+                   TraceWellFormedOracle(), DurabilityOracle())
 }
 
 

@@ -211,7 +211,36 @@ def _build(args):
     return model
 
 
+def _probe_writable_dir(directory: str, flag: str) -> bool:
+    """Fail fast on an unusable checkpoint location, before step 0.
+
+    Creates the directory if needed and proves writability with a probe
+    file, so a typo'd or read-only path costs one friendly line instead
+    of an exception mid-training.
+    """
+    import tempfile
+    try:
+        os.makedirs(directory or ".", exist_ok=True)
+        fd, probe = tempfile.mkstemp(dir=directory or ".",
+                                     prefix=".repro-probe-")
+        os.close(fd)
+        os.unlink(probe)
+    except OSError as exc:
+        print(f"error: {flag} path {directory!r} is not writable: "
+              f"{exc.strerror or exc}", file=sys.stderr)
+        return False
+    return True
+
+
 def cmd_run(args) -> int:
+    checkpoint_replicas = getattr(args, "checkpoint_replicas", 1)
+    if args.checkpoint is not None:
+        # A replicated store roots a directory at the path; a plain
+        # checkpoint writes a file into its parent directory.
+        target = (args.checkpoint if checkpoint_replicas > 1
+                  else os.path.dirname(os.fspath(args.checkpoint)))
+        if not _probe_writable_dir(target, "--checkpoint"):
+            return 2
     model = _build(args)
     if getattr(args, "safe_mode", False):
         # Start at the lowest tier: op-at-a-time exception capture with
@@ -224,12 +253,21 @@ def cmd_run(args) -> int:
         if resilient:
             from repro.framework.resilience import (ResilienceConfig,
                                                     ResilientRunner)
+            checkpoint_store = None
+            checkpoint_path = args.checkpoint
+            if args.checkpoint is not None and checkpoint_replicas > 1:
+                from repro.storage import open_local_store
+                checkpoint_store = open_local_store(
+                    args.checkpoint, replicas=checkpoint_replicas,
+                    scrub_interval=getattr(args, "scrub_interval", None))
+                checkpoint_path = None
             config = ResilienceConfig(
                 max_retries=(args.max_retries
                              if args.max_retries is not None else 2),
                 backoff_base=0.05,
                 resume_from=args.resume,
-                checkpoint_path=args.checkpoint,
+                checkpoint_path=checkpoint_path,
+                checkpoint_store=checkpoint_store,
                 checkpoint_every=(args.checkpoint_every
                                   or (10 if args.checkpoint else 0)),
                 healing=healing or None)
@@ -268,6 +306,10 @@ def cmd_train(args) -> int:
     if not _check_preset(args.cluster_faults, CLUSTER_FAULT_PRESETS,
                          "train"):
         return 2
+    if args.checkpoint_dir is not None \
+            and not _probe_writable_dir(os.fspath(args.checkpoint_dir),
+                                        "--checkpoint-dir"):
+        return 2
     model = _build(args)
     tracer = Tracer()
     try:
@@ -277,7 +319,9 @@ def cmd_train(args) -> int:
             seed=args.seed, aggregation=args.aggregation, trim=args.trim,
             checkpoint_every=(args.checkpoint_every
                               or (10 if args.checkpoint_dir else 0)),
-            checkpoint_dir=args.checkpoint_dir)
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_replicas=args.checkpoint_replicas,
+            scrub_interval=args.scrub_interval)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -491,7 +535,7 @@ def cmd_chaos_run(args) -> int:
         budget=args.budget, max_faults=args.max_faults,
         seeds=tuple(int(s) for s in args.seeds.split(",")),
         oracles=tuple(args.oracle) if args.oracle else None,
-        sample_seed=args.sample_seed)
+        sample_seed=args.sample_seed, replicas=args.replicas)
     harness = spec.build_harness()
     extra_plans = (_campaign_preset_plans(harness)
                    if args.include_presets else ())
@@ -546,10 +590,13 @@ def cmd_chaos_minimize(args) -> int:
     from repro.chaos.campaign import build_harness
     from repro.framework.faults import plan_from_json
     blob = load_reproducer(args.reproducer)
+    kw = {}
+    if blob.get("replicas") is not None:
+        kw["replicas"] = blob["replicas"]
     harness = build_harness(
         blob["harness"], workload=blob["workload"],
         config=blob["config"], seed=blob["seed"], steps=blob["steps"],
-        requests=blob["requests"])
+        requests=blob["requests"], **kw)
     plan = plan_from_json(blob["plan"])
     violation = Violation(schedule_index=0, plan=plan,
                           oracle=blob["oracle"], detail=blob["detail"])
@@ -852,7 +899,9 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=["train", "infer"])
     run_parser.add_argument("--resume", metavar="CKPT",
                             help="restore variables from this checkpoint "
-                                 "before running")
+                                 "before running (or 'latest' to restore "
+                                 "the newest intact archive when "
+                                 "--checkpoint-replicas > 1)")
     run_parser.add_argument("--max-retries", type=int, default=None,
                             help="retry failed training steps this many "
                                  "times (enables the resilient runner)")
@@ -863,6 +912,17 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="N",
                             help="checkpoint cadence in steps "
                                  "(default 10 when --checkpoint is set)")
+    run_parser.add_argument("--checkpoint-replicas", type=int, default=1,
+                            metavar="N",
+                            help="quorum-write each checkpoint to N "
+                                 "replica stores rooted at --checkpoint "
+                                 "(digest-verified, self-repairing; "
+                                 "default 1 = a single plain file)")
+    run_parser.add_argument("--scrub-interval", type=float, default=None,
+                            metavar="SECONDS",
+                            help="background scrub cadence for the "
+                                 "replicated checkpoint archive "
+                                 "(detects and heals bit rot)")
     run_parser.add_argument("--healing", action="store_true",
                             help="self-heal failed steps: blame-localize, "
                                  "de-optimize to safer plan tiers, "
@@ -917,6 +977,16 @@ def build_parser() -> argparse.ArgumentParser:
                               help="coordinated checkpoint cadence "
                                    "(default 10 when --checkpoint-dir "
                                    "is set)")
+    train_parser.add_argument("--checkpoint-replicas", type=int,
+                              default=1, metavar="N",
+                              help="quorum-write each coordinated "
+                                   "checkpoint to N replica stores under "
+                                   "--checkpoint-dir (default 1 = a "
+                                   "single plain archive)")
+    train_parser.add_argument("--scrub-interval", type=float,
+                              default=None, metavar="SECONDS",
+                              help="background scrub cadence for the "
+                                   "replicated checkpoint archive")
     train_parser.add_argument("--verify-identity", action="store_true",
                               help="also run the single-worker reference "
                                    "and assert bit-identical losses")
@@ -1034,8 +1104,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "minimize violations")
     chaos_run.add_argument("--harness", default="training",
                            metavar="NAME",
-                           help="training, cluster, serving, or fleet "
-                                "(see --list-harnesses)")
+                           help="training, cluster, serving, fleet, or "
+                                "storage (see --list-harnesses)")
     chaos_run.add_argument("--workload", default="memnet")
     chaos_run.add_argument("--config", default="tiny")
     chaos_run.add_argument("--steps", type=int, default=None,
@@ -1054,6 +1124,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="comma-separated plan seeds each "
                                 "schedule is crossed with")
     chaos_run.add_argument("--sample-seed", type=int, default=0)
+    chaos_run.add_argument("--replicas", type=int, default=None,
+                           metavar="N",
+                           help="replication factor for the storage "
+                                "harness (default: harness default)")
     chaos_run.add_argument("--oracle", action="append", default=None,
                            metavar="NAME",
                            help="restrict to this oracle (repeatable; "

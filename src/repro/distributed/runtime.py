@@ -97,6 +97,15 @@ class ClusterConfig:
             (0 = only the initial snapshot).
         checkpoint_dir: when set, coordinated checkpoints are also
             persisted here (atomic CRC32 archives + a JSON manifest).
+        checkpoint_replicas: with ``checkpoint_replicas > 1`` each
+            coordinated checkpoint is quorum-written to this many
+            replica blob stores under ``checkpoint_dir`` (via
+            :class:`repro.storage.ReplicatedCheckpointStore`) instead
+            of one bare file — surviving torn writes and bit rot on a
+            minority of replicas.
+        scrub_interval: clock seconds between background scrub passes
+            over the replicated archive (``None`` = no scrubbing; only
+            meaningful with ``checkpoint_replicas > 1``).
         message_timeout: receiver wait before declaring a delivery lost.
         max_retries: retransmits per message before the exchange fails.
         backoff_base: first retransmit backoff (jittered per worker).
@@ -130,6 +139,8 @@ class ClusterConfig:
     seed: int = 0
     checkpoint_every: int = 0
     checkpoint_dir: str | os.PathLike | None = None
+    checkpoint_replicas: int = 1
+    scrub_interval: float | None = None
     message_timeout: float = 0.05
     max_retries: int = 3
     backoff_base: float = 0.01
@@ -163,6 +174,12 @@ class ClusterConfig:
                              "aggregation='trimmed_mean'")
         if self.trim is not None and self.trim < 0:
             raise ValueError(f"trim must be >= 0, got {self.trim}")
+        if self.checkpoint_replicas < 1:
+            raise ValueError(f"checkpoint_replicas must be >= 1, got "
+                             f"{self.checkpoint_replicas}")
+        if self.scrub_interval is not None and self.scrub_interval <= 0:
+            raise ValueError(f"scrub_interval must be > 0, got "
+                             f"{self.scrub_interval}")
 
 
 @dataclass(frozen=True)
@@ -395,21 +412,43 @@ class ClusterRuntime:
         if emit:
             self._emit_kw(step, "checkpoint", detail=detail)
 
+    def _checkpoint_store(self):
+        """The replicated archive under ``checkpoint_dir`` (lazy)."""
+        if getattr(self, "_ckpt_store", None) is None:
+            from repro.storage import open_local_store
+            self._ckpt_store = open_local_store(
+                os.fspath(self.config.checkpoint_dir),
+                replicas=self.config.checkpoint_replicas,
+                scrub_interval=self.config.scrub_interval,
+                tracer=self.tracer)
+        return self._ckpt_store
+
     def _persist_checkpoint(self, step: int) -> str:
         directory = os.fspath(self.config.checkpoint_dir)
         os.makedirs(directory, exist_ok=True)
-        path = os.path.join(directory, f"cluster-step{step:06d}.npz")
-        checkpoint_lib.save(self._any_worker().session, path)
         manifest = {"kind": "repro-cluster-checkpoint", "step": step,
                     "workers": len(self._primary_ids),
                     "strategy": self.config.strategy,
                     "seed": self.config.seed,
-                    "shard_batch": self.pipeline.shard_batch,
-                    "checkpoint": os.path.basename(path)}
+                    "shard_batch": self.pipeline.shard_batch}
+        if self.config.checkpoint_replicas > 1:
+            record = self._checkpoint_store().save(
+                self._any_worker().session, step=step)
+            manifest["storage"] = {
+                "replicas": self.config.checkpoint_replicas,
+                "checkpoint_id": record.checkpoint_id,
+                "digest": record.digest}
+            detail = (f"replicated checkpoint {record.checkpoint_id} "
+                      f"({record.replicas} replicas)")
+        else:
+            path = os.path.join(directory, f"cluster-step{step:06d}.npz")
+            checkpoint_lib.save(self._any_worker().session, path)
+            manifest["checkpoint"] = os.path.basename(path)
+            detail = path
         manifest_path = os.path.join(directory, MANIFEST_NAME)
         with open(manifest_path, "w") as handle:
             json.dump(manifest, handle, indent=2, sort_keys=True)
-        return path
+        return detail
 
     # -- crash recovery -----------------------------------------------------
 
@@ -777,11 +816,23 @@ def restore_cluster(model: FathomModel,
         raise ValueError(f"{manifest_path}: not a cluster checkpoint "
                          f"manifest")
     runtime = ClusterRuntime(model, config=config, **kw)
-    archive = os.path.join(directory, manifest["checkpoint"])
-    for worker in runtime.workers.values():
-        checkpoint_lib.restore(worker.session, archive)
-    if runtime._server is not None:
-        checkpoint_lib.restore(runtime._server.session, archive)
+    if "storage" in manifest:
+        # Replicated archive: restore through the durable store, which
+        # digest-verifies and fails over/repairs damaged replicas.
+        from repro.storage import open_local_store
+        store = open_local_store(
+            directory, replicas=manifest["storage"]["replicas"])
+        checkpoint_id = manifest["storage"]["checkpoint_id"]
+        for worker in runtime.workers.values():
+            store.restore(worker.session, checkpoint_id)
+        if runtime._server is not None:
+            store.restore(runtime._server.session, checkpoint_id)
+    else:
+        archive = os.path.join(directory, manifest["checkpoint"])
+        for worker in runtime.workers.values():
+            checkpoint_lib.restore(worker.session, archive)
+        if runtime._server is not None:
+            checkpoint_lib.restore(runtime._server.session, archive)
     # Re-anchor recovery on the restored state.
     runtime._snapshot = runtime._any_worker().snapshot()
     runtime._snapshot_step = 0

@@ -11,10 +11,16 @@ Integrity: every save records a CRC32 checksum per variable payload
 :class:`CheckpointCorruptError` naming the offending variable when a
 payload was corrupted after save. Checkpoints written before checksums
 existed still restore (no checksum table, nothing to verify).
+
+The archive format is available in two transports: files
+(:func:`save` / :func:`restore`, atomic temp-and-rename writes) and raw
+bytes (:func:`save_bytes` / :func:`restore_bytes`) — the latter is what
+:mod:`repro.storage` replicates, digests, and scrubs across blob stores.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import tempfile
@@ -63,63 +69,93 @@ def _graph_variables(graph: Graph) -> dict[str, VariableOp]:
             if isinstance(op, VariableOp)}
 
 
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The bytes land in a temporary file in the target directory, are
+    fsynced, and are moved into place in one step — so a crash mid-write
+    can never leave a truncated or corrupt file behind, and the previous
+    contents (if any) survive untouched. The temporary file is removed
+    in a ``finally`` whenever the rename did not happen, whatever the
+    interrupting exception was.
+    """
+    final = os.fspath(path)
+    directory = os.path.dirname(final) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(final) + ".",
+                               suffix=".tmp")
+    committed = False
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+        committed = True
+    finally:
+        if not committed:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def _archive_arrays(session: Session) -> dict[str, np.ndarray]:
+    """Every variable's current value plus the CRC32 checksum payload."""
+    variables = _graph_variables(session.graph)
+    arrays = {name: session.variable_value(op.output)
+              for name, op in variables.items()}
+    # Per-variable CRC32 checksums, stored as a reserved JSON payload in
+    # the archive and verified on restore (see CheckpointCorruptError).
+    checksums = {name: _array_crc32(value)
+                 for name, value in arrays.items()}
+    arrays[_CHECKSUM_KEY] = np.frombuffer(
+        json.dumps(checksums, sort_keys=True).encode("utf-8"),
+        dtype=np.uint8).copy()
+    return arrays
+
+
+def save_bytes(session: Session) -> bytes:
+    """Serialize every variable's current value to ``.npz`` bytes.
+
+    Same archive format as :func:`save`, minus the filesystem: the
+    returned bytes restore through :func:`restore_bytes` (or any
+    file-based restore after being written out verbatim).
+    """
+    buffer = io.BytesIO()
+    np.savez(buffer, **_archive_arrays(session))
+    return buffer.getvalue()
+
+
 def save(session: Session, path: str | os.PathLike) -> list[str]:
     """Write every variable's current value to ``path`` (.npz).
 
     Variables that were never touched are saved at their initial values.
     Returns the saved variable names.
 
-    The write is *atomic*: the archive is first written to a temporary
-    file in the same directory and then moved into place with
-    :func:`os.replace`, so a crash mid-save can never leave a truncated
-    or corrupt checkpoint behind — the previous checkpoint (if any)
-    survives untouched.
+    The write is *atomic* (see :func:`atomic_write_bytes`): a crash
+    mid-save can never leave a truncated or corrupt checkpoint behind —
+    the previous checkpoint (if any) survives untouched, and the
+    temporary file is cleaned up.
     """
-    variables = _graph_variables(session.graph)
-    arrays = {name: session.variable_value(op.output)
-              for name, op in variables.items()}
-    # Per-variable CRC32 checksums, stored as a reserved JSON payload in
-    # the archive and verified on restore (see CheckpointCorruptError).
-    checksums = {name: _array_crc32(value) for name, value in arrays.items()}
-    arrays[_CHECKSUM_KEY] = np.frombuffer(
-        json.dumps(checksums, sort_keys=True).encode("utf-8"),
-        dtype=np.uint8).copy()
+    arrays = _archive_arrays(session)
     final = os.fspath(path)
     if not final.endswith(".npz"):  # np.savez's own suffix convention
         final += ".npz"
-    directory = os.path.dirname(final) or "."
-    fd, tmp = tempfile.mkstemp(dir=directory,
-                               prefix=os.path.basename(final) + ".",
-                               suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            np.savez(handle, **arrays)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, final)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-    return sorted(checksums)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    atomic_write_bytes(final, buffer.getvalue())
+    return sorted(name for name in arrays if name != _CHECKSUM_KEY)
 
 
-def restore(session: Session, path: str | os.PathLike,
-            strict: bool = True) -> list[str]:
-    """Load variable values from ``path`` into ``session``.
+def _read_archive(source, label: str) -> dict[str, np.ndarray]:
+    """Decode an ``.npz`` archive (path or file-like) member by member.
 
-    Args:
-        strict: if True (default), every graph variable must be present
-            in the checkpoint and vice versa; if False, restore the
-            intersection.
-
-    Returns the restored variable names.
+    Localizes a single undecodable member to its variable name instead
+    of surfacing the numpy decode error.
     """
-    variables = _graph_variables(session.graph)
     try:
-        with np.load(path) as archive:
+        with np.load(source) as archive:
             names = list(archive.files)
             stored = {}
             for name in names:
@@ -127,17 +163,22 @@ def restore(session: Session, path: str | os.PathLike,
                     stored[name] = archive[name]
                 except (OSError, ValueError, zipfile.BadZipFile,
                         EOFError) as exc:
-                    # A single undecodable member: localize the blame
-                    # instead of surfacing the numpy decode error.
                     raise CheckpointCorruptError(
-                        f"checkpoint {os.fspath(path)!r}: variable "
+                        f"checkpoint {label!r}: variable "
                         f"{name!r} cannot be decoded: {exc}",
                         variable=name) from exc
     except CheckpointCorruptError:
         raise
-    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+    except (OSError, ValueError, zipfile.BadZipFile, EOFError) as exc:
         raise CheckpointError(
-            f"cannot read checkpoint {os.fspath(path)!r}: {exc}") from exc
+            f"cannot read checkpoint {label!r}: {exc}") from exc
+    return stored
+
+
+def _apply_stored(session: Session, stored: dict[str, np.ndarray],
+                  label: str, strict: bool) -> list[str]:
+    """Verify checksums and load ``stored`` arrays into ``session``."""
+    variables = _graph_variables(session.graph)
     checksums = None
     blob = stored.pop(_CHECKSUM_KEY, None)
     if blob is not None:
@@ -145,8 +186,26 @@ def restore(session: Session, path: str | os.PathLike,
             checksums = json.loads(bytes(blob).decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise CheckpointCorruptError(
-                f"checkpoint {os.fspath(path)!r}: checksum table is "
+                f"checkpoint {label!r}: checksum table is "
                 f"corrupt: {exc}", variable=_CHECKSUM_KEY) from exc
+    if checksums is not None:
+        # Archive self-consistency: the checksum table and the payloads
+        # must describe the same variable set. A divergence means the
+        # archive was assembled or damaged outside save() — name the
+        # offending variable rather than failing on a confusing
+        # missing/unexpected set difference against the graph below.
+        unbacked = sorted(set(checksums) - set(stored))
+        if unbacked:
+            raise CheckpointCorruptError(
+                f"checkpoint {label!r}: checksum table lists variable "
+                f"{unbacked[0]!r} but the archive holds no such payload",
+                variable=unbacked[0])
+        unlisted = sorted(set(stored) - set(checksums))
+        if unlisted:
+            raise CheckpointCorruptError(
+                f"checkpoint {label!r}: payload {unlisted[0]!r} is "
+                f"missing from the checksum table",
+                variable=unlisted[0])
     missing = sorted(set(variables) - set(stored))
     unexpected = sorted(set(stored) - set(variables))
     if strict and (missing or unexpected):
@@ -161,7 +220,7 @@ def restore(session: Session, path: str | os.PathLike,
             actual = _array_crc32(value)
             if actual != checksums[name]:
                 raise CheckpointCorruptError(
-                    f"checkpoint {os.fspath(path)!r}: variable {name!r} "
+                    f"checkpoint {label!r}: variable {name!r} "
                     f"failed its CRC32 check (stored "
                     f"{checksums[name]:#010x}, computed {actual:#010x}); "
                     f"the payload was corrupted after save",
@@ -173,3 +232,32 @@ def restore(session: Session, path: str | os.PathLike,
         session.set_variable(op.output, value)
         restored.append(name)
     return restored
+
+
+def restore(session: Session, path: str | os.PathLike,
+            strict: bool = True) -> list[str]:
+    """Load variable values from ``path`` into ``session``.
+
+    Args:
+        strict: if True (default), every graph variable must be present
+            in the checkpoint and vice versa; if False, restore the
+            intersection.
+
+    Returns the restored variable names.
+    """
+    label = os.fspath(path)
+    stored = _read_archive(path, label)
+    return _apply_stored(session, stored, label, strict)
+
+
+def restore_bytes(session: Session, data: bytes, strict: bool = True,
+                  source: str = "<bytes>") -> list[str]:
+    """Load variable values from :func:`save_bytes` output.
+
+    Args:
+        source: label used in error messages (e.g. a blob key).
+
+    Returns the restored variable names.
+    """
+    stored = _read_archive(io.BytesIO(data), source)
+    return _apply_stored(session, stored, source, strict)

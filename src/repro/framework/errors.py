@@ -152,6 +152,35 @@ class ReplicaCrashError(ExecutionError):
         self.injection_step = injection_step
 
 
+class StorageError(FrameworkError):
+    """Base class for errors raised by the blob-storage layer.
+
+    See :mod:`repro.storage`. Lives here (like :class:`ServingError`)
+    so the fault injector in :mod:`repro.framework.faults` can raise
+    storage failures without importing the storage package.
+    """
+
+
+class StoreUnavailableError(StorageError):
+    """A blob store refused every operation (outage, injected or real)."""
+
+
+class StorageFullError(StorageError):
+    """A blob store rejected a write for lack of space."""
+
+
+class BlobNotFoundError(StorageError):
+    """A requested blob does not exist (or is not yet visible).
+
+    Attributes:
+        key: the missing blob's key.
+    """
+
+    def __init__(self, message: str, key: str | None = None):
+        super().__init__(message)
+        self.key = key
+
+
 class FeedError(FrameworkError):
     """Raised when a required placeholder is not fed or a feed is invalid."""
 

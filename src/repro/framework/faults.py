@@ -2,7 +2,7 @@
 
 Fathom's workloads are long-running training jobs; hardening the stack
 (see :mod:`repro.framework.resilience`) requires a way to *provoke* the
-failures it must survive, reproducibly. Four fault families share one
+failures it must survive, reproducibly. Five fault families share one
 declarative core (:class:`BaseFaultSpec` / :class:`BaseFaultPlan` /
 :class:`BaseFaultInjector`):
 
@@ -18,7 +18,10 @@ declarative core (:class:`BaseFaultSpec` / :class:`BaseFaultPlan` /
   (:mod:`repro.serving.server`);
 * **fleet faults** (:class:`FleetFaultSpec`) — zone outages, correlated
   crashes, balancer blackholes, and defective rollouts against a
-  multi-zone fleet (:mod:`repro.serving.fleet`).
+  multi-zone fleet (:mod:`repro.serving.fleet`);
+* **storage faults** (:class:`StorageFaultSpec`) — torn writes, silent
+  bit rot, stale reads, full disks, slow I/O, and store outages against
+  the blob-storage layer checkpoints live on (:mod:`repro.storage`).
 
 Everything is deterministic given ``(plan, seed)``: probability draws
 come from a private seeded generator advanced in execution order, so
@@ -39,7 +42,8 @@ from typing import ClassVar
 
 import numpy as np
 
-from .errors import ExecutionError, ReplicaCrashError
+from .errors import (ExecutionError, ReplicaCrashError, StorageFullError,
+                     StoreUnavailableError)
 from .graph import Operation
 
 #: the supported fault kinds
@@ -63,6 +67,10 @@ BYZANTINE_FAULT_KINDS = ("byzantine_scale", "byzantine_signflip",
 CLUSTER_FAULT_KINDS = ("worker_crash", "straggler", "partition",
                        "lost_gradient", "corrupt_gradient") \
     + BYZANTINE_FAULT_KINDS
+
+#: fault kinds injected at the *storage* layer (see StorageFaultPlan)
+STORAGE_FAULT_KINDS = ("torn_write", "bit_rot", "stale_read",
+                       "disk_full", "slow_io", "store_down")
 
 
 class InjectedFault(ExecutionError):
@@ -1011,6 +1019,233 @@ class ServingFaultInjector(BaseFaultInjector):
 ServingFaultPlan.INJECTOR_CLASS = ServingFaultInjector
 
 
+# -- storage-path faults -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StorageFaultSpec(BaseFaultSpec):
+    """One declarative fault against the blob-storage layer.
+
+    Where the other families target computation, a storage fault targets
+    *durability* — the blob stores checkpoints live on
+    (:mod:`repro.storage`). Kinds (see :data:`STORAGE_FAULT_KINDS`):
+
+    * ``torn_write`` — a put silently persists only a prefix of its
+      bytes (models a crash mid-write on a store with no write barrier).
+      The store reports success; only a digest check can tell.
+    * ``bit_rot`` — flip one byte of a blob *at rest* (models silent
+      media decay). The corruption persists until read-repair or
+      scrubbing heals it from a surviving replica.
+    * ``stale_read`` — a get returns the key's previous version, or
+      raises :class:`~repro.framework.errors.BlobNotFoundError` when the
+      key was never overwritten (models an eventually-consistent store
+      that has not caught up).
+    * ``disk_full`` — a put raises
+      :class:`~repro.framework.errors.StorageFullError`.
+    * ``slow_io`` — the operation sleeps ``latency_seconds`` on the
+      store's clock before proceeding.
+    * ``store_down`` — the operation raises
+      :class:`~repro.framework.errors.StoreUnavailableError`, and the
+      store stays dark for the next ``duration_ops`` operations.
+
+    Args (beyond the :class:`BaseFaultSpec` trio):
+        store: only fault this store id (``None`` = any store).
+        key_pattern: only fault operations on keys matching this regex
+            (``re.search``); blobs at rest are eligible for ``bit_rot``
+            only when their key matches.
+        op_index: only fault at this global storage-operation index (the
+            injector counts put/get/delete operations across all
+            attached stores).
+        fraction: for ``torn_write``, the fraction of bytes that land.
+        latency_seconds: sleep duration for ``slow_io``.
+        duration_ops: how many operations ``store_down`` keeps the
+            store dark after firing.
+    """
+
+    store: int | None = None
+    key_pattern: str | None = None
+    op_index: int | None = None
+    fraction: float = 0.5
+    latency_seconds: float = 0.01
+    duration_ops: int = 4
+
+    KINDS: ClassVar[tuple[str, ...]] = STORAGE_FAULT_KINDS
+    FAMILY: ClassVar[str] = "storage"
+
+    def _validate(self):
+        if self.key_pattern is not None:
+            re.compile(self.key_pattern)  # fail fast on bad regexes
+        if not 0.0 <= self.fraction < 1.0:
+            raise ValueError(
+                f"fraction must be in [0, 1), got {self.fraction}")
+        if self.latency_seconds < 0:
+            raise ValueError(
+                f"latency_seconds must be >= 0, got {self.latency_seconds}")
+        if self.duration_ops < 1:
+            raise ValueError(
+                f"duration_ops must be >= 1, got {self.duration_ops}")
+
+
+class StorageFaultPlan(BaseFaultPlan):
+    """An immutable, seedable schedule of storage faults.
+
+    Install on a :class:`repro.storage.ReplicatedCheckpointStore` with
+    ``store.install_faults(plan)`` (or attach ``plan.injector()`` to
+    individual blob stores via ``attach_faults``).
+    """
+
+    SPEC_CLASS: ClassVar[type] = StorageFaultSpec
+
+
+class StorageFaultInjector(BaseFaultInjector):
+    """Executes a :class:`StorageFaultPlan` against live blob stores.
+
+    One injector is shared by every store in a replication group, so
+    ``op_index`` is a *global* storage-operation counter and a plan's
+    probability stream advances in cross-store execution order — two
+    identical runs see identical fault sequences. Stores consult:
+
+    * :meth:`on_op` at the start of every put/get/delete — raises for
+      ``store_down``/``disk_full``, sleeps for ``slow_io``;
+    * :meth:`corruptions` right after — at-rest ``bit_rot`` actions the
+      store applies to blobs it already holds;
+    * :meth:`on_put` / :meth:`on_get` around the data transfer —
+      ``torn_write`` truncation and ``stale_read`` substitution;
+    * :meth:`end_op` once the operation's matching window closes.
+
+    Fired faults are recorded as :class:`InjectionEvent` entries with
+    ``op_name`` set to ``"store:<id>:<key>"``.
+    """
+
+    def __init__(self, plan: StorageFaultPlan, clock=None):
+        super().__init__(plan)
+        self.clock = clock
+        self.op_index = 0
+        self._patterns = [re.compile(spec.key_pattern)
+                          if spec.key_pattern is not None else None
+                          for spec in self.plan.specs]
+        #: store id -> op_index (exclusive) until which it stays dark
+        self._down_until: dict[int, int] = {}
+
+    def attach_clock(self, clock) -> None:
+        """Late-bind the clock ``slow_io`` sleeps on (first one wins)."""
+        if self.clock is None:
+            self.clock = clock
+
+    # -- targeting ---------------------------------------------------------
+
+    def _matches(self, index: int, spec: StorageFaultSpec,
+                 store_id: int, key: str | None) -> bool:
+        if self._spent_trigger(index, spec):
+            return False
+        if spec.store is not None and spec.store != store_id:
+            return False
+        if spec.op_index is not None and spec.op_index != self.op_index:
+            return False
+        pattern = self._patterns[index]
+        if pattern is not None \
+                and (key is None or pattern.search(key) is None):
+            return False
+        return self._draw(spec)
+
+    def _fire(self, index: int, spec: StorageFaultSpec, store_id: int,
+              key: str | None) -> None:
+        self._record(index, spec.kind, self.op_index,
+                     f"store:{store_id}:{key}")
+
+    # -- store hook points -------------------------------------------------
+
+    def on_op(self, store_id: int, op: str, key: str | None = None) -> None:
+        """Gate one storage operation: outages, full disks, slow I/O."""
+        until = self._down_until.get(store_id, 0)
+        if until > self.op_index:
+            raise StoreUnavailableError(
+                f"store {store_id} is unavailable (injected outage, "
+                f"{until - self.op_index} op(s) remaining)")
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind == "slow_io" \
+                    and self._matches(index, spec, store_id, key):
+                self._fire(index, spec, store_id, key)
+                if self.clock is not None:
+                    self.clock.sleep(spec.latency_seconds)
+            elif spec.kind == "store_down" \
+                    and self._matches(index, spec, store_id, key):
+                self._fire(index, spec, store_id, key)
+                self._down_until[store_id] = \
+                    self.op_index + 1 + spec.duration_ops
+                raise StoreUnavailableError(
+                    f"store {store_id} went dark (injected, spec {index}, "
+                    f"op {self.op_index})")
+            elif spec.kind == "disk_full" and op == "put" \
+                    and self._matches(index, spec, store_id, key):
+                self._fire(index, spec, store_id, key)
+                raise StorageFullError(
+                    f"store {store_id}: no space left on device "
+                    f"(injected, spec {index}, op {self.op_index})")
+
+    def corruptions(self, store_id: int,
+                    keys: tuple) -> list[tuple[str, int]]:
+        """At-rest ``bit_rot`` actions: ``(key, position_seed)`` pairs.
+
+        The store applies each by flipping the byte at
+        ``position_seed % len(blob)``. The newest matching blob is
+        chosen (keys embed monotonic checkpoint ids, so lexicographic
+        max is newest); nothing fires — and no probability is drawn —
+        while no blob at rest matches the spec's key pattern.
+        """
+        actions: list[tuple[str, int]] = []
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind != "bit_rot" or self._spent_trigger(index, spec):
+                continue
+            if spec.store is not None and spec.store != store_id:
+                continue
+            if spec.op_index is not None \
+                    and spec.op_index != self.op_index:
+                continue
+            pattern = self._patterns[index]
+            candidates = [k for k in keys
+                          if pattern is None or pattern.search(k)]
+            if not candidates or not self._draw(spec):
+                continue
+            key = max(candidates)
+            self._fire(index, spec, store_id, key)
+            actions.append((key, int(self._rng.integers(1 << 30))))
+        return actions
+
+    def on_put(self, store_id: int, key: str, data: bytes) -> bytes:
+        """Possibly tear a write: only a prefix of the bytes lands."""
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind != "torn_write" \
+                    or not self._matches(index, spec, store_id, key):
+                continue
+            self._fire(index, spec, store_id, key)
+            data = data[:int(len(data) * spec.fraction)]
+        return data
+
+    def on_get(self, store_id: int, key: str, data: bytes,
+               previous: bytes | None) -> bytes:
+        """Possibly serve a stale view of the key."""
+        from .errors import BlobNotFoundError
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind != "stale_read" \
+                    or not self._matches(index, spec, store_id, key):
+                continue
+            self._fire(index, spec, store_id, key)
+            if previous is not None:
+                data = previous
+            else:
+                raise BlobNotFoundError(
+                    f"store {store_id}: blob {key!r} not yet visible "
+                    f"(injected stale read, spec {index})", key=key)
+        return data
+
+    def end_op(self) -> None:
+        self.op_index += 1
+
+
+StorageFaultPlan.INJECTOR_CLASS = StorageFaultInjector
+
+
 # -- plan serialization ------------------------------------------------------
 
 #: family name -> plan class, for replay-file round-trips
@@ -1019,6 +1254,7 @@ FAULT_FAMILIES: dict[str, type[BaseFaultPlan]] = {
     "cluster": ClusterFaultPlan,
     "serving": ServingFaultPlan,
     "fleet": FleetFaultPlan,
+    "storage": StorageFaultPlan,
 }
 
 

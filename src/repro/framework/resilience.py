@@ -70,8 +70,9 @@ class FailureEvent:
     (persistently poisoned step dropped), ``restore`` (last-good
     checkpoint restored after retries were exhausted), ``watchdog``
     (step exceeded its wall-clock budget), ``checkpoint`` (periodic
-    checkpoint written), ``resume`` (training resumed from a checkpoint
-    file).
+    checkpoint written), ``checkpoint_failed`` (a durable checkpoint
+    missed its write quorum; training continued), ``resume`` (training
+    resumed from a checkpoint file or the replicated store).
     """
 
     step: int
@@ -172,9 +173,17 @@ class ResilienceConfig:
             those flagged ``transient``.
         checkpoint_path: where periodic checkpoints are written (``None``
             keeps last-good state in memory only).
+        checkpoint_store: a :class:`repro.storage.
+            ReplicatedCheckpointStore` periodic checkpoints are
+            quorum-written to instead of (or alongside) the file path —
+            the durable option: replicated, digest-verified,
+            self-scrubbing. A failed quorum is a recoverable event
+            (training continues; the checkpoint is just not durable).
         checkpoint_every: checkpoint cadence in steps (0 disables).
         watchdog_seconds: per-step wall-clock budget (None disables).
-        resume_from: checkpoint file restored before the first step.
+        resume_from: checkpoint file restored before the first step —
+            or, with a ``checkpoint_store``, the string ``"latest"`` to
+            restore the newest intact archived checkpoint.
         healing: enable self-healing (``True`` for
             :class:`~repro.framework.session.HealingConfig` defaults, or
             a config instance): plan-step failures are blame-localized
@@ -194,6 +203,7 @@ class ResilienceConfig:
     check_numerics: bool = False
     retry_all_execution_errors: bool = False
     checkpoint_path: str | os.PathLike | None = None
+    checkpoint_store: Any = None
     checkpoint_every: int = 0
     watchdog_seconds: float | None = None
     resume_from: str | os.PathLike | None = None
@@ -327,11 +337,21 @@ class ResilientRunner:
         session = self.model.session
         config = self.config
         if config.resume_from is not None:
-            restored = checkpoint_lib.restore(session, config.resume_from)
-            self._emit(FailureEvent(
-                step=-1, kind="resume",
-                detail=f"restored {len(restored)} variables from "
-                       f"{os.fspath(config.resume_from)}"))
+            if config.checkpoint_store is not None \
+                    and config.resume_from == "latest":
+                record = config.checkpoint_store.restore(session)
+                self._emit(FailureEvent(
+                    step=-1, kind="resume",
+                    detail=f"restored checkpoint {record.checkpoint_id} "
+                           f"from the replicated store "
+                           f"(digest {record.digest[:12]}…)"))
+            else:
+                restored = checkpoint_lib.restore(session,
+                                                  config.resume_from)
+                self._emit(FailureEvent(
+                    step=-1, kind="resume",
+                    detail=f"restored {len(restored)} variables from "
+                           f"{os.fspath(config.resume_from)}"))
         losses: list[float] = []
         for step in range(steps):
             feed = self.model.sample_feed(training=True)
@@ -422,9 +442,29 @@ class ResilientRunner:
     def _checkpoint(self, step: int) -> None:
         config = self.config
         detail = "in-memory"
+        durable_failed = False
+        if config.checkpoint_store is not None:
+            from .errors import StorageError
+            try:
+                record = config.checkpoint_store.save(
+                    self.model.session, step=step)
+            except StorageError as exc:
+                # Not durable this round — keep training; the next
+                # cadence tick tries again with a fresh id.
+                durable_failed = True
+                self._emit(FailureEvent(
+                    step=step, kind="checkpoint_failed",
+                    detail=f"durable checkpoint missed quorum: {exc}"))
+            else:
+                detail = (f"store checkpoint {record.checkpoint_id} "
+                          f"({record.replicas} replicas)")
         if config.checkpoint_path is not None:
             checkpoint_lib.save(self.model.session, config.checkpoint_path)
             detail = os.fspath(config.checkpoint_path)
+        # The in-memory snapshot still lands either way (it backs retry
+        # rollback), but a failed durable write is not narrated as a
+        # successful checkpoint.
         self._last_good = (step, self.model.session.state_snapshot())
-        self._emit(FailureEvent(step=step, kind="checkpoint",
-                                detail=detail))
+        if not durable_failed:
+            self._emit(FailureEvent(step=step, kind="checkpoint",
+                                    detail=detail))

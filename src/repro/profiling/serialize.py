@@ -76,7 +76,8 @@ class SavedTrace:
                   if not hasattr(e, "pass_name")
                   and not hasattr(e, "outcome")
                   and not hasattr(e, "worker")
-                  and not hasattr(e, "oracle")]
+                  and not hasattr(e, "oracle")
+                  and not hasattr(e, "store")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]
@@ -111,6 +112,13 @@ class SavedTrace:
     def campaign_events(self, kind: str | None = None) -> list:
         """Chaos-campaign events persisted with the trace."""
         events = [e for e in self.events if hasattr(e, "oracle")]
+        if kind is None:
+            return events
+        return [e for e in events if e.kind == kind]
+
+    def storage_events(self, kind: str | None = None) -> list:
+        """Checkpoint-durability events persisted with the trace."""
+        events = [e for e in self.events if hasattr(e, "store")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]
@@ -151,8 +159,14 @@ def save_trace(tracer: Tracer, path: str | os.PathLike,
     serving_blobs: list[dict] = []
     cluster_blobs: list[dict] = []
     campaign_blobs: list[dict] = []
+    storage_blobs: list[dict] = []
     for seq, e in enumerate(getattr(tracer, "events", [])):
-        if hasattr(e, "oracle"):
+        if hasattr(e, "store"):
+            storage_blobs.append(
+                {"seq": seq, "step": e.step, "kind": e.kind,
+                 "store": e.store, "key": e.key,
+                 "seconds_lost": e.seconds_lost, "detail": e.detail})
+        elif hasattr(e, "oracle"):
             campaign_blobs.append(
                 {"seq": seq, "step": e.step, "kind": e.kind,
                  "oracle": e.oracle, "harness": e.harness, "ok": e.ok,
@@ -197,6 +211,7 @@ def save_trace(tracer: Tracer, path: str | os.PathLike,
                   "serving_events": serving_blobs,
                   "cluster_events": cluster_blobs,
                   "campaign_events": campaign_blobs,
+                  "storage_events": storage_blobs,
                   # plan-compilation summaries (pass stats, memory plan)
                   "compile_records": list(
                       getattr(tracer, "compile_records", [])),
@@ -283,6 +298,14 @@ def load_trace(path: str | os.PathLike) -> SavedTrace:
                 step=blob["step"], kind=blob["kind"],
                 oracle=blob.get("oracle"), harness=blob.get("harness"),
                 ok=blob.get("ok"),
+                seconds_lost=blob.get("seconds_lost", 0.0),
+                detail=blob.get("detail", ""))))
+    if header.get("storage_events"):
+        from repro.storage.events import StorageEvent
+        for blob in header["storage_events"]:
+            tagged.append((blob.get("seq", len(tagged)), StorageEvent(
+                step=blob["step"], kind=blob["kind"],
+                store=blob.get("store", -1), key=blob.get("key", ""),
                 seconds_lost=blob.get("seconds_lost", 0.0),
                 detail=blob.get("detail", ""))))
     tagged.sort(key=lambda pair: pair[0])

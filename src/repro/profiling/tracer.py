@@ -113,16 +113,18 @@ class Tracer:
 
         Degradation events (which carry a ``pass_name`` field), serving
         events (``outcome`` field), cluster events (``worker`` field),
-        and campaign events (``oracle`` field) share the
-        ``record_event`` hook but are reported separately via
-        :meth:`degradation_events`, :meth:`serving_events`,
-        :meth:`cluster_events`, and :meth:`campaign_events`.
+        campaign events (``oracle`` field), and storage events
+        (``store`` field) share the ``record_event`` hook but are
+        reported separately via :meth:`degradation_events`,
+        :meth:`serving_events`, :meth:`cluster_events`,
+        :meth:`campaign_events`, and :meth:`storage_events`.
         """
         events = [e for e in self.events
                   if not hasattr(e, "pass_name")
                   and not hasattr(e, "outcome")
                   and not hasattr(e, "worker")
-                  and not hasattr(e, "oracle")]
+                  and not hasattr(e, "oracle")
+                  and not hasattr(e, "store")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]
@@ -186,6 +188,18 @@ class Tracer:
         the other event families by duck-typing on the ``oracle`` field.
         """
         events = [e for e in self.events if hasattr(e, "oracle")]
+        if kind is None:
+            return events
+        return [e for e in events if e.kind == kind]
+
+    def storage_events(self, kind: str | None = None) -> list:
+        """Checkpoint-durability events (quorum commits, replica
+        failures, failovers, read-repairs, scrub passes and heals,
+        garbage collection — see
+        :class:`repro.storage.events.StorageEvent`). Distinguished from
+        the other event families by duck-typing on the ``store`` field.
+        """
+        events = [e for e in self.events if hasattr(e, "store")]
         if kind is None:
             return events
         return [e for e in events if e.kind == kind]

@@ -1,0 +1,42 @@
+"""Durable checkpoint storage: fault-injectable blob stores + replication.
+
+The storage tier obeys the same rule as serving and the cluster: inject
+the failure, then survive it. Three layers:
+
+* :mod:`~repro.storage.blobstore` — virtual blob stores (in-memory and
+  local-dir) on the injectable clock, with hook points for the
+  ``storage`` fault family (:class:`~repro.framework.faults.
+  StorageFaultSpec`): torn writes, bit rot, stale reads, disk-full,
+  slow I/O, outages.
+* :mod:`~repro.storage.replicated` — the
+  :class:`ReplicatedCheckpointStore`: quorum commits, digest-verified
+  reads with failover and read-repair, background scrubbing, and
+  keep-last-K retention.
+* :mod:`~repro.storage.events` — :class:`StorageEvent` narration on the
+  session tracer.
+
+The chaos campaign's ``storage`` harness drives all of it under the
+``durability`` oracle: any *committed* checkpoint restores bitwise
+despite injected storage faults, and an interrupted commit never
+restores partially.
+"""
+
+from .blobstore import BlobStore, LocalDirStore, MemoryStore
+from .events import STORAGE_EVENT_KINDS, StorageEvent
+from .replicated import (CheckpointQuorumError, CheckpointRecord,
+                         ReplicatedCheckpointStore, ScrubReport,
+                         open_local_store, state_digests)
+
+__all__ = [
+    "BlobStore",
+    "LocalDirStore",
+    "MemoryStore",
+    "STORAGE_EVENT_KINDS",
+    "StorageEvent",
+    "CheckpointQuorumError",
+    "CheckpointRecord",
+    "ReplicatedCheckpointStore",
+    "ScrubReport",
+    "open_local_store",
+    "state_digests",
+]

@@ -1,5 +1,7 @@
 """Tests for variable checkpointing."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -157,6 +159,38 @@ class TestAtomicSave:
             checkpoint.save(session, tmp_path / "model.npz")
         assert list(tmp_path.iterdir()) == []
 
+    def test_write_fault_before_publish_cleans_the_temp_file(
+            self, tmp_path, monkeypatch):
+        """An injected I/O fault during the write itself (fsync dying,
+        e.g. the device going away) must remove the temp file and leave
+        the previous contents untouched."""
+        from repro.framework.checkpoint import atomic_write_bytes
+        target = tmp_path / "blob"
+        atomic_write_bytes(target, b"previous contents")
+
+        def dying_fsync(fd):
+            raise OSError("simulated I/O error during fsync")
+
+        monkeypatch.setattr(checkpoint.os, "fsync", dying_fsync)
+        with pytest.raises(OSError, match="simulated I/O error"):
+            atomic_write_bytes(target, b"new contents")
+        assert target.read_bytes() == b"previous contents"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["blob"]
+
+    def test_write_fault_at_publish_cleans_the_temp_file(
+            self, tmp_path, monkeypatch):
+        """Same contract when the fault lands on the rename itself."""
+        from repro.framework.checkpoint import atomic_write_bytes
+        target = tmp_path / "blob"
+
+        def dying_replace(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(checkpoint.os, "replace", dying_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_bytes(target, b"data")
+        assert list(tmp_path.iterdir()) == []
+
     def test_save_goes_through_os_replace(self, fresh_graph, tmp_path,
                                           monkeypatch):
         """The final publish step is an atomic rename, not a write."""
@@ -250,3 +284,109 @@ class TestIntegrity:
         path.write_bytes(raw[: len(raw) // 2])
         with pytest.raises(CheckpointError):
             checkpoint.restore(Session(fresh_graph, seed=1), path)
+
+    def test_checksum_table_entry_without_payload_is_localized(
+            self, fresh_graph, tmp_path):
+        """A table/payload divergence names the offending variable
+        instead of surfacing as a confusing graph mismatch."""
+        from repro.framework.checkpoint import CheckpointCorruptError
+        x, loss, train, w, b = small_model()
+        session = Session(fresh_graph, seed=0)
+        path = tmp_path / "ckpt.npz"
+        checkpoint.save(session, path)
+        with np.load(path) as archive:
+            data = {key: archive[key] for key in archive.files}
+        del data["w"]  # payload vanishes; the table still lists it
+        np.savez(path, **data)
+        with pytest.raises(CheckpointCorruptError,
+                           match="lists variable 'w' but the archive "
+                                 "holds no such payload") as excinfo:
+            checkpoint.restore(Session(fresh_graph, seed=1), path)
+        assert excinfo.value.variable == "w"
+
+    def test_payload_missing_from_checksum_table_is_localized(
+            self, fresh_graph, tmp_path):
+        from repro.framework.checkpoint import (CheckpointCorruptError,
+                                                _CHECKSUM_KEY)
+        x, loss, train, w, b = small_model()
+        session = Session(fresh_graph, seed=0)
+        path = tmp_path / "ckpt.npz"
+        checkpoint.save(session, path)
+        with np.load(path) as archive:
+            data = {key: archive[key] for key in archive.files}
+        table = json.loads(bytes(data[_CHECKSUM_KEY]).decode("utf-8"))
+        del table["b"]  # the table forgets a payload it shipped
+        data[_CHECKSUM_KEY] = np.frombuffer(
+            json.dumps(table, sort_keys=True).encode("utf-8"),
+            dtype=np.uint8).copy()
+        np.savez(path, **data)
+        with pytest.raises(CheckpointCorruptError,
+                           match="payload 'b' is missing from the "
+                                 "checksum table") as excinfo:
+            checkpoint.restore(Session(fresh_graph, seed=1), path)
+        assert excinfo.value.variable == "b"
+
+
+class TestEdgeCasePayloads:
+    """Zero-length arrays and non-default dtypes must round-trip."""
+
+    def test_zero_length_array_roundtrips(self, fresh_graph, tmp_path):
+        empty = ops.variable(np.zeros((0, 4), dtype=np.float32),
+                             name="empty")
+        session = Session(fresh_graph, seed=0)
+        checkpoint.save(session, tmp_path / "empty.npz")
+        fresh = Session(fresh_graph, seed=1)
+        assert checkpoint.restore(fresh, tmp_path / "empty.npz") \
+            == ["empty"]
+        value = fresh.variable_value(empty)
+        assert value.shape == (0, 4) and value.dtype == np.float32
+
+    @pytest.mark.parametrize("dtype", [np.float16, np.int8, np.int64])
+    def test_dtype_roundtrips_exactly(self, fresh_graph, tmp_path,
+                                      dtype):
+        initial = np.array([-3, 0, 7], dtype=dtype)
+        var = ops.variable(initial, name="q")
+        session = Session(fresh_graph, seed=0)
+        checkpoint.save(session, tmp_path / "q.npz")
+        fresh = Session(fresh_graph, seed=1)
+        checkpoint.restore(fresh, tmp_path / "q.npz")
+        value = fresh.variable_value(var)
+        assert value.dtype == dtype
+        np.testing.assert_array_equal(value, initial)
+
+
+class TestBytesTransport:
+    """save_bytes/restore_bytes: the archive format minus the filesystem
+    (what the replicated blob stores carry)."""
+
+    def test_bytes_roundtrip_matches_file_roundtrip(self, fresh_graph,
+                                                    tmp_path, rng):
+        x, loss, train, w, b = small_model()
+        session = Session(fresh_graph, seed=0)
+        feed = {x: rng.standard_normal((3, 4)).astype(np.float32)}
+        for _ in range(4):
+            session.run(train, feed_dict=feed)
+        data = checkpoint.save_bytes(session)
+
+        # The byte payload *is* the file format: written out verbatim it
+        # restores through the file path, and vice versa.
+        (tmp_path / "ckpt.npz").write_bytes(data)
+        via_file = Session(fresh_graph, seed=1)
+        checkpoint.restore(via_file, tmp_path / "ckpt.npz")
+        via_bytes = Session(fresh_graph, seed=2)
+        assert checkpoint.restore_bytes(via_bytes, data) == ["b", "w"]
+        np.testing.assert_array_equal(via_file.variable_value(w),
+                                      via_bytes.variable_value(w))
+        np.testing.assert_array_equal(via_file.variable_value(w),
+                                      session.variable_value(w))
+
+    def test_restore_bytes_labels_errors_with_the_source(self,
+                                                         fresh_graph):
+        small_model()
+        session = Session(fresh_graph, seed=0)
+        data = bytearray(checkpoint.save_bytes(session))
+        data[100] ^= 0xFF
+        with pytest.raises(CheckpointError,
+                           match="ckpt/00000000/payload"):
+            checkpoint.restore_bytes(session, bytes(data),
+                                     source="ckpt/00000000/payload")

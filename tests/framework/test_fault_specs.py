@@ -22,7 +22,8 @@ from repro.cli import (_cluster_preset_specs, _fleet_preset_specs,
 from repro.framework.faults import (ClusterFaultPlan, ClusterFaultSpec,
                                     FaultPlan, FaultSpec, FleetFaultPlan,
                                     FleetFaultSpec, ServingFaultPlan,
-                                    ServingFaultSpec, FAULT_FAMILIES,
+                                    ServingFaultSpec, StorageFaultPlan,
+                                    StorageFaultSpec, FAULT_FAMILIES,
                                     plan_from_json, plan_to_json)
 
 GOLDEN = json.loads(
@@ -99,6 +100,17 @@ ROUND_TRIP_PLANS = {
                         duration_seconds=0.15),
          FleetFaultSpec("bad_rollout", defect="slow")],
         seed=17),
+    "storage": StorageFaultPlan(
+        [StorageFaultSpec("torn_write", store=0, key_pattern="payload",
+                          fraction=0.5),
+         StorageFaultSpec("bit_rot", store=1, key_pattern="payload",
+                          probability=0.4, max_triggers=None),
+         StorageFaultSpec("stale_read", store=0, op_index=3),
+         StorageFaultSpec("disk_full", store=2),
+         StorageFaultSpec("slow_io", latency_seconds=0.02,
+                          max_triggers=4),
+         StorageFaultSpec("store_down", store=1, duration_ops=6)],
+        seed=19),
 }
 
 
@@ -141,7 +153,8 @@ def test_family_registry_covers_all_plan_classes():
     assert FAULT_FAMILIES == {"op": FaultPlan,
                               "cluster": ClusterFaultPlan,
                               "serving": ServingFaultPlan,
-                              "fleet": FleetFaultPlan}
+                              "fleet": FleetFaultPlan,
+                              "storage": StorageFaultPlan}
     for family, plan_cls in FAULT_FAMILIES.items():
         assert plan_cls.SPEC_CLASS.FAMILY == family
 

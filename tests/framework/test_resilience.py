@@ -237,6 +237,66 @@ class TestCheckpointing:
             fresh.session.variable_value(fresh.w), trained_w)
 
 
+class TestDurableCheckpointStore:
+    """The runner on the replicated store transport."""
+
+    def make_store(self, replicas=3, **kwargs):
+        from repro.framework.clock import VirtualClock
+        from repro.storage import MemoryStore, ReplicatedCheckpointStore
+        clock = VirtualClock()
+        return ReplicatedCheckpointStore(
+            [MemoryStore(store_id=i, clock=clock)
+             for i in range(replicas)], clock=clock, **kwargs)
+
+    def test_periodic_store_checkpoints(self, fresh_graph):
+        model = ToyModel(fresh_graph)
+        store = self.make_store()
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            checkpoint_store=store, checkpoint_every=2))
+        runner.run(5)
+        assert store.checkpoint_ids() == [0, 1]
+        kinds = [e.kind for e in runner.events]
+        assert kinds == ["checkpoint", "checkpoint"]
+        assert "replicas" in runner.events[0].detail
+
+    def test_resume_latest_from_store(self, fresh_graph):
+        from repro.framework.graph import Graph
+        model = ToyModel(fresh_graph)
+        store = self.make_store()
+        ResilientRunner(model, config=ResilienceConfig(
+            checkpoint_store=store, checkpoint_every=3)).run(3)
+        trained_w = model.session.variable_value(model.w).copy()
+
+        other = Graph()
+        with other.as_default():
+            fresh = ToyModel(other, seed=5)
+        runner = ResilientRunner(fresh, config=ResilienceConfig(
+            checkpoint_store=store, resume_from="latest"))
+        runner.run(0)
+        assert [e.kind for e in runner.events] == ["resume"]
+        assert "replicated store" in runner.events[0].detail
+        np.testing.assert_array_equal(
+            fresh.session.variable_value(fresh.w), trained_w)
+
+    def test_missed_quorum_is_an_event_not_a_crash(self, fresh_graph):
+        """A durable checkpoint that misses quorum must not kill the
+        training run — it surfaces as a checkpoint_failed event."""
+        from repro.framework.faults import (StorageFaultPlan,
+                                            StorageFaultSpec)
+        model = ToyModel(fresh_graph)
+        store = self.make_store()
+        store.install_faults(StorageFaultPlan([
+            StorageFaultSpec("disk_full", store=0, max_triggers=None),
+            StorageFaultSpec("disk_full", store=1, max_triggers=None),
+        ], seed=0))
+        runner = ResilientRunner(model, config=ResilienceConfig(
+            checkpoint_store=store, checkpoint_every=2))
+        losses = runner.run(2)
+        assert len(losses) == 2  # training completed regardless
+        assert [e.kind for e in runner.events] == ["checkpoint_failed"]
+        assert "missed quorum" in runner.events[0].detail
+
+
 class TestBackoff:
     def test_deterministic_given_seed(self):
         config = ResilienceConfig(backoff_base=0.1, backoff_factor=2.0,

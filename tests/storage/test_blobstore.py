@@ -1,0 +1,221 @@
+"""Blob-store tests: both backends, the full storage fault family.
+
+The two backends (dict-of-bytes and one-file-per-blob) share the
+operation protocol in :class:`~repro.storage.BlobStore`, so every test
+here runs against both — they must fault identically.
+"""
+
+import os
+
+import pytest
+
+from repro.framework.clock import VirtualClock
+from repro.framework.errors import (BlobNotFoundError, StorageFullError,
+                                    StoreUnavailableError)
+from repro.framework.faults import StorageFaultPlan, StorageFaultSpec
+from repro.storage import LocalDirStore, MemoryStore
+
+BACKENDS = ("memory", "localdir")
+
+
+def make_store(backend, tmp_path, **kwargs):
+    if backend == "memory":
+        return MemoryStore(**kwargs)
+    return LocalDirStore(tmp_path / f"store-{kwargs.get('store_id', 0)}",
+                         **kwargs)
+
+
+def armed(store, *specs, seed=0):
+    """Attach a fresh injector executing ``specs`` to ``store``."""
+    plan = StorageFaultPlan(list(specs), seed=seed)
+    injector = plan.injector()
+    store.attach_faults(injector)
+    return injector
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBlobStoreBasics:
+    def test_put_get_delete_roundtrip(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.put("a/b/blob", b"payload")
+        assert store.exists("a/b/blob")
+        assert store.get("a/b/blob") == b"payload"
+        store.put("a/b/blob", b"newer")
+        assert store.get("a/b/blob") == b"newer"
+        store.delete("a/b/blob")
+        assert not store.exists("a/b/blob")
+        store.delete("a/b/blob")  # missing keys are a no-op
+        assert store.counters == {"puts": 2, "gets": 2, "deletes": 1}
+
+    def test_get_missing_raises_with_key(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        with pytest.raises(BlobNotFoundError) as excinfo:
+            store.get("nope")
+        assert excinfo.value.key == "nope"
+
+    def test_list_is_sorted_and_prefix_filtered(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        for key in ("ckpt/2/payload", "ckpt/1/payload", "other/x"):
+            store.put(key, b"x")
+        assert store.list() == ["ckpt/1/payload", "ckpt/2/payload",
+                                "other/x"]
+        assert store.list("ckpt/") == ["ckpt/1/payload", "ckpt/2/payload"]
+
+    @pytest.mark.parametrize("key", ["", "/abs", "a/../escape"])
+    def test_hostile_keys_rejected(self, backend, tmp_path, key):
+        store = make_store(backend, tmp_path)
+        with pytest.raises(ValueError, match="invalid blob key"):
+            store.put(key, b"x")
+
+    def test_operations_charge_the_clock(self, backend, tmp_path):
+        clock = VirtualClock()
+        store = make_store(backend, tmp_path, clock=clock,
+                           op_seconds=0.01)
+        store.put("k", b"v")
+        store.get("k")
+        store.delete("k")
+        assert clock.now() == pytest.approx(0.03)
+        # list/exists are metadata operations: free.
+        store.list()
+        store.exists("k")
+        assert clock.now() == pytest.approx(0.03)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestInjectedFaults:
+    def test_torn_write_persists_a_prefix(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        armed(store, StorageFaultSpec("torn_write", fraction=0.5))
+        store.put("k", b"0123456789")
+        assert store.get("k") == b"01234"  # reported success, half landed
+
+    def test_bit_rot_flips_one_byte_at_rest(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        injector = armed(store, StorageFaultSpec("bit_rot"))
+        store.put("k", b"\x00" * 8)  # rot targets blobs already at rest,
+        store.put("other", b"x")     # so it fires on the *next* operation
+        rotted = store.get("k")
+        assert rotted != b"\x00" * 8
+        assert len(rotted) == 8
+        assert sum(b != 0 for b in rotted) == 1  # exactly one byte flipped
+        events = [e for e in injector.events if e.kind == "bit_rot"]
+        assert len(events) == 1
+        assert events[0].op_name == f"store:{store.store_id}:k"
+
+    def test_stale_read_serves_the_previous_version(self, backend,
+                                                    tmp_path):
+        store = make_store(backend, tmp_path)
+        armed(store, StorageFaultSpec("stale_read", op_index=2))
+        store.put("k", b"v1")
+        store.put("k", b"v2")
+        assert store.get("k") == b"v1"  # injected: the overwrite "lost"
+        assert store.get("k") == b"v2"  # consistency catches up
+
+    def test_stale_read_of_fresh_key_is_not_found(self, backend,
+                                                  tmp_path):
+        store = make_store(backend, tmp_path)
+        armed(store, StorageFaultSpec("stale_read", op_index=1))
+        store.put("k", b"v1")  # never overwritten: no previous version
+        with pytest.raises(BlobNotFoundError, match="not yet visible"):
+            store.get("k")
+
+    def test_disk_full_rejects_puts_only(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.put("k", b"v")
+        armed(store, StorageFaultSpec("disk_full"))
+        with pytest.raises(StorageFullError, match="no space left"):
+            store.put("k2", b"v2")
+        assert store.get("k") == b"v"  # reads unaffected
+        assert not store.exists("k2")
+        assert store.counters["puts"] == 1
+
+    def test_store_down_outage_expires(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.put("k", b"v")
+        armed(store, StorageFaultSpec("store_down", duration_ops=2))
+        for _ in range(3):  # the firing op + duration_ops dark ops
+            with pytest.raises(StoreUnavailableError):
+                store.get("k")
+        assert store.get("k") == b"v"  # the outage has expired
+        # Metadata stays reachable throughout an outage.
+        assert store.list() == ["k"]
+
+    def test_slow_io_sleeps_on_the_store_clock(self, backend, tmp_path):
+        clock = VirtualClock()
+        store = make_store(backend, tmp_path, clock=clock,
+                           op_seconds=0.001)
+        armed(store, StorageFaultSpec("slow_io", latency_seconds=0.05))
+        store.put("k", b"v")
+        assert clock.now() == pytest.approx(0.051)
+        store.get("k")  # the single trigger is spent
+        assert clock.now() == pytest.approx(0.052)
+
+    def test_key_pattern_scopes_the_fault(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        armed(store, StorageFaultSpec("torn_write", key_pattern="payload",
+                                      max_triggers=None))
+        store.put("ckpt/0/manifest", b"manifest-bytes")
+        store.put("ckpt/0/payload", b"payload-bytes")
+        assert store.get("ckpt/0/manifest") == b"manifest-bytes"
+        assert store.get("ckpt/0/payload") == b"payload"[:6]
+
+    def test_store_targeting_leaves_other_stores_alone(self, backend,
+                                                       tmp_path):
+        first = make_store(backend, tmp_path, store_id=0)
+        second = make_store(backend, tmp_path, store_id=1)
+        plan = StorageFaultPlan(
+            [StorageFaultSpec("disk_full", store=1)], seed=0)
+        injector = plan.injector()  # one injector shared by the group
+        first.attach_faults(injector)
+        second.attach_faults(injector)
+        first.put("k", b"v")
+        with pytest.raises(StorageFullError):
+            second.put("k", b"v")
+
+    def test_detach_disarms(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        armed(store, StorageFaultSpec("disk_full"))
+        store.detach_faults()
+        store.put("k", b"v")
+        assert store.get("k") == b"v"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_identical_plans_fault_identically(backend, tmp_path):
+    """Same plan + same operation sequence = same injection signature,
+    on either backend — the determinism bar campaign replay rests on."""
+    signatures = []
+    for attempt in range(2):
+        store = make_store(backend, tmp_path / f"run{attempt}")
+        injector = armed(
+            store,
+            StorageFaultSpec("bit_rot", probability=0.5,
+                             max_triggers=None),
+            StorageFaultSpec("torn_write", probability=0.5,
+                             max_triggers=None),
+            seed=7)
+        for index in range(6):
+            store.put(f"k{index}", bytes(8))
+        signatures.append(injector.signature())
+    assert signatures[0] == signatures[1]
+    assert signatures[0]  # the probabilistic faults actually fired
+
+
+class TestLocalDirStore:
+    def test_keys_map_to_subdirectories(self, tmp_path):
+        store = LocalDirStore(tmp_path / "s")
+        store.put("ckpt/00000001/payload", b"x")
+        assert (tmp_path / "s" / "ckpt" / "00000001" / "payload").is_file()
+        assert store.list() == ["ckpt/00000001/payload"]
+
+    def test_writes_leave_no_temp_litter(self, tmp_path):
+        store = LocalDirStore(tmp_path / "s")
+        for index in range(3):
+            store.put("blob", b"v%d" % index)
+        files = [name for _, _, names in os.walk(tmp_path / "s")
+                 for name in names]
+        assert files == ["blob"]
+
+    def test_reopen_sees_existing_blobs(self, tmp_path):
+        LocalDirStore(tmp_path / "s").put("k", b"persisted")
+        assert LocalDirStore(tmp_path / "s").get("k") == b"persisted"

@@ -1,0 +1,303 @@
+"""Replicated checkpoint archive tests: the durability contract.
+
+Quorum commit, atomic visibility, failover + read-repair, scrubbing,
+retention, and on-disk discovery — each exercised against the in-memory
+substrate (exact, virtual-time) with the on-disk layout covered by the
+``open_local_store`` tests.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.framework import checkpoint, ops
+from repro.framework.checkpoint import CheckpointError
+from repro.framework.clock import VirtualClock
+from repro.framework.faults import StorageFaultPlan, StorageFaultSpec
+from repro.framework.optimizers import GradientDescentOptimizer
+from repro.framework.session import Session
+from repro.profiling.serialize import load_trace, save_trace
+from repro.profiling.tracer import Tracer
+from repro.storage import (CheckpointQuorumError, MemoryStore,
+                           ReplicatedCheckpointStore, open_local_store,
+                           state_digests)
+from repro.storage.replicated import _manifest_key, _payload_key
+
+
+def small_model():
+    w = ops.variable(np.zeros((4, 2), dtype=np.float32), name="w")
+    b = ops.variable(np.zeros(2, dtype=np.float32), name="b")
+    x = ops.placeholder((3, 4), name="x")
+    loss = ops.reduce_sum(ops.square(ops.bias_add(ops.matmul(x, w), b)
+                                     - 1.0))
+    train = GradientDescentOptimizer(0.05).minimize(loss)
+    return x, loss, train
+
+
+def trained_session(graph, rng, steps=3):
+    x, loss, train = small_model()
+    session = Session(graph, seed=0)
+    feed = {x: rng.standard_normal((3, 4)).astype(np.float32)}
+    for _ in range(steps):
+        session.run(train, feed_dict=feed)
+    return session
+
+
+def memory_group(replicas=3, clock=None, **kwargs):
+    clock = clock if clock is not None else VirtualClock()
+    stores = [MemoryStore(store_id=i, clock=clock, op_seconds=0.001)
+              for i in range(replicas)]
+    return ReplicatedCheckpointStore(stores, clock=clock, **kwargs)
+
+
+def flip_byte(memory_store, key, position=100):
+    blob = bytearray(memory_store._blobs[key])
+    blob[position % len(blob)] ^= 0xFF
+    memory_store._blobs[key] = bytes(blob)
+
+
+class TestCommit:
+    def test_commit_and_restore_bitwise(self, fresh_graph, rng):
+        session = trained_session(fresh_graph, rng)
+        store = memory_group(replicas=3)
+        record = store.save(session, step=3)
+        assert record.committed and record.replicas == 3
+        assert record.step == 3 and record.checkpoint_id == 0
+        # The recorded digest is the digest of the bytes at rest.
+        assert hashlib.sha256(store.fetch(0)).hexdigest() == record.digest
+
+        other = Session(fresh_graph, seed=9)
+        assert state_digests(other) != state_digests(session)
+        restored = store.restore(other)
+        assert restored.checkpoint_id == 0
+        assert state_digests(other) == state_digests(session)
+
+    def test_store_restore_matches_file_restore(self, fresh_graph, rng,
+                                                tmp_path):
+        """Fault-free, the store transport is bitwise identical to the
+        pre-existing file transport."""
+        session = trained_session(fresh_graph, rng)
+        checkpoint.save(session, tmp_path / "file.npz")
+        store = memory_group()
+        store.save(session)
+
+        via_file = Session(fresh_graph, seed=5)
+        checkpoint.restore(via_file, tmp_path / "file.npz")
+        via_store = Session(fresh_graph, seed=6)
+        store.restore(via_store)
+        assert state_digests(via_file) == state_digests(via_store)
+
+    def test_missed_quorum_raises_and_skips_the_id(self, fresh_graph,
+                                                   rng):
+        session = trained_session(fresh_graph, rng)
+        store = memory_group(replicas=3)  # quorum 2
+        store.install_faults(StorageFaultPlan([
+            StorageFaultSpec("disk_full", store=0),
+            StorageFaultSpec("disk_full", store=1),
+        ], seed=0))
+        with pytest.raises(CheckpointQuorumError,
+                           match="NOT durable") as excinfo:
+            store.save(session)
+        record = excinfo.value.record
+        assert not record.committed and record.replicas == 1
+        assert store.counters["commit_failures"] == 1
+        assert store.latest_committed_id() is None
+        # Ids never recycle: the next (clean) attempt gets a fresh one.
+        assert store.save(session).checkpoint_id == 1
+
+    def test_interrupted_commit_never_restores_partially(self,
+                                                         fresh_graph,
+                                                         rng):
+        """The durability promise's other half: a commit that failed is
+        *invisible* — restore lands on the previous committed state,
+        never on a half-written newer one."""
+        session = trained_session(fresh_graph, rng, steps=1)
+        store = memory_group(replicas=1)
+        store.save(session)
+        before = state_digests(session)
+
+        # Advance the state, then tear the next commit between its
+        # payload and manifest writes (the manifest never lands).
+        store.install_faults(StorageFaultPlan([
+            StorageFaultSpec("disk_full", key_pattern="manifest"),
+        ], seed=0))
+        op = checkpoint._graph_variables(session.graph)["w"]
+        session.set_variable(op.output,
+                             np.ones((4, 2), dtype=np.float32))
+        with pytest.raises(CheckpointQuorumError):
+            store.save(session)
+        store.uninstall_faults()
+
+        probe = Session(fresh_graph, seed=7)
+        record = store.restore(probe)
+        assert record.checkpoint_id == 0
+        assert state_digests(probe) == before
+
+
+class TestFailoverAndRepair:
+    def test_read_repair_rewrites_the_damaged_replica(self, fresh_graph,
+                                                      rng):
+        session = trained_session(fresh_graph, rng)
+        store = memory_group(replicas=3)
+        store.save(session)
+        flip_byte(store.stores[0], _payload_key(0))
+        damaged = store.stores[0]._blobs[_payload_key(0)]
+        assert damaged != store.stores[1]._blobs[_payload_key(0)]
+
+        probe = Session(fresh_graph, seed=4)
+        store.restore(probe)
+        assert state_digests(probe) == state_digests(session)
+        assert store.counters["corrupt_replicas"] == 1
+        assert store.counters["read_repairs"] == 1
+        # The repair is bitwise: replica 0 again matches replica 1.
+        assert store.stores[0]._blobs[_payload_key(0)] \
+            == store.stores[1]._blobs[_payload_key(0)]
+
+    def test_restore_skips_an_unrecoverable_newest(self, fresh_graph,
+                                                   rng):
+        session = trained_session(fresh_graph, rng)
+        store = memory_group(replicas=3)
+        store.save(session)
+        store.save(session)
+        for replica in store.stores:  # checkpoint 1: every copy rotted
+            flip_byte(replica, _payload_key(1))
+        probe = Session(fresh_graph, seed=4)
+        record = store.restore(probe)
+        assert record.checkpoint_id == 0
+        assert state_digests(probe) == state_digests(session)
+
+    def test_explicit_id_fails_when_unrecoverable(self, fresh_graph,
+                                                  rng):
+        session = trained_session(fresh_graph, rng)
+        store = memory_group(replicas=3)
+        store.save(session)
+        for replica in store.stores:
+            flip_byte(replica, _payload_key(0))
+        with pytest.raises(CheckpointError, match="no intact replica"):
+            store.restore(Session(fresh_graph, seed=4), checkpoint_id=0)
+
+    def test_empty_archive_raises(self, fresh_graph):
+        small_model()
+        store = memory_group()
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            store.restore(Session(fresh_graph, seed=0))
+
+
+class TestScrub:
+    def test_scrub_heals_rot_to_bitwise_identity(self, fresh_graph, rng):
+        session = trained_session(fresh_graph, rng)
+        store = memory_group(replicas=3)
+        store.save(session)
+        flip_byte(store.stores[2], _payload_key(0))
+        report = store.scrub()
+        assert report.healed == 1 and not report.unrecoverable
+        assert report.checked == 3
+        assert store.stores[2]._blobs[_payload_key(0)] \
+            == store.stores[0]._blobs[_payload_key(0)]
+        assert store.counters["scrub_heals"] == 1
+
+    def test_scrub_reports_unrecoverable_checkpoints(self, fresh_graph,
+                                                     rng):
+        session = trained_session(fresh_graph, rng)
+        store = memory_group(replicas=2)
+        store.save(session)
+        for replica in store.stores:
+            flip_byte(replica, _payload_key(0))
+        report = store.scrub()
+        assert report.unrecoverable == (0,)
+        assert report.healed == 0
+        assert store.counters["unrecoverable"] == 1
+
+    def test_absence_is_not_damage(self, fresh_graph, rng):
+        """A replica a store never held (or GC'd) must not be "healed"
+        back — only *damaged* copies are."""
+        session = trained_session(fresh_graph, rng)
+        store = memory_group(replicas=3)
+        store.save(session)
+        store.stores[2].delete(_payload_key(0))
+        store.stores[2].delete(_manifest_key(0))
+        report = store.scrub()
+        assert report.checked == 2 and report.healed == 0
+        assert not report.unrecoverable
+        assert not store.stores[2].exists(_payload_key(0))
+
+    def test_maybe_scrub_honours_the_interval(self, fresh_graph, rng):
+        clock = VirtualClock()
+        session = trained_session(fresh_graph, rng, steps=1)
+        store = memory_group(clock=clock, scrub_interval=10.0)
+        store.save(session)
+        assert store.maybe_scrub() is None  # interval not yet elapsed
+        clock.sleep(10.0)
+        report = store.maybe_scrub()
+        assert report is not None and report.checked == 3
+        assert store.maybe_scrub() is None  # timer reset by the pass
+
+
+class TestRetention:
+    def test_gc_keeps_the_last_k(self, fresh_graph, rng):
+        session = trained_session(fresh_graph, rng, steps=1)
+        store = memory_group(keep_last=2)
+        for step in range(4):
+            store.save(session, step=step)
+        assert store.checkpoint_ids() == [2, 3]
+        assert store.counters["gc_collected"] == 2
+        probe = Session(fresh_graph, seed=4)
+        assert store.restore(probe).checkpoint_id == 3
+
+    def test_keep_everything_by_default(self, fresh_graph, rng):
+        session = trained_session(fresh_graph, rng, steps=1)
+        store = memory_group()
+        for step in range(4):
+            store.save(session, step=step)
+        assert store.checkpoint_ids() == [0, 1, 2, 3]
+
+
+class TestLocalArchive:
+    def test_open_save_rediscover_restore(self, fresh_graph, rng,
+                                          tmp_path):
+        session = trained_session(fresh_graph, rng)
+        store = open_local_store(tmp_path / "arc", replicas=3)
+        store.save(session, step=3)
+        assert sorted(p.name for p in (tmp_path / "arc").iterdir()) \
+            == ["replica-0", "replica-1", "replica-2"]
+
+        # A later process discovers the replica count from the layout.
+        reopened = open_local_store(tmp_path / "arc")
+        assert len(reopened.stores) == 3
+        assert reopened.checkpoint_ids() == [0]
+        probe = Session(fresh_graph, seed=4)
+        reopened.restore(probe)
+        assert state_digests(probe) == state_digests(session)
+        # ... and continues the id sequence instead of clobbering it.
+        assert reopened.save(session).checkpoint_id == 1
+
+    def test_discovery_of_an_empty_root_fails(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no replica"):
+            open_local_store(tmp_path / "missing")
+
+
+class TestNarration:
+    def test_storage_events_trace_and_roundtrip(self, fresh_graph, rng,
+                                                tmp_path):
+        tracer = Tracer()
+        session = trained_session(fresh_graph, rng)
+        store = memory_group(replicas=3, tracer=tracer)
+        store.save(session)
+        flip_byte(store.stores[0], _payload_key(0))
+        store.restore(Session(fresh_graph, seed=4))
+        store.scrub()
+
+        kinds = {e.kind for e in tracer.storage_events()}
+        assert {"commit", "corrupt_replica", "read_repair",
+                "scrub"} <= kinds
+        # Storage narration is its own trace family, not failures.
+        assert tracer.failure_events() == []
+
+        path = tmp_path / "storage.jsonl"
+        save_trace(tracer, path, metadata={"mode": "storage"})
+        loaded = load_trace(path)
+        assert {e.kind for e in loaded.storage_events()} == kinds
+        commit = next(e for e in loaded.storage_events()
+                      if e.kind == "commit")
+        assert commit.step == 0 and "committed" in commit.detail

@@ -225,6 +225,74 @@ class TestRobustnessFlags:
         assert "inference output shape" in out
 
 
+class TestDurableCheckpointFlags:
+    def test_replicated_checkpoint_run_and_resume(self, capsys,
+                                                  tmp_path):
+        archive = tmp_path / "archive"
+        code, _ = run_cli(capsys, "run", "memnet", "--config", "tiny",
+                          "--steps", "2", "--checkpoint", str(archive),
+                          "--checkpoint-replicas", "3",
+                          "--checkpoint-every", "1")
+        assert code == 0
+        assert sorted(p.name for p in archive.iterdir()) \
+            == ["replica-0", "replica-1", "replica-2"]
+        code = main(["run", "memnet", "--config", "tiny", "--steps",
+                     "1", "--checkpoint", str(archive),
+                     "--checkpoint-replicas", "3",
+                     "--resume", "latest"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "restored checkpoint" in captured.err
+        assert "replicated store" in captured.err
+
+    def test_train_with_replicas_writes_replicated_manifest(
+            self, capsys, tmp_path):
+        code, _ = run_cli(capsys, "train", "memnet", "--config", "tiny",
+                          "--steps", "2", "--workers", "2",
+                          "--checkpoint-dir", str(tmp_path),
+                          "--checkpoint-every", "1",
+                          "--checkpoint-replicas", "3",
+                          "--scrub-interval", "0.001")
+        assert code == 0
+        manifest = json.loads(
+            (tmp_path / "cluster-manifest.json").read_text())
+        storage = manifest["storage"]
+        assert storage["replicas"] == 3
+        assert (tmp_path / "replica-0").is_dir()
+
+    def test_unwritable_checkpoint_path_fails_fast(self, capsys,
+                                                   tmp_path):
+        """Satellite contract: a doomed --checkpoint location is a
+        one-line friendly error before step 0, not a stack trace at the
+        first checkpoint."""
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory must go")
+        code = main(["run", "memnet", "--config", "tiny", "--steps",
+                     "2", "--checkpoint", str(blocker / "sub" / "ck.npz"),
+                     "--checkpoint-every", "1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        errors = [line for line in captured.err.splitlines()
+                  if line.startswith("error:")]
+        assert len(errors) == 1
+        assert "--checkpoint path" in errors[0]
+        assert "is not writable" in errors[0]
+        assert "loss" not in captured.out  # no training step ran
+
+    def test_unwritable_checkpoint_dir_fails_fast_for_train(
+            self, capsys, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory must go")
+        code = main(["train", "memnet", "--config", "tiny", "--steps",
+                     "2", "--workers", "2",
+                     "--checkpoint-dir", str(blocker / "ckpts")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--checkpoint-dir path" in captured.err
+        assert "is not writable" in captured.err
+        assert "loss" not in captured.out
+
+
 class TestErrorHandling:
     def test_framework_error_exits_one_with_one_line_message(
             self, capsys, tmp_path):

@@ -1,0 +1,167 @@
+"""Storage chaos suite: the checkpoint durability matrix.
+
+The acceptance bar (see docs/robustness.md): with replication N=3 the
+``durability`` oracle holds on *every* single-fault and fault-pair
+storage schedule the campaign enumerates under a budget of 40 — torn
+writes, bit rot, stale reads, full disks, slow I/O, and outages, alone
+and in pairs. Strip the redundancy (N=1) and the very same campaign
+provably breaks: silent-corruption atoms land inside *committed*
+archives, the oracle convicts them, and ddmin shrinks every violation
+to a single-atom reproducer that replays from its file alone.
+
+A fast two-workload bitwise-identity check (store transport vs the
+pre-existing file transport) runs in tier-1; the full eight-workload
+matrix runs under ``pytest -m chaos``.
+"""
+
+import json
+
+import pytest
+
+from repro import workloads
+from repro.chaos import (CampaignSpec, replay_reproducer, run_campaign,
+                         write_reproducer)
+from repro.chaos.harnesses import StorageHarness
+from repro.framework import checkpoint
+from repro.framework.clock import VirtualClock
+from repro.storage import (MemoryStore, ReplicatedCheckpointStore,
+                           state_digests)
+from repro.workloads import WORKLOAD_NAMES
+
+#: fast tier-1 subset; the chaos marker covers the full Table II matrix
+FAST_WORKLOADS = ("memnet", "autoenc")
+
+#: the matrix spec from docs/robustness.md: every singleton and pair of
+#: the harness's eight storage atoms fits in a budget of 40
+MATRIX = dict(harness="storage", budget=40, steps=4,
+              oracles=("durability",))
+
+
+class TestDurabilityMatrix:
+    def test_replicated_archive_survives_every_schedule(self):
+        """N=3: all 8 single-fault and 28 fault-pair schedules pass."""
+        result = run_campaign(CampaignSpec(**MATRIX))
+        assert result.ok, [v.to_json() for v in result.violations]
+        assert result.executed == 36
+        assert result.schedule_space == 36  # nothing was sampled away
+
+    def test_single_replica_provably_fails(self):
+        """N=1: the same campaign convicts the silent-corruption atoms,
+        and every violation ddmins to a single fault."""
+        result = run_campaign(CampaignSpec(replicas=1, **MATRIX))
+        assert not result.ok
+        minimized = [v.minimized or v.plan for v in result.violations]
+        assert all(len(plan.specs) == 1 for plan in minimized)
+        kinds = {plan.specs[0].kind for plan in minimized}
+        assert {"bit_rot", "torn_write"} <= kinds
+        # Loud failures are not durability violations: a full disk or an
+        # outage on the only replica fails the *commit*, and an
+        # uncommitted checkpoint promises nothing.
+        assert not {"disk_full", "store_down"} & kinds
+
+    def test_violations_are_deterministic(self):
+        spec = CampaignSpec(replicas=1, **MATRIX)
+        first = run_campaign(spec)
+        second = run_campaign(spec)
+        assert [(v.schedule_index, v.oracle, v.detail)
+                for v in first.violations] \
+            == [(v.schedule_index, v.oracle, v.detail)
+                for v in second.violations]
+
+    def test_reproducer_replays_from_its_file_alone(self, tmp_path):
+        harness = StorageHarness(replicas=1)
+        result = run_campaign(CampaignSpec(replicas=1, **MATRIX),
+                              harness=harness)
+        violation = next(
+            v for v in result.violations
+            if (v.minimized or v.plan).specs[0].kind == "torn_write")
+        path = tmp_path / "torn.json"
+        blob = write_reproducer(path, harness, violation)
+        assert blob["replicas"] == 1  # the recipe pins the replica count
+
+        verdicts, replayed = replay_reproducer(path)
+        assert replayed["plan"]["specs"][0]["kind"] == "torn_write"
+        assert any(not v.ok for v in verdicts)
+
+    def test_baseline_run_is_clean(self):
+        """No faults: every attempt commits, restores bitwise, and the
+        newest committed checkpoint is what restore-latest lands on."""
+        harness = StorageHarness()
+        outcome = harness.baseline()
+        durability = outcome.extras["durability"]
+        assert durability["replicas"] == 3
+        assert all(a["committed"] for a in durability["attempts"])
+        assert all(r["ok"] for r in durability["restores"])
+        latest = durability["latest"]
+        assert latest["ok"]
+        assert latest["matches"] == max(
+            a["id"] for a in durability["attempts"])
+        assert durability["unrecoverable"] == 0
+
+
+def assert_store_transport_is_bitwise_identical(name):
+    """Fault-free, checkpointing through the replicated store restores
+    the exact same bits as the pre-existing file path — per workload."""
+    model = workloads.create(name, config="tiny", seed=0)
+    for _ in range(2):
+        model.session.run([model.loss, model.train_step],
+                          feed_dict=model.sample_feed(training=True))
+    reference = state_digests(model.session)
+
+    clock = VirtualClock()
+    store = ReplicatedCheckpointStore(
+        [MemoryStore(store_id=i, clock=clock) for i in range(3)])
+    record = store.save(model.session, step=2)
+    assert record.committed
+
+    via_store = workloads.create(name, config="tiny", seed=99)
+    store.restore(via_store.session)
+    assert state_digests(via_store.session) == reference
+
+
+@pytest.mark.parametrize("name", FAST_WORKLOADS)
+def test_store_transport_bitwise_fast(name):
+    assert_store_transport_is_bitwise_identical(name)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("name", [n for n in WORKLOAD_NAMES
+                                  if n not in FAST_WORKLOADS])
+def test_store_transport_bitwise_matrix(name):
+    assert_store_transport_is_bitwise_identical(name)
+
+
+class TestStorageChaosCli:
+    def test_matrix_green_via_cli(self, capsys, tmp_path):
+        from repro.cli import main
+        report_path = tmp_path / "report.json"
+        code = main(["chaos", "run", "--harness", "storage",
+                     "--budget", "40", "--steps", "4",
+                     "--oracle", "durability",
+                     "--report-json", str(report_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all oracles held" in out
+        report = json.loads(report_path.read_text())
+        assert report["ok"] and report["executed"] == 36
+        assert report["spec"]["replicas"] is None
+
+    def test_single_replica_violations_via_cli(self, capsys, tmp_path):
+        from repro.cli import main
+        code = main(["chaos", "run", "--harness", "storage",
+                     "--replicas", "1", "--budget", "40",
+                     "--steps", "4", "--oracle", "durability",
+                     "--reproducer-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "minimal reproducer 1 fault(s)" in out
+        assert "[bit_rot]" in out and "[torn_write]" in out
+        reproducers = sorted(tmp_path.glob("repro-storage-*.json"))
+        assert reproducers
+        blob = json.loads(reproducers[0].read_text())
+        assert blob["replicas"] == 1
+
+    def test_storage_listed_as_a_harness(self, capsys):
+        from repro.cli import main
+        assert main(["chaos", "run", "--list-harnesses"]) == 0
+        assert "storage" in capsys.readouterr().out
